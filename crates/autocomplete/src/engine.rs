@@ -1,0 +1,361 @@
+//! The completion engine: position-aware tag and value candidates.
+
+use crate::context::PositionContext;
+use lotusx_index::{GuideNodeId, IndexedDocument, Trie};
+use lotusx_twig::Axis;
+use lotusx_xml::Symbol;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A ranked tag candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TagCandidate {
+    /// The tag name.
+    pub name: String,
+    /// Number of document elements carrying this tag *at the queried
+    /// position* (global count when the context is unconstrained).
+    pub count: u64,
+}
+
+/// A ranked value (content term) candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValueCandidate {
+    /// The term.
+    pub term: String,
+    /// Number of elements (of the focused tag) containing the term.
+    pub count: u64,
+}
+
+/// Position-aware completion over one indexed document.
+///
+/// The engine is cheap to construct (it only borrows the index); per-tag
+/// value tries are built lazily and cached.
+pub struct CompletionEngine<'a> {
+    idx: &'a IndexedDocument,
+    value_tries: RefCell<HashMap<Symbol, ValueTrie>>,
+}
+
+struct ValueTrie {
+    trie: Trie,
+    terms: Vec<String>,
+}
+
+impl<'a> CompletionEngine<'a> {
+    /// Creates an engine over `idx`.
+    pub fn new(idx: &'a IndexedDocument) -> Self {
+        CompletionEngine {
+            idx,
+            value_tries: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The guide nodes where the *parent* of the focused node can sit.
+    fn context_anchors(&self, context: &PositionContext) -> Vec<GuideNodeId> {
+        let guide = self.idx.guide();
+        let symbols = self.idx.document().symbols();
+        let mut current = vec![GuideNodeId::ROOT];
+        for step in &context.steps {
+            let want: Option<Symbol> = match &step.tag {
+                Some(name) => match symbols.get(name) {
+                    Some(s) => Some(s),
+                    // Unknown tag: nothing in the document matches.
+                    None => return Vec::new(),
+                },
+                None => None,
+            };
+            let mut next = Vec::new();
+            for &g in &current {
+                match step.axis {
+                    Axis::Child => {
+                        for &(tag, child) in guide.children(g) {
+                            if want.is_none() || want == Some(tag) {
+                                next.push(child);
+                            }
+                        }
+                    }
+                    Axis::Descendant => {
+                        for d in guide.descendants_or_self(g) {
+                            if d == g {
+                                continue;
+                            }
+                            if want.is_none() || want == guide.tag(d) {
+                                next.push(d);
+                            }
+                        }
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            if next.is_empty() {
+                return Vec::new();
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Position-aware tag completion: the tags that can occur at the
+    /// focused position, filtered by `prefix`, heaviest-at-position first.
+    pub fn complete_tag(
+        &self,
+        context: &PositionContext,
+        prefix: &str,
+        k: usize,
+    ) -> Vec<TagCandidate> {
+        if context.is_unconstrained() {
+            return self.complete_tag_global(prefix, k);
+        }
+        let guide = self.idx.guide();
+        let symbols = self.idx.document().symbols();
+        let anchors = self.context_anchors(context);
+        let mut counts: HashMap<Symbol, u64> = HashMap::new();
+        for g in anchors {
+            let pairs = match context.axis_to_focus {
+                Axis::Child => guide.child_tag_counts(g),
+                Axis::Descendant => guide.descendant_tag_counts(g),
+            };
+            for (tag, count) in pairs {
+                *counts.entry(tag).or_insert(0) += count;
+            }
+        }
+        let mut out: Vec<TagCandidate> = counts
+            .into_iter()
+            .map(|(tag, count)| TagCandidate {
+                name: symbols.resolve(tag).to_string(),
+                count,
+            })
+            .filter(|c| c.name.starts_with(prefix))
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.name.cmp(&b.name)));
+        out.truncate(k);
+        out
+    }
+
+    /// Global (position-blind) tag completion over the tag trie — the
+    /// baseline the position-aware experiment compares against.
+    pub fn complete_tag_global(&self, prefix: &str, k: usize) -> Vec<TagCandidate> {
+        self.idx
+            .tag_trie()
+            .complete(prefix, k)
+            .into_iter()
+            .map(|c| TagCandidate {
+                name: c.key,
+                count: c.weight,
+            })
+            .collect()
+    }
+
+    /// Ablation baseline (E9): global completion by linear scan over all
+    /// tag names instead of the trie. Same results, different cost curve.
+    pub fn complete_tag_scan(&self, prefix: &str, k: usize) -> Vec<TagCandidate> {
+        let mut out: Vec<TagCandidate> = self
+            .idx
+            .document()
+            .symbols()
+            .iter()
+            .filter(|(sym, name)| {
+                name.starts_with(prefix) && self.idx.tags().frequency(*sym) > 0
+            })
+            .map(|(sym, name)| TagCandidate {
+                name: name.to_string(),
+                count: self.idx.tags().frequency(sym) as u64,
+            })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.name.cmp(&b.name)));
+        out.truncate(k);
+        out
+    }
+
+    /// Value completion for a node whose tag is already fixed: terms that
+    /// actually occur inside elements with that tag, filtered by prefix.
+    pub fn complete_value(&self, tag: &str, prefix: &str, k: usize) -> Vec<ValueCandidate> {
+        let Some(sym) = self.idx.document().symbols().get(tag) else {
+            return Vec::new();
+        };
+        let mut cache = self.value_tries.borrow_mut();
+        let vt = cache.entry(sym).or_insert_with(|| self.build_value_trie(sym));
+        vt.trie
+            .complete(prefix, k)
+            .into_iter()
+            .map(|c| ValueCandidate {
+                term: vt.terms[c.payload as usize].clone(),
+                count: c.weight,
+            })
+            .collect()
+    }
+
+    /// Global value completion over the whole content-term trie.
+    pub fn complete_value_global(&self, prefix: &str, k: usize) -> Vec<ValueCandidate> {
+        self.idx
+            .term_trie()
+            .complete(prefix, k)
+            .into_iter()
+            .map(|c| ValueCandidate {
+                term: self.idx.term(c.payload).to_string(),
+                count: c.weight,
+            })
+            .collect()
+    }
+
+    fn build_value_trie(&self, tag: Symbol) -> ValueTrie {
+        let doc = self.idx.document();
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for entry in self.idx.tags().stream(tag) {
+            for term in lotusx_index::tokenize(&doc.direct_text(entry.node)) {
+                *counts.entry(term).or_insert(0) += 1;
+            }
+        }
+        let mut terms: Vec<String> = counts.keys().cloned().collect();
+        terms.sort();
+        let mut trie = Trie::new();
+        for (i, term) in terms.iter().enumerate() {
+            trie.insert(term, i as u32, counts[term]);
+        }
+        ValueTrie { trie, terms }
+    }
+
+    /// The underlying index (used by sessions).
+    pub fn index(&self) -> &'a IndexedDocument {
+        self.idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextStep;
+
+    fn idx() -> IndexedDocument {
+        IndexedDocument::from_str(
+            "<bib>\
+               <book><title>data web</title><author>lu</author><publisher>mk</publisher></book>\
+               <book><title>xml handbook</title><author>goldfarb</author><publisher>ph</publisher></book>\
+               <article><title>twigstack paper</title><author>bruno</author><journal>tods</journal></article>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unconstrained_falls_back_to_global_trie() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        let ctx = PositionContext::unconstrained();
+        let cands = e.complete_tag(&ctx, "a", 10);
+        let names: Vec<&str> = cands.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"author") && names.contains(&"article"));
+    }
+
+    #[test]
+    fn position_filters_candidates() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        // Inside //bib/book, "j..." (journal) must NOT be offered.
+        let ctx = PositionContext::from_tag_path(&["bib", "book"], Axis::Child);
+        assert!(e.complete_tag(&ctx, "j", 10).is_empty());
+        // But inside //bib/article it is.
+        let ctx = PositionContext::from_tag_path(&["bib", "article"], Axis::Child);
+        let cands = e.complete_tag(&ctx, "j", 10);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].name, "journal");
+        assert_eq!(cands[0].count, 1);
+    }
+
+    #[test]
+    fn position_counts_are_per_position_not_global() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        let ctx = PositionContext::from_tag_path(&["bib", "book"], Axis::Child);
+        let cands = e.complete_tag(&ctx, "title", 10);
+        assert_eq!(cands[0].count, 2, "two titles under books; the third is under article");
+    }
+
+    #[test]
+    fn descendant_axis_widens_candidates() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        let ctx = PositionContext::from_tag_path(&["bib"], Axis::Descendant);
+        let names: Vec<String> = e
+            .complete_tag(&ctx, "", 20)
+            .into_iter()
+            .map(|c| c.name)
+            .collect();
+        assert!(names.contains(&"journal".to_string()));
+        assert!(names.contains(&"title".to_string()));
+        assert!(names.contains(&"book".to_string()));
+    }
+
+    #[test]
+    fn wildcard_steps_match_any_tag() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        let ctx = PositionContext {
+            steps: vec![
+                ContextStep { tag: Some("bib".into()), axis: Axis::Child },
+                ContextStep { tag: None, axis: Axis::Child },
+            ],
+            axis_to_focus: Axis::Child,
+        };
+        let names: Vec<String> = e
+            .complete_tag(&ctx, "", 20)
+            .into_iter()
+            .map(|c| c.name)
+            .collect();
+        // Children of any second-level element: title/author/publisher/journal.
+        assert!(names.contains(&"journal".to_string()));
+        assert!(names.contains(&"publisher".to_string()));
+    }
+
+    #[test]
+    fn unknown_context_tag_gives_no_candidates() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        let ctx = PositionContext::from_tag_path(&["nosuch"], Axis::Child);
+        assert!(e.complete_tag(&ctx, "", 10).is_empty());
+    }
+
+    #[test]
+    fn scan_and_trie_baselines_agree() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        for prefix in ["", "a", "t", "z", "pub"] {
+            assert_eq!(
+                e.complete_tag_global(prefix, 50),
+                e.complete_tag_scan(prefix, 50),
+                "prefix {prefix}"
+            );
+        }
+    }
+
+    #[test]
+    fn value_completion_is_tag_scoped() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        let titles = e.complete_value("title", "x", 10);
+        assert_eq!(titles.len(), 1);
+        assert_eq!(titles[0].term, "xml");
+        // "lu" is an author value, not a title term.
+        assert!(e.complete_value("title", "lu", 10).is_empty());
+        assert_eq!(e.complete_value("author", "lu", 10).len(), 1);
+        assert!(e.complete_value("nosuchtag", "x", 10).is_empty());
+    }
+
+    #[test]
+    fn value_completion_global_spans_tags() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        let all = e.complete_value_global("t", 50);
+        let terms: Vec<&str> = all.iter().map(|c| c.term.as_str()).collect();
+        assert!(terms.contains(&"twigstack"));
+        assert!(terms.contains(&"tods"));
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        let ctx = PositionContext::from_tag_path(&["bib", "book"], Axis::Child);
+        assert_eq!(e.complete_tag(&ctx, "", 2).len(), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-keystroke completion sessions.
+//!
+//! A session models what the GUI does while the user types into one query
+//! node: every keystroke narrows the candidate list without recomputing it
+//! from scratch. Position-aware candidate sets are small (bounded by the
+//! DataGuide fan-out), so they are computed once per focus change and then
+//! narrowed by prefix; the global fallback narrows through the trie cursor.
+
+use crate::context::PositionContext;
+use crate::engine::{CompletionEngine, TagCandidate};
+
+/// An incremental tag-completion session for one focused query node.
+pub struct CompletionSession<'a> {
+    engine: &'a CompletionEngine<'a>,
+    context: PositionContext,
+    typed: String,
+    /// Candidates for the current context with an empty prefix, reused on
+    /// every keystroke (position-aware sets are small).
+    base_candidates: Vec<TagCandidate>,
+    k: usize,
+}
+
+impl<'a> CompletionSession<'a> {
+    /// Starts a session for `context`, returning up to `k` candidates per
+    /// keystroke.
+    pub fn new(engine: &'a CompletionEngine<'a>, context: PositionContext, k: usize) -> Self {
+        let base_candidates = engine.complete_tag(&context, "", usize::MAX);
+        CompletionSession {
+            engine,
+            context,
+            typed: String::new(),
+            base_candidates,
+            k,
+        }
+    }
+
+    /// The text typed so far.
+    pub fn typed(&self) -> &str {
+        &self.typed
+    }
+
+    /// The session's structural context.
+    pub fn context(&self) -> &PositionContext {
+        &self.context
+    }
+
+    /// Processes one keystroke and returns the narrowed top-k candidates.
+    pub fn keystroke(&mut self, ch: char) -> Vec<TagCandidate> {
+        self.typed.push(ch);
+        self.current()
+    }
+
+    /// Removes the last keystroke (no-op on empty input).
+    pub fn backspace(&mut self) -> Vec<TagCandidate> {
+        self.typed.pop();
+        self.current()
+    }
+
+    /// The current top-k candidates for the typed prefix.
+    pub fn current(&self) -> Vec<TagCandidate> {
+        if self.context.is_unconstrained() {
+            // Global mode: the trie answers prefix queries directly.
+            return self.engine.complete_tag_global(&self.typed, self.k);
+        }
+        self.base_candidates
+            .iter()
+            .filter(|c| c.name.starts_with(&self.typed))
+            .take(self.k)
+            .cloned()
+            .collect()
+    }
+
+    /// Accepts the single remaining candidate, if the prefix is already
+    /// unambiguous.
+    pub fn accept_if_unique(&self) -> Option<TagCandidate> {
+        let current = self.current();
+        if current.len() == 1 {
+            Some(current[0].clone())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotusx_index::IndexedDocument;
+    use lotusx_twig::Axis;
+
+    fn idx() -> IndexedDocument {
+        IndexedDocument::from_str(
+            "<bib><book><title>t</title><author>a</author></book>\
+             <article><author>b</author><abstract>c</abstract></article></bib>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keystrokes_narrow_candidates() {
+        let idx = idx();
+        let engine = CompletionEngine::new(&idx);
+        let ctx = PositionContext::from_tag_path(&["bib", "article"], Axis::Child);
+        let mut s = CompletionSession::new(&engine, ctx, 10);
+        let c0 = s.current();
+        assert_eq!(c0.len(), 2); // author, abstract
+        let c1 = s.keystroke('a');
+        assert_eq!(c1.len(), 2); // both start with 'a'
+        let c2 = s.keystroke('u');
+        assert_eq!(c2.len(), 1);
+        assert_eq!(c2[0].name, "author");
+        assert_eq!(s.accept_if_unique().unwrap().name, "author");
+    }
+
+    #[test]
+    fn backspace_widens_again() {
+        let idx = idx();
+        let engine = CompletionEngine::new(&idx);
+        let ctx = PositionContext::from_tag_path(&["bib", "article"], Axis::Child);
+        let mut s = CompletionSession::new(&engine, ctx, 10);
+        s.keystroke('a');
+        s.keystroke('u');
+        assert_eq!(s.current().len(), 1);
+        let widened = s.backspace();
+        assert_eq!(widened.len(), 2);
+        assert_eq!(s.typed(), "a");
+    }
+
+    #[test]
+    fn global_session_uses_trie() {
+        let idx = idx();
+        let engine = CompletionEngine::new(&idx);
+        let mut s = CompletionSession::new(&engine, PositionContext::unconstrained(), 10);
+        let c = s.keystroke('a');
+        let names: Vec<&str> = c.iter().map(|x| x.name.as_str()).collect();
+        assert!(names.contains(&"author"));
+        assert!(names.contains(&"article"));
+        assert!(names.contains(&"abstract"));
+    }
+
+    #[test]
+    fn session_matches_fresh_queries_at_every_prefix() {
+        let idx = idx();
+        let engine = CompletionEngine::new(&idx);
+        let ctx = PositionContext::from_tag_path(&["bib", "book"], Axis::Child);
+        let mut s = CompletionSession::new(&engine, ctx.clone(), 10);
+        for (i, ch) in "title".chars().enumerate() {
+            let via_session = s.keystroke(ch);
+            let prefix: String = "title".chars().take(i + 1).collect();
+            let fresh = engine.complete_tag(&ctx, &prefix, 10);
+            assert_eq!(via_session, fresh, "prefix {prefix}");
+        }
+    }
+
+    #[test]
+    fn dead_prefix_yields_empty_and_recovers() {
+        let idx = idx();
+        let engine = CompletionEngine::new(&idx);
+        let ctx = PositionContext::from_tag_path(&["bib", "book"], Axis::Child);
+        let mut s = CompletionSession::new(&engine, ctx, 10);
+        assert!(s.keystroke('z').is_empty());
+        assert!(s.accept_if_unique().is_none());
+        assert!(!s.backspace().is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! E1: index construction time per dataset and scale.
+//!
+//! Regenerates the rows of Table 1 (construction time; the harness binary
+//! adds the size columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lotusx_bench::SEED;
+use lotusx_datagen::{generate, Dataset};
+use lotusx_index::IndexedDocument;
+
+fn bench_indexing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1-indexing");
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.sample_size(10);
+    for dataset in Dataset::ALL {
+        for scale in [1u32, 2, 4] {
+            let doc = generate(dataset, scale, SEED);
+            group.bench_with_input(
+                BenchmarkId::new(dataset.name(), scale),
+                &doc,
+                |b, doc| b.iter(|| IndexedDocument::build(doc.clone())),
+            );
+        }
+    }
+    group.finish();
+
+    // Parsing alone, to separate substrate cost from index cost.
+    let mut group = c.benchmark_group("E1-parsing");
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.sample_size(10);
+    for dataset in Dataset::ALL {
+        let xml = generate(dataset, 2, SEED).to_xml();
+        group.bench_with_input(BenchmarkId::new(dataset.name(), 2), &xml, |b, xml| {
+            b.iter(|| lotusx_xml::Document::parse_str(xml).expect("well-formed"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_indexing
+}
+criterion_main!(benches);

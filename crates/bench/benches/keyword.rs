@@ -1,0 +1,64 @@
+//! E10: keyword search — indexed SLCA vs the full-tree bitmask pass, and
+//! binary snapshot save/load vs XML re-parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lotusx_bench::{fixture, SEED};
+use lotusx_datagen::{generate, Dataset};
+use lotusx_keyword::KeywordEngine;
+
+const QUERIES: [&[&str]; 3] = [
+    &["data", "query"],
+    &["xml", "search", "index"],
+    &["smith"],
+];
+
+fn bench_keyword(c: &mut Criterion) {
+    for scale in [1u32, 4] {
+        let idx = fixture(Dataset::DblpLike, scale);
+        let engine = KeywordEngine::new(&idx);
+        let mut group = c.benchmark_group(format!("E10-keyword-scale{scale}"));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.sample_size(10);
+        for (i, q) in QUERIES.iter().enumerate() {
+            group.bench_with_input(BenchmarkId::new("indexed", i), q, |b, q| {
+                b.iter(|| engine.slca(q))
+            });
+            group.bench_with_input(BenchmarkId::new("bitmask", i), q, |b, q| {
+                b.iter(|| engine.slca_bitmask(q))
+            });
+        }
+        group.finish();
+    }
+
+    // Snapshot I/O vs XML parsing.
+    let doc = generate(Dataset::DblpLike, 2, SEED);
+    let xml = doc.to_xml();
+    let mut snapshot = Vec::new();
+    lotusx_storage::save_document(&doc, &mut snapshot).expect("encodes");
+    let mut group = c.benchmark_group("E10-storage");
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.sample_size(10);
+    group.bench_function("parse-xml", |b| {
+        b.iter(|| lotusx_xml::Document::parse_str(&xml).expect("well-formed"))
+    });
+    group.bench_function("load-snapshot", |b| {
+        b.iter(|| lotusx_storage::load_document(&snapshot[..]).expect("valid"))
+    });
+    group.bench_function("save-snapshot", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            lotusx_storage::save_document(&doc, &mut buf).expect("encodes");
+            buf
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_keyword
+}
+criterion_main!(benches);

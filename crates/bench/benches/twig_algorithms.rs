@@ -1,0 +1,35 @@
+//! E2: query time per canonical query × algorithm (Figure 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lotusx_bench::fixture;
+use lotusx_datagen::{queries, Dataset};
+use lotusx_twig::exec::{execute, Algorithm};
+use lotusx_twig::xpath::parse_query;
+
+fn bench_algorithms(c: &mut Criterion) {
+    for dataset in Dataset::ALL {
+        let idx = fixture(dataset, 2);
+        let mut group = c.benchmark_group(format!("E2-{}", dataset.name()));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.sample_size(10);
+        for q in queries::queries(dataset) {
+            let pattern = parse_query(q.text).expect("canonical query parses");
+            for algo in Algorithm::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(q.id, algo.name()),
+                    &pattern,
+                    |b, pattern| b.iter(|| execute(&idx, pattern, algo)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_algorithms
+}
+criterion_main!(benches);

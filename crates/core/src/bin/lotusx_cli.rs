@@ -1,0 +1,252 @@
+//! LotusX command-line demo — the textual stand-in for the original web
+//! GUI at `datasearch.ruc.edu.cn:8080/LotusX`.
+//!
+//! Run with `cargo run -p lotusx --bin lotusx-cli [file.xml]` and type
+//! `help` for the command list. Everything the GUI demonstrates is
+//! reachable: incremental canvas construction with per-keystroke
+//! position-aware candidates, one-shot textual queries, algorithm
+//! switching, ranked results, and automatic rewriting of empty queries.
+
+use lotusx::{Algorithm, Axis, CanvasNodeId, LotusX, Session};
+use std::io::{BufRead, Write};
+
+const SAMPLE: &str = r#"<bib>
+  <book year="1999"><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author><publisher>Morgan Kaufmann</publisher></book>
+  <book year="2003"><title>XML Handbook</title><author>Goldfarb</author><publisher>Prentice Hall</publisher></book>
+  <article year="2002"><title>Holistic Twig Joins</title><author>Bruno</author><journal>SIGMOD</journal></article>
+  <article year="2005"><title>TJFast Extended Dewey</title><author>Lu</author><journal>VLDB</journal></article>
+</bib>"#;
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+
+    let arg = std::env::args().nth(1);
+    let system = match &arg {
+        Some(path) => match LotusX::load_file(path) {
+            Ok(s) => {
+                println!("loaded {path} ({} elements)", s.index().stats().element_count);
+                s
+            }
+            Err(e) => {
+                eprintln!("failed to load {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            println!("no file given; loaded the built-in sample bibliography");
+            LotusX::load_str(SAMPLE).expect("sample is well-formed")
+        }
+    };
+
+    let mut session = Session::new(&system);
+    let mut nodes: Vec<CanvasNodeId> = Vec::new();
+
+    println!("LotusX demo CLI — type 'help' for commands");
+    loop {
+        print!("lotusx> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "" => {}
+            "help" => print_help(),
+            "quit" | "exit" => break,
+            "stats" => {
+                let s = system.index().stats();
+                println!(
+                    "elements: {}  distinct tags: {}  max depth: {}  index bytes: {}",
+                    s.element_count,
+                    s.distinct_tags,
+                    s.max_depth,
+                    system.index().index_size_bytes()
+                );
+            }
+            "save" => match system.save_snapshot(rest) {
+                Ok(()) => println!("snapshot written to {rest}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "keyword" => {
+                let hits = system.search_keywords(rest);
+                println!("{} answers", hits.len());
+                for (i, h) in hits.iter().take(10).enumerate() {
+                    println!("  {:>2}. [{:.3}] {}", i + 1, h.score, truncate(&h.snippet, 90));
+                }
+            }
+            "query" => match system.search(rest) {
+                Ok(outcome) => {
+                    if let Some(rw) = &outcome.rewrite {
+                        println!(
+                            "(no results for the original query — rewritten to {} [penalty {:.1}])",
+                            rw.pattern, rw.cost
+                        );
+                    }
+                    println!("{} matches", outcome.total_matches);
+                    for (i, r) in outcome.results.iter().take(10).enumerate() {
+                        println!("  {:>2}. [{:.3}] {}", i + 1, r.score, truncate(&r.snippet, 90));
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "algo" => {
+                let algo = match rest {
+                    "naive" => Some(Algorithm::Naive),
+                    "structural-join" => Some(Algorithm::StructuralJoin),
+                    "pathstack" => Some(Algorithm::PathStack),
+                    "twigstack" => Some(Algorithm::TwigStack),
+                    "tjfast" => Some(Algorithm::TJFast),
+                    "twigstack-guided" => Some(Algorithm::TwigStackGuided),
+                    _ => None,
+                };
+                match algo {
+                    Some(_a) => println!(
+                        "algorithm switching requires a mutable engine; restart with --algo (current: {})",
+                        system.algorithm()
+                    ),
+                    None => println!("algorithms: naive structural-join pathstack twigstack tjfast twigstack-guided"),
+                }
+            }
+            "root" => match session.canvas_mut().add_root() {
+                Ok(id) => {
+                    nodes.push(id);
+                    println!("node {} added as root (untyped)", nodes.len() - 1);
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "node" => {
+                let mut parts = rest.split_whitespace();
+                let parent: Option<usize> = parts.next().and_then(|p| p.parse().ok());
+                let axis = match parts.next() {
+                    Some("/") | None => Axis::Child,
+                    _ => Axis::Descendant,
+                };
+                match parent.and_then(|p| nodes.get(p).copied()) {
+                    Some(p) => match session.canvas_mut().add_node(p, axis) {
+                        Ok(id) => {
+                            nodes.push(id);
+                            println!("node {} added", nodes.len() - 1);
+                        }
+                        Err(e) => println!("error: {e}"),
+                    },
+                    None => println!("usage: node <parent-index> [/ or //]"),
+                }
+            }
+            "focus" => match rest.parse::<usize>().ok().and_then(|i| nodes.get(i).copied()) {
+                Some(id) => match session.focus(id) {
+                    Ok(cands) => print_candidates(&cands),
+                    Err(e) => println!("error: {e}"),
+                },
+                None => println!("usage: focus <node-index>"),
+            },
+            "type" => {
+                for ch in rest.chars() {
+                    match session.keystroke(ch) {
+                        Ok(cands) => {
+                            println!("typed {:?}:", session.typed());
+                            print_candidates(&cands);
+                        }
+                        Err(e) => {
+                            println!("error: {e}");
+                            break;
+                        }
+                    }
+                }
+            }
+            "accept" => match session.accept_top() {
+                Ok(()) => {
+                    if let Some(id) = session.focused() {
+                        if let Ok(Some(tag)) = session.canvas().tag(id) {
+                            println!("accepted {tag}");
+                        }
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "tag" => {
+                let mut parts = rest.split_whitespace();
+                let idx: Option<usize> = parts.next().and_then(|p| p.parse().ok());
+                let tag = parts.next().unwrap_or("");
+                match idx.and_then(|i| nodes.get(i).copied()) {
+                    Some(id) if !tag.is_empty() => {
+                        match session.canvas_mut().set_tag(id, tag) {
+                            Ok(()) => println!("node tagged {tag}"),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    _ => println!("usage: tag <node-index> <name>"),
+                }
+            }
+            "values" => match session.value_suggestions(rest) {
+                Ok(suggestions) => {
+                    for v in suggestions {
+                        println!("  {} ({})", v.term, v.count);
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "show" => match session.canvas().to_pattern() {
+                Ok(p) => println!("{p}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "run" => match session.run() {
+                Ok(outcome) => {
+                    println!("{} matches", outcome.total_matches);
+                    for (i, r) in outcome.results.iter().take(10).enumerate() {
+                        println!("  {:>2}. [{:.3}] {}", i + 1, r.score, truncate(&r.snippet, 90));
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            other => println!("unknown command {other:?} — type 'help'"),
+        }
+    }
+}
+
+fn print_candidates(cands: &[lotusx::TagCandidate]) {
+    if cands.is_empty() {
+        println!("  (no candidates at this position)");
+    }
+    for c in cands {
+        println!("  {} ({})", c.name, c.count);
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        let mut end = n;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+fn print_help() {
+    println!(
+        "\
+one-shot queries:
+  query <xpath>      run a query, e.g.  query //book[@year >= 2000]/title
+  keyword <terms>    keyword search (ranked smallest covering subtrees)
+  save <path.ltsx>   write a binary snapshot (reopen with lotusx-cli <path.ltsx>)
+  stats              document / index statistics
+canvas (the GUI surrogate):
+  root               drop the root node
+  node <i> [/ | //]  add a node under node i
+  focus <i>          focus node i (shows position-aware candidates)
+  type <text>        type into the focused node, one keystroke at a time
+  accept             accept the typed text as the tag
+  tag <i> <name>     set a node's tag directly
+  values <prefix>    value suggestions for the focused node's tag
+  show               print the canvas as a query
+  run                execute the canvas (untyped nodes are wildcards)
+other:
+  algo [name]        list / note join algorithms
+  help, quit"
+    );
+}

@@ -1,0 +1,342 @@
+//! The graphical query canvas as an API.
+//!
+//! The LotusX demo lets users drag nodes onto a canvas, connect them with
+//! single (`/`) or double (`//`) edges, type tags and values into them,
+//! and mark output nodes. [`QueryCanvas`] models exactly those
+//! interactions; [`QueryCanvas::to_pattern`] compiles the canvas state
+//! into an executable [`TwigPattern`]. Nodes whose tag has not been typed
+//! yet compile to wildcards, so a half-built query is always runnable —
+//! the behaviour the demo's on-the-fly preview relies on.
+
+use lotusx_autocomplete::{ContextStep, PositionContext};
+use lotusx_twig::pattern::{Axis, NodeTest, TwigPattern, ValuePredicate};
+use std::fmt;
+
+/// Identifier of a canvas node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CanvasNodeId(usize);
+
+/// Errors from canvas manipulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CanvasError {
+    /// The canvas has no nodes yet.
+    Empty,
+    /// The referenced node does not exist (or was removed).
+    NoSuchNode,
+    /// Adding this node/edge would create a second root.
+    SecondRoot,
+}
+
+impl fmt::Display for CanvasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanvasError::Empty => write!(f, "the canvas is empty"),
+            CanvasError::NoSuchNode => write!(f, "no such canvas node"),
+            CanvasError::SecondRoot => write!(f, "the canvas already has a root node"),
+        }
+    }
+}
+
+impl std::error::Error for CanvasError {}
+
+#[derive(Clone, Debug)]
+struct CanvasNode {
+    tag: Option<String>,
+    predicate: Option<ValuePredicate>,
+    output: bool,
+    parent: Option<usize>,
+    axis: Axis,
+    children: Vec<usize>,
+    removed: bool,
+}
+
+/// The query canvas: an editable twig under construction.
+#[derive(Clone, Debug, Default)]
+pub struct QueryCanvas {
+    nodes: Vec<CanvasNode>,
+    root: Option<usize>,
+    ordered: bool,
+}
+
+impl QueryCanvas {
+    /// An empty canvas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops a root node onto the canvas (untyped: it compiles to a
+    /// wildcard until a tag is set).
+    pub fn add_root(&mut self) -> Result<CanvasNodeId, CanvasError> {
+        if self.root.is_some() {
+            return Err(CanvasError::SecondRoot);
+        }
+        let id = self.push(CanvasNode {
+            tag: None,
+            predicate: None,
+            output: false,
+            parent: None,
+            axis: Axis::Descendant,
+            children: Vec::new(),
+            removed: false,
+        });
+        self.root = Some(id.0);
+        Ok(id)
+    }
+
+    /// Adds a node connected to `parent` by `axis`.
+    pub fn add_node(
+        &mut self,
+        parent: CanvasNodeId,
+        axis: Axis,
+    ) -> Result<CanvasNodeId, CanvasError> {
+        self.check(parent)?;
+        let id = self.push(CanvasNode {
+            tag: None,
+            predicate: None,
+            output: false,
+            parent: Some(parent.0),
+            axis,
+            children: Vec::new(),
+            removed: false,
+        });
+        self.nodes[parent.0].children.push(id.0);
+        Ok(id)
+    }
+
+    fn push(&mut self, node: CanvasNode) -> CanvasNodeId {
+        self.nodes.push(node);
+        CanvasNodeId(self.nodes.len() - 1)
+    }
+
+    fn check(&self, id: CanvasNodeId) -> Result<(), CanvasError> {
+        if id.0 >= self.nodes.len() || self.nodes[id.0].removed {
+            return Err(CanvasError::NoSuchNode);
+        }
+        Ok(())
+    }
+
+    /// Types a tag into a node (what accepting a completion does).
+    pub fn set_tag(&mut self, id: CanvasNodeId, tag: &str) -> Result<(), CanvasError> {
+        self.check(id)?;
+        self.nodes[id.0].tag = Some(tag.to_string());
+        Ok(())
+    }
+
+    /// Clears a node's tag (back to wildcard).
+    pub fn clear_tag(&mut self, id: CanvasNodeId) -> Result<(), CanvasError> {
+        self.check(id)?;
+        self.nodes[id.0].tag = None;
+        Ok(())
+    }
+
+    /// The tag currently typed into a node.
+    pub fn tag(&self, id: CanvasNodeId) -> Result<Option<&str>, CanvasError> {
+        self.check(id)?;
+        Ok(self.nodes[id.0].tag.as_deref())
+    }
+
+    /// Attaches a value predicate to a node.
+    pub fn set_predicate(
+        &mut self,
+        id: CanvasNodeId,
+        predicate: Option<ValuePredicate>,
+    ) -> Result<(), CanvasError> {
+        self.check(id)?;
+        self.nodes[id.0].predicate = predicate;
+        Ok(())
+    }
+
+    /// Toggles a node's output (highlight) flag.
+    pub fn set_output(&mut self, id: CanvasNodeId, output: bool) -> Result<(), CanvasError> {
+        self.check(id)?;
+        self.nodes[id.0].output = output;
+        Ok(())
+    }
+
+    /// Changes the axis of the edge above a node.
+    pub fn set_axis(&mut self, id: CanvasNodeId, axis: Axis) -> Result<(), CanvasError> {
+        self.check(id)?;
+        self.nodes[id.0].axis = axis;
+        Ok(())
+    }
+
+    /// Removes a node and its whole subtree from the canvas.
+    pub fn remove_subtree(&mut self, id: CanvasNodeId) -> Result<(), CanvasError> {
+        self.check(id)?;
+        let mut stack = vec![id.0];
+        while let Some(n) = stack.pop() {
+            self.nodes[n].removed = true;
+            stack.extend(self.nodes[n].children.iter().copied());
+        }
+        if let Some(parent) = self.nodes[id.0].parent {
+            self.nodes[parent].children.retain(|&c| c != id.0);
+        }
+        if self.root == Some(id.0) {
+            self.root = None;
+        }
+        Ok(())
+    }
+
+    /// Marks the query order-sensitive.
+    pub fn set_ordered(&mut self, ordered: bool) {
+        self.ordered = ordered;
+    }
+
+    /// Number of live nodes on the canvas.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.removed).count()
+    }
+
+    /// True when the canvas has no live nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compiles the canvas to an executable pattern. Untyped nodes become
+    /// wildcards.
+    pub fn to_pattern(&self) -> Result<TwigPattern, CanvasError> {
+        let root = self.root.ok_or(CanvasError::Empty)?;
+        let test = |n: &CanvasNode| match &n.tag {
+            Some(t) => NodeTest::Tag(t.clone()),
+            None => NodeTest::Wildcard,
+        };
+        let mut pattern = TwigPattern::new(test(&self.nodes[root]), self.nodes[root].axis);
+        pattern.set_predicate(pattern.root(), self.nodes[root].predicate.clone());
+        pattern.set_output(pattern.root(), self.nodes[root].output);
+        pattern.set_ordered(self.ordered);
+        // DFS copying children in canvas order.
+        // Children are attached while their parent is processed, so the
+        // canvas sibling order is preserved regardless of stack order.
+        let mut stack = vec![(root, pattern.root())];
+        while let Some((cn, qn)) = stack.pop() {
+            for &child in &self.nodes[cn].children {
+                if self.nodes[child].removed {
+                    continue;
+                }
+                let c = &self.nodes[child];
+                let id = pattern.add_child(qn, c.axis, test(c));
+                pattern.set_predicate(id, c.predicate.clone());
+                pattern.set_output(id, c.output);
+                stack.push((child, id));
+            }
+        }
+        Ok(pattern)
+    }
+
+    /// The position context of a canvas node — what completion needs while
+    /// the user types into it.
+    pub fn context_of(&self, id: CanvasNodeId) -> Result<PositionContext, CanvasError> {
+        self.check(id)?;
+        let mut steps = Vec::new();
+        let mut cur = self.nodes[id.0].parent;
+        while let Some(n) = cur {
+            steps.push(ContextStep {
+                tag: self.nodes[n].tag.clone(),
+                axis: self.nodes[n].axis,
+            });
+            cur = self.nodes[n].parent;
+        }
+        steps.reverse();
+        Ok(PositionContext {
+            steps,
+            axis_to_focus: self.nodes[id.0].axis,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_compile_a_twig() {
+        let mut c = QueryCanvas::new();
+        let root = c.add_root().unwrap();
+        c.set_tag(root, "book").unwrap();
+        let title = c.add_node(root, Axis::Child).unwrap();
+        c.set_tag(title, "title").unwrap();
+        c.set_output(title, true).unwrap();
+        let author = c.add_node(root, Axis::Descendant).unwrap();
+        c.set_tag(author, "author").unwrap();
+        let p = c.to_pattern().unwrap();
+        assert_eq!(p.to_string(), "//book[/title!][//author]");
+    }
+
+    #[test]
+    fn untyped_nodes_compile_to_wildcards() {
+        let mut c = QueryCanvas::new();
+        let root = c.add_root().unwrap();
+        let child = c.add_node(root, Axis::Child).unwrap();
+        c.set_tag(child, "x").unwrap();
+        let p = c.to_pattern().unwrap();
+        assert_eq!(p.to_string(), "//*[/x]");
+        c.set_tag(root, "r").unwrap();
+        c.clear_tag(child).unwrap();
+        assert_eq!(c.to_pattern().unwrap().to_string(), "//r[/*]");
+    }
+
+    #[test]
+    fn canvas_guards_structure() {
+        let mut c = QueryCanvas::new();
+        assert_eq!(c.to_pattern().unwrap_err(), CanvasError::Empty);
+        let root = c.add_root().unwrap();
+        assert_eq!(c.add_root().unwrap_err(), CanvasError::SecondRoot);
+        let child = c.add_node(root, Axis::Child).unwrap();
+        c.remove_subtree(child).unwrap();
+        assert_eq!(c.set_tag(child, "x").unwrap_err(), CanvasError::NoSuchNode);
+    }
+
+    #[test]
+    fn remove_subtree_prunes_descendants() {
+        let mut c = QueryCanvas::new();
+        let root = c.add_root().unwrap();
+        c.set_tag(root, "a").unwrap();
+        let b = c.add_node(root, Axis::Child).unwrap();
+        let _d = c.add_node(b, Axis::Child).unwrap();
+        let e = c.add_node(root, Axis::Child).unwrap();
+        c.set_tag(e, "e").unwrap();
+        assert_eq!(c.len(), 4);
+        c.remove_subtree(b).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.to_pattern().unwrap().to_string(), "//a[/e]");
+    }
+
+    #[test]
+    fn context_reflects_partial_twig() {
+        let mut c = QueryCanvas::new();
+        let root = c.add_root().unwrap();
+        c.set_tag(root, "bib").unwrap();
+        let book = c.add_node(root, Axis::Child).unwrap();
+        c.set_tag(book, "book").unwrap();
+        let focus = c.add_node(book, Axis::Descendant).unwrap();
+        let ctx = c.context_of(focus).unwrap();
+        assert_eq!(ctx.steps.len(), 2);
+        assert_eq!(ctx.steps[1].tag.as_deref(), Some("book"));
+        assert_eq!(ctx.axis_to_focus, Axis::Descendant);
+        // An untyped ancestor appears as a wildcard step.
+        c.clear_tag(book).unwrap();
+        let ctx = c.context_of(focus).unwrap();
+        assert_eq!(ctx.steps[1].tag, None);
+    }
+
+    #[test]
+    fn predicates_and_order_survive_compilation() {
+        let mut c = QueryCanvas::new();
+        let root = c.add_root().unwrap();
+        c.set_tag(root, "book").unwrap();
+        let year = c.add_node(root, Axis::Child).unwrap();
+        c.set_tag(year, "year").unwrap();
+        c.set_predicate(
+            year,
+            Some(ValuePredicate::Range {
+                low: 2000.0,
+                high: f64::INFINITY,
+            }),
+        )
+        .unwrap();
+        c.set_ordered(true);
+        let p = c.to_pattern().unwrap();
+        assert!(p.is_ordered());
+        assert!(p.to_string().contains(">= 2000"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Multi-document corpora.
+//!
+//! The original demo serves several corpora (DBLP, XMark, …) behind one
+//! interface; [`Corpus`] mirrors that: named documents, each fully
+//! indexed, with twig and keyword search fanned out across all of them
+//! and results merged by score.
+
+use crate::engine::{LotusError, LotusX, SearchResult};
+use lotusx_xml::Document;
+
+/// One search result together with the document it came from.
+#[derive(Clone, Debug)]
+pub struct CorpusResult {
+    /// Name of the containing document.
+    pub document: String,
+    /// The result.
+    pub result: SearchResult,
+}
+
+/// A named collection of indexed documents.
+#[derive(Default)]
+pub struct Corpus {
+    systems: Vec<(String, LotusX)>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses and adds a document under `name`. Replaces any document
+    /// already stored under the same name.
+    pub fn add_str(&mut self, name: &str, xml: &str) -> Result<(), LotusError> {
+        let system = LotusX::load_str(xml)?;
+        self.insert(name, system);
+        Ok(())
+    }
+
+    /// Adds an already-parsed document under `name`.
+    pub fn add_document(&mut self, name: &str, doc: Document) {
+        self.insert(name, LotusX::load_document(doc));
+    }
+
+    fn insert(&mut self, name: &str, system: LotusX) {
+        if let Some(slot) = self.systems.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = system;
+        } else {
+            self.systems.push((name.to_string(), system));
+        }
+    }
+
+    /// Removes the document stored under `name`, if present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.systems.len();
+        self.systems.retain(|(n, _)| n != name);
+        self.systems.len() != before
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// True when the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.systems.is_empty()
+    }
+
+    /// Document names, in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.systems.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The engine for one document.
+    pub fn get(&self, name: &str) -> Option<&LotusX> {
+        self.systems
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Runs a twig query against every document, merging results by score.
+    /// Per-document rewriting applies: a document where the query is empty
+    /// contributes its best rewrite's results (scores are comparable
+    /// because every document uses the same scoring model).
+    pub fn search(&self, query: &str) -> Result<Vec<CorpusResult>, LotusError> {
+        let mut merged = Vec::new();
+        for (name, system) in &self.systems {
+            let outcome = system.search(query)?;
+            merged.extend(outcome.results.into_iter().map(|result| CorpusResult {
+                document: name.clone(),
+                result,
+            }));
+        }
+        sort_by_score(&mut merged);
+        Ok(merged)
+    }
+
+    /// Keyword search across every document, merged by score.
+    pub fn search_keywords(&self, query: &str) -> Vec<CorpusResult> {
+        let mut merged = Vec::new();
+        for (name, system) in &self.systems {
+            merged.extend(
+                system
+                    .search_keywords(query)
+                    .into_iter()
+                    .map(|result| CorpusResult {
+                        document: name.clone(),
+                        result,
+                    }),
+            );
+        }
+        sort_by_score(&mut merged);
+        merged
+    }
+}
+
+fn sort_by_score(results: &mut [CorpusResult]) {
+    results.sort_by(|a, b| {
+        b.result
+            .score
+            .partial_cmp(&a.result.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.document.cmp(&b.document))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_str(
+            "books",
+            "<bib><book><title>xml data</title><author>lu</author></book></bib>",
+        )
+        .unwrap();
+        c.add_str(
+            "papers",
+            "<proceedings><paper><title>twig joins on xml</title><author>bruno</author></paper>\
+             <paper><title>unrelated</title><author>smith</author></paper></proceedings>",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn registry_operations() {
+        let mut c = corpus();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.names(), vec!["books", "papers"]);
+        assert!(c.get("books").is_some());
+        assert!(c.get("nope").is_none());
+        assert!(c.remove("books"));
+        assert!(!c.remove("books"));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn add_replaces_same_name() {
+        let mut c = corpus();
+        c.add_str("books", "<bib><book><title>replaced</title></book></bib>")
+            .unwrap();
+        assert_eq!(c.len(), 2);
+        let hits = c.search("//book/title").unwrap();
+        let from_books: Vec<&CorpusResult> =
+            hits.iter().filter(|r| r.document == "books").collect();
+        assert_eq!(from_books.len(), 1);
+        assert!(from_books[0].result.snippet.contains("replaced"));
+    }
+
+    #[test]
+    fn twig_search_fans_out_and_merges() {
+        let c = corpus();
+        let hits = c.search("//title").unwrap();
+        assert_eq!(hits.len(), 3);
+        let docs: std::collections::HashSet<&str> =
+            hits.iter().map(|r| r.document.as_str()).collect();
+        assert_eq!(docs.len(), 2);
+        for w in hits.windows(2) {
+            assert!(w[0].result.score >= w[1].result.score);
+        }
+    }
+
+    #[test]
+    fn keyword_search_spans_documents() {
+        let c = corpus();
+        let hits = c.search_keywords("xml");
+        assert_eq!(hits.len(), 2, "one hit per document containing 'xml'");
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        let mut c = Corpus::new();
+        assert!(c.add_str("broken", "<a><b></a>").is_err());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn empty_corpus_searches_are_empty() {
+        let c = Corpus::new();
+        assert!(c.search("//x").unwrap().is_empty());
+        assert!(c.search_keywords("x").is_empty());
+    }
+}

@@ -1,0 +1,408 @@
+//! The LotusX engine: load, search, rank, rewrite.
+
+use lotusx_autocomplete::CompletionEngine;
+use lotusx_index::IndexedDocument;
+use lotusx_rank::{RankWeights, Ranker};
+use lotusx_rewrite::{Rewriter, RewriterConfig};
+use lotusx_twig::exec::{execute, Algorithm};
+use lotusx_twig::matcher::TwigMatch;
+use lotusx_twig::pattern::TwigPattern;
+use lotusx_twig::xpath::{parse_query, ParseError};
+use lotusx_xml::{Document, NodeId, SerializeOptions};
+use std::fmt;
+
+/// Errors surfaced by the engine.
+#[derive(Debug)]
+pub enum LotusError {
+    /// The XML input failed to parse.
+    Xml(lotusx_xml::Error),
+    /// The query text failed to parse.
+    Query(ParseError),
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// A binary snapshot could not be read or written.
+    Storage(String),
+}
+
+impl fmt::Display for LotusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LotusError::Xml(e) => write!(f, "XML error: {e}"),
+            LotusError::Query(e) => write!(f, "query error: {e}"),
+            LotusError::Io(e) => write!(f, "I/O error: {e}"),
+            LotusError::Storage(e) => write!(f, "snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LotusError {}
+
+impl From<lotusx_xml::Error> for LotusError {
+    fn from(e: lotusx_xml::Error) -> Self {
+        LotusError::Xml(e)
+    }
+}
+impl From<ParseError> for LotusError {
+    fn from(e: ParseError) -> Self {
+        LotusError::Query(e)
+    }
+}
+impl From<std::io::Error> for LotusError {
+    fn from(e: std::io::Error) -> Self {
+        LotusError::Io(e)
+    }
+}
+
+/// One ranked search result.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// The LotusScore (higher = better).
+    pub score: f64,
+    /// The full binding vector (query node index → element).
+    pub bindings: Vec<NodeId>,
+    /// Bindings of the pattern's output nodes.
+    pub output: Vec<NodeId>,
+    /// Serialized subtree of the first output node.
+    pub snippet: String,
+}
+
+/// The outcome of one search: ranked results plus rewrite provenance.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Ranked results (best first), truncated to the configured limit.
+    pub results: Vec<SearchResult>,
+    /// Total number of matches before truncation.
+    pub total_matches: usize,
+    /// If the original query was empty and a rewrite produced these
+    /// results: the rewritten query and what was changed.
+    pub rewrite: Option<RewriteInfo>,
+}
+
+/// Provenance of an automatic rewrite.
+#[derive(Clone, Debug)]
+pub struct RewriteInfo {
+    /// The query that was actually executed.
+    pub pattern: TwigPattern,
+    /// Total relaxation penalty.
+    pub cost: f64,
+    /// Human-readable descriptions of the applied operators.
+    pub ops: Vec<String>,
+}
+
+/// The LotusX system over one loaded document.
+pub struct LotusX {
+    idx: IndexedDocument,
+    /// `None` = pick per query via `lotusx_twig::select_algorithm`.
+    algorithm_override: Option<Algorithm>,
+    weights: RankWeights,
+    rewriter_config: RewriterConfig,
+    auto_rewrite: bool,
+    result_limit: usize,
+}
+
+impl LotusX {
+    /// Parses and indexes an XML string.
+    pub fn load_str(xml: &str) -> Result<Self, LotusError> {
+        Ok(Self::load_document(Document::parse_str(xml)?))
+    }
+
+    /// Reads, parses and indexes an XML file. Files with the `.ltsx`
+    /// extension are opened as LotusX binary snapshots instead.
+    pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<Self, LotusError> {
+        let path = path.as_ref();
+        if path.extension().is_some_and(|e| e == "ltsx") {
+            return Self::open_snapshot(path);
+        }
+        let xml = std::fs::read_to_string(path)?;
+        Self::load_str(&xml)
+    }
+
+    /// Saves the loaded document as a compact binary snapshot that
+    /// [`Self::open_snapshot`] (or `load_file` with a `.ltsx` path)
+    /// reopens without re-parsing XML.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), LotusError> {
+        lotusx_storage::save_document_file(self.idx.document(), path)
+            .map_err(|e| LotusError::Storage(e.to_string()))
+    }
+
+    /// Opens a binary snapshot written by [`Self::save_snapshot`].
+    pub fn open_snapshot(path: impl AsRef<std::path::Path>) -> Result<Self, LotusError> {
+        let doc = lotusx_storage::load_document_file(path)
+            .map_err(|e| LotusError::Storage(e.to_string()))?;
+        Ok(Self::load_document(doc))
+    }
+
+    /// Indexes an already-parsed document.
+    pub fn load_document(doc: Document) -> Self {
+        LotusX {
+            idx: IndexedDocument::build(doc),
+            algorithm_override: Some(Algorithm::TwigStack),
+            weights: RankWeights::default(),
+            rewriter_config: RewriterConfig::default(),
+            auto_rewrite: true,
+            result_limit: 100,
+        }
+    }
+
+    /// The underlying indexed document.
+    pub fn index(&self) -> &IndexedDocument {
+        &self.idx
+    }
+
+    /// Pins the join algorithm (default: TwigStack).
+    pub fn set_algorithm(&mut self, algorithm: Algorithm) {
+        self.algorithm_override = Some(algorithm);
+    }
+
+    /// Lets the engine pick an algorithm per query from its shape and the
+    /// streams' selectivity (see `lotusx_twig::select_algorithm`).
+    pub fn set_auto_algorithm(&mut self) {
+        self.algorithm_override = None;
+    }
+
+    /// The pinned join algorithm, if any.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm_override.unwrap_or(Algorithm::TwigStack)
+    }
+
+    fn algorithm_for(&self, pattern: &TwigPattern) -> Algorithm {
+        self.algorithm_override
+            .unwrap_or_else(|| lotusx_twig::select_algorithm(&self.idx, pattern))
+    }
+
+    /// Sets the ranking weights.
+    pub fn set_rank_weights(&mut self, weights: RankWeights) {
+        self.weights = weights;
+    }
+
+    /// Enables/disables automatic rewriting of empty-result queries.
+    pub fn set_auto_rewrite(&mut self, on: bool) {
+        self.auto_rewrite = on;
+    }
+
+    /// Sets how many ranked results a search returns (default 100).
+    pub fn set_result_limit(&mut self, limit: usize) {
+        self.result_limit = limit;
+    }
+
+    /// Parses and runs a textual query.
+    pub fn search(&self, query: &str) -> Result<SearchOutcome, LotusError> {
+        Ok(self.search_pattern(&parse_query(query)?))
+    }
+
+    /// Runs a twig pattern: execute → (rewrite if empty) → rank.
+    pub fn search_pattern(&self, pattern: &TwigPattern) -> SearchOutcome {
+        let matches = execute(&self.idx, pattern, self.algorithm_for(pattern));
+        if !matches.is_empty() || !self.auto_rewrite {
+            return self.finish(pattern, matches, None);
+        }
+        // Empty: try rewriting.
+        let rewriter =
+            Rewriter::with(&self.idx, lotusx_rewrite::SynonymTable::default_table(), self.rewriter_config);
+        let rewrites = rewriter.rewrite(pattern);
+        match rewrites.into_iter().next() {
+            Some(best) => {
+                let matches =
+                    execute(&self.idx, &best.pattern, self.algorithm_for(&best.pattern));
+                let info = RewriteInfo {
+                    pattern: best.pattern.clone(),
+                    cost: best.cost,
+                    ops: best.ops,
+                };
+                self.finish(&best.pattern, matches, Some(info))
+            }
+            None => self.finish(pattern, Vec::new(), None),
+        }
+    }
+
+    fn finish(
+        &self,
+        pattern: &TwigPattern,
+        matches: Vec<TwigMatch>,
+        rewrite: Option<RewriteInfo>,
+    ) -> SearchOutcome {
+        let total_matches = matches.len();
+        let ranker = Ranker::with_weights(&self.idx, self.weights);
+        let ranked = ranker.rank(pattern, matches);
+        let doc = self.idx.document();
+        let results = ranked
+            .into_iter()
+            .take(self.result_limit)
+            .map(|sm| {
+                let output = sm.m.project(pattern);
+                let snippet = output
+                    .first()
+                    .map(|&n| doc.serialize(n, SerializeOptions::default()))
+                    .unwrap_or_default();
+                SearchResult {
+                    score: sm.score,
+                    bindings: sm.m.bindings,
+                    output,
+                    snippet,
+                }
+            })
+            .collect();
+        SearchOutcome {
+            results,
+            total_matches,
+            rewrite,
+        }
+    }
+
+    /// A position-aware completion engine over this document.
+    pub fn completion_engine(&self) -> CompletionEngine<'_> {
+        CompletionEngine::new(&self.idx)
+    }
+
+    /// Free-text keyword search: ranked smallest subtrees (SLCA) covering
+    /// every query term — the zero-knowledge entry point for users who
+    /// haven't placed a single node on the canvas yet.
+    pub fn search_keywords(&self, query: &str) -> Vec<SearchResult> {
+        let engine = lotusx_keyword::KeywordEngine::new(&self.idx);
+        let doc = self.idx.document();
+        engine
+            .search(query)
+            .into_iter()
+            .take(self.result_limit)
+            .map(|hit| SearchResult {
+                score: hit.score,
+                bindings: vec![hit.node],
+                output: vec![hit.node],
+                snippet: doc.serialize(hit.node, SerializeOptions::default()),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = "<bib>\
+        <book><title>Data on the Web</title><author>Abiteboul</author><year>1999</year></book>\
+        <book><title>XML Handbook</title><author>Goldfarb</author><year>2003</year></book>\
+        <article><title>TwigStack</title><author>Bruno</author><year>2002</year></article>\
+    </bib>";
+
+    #[test]
+    fn search_returns_ranked_results_with_snippets() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let outcome = system.search("//book/title").unwrap();
+        assert_eq!(outcome.total_matches, 2);
+        assert_eq!(outcome.results.len(), 2);
+        assert!(outcome.rewrite.is_none());
+        assert!(outcome.results[0].snippet.starts_with("<title>"));
+        assert!(outcome.results[0].score >= outcome.results[1].score);
+    }
+
+    #[test]
+    fn empty_query_triggers_auto_rewrite() {
+        let system = LotusX::load_str(BIB).unwrap();
+        // "writer" is a synonym of "author".
+        let outcome = system.search("//book/writer").unwrap();
+        assert!(outcome.total_matches > 0);
+        let info = outcome.rewrite.expect("rewrite applied");
+        assert!(info.pattern.to_string().contains("author"));
+        assert!(info.cost > 0.0);
+        assert!(!info.ops.is_empty());
+    }
+
+    #[test]
+    fn auto_rewrite_can_be_disabled() {
+        let mut system = LotusX::load_str(BIB).unwrap();
+        system.set_auto_rewrite(false);
+        let outcome = system.search("//book/writer").unwrap();
+        assert_eq!(outcome.total_matches, 0);
+        assert!(outcome.rewrite.is_none());
+    }
+
+    #[test]
+    fn result_limit_truncates_but_total_is_kept() {
+        let mut system = LotusX::load_str(BIB).unwrap();
+        system.set_result_limit(1);
+        let outcome = system.search("//author").unwrap();
+        assert_eq!(outcome.total_matches, 3);
+        assert_eq!(outcome.results.len(), 1);
+    }
+
+    #[test]
+    fn algorithms_are_switchable() {
+        let mut system = LotusX::load_str(BIB).unwrap();
+        let reference = system.search("//book[author]/title").unwrap().total_matches;
+        for algo in Algorithm::ALL {
+            system.set_algorithm(algo);
+            assert_eq!(
+                system.search("//book[author]/title").unwrap().total_matches,
+                reference,
+                "{algo}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_inputs_surface_errors() {
+        assert!(matches!(LotusX::load_str("<a><b></a>"), Err(LotusError::Xml(_))));
+        let system = LotusX::load_str(BIB).unwrap();
+        assert!(matches!(system.search("//book["), Err(LotusError::Query(_))));
+        assert!(matches!(LotusX::load_file("/nonexistent/path.xml"), Err(LotusError::Io(_))));
+    }
+
+    #[test]
+    fn output_marker_projects_results() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let outcome = system.search("//book[author!]/title").unwrap();
+        assert!(outcome.results[0].snippet.starts_with("<author>"));
+    }
+
+    #[test]
+    fn auto_algorithm_matches_pinned_results() {
+        let mut system = LotusX::load_str(BIB).unwrap();
+        let pinned = system.search("//book[title][author]").unwrap().total_matches;
+        system.set_auto_algorithm();
+        assert_eq!(
+            system.search("//book[title][author]").unwrap().total_matches,
+            pinned
+        );
+        assert_eq!(system.algorithm(), Algorithm::TwigStack, "reported default");
+    }
+
+    #[test]
+    fn snapshot_save_and_reopen() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let dir = std::env::temp_dir().join("lotusx-engine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bib.ltsx");
+        system.save_snapshot(&path).unwrap();
+        let reopened = LotusX::load_file(&path).unwrap();
+        assert_eq!(
+            reopened.search("//book/title").unwrap().total_matches,
+            system.search("//book/title").unwrap().total_matches
+        );
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            LotusX::open_snapshot("/nonexistent.ltsx"),
+            Err(LotusError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn keyword_search_through_engine() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let hits = system.search_keywords("twigstack bruno");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].snippet.starts_with("<article>"));
+        assert!(system.search_keywords("").is_empty());
+        // Result limit applies.
+        let mut limited = LotusX::load_str(BIB).unwrap();
+        limited.set_result_limit(1);
+        assert!(limited.search_keywords("title").len() <= 1);
+    }
+
+    #[test]
+    fn ordered_query_through_engine() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let unordered = system.search("//book[title][year]").unwrap();
+        let ordered = system.search("ordered //book[title][year]").unwrap();
+        assert!(ordered.total_matches <= unordered.total_matches);
+    }
+}

@@ -1,0 +1,350 @@
+//! Strong DataGuide structural summary (Goldman & Widom, VLDB 1997).
+//!
+//! Every distinct root-to-node *tag path* of the document becomes exactly
+//! one guide node, annotated with the number of document elements sharing
+//! that path. The guide is typically minuscule compared to the document
+//! (hundreds of nodes for millions of elements), which makes it the perfect
+//! oracle for LotusX's two position-aware questions:
+//!
+//! 1. *auto-completion*: "which tags can occur at this position of the
+//!    partial twig?" — answered by walking the guide instead of the data;
+//! 2. *rewriting*: "can this twig match anything at all?" — a twig is
+//!    structurally satisfiable iff it matches the guide tree.
+
+use lotusx_xml::{Document, NodeId, Symbol};
+use std::collections::HashMap;
+
+/// Index of a node within a [`DataGuide`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GuideNodeId(u32);
+
+impl GuideNodeId {
+    /// The virtual guide root (corresponding to the document node).
+    pub const ROOT: GuideNodeId = GuideNodeId(0);
+
+    /// Dense index of this guide node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from an index previously obtained via
+    /// [`GuideNodeId::index`] on the same guide.
+    pub fn from_index(index: usize) -> Self {
+        GuideNodeId(index as u32)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct GuideNode {
+    tag: Option<Symbol>,
+    parent: Option<GuideNodeId>,
+    children: Vec<(Symbol, GuideNodeId)>,
+    count: u64,
+    depth: u16,
+}
+
+/// The structural summary.
+#[derive(Clone, Debug)]
+pub struct DataGuide {
+    nodes: Vec<GuideNode>,
+}
+
+impl DataGuide {
+    /// Builds the DataGuide of `doc` in one traversal.
+    pub fn from_document(doc: &Document) -> Self {
+        let mut guide = DataGuide {
+            nodes: vec![GuideNode {
+                tag: None,
+                parent: None,
+                children: Vec::new(),
+                count: 1,
+                depth: 0,
+            }],
+        };
+        // DFS over (document node, guide node) pairs.
+        let mut stack: Vec<(NodeId, GuideNodeId)> = vec![(NodeId::DOCUMENT, GuideNodeId::ROOT)];
+        while let Some((node, gnode)) = stack.pop() {
+            for child in doc.element_children(node) {
+                let tag = doc.tag(child).expect("element");
+                let gchild = guide.child_or_insert(gnode, tag);
+                guide.nodes[gchild.index()].count += 1;
+                stack.push((child, gchild));
+            }
+        }
+        // Construction initializes counts to 0 via child_or_insert; the
+        // root was seeded with 1 representing the single document node.
+        guide
+    }
+
+    fn child_or_insert(&mut self, parent: GuideNodeId, tag: Symbol) -> GuideNodeId {
+        if let Some(existing) = self.child_by_tag(parent, tag) {
+            return existing;
+        }
+        let id = GuideNodeId(self.nodes.len() as u32);
+        let depth = self.nodes[parent.index()].depth + 1;
+        self.nodes.push(GuideNode {
+            tag: Some(tag),
+            parent: Some(parent),
+            children: Vec::new(),
+            count: 0,
+            depth,
+        });
+        self.nodes[parent.index()].children.push((tag, id));
+        id
+    }
+
+    /// The guide child of `parent` labelled `tag`.
+    pub fn child_by_tag(&self, parent: GuideNodeId, tag: Symbol) -> Option<GuideNodeId> {
+        self.nodes[parent.index()]
+            .children
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, id)| *id)
+    }
+
+    /// The tag of a guide node (`None` for the root).
+    pub fn tag(&self, id: GuideNodeId) -> Option<Symbol> {
+        self.nodes[id.index()].tag
+    }
+
+    /// The parent of a guide node.
+    pub fn parent(&self, id: GuideNodeId) -> Option<GuideNodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Number of document elements sharing this guide node's path.
+    pub fn count(&self, id: GuideNodeId) -> u64 {
+        self.nodes[id.index()].count
+    }
+
+    /// Depth of the guide node (root = 0, root element = 1).
+    pub fn depth(&self, id: GuideNodeId) -> u16 {
+        self.nodes[id.index()].depth
+    }
+
+    /// Child guide nodes of `id` with their tags.
+    pub fn children(&self, id: GuideNodeId) -> &[(Symbol, GuideNodeId)] {
+        &self.nodes[id.index()].children
+    }
+
+    /// All guide nodes in the subtree of `id`, including `id`.
+    pub fn descendants_or_self(&self, id: GuideNodeId) -> Vec<GuideNodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &(_, c) in self.children(n) {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All guide nodes whose tag is `tag`.
+    pub fn nodes_with_tag(&self, tag: Symbol) -> Vec<GuideNodeId> {
+        (0..self.nodes.len())
+            .map(|i| GuideNodeId(i as u32))
+            .filter(|id| self.tag(*id) == Some(tag))
+            .collect()
+    }
+
+    /// The guide node for an exact root-to-node tag path, if present.
+    pub fn lookup_path(&self, path: &[Symbol]) -> Option<GuideNodeId> {
+        let mut cur = GuideNodeId::ROOT;
+        for &tag in path {
+            cur = self.child_by_tag(cur, tag)?;
+        }
+        Some(cur)
+    }
+
+    /// Distinct tags of children of `id` together with how many document
+    /// elements each corresponds to (sorted by count descending).
+    pub fn child_tag_counts(&self, id: GuideNodeId) -> Vec<(Symbol, u64)> {
+        let mut out: Vec<(Symbol, u64)> = self
+            .children(id)
+            .iter()
+            .map(|&(tag, c)| (tag, self.count(c)))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Distinct tags occurring anywhere strictly below `id`, with their
+    /// total element counts (sorted by count descending).
+    pub fn descendant_tag_counts(&self, id: GuideNodeId) -> Vec<(Symbol, u64)> {
+        let mut acc: HashMap<Symbol, u64> = HashMap::new();
+        for n in self.descendants_or_self(id) {
+            if n == id {
+                continue;
+            }
+            if let Some(tag) = self.tag(n) {
+                *acc.entry(tag).or_insert(0) += self.count(n);
+            }
+        }
+        let mut out: Vec<(Symbol, u64)> = acc.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of guide nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum path depth in the guide.
+    pub fn max_depth(&self) -> u16 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Materializes the guide as a small [`Document`] (one element per guide
+    /// node). Used by the rewriter: a twig is structurally satisfiable on
+    /// the data iff it matches this document.
+    pub fn to_document(&self, symbols: &lotusx_xml::SymbolTable) -> Document {
+        let mut doc = Document::new();
+        let mut map: Vec<NodeId> = vec![NodeId::DOCUMENT; self.nodes.len()];
+        // Guide nodes were pushed parent-before-child, so a forward sweep
+        // can attach each node to its already-materialized parent.
+        for i in 1..self.nodes.len() {
+            let gid = GuideNodeId(i as u32);
+            let tag = self.tag(gid).expect("non-root guide nodes have tags");
+            let parent = map[self.parent(gid).expect("non-root").index()];
+            map[i] = doc.append_element(parent, symbols.resolve(tag));
+        }
+        doc
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<GuideNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.capacity() * std::mem::size_of::<(Symbol, GuideNodeId)>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<bib>\
+               <book><title>a</title><author>x</author><author>y</author></book>\
+               <book><title>b</title></book>\
+               <article><title>c</title><author>z</author></article>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    fn sym(d: &Document, t: &str) -> Symbol {
+        d.symbols().get(t).unwrap()
+    }
+
+    #[test]
+    fn one_guide_node_per_distinct_path() {
+        let d = doc();
+        let g = DataGuide::from_document(&d);
+        // Paths: root, bib, bib/book, bib/book/title, bib/book/author,
+        //        bib/article, bib/article/title, bib/article/author
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.max_depth(), 3);
+    }
+
+    #[test]
+    fn counts_aggregate_elements_per_path() {
+        let d = doc();
+        let g = DataGuide::from_document(&d);
+        let book_path = g
+            .lookup_path(&[sym(&d, "bib"), sym(&d, "book")])
+            .unwrap();
+        assert_eq!(g.count(book_path), 2);
+        let book_author = g
+            .lookup_path(&[sym(&d, "bib"), sym(&d, "book"), sym(&d, "author")])
+            .unwrap();
+        assert_eq!(g.count(book_author), 2);
+        let art_author = g
+            .lookup_path(&[sym(&d, "bib"), sym(&d, "article"), sym(&d, "author")])
+            .unwrap();
+        assert_eq!(g.count(art_author), 1);
+    }
+
+    #[test]
+    fn lookup_of_absent_path_fails() {
+        let d = doc();
+        let g = DataGuide::from_document(&d);
+        assert!(g
+            .lookup_path(&[sym(&d, "bib"), sym(&d, "author")])
+            .is_none());
+    }
+
+    #[test]
+    fn child_tags_sorted_by_count() {
+        let d = doc();
+        let g = DataGuide::from_document(&d);
+        let bib = g.lookup_path(&[sym(&d, "bib")]).unwrap();
+        let children = g.child_tag_counts(bib);
+        let names: Vec<(&str, u64)> = children
+            .iter()
+            .map(|(s, c)| (d.symbols().resolve(*s), *c))
+            .collect();
+        assert_eq!(names, vec![("book", 2), ("article", 1)]);
+    }
+
+    #[test]
+    fn descendant_tags_aggregate_across_paths() {
+        let d = doc();
+        let g = DataGuide::from_document(&d);
+        let bib = g.lookup_path(&[sym(&d, "bib")]).unwrap();
+        let descendants = g.descendant_tag_counts(bib);
+        let map: std::collections::HashMap<&str, u64> = descendants
+            .iter()
+            .map(|(s, c)| (d.symbols().resolve(*s), *c))
+            .collect();
+        assert_eq!(map["title"], 3);
+        assert_eq!(map["author"], 3);
+        assert_eq!(map["book"], 2);
+    }
+
+    #[test]
+    fn nodes_with_tag_finds_all_contexts() {
+        let d = doc();
+        let g = DataGuide::from_document(&d);
+        assert_eq!(g.nodes_with_tag(sym(&d, "title")).len(), 2);
+        assert_eq!(g.nodes_with_tag(sym(&d, "bib")).len(), 1);
+    }
+
+    #[test]
+    fn to_document_materializes_every_path_once() {
+        let d = doc();
+        let g = DataGuide::from_document(&d);
+        let gd = g.to_document(d.symbols());
+        assert_eq!(gd.element_count(), g.node_count() - 1);
+        // The guide document contains the path bib/book/title exactly once.
+        let bib = gd.root_element().unwrap();
+        assert_eq!(gd.tag_name(bib), Some("bib"));
+        let books: Vec<NodeId> = gd
+            .element_children(bib)
+            .filter(|&c| gd.tag_name(c) == Some("book"))
+            .collect();
+        assert_eq!(books.len(), 1);
+    }
+
+    #[test]
+    fn guide_is_small_relative_to_repetitive_documents() {
+        let mut xml = String::from("<bib>");
+        for i in 0..500 {
+            xml.push_str(&format!("<book><title>t{i}</title></book>"));
+        }
+        xml.push_str("</bib>");
+        let d = Document::parse_str(&xml).unwrap();
+        let g = DataGuide::from_document(&d);
+        assert_eq!(g.node_count(), 4); // root, bib, book, title
+        assert_eq!(
+            g.count(g.lookup_path(&[sym(&d, "bib"), sym(&d, "book")]).unwrap()),
+            500
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # lotusx-index
+//!
+//! The index layer of LotusX. One pass over a parsed document builds:
+//!
+//! * [`tag_index::TagIndex`] — per-tag, document-ordered element streams
+//!   (the inputs of structural and holistic twig joins);
+//! * [`value_index::ValueIndex`] — tokenized term postings with term
+//!   frequencies, an exact-value index, and a numeric index for range
+//!   predicates;
+//! * [`trie::Trie`] — a from-scratch byte trie with best-first top-k
+//!   completion (tags and content terms each get one);
+//! * [`dataguide::DataGuide`] — a strong DataGuide structural summary,
+//!   the engine behind *position-aware* candidate filtering and
+//!   satisfiability pruning;
+//! * [`stats::Stats`] — corpus statistics used by ranking.
+//!
+//! [`IndexedDocument`] bundles the document, its labels and all indexes.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod dataguide;
+pub mod stats;
+pub mod tag_index;
+pub mod trie;
+pub mod value_index;
+
+pub use builder::IndexedDocument;
+pub use dataguide::{DataGuide, GuideNodeId};
+pub use stats::Stats;
+pub use tag_index::{ElementEntry, TagIndex, TagStream};
+pub use trie::{Trie, TrieCursor};
+pub use value_index::{tokenize, ValueIndex};

@@ -1,0 +1,354 @@
+//! A from-scratch byte trie with best-first top-k completion.
+//!
+//! Every terminal carries a `u32` payload (a tag symbol index or a term id)
+//! and a weight (its corpus frequency). Each trie node caches the maximum
+//! terminal weight in its subtree so that top-k completion can run
+//! best-first and stop after emitting `k` results, independent of how many
+//! other completions exist. [`TrieCursor`] supports the per-keystroke
+//! narrowing of an auto-completion session.
+
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Debug, Default)]
+struct TrieNode {
+    /// Sorted outgoing edges (byte → child index).
+    children: Vec<(u8, u32)>,
+    /// Payload and weight if a key terminates here.
+    terminal: Option<(u32, u64)>,
+    /// Maximum terminal weight anywhere in this subtree.
+    best: u64,
+}
+
+/// A completion produced by the trie.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The full key.
+    pub key: String,
+    /// The terminal payload.
+    pub payload: u32,
+    /// The terminal weight (corpus frequency).
+    pub weight: u64,
+}
+
+/// The byte trie.
+#[derive(Clone, Debug)]
+pub struct Trie {
+    nodes: Vec<TrieNode>,
+    key_count: usize,
+}
+
+impl Default for Trie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A position inside the trie, used for incremental keystroke narrowing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrieCursor {
+    node: u32,
+}
+
+impl Trie {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Trie {
+            nodes: vec![TrieNode::default()],
+            key_count: 0,
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.key_count
+    }
+
+    /// True if no key was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.key_count == 0
+    }
+
+    /// Number of trie nodes (for size reporting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<TrieNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.capacity() * std::mem::size_of::<(u8, u32)>())
+                .sum::<usize>()
+    }
+
+    fn child(&self, node: u32, byte: u8) -> Option<u32> {
+        let edges = &self.nodes[node as usize].children;
+        edges
+            .binary_search_by_key(&byte, |(b, _)| *b)
+            .ok()
+            .map(|i| edges[i].1)
+    }
+
+    /// Inserts `key` with `payload` and `weight`; replaces the weight if the
+    /// key already exists (keeping the max payload consistent).
+    pub fn insert(&mut self, key: &str, payload: u32, weight: u64) {
+        let mut node = 0u32;
+        let mut path = vec![0u32];
+        for &byte in key.as_bytes() {
+            node = match self.child(node, byte) {
+                Some(c) => c,
+                None => {
+                    let new_idx = self.nodes.len() as u32;
+                    self.nodes.push(TrieNode::default());
+                    let edges = &mut self.nodes[node as usize].children;
+                    let pos = edges.partition_point(|(b, _)| *b < byte);
+                    edges.insert(pos, (byte, new_idx));
+                    new_idx
+                }
+            };
+            path.push(node);
+        }
+        if self.nodes[node as usize].terminal.is_none() {
+            self.key_count += 1;
+        }
+        self.nodes[node as usize].terminal = Some((payload, weight));
+        // Refresh `best` along the path.
+        for &n in path.iter().rev() {
+            let node_ref = &self.nodes[n as usize];
+            let mut best = node_ref.terminal.map(|(_, w)| w).unwrap_or(0);
+            for &(_, c) in &node_ref.children {
+                best = best.max(self.nodes[c as usize].best);
+            }
+            self.nodes[n as usize].best = best;
+        }
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, key: &str) -> Option<(u32, u64)> {
+        let cursor = self.cursor_at(key)?;
+        self.nodes[cursor.node as usize].terminal
+    }
+
+    /// Cursor at the trie root (empty prefix).
+    pub fn root_cursor(&self) -> TrieCursor {
+        TrieCursor { node: 0 }
+    }
+
+    /// Cursor at `prefix`, or `None` if no key starts with it.
+    pub fn cursor_at(&self, prefix: &str) -> Option<TrieCursor> {
+        let mut node = 0u32;
+        for &byte in prefix.as_bytes() {
+            node = self.child(node, byte)?;
+        }
+        Some(TrieCursor { node })
+    }
+
+    /// Advances a cursor by one byte (one keystroke).
+    pub fn descend(&self, cursor: TrieCursor, byte: u8) -> Option<TrieCursor> {
+        self.child(cursor.node, byte).map(|node| TrieCursor { node })
+    }
+
+    /// Top-k completions under `prefix`, heaviest first; ties broken by key.
+    pub fn complete(&self, prefix: &str, k: usize) -> Vec<Completion> {
+        match self.cursor_at(prefix) {
+            Some(cursor) => self.complete_from(cursor, prefix, k),
+            None => Vec::new(),
+        }
+    }
+
+    /// Top-k completions from an existing cursor; `prefix` is the text the
+    /// cursor was reached with (prepended to emitted keys).
+    pub fn complete_from(&self, cursor: TrieCursor, prefix: &str, k: usize) -> Vec<Completion> {
+        // Best-first search: a max-heap of frontier entries ordered by the
+        // subtree's best weight; terminals are emitted when popped with a
+        // weight no smaller than anything still on the frontier.
+        #[derive(PartialEq, Eq)]
+        struct Frontier {
+            priority: u64,
+            // None = an unexpanded subtree; Some = a ready-to-emit terminal.
+            terminal: Option<(u32, u64)>,
+            node: u32,
+            // Key bytes; only terminal keys are complete UTF-8 sequences.
+            key: Vec<u8>,
+        }
+        impl Ord for Frontier {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.priority
+                    .cmp(&other.priority)
+                    // Prefer shorter/lexicographically smaller keys on ties
+                    // (BinaryHeap is a max-heap, so reverse the key order).
+                    .then_with(|| other.key.cmp(&self.key))
+            }
+        }
+        impl PartialOrd for Frontier {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut out = Vec::new();
+        if k == 0 {
+            return out;
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Frontier {
+            priority: self.nodes[cursor.node as usize].best,
+            terminal: None,
+            node: cursor.node,
+            key: prefix.as_bytes().to_vec(),
+        });
+        while let Some(entry) = heap.pop() {
+            match entry.terminal {
+                Some((payload, weight)) => {
+                    out.push(Completion {
+                        key: String::from_utf8(entry.key)
+                            .expect("inserted keys are valid UTF-8"),
+                        payload,
+                        weight,
+                    });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                None => {
+                    let node = &self.nodes[entry.node as usize];
+                    if let Some((payload, weight)) = node.terminal {
+                        heap.push(Frontier {
+                            priority: weight,
+                            terminal: Some((payload, weight)),
+                            node: entry.node,
+                            key: entry.key.clone(),
+                        });
+                    }
+                    for &(byte, child) in &node.children {
+                        let mut key = entry.key.clone();
+                        key.push(byte);
+                        heap.push(Frontier {
+                            priority: self.nodes[child as usize].best,
+                            terminal: None,
+                            node: child,
+                            key,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All completions under `prefix` (unbounded; document order of keys).
+    pub fn complete_all(&self, prefix: &str) -> Vec<Completion> {
+        self.complete(prefix, usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trie {
+        let mut t = Trie::new();
+        t.insert("author", 0, 50);
+        t.insert("article", 1, 80);
+        t.insert("art", 2, 10);
+        t.insert("book", 3, 70);
+        t.insert("booktitle", 4, 20);
+        t
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let t = sample();
+        assert_eq!(t.get("book"), Some((3, 70)));
+        assert_eq!(t.get("boo"), None);
+        assert_eq!(t.get("bookt"), None);
+        assert_eq!(t.get("missing"), None);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn insert_replaces_existing_key() {
+        let mut t = sample();
+        t.insert("book", 3, 99);
+        assert_eq!(t.get("book"), Some((3, 99)));
+        assert_eq!(t.len(), 5, "no new key added");
+        // The new weight propagates to completion order.
+        let top = t.complete("", 1);
+        assert_eq!(top[0].key, "book");
+    }
+
+    #[test]
+    fn completion_orders_by_weight() {
+        let t = sample();
+        let completions = t.complete("a", 10);
+        let keys: Vec<&str> = completions.iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(keys, vec!["article", "author", "art"]);
+    }
+
+    #[test]
+    fn completion_respects_k() {
+        let t = sample();
+        let top2 = t.complete("", 2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].key, "article");
+        assert_eq!(top2[1].key, "book");
+    }
+
+    #[test]
+    fn prefix_that_is_itself_a_key_is_included() {
+        let t = sample();
+        let completions = t.complete("art", 10);
+        let keys: Vec<&str> = completions.iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(keys, vec!["article", "art"]);
+    }
+
+    #[test]
+    fn missing_prefix_gives_no_completions() {
+        let t = sample();
+        assert!(t.complete("zzz", 5).is_empty());
+        assert!(t.cursor_at("zzz").is_none());
+    }
+
+    #[test]
+    fn cursor_narrowing_matches_fresh_prefix_queries() {
+        let t = sample();
+        let mut cursor = t.root_cursor();
+        for (i, byte) in "boo".bytes().enumerate() {
+            cursor = t.descend(cursor, byte).unwrap();
+            let prefix = &"boo"[..=i];
+            assert_eq!(
+                t.complete_from(cursor, prefix, 10),
+                t.complete(prefix, 10),
+                "prefix {prefix}"
+            );
+        }
+        assert!(t.descend(cursor, b'z').is_none());
+    }
+
+    #[test]
+    fn complete_all_enumerates_everything() {
+        let t = sample();
+        assert_eq!(t.complete_all("").len(), 5);
+        assert_eq!(t.complete_all("b").len(), 2);
+    }
+
+    #[test]
+    fn ties_broken_lexicographically() {
+        let mut t = Trie::new();
+        t.insert("beta", 0, 5);
+        t.insert("alpha", 1, 5);
+        let completions = t.complete("", 2);
+        let keys: Vec<&str> = completions.iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(keys, vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn empty_trie_behaves() {
+        let t = Trie::new();
+        assert!(t.is_empty());
+        assert!(t.complete("", 3).is_empty());
+        assert_eq!(t.cursor_at(""), Some(t.root_cursor()));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: the indexed SLCA algorithm agrees with the bitmask
+//! ground truth on random documents and keyword sets, and the classic
+//! set relations (SLCA ⊆ ELCA, anti-chain property) always hold.
+
+use lotusx_index::IndexedDocument;
+use lotusx_keyword::{bitmask, indexed};
+use lotusx_xml::{Document, NodeId};
+use proptest::prelude::*;
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+const WORDS: [&str; 5] = ["k1", "k2", "k3", "k4", "k5"];
+
+#[derive(Clone, Debug)]
+struct GenTree {
+    tag: usize,
+    words: Vec<usize>,
+    children: Vec<GenTree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = GenTree> {
+    let leaf = ((0usize..TAGS.len()), prop::collection::vec(0usize..WORDS.len(), 0..3))
+        .prop_map(|(tag, words)| GenTree {
+            tag,
+            words,
+            children: vec![],
+        });
+    leaf.prop_recursive(5, 60, 4, |inner| {
+        (
+            (0usize..TAGS.len()),
+            prop::collection::vec(0usize..WORDS.len(), 0..2),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, words, children)| GenTree {
+                tag,
+                words,
+                children,
+            })
+    })
+}
+
+fn build(doc: &mut Document, parent: NodeId, t: &GenTree) {
+    let e = doc.append_element(parent, TAGS[t.tag]);
+    if !t.words.is_empty() {
+        let text: Vec<&str> = t.words.iter().map(|&w| WORDS[w]).collect();
+        doc.append_text(e, text.join(" "));
+    }
+    for c in &t.children {
+        build(doc, e, c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn indexed_slca_matches_bitmask(root in tree_strategy(),
+                                    kw_mask in 1usize..(1 << WORDS.len())) {
+        let mut doc = Document::new();
+        build(&mut doc, NodeId::DOCUMENT, &root);
+        let idx = IndexedDocument::build(doc);
+        let keywords: Vec<&str> = WORDS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| kw_mask & (1 << i) != 0)
+            .map(|(_, w)| *w)
+            .collect();
+
+        let mut truth = bitmask::slca(&idx, &keywords);
+        truth.sort();
+        let got = indexed::slca_indexed(&idx, &keywords);
+        prop_assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn slca_answers_form_an_antichain_and_subset_elca(root in tree_strategy(),
+                                                      kw_mask in 1usize..(1 << WORDS.len())) {
+        let mut doc = Document::new();
+        build(&mut doc, NodeId::DOCUMENT, &root);
+        let idx = IndexedDocument::build(doc);
+        let keywords: Vec<&str> = WORDS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| kw_mask & (1 << i) != 0)
+            .map(|(_, w)| *w)
+            .collect();
+
+        let slca = bitmask::slca(&idx, &keywords);
+        let elca = bitmask::elca(&idx, &keywords);
+        let labels = idx.labels();
+        // No SLCA answer is an ancestor of another.
+        for &x in &slca {
+            for &y in &slca {
+                if x != y {
+                    prop_assert!(!labels.is_ancestor(x, y), "{x:?} contains {y:?}");
+                }
+            }
+            // Every SLCA is an ELCA.
+            prop_assert!(elca.contains(&x));
+            // Every answer actually contains all keywords.
+            let text = idx.document().full_text(x).to_lowercase();
+            let attrs: String = idx
+                .document()
+                .descendants_or_self(x)
+                .flat_map(|n| idx.document().attributes(n))
+                .map(|(_, v)| format!(" {v}"))
+                .collect();
+            for kw in &keywords {
+                prop_assert!(
+                    text.contains(kw) || attrs.to_lowercase().contains(kw),
+                    "answer lacks {kw}"
+                );
+            }
+        }
+    }
+}

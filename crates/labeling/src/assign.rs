@@ -1,0 +1,251 @@
+//! One-pass assignment of all label families over a document.
+
+use crate::dewey::DeweyLabel;
+use crate::extended_dewey::{assign_extended_dewey, ExtendedDeweyLabel, TagFst};
+use crate::region::RegionLabel;
+use lotusx_xml::{Document, NodeId};
+
+/// All positional labels for one document, indexed by [`NodeId`].
+///
+/// ```
+/// use lotusx_xml::Document;
+/// use lotusx_labeling::DocumentLabels;
+///
+/// let doc = Document::parse_str("<a><b/><c/></a>").unwrap();
+/// let labels = DocumentLabels::compute(&doc);
+/// let a = doc.root_element().unwrap();
+/// let b = doc.element_children(a).next().unwrap();
+/// assert!(labels.region(a).is_parent_of(&labels.region(b)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DocumentLabels {
+    region: Vec<RegionLabel>,
+    dewey: Vec<DeweyLabel>,
+    extended: Vec<ExtendedDeweyLabel>,
+    fst: TagFst,
+}
+
+impl DocumentLabels {
+    /// Computes region, Dewey and extended Dewey labels for every element
+    /// of `doc` (plus region labels for non-element nodes, which matter for
+    /// ordered semantics over mixed content).
+    pub fn compute(doc: &Document) -> Self {
+        let n = doc.node_count();
+        let mut region = vec![RegionLabel::new(0, 1, 0); n];
+        let mut dewey = vec![DeweyLabel::default(); n];
+
+        // Region labels via an explicit enter/exit DFS over ALL nodes.
+        let mut counter: u32 = 0;
+        #[derive(Clone, Copy)]
+        enum Step {
+            Enter(NodeId, u16),
+            Exit(NodeId),
+        }
+        let mut stack = vec![Step::Enter(NodeId::DOCUMENT, 0)];
+        let mut starts = vec![0u32; n];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(node, level) => {
+                    counter += 1;
+                    starts[node.index()] = counter;
+                    // Record level now; end comes on exit.
+                    region[node.index()] = RegionLabel::new(counter, counter + 1, level);
+                    stack.push(Step::Exit(node));
+                    // Push children in reverse so they are entered in
+                    // document order.
+                    let children: Vec<NodeId> = doc.children(node).collect();
+                    for child in children.into_iter().rev() {
+                        stack.push(Step::Enter(child, level + 1));
+                    }
+                }
+                Step::Exit(node) => {
+                    counter += 1;
+                    let r = &mut region[node.index()];
+                    *r = RegionLabel::new(r.start, counter, r.level);
+                }
+            }
+        }
+
+        // Dewey labels over element children only.
+        let mut dfs = vec![NodeId::DOCUMENT];
+        while let Some(node) = dfs.pop() {
+            let parent_label = dewey[node.index()].clone();
+            for (i, child) in doc.element_children(node).enumerate() {
+                dewey[child.index()] = parent_label.child(i as u32 + 1);
+                dfs.push(child);
+            }
+        }
+
+        let fst = TagFst::from_document(doc);
+        let extended = assign_extended_dewey(doc, &fst);
+
+        DocumentLabels {
+            region,
+            dewey,
+            extended,
+            fst,
+        }
+    }
+
+    /// The region label of `id`.
+    pub fn region(&self, id: NodeId) -> RegionLabel {
+        self.region[id.index()]
+    }
+
+    /// The Dewey label of `id` (empty for non-elements and the root).
+    pub fn dewey(&self, id: NodeId) -> &DeweyLabel {
+        &self.dewey[id.index()]
+    }
+
+    /// The extended Dewey label of `id`.
+    pub fn extended(&self, id: NodeId) -> &ExtendedDeweyLabel {
+        &self.extended[id.index()]
+    }
+
+    /// The tag transducer used for extended Dewey decoding.
+    pub fn fst(&self) -> &TagFst {
+        &self.fst
+    }
+
+    /// True if `a` is a proper ancestor of `d`.
+    pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
+        self.region(a).is_ancestor_of(&self.region(d))
+    }
+
+    /// True if `a` is the parent of `d`.
+    pub fn is_parent(&self, a: NodeId, d: NodeId) -> bool {
+        self.region(a).is_parent_of(&self.region(d))
+    }
+
+    /// True if `a` occurs strictly before `b` in document order.
+    pub fn doc_order_before(&self, a: NodeId, b: NodeId) -> bool {
+        self.region(a).doc_order_before(&self.region(b))
+    }
+
+    /// Approximate heap size of the label store in bytes (for Table 1).
+    pub fn size_bytes(&self) -> usize {
+        let region = self.region.len() * std::mem::size_of::<RegionLabel>();
+        let dewey: usize = self
+            .dewey
+            .iter()
+            .map(|d| d.components().len() * 4 + std::mem::size_of::<DeweyLabel>())
+            .sum();
+        let extended: usize = self
+            .extended
+            .iter()
+            .map(|d| d.components().len() * 4 + std::mem::size_of::<ExtendedDeweyLabel>())
+            .sum();
+        region + dewey + extended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotusx_xml::Document;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<bib><book><title>t</title><author>x</author></book><book><title>u</title></book></bib>",
+        )
+        .unwrap()
+    }
+
+    fn elements(doc: &Document) -> Vec<NodeId> {
+        doc.all_nodes().filter(|&n| doc.is_element(n)).collect()
+    }
+
+    #[test]
+    fn region_labels_agree_with_tree_relationships() {
+        let d = doc();
+        let labels = DocumentLabels::compute(&d);
+        let elems = elements(&d);
+        for &a in &elems {
+            for &b in &elems {
+                if a == b {
+                    continue;
+                }
+                let tree_anc = d.ancestors(b).any(|x| x == a);
+                assert_eq!(
+                    labels.is_ancestor(a, b),
+                    tree_anc,
+                    "region ancestor mismatch {a:?} {b:?}"
+                );
+                let tree_parent = d.parent(b) == Some(a);
+                assert_eq!(labels.is_parent(a, b), tree_parent);
+            }
+        }
+    }
+
+    #[test]
+    fn dewey_labels_agree_with_region_labels() {
+        let d = doc();
+        let labels = DocumentLabels::compute(&d);
+        let elems = elements(&d);
+        for &a in &elems {
+            for &b in &elems {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    labels.dewey(a).is_ancestor_of(labels.dewey(b)),
+                    labels.is_ancestor(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn document_order_matches_preorder_ids() {
+        let d = doc();
+        let labels = DocumentLabels::compute(&d);
+        let elems = elements(&d);
+        for w in elems.windows(2) {
+            assert!(labels.doc_order_before(w[0], w[1]));
+            assert_eq!(
+                labels.dewey(w[0]).doc_cmp(labels.dewey(w[1])),
+                std::cmp::Ordering::Less
+            );
+        }
+    }
+
+    #[test]
+    fn levels_match_depths() {
+        let d = doc();
+        let labels = DocumentLabels::compute(&d);
+        for n in elements(&d) {
+            assert_eq!(labels.region(n).level as u32, d.depth(n));
+            assert_eq!(labels.dewey(n).depth() as u32, d.depth(n));
+        }
+    }
+
+    #[test]
+    fn extended_dewey_decodes_paths() {
+        let d = doc();
+        let labels = DocumentLabels::compute(&d);
+        for n in elements(&d) {
+            assert_eq!(
+                labels.extended(n).tag_path(labels.fst()).unwrap(),
+                d.tag_path(n)
+            );
+        }
+    }
+
+    #[test]
+    fn size_accounting_is_positive() {
+        let d = doc();
+        let labels = DocumentLabels::compute(&d);
+        assert!(labels.size_bytes() > 0);
+    }
+
+    #[test]
+    fn text_nodes_get_region_labels_inside_their_parent() {
+        let d = doc();
+        let labels = DocumentLabels::compute(&d);
+        let bib = d.root_element().unwrap();
+        let book = d.element_children(bib).next().unwrap();
+        let title = d.element_children(book).next().unwrap();
+        let text = d.first_child(title).unwrap();
+        assert!(labels.region(title).is_parent_of(&labels.region(text)));
+    }
+}

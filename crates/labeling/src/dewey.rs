@@ -1,0 +1,164 @@
+//! Dewey (path) labels.
+//!
+//! A node's label is its parent's label extended by the node's 1-based
+//! ordinal among element siblings; the root element's label is `[1]`.
+//! Prefix containment encodes the ancestor axis and lexicographic order
+//! encodes document order.
+
+use std::fmt;
+
+/// A Dewey label: the component path from the root element to the node.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DeweyLabel {
+    components: Vec<u32>,
+}
+
+impl DeweyLabel {
+    /// Creates a label from components; an empty component list denotes the
+    /// virtual document root.
+    pub fn new(components: Vec<u32>) -> Self {
+        DeweyLabel { components }
+    }
+
+    /// The components of the label.
+    pub fn components(&self) -> &[u32] {
+        &self.components
+    }
+
+    /// Number of components (== depth of the node; root element is 1).
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True for the virtual document root's (empty) label.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Returns the label of this node's parent (None for the empty label).
+    pub fn parent(&self) -> Option<DeweyLabel> {
+        if self.components.is_empty() {
+            return None;
+        }
+        Some(DeweyLabel::new(
+            self.components[..self.components.len() - 1].to_vec(),
+        ))
+    }
+
+    /// Returns this label extended by one child component.
+    pub fn child(&self, component: u32) -> DeweyLabel {
+        let mut c = self.components.clone();
+        c.push(component);
+        DeweyLabel::new(c)
+    }
+
+    /// True if `self` is a proper ancestor of `other` (proper prefix).
+    pub fn is_ancestor_of(&self, other: &DeweyLabel) -> bool {
+        self.components.len() < other.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// True if `self` is the parent of `other`.
+    pub fn is_parent_of(&self, other: &DeweyLabel) -> bool {
+        self.components.len() + 1 == other.components.len() && self.is_ancestor_of(other)
+    }
+
+    /// True if the two labels denote siblings (same parent, different node).
+    pub fn is_sibling_of(&self, other: &DeweyLabel) -> bool {
+        self != other
+            && !self.components.is_empty()
+            && self.components.len() == other.components.len()
+            && self.components[..self.components.len() - 1]
+                == other.components[..other.components.len() - 1]
+    }
+
+    /// Document-order comparison. Ancestors order before descendants, which
+    /// is exactly lexicographic order on components.
+    pub fn doc_cmp(&self, other: &DeweyLabel) -> std::cmp::Ordering {
+        self.components.cmp(&other.components)
+    }
+
+    /// Length of the longest common prefix with `other` — the depth of the
+    /// lowest common ancestor.
+    pub fn common_prefix_len(&self, other: &DeweyLabel) -> usize {
+        self.components
+            .iter()
+            .zip(other.components.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The label of the lowest common ancestor of the two nodes.
+    pub fn lca(&self, other: &DeweyLabel) -> DeweyLabel {
+        DeweyLabel::new(self.components[..self.common_prefix_len(other)].to_vec())
+    }
+}
+
+impl fmt::Display for DeweyLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return write!(f, "ε");
+        }
+        let parts: Vec<String> = self.components.iter().map(u32::to_string).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(c: &[u32]) -> DeweyLabel {
+        DeweyLabel::new(c.to_vec())
+    }
+
+    #[test]
+    fn prefix_encodes_ancestry() {
+        assert!(l(&[1]).is_ancestor_of(&l(&[1, 2])));
+        assert!(l(&[1]).is_ancestor_of(&l(&[1, 2, 3])));
+        assert!(!l(&[1, 2]).is_ancestor_of(&l(&[1])));
+        assert!(!l(&[1]).is_ancestor_of(&l(&[1])), "not proper");
+        assert!(!l(&[1, 2]).is_ancestor_of(&l(&[1, 3])));
+    }
+
+    #[test]
+    fn parenthood_is_one_level_prefix() {
+        assert!(l(&[1]).is_parent_of(&l(&[1, 4])));
+        assert!(!l(&[1]).is_parent_of(&l(&[1, 4, 1])));
+        assert_eq!(l(&[1, 4]).parent(), Some(l(&[1])));
+        assert_eq!(l(&[]).parent(), None);
+    }
+
+    #[test]
+    fn sibling_detection() {
+        assert!(l(&[1, 2]).is_sibling_of(&l(&[1, 3])));
+        assert!(!l(&[1, 2]).is_sibling_of(&l(&[1, 2])));
+        assert!(!l(&[1, 2]).is_sibling_of(&l(&[2, 2])));
+        assert!(!l(&[1]).is_sibling_of(&l(&[1, 1])));
+    }
+
+    #[test]
+    fn lexicographic_order_is_document_order() {
+        use std::cmp::Ordering::*;
+        assert_eq!(l(&[1]).doc_cmp(&l(&[1, 1])), Less, "ancestor first");
+        assert_eq!(l(&[1, 2]).doc_cmp(&l(&[1, 10])), Less);
+        assert_eq!(l(&[1, 2, 9]).doc_cmp(&l(&[1, 10])), Less);
+        assert_eq!(l(&[2]).doc_cmp(&l(&[1, 10])), Greater);
+    }
+
+    #[test]
+    fn lca_is_longest_common_prefix() {
+        assert_eq!(l(&[1, 2, 3]).lca(&l(&[1, 2, 5, 1])), l(&[1, 2]));
+        assert_eq!(l(&[1]).lca(&l(&[2])), l(&[]));
+        assert_eq!(l(&[1, 2]).lca(&l(&[1, 2])), l(&[1, 2]));
+        assert_eq!(l(&[1, 2, 3]).common_prefix_len(&l(&[1, 2, 5])), 2);
+    }
+
+    #[test]
+    fn child_and_display() {
+        let label = l(&[1]).child(3).child(2);
+        assert_eq!(label, l(&[1, 3, 2]));
+        assert_eq!(label.to_string(), "1.3.2");
+        assert_eq!(l(&[]).to_string(), "ε");
+    }
+}

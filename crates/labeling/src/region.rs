@@ -1,0 +1,122 @@
+//! Region (containment) labels.
+//!
+//! Every node gets `(start, end, level)` where `start`/`end` come from a
+//! single counter incremented on subtree entry and exit. For two distinct
+//! nodes `a` and `d`:
+//! `a` is an ancestor of `d` iff `a.start < d.start && d.end < a.end`.
+
+/// A containment label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionLabel {
+    /// Counter value on subtree entry (document order key).
+    pub start: u32,
+    /// Counter value on subtree exit.
+    pub end: u32,
+    /// Depth: the root element is level 1.
+    pub level: u16,
+}
+
+impl RegionLabel {
+    /// Creates a label; `start` must be `< end`.
+    pub fn new(start: u32, end: u32, level: u16) -> Self {
+        debug_assert!(start < end, "region start must precede end");
+        RegionLabel { start, end, level }
+    }
+
+    /// True if `self` is a (proper) ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &RegionLabel) -> bool {
+        self.start < other.start && other.end < self.end
+    }
+
+    /// True if `self` is the parent of `other`.
+    pub fn is_parent_of(&self, other: &RegionLabel) -> bool {
+        self.is_ancestor_of(other) && self.level + 1 == other.level
+    }
+
+    /// True if `self` is a (proper) descendant of `other`.
+    pub fn is_descendant_of(&self, other: &RegionLabel) -> bool {
+        other.is_ancestor_of(self)
+    }
+
+    /// True if `self` ends before `other` begins (self precedes other in
+    /// document order and is not its ancestor).
+    pub fn precedes(&self, other: &RegionLabel) -> bool {
+        self.end < other.start
+    }
+
+    /// True if `self` begins after `other` ends.
+    pub fn follows(&self, other: &RegionLabel) -> bool {
+        other.precedes(self)
+    }
+
+    /// True if `self` comes before `other` in document order (preorder),
+    /// ancestors counting as before their descendants.
+    pub fn doc_order_before(&self, other: &RegionLabel) -> bool {
+        self.start < other.start
+    }
+
+    /// True if the two regions are disjoint (neither contains the other).
+    pub fn disjoint(&self, other: &RegionLabel) -> bool {
+        self.precedes(other) || other.precedes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A tiny hand-labelled tree:
+    //   r(1,10,1)
+    //     a(2,7,2)
+    //       b(3,4,3)
+    //       c(5,6,3)
+    //     d(8,9,2)
+    fn labels() -> (RegionLabel, RegionLabel, RegionLabel, RegionLabel, RegionLabel) {
+        (
+            RegionLabel::new(1, 10, 1),
+            RegionLabel::new(2, 7, 2),
+            RegionLabel::new(3, 4, 3),
+            RegionLabel::new(5, 6, 3),
+            RegionLabel::new(8, 9, 2),
+        )
+    }
+
+    #[test]
+    fn ancestor_descendant() {
+        let (r, a, b, _c, d) = labels();
+        assert!(r.is_ancestor_of(&a));
+        assert!(r.is_ancestor_of(&b));
+        assert!(a.is_ancestor_of(&b));
+        assert!(!a.is_ancestor_of(&d));
+        assert!(!b.is_ancestor_of(&a));
+        assert!(b.is_descendant_of(&r));
+        assert!(!r.is_ancestor_of(&r), "not a proper ancestor of itself");
+    }
+
+    #[test]
+    fn parent_requires_adjacent_levels() {
+        let (r, a, b, _c, _d) = labels();
+        assert!(r.is_parent_of(&a));
+        assert!(a.is_parent_of(&b));
+        assert!(!r.is_parent_of(&b), "grandchild is not a child");
+    }
+
+    #[test]
+    fn ordering_predicates() {
+        let (_r, a, b, c, d) = labels();
+        assert!(b.precedes(&c));
+        assert!(c.follows(&b));
+        assert!(a.precedes(&d));
+        assert!(!a.precedes(&b), "ancestor does not precede its descendant");
+        assert!(a.doc_order_before(&b));
+        assert!(b.doc_order_before(&d));
+    }
+
+    #[test]
+    fn disjointness() {
+        let (_r, a, b, c, d) = labels();
+        assert!(b.disjoint(&c));
+        assert!(a.disjoint(&d));
+        assert!(!a.disjoint(&b));
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: all three label families agree with the tree's ground
+//! truth on every node pair of random documents.
+
+use lotusx_labeling::DocumentLabels;
+use lotusx_xml::{Document, NodeId};
+use proptest::prelude::*;
+
+/// Shape of a random element subtree: a tag pick and children.
+#[derive(Clone, Debug)]
+struct GenTree {
+    tag: usize,
+    children: Vec<GenTree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = GenTree> {
+    let leaf = (0usize..6).prop_map(|tag| GenTree {
+        tag,
+        children: vec![],
+    });
+    leaf.prop_recursive(5, 40, 5, |inner| {
+        ((0usize..6), prop::collection::vec(inner, 0..5))
+            .prop_map(|(tag, children)| GenTree { tag, children })
+    })
+}
+
+const TAGS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+fn build(doc: &mut Document, parent: NodeId, t: &GenTree) {
+    let e = doc.append_element(parent, TAGS[t.tag]);
+    for c in &t.children {
+        build(doc, e, c);
+    }
+}
+
+fn make_doc(root: &GenTree) -> Document {
+    let mut doc = Document::new();
+    build(&mut doc, NodeId::DOCUMENT, root);
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn label_families_agree_with_tree(root in tree_strategy()) {
+        let doc = make_doc(&root);
+        let labels = DocumentLabels::compute(&doc);
+        let elems: Vec<NodeId> = doc.all_nodes().filter(|&n| doc.is_element(n)).collect();
+
+        for (i, &a) in elems.iter().enumerate() {
+            // Extended Dewey decodes the true tag path.
+            prop_assert_eq!(
+                labels.extended(a).tag_path(labels.fst()).unwrap(),
+                doc.tag_path(a)
+            );
+            for &b in &elems {
+                if a == b { continue; }
+                let truth_anc = doc.ancestors(b).any(|x| x == a);
+                let truth_parent = doc.parent(b) == Some(a);
+                prop_assert_eq!(labels.is_ancestor(a, b), truth_anc);
+                prop_assert_eq!(labels.is_parent(a, b), truth_parent);
+                prop_assert_eq!(labels.dewey(a).is_ancestor_of(labels.dewey(b)), truth_anc);
+                prop_assert_eq!(labels.dewey(a).is_parent_of(labels.dewey(b)), truth_parent);
+                prop_assert_eq!(labels.extended(a).is_ancestor_of(labels.extended(b)), truth_anc);
+                prop_assert_eq!(labels.extended(a).is_parent_of(labels.extended(b)), truth_parent);
+            }
+            // Document order: elems was collected in preorder.
+            for &b in &elems[i + 1..] {
+                prop_assert!(labels.doc_order_before(a, b));
+                prop_assert_eq!(labels.dewey(a).doc_cmp(labels.dewey(b)), std::cmp::Ordering::Less);
+                prop_assert_eq!(labels.extended(a).doc_cmp(labels.extended(b)), std::cmp::Ordering::Less);
+            }
+        }
+    }
+}

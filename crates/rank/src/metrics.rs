@@ -1,0 +1,108 @@
+//! Retrieval-quality metrics for the ranking experiments.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Precision@k: fraction of the first `k` ranked items that are relevant
+/// (graded relevance > 0 counts as relevant).
+pub fn precision_at_k<T: Eq + Hash>(ranked: &[T], relevance: &HashMap<T, f64>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let considered = ranked.iter().take(k);
+    let hits = considered
+        .filter(|item| relevance.get(item).copied().unwrap_or(0.0) > 0.0)
+        .count();
+    hits as f64 / k.min(ranked.len().max(1)) as f64
+}
+
+/// Mean reciprocal rank of the first relevant item (0 if none is ranked).
+pub fn mrr<T: Eq + Hash>(ranked: &[T], relevance: &HashMap<T, f64>) -> f64 {
+    for (i, item) in ranked.iter().enumerate() {
+        if relevance.get(item).copied().unwrap_or(0.0) > 0.0 {
+            return 1.0 / (i as f64 + 1.0);
+        }
+    }
+    0.0
+}
+
+/// NDCG@k with graded relevance: DCG of the ranking divided by the DCG of
+/// the ideal ordering.
+pub fn ndcg_at_k<T: Eq + Hash>(ranked: &[T], relevance: &HashMap<T, f64>, k: usize) -> f64 {
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, item)| {
+            let rel = relevance.get(item).copied().unwrap_or(0.0);
+            (2f64.powf(rel) - 1.0) / (i as f64 + 2.0).log2()
+        })
+        .sum();
+    let mut ideal: Vec<f64> = relevance.values().copied().filter(|r| *r > 0.0).collect();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let idcg: f64 = ideal
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, rel)| (2f64.powf(*rel) - 1.0) / (i as f64 + 2.0).log2())
+        .sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(pairs: &[(&'static str, f64)]) -> HashMap<&'static str, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking_gets_ndcg_one() {
+        let relevance = rel(&[("a", 3.0), ("b", 2.0), ("c", 1.0)]);
+        let ranked = vec!["a", "b", "c", "d"];
+        assert!((ndcg_at_k(&ranked, &relevance, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_scores_below_one() {
+        let relevance = rel(&[("a", 3.0), ("b", 2.0), ("c", 1.0)]);
+        let inverted = vec!["c", "b", "a"];
+        let score = ndcg_at_k(&inverted, &relevance, 3);
+        assert!(score < 1.0 && score > 0.0);
+    }
+
+    #[test]
+    fn ndcg_without_relevant_items_is_zero() {
+        let relevance: HashMap<&str, f64> = HashMap::new();
+        assert_eq!(ndcg_at_k(&["a", "b"], &relevance, 2), 0.0);
+    }
+
+    #[test]
+    fn precision_counts_relevant_prefix() {
+        let relevance = rel(&[("a", 1.0), ("c", 1.0)]);
+        let ranked = vec!["a", "b", "c", "d"];
+        assert!((precision_at_k(&ranked, &relevance, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&ranked, &relevance, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at_k(&ranked, &relevance, 0), 0.0);
+    }
+
+    #[test]
+    fn precision_with_short_ranking() {
+        let relevance = rel(&[("a", 1.0)]);
+        // Only one item ranked but k=5: denominator is the ranking length.
+        assert!((precision_at_k(&["a"], &relevance, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_finds_first_relevant() {
+        let relevance = rel(&[("x", 1.0)]);
+        assert!((mrr(&["a", "b", "x"], &relevance) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((mrr(&["x"], &relevance) - 1.0).abs() < 1e-12);
+        assert_eq!(mrr(&["a", "b"], &relevance), 0.0);
+    }
+}

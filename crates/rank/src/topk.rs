@@ -1,0 +1,153 @@
+//! A bounded top-k collector.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Keeps the `k` items with the highest scores seen so far.
+///
+/// Internally a min-heap of size ≤ k: pushing is `O(log k)` and the
+/// threshold (worst retained score) is available in `O(1)`, which lets
+/// producers skip work for items that cannot make the cut.
+pub struct TopK<T> {
+    k: usize,
+    heap: BinaryHeap<Entry<T>>,
+}
+
+struct Entry<T> {
+    score: f64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score → BinaryHeap becomes a min-heap. On equal
+        // scores the LATEST insertion is "greatest" (popped first), so
+        // earlier items win ties.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> TopK<T> {
+    /// Creates a collector that retains the best `k` items.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers an item; it is kept iff it beats the current threshold.
+    pub fn push(&mut self, score: f64, item: T) {
+        if self.k == 0 {
+            return;
+        }
+        let seq = self.heap.len() as u64;
+        self.heap.push(Entry { score, seq, item });
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// The lowest retained score, if the collector is full.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|e| e.score)
+        } else {
+            None
+        }
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Finishes, returning `(score, item)` pairs best-first.
+    pub fn into_sorted(self) -> Vec<(f64, T)> {
+        let mut items: Vec<Entry<T>> = self.heap.into_vec();
+        items.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.seq.cmp(&b.seq))
+        });
+        items.into_iter().map(|e| (e.score, e.item)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_best_k() {
+        let mut topk = TopK::new(3);
+        for (s, v) in [(0.1, "a"), (0.9, "b"), (0.5, "c"), (0.7, "d"), (0.2, "e")] {
+            topk.push(s, v);
+        }
+        let out = topk.into_sorted();
+        let items: Vec<&str> = out.iter().map(|(_, v)| *v).collect();
+        assert_eq!(items, vec!["b", "d", "c"]);
+    }
+
+    #[test]
+    fn threshold_reports_cutoff_when_full() {
+        let mut topk = TopK::new(2);
+        assert_eq!(topk.threshold(), None);
+        topk.push(0.5, 1);
+        assert_eq!(topk.threshold(), None, "not full yet");
+        topk.push(0.8, 2);
+        assert_eq!(topk.threshold(), Some(0.5));
+        topk.push(0.9, 3);
+        assert_eq!(topk.threshold(), Some(0.8));
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let mut topk = TopK::new(10);
+        topk.push(0.3, "x");
+        let out = topk.into_sorted();
+        assert_eq!(out.len(), 1);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn zero_k_retains_nothing() {
+        let mut topk = TopK::new(0);
+        topk.push(1.0, "x");
+        assert!(topk.is_empty());
+        assert!(topk.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn equal_scores_keep_insertion_order() {
+        let mut topk = TopK::new(2);
+        topk.push(0.5, "first");
+        topk.push(0.5, "second");
+        topk.push(0.5, "third");
+        let out = topk.into_sorted();
+        let items: Vec<&str> = out.iter().map(|(_, v)| *v).collect();
+        assert_eq!(items, vec!["first", "second"]);
+    }
+}

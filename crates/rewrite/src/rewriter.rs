@@ -1,0 +1,388 @@
+//! Best-first search over the rewrite space.
+
+use crate::ops::{apply, RewriteOp};
+use crate::synonyms::{spelling_candidates, SynonymTable};
+use lotusx_index::IndexedDocument;
+use lotusx_twig::exec::{execute, Algorithm};
+use lotusx_twig::pattern::{NodeTest, TwigPattern};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Search budget and output size configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RewriterConfig {
+    /// Stop after this many non-empty rewrites.
+    pub max_rewrites: usize,
+    /// Stop after expanding this many candidates.
+    pub max_expansions: usize,
+    /// Never explore rewrites costlier than this.
+    pub max_cost: f64,
+    /// Maximum edit distance for spelling-corrected tag substitution.
+    pub spell_distance: usize,
+    /// Enable DataGuide satisfiability pruning (disabled by the E9
+    /// ablation to measure its value).
+    pub guide_pruning: bool,
+}
+
+impl Default for RewriterConfig {
+    fn default() -> Self {
+        RewriterConfig {
+            max_rewrites: 5,
+            max_expansions: 300,
+            max_cost: 6.0,
+            spell_distance: 2,
+            guide_pruning: true,
+        }
+    }
+}
+
+/// A rewrite that produced results, with its accumulated penalty.
+#[derive(Clone, Debug)]
+pub struct RankedRewrite {
+    /// The rewritten pattern.
+    pub pattern: TwigPattern,
+    /// Total penalty of the applied operators (lower = closer to the
+    /// original query).
+    pub cost: f64,
+    /// Human-readable descriptions of the applied operators.
+    pub ops: Vec<String>,
+    /// Number of matches the rewrite produced.
+    pub match_count: usize,
+}
+
+/// Statistics of one rewrite search (reported by experiment E6).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RewriteStats {
+    /// Candidates popped from the frontier.
+    pub expansions: usize,
+    /// Candidates discarded by DataGuide satisfiability pruning.
+    pub pruned_unsatisfiable: usize,
+    /// Candidates actually executed against the data.
+    pub executions: usize,
+}
+
+/// The rewriter. Construction indexes the DataGuide once; rewriting is
+/// then independent of document size except for candidate execution.
+pub struct Rewriter<'a> {
+    idx: &'a IndexedDocument,
+    guide_idx: IndexedDocument,
+    synonyms: SynonymTable,
+    config: RewriterConfig,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Creates a rewriter with the default synonym table and config.
+    pub fn new(idx: &'a IndexedDocument) -> Self {
+        Self::with(idx, SynonymTable::default_table(), RewriterConfig::default())
+    }
+
+    /// Creates a rewriter with explicit synonym table and config.
+    pub fn with(idx: &'a IndexedDocument, synonyms: SynonymTable, config: RewriterConfig) -> Self {
+        let guide_doc = idx.guide().to_document(idx.document().symbols());
+        Rewriter {
+            idx,
+            guide_idx: IndexedDocument::build(guide_doc),
+            synonyms,
+            config,
+        }
+    }
+
+    /// Structure-only satisfiability: does the pattern (ignoring value
+    /// predicates) match the DataGuide? Sound and complete for the tag
+    /// paths present in the document, and runs on the tiny guide tree.
+    pub fn is_satisfiable(&self, pattern: &TwigPattern) -> bool {
+        let mut stripped = pattern.clone();
+        for q in stripped.node_ids() {
+            stripped.set_predicate(q, None);
+        }
+        stripped.set_ordered(false);
+        !execute(&self.guide_idx, &stripped, Algorithm::Naive).is_empty()
+    }
+
+    /// Rewrites a (typically empty-result) query: returns up to
+    /// `max_rewrites` non-empty rewrites, gentlest first.
+    pub fn rewrite(&self, original: &TwigPattern) -> Vec<RankedRewrite> {
+        self.rewrite_with_stats(original).0
+    }
+
+    /// Like [`Self::rewrite`], also returning search statistics.
+    pub fn rewrite_with_stats(&self, original: &TwigPattern) -> (Vec<RankedRewrite>, RewriteStats) {
+        let mut stats = RewriteStats::default();
+        let mut results: Vec<RankedRewrite> = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
+        frontier.push(Candidate {
+            cost: 0.0,
+            seq: 0,
+            pattern: original.clone(),
+            ops: Vec::new(),
+        });
+        seen.insert(original.to_string());
+        let mut seq = 1u64;
+
+        while let Some(candidate) = frontier.pop() {
+            if results.len() >= self.config.max_rewrites
+                || stats.expansions >= self.config.max_expansions
+            {
+                break;
+            }
+            stats.expansions += 1;
+
+            // Evaluate (skip the cost-0 original: the caller already knows
+            // it is empty).
+            if candidate.cost > 0.0 {
+                let satisfiable =
+                    !self.config.guide_pruning || self.is_satisfiable(&candidate.pattern);
+                if !satisfiable {
+                    stats.pruned_unsatisfiable += 1;
+                } else {
+                    stats.executions += 1;
+                    let matches = execute(self.idx, &candidate.pattern, Algorithm::TwigStack);
+                    if !matches.is_empty() {
+                        results.push(RankedRewrite {
+                            pattern: candidate.pattern.clone(),
+                            cost: candidate.cost,
+                            ops: candidate.ops.clone(),
+                            match_count: matches.len(),
+                        });
+                        // A hit is a good stopping point for this branch;
+                        // still expand others for diversity.
+                        continue;
+                    }
+                }
+            }
+
+            // Expand.
+            for (op, extra_cost) in self.applicable_ops(&candidate.pattern) {
+                let cost = candidate.cost + extra_cost;
+                if cost > self.config.max_cost {
+                    continue;
+                }
+                let Some(next) = apply(&candidate.pattern, &op) else {
+                    continue;
+                };
+                let key = next.to_string();
+                if !seen.insert(key) {
+                    continue;
+                }
+                let mut ops = candidate.ops.clone();
+                ops.push(op.to_string());
+                frontier.push(Candidate {
+                    cost,
+                    seq,
+                    pattern: next,
+                    ops,
+                });
+                seq += 1;
+            }
+        }
+        results.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| b.match_count.cmp(&a.match_count))
+        });
+        (results, stats)
+    }
+
+    /// All operators applicable to any node of `pattern`, with their costs.
+    fn applicable_ops(&self, pattern: &TwigPattern) -> Vec<(RewriteOp, f64)> {
+        let mut out = Vec::new();
+        let symbols = self.idx.document().symbols();
+        for q in pattern.node_ids() {
+            let node = pattern.node(q);
+            out.push((RewriteOp::GeneralizeEdge(q), RewriteOp::GeneralizeEdge(q).base_cost()));
+            out.push((RewriteOp::SoftenPredicate(q), RewriteOp::SoftenPredicate(q).base_cost()));
+            out.push((RewriteOp::DropPredicate(q), RewriteOp::DropPredicate(q).base_cost()));
+            out.push((RewriteOp::DeleteLeaf(q), RewriteOp::DeleteLeaf(q).base_cost()));
+            out.push((RewriteOp::PromoteNode(q), RewriteOp::PromoteNode(q).base_cost()));
+            if let NodeTest::Tag(tag) = &node.test {
+                // Synonyms that actually occur in the document.
+                for syn in self.synonyms.synonyms(tag) {
+                    if symbols.get(syn).is_some() {
+                        let op = RewriteOp::SubstituteTag(q, syn.clone());
+                        let cost = op.base_cost();
+                        out.push((op, cost));
+                    }
+                }
+                // Spelling corrections against document tags, unless the
+                // tag already exists (then a typo fix is not the problem).
+                if symbols.get(tag).is_none() {
+                    let doc_tags = symbols
+                        .iter()
+                        .map(|(sym, name)| (name, self.idx.tags().frequency(sym)))
+                        .filter(|(_, f)| *f > 0);
+                    for (fixed, distance) in
+                        spelling_candidates(tag, doc_tags, self.config.spell_distance)
+                            .into_iter()
+                            .take(3)
+                    {
+                        let op = RewriteOp::SubstituteTag(q, fixed);
+                        out.push((op, 1.0 + distance as f64));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+struct Candidate {
+    cost: f64,
+    seq: u64,
+    pattern: TwigPattern,
+    ops: Vec<String>,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.seq == other.seq
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost (BinaryHeap is a max-heap), FIFO on ties.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotusx_twig::xpath::parse_query;
+
+    fn idx() -> IndexedDocument {
+        IndexedDocument::from_str(
+            "<dblp>\
+               <article><author>lu</author><title>twig joins</title><year>2005</year></article>\
+               <article><author>bruno</author><title>holistic</title><year>2002</year></article>\
+               <book><author>codd</author><title>relational</title><publisher>mk</publisher></book>\
+             </dblp>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn satisfiability_matches_data_presence() {
+        let idx = idx();
+        let r = Rewriter::new(&idx);
+        assert!(r.is_satisfiable(&parse_query("//article/author").unwrap()));
+        assert!(r.is_satisfiable(&parse_query("//dblp//title").unwrap()));
+        assert!(!r.is_satisfiable(&parse_query("//article/publisher").unwrap()));
+        assert!(!r.is_satisfiable(&parse_query("//nosuchtag").unwrap()));
+    }
+
+    #[test]
+    fn synonym_substitution_recovers_results() {
+        let idx = idx();
+        let r = Rewriter::new(&idx);
+        let broken = parse_query("//article/writer").unwrap();
+        let rewrites = r.rewrite(&broken);
+        assert!(!rewrites.is_empty());
+        let best = &rewrites[0];
+        assert!(best.pattern.to_string().contains("author"), "{}", best.pattern);
+        assert_eq!(best.match_count, 2);
+    }
+
+    #[test]
+    fn typo_correction_recovers_results() {
+        let idx = idx();
+        let r = Rewriter::new(&idx);
+        let broken = parse_query("//artcle/title").unwrap();
+        let rewrites = r.rewrite(&broken);
+        assert!(!rewrites.is_empty());
+        assert!(rewrites[0].pattern.to_string().contains("article"));
+    }
+
+    #[test]
+    fn axis_generalization_recovers_results() {
+        let idx = IndexedDocument::from_str(
+            "<r><a><m><b>x</b></m></a></r>",
+        )
+        .unwrap();
+        let r = Rewriter::new(&idx);
+        let broken = parse_query("//a/b").unwrap();
+        let rewrites = r.rewrite(&broken);
+        assert!(!rewrites.is_empty());
+        let best = &rewrites[0];
+        assert_eq!(best.pattern.to_string(), "//a[//b!]");
+        assert!((best.cost - 1.0).abs() < 1e-9, "one edge generalization");
+    }
+
+    #[test]
+    fn results_are_cost_ordered_and_nonempty() {
+        let idx = idx();
+        let r = Rewriter::new(&idx);
+        let broken = parse_query("//book/journal").unwrap();
+        let rewrites = r.rewrite(&broken);
+        assert!(!rewrites.is_empty());
+        for w in rewrites.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+        for rw in &rewrites {
+            assert!(rw.match_count > 0);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_executions() {
+        let idx = idx();
+        let pruned = Rewriter::new(&idx);
+        let unpruned = Rewriter::with(
+            &idx,
+            SynonymTable::default_table(),
+            RewriterConfig {
+                guide_pruning: false,
+                ..RewriterConfig::default()
+            },
+        );
+        let broken = parse_query("//artcle[writer]/journal").unwrap();
+        let (_, s1) = pruned.rewrite_with_stats(&broken);
+        let (_, s2) = unpruned.rewrite_with_stats(&broken);
+        assert!(
+            s1.executions < s2.executions,
+            "pruned {} vs unpruned {}",
+            s1.executions,
+            s2.executions
+        );
+        assert!(s1.pruned_unsatisfiable > 0);
+    }
+
+    #[test]
+    fn satisfiable_original_with_empty_results_still_rewrites() {
+        let idx = idx();
+        let r = Rewriter::new(&idx);
+        // Structurally fine but the predicate matches nothing.
+        let broken = parse_query(r#"//article[title = "nonexistent words"]"#).unwrap();
+        let rewrites = r.rewrite(&broken);
+        assert!(!rewrites.is_empty());
+        // The gentlest fix softens or drops the predicate.
+        assert!(rewrites[0].ops.iter().any(|o| o.contains("predicate")));
+    }
+
+    #[test]
+    fn budget_limits_exploration() {
+        let idx = idx();
+        let tight = Rewriter::with(
+            &idx,
+            SynonymTable::default_table(),
+            RewriterConfig {
+                max_expansions: 2,
+                ..RewriterConfig::default()
+            },
+        );
+        let broken = parse_query("//nosuchtag1/nosuchtag2").unwrap();
+        let (_, stats) = tight.rewrite_with_stats(&broken);
+        assert!(stats.expansions <= 2);
+    }
+}

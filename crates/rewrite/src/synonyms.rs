@@ -1,0 +1,141 @@
+//! Tag synonym dictionary and spelling correction.
+
+use std::collections::HashMap;
+
+/// A symmetric tag-synonym dictionary.
+#[derive(Clone, Debug, Default)]
+pub struct SynonymTable {
+    map: HashMap<String, Vec<String>>,
+}
+
+impl SynonymTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A default table covering common bibliographic / document vocabulary
+    /// (what a search UI over DBLP/XMark-style data ships with).
+    pub fn default_table() -> Self {
+        let mut t = SynonymTable::new();
+        for group in [
+            &["author", "writer", "creator"][..],
+            &["title", "name", "heading"][..],
+            &["year", "date"][..],
+            &["article", "paper"][..],
+            &["book", "monograph"][..],
+            &["publisher", "press"][..],
+            &["increase", "cost", "amount"][..],
+            &["s", "sentence"][..],
+            &["person", "people", "user"][..],
+            &["item", "product"][..],
+        ] {
+            t.add_group(group);
+        }
+        t
+    }
+
+    /// Registers a group of mutually-synonymous tags.
+    pub fn add_group(&mut self, tags: &[&str]) {
+        for &a in tags {
+            let entry = self.map.entry(a.to_string()).or_default();
+            for &b in tags {
+                if a != b && !entry.iter().any(|x| x == b) {
+                    entry.push(b.to_string());
+                }
+            }
+        }
+    }
+
+    /// Synonyms of `tag` (empty if none registered).
+    pub fn synonyms(&self, tag: &str) -> &[String] {
+        self.map.get(tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Levenshtein edit distance (classic DP, O(|a|·|b|)).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Document tags within edit distance ≤ `max_distance` of `tag`, nearest
+/// first (then most frequent).
+pub fn spelling_candidates<'a>(
+    tag: &str,
+    document_tags: impl Iterator<Item = (&'a str, usize)>,
+    max_distance: usize,
+) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize, usize)> = document_tags
+        .filter(|(t, _)| *t != tag)
+        .filter_map(|(t, freq)| {
+            // Cheap length pre-filter before the DP.
+            if t.len().abs_diff(tag.len()) > max_distance {
+                return None;
+            }
+            let d = edit_distance(tag, t);
+            (d <= max_distance).then(|| (t.to_string(), d, freq))
+        })
+        .collect();
+    out.sort_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0)));
+    out.into_iter().map(|(t, d, _)| (t, d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synonym_groups_are_symmetric() {
+        let t = SynonymTable::default_table();
+        assert!(t.synonyms("author").iter().any(|s| s == "writer"));
+        assert!(t.synonyms("writer").iter().any(|s| s == "author"));
+        assert!(t.synonyms("unknown").is_empty());
+    }
+
+    #[test]
+    fn add_group_merges_without_duplicates() {
+        let mut t = SynonymTable::new();
+        t.add_group(&["a", "b"]);
+        t.add_group(&["a", "c"]);
+        let syns = t.synonyms("a");
+        assert_eq!(syns.len(), 2);
+        assert!(syns.contains(&"b".to_string()) && syns.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("artcle", "article"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "xyz"), 3);
+    }
+
+    #[test]
+    fn spelling_candidates_rank_by_distance_then_frequency() {
+        let tags = [("article", 100usize), ("artcle2", 3), ("title", 50), ("artie", 2)];
+        let cands = spelling_candidates("artcle", tags.iter().map(|(t, f)| (*t, *f)), 2);
+        assert_eq!(cands[0].0, "article");
+        assert_eq!(cands[0].1, 1);
+        assert!(!cands.iter().any(|(t, _)| t == "title"));
+    }
+
+    #[test]
+    fn spelling_excludes_identical_tag() {
+        let tags = [("book", 10usize)];
+        assert!(spelling_candidates("book", tags.iter().map(|(t, f)| (*t, *f)), 2).is_empty());
+    }
+}

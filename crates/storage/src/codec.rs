@@ -1,0 +1,127 @@
+//! Low-level encoding primitives: LEB128 varints, length-prefixed strings
+//! and the FNV-1a-64 checksum.
+
+/// Appends a LEB128-encoded unsigned integer.
+pub fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, advancing `pos`. Returns `None` on truncation
+/// or an over-long encoding (> 10 bytes).
+pub fn get_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_string(data: &[u8], pos: &mut usize) -> Option<String> {
+    let len = get_varint(data, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    if end > data.len() {
+        return None;
+    }
+    let s = std::str::from_utf8(&data[*pos..end]).ok()?.to_string();
+    *pos = end;
+    Some(s)
+}
+
+/// FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1_000_000);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn string_roundtrip_including_unicode() {
+        for s in ["", "hello", "日本語 & <tags>"] {
+            let mut buf = Vec::new();
+            put_string(&mut buf, s);
+            let mut pos = 0;
+            assert_eq!(get_string(&buf, &mut pos).as_deref(), Some(s));
+        }
+    }
+
+    #[test]
+    fn string_rejects_bad_utf8_and_truncation() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2);
+        buf.push(0xff);
+        buf.push(0xfe);
+        let mut pos = 0;
+        assert_eq!(get_string(&buf, &mut pos), None);
+
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 10);
+        buf.push(b'x');
+        let mut pos = 0;
+        assert_eq!(get_string(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"lotusx"), fnv1a(b"lotusx"));
+    }
+}

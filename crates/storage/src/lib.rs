@@ -1,0 +1,32 @@
+//! # lotusx-storage
+//!
+//! Compact binary persistence for LotusX documents, so a corpus parsed and
+//! cleaned once can be reopened without re-tokenizing XML.
+//!
+//! Format (`LTSX`, version 1): a fixed header (magic, version, payload
+//! length, FNV-1a-64 checksum) followed by a varint-encoded payload — the
+//! symbol table, then the tree in preorder with explicit child counts.
+//! Indexes are *derived* data and are deliberately not stored: rebuilding
+//! them on load ([`load_indexed`]) costs milliseconds (experiment E1) and
+//! keeps the format independent of index-layout evolution.
+//!
+//! ```
+//! use lotusx_storage::{load_document, save_document};
+//! use lotusx_xml::Document;
+//!
+//! let doc = Document::parse_str("<bib><book year=\"1999\"><t>x &amp; y</t></book></bib>").unwrap();
+//! let mut buffer = Vec::new();
+//! save_document(&doc, &mut buffer).unwrap();
+//! let back = load_document(&buffer[..]).unwrap();
+//! assert_eq!(back.to_xml(), doc.to_xml());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod format;
+
+pub use format::{
+    load_document, load_document_file, load_indexed, save_document, save_document_file,
+    save_indexed, StorageError,
+};

@@ -1,0 +1,118 @@
+//! Property tests: save → load is the identity on documents, including
+//! the generated benchmark corpora, and random corruption never panics.
+
+use lotusx_storage::{load_document, save_document};
+use lotusx_xml::{Document, NodeId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum GenNode {
+    Element {
+        tag: usize,
+        attrs: Vec<(usize, String)>,
+        children: Vec<GenNode>,
+    },
+    Text(String),
+}
+
+const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+const ATTRS: [&str; 3] = ["k", "id", "year"];
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-z0-9 <>&\"']{1,15}".prop_filter("non-ws", |s| !s.trim().is_empty())
+}
+
+fn node_strategy() -> impl Strategy<Value = GenNode> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(GenNode::Text),
+        (0usize..TAGS.len()).prop_map(|tag| GenNode::Element {
+            tag,
+            attrs: vec![],
+            children: vec![]
+        }),
+    ];
+    leaf.prop_recursive(4, 30, 4, |inner| {
+        (
+            0usize..TAGS.len(),
+            prop::collection::vec((0usize..ATTRS.len(), text_strategy()), 0..2),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, attrs, children)| {
+                // Dedup attribute names.
+                let mut seen = std::collections::HashSet::new();
+                let attrs = attrs
+                    .into_iter()
+                    .filter(|(k, _)| seen.insert(*k))
+                    .collect();
+                GenNode::Element {
+                    tag,
+                    attrs,
+                    children,
+                }
+            })
+    })
+}
+
+fn build(doc: &mut Document, parent: NodeId, node: &GenNode) {
+    match node {
+        GenNode::Element {
+            tag,
+            attrs,
+            children,
+        } => {
+            let e = doc.append_element(parent, TAGS[*tag]);
+            for (k, v) in attrs {
+                doc.set_attribute(e, ATTRS[*k], v.clone());
+            }
+            for c in children {
+                build(doc, e, c);
+            }
+        }
+        GenNode::Text(t) => {
+            doc.append_text(parent, t.clone());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn save_load_is_identity(tag in 0usize..TAGS.len(),
+                             children in prop::collection::vec(node_strategy(), 0..5)) {
+        let mut doc = Document::new();
+        let root = doc.append_element(NodeId::DOCUMENT, TAGS[tag]);
+        for c in &children {
+            build(&mut doc, root, c);
+        }
+        let mut buf = Vec::new();
+        save_document(&doc, &mut buf).unwrap();
+        let back = load_document(&buf[..]).unwrap();
+        prop_assert_eq!(back.to_xml(), doc.to_xml());
+        prop_assert_eq!(back.node_count(), doc.node_count());
+    }
+
+    #[test]
+    fn corrupted_bytes_error_but_never_panic(flip_at in 0usize..200, xor in 1u8..255) {
+        let doc = Document::parse_str(
+            "<bib><book year=\"1999\"><title>data</title><author>lu</author></book></bib>"
+        ).unwrap();
+        let mut buf = Vec::new();
+        save_document(&doc, &mut buf).unwrap();
+        let i = flip_at % buf.len();
+        buf[i] ^= xor;
+        // Either a clean error or (if the flip cancelled out) success.
+        let _ = load_document(&buf[..]);
+    }
+}
+
+#[test]
+fn benchmark_corpora_roundtrip() {
+    for ds in lotusx_datagen::Dataset::ALL {
+        let doc = lotusx_datagen::generate(ds, 1, 7);
+        let mut buf = Vec::new();
+        save_document(&doc, &mut buf).unwrap();
+        let back = load_document(&buf[..]).unwrap();
+        assert_eq!(back.to_xml(), doc.to_xml(), "{ds}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Stack machinery shared by the holistic algorithms (PathStack/TwigStack).
+
+use crate::matcher::PathSolution;
+use crate::pattern::{Axis, QNodeId, TwigPattern};
+use lotusx_index::ElementEntry;
+
+/// One entry on a query node's stack: an element plus the height of the
+/// parent query node's stack at push time. By the nesting invariant, every
+/// parent-stack entry below that height is an ancestor of this element.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StackEntry {
+    pub entry: ElementEntry,
+    pub parent_top: usize,
+}
+
+/// Pops entries whose region ends before `next_start` — they can no longer
+/// be ancestors of anything still ahead in any stream.
+pub(crate) fn clean_stack(stack: &mut Vec<StackEntry>, next_start: u32) {
+    while let Some(top) = stack.last() {
+        if top.entry.region.end < next_start {
+            stack.pop();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Enumerates all root-to-leaf path solutions ending at a just-pushed leaf
+/// element.
+///
+/// `qpath` is the root-to-leaf query path; `stacks[q.index()]` the per-node
+/// stacks; the leaf element is `leaf` with `leaf_parent_top` parent entries
+/// visible. Parent-child edges are verified by level here (streams were
+/// processed under ancestor-descendant semantics).
+pub(crate) fn expand_solutions(
+    pattern: &TwigPattern,
+    qpath: &[QNodeId],
+    stacks: &[Vec<StackEntry>],
+    leaf: ElementEntry,
+    leaf_parent_top: usize,
+) -> Vec<PathSolution> {
+    let mut out = Vec::new();
+    // suffix holds bindings from position `depth` (exclusive) down to the
+    // leaf, built leaf-upwards.
+    let leaf_pos = qpath.len() - 1;
+    let mut suffix = vec![leaf.node];
+    recurse(
+        pattern,
+        qpath,
+        stacks,
+        leaf_pos,
+        leaf,
+        leaf_parent_top,
+        &mut suffix,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    pattern: &TwigPattern,
+    qpath: &[QNodeId],
+    stacks: &[Vec<StackEntry>],
+    pos: usize,
+    element: ElementEntry,
+    parent_top: usize,
+    suffix: &mut Vec<lotusx_xml::NodeId>,
+    out: &mut Vec<PathSolution>,
+) {
+    if pos == 0 {
+        let mut nodes = suffix.clone();
+        nodes.reverse();
+        out.push(PathSolution { nodes });
+        return;
+    }
+    let q = qpath[pos];
+    let axis = pattern.node(q).axis;
+    let parent_q = qpath[pos - 1];
+    let parent_stack = &stacks[parent_q.index()];
+    for candidate in parent_stack
+        .iter()
+        .take(parent_top)
+        .copied()
+    {
+        let ok = match axis {
+            Axis::Descendant => candidate.entry.region.is_ancestor_of(&element.region),
+            Axis::Child => candidate.entry.region.is_parent_of(&element.region),
+        };
+        if !ok {
+            continue;
+        }
+        suffix.push(candidate.entry.node);
+        recurse(
+            pattern,
+            qpath,
+            stacks,
+            pos - 1,
+            candidate.entry,
+            candidate.parent_top,
+            suffix,
+            out,
+        );
+        suffix.pop();
+    }
+}

@@ -1,0 +1,21 @@
+//! Twig-matching algorithms.
+//!
+//! All five evaluators return the same match sets (a property the test
+//! suite enforces); they differ in how much work and memory they spend:
+//!
+//! | module | style | notes |
+//! |---|---|---|
+//! | [`naive`] | navigational, top-down | baseline; no indexes beyond tag lookup |
+//! | [`structural_join`] | binary stack-tree joins | the pre-holistic decomposition baseline; large intermediate pair lists |
+//! | [`pathstack`] | holistic, path queries | optimal for A-D path queries |
+//! | [`twigstack`] | holistic, chained stacks | optimal for A-D-only twigs |
+//! | [`tjfast`] | leaf streams + extended Dewey | scans only leaf streams |
+//! | [`guided`] | TwigStack + DataGuide stream pruning | position-aware execution |
+
+pub mod guided;
+pub(crate) mod holistic_common;
+pub mod naive;
+pub mod pathstack;
+pub mod structural_join;
+pub mod tjfast;
+pub mod twigstack;

@@ -1,0 +1,229 @@
+//! Binary structural-join baseline.
+//!
+//! The pre-holistic decomposition: every query edge becomes one stack-tree
+//! structural join (Al-Khalifa et al., ICDE 2002) over the two nodes'
+//! sorted streams, producing an explicit `(ancestor, descendant)` pair list
+//! per edge. Full matches are then stitched together by hash-joining the
+//! pair lists along the twig. The per-edge pair lists are the
+//! characteristic cost of this approach — they can dwarf the final result,
+//! which is precisely what holistic joins avoid.
+
+use crate::matcher::{filtered_stream, TwigMatch};
+use crate::pattern::{Axis, QNodeId, TwigPattern};
+use lotusx_index::ElementEntry;
+use lotusx_index::IndexedDocument;
+use lotusx_xml::NodeId;
+use std::collections::HashMap;
+
+/// Evaluates `pattern` with one binary structural join per edge.
+pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    // Streams per query node.
+    let streams: Vec<Vec<ElementEntry>> = pattern
+        .node_ids()
+        .map(|q| filtered_stream(idx, pattern, q))
+        .collect();
+
+    // One pair list per non-root query node (its edge to the parent),
+    // keyed by the ancestor binding.
+    let mut edge_pairs: Vec<HashMap<NodeId, Vec<NodeId>>> = vec![HashMap::new(); pattern.len()];
+    for q in pattern.node_ids() {
+        let node = pattern.node(q);
+        let Some(parent) = node.parent else { continue };
+        let pairs = stack_tree_join(
+            &streams[parent.index()],
+            &streams[q.index()],
+            node.axis,
+        );
+        let map = &mut edge_pairs[q.index()];
+        for (anc, desc) in pairs {
+            map.entry(anc).or_default().push(desc);
+        }
+    }
+
+    // Stitch: enumerate root candidates, then expand edge pair lists.
+    let mut out = Vec::new();
+    let mut bindings = vec![NodeId::DOCUMENT; pattern.len()];
+    for entry in &streams[pattern.root().index()] {
+        bindings[pattern.root().index()] = entry.node;
+        stitch(pattern, &edge_pairs, pattern.root(), &mut bindings, &mut out);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Expands the children of query node `q` using the per-edge pair lists.
+fn stitch(
+    pattern: &TwigPattern,
+    edge_pairs: &[HashMap<NodeId, Vec<NodeId>>],
+    q: QNodeId,
+    bindings: &mut Vec<NodeId>,
+    out: &mut Vec<TwigMatch>,
+) {
+    let children = pattern.node(q).children.clone();
+    stitch_children(pattern, edge_pairs, q, &children, 0, bindings, out);
+}
+
+fn stitch_children(
+    pattern: &TwigPattern,
+    edge_pairs: &[HashMap<NodeId, Vec<NodeId>>],
+    q: QNodeId,
+    children: &[QNodeId],
+    at: usize,
+    bindings: &mut Vec<NodeId>,
+    out: &mut Vec<TwigMatch>,
+) {
+    if at == children.len() {
+        out.push(TwigMatch {
+            bindings: bindings.clone(),
+        });
+        return;
+    }
+    let qchild = children[at];
+    let anc = bindings[q.index()];
+    let Some(descendants) = edge_pairs[qchild.index()].get(&anc) else {
+        return;
+    };
+    for &desc in descendants {
+        bindings[qchild.index()] = desc;
+        let mut sub = Vec::new();
+        stitch(pattern, edge_pairs, qchild, bindings, &mut sub);
+        for m in sub {
+            *bindings = m.bindings;
+            stitch_children(pattern, edge_pairs, q, children, at + 1, bindings, out);
+        }
+    }
+}
+
+/// The stack-tree structural join: all `(a, d)` with `a` from `ancestors`,
+/// `d` from `descendants`, and `a` an ancestor (or parent, per `axis`) of
+/// `d`. Both inputs must be in document order; output cost is
+/// `O(|A| + |D| + |result|)`.
+pub fn stack_tree_join(
+    ancestors: &[ElementEntry],
+    descendants: &[ElementEntry],
+    axis: Axis,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    let mut stack: Vec<ElementEntry> = Vec::new();
+    let mut ai = 0usize;
+    for d in descendants {
+        // Push every ancestor that starts before d does.
+        while ai < ancestors.len() && ancestors[ai].region.start < d.region.start {
+            let a = ancestors[ai];
+            // Pop finished ancestors first.
+            while let Some(top) = stack.last() {
+                if top.region.end < a.region.start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(a);
+            ai += 1;
+        }
+        // Pop ancestors that ended before d starts.
+        while let Some(top) = stack.last() {
+            if top.region.end < d.region.start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        // Every remaining stack entry contains d.
+        for a in &stack {
+            if a.region.is_ancestor_of(&d.region)
+                && (axis == Axis::Descendant || a.region.level + 1 == d.region.level)
+            {
+                out.push((a.node, d.node));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive;
+    use crate::xpath::parse_query;
+    use lotusx_labeling::RegionLabel;
+
+    fn idx() -> IndexedDocument {
+        IndexedDocument::from_str(
+            "<bib>\
+               <book><title>Data on the Web</title><author>Abiteboul</author>\
+                     <author>Buneman</author><year>1999</year></book>\
+               <book><title>XML Handbook</title><author>Goldfarb</author><year>2003</year></book>\
+               <article><title>TwigStack</title><author>Bruno</author></article>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    fn entry(node: u32, start: u32, end: u32, level: u16) -> ElementEntry {
+        ElementEntry {
+            node: NodeId::from_index(node as usize),
+            region: RegionLabel::new(start, end, level),
+        }
+    }
+
+    #[test]
+    fn stack_tree_join_ad_pairs() {
+        // a1(1,10) contains d1(2,3), a2(4,9) inside a1 contains d2(5,6).
+        let ancestors = vec![entry(1, 1, 10, 1), entry(2, 4, 9, 2)];
+        let descendants = vec![entry(3, 2, 3, 2), entry(4, 5, 6, 3)];
+        let pairs = stack_tree_join(&ancestors, &descendants, Axis::Descendant);
+        assert_eq!(pairs.len(), 3); // (a1,d1), (a1,d2), (a2,d2)
+    }
+
+    #[test]
+    fn stack_tree_join_pc_filters_levels() {
+        let ancestors = vec![entry(1, 1, 10, 1), entry(2, 4, 9, 2)];
+        let descendants = vec![entry(3, 2, 3, 2), entry(4, 5, 6, 3)];
+        let pairs = stack_tree_join(&ancestors, &descendants, Axis::Child);
+        assert_eq!(pairs, vec![
+            (NodeId::from_index(1), NodeId::from_index(3)),
+            (NodeId::from_index(2), NodeId::from_index(4)),
+        ]);
+    }
+
+    #[test]
+    fn stack_tree_join_disjoint_inputs() {
+        let ancestors = vec![entry(1, 1, 2, 1)];
+        let descendants = vec![entry(2, 3, 4, 1)];
+        assert!(stack_tree_join(&ancestors, &descendants, Axis::Descendant).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_naive_on_paths_and_twigs() {
+        let idx = idx();
+        for q in [
+            "//author",
+            "//book/title",
+            "//bib//author",
+            "//book[title][author]/year",
+            "//book[year >= 2000]/title",
+            "//*[title][author]",
+            "/bib/book/author",
+        ] {
+            let pattern = parse_query(q).unwrap();
+            let a = naive::evaluate(&idx, &pattern);
+            let b = evaluate(&idx, &pattern);
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_recursive_structure() {
+        let idx = IndexedDocument::from_str("<s><s><t/><s><t/></s></s><t/></s>").unwrap();
+        for q in ["//s//t", "//s/t", "//s[s]/t", "//s//s//t"] {
+            let pattern = parse_query(q).unwrap();
+            assert_eq!(
+                naive::evaluate(&idx, &pattern),
+                evaluate(&idx, &pattern),
+                "query {q}"
+            );
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! TJFast (Lu, Ling, Chan & Chen, VLDB 2005): twig matching from *leaf
+//! streams only*, using extended Dewey labels.
+//!
+//! For every leaf query node, the algorithm scans just that node's element
+//! stream. Each element's extended Dewey label decodes (via the tag FST)
+//! into its full root-to-node tag path, so every internal query node of the
+//! root-to-leaf query path can be matched against label *prefixes* without
+//! ever opening the internal nodes' streams — the defining advantage over
+//! TwigStack, which scans a stream per query node. Per-leaf path solutions
+//! are merged exactly as in TwigStack.
+//!
+//! Internal-node value predicates (which a pure label scan cannot see) are
+//! verified on the merged matches as a final filter.
+
+use crate::matcher::{
+    filtered_stream, match_is_valid, merge_path_solutions, PathSolution, TwigMatch,
+};
+use crate::pattern::{Axis, NodeTest, QNodeId, TwigPattern};
+use lotusx_index::IndexedDocument;
+use lotusx_xml::{NodeId, Symbol};
+
+/// Evaluates any twig pattern scanning only its leaf streams.
+pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    let paths = pattern.root_to_leaf_paths();
+    let mut per_leaf: Vec<Vec<PathSolution>> = Vec::with_capacity(paths.len());
+    for qpath in &paths {
+        let leaf = *qpath.last().expect("non-empty path");
+        let mut solutions = Vec::new();
+        for entry in filtered_stream(idx, pattern, leaf) {
+            solutions.extend(match_leaf_element(idx, pattern, qpath, entry.node));
+        }
+        per_leaf.push(solutions);
+    }
+    let merged = merge_path_solutions(pattern, &paths, &per_leaf);
+    // Internal predicates were invisible to the label scan; verify now.
+    let needs_verify = pattern
+        .node_ids()
+        .any(|q| !pattern.node(q).children.is_empty() && pattern.node(q).predicate.is_some());
+    if needs_verify {
+        merged
+            .into_iter()
+            .filter(|m| match_is_valid(idx, pattern, m))
+            .collect()
+    } else {
+        merged
+    }
+}
+
+/// All assignments of the query path onto the ancestor chain of one leaf
+/// element, derived from its decoded tag path.
+fn match_leaf_element(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    qpath: &[QNodeId],
+    leaf_element: NodeId,
+) -> Vec<PathSolution> {
+    let labels = idx.labels();
+    let tag_path: Vec<Symbol> = labels
+        .extended(leaf_element)
+        .tag_path(labels.fst())
+        .expect("labels derived from this document");
+    // Ancestor chain by depth: ancestors[d] is the element at depth d+1.
+    let mut chain: Vec<NodeId> = idx
+        .document()
+        .ancestors(leaf_element)
+        .collect();
+    chain.reverse();
+    chain.push(leaf_element);
+    debug_assert_eq!(chain.len(), tag_path.len());
+
+    // Dynamic programming over (query path position, depth): qpath[i] can
+    // be assigned to depth d (1-based index d-1 in `chain`) iff the node
+    // test matches tag_path[d-1] and the axis from qpath[i-1] is satisfied
+    // by some valid assignment of the prefix.
+    let symbols = idx.document().symbols();
+    let test_matches = |q: QNodeId, depth_idx: usize| -> bool {
+        match &pattern.node(q).test {
+            NodeTest::Wildcard => true,
+            NodeTest::Tag(name) => symbols
+                .get(name)
+                .map(|sym| tag_path[depth_idx] == sym)
+                .unwrap_or(false),
+        }
+    };
+
+    let k = qpath.len();
+    let n = tag_path.len();
+    let mut out = Vec::new();
+    if n < k {
+        return out;
+    }
+    // Backtracking enumeration (paths are short).
+    let mut assignment: Vec<usize> = Vec::with_capacity(k);
+    enumerate(
+        pattern, qpath, &test_matches, k, n, 0, &mut assignment, &mut out, &chain,
+    );
+    // The leaf must be the element itself: keep only assignments ending at
+    // the last depth.
+    out.retain(|sol| sol.nodes.last() == Some(&leaf_element));
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    pattern: &TwigPattern,
+    qpath: &[QNodeId],
+    test_matches: &dyn Fn(QNodeId, usize) -> bool,
+    k: usize,
+    n: usize,
+    pos: usize,
+    assignment: &mut Vec<usize>,
+    out: &mut Vec<PathSolution>,
+    chain: &[NodeId],
+) {
+    if pos == k {
+        out.push(PathSolution {
+            nodes: assignment.iter().map(|&d| chain[d]).collect(),
+        });
+        return;
+    }
+    let q = qpath[pos];
+    let axis = pattern.node(q).axis;
+    let candidates: Vec<usize> = if pos == 0 {
+        match axis {
+            Axis::Child => vec![0],
+            Axis::Descendant => (0..n).collect(),
+        }
+    } else {
+        let prev = assignment[pos - 1];
+        match axis {
+            Axis::Child => vec![prev + 1],
+            Axis::Descendant => (prev + 1..n).collect(),
+        }
+    };
+    for d in candidates {
+        if d >= n || !test_matches(q, d) {
+            continue;
+        }
+        // Remaining query nodes must fit below depth d.
+        if n - 1 - d < k - 1 - pos {
+            continue;
+        }
+        assignment.push(d);
+        enumerate(pattern, qpath, test_matches, k, n, pos + 1, assignment, out, chain);
+        assignment.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive;
+    use crate::xpath::parse_query;
+
+    fn idx() -> IndexedDocument {
+        IndexedDocument::from_str(
+            "<bib>\
+               <book><title>Data on the Web</title><author>Abiteboul</author>\
+                     <author>Buneman</author><year>1999</year></book>\
+               <book><title>XML Handbook</title><author>Goldfarb</author><year>2003</year></book>\
+               <article><title>TwigStack</title><author>Bruno</author><year>2002</year></article>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    fn check(idx: &IndexedDocument, q: &str) {
+        let pattern = parse_query(q).unwrap();
+        assert_eq!(
+            naive::evaluate(idx, &pattern),
+            evaluate(idx, &pattern),
+            "query {q}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_naive_on_paths_and_twigs() {
+        let idx = idx();
+        for q in [
+            "//author",
+            "//book/title",
+            "//bib//author",
+            "//book[title][author]/year",
+            "//book[year >= 2000]/title",
+            "//*[title][author]",
+            "/bib/book/author",
+            "//bib/*/title",
+        ] {
+            check(&idx, q);
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_recursive_documents() {
+        let idx = IndexedDocument::from_str(
+            "<s><s><t>1</t><u>a</u><s><t>2</t></s></s><t>3</t><u>b</u></s>",
+        )
+        .unwrap();
+        for q in [
+            "//s//t",
+            "//s/t",
+            "//s[t][u]",
+            "//s//s[t]",
+            "//s[s/t]//u",
+            "//s/s//t",
+        ] {
+            check(&idx, q);
+        }
+    }
+
+    #[test]
+    fn internal_predicate_is_verified() {
+        // The branch node `book` carries its own value predicate — invisible
+        // to a leaf-only scan, so the post-verification must handle it.
+        let idx = IndexedDocument::from_str(
+            "<bib><book>keyword<title>X</title></book><book><title>Y</title></book></bib>",
+        )
+        .unwrap();
+        let pattern = parse_query(r#"//book[. ~ "keyword"]/title"#).unwrap();
+        assert_eq!(evaluate(&idx, &pattern).len(), 1);
+        check(&idx, r#"//book[. ~ "keyword"]/title"#);
+    }
+
+    #[test]
+    fn wildcard_leaf_scans_all_elements() {
+        let idx = idx();
+        check(&idx, "//book/*");
+    }
+
+    #[test]
+    fn absent_tags_yield_empty() {
+        let idx = idx();
+        let pattern = parse_query("//book/publisher").unwrap();
+        assert!(evaluate(&idx, &pattern).is_empty());
+    }
+}

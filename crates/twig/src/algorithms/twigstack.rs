@@ -1,0 +1,268 @@
+//! TwigStack (Bruno, Koudas & Srivastava, SIGMOD 2002): the holistic twig
+//! join.
+//!
+//! `get_next` only lets an element onto the stacks when it (recursively)
+//! has matching descendants for the whole query subtree, which makes the
+//! algorithm worst-case optimal for ancestor-descendant-only twigs. Path
+//! solutions are emitted per leaf and merged into full matches at the end.
+//! Parent-child edges are processed under ancestor-descendant semantics
+//! and verified during path-solution expansion, the standard (correct but
+//! sub-optimal) treatment.
+//!
+//! One engineering addition over the paper's pseudo-code: a query subtree
+//! whose leaf streams are all exhausted is marked *dead* and skipped by
+//! `get_next`. Dead subtrees can never contribute new path solutions (a
+//! future element cannot be the ancestor of an already-consumed one), and
+//! skipping them prevents the stall the textbook pseudo-code hits when one
+//! branch drains before the others.
+
+use super::holistic_common::{clean_stack, expand_solutions, StackEntry};
+use crate::matcher::{filtered_stream, merge_path_solutions, PathSolution, TwigMatch};
+use crate::pattern::{QNodeId, TwigPattern};
+use lotusx_index::{ElementEntry, IndexedDocument, TagStream};
+
+/// Evaluates any twig pattern holistically.
+pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    let stream_data: Vec<Vec<ElementEntry>> = pattern
+        .node_ids()
+        .map(|q| filtered_stream(idx, pattern, q))
+        .collect();
+    evaluate_with_streams(idx, pattern, stream_data)
+}
+
+/// Evaluates with caller-provided per-node streams (document-ordered).
+/// Used by the guided variant, which prunes streams first.
+pub fn evaluate_with_streams(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    stream_data: Vec<Vec<ElementEntry>>,
+) -> Vec<TwigMatch> {
+    let _ = idx;
+    let mut state = State {
+        pattern,
+        streams: stream_data.iter().map(|s| TagStream::new(s)).collect(),
+        stacks: vec![Vec::new(); pattern.len()],
+        paths: pattern.root_to_leaf_paths(),
+        solutions: vec![Vec::new(); pattern.len()],
+    };
+
+    while state.subtree_alive(pattern.root()) {
+        let qact = state.get_next(pattern.root());
+        let entry = match state.streams[qact.index()].head() {
+            Some(e) => e,
+            // Defensive: an alive node always has a head; bail if not.
+            None => break,
+        };
+        let parent = pattern.node(qact).parent;
+        if let Some(p) = parent {
+            clean_stack(&mut state.stacks[p.index()], entry.region.start);
+        }
+        let parent_ok = match parent {
+            None => true,
+            Some(p) => !state.stacks[p.index()].is_empty(),
+        };
+        if parent_ok {
+            clean_stack(&mut state.stacks[qact.index()], entry.region.start);
+            let parent_top = parent.map(|p| state.stacks[p.index()].len()).unwrap_or(0);
+            state.stacks[qact.index()].push(StackEntry { entry, parent_top });
+            if pattern.node(qact).children.is_empty() {
+                let qpath = state
+                    .paths
+                    .iter()
+                    .find(|p| *p.last().expect("non-empty") == qact)
+                    .expect("every leaf has a path")
+                    .clone();
+                let sols = expand_solutions(pattern, &qpath, &state.stacks, entry, parent_top);
+                state.solutions[qact.index()].extend(sols);
+                state.stacks[qact.index()].pop();
+            }
+        }
+        state.streams[qact.index()].advance();
+    }
+
+    let per_leaf: Vec<Vec<PathSolution>> = state
+        .paths
+        .iter()
+        .map(|p| state.solutions[p.last().expect("non-empty").index()].clone())
+        .collect();
+    merge_path_solutions(pattern, &state.paths, &per_leaf)
+}
+
+struct State<'a> {
+    pattern: &'a TwigPattern,
+    streams: Vec<TagStream<'a>>,
+    stacks: Vec<Vec<StackEntry>>,
+    paths: Vec<Vec<QNodeId>>,
+    /// Emitted path solutions, indexed by leaf query node.
+    solutions: Vec<Vec<PathSolution>>,
+}
+
+impl State<'_> {
+    /// Next start of a node's stream (`u32::MAX` once exhausted).
+    fn next_l(&self, q: QNodeId) -> u32 {
+        self.streams[q.index()]
+            .head()
+            .map(|e| e.region.start)
+            .unwrap_or(u32::MAX)
+    }
+
+    /// Next end of a node's stream (`u32::MAX` once exhausted).
+    fn next_r(&self, q: QNodeId) -> u32 {
+        self.streams[q.index()]
+            .head()
+            .map(|e| e.region.end)
+            .unwrap_or(u32::MAX)
+    }
+
+    /// True while the subtree below `q` can still emit path solutions:
+    /// at least one of its leaf streams has elements left.
+    fn subtree_alive(&self, q: QNodeId) -> bool {
+        let node = self.pattern.node(q);
+        if node.children.is_empty() {
+            return !self.streams[q.index()].is_exhausted();
+        }
+        node.children.iter().any(|c| self.subtree_alive(*c))
+    }
+
+    /// The paper's `getNext`, restricted to alive subtrees.
+    fn get_next(&mut self, q: QNodeId) -> QNodeId {
+        let children: Vec<QNodeId> = self.pattern.node(q).children.clone();
+        let alive: Vec<QNodeId> = children
+            .iter()
+            .copied()
+            .filter(|c| self.subtree_alive(*c))
+            .collect();
+        if alive.is_empty() {
+            // Leaf, or an interior node whose branches are all dead —
+            // behaves like a leaf.
+            return q;
+        }
+        for &qi in &alive {
+            let ni = self.get_next(qi);
+            if ni != qi {
+                return ni;
+            }
+        }
+        let nmin = alive
+            .iter()
+            .copied()
+            .min_by_key(|c| self.next_l(*c))
+            .expect("non-empty");
+        let nmax_l = alive
+            .iter()
+            .map(|c| self.next_l(*c))
+            .max()
+            .expect("non-empty");
+        // Skip q-elements that end before the furthest child element
+        // starts: they cannot contain a full set of child matches.
+        while self.next_r(q) < nmax_l {
+            self.streams[q.index()].advance();
+        }
+        if self.next_l(q) < self.next_l(nmin) {
+            q
+        } else {
+            nmin
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive;
+    use crate::xpath::parse_query;
+
+    fn idx() -> IndexedDocument {
+        IndexedDocument::from_str(
+            "<bib>\
+               <book><title>Data on the Web</title><author>Abiteboul</author>\
+                     <author>Buneman</author><year>1999</year></book>\
+               <book><title>XML Handbook</title><author>Goldfarb</author><year>2003</year></book>\
+               <article><title>TwigStack</title><author>Bruno</author><year>2002</year></article>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    fn check(idx: &IndexedDocument, q: &str) {
+        let pattern = parse_query(q).unwrap();
+        assert_eq!(
+            naive::evaluate(idx, &pattern),
+            evaluate(idx, &pattern),
+            "query {q}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_naive_on_twigs() {
+        let idx = idx();
+        for q in [
+            "//book",
+            "//book[title][author]",
+            "//book[title][author]/year",
+            "//bib[book][article]",
+            "//book[year >= 2000]/title",
+            "//*[title][author]",
+            "//bib//book[author][title][year]",
+            "/bib/book[author]",
+        ] {
+            check(&idx, q);
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_recursive_documents() {
+        let idx = IndexedDocument::from_str(
+            "<s><s><t>1</t><u>a</u><s><t>2</t></s></s><t>3</t><u>b</u></s>",
+        )
+        .unwrap();
+        for q in [
+            "//s[t][u]",
+            "//s[s/t]//u",
+            "//s[s][t]",
+            "//s//s[t]",
+            "//s[t]/s[t]",
+        ] {
+            check(&idx, q);
+        }
+    }
+
+    #[test]
+    fn drained_branch_does_not_stall_or_lose_solutions() {
+        // x occurs once, early; b elements keep coming afterwards. The
+        // a//x branch dies, yet //r[a//x][b] must still pair the old x
+        // solution with the later b's.
+        let idx = IndexedDocument::from_str(
+            "<r><a><x>1</x></a><b>1</b><b>2</b><b>3</b></r>",
+        )
+        .unwrap();
+        check(&idx, "//r[a//x][b]");
+        let pattern = parse_query("//r[a//x][b]").unwrap();
+        assert_eq!(evaluate(&idx, &pattern).len(), 3);
+    }
+
+    #[test]
+    fn cross_product_branches() {
+        let idx = IndexedDocument::from_str(
+            "<r><p><c1>1</c1><c1>2</c1><c2>x</c2><c2>y</c2><c2>z</c2></p></r>",
+        )
+        .unwrap();
+        let pattern = parse_query("//p[c1][c2]").unwrap();
+        assert_eq!(evaluate(&idx, &pattern).len(), 6);
+        check(&idx, "//p[c1][c2]");
+    }
+
+    #[test]
+    fn empty_streams_give_empty_results() {
+        let idx = idx();
+        let pattern = parse_query("//book[nosuch][author]").unwrap();
+        assert!(evaluate(&idx, &pattern).is_empty());
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        let idx = idx();
+        let pattern = parse_query("//author").unwrap();
+        assert_eq!(evaluate(&idx, &pattern).len(), 4);
+    }
+}

@@ -1,0 +1,195 @@
+//! Algorithm selection facade.
+
+use crate::algorithms::{guided, naive, pathstack, structural_join, tjfast, twigstack};
+use crate::matcher::TwigMatch;
+use crate::ordered::filter_ordered;
+use crate::pattern::TwigPattern;
+use lotusx_index::IndexedDocument;
+
+/// The available twig evaluation algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Navigational top-down matching (baseline).
+    Naive,
+    /// Binary structural joins per edge (baseline).
+    StructuralJoin,
+    /// Holistic PathStack; twigs are routed to TwigStack.
+    PathStack,
+    /// Holistic TwigStack.
+    TwigStack,
+    /// TJFast over extended Dewey leaf streams.
+    TJFast,
+    /// TwigStack over DataGuide-pruned streams (position-aware execution).
+    TwigStackGuided,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order the experiments report them.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Naive,
+        Algorithm::StructuralJoin,
+        Algorithm::PathStack,
+        Algorithm::TwigStack,
+        Algorithm::TJFast,
+        Algorithm::TwigStackGuided,
+    ];
+
+    /// A short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Naive => "naive",
+            Algorithm::StructuralJoin => "structural-join",
+            Algorithm::PathStack => "pathstack",
+            Algorithm::TwigStack => "twigstack",
+            Algorithm::TJFast => "tjfast",
+            Algorithm::TwigStackGuided => "twigstack-guided",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Picks an algorithm from simple cost signals — what the engine runs
+/// when the caller has not pinned one:
+///
+/// * path queries → PathStack (E9c: 1.5–2.3× over TwigStack on paths);
+/// * twigs whose most selective stream is tiny → the navigational
+///   baseline (its constants win when there is almost nothing to join);
+/// * everything else → TwigStack.
+pub fn select_algorithm(idx: &IndexedDocument, pattern: &TwigPattern) -> Algorithm {
+    if pattern.is_path() {
+        return Algorithm::PathStack;
+    }
+    let min_stream = pattern
+        .node_ids()
+        .map(|q| match pattern.node(q).test.tag_name() {
+            Some(name) => idx
+                .document()
+                .symbols()
+                .get(name)
+                .map(|sym| idx.tags().frequency(sym))
+                .unwrap_or(0),
+            None => idx.stats().element_count,
+        })
+        .min()
+        .unwrap_or(0);
+    if min_stream <= 32 {
+        Algorithm::Naive
+    } else {
+        Algorithm::TwigStack
+    }
+}
+
+/// Evaluates `pattern` over `idx` with the chosen algorithm, applying the
+/// order-sensitivity filter if the pattern requests it.
+pub fn execute(idx: &IndexedDocument, pattern: &TwigPattern, algorithm: Algorithm) -> Vec<TwigMatch> {
+    let matches = match algorithm {
+        Algorithm::Naive => naive::evaluate(idx, pattern),
+        Algorithm::StructuralJoin => structural_join::evaluate(idx, pattern),
+        Algorithm::PathStack => {
+            if pattern.is_path() {
+                pathstack::evaluate(idx, pattern)
+            } else {
+                twigstack::evaluate(idx, pattern)
+            }
+        }
+        Algorithm::TwigStack => twigstack::evaluate(idx, pattern),
+        Algorithm::TJFast => tjfast::evaluate(idx, pattern),
+        Algorithm::TwigStackGuided => guided::evaluate(idx, pattern),
+    };
+    if pattern.is_ordered() {
+        filter_ordered(idx, pattern, matches)
+    } else {
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parse_query;
+
+    fn idx() -> IndexedDocument {
+        IndexedDocument::from_str(
+            "<bib>\
+               <book><title>A</title><author>X</author><year>1999</year></book>\
+               <book><author>Y</author><title>B</title><year>2003</year></book>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        let idx = idx();
+        for q in [
+            "//book/title",
+            "//book[title][author]",
+            "//book[year >= 2000]/title",
+            "//bib//author",
+        ] {
+            let pattern = parse_query(q).unwrap();
+            let reference = execute(&idx, &pattern, Algorithm::Naive);
+            for algo in Algorithm::ALL {
+                assert_eq!(
+                    execute(&idx, &pattern, algo),
+                    reference,
+                    "algorithm {algo} on {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pathstack_routes_twigs_to_twigstack() {
+        let idx = idx();
+        let pattern = parse_query("//book[title][author]").unwrap();
+        // Must not panic despite branching.
+        let m = execute(&idx, &pattern, Algorithm::PathStack);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn ordered_patterns_are_filtered_for_every_algorithm() {
+        let idx = idx();
+        let pattern = parse_query("ordered //book[title][author]").unwrap();
+        for algo in Algorithm::ALL {
+            let m = execute(&idx, &pattern, algo);
+            assert_eq!(m.len(), 1, "algorithm {algo}");
+        }
+    }
+
+    #[test]
+    fn selector_routes_by_shape_and_selectivity() {
+        let idx = idx();
+        // Path → PathStack.
+        let p = parse_query("//bib/book/title").unwrap();
+        assert_eq!(select_algorithm(&idx, &p), Algorithm::PathStack);
+        // Twig with a tiny stream (2 books) → Naive.
+        let p = parse_query("//book[title][author]").unwrap();
+        assert_eq!(select_algorithm(&idx, &p), Algorithm::Naive);
+        // Twig over an unknown tag → empty stream → Naive (trivial).
+        let p = parse_query("//nosuch[title][author]").unwrap();
+        assert_eq!(select_algorithm(&idx, &p), Algorithm::Naive);
+        // The selected algorithm always returns the reference answer.
+        for q in ["//bib/book/title", "//book[title][author]"] {
+            let pattern = parse_query(q).unwrap();
+            let selected = select_algorithm(&idx, &pattern);
+            assert_eq!(
+                execute(&idx, &pattern, selected),
+                execute(&idx, &pattern, Algorithm::Naive),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Algorithm::TwigStack.to_string(), "twigstack");
+        assert_eq!(Algorithm::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,497 @@
+//! Shared evaluation plumbing: filtered streams, predicate checks, the
+//! match representation, and the path-solution merge used by the holistic
+//! algorithms.
+
+use crate::pattern::{Axis, NodeTest, QNodeId, TwigPattern, ValuePredicate};
+use lotusx_index::{ElementEntry, IndexedDocument};
+use lotusx_xml::{NodeId, NodeKind};
+use std::collections::{HashMap, HashSet};
+
+/// One complete twig match: a binding for every query node.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TwigMatch {
+    /// `bindings[q.index()]` is the element bound to query node `q`.
+    pub bindings: Vec<NodeId>,
+}
+
+impl TwigMatch {
+    /// The binding of query node `q`.
+    pub fn binding(&self, q: QNodeId) -> NodeId {
+        self.bindings[q.index()]
+    }
+
+    /// Projects the match onto the pattern's output nodes.
+    pub fn project(&self, pattern: &TwigPattern) -> Vec<NodeId> {
+        pattern
+            .output_nodes()
+            .into_iter()
+            .map(|q| self.binding(q))
+            .collect()
+    }
+}
+
+/// Evaluates a value predicate directly against an element's content.
+pub fn predicate_matches(idx: &IndexedDocument, node: NodeId, pred: &ValuePredicate) -> bool {
+    let doc = idx.document();
+    match pred {
+        ValuePredicate::Equals(v) => {
+            doc.direct_text(node).trim().eq_ignore_ascii_case(v.trim())
+        }
+        ValuePredicate::Contains(v) => {
+            let needles = lotusx_index::tokenize(v);
+            if needles.is_empty() {
+                return true;
+            }
+            let mut content = doc.direct_text(node);
+            if let NodeKind::Element { attributes, .. } = doc.kind(node) {
+                for (_, value) in attributes {
+                    content.push(' ');
+                    content.push_str(value);
+                }
+            }
+            let haystack: HashSet<String> = lotusx_index::tokenize(&content).into_iter().collect();
+            needles.iter().all(|t| haystack.contains(t))
+        }
+        ValuePredicate::Range { low, high } => doc
+            .direct_text(node)
+            .trim()
+            .parse::<f64>()
+            .map(|n| *low <= n && n <= *high)
+            .unwrap_or(false),
+        ValuePredicate::AttrEquals { name, value } => doc
+            .attribute(node, name)
+            .map(|v| v.trim().eq_ignore_ascii_case(value.trim()))
+            .unwrap_or(false),
+        ValuePredicate::AttrContains { name, value } => doc
+            .attribute(node, name)
+            .map(|v| {
+                let haystack: HashSet<String> =
+                    lotusx_index::tokenize(v).into_iter().collect();
+                lotusx_index::tokenize(value)
+                    .iter()
+                    .all(|t| haystack.contains(t))
+            })
+            .unwrap_or(false),
+        ValuePredicate::AttrRange { name, low, high } => doc
+            .attribute(node, name)
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .map(|n| *low <= n && n <= *high)
+            .unwrap_or(false),
+        ValuePredicate::AttrExists { name } => doc.attribute(node, name).is_some(),
+    }
+}
+
+/// The document-ordered stream of elements matching a query node's test and
+/// predicate — the input every join algorithm consumes for that node.
+///
+/// Predicates are pushed into the index: `Equals` and `Range` resolve to
+/// candidate sets from the value index which are then intersected with the
+/// tag stream, so a selective predicate shrinks the stream before any join
+/// work happens.
+pub fn filtered_stream(idx: &IndexedDocument, pattern: &TwigPattern, q: QNodeId) -> Vec<ElementEntry> {
+    let node = pattern.node(q);
+    let base: &[ElementEntry] = match &node.test {
+        NodeTest::Tag(name) => match idx.document().symbols().get(name) {
+            Some(sym) => idx.tags().stream(sym),
+            None => &[],
+        },
+        NodeTest::Wildcard => idx.all_elements(),
+    };
+    // A child-axis query root can only bind the document's root element.
+    if node.parent.is_none() && node.axis == Axis::Child {
+        let mut out: Vec<ElementEntry> =
+            base.iter().filter(|e| e.region.level == 1).copied().collect();
+        if let Some(pred) = &node.predicate {
+            out.retain(|e| predicate_matches(idx, e.node, pred));
+        }
+        return out;
+    }
+    match &node.predicate {
+        None => base.to_vec(),
+        // Attribute predicates and term containment have no dedicated
+        // candidate index; they filter the tag stream directly.
+        Some(
+            pred @ (ValuePredicate::Contains(_)
+            | ValuePredicate::AttrEquals { .. }
+            | ValuePredicate::AttrContains { .. }
+            | ValuePredicate::AttrRange { .. }
+            | ValuePredicate::AttrExists { .. }),
+        ) => base
+            .iter()
+            .filter(|e| predicate_matches(idx, e.node, pred))
+            .copied()
+            .collect(),
+        Some(ValuePredicate::Equals(v)) => {
+            let allowed: HashSet<NodeId> = idx.values().exact_matches(v).iter().copied().collect();
+            base.iter()
+                .filter(|e| allowed.contains(&e.node))
+                .copied()
+                .collect()
+        }
+        Some(ValuePredicate::Range { low, high }) => {
+            let allowed: HashSet<NodeId> =
+                idx.values().range_matches(*low, *high).into_iter().collect();
+            base.iter()
+                .filter(|e| allowed.contains(&e.node))
+                .copied()
+                .collect()
+        }
+    }
+}
+
+/// Checks the structural edge between a bound parent and child element.
+pub fn edge_satisfied(
+    idx: &IndexedDocument,
+    axis: Axis,
+    parent: NodeId,
+    child: NodeId,
+) -> bool {
+    let labels = idx.labels();
+    match axis {
+        Axis::Child => labels.is_parent(parent, child),
+        Axis::Descendant => labels.is_ancestor(parent, child),
+    }
+}
+
+/// A root-to-leaf path solution: bindings for the query nodes along one
+/// root-to-leaf path of the pattern, in path order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathSolution {
+    /// Bindings, aligned with the query path.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Merges per-leaf path solutions into full twig matches.
+///
+/// `paths[i]` is the i-th root-to-leaf query path; `solutions[i]` its
+/// solutions. Two solutions are joinable iff they agree on every query node
+/// the two paths share (their common prefix plus any other shared nodes —
+/// for a tree pattern, shared nodes are exactly the common prefix).
+pub fn merge_path_solutions(
+    pattern: &TwigPattern,
+    paths: &[Vec<QNodeId>],
+    solutions: &[Vec<PathSolution>],
+) -> Vec<TwigMatch> {
+    assert_eq!(paths.len(), solutions.len());
+    if paths.is_empty() {
+        return Vec::new();
+    }
+    // Partial assignments: query-node -> element, grown one leaf at a time.
+    let mut partials: Vec<HashMap<QNodeId, NodeId>> = solutions[0]
+        .iter()
+        .map(|sol| {
+            paths[0]
+                .iter()
+                .copied()
+                .zip(sol.nodes.iter().copied())
+                .collect()
+        })
+        .collect();
+
+    for (path, sols) in paths.iter().zip(solutions.iter()).skip(1) {
+        if partials.is_empty() {
+            return Vec::new();
+        }
+        // Index the new leaf's solutions by their bindings on the query
+        // nodes already assigned (the shared prefix with previous paths).
+        let shared: Vec<usize> = path
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| partials[0].contains_key(q))
+            .map(|(i, _)| i)
+            .collect();
+        let mut by_key: HashMap<Vec<NodeId>, Vec<&PathSolution>> = HashMap::new();
+        for sol in sols {
+            let key: Vec<NodeId> = shared.iter().map(|&i| sol.nodes[i]).collect();
+            by_key.entry(key).or_default().push(sol);
+        }
+        let mut next: Vec<HashMap<QNodeId, NodeId>> = Vec::new();
+        for partial in &partials {
+            let key: Vec<NodeId> = shared.iter().map(|&i| partial[&path[i]]).collect();
+            if let Some(matching) = by_key.get(&key) {
+                for sol in matching {
+                    let mut extended = partial.clone();
+                    for (q, n) in path.iter().zip(sol.nodes.iter()) {
+                        extended.insert(*q, *n);
+                    }
+                    next.push(extended);
+                }
+            }
+        }
+        partials = next;
+    }
+
+    let mut out: Vec<TwigMatch> = partials
+        .into_iter()
+        .map(|assignment| TwigMatch {
+            bindings: pattern
+                .node_ids()
+                .map(|q| assignment[&q])
+                .collect(),
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Verifies a full match against every edge, test and predicate — the
+/// ground-truth validity check used by tests and post-filters.
+pub fn match_is_valid(idx: &IndexedDocument, pattern: &TwigPattern, m: &TwigMatch) -> bool {
+    let doc = idx.document();
+    for q in pattern.node_ids() {
+        let node = pattern.node(q);
+        let bound = m.binding(q);
+        if !doc.is_element(bound) {
+            return false;
+        }
+        if let NodeTest::Tag(name) = &node.test {
+            if doc.tag_name(bound) != Some(name.as_str()) {
+                return false;
+            }
+        }
+        if let Some(pred) = &node.predicate {
+            if !predicate_matches(idx, bound, pred) {
+                return false;
+            }
+        }
+        match node.parent {
+            Some(p) => {
+                if !edge_satisfied(idx, node.axis, m.binding(p), bound) {
+                    return false;
+                }
+            }
+            None => {
+                // Root edge: Child means the query root binds the document
+                // root element; Descendant allows any element.
+                if node.axis == Axis::Child && doc.parent(bound) != Some(NodeId::DOCUMENT) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::TwigBuilder;
+    use lotusx_index::IndexedDocument;
+
+    fn idx() -> IndexedDocument {
+        IndexedDocument::from_str(
+            "<bib>\
+               <book><title>Data on the Web</title><year>1999</year></book>\
+               <book><title>XML Handbook</title><year>2003</year></book>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    fn nth_element(idx: &IndexedDocument, tag: &str, n: usize) -> NodeId {
+        let sym = idx.document().symbols().get(tag).unwrap();
+        idx.tags().stream(sym)[n].node
+    }
+
+    #[test]
+    fn filtered_stream_by_tag() {
+        let idx = idx();
+        let b = TwigBuilder::root("book");
+        let p = b.build();
+        let stream = filtered_stream(&idx, &p, p.root());
+        assert_eq!(stream.len(), 2);
+    }
+
+    #[test]
+    fn filtered_stream_unknown_tag_is_empty() {
+        let idx = idx();
+        let b = TwigBuilder::root("nosuchtag");
+        let p = b.build();
+        assert!(filtered_stream(&idx, &p, p.root()).is_empty());
+    }
+
+    #[test]
+    fn filtered_stream_wildcard_sees_everything() {
+        let idx = idx();
+        let b = TwigBuilder::wildcard_root();
+        let p = b.build();
+        assert_eq!(
+            filtered_stream(&idx, &p, p.root()).len(),
+            idx.stats().element_count
+        );
+    }
+
+    #[test]
+    fn filtered_stream_applies_predicates() {
+        let idx = idx();
+        let mut b = TwigBuilder::root("year");
+        b.predicate(
+            b.root_id(),
+            ValuePredicate::Range {
+                low: 2000.0,
+                high: f64::INFINITY,
+            },
+        );
+        let p = b.build();
+        let stream = filtered_stream(&idx, &p, p.root());
+        assert_eq!(stream.len(), 1);
+
+        let mut b = TwigBuilder::root("title");
+        b.predicate(b.root_id(), ValuePredicate::Contains("xml".into()));
+        let p = b.build();
+        assert_eq!(filtered_stream(&idx, &p, p.root()).len(), 1);
+
+        let mut b = TwigBuilder::root("title");
+        b.predicate(b.root_id(), ValuePredicate::Equals("data on the web".into()));
+        let p = b.build();
+        assert_eq!(filtered_stream(&idx, &p, p.root()).len(), 1);
+    }
+
+    #[test]
+    fn predicate_matches_semantics() {
+        let idx = idx();
+        let title0 = nth_element(&idx, "title", 0);
+        assert!(predicate_matches(
+            &idx,
+            title0,
+            &ValuePredicate::Equals("Data on the Web".into())
+        ));
+        assert!(predicate_matches(
+            &idx,
+            title0,
+            &ValuePredicate::Contains("web data".into())
+        ));
+        assert!(!predicate_matches(
+            &idx,
+            title0,
+            &ValuePredicate::Contains("xml".into())
+        ));
+        let year0 = nth_element(&idx, "year", 0);
+        assert!(predicate_matches(
+            &idx,
+            year0,
+            &ValuePredicate::Range {
+                low: 1999.0,
+                high: 1999.0
+            }
+        ));
+        assert!(!predicate_matches(
+            &idx,
+            year0,
+            &ValuePredicate::Range {
+                low: 2000.0,
+                high: 2400.0
+            }
+        ));
+    }
+
+    #[test]
+    fn attribute_predicates_match_attributes() {
+        let idx = IndexedDocument::from_str(
+            r#"<bib><book year="1999" lang="en"/><book year="2003"/></bib>"#,
+        )
+        .unwrap();
+        let book0 = nth_element(&idx, "book", 0);
+        let book1 = nth_element(&idx, "book", 1);
+        assert!(predicate_matches(
+            &idx,
+            book0,
+            &ValuePredicate::AttrEquals { name: "lang".into(), value: "EN".into() }
+        ));
+        assert!(!predicate_matches(
+            &idx,
+            book1,
+            &ValuePredicate::AttrExists { name: "lang".into() }
+        ));
+        assert!(predicate_matches(
+            &idx,
+            book1,
+            &ValuePredicate::AttrRange { name: "year".into(), low: 2000.0, high: 2400.0 }
+        ));
+        assert!(!predicate_matches(
+            &idx,
+            book0,
+            &ValuePredicate::AttrRange { name: "year".into(), low: 2000.0, high: 2400.0 }
+        ));
+        assert!(predicate_matches(
+            &idx,
+            book0,
+            &ValuePredicate::AttrContains { name: "lang".into(), value: "en".into() }
+        ));
+
+        // Through the stream filter and a full query:
+        let mut b = TwigBuilder::root("book");
+        b.predicate(
+            b.root_id(),
+            ValuePredicate::AttrRange { name: "year".into(), low: 2000.0, high: f64::INFINITY },
+        );
+        let p = b.build();
+        let stream = filtered_stream(&idx, &p, p.root());
+        assert_eq!(stream.len(), 1);
+        assert_eq!(stream[0].node, book1);
+    }
+
+    #[test]
+    fn merge_joins_on_shared_prefix() {
+        let idx = idx();
+        // //book[/title][/year]
+        let mut b = TwigBuilder::root("book");
+        let root = b.root_id();
+        let title = b.child(root, "title");
+        let year = b.child(root, "year");
+        let p = b.build();
+        let paths = p.root_to_leaf_paths();
+        assert_eq!(paths, vec![vec![root, title], vec![root, year]]);
+
+        let book0 = nth_element(&idx, "book", 0);
+        let book1 = nth_element(&idx, "book", 1);
+        let t0 = nth_element(&idx, "title", 0);
+        let t1 = nth_element(&idx, "title", 1);
+        let y0 = nth_element(&idx, "year", 0);
+        let y1 = nth_element(&idx, "year", 1);
+
+        let sols_title = vec![
+            PathSolution { nodes: vec![book0, t0] },
+            PathSolution { nodes: vec![book1, t1] },
+        ];
+        let sols_year = vec![
+            PathSolution { nodes: vec![book0, y0] },
+            PathSolution { nodes: vec![book1, y1] },
+        ];
+        let merged = merge_path_solutions(&p, &paths, &[sols_title, sols_year]);
+        assert_eq!(merged.len(), 2);
+        for m in &merged {
+            assert!(match_is_valid(&idx, &p, m));
+        }
+        // Cross-book combinations must not appear.
+        assert!(!merged.iter().any(|m| m.binding(root) == book0 && m.binding(year) == y1));
+    }
+
+    #[test]
+    fn merge_with_empty_leaf_solutions_is_empty() {
+        let mut b = TwigBuilder::root("book");
+        let root = b.root_id();
+        b.child(root, "title");
+        b.child(root, "year");
+        let p = b.build();
+        let paths = p.root_to_leaf_paths();
+        let merged = merge_path_solutions(&p, &paths, &[vec![], vec![]]);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn match_is_valid_checks_everything() {
+        let idx = idx();
+        let mut b = TwigBuilder::root("book");
+        let root = b.root_id();
+        b.child(root, "title");
+        let p = b.build();
+        let book0 = nth_element(&idx, "book", 0);
+        let t0 = nth_element(&idx, "title", 0);
+        let t1 = nth_element(&idx, "title", 1);
+        assert!(match_is_valid(&idx, &p, &TwigMatch { bindings: vec![book0, t0] }));
+        // Title of the other book fails the child edge.
+        assert!(!match_is_valid(&idx, &p, &TwigMatch { bindings: vec![book0, t1] }));
+    }
+}

@@ -1,0 +1,166 @@
+//! The crown-jewel invariant: all five twig algorithms produce identical
+//! match sets, on random documents × random patterns (proptest) and on the
+//! canonical datasets × canonical query workloads.
+
+use lotusx_datagen::{queries, Dataset};
+use lotusx_index::IndexedDocument;
+use lotusx_twig::exec::{execute, Algorithm};
+use lotusx_twig::matcher::match_is_valid;
+use lotusx_twig::pattern::{Axis, NodeTest, TwigPattern};
+use lotusx_twig::xpath::parse_query;
+use lotusx_xml::{Document, NodeId};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Canonical workloads
+// ---------------------------------------------------------------------
+
+#[test]
+fn algorithms_agree_on_canonical_workloads() {
+    for ds in Dataset::ALL {
+        let doc = lotusx_datagen::generate(ds, 1, 99);
+        let idx = IndexedDocument::build(doc);
+        for q in queries::queries(ds) {
+            let pattern = parse_query(q.text).unwrap();
+            let reference = execute(&idx, &pattern, Algorithm::Naive);
+            for m in &reference {
+                assert!(match_is_valid(&idx, &pattern, m), "{} {}", ds, q.id);
+            }
+            for algo in Algorithm::ALL {
+                let got = execute(&idx, &pattern, algo);
+                assert_eq!(
+                    got.len(),
+                    reference.len(),
+                    "{} {} via {}: {} vs {} matches",
+                    ds,
+                    q.id,
+                    algo,
+                    got.len(),
+                    reference.len()
+                );
+                assert_eq!(got, reference, "{} {} via {}", ds, q.id, algo);
+            }
+        }
+    }
+}
+
+#[test]
+fn ordered_variants_are_subsets_on_canonical_workloads() {
+    for ds in Dataset::ALL {
+        let doc = lotusx_datagen::generate(ds, 1, 77);
+        let idx = IndexedDocument::build(doc);
+        for q in queries::queries(ds) {
+            let mut pattern = parse_query(q.text).unwrap();
+            let unordered = execute(&idx, &pattern, Algorithm::TwigStack);
+            pattern.set_ordered(true);
+            let ordered = execute(&idx, &pattern, Algorithm::TwigStack);
+            assert!(ordered.len() <= unordered.len(), "{} {}", ds, q.id);
+            for m in &ordered {
+                assert!(unordered.contains(m), "{} {}", ds, q.id);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random documents × random patterns
+// ---------------------------------------------------------------------
+
+const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+#[derive(Clone, Debug)]
+struct GenTree {
+    tag: usize,
+    children: Vec<GenTree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = GenTree> {
+    let leaf = (0usize..TAGS.len()).prop_map(|tag| GenTree {
+        tag,
+        children: vec![],
+    });
+    leaf.prop_recursive(5, 50, 4, |inner| {
+        ((0usize..TAGS.len()), prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| GenTree { tag, children })
+    })
+}
+
+fn build(doc: &mut Document, parent: NodeId, t: &GenTree) {
+    let e = doc.append_element(parent, TAGS[t.tag]);
+    for c in &t.children {
+        build(doc, e, c);
+    }
+}
+
+/// A small random pattern: a root plus up to 4 more nodes attached to
+/// random earlier nodes with random axes/tests.
+#[derive(Clone, Debug)]
+struct GenPattern {
+    root_tag: usize,
+    root_wild: bool,
+    // (parent index among already-created nodes, axis-is-child, tag, wild)
+    extra: Vec<(usize, bool, usize, bool)>,
+    ordered: bool,
+}
+
+fn pattern_strategy() -> impl Strategy<Value = GenPattern> {
+    (
+        0usize..TAGS.len(),
+        prop::collection::vec(
+            (0usize..5, any::<bool>(), 0usize..TAGS.len(), prop::bool::weighted(0.2)),
+            0..4,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(root_tag, extra, ordered)| GenPattern {
+            root_tag,
+            // Wildcard roots multiply matches combinatorially and slow the
+            // naive oracle to a crawl; interior wildcards cover the case.
+            root_wild: false,
+            extra,
+            ordered,
+        })
+}
+
+fn materialize(gp: &GenPattern) -> TwigPattern {
+    let test = if gp.root_wild {
+        NodeTest::Wildcard
+    } else {
+        NodeTest::Tag(TAGS[gp.root_tag].to_string())
+    };
+    let mut pattern = TwigPattern::new(test, Axis::Descendant);
+    let mut ids = vec![pattern.root()];
+    for (parent, is_child, tag, wild) in &gp.extra {
+        let axis = if *is_child { Axis::Child } else { Axis::Descendant };
+        let test = if *wild {
+            NodeTest::Wildcard
+        } else {
+            NodeTest::Tag(TAGS[*tag].to_string())
+        };
+        let id = pattern.add_child(ids[parent % ids.len()], axis, test);
+        ids.push(id);
+    }
+    pattern.set_ordered(gp.ordered);
+    pattern
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_algorithms_agree_on_random_inputs(root in tree_strategy(), gp in pattern_strategy()) {
+        let mut doc = Document::new();
+        build(&mut doc, NodeId::DOCUMENT, &root);
+        let idx = IndexedDocument::build(doc);
+        let pattern = materialize(&gp);
+
+        let reference = execute(&idx, &pattern, Algorithm::Naive);
+        for m in &reference {
+            prop_assert!(match_is_valid(&idx, &pattern, m));
+        }
+        for algo in [Algorithm::StructuralJoin, Algorithm::PathStack, Algorithm::TwigStack, Algorithm::TJFast, Algorithm::TwigStackGuided] {
+            let got = execute(&idx, &pattern, algo);
+            prop_assert_eq!(&got, &reference, "algorithm {} on pattern {}", algo, pattern);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Error types for tokenizing and parsing XML.
+
+use std::fmt;
+
+/// A line/column position in the input text, both 1-based.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TextPos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes from the start of the line).
+    pub col: u32,
+}
+
+impl TextPos {
+    /// Creates a new position.
+    pub fn new(line: u32, col: u32) -> Self {
+        TextPos { line, col }
+    }
+
+    /// Computes the position of byte `offset` within `text`.
+    pub fn from_offset(text: &str, offset: usize) -> Self {
+        let offset = offset.min(text.len());
+        let mut line = 1u32;
+        let mut line_start = 0usize;
+        for (i, b) in text.as_bytes()[..offset].iter().enumerate() {
+            if *b == b'\n' {
+                line += 1;
+                line_start = i + 1;
+            }
+        }
+        TextPos::new(line, (offset - line_start) as u32 + 1)
+    }
+}
+
+impl fmt::Display for TextPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors produced while tokenizing or parsing an XML document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the tokenizer was in the middle of reading.
+        expected: &'static str,
+    },
+    /// A character that is not allowed at this point of the grammar.
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+        /// What was expected instead.
+        expected: &'static str,
+        /// Where it occurred.
+        pos: TextPos,
+    },
+    /// An XML name (tag or attribute) was malformed or empty.
+    InvalidName {
+        /// Where it occurred.
+        pos: TextPos,
+    },
+    /// An entity reference that is not one of the five predefined entities
+    /// or a character reference.
+    UnknownEntity {
+        /// The entity name as written (without `&` and `;`).
+        name: String,
+        /// Where it occurred.
+        pos: TextPos,
+    },
+    /// A numeric character reference that does not denote a valid char.
+    InvalidCharRef {
+        /// Where it occurred.
+        pos: TextPos,
+    },
+    /// An attribute appeared twice on the same element.
+    DuplicateAttribute {
+        /// The attribute name.
+        name: String,
+        /// Where it occurred.
+        pos: TextPos,
+    },
+    /// A closing tag did not match the open element.
+    MismatchedTag {
+        /// The tag that was open.
+        expected: String,
+        /// The closing tag that was found.
+        found: String,
+        /// Where it occurred.
+        pos: TextPos,
+    },
+    /// A closing tag with no matching open element.
+    UnexpectedClosingTag {
+        /// The closing tag name.
+        found: String,
+        /// Where it occurred.
+        pos: TextPos,
+    },
+    /// The document ended with elements still open.
+    UnclosedElements {
+        /// The innermost unclosed tag.
+        tag: String,
+    },
+    /// The document has no root element, or content outside the root.
+    InvalidDocumentStructure {
+        /// Human-readable description of the violation.
+        detail: &'static str,
+        /// Where it occurred.
+        pos: TextPos,
+    },
+    /// Document nesting exceeded the configured limit.
+    TooDeep {
+        /// The configured depth limit.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input while reading {expected}")
+            }
+            Error::UnexpectedChar {
+                found,
+                expected,
+                pos,
+            } => write!(f, "unexpected character {found:?} at {pos}, expected {expected}"),
+            Error::InvalidName { pos } => write!(f, "invalid XML name at {pos}"),
+            Error::UnknownEntity { name, pos } => {
+                write!(f, "unknown entity &{name}; at {pos}")
+            }
+            Error::InvalidCharRef { pos } => write!(f, "invalid character reference at {pos}"),
+            Error::DuplicateAttribute { name, pos } => {
+                write!(f, "duplicate attribute {name:?} at {pos}")
+            }
+            Error::MismatchedTag {
+                expected,
+                found,
+                pos,
+            } => write!(f, "closing tag </{found}> at {pos} does not match open <{expected}>"),
+            Error::UnexpectedClosingTag { found, pos } => {
+                write!(f, "closing tag </{found}> at {pos} has no matching open element")
+            }
+            Error::UnclosedElements { tag } => {
+                write!(f, "document ended while <{tag}> was still open")
+            }
+            Error::InvalidDocumentStructure { detail, pos } => {
+                write!(f, "invalid document structure at {pos}: {detail}")
+            }
+            Error::TooDeep { limit } => {
+                write!(f, "element nesting exceeds the configured limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_pos_from_offset_counts_lines_and_columns() {
+        let text = "ab\ncd\nef";
+        assert_eq!(TextPos::from_offset(text, 0), TextPos::new(1, 1));
+        assert_eq!(TextPos::from_offset(text, 1), TextPos::new(1, 2));
+        assert_eq!(TextPos::from_offset(text, 3), TextPos::new(2, 1));
+        assert_eq!(TextPos::from_offset(text, 7), TextPos::new(3, 2));
+    }
+
+    #[test]
+    fn text_pos_from_offset_clamps_past_end() {
+        assert_eq!(TextPos::from_offset("a", 100), TextPos::new(1, 2));
+    }
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = Error::MismatchedTag {
+            expected: "a".into(),
+            found: "b".into(),
+            pos: TextPos::new(2, 5),
+        };
+        assert_eq!(e.to_string(), "closing tag </b> at 2:5 does not match open <a>");
+        let e = Error::UnknownEntity {
+            name: "nbsp".into(),
+            pos: TextPos::new(1, 3),
+        };
+        assert!(e.to_string().contains("&nbsp;"));
+    }
+}

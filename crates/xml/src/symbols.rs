@@ -1,0 +1,141 @@
+//! String interning for tag and attribute names.
+//!
+//! Twig matching compares tag names constantly; interning turns those
+//! comparisons into `u32` equality and lets index structures key on a
+//! dense integer space.
+
+use std::collections::HashMap;
+
+/// An interned string handle. Symbols are only meaningful together with the
+/// [`SymbolTable`] that produced them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the dense index of this symbol (0-based, in insertion order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a symbol from a raw index. The caller must guarantee that the
+    /// index came from the same table's [`Symbol::index`].
+    pub fn from_index(index: usize) -> Self {
+        Symbol(index as u32)
+    }
+}
+
+/// An append-only string interner.
+///
+/// ```
+/// use lotusx_xml::SymbolTable;
+/// let mut table = SymbolTable::new();
+/// let a = table.intern("book");
+/// let b = table.intern("book");
+/// assert_eq!(a, b);
+/// assert_eq!(table.resolve(a), "book");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    lookup: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(sym) = self.lookup.get(name) {
+            return *sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.lookup.insert(name.to_string(), sym);
+        sym
+    }
+
+    /// Looks up a name without interning it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.lookup.get(name).copied()
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns true if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Symbol, &str)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("author");
+        let b = t.intern("author");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "a");
+        assert_eq!(t.resolve(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.get("x").is_none());
+        let s = t.intern("x");
+        assert_eq!(t.get("x"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_in_insertion_order() {
+        let mut t = SymbolTable::new();
+        for (i, name) in ["q", "w", "e"].iter().enumerate() {
+            assert_eq!(t.intern(name).index(), i);
+        }
+        let collected: Vec<&str> = t.iter().map(|(_, s)| s).collect();
+        assert_eq!(collected, vec!["q", "w", "e"]);
+    }
+
+    #[test]
+    fn is_empty_reflects_state() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        t.intern("x");
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,498 @@
+//! A zero-copy pull tokenizer for XML.
+//!
+//! The tokenizer yields borrowed slices of the input; text and attribute
+//! values are returned *raw* (entity references unresolved) together with
+//! their byte offsets so the parser can unescape lazily and report precise
+//! error positions.
+
+use crate::error::{Error, Result, TextPos};
+use crate::escape::{is_name_char, is_name_start_char, is_xml_whitespace};
+
+/// One attribute on a start tag, with the value still raw (unescaped).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute<'a> {
+    /// Attribute name.
+    pub name: &'a str,
+    /// Raw value between the quotes; may contain entity references.
+    pub raw_value: &'a str,
+    /// Byte offset of the raw value within the input.
+    pub value_offset: usize,
+}
+
+/// A lexical token of the XML input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token<'a> {
+    /// `<?xml ...?>` declaration (contents unparsed).
+    XmlDecl {
+        /// Everything between `<?xml` and `?>`.
+        raw: &'a str,
+    },
+    /// `<!DOCTYPE ...>` (contents skipped, internal subset included).
+    Doctype {
+        /// Everything between `<!DOCTYPE` and the final `>`.
+        raw: &'a str,
+    },
+    /// An opening tag `<name attr="v">` or empty-element tag `<name/>`.
+    StartTag {
+        /// Element name.
+        name: &'a str,
+        /// Attributes in document order.
+        attributes: Vec<Attribute<'a>>,
+        /// True for `<name/>`.
+        self_closing: bool,
+    },
+    /// A closing tag `</name>`.
+    EndTag {
+        /// Element name.
+        name: &'a str,
+    },
+    /// Character data between tags, raw (entities unresolved).
+    Text {
+        /// The raw slice.
+        raw: &'a str,
+        /// Byte offset of the slice within the input.
+        offset: usize,
+    },
+    /// A `<![CDATA[...]]>` section; contents are literal.
+    CData {
+        /// The literal contents.
+        text: &'a str,
+    },
+    /// A `<!-- ... -->` comment.
+    Comment {
+        /// The comment body.
+        text: &'a str,
+    },
+    /// A `<?target data?>` processing instruction.
+    ProcessingInstruction {
+        /// The PI target.
+        target: &'a str,
+        /// The PI data (may be empty).
+        data: &'a str,
+    },
+}
+
+/// Pull tokenizer over a UTF-8 input string.
+///
+/// ```
+/// use lotusx_xml::{Token, Tokenizer};
+/// let mut tk = Tokenizer::new("<a>hi</a>");
+/// assert!(matches!(tk.next_token().unwrap(), Some(Token::StartTag { name: "a", .. })));
+/// assert!(matches!(tk.next_token().unwrap(), Some(Token::Text { raw: "hi", .. })));
+/// assert!(matches!(tk.next_token().unwrap(), Some(Token::EndTag { name: "a" })));
+/// assert!(tk.next_token().unwrap().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates a tokenizer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0 }
+    }
+
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// The full input, for error-position computation by callers.
+    pub fn input(&self) -> &'a str {
+        self.input
+    }
+
+    fn text_pos(&self, offset: usize) -> TextPos {
+        TextPos::from_offset(self.input, offset)
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn current_char(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(c) = self.peek_byte() {
+            if matches!(c, b' ' | b'\t' | b'\r' | b'\n') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<&'a str> {
+        let start = self.pos;
+        let mut chars = self.input[self.pos..].char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start_char(c) => {}
+            Some(_) | None => {
+                return Err(Error::InvalidName {
+                    pos: self.text_pos(start),
+                })
+            }
+        }
+        let mut end = self.input.len();
+        for (i, c) in chars {
+            if !is_name_char(c) {
+                end = self.pos + i;
+                break;
+            }
+        }
+        if end == self.input.len() {
+            // name ran to end of input; allow, outer context will error on EOF
+            self.pos = end;
+        } else {
+            self.pos = end;
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Reads until `pattern` is found; returns the slice before it and
+    /// advances past the pattern.
+    fn read_until(&mut self, pattern: &str, expected: &'static str) -> Result<&'a str> {
+        match self.input[self.pos..].find(pattern) {
+            Some(rel) => {
+                let s = &self.input[self.pos..self.pos + rel];
+                self.pos += rel + pattern.len();
+                Ok(s)
+            }
+            None => Err(Error::UnexpectedEof { expected }),
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8, expected: &'static str) -> Result<()> {
+        match self.peek_byte() {
+            Some(found) if found == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(Error::UnexpectedChar {
+                found: self.current_char().unwrap_or('\0'),
+                expected,
+                pos: self.text_pos(self.pos),
+            }),
+            None => Err(Error::UnexpectedEof { expected }),
+        }
+    }
+
+    /// Returns the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token<'a>>> {
+        if self.pos >= self.input.len() {
+            return Ok(None);
+        }
+        if self.peek_byte() == Some(b'<') {
+            self.read_markup().map(Some)
+        } else {
+            let start = self.pos;
+            while self.pos < self.input.len() && self.peek_byte() != Some(b'<') {
+                self.pos += 1;
+            }
+            Ok(Some(Token::Text {
+                raw: &self.input[start..self.pos],
+                offset: start,
+            }))
+        }
+    }
+
+    fn read_markup(&mut self) -> Result<Token<'a>> {
+        debug_assert_eq!(self.peek_byte(), Some(b'<'));
+        if self.starts_with("<!--") {
+            self.pos += 4;
+            let text = self.read_until("-->", "comment")?;
+            return Ok(Token::Comment { text });
+        }
+        if self.starts_with("<![CDATA[") {
+            self.pos += 9;
+            let text = self.read_until("]]>", "CDATA section")?;
+            return Ok(Token::CData { text });
+        }
+        if self.starts_with("<!DOCTYPE") {
+            return self.read_doctype();
+        }
+        if self.starts_with("<?") {
+            return self.read_pi();
+        }
+        if self.starts_with("</") {
+            self.pos += 2;
+            let name = self.read_name()?;
+            self.skip_whitespace();
+            self.expect_byte(b'>', "'>' to close end tag")?;
+            return Ok(Token::EndTag { name });
+        }
+        // Start tag.
+        self.pos += 1; // consume '<'
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            let before_ws = self.pos;
+            self.skip_whitespace();
+            match self.peek_byte() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(Token::StartTag {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect_byte(b'>', "'>' after '/' in empty-element tag")?;
+                    return Ok(Token::StartTag {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    });
+                }
+                Some(_) => {
+                    if self.pos == before_ws {
+                        // No whitespace before the attribute name.
+                        return Err(Error::UnexpectedChar {
+                            found: self.current_char().unwrap_or('\0'),
+                            expected: "whitespace before attribute",
+                            pos: self.text_pos(self.pos),
+                        });
+                    }
+                    attributes.push(self.read_attribute()?);
+                }
+                None => {
+                    return Err(Error::UnexpectedEof {
+                        expected: "start tag",
+                    })
+                }
+            }
+        }
+    }
+
+    fn read_attribute(&mut self) -> Result<Attribute<'a>> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        self.expect_byte(b'=', "'=' after attribute name")?;
+        self.skip_whitespace();
+        let quote = match self.peek_byte() {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(_) => {
+                return Err(Error::UnexpectedChar {
+                    found: self.current_char().unwrap_or('\0'),
+                    expected: "quoted attribute value",
+                    pos: self.text_pos(self.pos),
+                })
+            }
+            None => {
+                return Err(Error::UnexpectedEof {
+                    expected: "attribute value",
+                })
+            }
+        };
+        self.pos += 1;
+        let value_offset = self.pos;
+        let pattern = if quote == b'"' { "\"" } else { "'" };
+        let raw_value = self.read_until(pattern, "attribute value")?;
+        if raw_value.contains('<') {
+            return Err(Error::UnexpectedChar {
+                found: '<',
+                expected: "no '<' inside attribute value",
+                pos: self.text_pos(value_offset + raw_value.find('<').unwrap_or(0)),
+            });
+        }
+        Ok(Attribute {
+            name,
+            raw_value,
+            value_offset,
+        })
+    }
+
+    fn read_pi(&mut self) -> Result<Token<'a>> {
+        debug_assert!(self.starts_with("<?"));
+        self.pos += 2;
+        let target = self.read_name()?;
+        let data_start = self.pos;
+        let raw = self.read_until("?>", "processing instruction")?;
+        if target.eq_ignore_ascii_case("xml") {
+            return Ok(Token::XmlDecl { raw });
+        }
+        let _ = data_start;
+        Ok(Token::ProcessingInstruction {
+            target,
+            data: raw.trim_start_matches(is_xml_whitespace),
+        })
+    }
+
+    fn read_doctype(&mut self) -> Result<Token<'a>> {
+        debug_assert!(self.starts_with("<!DOCTYPE"));
+        self.pos += "<!DOCTYPE".len();
+        let start = self.pos;
+        // Skip to the matching '>', accounting for an internal subset in
+        // square brackets.
+        let mut depth_bracket = 0i32;
+        while let Some(b) = self.peek_byte() {
+            match b {
+                b'[' => depth_bracket += 1,
+                b']' => depth_bracket -= 1,
+                b'>' if depth_bracket <= 0 => {
+                    let raw = &self.input[start..self.pos];
+                    self.pos += 1;
+                    return Ok(Token::Doctype { raw });
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(Error::UnexpectedEof {
+            expected: "DOCTYPE declaration",
+        })
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Result<Token<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_token().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(input: &str) -> Vec<Token<'_>> {
+        Tokenizer::new(input).collect::<Result<Vec<_>>>().unwrap()
+    }
+
+    #[test]
+    fn tokenizes_simple_element() {
+        let t = all("<a>text</a>");
+        assert_eq!(t.len(), 3);
+        assert!(matches!(t[0], Token::StartTag { name: "a", self_closing: false, .. }));
+        assert!(matches!(t[1], Token::Text { raw: "text", .. }));
+        assert!(matches!(t[2], Token::EndTag { name: "a" }));
+    }
+
+    #[test]
+    fn tokenizes_self_closing_tag() {
+        let t = all("<br/>");
+        assert!(matches!(t[0], Token::StartTag { name: "br", self_closing: true, .. }));
+    }
+
+    #[test]
+    fn tokenizes_attributes_with_both_quote_styles() {
+        let t = all(r#"<a x="1" y='two'/>"#);
+        match &t[0] {
+            Token::StartTag { attributes, .. } => {
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].name, "x");
+                assert_eq!(attributes[0].raw_value, "1");
+                assert_eq!(attributes[1].name, "y");
+                assert_eq!(attributes[1].raw_value, "two");
+            }
+            other => panic!("expected start tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_value_offset_points_into_input() {
+        let input = r#"<a k="val"/>"#;
+        let t = all(input);
+        match &t[0] {
+            Token::StartTag { attributes, .. } => {
+                let a = &attributes[0];
+                assert_eq!(&input[a.value_offset..a.value_offset + a.raw_value.len()], "val");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tokenizes_comment_cdata_pi_doctype() {
+        let t = all("<?xml version=\"1.0\"?><!DOCTYPE bib [<!ELEMENT x (y)>]><!-- c --><a><![CDATA[<raw>]]><?php echo?></a>");
+        assert!(matches!(t[0], Token::XmlDecl { .. }));
+        assert!(matches!(t[1], Token::Doctype { .. }));
+        assert!(matches!(t[2], Token::Comment { text: " c " }));
+        assert!(matches!(t[3], Token::StartTag { name: "a", .. }));
+        assert!(matches!(t[4], Token::CData { text: "<raw>" }));
+        assert!(matches!(t[5], Token::ProcessingInstruction { target: "php", data: "echo" }));
+        assert!(matches!(t[6], Token::EndTag { name: "a" }));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        let err = Tokenizer::new("<!-- never ends")
+            .collect::<Result<Vec<_>>>()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn rejects_lt_in_attribute_value() {
+        let err = Tokenizer::new(r#"<a k="a<b"/>"#)
+            .collect::<Result<Vec<_>>>()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnexpectedChar { found: '<', .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_tag_name() {
+        let err = Tokenizer::new("<1abc/>").collect::<Result<Vec<_>>>().unwrap_err();
+        assert!(matches!(err, Error::InvalidName { .. }));
+    }
+
+    #[test]
+    fn rejects_unquoted_attribute_value() {
+        let err = Tokenizer::new("<a k=v/>").collect::<Result<Vec<_>>>().unwrap_err();
+        assert!(matches!(err, Error::UnexpectedChar { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_whitespace_between_attributes() {
+        let err = Tokenizer::new(r#"<a x="1"y="2"/>"#)
+            .collect::<Result<Vec<_>>>()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnexpectedChar { .. }));
+    }
+
+    #[test]
+    fn whitespace_inside_tags_is_flexible() {
+        let t = all("<a  x = \"1\"   ></a >");
+        assert!(matches!(t[0], Token::StartTag { name: "a", .. }));
+        assert!(matches!(t[1], Token::EndTag { name: "a" }));
+    }
+
+    #[test]
+    fn text_between_elements_is_preserved_raw() {
+        let t = all("<a>x &amp; y</a>");
+        assert!(matches!(t[1], Token::Text { raw: "x &amp; y", .. }));
+    }
+
+    #[test]
+    fn doctype_with_internal_subset_is_skipped_whole() {
+        let t = all("<!DOCTYPE r [ <!ENTITY e \">\"> ]><r/>");
+        assert!(matches!(t[0], Token::Doctype { .. }));
+        assert!(matches!(t[1], Token::StartTag { name: "r", .. }));
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(all("").is_empty());
+    }
+
+    #[test]
+    fn unicode_names_are_accepted() {
+        let t = all("<日本語>x</日本語>");
+        assert!(matches!(t[0], Token::StartTag { name: "日本語", .. }));
+    }
+}

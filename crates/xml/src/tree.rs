@@ -1,0 +1,550 @@
+//! Arena-allocated document tree.
+//!
+//! Nodes live in a single `Vec` and are addressed by [`NodeId`]; sibling and
+//! child relationships are first-child / next-sibling links. A virtual
+//! document root (id 0) holds the root element plus any top-level comments
+//! and processing instructions.
+
+use crate::symbols::{Symbol, SymbolTable};
+
+/// Index of a node within a [`Document`] arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The virtual document root.
+    pub const DOCUMENT: NodeId = NodeId(0);
+
+    /// Dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw index previously obtained via
+    /// [`NodeId::index`] on the same document.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+/// The payload of a tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The virtual document root.
+    Document,
+    /// An element with an interned tag name and its attributes.
+    Element {
+        /// Interned tag name.
+        name: Symbol,
+        /// Attributes in document order: interned name and unescaped value.
+        attributes: Vec<(Symbol, String)>,
+    },
+    /// A text node (already unescaped).
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    Pi {
+        /// The PI target.
+        target: String,
+        /// The PI data.
+        data: String,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct NodeData {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    first_child: Option<NodeId>,
+    last_child: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+    prev_sibling: Option<NodeId>,
+}
+
+/// An XML document: node arena plus the tag/attribute symbol table.
+#[derive(Clone, Debug)]
+pub struct Document {
+    nodes: Vec<NodeData>,
+    symbols: SymbolTable,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// Creates an empty document containing only the virtual root.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![NodeData {
+                kind: NodeKind::Document,
+                parent: None,
+                first_child: None,
+                last_child: None,
+                next_sibling: None,
+                prev_sibling: None,
+            }],
+            symbols: SymbolTable::new(),
+        }
+    }
+
+    /// The symbol table for tag and attribute names.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable access to the symbol table (used by builders).
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// Total number of nodes including the virtual root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
+            .count()
+    }
+
+    /// The kind of `id`.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.index()].kind
+    }
+
+    /// Parent of `id`, if any (the virtual root has none).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// First child of `id`.
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].first_child
+    }
+
+    /// Last child of `id`.
+    pub fn last_child(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].last_child
+    }
+
+    /// Next sibling of `id`.
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].next_sibling
+    }
+
+    /// Previous sibling of `id`.
+    pub fn prev_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].prev_sibling
+    }
+
+    /// True if `id` is an element.
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.kind(id), NodeKind::Element { .. })
+    }
+
+    /// The interned tag symbol of an element node.
+    pub fn tag(&self, id: NodeId) -> Option<Symbol> {
+        match self.kind(id) {
+            NodeKind::Element { name, .. } => Some(*name),
+            _ => None,
+        }
+    }
+
+    /// The tag name string of an element node.
+    pub fn tag_name(&self, id: NodeId) -> Option<&str> {
+        self.tag(id).map(|s| self.symbols.resolve(s))
+    }
+
+    /// The root element (first element child of the virtual root).
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.children(NodeId::DOCUMENT)
+            .find(|&c| self.is_element(c))
+    }
+
+    /// Attribute value by name on an element node.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        let sym = self.symbols.get(name)?;
+        match self.kind(id) {
+            NodeKind::Element { attributes, .. } => attributes
+                .iter()
+                .find(|(n, _)| *n == sym)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// All attributes of an element, resolved to `(&str, &str)` pairs.
+    pub fn attributes(&self, id: NodeId) -> Vec<(&str, &str)> {
+        match self.kind(id) {
+            NodeKind::Element { attributes, .. } => attributes
+                .iter()
+                .map(|(n, v)| (self.symbols.resolve(*n), v.as_str()))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Iterates over the children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            doc: self,
+            next: self.first_child(id),
+        }
+    }
+
+    /// Iterates over element children of `id`.
+    pub fn element_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id).filter(move |&c| self.is_element(c))
+    }
+
+    /// Preorder (document-order) traversal of the subtree rooted at `id`,
+    /// including `id` itself.
+    pub fn descendants_or_self(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            root: id,
+            next: Some(id),
+        }
+    }
+
+    /// Preorder traversal of the whole document below the virtual root.
+    pub fn all_nodes(&self) -> Descendants<'_> {
+        self.descendants_or_self(NodeId::DOCUMENT)
+    }
+
+    /// Ancestors of `id`, nearest first, excluding the virtual root.
+    pub fn ancestors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = self.parent(id);
+        std::iter::from_fn(move || {
+            let node = cur?;
+            if node == NodeId::DOCUMENT {
+                return None;
+            }
+            cur = self.parent(node);
+            Some(node)
+        })
+    }
+
+    /// Depth of `id`: the root element has depth 1.
+    pub fn depth(&self, id: NodeId) -> u32 {
+        let mut d = 0;
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            if n == NodeId::DOCUMENT {
+                break;
+            }
+            d += 1;
+            cur = self.parent(n);
+        }
+        d
+    }
+
+    /// Concatenated text of the *direct* text children of `id`.
+    pub fn direct_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for c in self.children(id) {
+            if let NodeKind::Text(t) = self.kind(c) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Concatenated text of all descendant text nodes of `id`.
+    pub fn full_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.descendants_or_self(id) {
+            if let NodeKind::Text(t) = self.kind(n) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Root-to-node tag path of an element, e.g. `["bib", "book", "title"]`.
+    pub fn tag_path(&self, id: NodeId) -> Vec<Symbol> {
+        let mut path: Vec<Symbol> = self
+            .ancestors(id)
+            .filter_map(|a| self.tag(a))
+            .collect();
+        path.reverse();
+        if let Some(t) = self.tag(id) {
+            path.push(t);
+        }
+        path
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    fn push_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            kind,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+        });
+        id
+    }
+
+    /// Creates a detached element node with the given tag name.
+    pub fn new_element(&mut self, tag: &str) -> NodeId {
+        let name = self.symbols.intern(tag);
+        self.push_node(NodeKind::Element {
+            name,
+            attributes: Vec::new(),
+        })
+    }
+
+    /// Creates a detached text node.
+    pub fn new_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Text(text.into()))
+    }
+
+    /// Creates a detached comment node.
+    pub fn new_comment(&mut self, text: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Comment(text.into()))
+    }
+
+    /// Creates a detached processing-instruction node.
+    pub fn new_pi(&mut self, target: impl Into<String>, data: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Pi {
+            target: target.into(),
+            data: data.into(),
+        })
+    }
+
+    /// Sets (or replaces) an attribute on an element node.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an element.
+    pub fn set_attribute(&mut self, id: NodeId, name: &str, value: impl Into<String>) {
+        let sym = self.symbols.intern(name);
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Element { attributes, .. } => {
+                let value = value.into();
+                if let Some(slot) = attributes.iter_mut().find(|(n, _)| *n == sym) {
+                    slot.1 = value;
+                } else {
+                    attributes.push((sym, value));
+                }
+            }
+            _ => panic!("set_attribute on a non-element node"),
+        }
+    }
+
+    /// Appends `child` as the last child of `parent`.
+    ///
+    /// # Panics
+    /// Panics if `child` already has a parent or if `child == parent`.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        assert_ne!(parent, child, "cannot append a node to itself");
+        assert!(
+            self.nodes[child.index()].parent.is_none(),
+            "node already attached"
+        );
+        self.nodes[child.index()].parent = Some(parent);
+        match self.nodes[parent.index()].last_child {
+            Some(prev_last) => {
+                self.nodes[prev_last.index()].next_sibling = Some(child);
+                self.nodes[child.index()].prev_sibling = Some(prev_last);
+            }
+            None => {
+                self.nodes[parent.index()].first_child = Some(child);
+            }
+        }
+        self.nodes[parent.index()].last_child = Some(child);
+    }
+
+    /// Convenience: creates an element and appends it under `parent`.
+    pub fn append_element(&mut self, parent: NodeId, tag: &str) -> NodeId {
+        let id = self.new_element(tag);
+        self.append_child(parent, id);
+        id
+    }
+
+    /// Convenience: creates a text node and appends it under `parent`.
+    pub fn append_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let id = self.new_text(text);
+        self.append_child(parent, id);
+        id
+    }
+
+    /// Replaces the payload of a node in place, keeping its tree links.
+    pub(crate) fn replace_kind(&mut self, id: NodeId, kind: NodeKind) {
+        self.nodes[id.index()].kind = kind;
+    }
+}
+
+/// Iterator over the children of a node.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.next_sibling(cur);
+        Some(cur)
+    }
+}
+
+/// Preorder iterator over a subtree.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    root: NodeId,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        // Compute the successor in preorder without leaving the subtree.
+        self.next = if let Some(c) = self.doc.first_child(cur) {
+            Some(c)
+        } else {
+            let mut node = cur;
+            loop {
+                if node == self.root {
+                    break None;
+                }
+                if let Some(sib) = self.doc.next_sibling(node) {
+                    break Some(sib);
+                }
+                match self.doc.parent(node) {
+                    Some(p) => node = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId, NodeId) {
+        // <bib><book><title>T</title><author>A</author></book></bib>
+        let mut doc = Document::new();
+        let bib = doc.append_element(NodeId::DOCUMENT, "bib");
+        let book = doc.append_element(bib, "book");
+        let title = doc.append_element(book, "title");
+        doc.append_text(title, "T");
+        let author = doc.append_element(book, "author");
+        doc.append_text(author, "A");
+        (doc, bib, book, title, author)
+    }
+
+    #[test]
+    fn builder_links_parent_child_and_siblings() {
+        let (doc, bib, book, title, author) = sample();
+        assert_eq!(doc.parent(book), Some(bib));
+        assert_eq!(doc.first_child(book), Some(title));
+        assert_eq!(doc.last_child(book), Some(author));
+        assert_eq!(doc.next_sibling(title), Some(author));
+        assert_eq!(doc.prev_sibling(author), Some(title));
+        assert_eq!(doc.root_element(), Some(bib));
+    }
+
+    #[test]
+    fn preorder_traversal_visits_document_order() {
+        let (doc, bib, book, title, author) = sample();
+        let elems: Vec<NodeId> = doc
+            .descendants_or_self(bib)
+            .filter(|&n| doc.is_element(n))
+            .collect();
+        assert_eq!(elems, vec![bib, book, title, author]);
+    }
+
+    #[test]
+    fn descendants_stay_within_subtree() {
+        let (doc, _bib, book, title, author) = sample();
+        let elems: Vec<NodeId> = doc
+            .descendants_or_self(title)
+            .filter(|&n| doc.is_element(n))
+            .collect();
+        assert_eq!(elems, vec![title]);
+        let from_book: Vec<NodeId> = doc
+            .descendants_or_self(book)
+            .filter(|&n| doc.is_element(n))
+            .collect();
+        assert_eq!(from_book, vec![book, title, author]);
+    }
+
+    #[test]
+    fn depth_and_ancestors() {
+        let (doc, bib, book, title, _author) = sample();
+        assert_eq!(doc.depth(bib), 1);
+        assert_eq!(doc.depth(book), 2);
+        assert_eq!(doc.depth(title), 3);
+        let ancs: Vec<NodeId> = doc.ancestors(title).collect();
+        assert_eq!(ancs, vec![book, bib]);
+    }
+
+    #[test]
+    fn text_helpers() {
+        let (doc, bib, book, title, _author) = sample();
+        assert_eq!(doc.direct_text(title), "T");
+        assert_eq!(doc.direct_text(book), "");
+        assert_eq!(doc.full_text(book), "TA");
+        assert_eq!(doc.full_text(bib), "TA");
+    }
+
+    #[test]
+    fn tag_path_walks_from_root() {
+        let (doc, _bib, _book, title, _author) = sample();
+        let path: Vec<&str> = doc
+            .tag_path(title)
+            .into_iter()
+            .map(|s| doc.symbols().resolve(s))
+            .collect();
+        assert_eq!(path, vec!["bib", "book", "title"]);
+    }
+
+    #[test]
+    fn attributes_set_get_replace() {
+        let mut doc = Document::new();
+        let e = doc.append_element(NodeId::DOCUMENT, "book");
+        doc.set_attribute(e, "year", "1999");
+        assert_eq!(doc.attribute(e, "year"), Some("1999"));
+        doc.set_attribute(e, "year", "2000");
+        assert_eq!(doc.attribute(e, "year"), Some("2000"));
+        assert_eq!(doc.attribute(e, "missing"), None);
+        assert_eq!(doc.attributes(e), vec![("year", "2000")]);
+    }
+
+    #[test]
+    fn element_count_ignores_text() {
+        let (doc, ..) = sample();
+        assert_eq!(doc.element_count(), 4);
+        assert_eq!(doc.node_count(), 1 + 4 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let mut doc = Document::new();
+        let a = doc.append_element(NodeId::DOCUMENT, "a");
+        let b = doc.new_element("b");
+        doc.append_child(a, b);
+        doc.append_child(a, b);
+    }
+}

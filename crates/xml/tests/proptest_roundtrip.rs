@@ -1,0 +1,170 @@
+//! Property tests: serialize → parse is the identity on document structure.
+
+use lotusx_xml::{Document, NodeId, NodeKind};
+use proptest::prelude::*;
+
+/// A lightweight recursive tree value we can generate with proptest and then
+/// materialize into a `Document`.
+#[derive(Clone, Debug)]
+enum GenNode {
+    Element {
+        tag: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<GenNode>,
+    },
+    Text(String),
+}
+
+fn tag_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "a", "b", "book", "title", "author", "item", "x-y", "ns:tag",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes characters that require escaping and multi-byte UTF-8.
+    prop::collection::vec(
+        prop::sample::select(vec![
+            'a', 'b', ' ', '&', '<', '>', '"', '\'', 'é', '中',
+        ]),
+        1..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+    .prop_filter("must not be whitespace-only", |s: &String| {
+        !s.chars().all(|c| c.is_ascii_whitespace())
+    })
+}
+
+fn attr_strategy() -> impl Strategy<Value = (String, String)> {
+    (
+        prop::sample::select(vec!["k", "id", "year"]).prop_map(str::to_string),
+        text_strategy(),
+    )
+}
+
+fn node_strategy() -> impl Strategy<Value = GenNode> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(GenNode::Text),
+        (tag_strategy(), prop::collection::vec(attr_strategy(), 0..2)).prop_map(|(tag, attrs)| {
+            GenNode::Element {
+                tag,
+                attrs: dedup_attrs(attrs),
+                children: vec![],
+            }
+        }),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            tag_strategy(),
+            prop::collection::vec(attr_strategy(), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, attrs, children)| GenNode::Element {
+                tag,
+                attrs: dedup_attrs(attrs),
+                children: merge_adjacent_text(children),
+            })
+    })
+}
+
+fn dedup_attrs(attrs: Vec<(String, String)>) -> Vec<(String, String)> {
+    let mut seen = std::collections::HashSet::new();
+    attrs
+        .into_iter()
+        .filter(|(k, _)| seen.insert(k.clone()))
+        .collect()
+}
+
+/// Adjacent generated text nodes would be merged by any parser; merge them
+/// up front so the comparison is well-defined.
+fn merge_adjacent_text(children: Vec<GenNode>) -> Vec<GenNode> {
+    let mut out: Vec<GenNode> = Vec::new();
+    for c in children {
+        match (out.last_mut(), c) {
+            (Some(GenNode::Text(prev)), GenNode::Text(t)) => prev.push_str(&t),
+            (_, c) => out.push(c),
+        }
+    }
+    out
+}
+
+fn build(doc: &mut Document, parent: NodeId, node: &GenNode) {
+    match node {
+        GenNode::Element {
+            tag,
+            attrs,
+            children,
+        } => {
+            let e = doc.append_element(parent, tag);
+            for (k, v) in attrs {
+                doc.set_attribute(e, k, v.clone());
+            }
+            for c in children {
+                build(doc, e, c);
+            }
+        }
+        GenNode::Text(t) => {
+            doc.append_text(parent, t.clone());
+        }
+    }
+}
+
+fn structure(doc: &Document, id: NodeId) -> String {
+    // Canonical structural fingerprint.
+    match doc.kind(id) {
+        NodeKind::Document => doc
+            .children(id)
+            .map(|c| structure(doc, c))
+            .collect::<Vec<_>>()
+            .join(""),
+        NodeKind::Element { .. } => {
+            let mut attrs = doc.attributes(id);
+            attrs.sort();
+            format!(
+                "E({};{:?};[{}])",
+                doc.tag_name(id).unwrap(),
+                attrs,
+                doc.children(id)
+                    .map(|c| structure(doc, c))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        }
+        NodeKind::Text(t) => format!("T({t:?})"),
+        NodeKind::Comment(t) => format!("C({t:?})"),
+        NodeKind::Pi { target, data } => format!("P({target:?},{data:?})"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_then_parse_preserves_structure(root_tag in tag_strategy(),
+                                                children in prop::collection::vec(node_strategy(), 0..5)) {
+        let mut doc = Document::new();
+        let root = doc.append_element(NodeId::DOCUMENT, &root_tag);
+        for c in merge_adjacent_text(children) {
+            build(&mut doc, root, &c);
+        }
+        let xml = doc.to_xml();
+        let parsed = lotusx_xml::Document::parse_with_options(
+            &xml,
+            lotusx_xml::ParseOptions { trim_whitespace_text: false, ..Default::default() },
+        ).expect("serialized output must be well-formed");
+        prop_assert_eq!(structure(&doc, NodeId::DOCUMENT), structure(&parsed, NodeId::DOCUMENT));
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(input in "\\PC{0,200}") {
+        let _ = Document::parse_str(&input);
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip(text in "\\PC{0,80}") {
+        let escaped = lotusx_xml::escape::escape_text(&text);
+        let back = lotusx_xml::escape::unescape(&escaped, &escaped, 0).unwrap();
+        prop_assert_eq!(back, text);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deep-twig analytics over an XMark-like auction site, comparing the five
+//! join algorithms on the same queries.
+//!
+//! ```sh
+//! cargo run --release --example auction_analytics
+//! ```
+
+use lotusx::{Algorithm, LotusX};
+use lotusx_datagen::{generate, Dataset};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let doc = generate(Dataset::XmarkLike, 2, 7);
+    let mut system = LotusX::load_document(doc);
+    let stats = system.index().stats();
+    println!(
+        "auction site: {} elements, max depth {}, {} distinct tags\n",
+        stats.element_count, stats.max_depth, stats.distinct_tags
+    );
+
+    let queries = [
+        ("auctions with bidders", "//open_auction[bidder]/current"),
+        ("big bids", "//open_auction[bidder/increase >= 25]/itemref"),
+        ("rich bidders' names", "//person[profile[income >= 100000]]/name"),
+        ("keyword'd items", "//item[description//text/keyword]/name"),
+    ];
+
+    for (label, query) in queries {
+        println!("{label}: {query}");
+        let outcome = system.search(query)?;
+        println!("  {} matches", outcome.total_matches);
+        if let Some(best) = outcome.results.first() {
+            println!("  best: [{:.3}] {}", best.score, best.snippet);
+        }
+    }
+
+    // Same query through every algorithm — identical answers, different
+    // costs (run with --release to see the spread clearly).
+    println!("\nalgorithm comparison on //open_auction[bidder/increase >= 25]/itemref:");
+    for algo in Algorithm::ALL {
+        system.set_algorithm(algo);
+        let start = Instant::now();
+        let outcome = system.search("//open_auction[bidder/increase >= 25]/itemref")?;
+        println!(
+            "  {:<16} {:>6} matches in {:>9.3?}",
+            algo.to_string(),
+            outcome.total_matches,
+            start.elapsed()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: load a document, run a twig query, read ranked results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lotusx::LotusX;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Load & index an XML document (one call builds labels, tag
+    //    streams, value indexes, completion tries and the DataGuide).
+    let system = LotusX::load_str(
+        r#"<bib>
+             <book year="1999"><title>Data on the Web</title><author>Abiteboul</author></book>
+             <book year="2003"><title>XML Handbook</title><author>Goldfarb</author></book>
+             <article year="2002"><title>Holistic Twig Joins</title><author>Bruno</author></article>
+           </bib>"#,
+    )?;
+
+    // 2. Run a twig query: books with a title, output the title.
+    let outcome = system.search("//book/title")?;
+    println!("query //book/title → {} matches", outcome.total_matches);
+    for result in &outcome.results {
+        println!("  [{:.3}] {}", result.score, result.snippet);
+    }
+
+    // 3. Value predicates: equality, containment, numeric ranges.
+    let outcome = system.search(r#"//book[title ~ "web"]/author"#)?;
+    println!(
+        "\nbooks about the web → author: {}",
+        outcome.results[0].snippet
+    );
+
+    // 4. Queries that come back empty are rewritten automatically:
+    //    "writer" is not a tag in this document, but its synonym is.
+    let outcome = system.search("//book/writer")?;
+    if let Some(rewrite) = &outcome.rewrite {
+        println!(
+            "\n//book/writer was empty — rewritten to {} (penalty {:.1}), {} matches",
+            rewrite.pattern, rewrite.cost, outcome.total_matches
+        );
+    }
+
+    // 5. Position-aware auto-completion: what can follow //book ?
+    let completion = system.completion_engine();
+    let ctx = lotusx::PositionContext::from_tag_path(&["bib", "book"], lotusx::Axis::Child);
+    let candidates = completion.complete_tag(&ctx, "", 5);
+    println!("\ntags possible under //bib/book:");
+    for c in candidates {
+        println!("  {} ({} occurrences at this position)", c.name, c.count);
+    }
+
+    // 6. Keyword search: no structure at all — the smallest subtrees
+    //    covering every term, ranked.
+    let hits = system.search_keywords("holistic bruno");
+    println!("\nkeyword search 'holistic bruno':");
+    for h in &hits {
+        println!("  [{:.3}] {}", h.score, h.snippet);
+    }
+
+    // 7. Attribute predicates and binary snapshots.
+    let outcome = system.search("//book[@year >= 2000]/title")?;
+    println!("\npost-2000 books (by attribute): {} match", outcome.total_matches);
+    let path = std::env::temp_dir().join("quickstart.ltsx");
+    system.save_snapshot(&path)?;
+    let reopened = lotusx::LotusX::load_file(&path)?;
+    println!(
+        "snapshot reopened: {} elements",
+        reopened.index().stats().element_count
+    );
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

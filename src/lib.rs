@@ -1,0 +1,8 @@
+//! Workspace-root crate for the LotusX reproduction.
+//!
+//! This crate only exists so that the top-level `examples/` and `tests/`
+//! directories build with plain cargo; all functionality lives in the
+//! `lotusx*` crates under `crates/`. It re-exports the public facade so
+//! examples can simply `use lotusx_repro as _;` or go through [`lotusx`].
+
+pub use lotusx;
