@@ -1,0 +1,9 @@
+#!/bin/sh
+# Offline CI: format, lint, build, test. No network access required.
+set -eux
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q
+cargo test --workspace -q

@@ -2,10 +2,11 @@
 
 use crate::context::PositionContext;
 use lotusx_index::{GuideNodeId, IndexedDocument, Trie};
+use lotusx_par::{par_map, ShardedMap};
 use lotusx_twig::Axis;
 use lotusx_xml::Symbol;
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A ranked tag candidate.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,13 +27,71 @@ pub struct ValueCandidate {
     pub count: u64,
 }
 
+/// Thread-safe, shareable cache of per-tag value-completion tries.
+///
+/// Engines are cheap to construct and usually short-lived; the cache is
+/// what makes lazily built tries survive them. `LotusX` keeps one per
+/// loaded document and hands a clone of the `Arc` to every engine, so
+/// concurrent completion calls share work instead of repeating it.
+#[derive(Default)]
+pub struct ValueTrieCache {
+    map: ShardedMap<Symbol, ValueTrie>,
+}
+
+impl ValueTrieCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached per-tag tries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every cached trie (call after replacing the document).
+    pub fn clear(&self) {
+        self.map.clear();
+    }
+
+    /// Builds and caches the value tries of the `top_k` most frequent
+    /// tags (ties broken by name), partitioning the builds across
+    /// `threads` workers. Returns the number of tries built.
+    pub fn precompute_hottest(&self, idx: &IndexedDocument, top_k: usize, threads: usize) -> usize {
+        let symbols = idx.document().symbols();
+        let mut hot: Vec<Symbol> = symbols
+            .iter()
+            .map(|(sym, _)| sym)
+            .filter(|&sym| idx.tags().frequency(sym) > 0)
+            .collect();
+        hot.sort_by(|&a, &b| {
+            idx.tags()
+                .frequency(b)
+                .cmp(&idx.tags().frequency(a))
+                .then_with(|| symbols.resolve(a).cmp(symbols.resolve(b)))
+        });
+        hot.truncate(top_k);
+        let built = par_map(&hot, threads, |&sym| (sym, build_value_trie(idx, sym)));
+        let n = built.len();
+        for (sym, vt) in built {
+            self.map.get_or_insert_with(sym, || vt);
+        }
+        n
+    }
+}
+
 /// Position-aware completion over one indexed document.
 ///
 /// The engine is cheap to construct (it only borrows the index); per-tag
-/// value tries are built lazily and cached.
+/// value tries are built lazily and cached in a shared [`ValueTrieCache`].
 pub struct CompletionEngine<'a> {
     idx: &'a IndexedDocument,
-    value_tries: RefCell<HashMap<Symbol, ValueTrie>>,
+    cache: Arc<ValueTrieCache>,
 }
 
 struct ValueTrie {
@@ -41,12 +100,14 @@ struct ValueTrie {
 }
 
 impl<'a> CompletionEngine<'a> {
-    /// Creates an engine over `idx`.
+    /// Creates an engine over `idx` with a private trie cache.
     pub fn new(idx: &'a IndexedDocument) -> Self {
-        CompletionEngine {
-            idx,
-            value_tries: RefCell::new(HashMap::new()),
-        }
+        Self::with_cache(idx, Arc::new(ValueTrieCache::new()))
+    }
+
+    /// Creates an engine over `idx` sharing an existing trie cache.
+    pub fn with_cache(idx: &'a IndexedDocument, cache: Arc<ValueTrieCache>) -> Self {
+        CompletionEngine { idx, cache }
     }
 
     /// The guide nodes where the *parent* of the focused node can sit.
@@ -110,13 +171,34 @@ impl<'a> CompletionEngine<'a> {
         let symbols = self.idx.document().symbols();
         let anchors = self.context_anchors(context);
         let mut counts: HashMap<Symbol, u64> = HashMap::new();
-        for g in anchors {
-            let pairs = match context.axis_to_focus {
-                Axis::Child => guide.child_tag_counts(g),
-                Axis::Descendant => guide.descendant_tag_counts(g),
-            };
-            for (tag, count) in pairs {
-                *counts.entry(tag).or_insert(0) += count;
+        match context.axis_to_focus {
+            Axis::Child => {
+                // Distinct anchors have disjoint child sets (the guide is
+                // a tree), so summing per anchor cannot double-count.
+                for g in anchors {
+                    for (tag, count) in guide.child_tag_counts(g) {
+                        *counts.entry(tag).or_insert(0) += count;
+                    }
+                }
+            }
+            Axis::Descendant => {
+                // Anchors can be nested (e.g. //a over a recursive tag):
+                // summing per-anchor descendant counts would tally guide
+                // nodes once per enclosing anchor. Union the guide-node
+                // sets first, then count each node exactly once.
+                let mut under: HashSet<GuideNodeId> = HashSet::new();
+                for &g in &anchors {
+                    for d in guide.descendants_or_self(g) {
+                        if d != g {
+                            under.insert(d);
+                        }
+                    }
+                }
+                for d in under {
+                    if let Some(tag) = guide.tag(d) {
+                        *counts.entry(tag).or_insert(0) += guide.count(d);
+                    }
+                }
             }
         }
         let mut out: Vec<TagCandidate> = counts
@@ -154,9 +236,7 @@ impl<'a> CompletionEngine<'a> {
             .document()
             .symbols()
             .iter()
-            .filter(|(sym, name)| {
-                name.starts_with(prefix) && self.idx.tags().frequency(*sym) > 0
-            })
+            .filter(|(sym, name)| name.starts_with(prefix) && self.idx.tags().frequency(*sym) > 0)
             .map(|(sym, name)| TagCandidate {
                 name: name.to_string(),
                 count: self.idx.tags().frequency(sym) as u64,
@@ -173,8 +253,10 @@ impl<'a> CompletionEngine<'a> {
         let Some(sym) = self.idx.document().symbols().get(tag) else {
             return Vec::new();
         };
-        let mut cache = self.value_tries.borrow_mut();
-        let vt = cache.entry(sym).or_insert_with(|| self.build_value_trie(sym));
+        let vt = self
+            .cache
+            .map
+            .get_or_insert_with(sym, || build_value_trie(self.idx, sym));
         vt.trie
             .complete(prefix, k)
             .into_iter()
@@ -198,27 +280,27 @@ impl<'a> CompletionEngine<'a> {
             .collect()
     }
 
-    fn build_value_trie(&self, tag: Symbol) -> ValueTrie {
-        let doc = self.idx.document();
-        let mut counts: HashMap<String, u64> = HashMap::new();
-        for entry in self.idx.tags().stream(tag) {
-            for term in lotusx_index::tokenize(&doc.direct_text(entry.node)) {
-                *counts.entry(term).or_insert(0) += 1;
-            }
-        }
-        let mut terms: Vec<String> = counts.keys().cloned().collect();
-        terms.sort();
-        let mut trie = Trie::new();
-        for (i, term) in terms.iter().enumerate() {
-            trie.insert(term, i as u32, counts[term]);
-        }
-        ValueTrie { trie, terms }
-    }
-
     /// The underlying index (used by sessions).
     pub fn index(&self) -> &'a IndexedDocument {
         self.idx
     }
+}
+
+fn build_value_trie(idx: &IndexedDocument, tag: Symbol) -> ValueTrie {
+    let doc = idx.document();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for entry in idx.tags().stream(tag) {
+        for term in lotusx_index::tokenize(&doc.direct_text(entry.node)) {
+            *counts.entry(term).or_insert(0) += 1;
+        }
+    }
+    let mut terms: Vec<String> = counts.keys().cloned().collect();
+    terms.sort();
+    let mut trie = Trie::new();
+    for (i, term) in terms.iter().enumerate() {
+        trie.insert(term, i as u32, counts[term]);
+    }
+    ValueTrie { trie, terms }
 }
 
 #[cfg(test)]
@@ -268,7 +350,10 @@ mod tests {
         let e = CompletionEngine::new(&idx);
         let ctx = PositionContext::from_tag_path(&["bib", "book"], Axis::Child);
         let cands = e.complete_tag(&ctx, "title", 10);
-        assert_eq!(cands[0].count, 2, "two titles under books; the third is under article");
+        assert_eq!(
+            cands[0].count, 2,
+            "two titles under books; the third is under article"
+        );
     }
 
     #[test]
@@ -292,8 +377,14 @@ mod tests {
         let e = CompletionEngine::new(&idx);
         let ctx = PositionContext {
             steps: vec![
-                ContextStep { tag: Some("bib".into()), axis: Axis::Child },
-                ContextStep { tag: None, axis: Axis::Child },
+                ContextStep {
+                    tag: Some("bib".into()),
+                    axis: Axis::Child,
+                },
+                ContextStep {
+                    tag: None,
+                    axis: Axis::Child,
+                },
             ],
             axis_to_focus: Axis::Child,
         };
@@ -357,5 +448,60 @@ mod tests {
         let e = CompletionEngine::new(&idx);
         let ctx = PositionContext::from_tag_path(&["bib", "book"], Axis::Child);
         assert_eq!(e.complete_tag(&ctx, "", 2).len(), 2);
+    }
+
+    #[test]
+    fn nested_anchors_do_not_double_count_descendants() {
+        // //a anchors at both the outer and the inner <a>; the inner
+        // anchor's subtree is contained in the outer's. Each <b> must be
+        // counted once: the document has exactly two.
+        let idx = IndexedDocument::from_str("<a><a><b/></a><b/></a>").unwrap();
+        let e = CompletionEngine::new(&idx);
+        let ctx = PositionContext::from_tag_path(&["a"], Axis::Descendant);
+        let cands = e.complete_tag(&ctx, "b", 10);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].count, 2, "each b counted once, not per anchor");
+    }
+
+    #[test]
+    fn shared_cache_is_reused_across_engines() {
+        let idx = idx();
+        let cache = Arc::new(ValueTrieCache::new());
+        assert!(cache.is_empty());
+        let e1 = CompletionEngine::with_cache(&idx, Arc::clone(&cache));
+        let before = e1.complete_value("title", "x", 10);
+        assert_eq!(cache.len(), 1);
+        drop(e1);
+        let e2 = CompletionEngine::with_cache(&idx, Arc::clone(&cache));
+        assert_eq!(e2.complete_value("title", "x", 10), before);
+        assert_eq!(cache.len(), 1, "second engine reused the cached trie");
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn precompute_hottest_seeds_the_cache() {
+        let idx = idx();
+        let cache = Arc::new(ValueTrieCache::new());
+        let built = cache.precompute_hottest(&idx, 3, 2);
+        assert_eq!(built, 3);
+        assert_eq!(cache.len(), 3);
+        // Precomputed tries answer identically to lazily built ones.
+        let warm = CompletionEngine::with_cache(&idx, Arc::clone(&cache));
+        let cold = CompletionEngine::new(&idx);
+        for tag in ["title", "author", "book"] {
+            assert_eq!(
+                warm.complete_value(tag, "", 20),
+                cold.complete_value(tag, "", 20),
+                "{tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_and_cache_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ValueTrieCache>();
+        assert_send_sync::<CompletionEngine<'static>>();
     }
 }

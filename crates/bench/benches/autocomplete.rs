@@ -1,91 +1,115 @@
 //! E3/E9a: per-keystroke completion latency — position-aware vs global
 //! trie vs linear scan (Figure 3 and the trie ablation).
+//!
+//! Gated behind the non-default `criterion` feature so the workspace builds
+//! offline; enabling it requires restoring the criterion dev-dependency
+//! (see crates/bench/Cargo.toml).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lotusx_autocomplete::{CompletionEngine, PositionContext};
-use lotusx_bench::fixture;
-use lotusx_datagen::{queries, Dataset};
-use lotusx_twig::Axis;
+#[cfg(feature = "criterion")]
+mod bench {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+    use lotusx_autocomplete::{CompletionEngine, PositionContext};
+    use lotusx_bench::fixture;
+    use lotusx_datagen::{queries, Dataset};
+    use lotusx_twig::Axis;
 
-fn bench_completion(c: &mut Criterion) {
-    for dataset in Dataset::ALL {
-        let idx = fixture(dataset, 2);
+    fn bench_completion(c: &mut Criterion) {
+        for dataset in Dataset::ALL {
+            let idx = fixture(dataset, 2);
+            let engine = CompletionEngine::new(&idx);
+            let traces = queries::completion_traces(dataset);
+            let mut group = c.benchmark_group(format!("E3-{}", dataset.name()));
+            group.measurement_time(std::time::Duration::from_secs(1));
+            group.warm_up_time(std::time::Duration::from_millis(300));
+            group.sample_size(10);
+            for prefix_len in [0usize, 1, 2] {
+                group.bench_with_input(
+                    BenchmarkId::new("position-aware", prefix_len),
+                    &prefix_len,
+                    |b, &plen| {
+                        b.iter(|| {
+                            let mut total = 0usize;
+                            for t in traces {
+                                let ctx =
+                                    PositionContext::from_tag_path(t.context_path, Axis::Child);
+                                let prefix = &t.intended[..plen.min(t.intended.len())];
+                                total += engine.complete_tag(&ctx, prefix, 10).len();
+                            }
+                            total
+                        })
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new("global-trie", prefix_len),
+                    &prefix_len,
+                    |b, &plen| {
+                        b.iter(|| {
+                            let mut total = 0usize;
+                            for t in traces {
+                                let prefix = &t.intended[..plen.min(t.intended.len())];
+                                total += engine.complete_tag_global(prefix, 10).len();
+                            }
+                            total
+                        })
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new("linear-scan", prefix_len),
+                    &prefix_len,
+                    |b, &plen| {
+                        b.iter(|| {
+                            let mut total = 0usize;
+                            for t in traces {
+                                let prefix = &t.intended[..plen.min(t.intended.len())];
+                                total += engine.complete_tag_scan(prefix, 10).len();
+                            }
+                            total
+                        })
+                    },
+                );
+            }
+            group.finish();
+        }
+
+        // Value completion (term tries are larger than tag tries).
+        let idx = fixture(Dataset::DblpLike, 2);
         let engine = CompletionEngine::new(&idx);
-        let traces = queries::completion_traces(dataset);
-        let mut group = c.benchmark_group(format!("E3-{}", dataset.name()));
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.sample_size(10);
-        for prefix_len in [0usize, 1, 2] {
+        let mut group = c.benchmark_group("E3-values");
+        group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.sample_size(10);
+        for prefix in ["d", "da", "dat"] {
             group.bench_with_input(
-                BenchmarkId::new("position-aware", prefix_len),
-                &prefix_len,
-                |b, &plen| {
-                    b.iter(|| {
-                        let mut total = 0usize;
-                        for t in traces {
-                            let ctx =
-                                PositionContext::from_tag_path(t.context_path, Axis::Child);
-                            let prefix = &t.intended[..plen.min(t.intended.len())];
-                            total += engine.complete_tag(&ctx, prefix, 10).len();
-                        }
-                        total
-                    })
-                },
+                BenchmarkId::new("global-term-trie", prefix),
+                &prefix,
+                |b, p| b.iter(|| engine.complete_value_global(p, 10)),
             );
-            group.bench_with_input(
-                BenchmarkId::new("global-trie", prefix_len),
-                &prefix_len,
-                |b, &plen| {
-                    b.iter(|| {
-                        let mut total = 0usize;
-                        for t in traces {
-                            let prefix = &t.intended[..plen.min(t.intended.len())];
-                            total += engine.complete_tag_global(prefix, 10).len();
-                        }
-                        total
-                    })
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new("linear-scan", prefix_len),
-                &prefix_len,
-                |b, &plen| {
-                    b.iter(|| {
-                        let mut total = 0usize;
-                        for t in traces {
-                            let prefix = &t.intended[..plen.min(t.intended.len())];
-                            total += engine.complete_tag_scan(prefix, 10).len();
-                        }
-                        total
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("tag-scoped", prefix), &prefix, |b, p| {
+                b.iter(|| engine.complete_value("title", p, 10))
+            });
         }
         group.finish();
     }
 
-    // Value completion (term tries are larger than tag tries).
-    let idx = fixture(Dataset::DblpLike, 2);
-    let engine = CompletionEngine::new(&idx);
-    let mut group = c.benchmark_group("E3-values");
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.sample_size(10);
-    for prefix in ["d", "da", "dat"] {
-        group.bench_with_input(BenchmarkId::new("global-term-trie", prefix), &prefix, |b, p| {
-            b.iter(|| engine.complete_value_global(p, 10))
-        });
-        group.bench_with_input(BenchmarkId::new("tag-scoped", prefix), &prefix, |b, p| {
-            b.iter(|| engine.complete_value("title", p, 10))
-        });
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().without_plots();
+        targets = bench_completion
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench_completion
+#[cfg(feature = "criterion")]
+fn main() {
+    bench::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!(
+        "criterion benchmarks are disabled in the offline build; \
+         run the experiments harness instead: cargo run --release -p lotusx-bench --bin experiments"
+    );
+}

@@ -2,46 +2,66 @@
 //!
 //! Regenerates the rows of Table 1 (construction time; the harness binary
 //! adds the size columns).
+//!
+//! Gated behind the non-default `criterion` feature so the workspace builds
+//! offline; enabling it requires restoring the criterion dev-dependency
+//! (see crates/bench/Cargo.toml).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lotusx_bench::SEED;
-use lotusx_datagen::{generate, Dataset};
-use lotusx_index::IndexedDocument;
+#[cfg(feature = "criterion")]
+mod bench {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+    use lotusx_bench::SEED;
+    use lotusx_datagen::{generate, Dataset};
+    use lotusx_index::IndexedDocument;
 
-fn bench_indexing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E1-indexing");
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.sample_size(10);
-    for dataset in Dataset::ALL {
-        for scale in [1u32, 2, 4] {
-            let doc = generate(dataset, scale, SEED);
-            group.bench_with_input(
-                BenchmarkId::new(dataset.name(), scale),
-                &doc,
-                |b, doc| b.iter(|| IndexedDocument::build(doc.clone())),
-            );
+    fn bench_indexing(c: &mut Criterion) {
+        let mut group = c.benchmark_group("E1-indexing");
+        group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.sample_size(10);
+        for dataset in Dataset::ALL {
+            for scale in [1u32, 2, 4] {
+                let doc = generate(dataset, scale, SEED);
+                group.bench_with_input(BenchmarkId::new(dataset.name(), scale), &doc, |b, doc| {
+                    b.iter(|| IndexedDocument::build(doc.clone()))
+                });
+            }
         }
-    }
-    group.finish();
+        group.finish();
 
-    // Parsing alone, to separate substrate cost from index cost.
-    let mut group = c.benchmark_group("E1-parsing");
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.sample_size(10);
-    for dataset in Dataset::ALL {
-        let xml = generate(dataset, 2, SEED).to_xml();
-        group.bench_with_input(BenchmarkId::new(dataset.name(), 2), &xml, |b, xml| {
-            b.iter(|| lotusx_xml::Document::parse_str(xml).expect("well-formed"))
-        });
+        // Parsing alone, to separate substrate cost from index cost.
+        let mut group = c.benchmark_group("E1-parsing");
+        group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.sample_size(10);
+        for dataset in Dataset::ALL {
+            let xml = generate(dataset, 2, SEED).to_xml();
+            group.bench_with_input(BenchmarkId::new(dataset.name(), 2), &xml, |b, xml| {
+                b.iter(|| lotusx_xml::Document::parse_str(xml).expect("well-formed"))
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().without_plots();
+        targets = bench_indexing
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench_indexing
+#[cfg(feature = "criterion")]
+fn main() {
+    bench::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!(
+        "criterion benchmarks are disabled in the offline build; \
+         run the experiments harness instead: cargo run --release -p lotusx-bench --bin experiments"
+    );
+}

@@ -1,35 +1,57 @@
 //! E2: query time per canonical query × algorithm (Figure 2).
+//!
+//! Gated behind the non-default `criterion` feature so the workspace builds
+//! offline; enabling it requires restoring the criterion dev-dependency
+//! (see crates/bench/Cargo.toml).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lotusx_bench::fixture;
-use lotusx_datagen::{queries, Dataset};
-use lotusx_twig::exec::{execute, Algorithm};
-use lotusx_twig::xpath::parse_query;
+#[cfg(feature = "criterion")]
+mod bench {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+    use lotusx_bench::fixture;
+    use lotusx_datagen::{queries, Dataset};
+    use lotusx_twig::exec::{execute, Algorithm};
+    use lotusx_twig::xpath::parse_query;
 
-fn bench_algorithms(c: &mut Criterion) {
-    for dataset in Dataset::ALL {
-        let idx = fixture(dataset, 2);
-        let mut group = c.benchmark_group(format!("E2-{}", dataset.name()));
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.sample_size(10);
-        for q in queries::queries(dataset) {
-            let pattern = parse_query(q.text).expect("canonical query parses");
-            for algo in Algorithm::ALL {
-                group.bench_with_input(
-                    BenchmarkId::new(q.id, algo.name()),
-                    &pattern,
-                    |b, pattern| b.iter(|| execute(&idx, pattern, algo)),
-                );
+    fn bench_algorithms(c: &mut Criterion) {
+        for dataset in Dataset::ALL {
+            let idx = fixture(dataset, 2);
+            let mut group = c.benchmark_group(format!("E2-{}", dataset.name()));
+            group.measurement_time(std::time::Duration::from_secs(1));
+            group.warm_up_time(std::time::Duration::from_millis(300));
+            group.sample_size(10);
+            for q in queries::queries(dataset) {
+                let pattern = parse_query(q.text).expect("canonical query parses");
+                for algo in Algorithm::ALL {
+                    group.bench_with_input(
+                        BenchmarkId::new(q.id, algo.name()),
+                        &pattern,
+                        |b, pattern| b.iter(|| execute(&idx, pattern, algo)),
+                    );
+                }
             }
+            group.finish();
         }
-        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().without_plots();
+        targets = bench_algorithms
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench_algorithms
+#[cfg(feature = "criterion")]
+fn main() {
+    bench::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!(
+        "criterion benchmarks are disabled in the offline build; \
+         run the experiments harness instead: cargo run --release -p lotusx-bench --bin experiments"
+    );
+}

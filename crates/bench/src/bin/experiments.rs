@@ -41,11 +41,8 @@ fn e10_keyword_and_storage() {
     println!("### Keyword search: indexed lookup vs full-tree bitmask\n");
     println!("| scale | elements | query | answers | indexed SLCA | bitmask SLCA |");
     println!("|---|---|---|---|---|---|");
-    let keyword_queries: [&[&str]; 3] = [
-        &["data", "query"],
-        &["xml", "search", "index"],
-        &["smith"],
-    ];
+    let keyword_queries: [&[&str]; 3] =
+        [&["data", "query"], &["xml", "search", "index"], &["smith"]];
     for scale in [1u32, 4, 16] {
         let idx = fixture(Dataset::DblpLike, scale);
         let engine = lotusx_keyword::KeywordEngine::new(&idx);
@@ -82,8 +79,16 @@ fn e10_keyword_and_storage() {
         lotusx_storage::save_document(&doc, &mut buf).expect("encodes");
         buf
     });
-    println!("| parse XML | {} | {} bytes |", fmt_duration(t_parse), xml.len());
-    println!("| load snapshot | {} | {} bytes |", fmt_duration(t_load), snapshot.len());
+    println!(
+        "| parse XML | {} | {} bytes |",
+        fmt_duration(t_parse),
+        xml.len()
+    );
+    println!(
+        "| load snapshot | {} | {} bytes |",
+        fmt_duration(t_load),
+        snapshot.len()
+    );
     println!("| save snapshot | {} | – |", fmt_duration(t_save));
     println!();
 }
@@ -100,7 +105,8 @@ fn e1_indexing() {
             let (parse_t, parsed) = median_time(REPS.min(3), || {
                 lotusx_xml::Document::parse_str(&xml).expect("well-formed")
             });
-            let (index_t, idx) = median_time(REPS.min(3), || IndexedDocument::build(parsed.clone()));
+            let (index_t, idx) =
+                median_time(REPS.min(3), || IndexedDocument::build(parsed.clone()));
             println!(
                 "| {} | {} | {} | {} | {} | {:.2} MiB | {} | {} |",
                 ds,
@@ -476,7 +482,9 @@ fn e8_scalability() {
 fn e9_ablations() {
     println!("## E9 — ablations\n");
 
-    println!("### E9a: DataGuide filtering off (completion = global trie) — candidate-set blowup\n");
+    println!(
+        "### E9a: DataGuide filtering off (completion = global trie) — candidate-set blowup\n"
+    );
     println!("| dataset | avg candidates with DataGuide | avg candidates without | blowup |");
     println!("|---|---|---|---|");
     for ds in Dataset::ALL {

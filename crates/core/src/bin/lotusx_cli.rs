@@ -25,7 +25,10 @@ fn main() {
     let system = match &arg {
         Some(path) => match LotusX::load_file(path) {
             Ok(s) => {
-                println!("loaded {path} ({} elements)", s.index().stats().element_count);
+                println!(
+                    "loaded {path} ({} elements)",
+                    s.index().stats().element_count
+                );
                 s
             }
             Err(e) => {
@@ -65,6 +68,16 @@ fn main() {
                     s.max_depth,
                     system.index().index_size_bytes()
                 );
+                let qc = system.query_cache_stats();
+                println!(
+                    "query cache: {} hits, {} misses, {}/{} entries  value tries cached: {}  threads: {}",
+                    qc.hits,
+                    qc.misses,
+                    qc.entries,
+                    qc.capacity,
+                    system.value_trie_cache_len(),
+                    system.threads()
+                );
             }
             "save" => match system.save_snapshot(rest) {
                 Ok(()) => println!("snapshot written to {rest}"),
@@ -74,7 +87,12 @@ fn main() {
                 let hits = system.search_keywords(rest);
                 println!("{} answers", hits.len());
                 for (i, h) in hits.iter().take(10).enumerate() {
-                    println!("  {:>2}. [{:.3}] {}", i + 1, h.score, truncate(&h.snippet, 90));
+                    println!(
+                        "  {:>2}. [{:.3}] {}",
+                        i + 1,
+                        h.score,
+                        truncate(&h.snippet, 90)
+                    );
                 }
             }
             "query" => match system.search(rest) {
@@ -87,7 +105,12 @@ fn main() {
                     }
                     println!("{} matches", outcome.total_matches);
                     for (i, r) in outcome.results.iter().take(10).enumerate() {
-                        println!("  {:>2}. [{:.3}] {}", i + 1, r.score, truncate(&r.snippet, 90));
+                        println!(
+                            "  {:>2}. [{:.3}] {}",
+                            i + 1,
+                            r.score,
+                            truncate(&r.snippet, 90)
+                        );
                     }
                 }
                 Err(e) => println!("error: {e}"),
@@ -135,7 +158,11 @@ fn main() {
                     None => println!("usage: node <parent-index> [/ or //]"),
                 }
             }
-            "focus" => match rest.parse::<usize>().ok().and_then(|i| nodes.get(i).copied()) {
+            "focus" => match rest
+                .parse::<usize>()
+                .ok()
+                .and_then(|i| nodes.get(i).copied())
+            {
                 Some(id) => match session.focus(id) {
                     Ok(cands) => print_candidates(&cands),
                     Err(e) => println!("error: {e}"),
@@ -171,12 +198,10 @@ fn main() {
                 let idx: Option<usize> = parts.next().and_then(|p| p.parse().ok());
                 let tag = parts.next().unwrap_or("");
                 match idx.and_then(|i| nodes.get(i).copied()) {
-                    Some(id) if !tag.is_empty() => {
-                        match session.canvas_mut().set_tag(id, tag) {
-                            Ok(()) => println!("node tagged {tag}"),
-                            Err(e) => println!("error: {e}"),
-                        }
-                    }
+                    Some(id) if !tag.is_empty() => match session.canvas_mut().set_tag(id, tag) {
+                        Ok(()) => println!("node tagged {tag}"),
+                        Err(e) => println!("error: {e}"),
+                    },
                     _ => println!("usage: tag <node-index> <name>"),
                 }
             }
@@ -196,7 +221,12 @@ fn main() {
                 Ok(outcome) => {
                     println!("{} matches", outcome.total_matches);
                     for (i, r) in outcome.results.iter().take(10).enumerate() {
-                        println!("  {:>2}. [{:.3}] {}", i + 1, r.score, truncate(&r.snippet, 90));
+                        println!(
+                            "  {:>2}. [{:.3}] {}",
+                            i + 1,
+                            r.score,
+                            truncate(&r.snippet, 90)
+                        );
                     }
                 }
                 Err(e) => println!("error: {e}"),

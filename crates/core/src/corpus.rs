@@ -74,10 +74,7 @@ impl Corpus {
 
     /// The engine for one document.
     pub fn get(&self, name: &str) -> Option<&LotusX> {
-        self.systems
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| s)
+        self.systems.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 
     /// Runs a twig query against every document, merging results by score.

@@ -1,15 +1,17 @@
 //! The LotusX engine: load, search, rank, rewrite.
 
-use lotusx_autocomplete::CompletionEngine;
-use lotusx_index::IndexedDocument;
+use lotusx_autocomplete::{CompletionEngine, ValueTrieCache};
+use lotusx_index::{BuildOptions, IndexedDocument};
+use lotusx_par::{default_threads, par_map, CacheStats, ConcurrentLru};
 use lotusx_rank::{RankWeights, Ranker};
 use lotusx_rewrite::{Rewriter, RewriterConfig};
-use lotusx_twig::exec::{execute, Algorithm};
+use lotusx_twig::exec::{execute_parallel, Algorithm};
 use lotusx_twig::matcher::TwigMatch;
 use lotusx_twig::pattern::TwigPattern;
 use lotusx_twig::xpath::{parse_query, ParseError};
 use lotusx_xml::{Document, NodeId, SerializeOptions};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors surfaced by the engine.
 #[derive(Debug)]
@@ -89,7 +91,19 @@ pub struct RewriteInfo {
     pub ops: Vec<String>,
 }
 
+/// Number of hottest tags whose value-completion tries are prebuilt at
+/// load time.
+const HOT_TAG_TRIES: usize = 8;
+
+/// Capacity of the query-result LRU cache.
+const QUERY_CACHE_CAPACITY: usize = 128;
+
 /// The LotusX system over one loaded document.
+///
+/// `LotusX` is `Send + Sync`: searches and completions take `&self` and
+/// may run concurrently from many threads. The two internal caches (query
+/// results, per-tag value tries) are thread-safe and shared across all
+/// callers.
 pub struct LotusX {
     idx: IndexedDocument,
     /// `None` = pick per query via `lotusx_twig::select_algorithm`.
@@ -98,6 +112,16 @@ pub struct LotusX {
     rewriter_config: RewriterConfig,
     auto_rewrite: bool,
     result_limit: usize,
+    /// Worker threads for the partitioned search/ranking phases.
+    threads: usize,
+    /// Per-tag value-completion tries, shared with every engine handed
+    /// out by [`Self::completion_engine`].
+    value_cache: Arc<ValueTrieCache>,
+    /// Memoized outcomes keyed by normalized pattern + config generation.
+    query_cache: ConcurrentLru<String, SearchOutcome>,
+    /// Bumped by every configuration setter; stale cache keys never match
+    /// again and age out of the LRU.
+    config_generation: u64,
 }
 
 impl LotusX {
@@ -132,15 +156,25 @@ impl LotusX {
         Ok(Self::load_document(doc))
     }
 
-    /// Indexes an already-parsed document.
+    /// Indexes an already-parsed document, partitioning index construction
+    /// across the host's worker threads and pre-building the value tries
+    /// of the hottest tags.
     pub fn load_document(doc: Document) -> Self {
+        let threads = default_threads();
+        let idx = IndexedDocument::build_with(doc, &BuildOptions { threads });
+        let value_cache = Arc::new(ValueTrieCache::new());
+        value_cache.precompute_hottest(&idx, HOT_TAG_TRIES, threads);
         LotusX {
-            idx: IndexedDocument::build(doc),
+            idx,
             algorithm_override: Some(Algorithm::TwigStack),
             weights: RankWeights::default(),
             rewriter_config: RewriterConfig::default(),
             auto_rewrite: true,
             result_limit: 100,
+            threads,
+            value_cache,
+            query_cache: ConcurrentLru::new(QUERY_CACHE_CAPACITY),
+            config_generation: 0,
         }
     }
 
@@ -152,12 +186,14 @@ impl LotusX {
     /// Pins the join algorithm (default: TwigStack).
     pub fn set_algorithm(&mut self, algorithm: Algorithm) {
         self.algorithm_override = Some(algorithm);
+        self.config_generation += 1;
     }
 
     /// Lets the engine pick an algorithm per query from its shape and the
     /// streams' selectivity (see `lotusx_twig::select_algorithm`).
     pub fn set_auto_algorithm(&mut self) {
         self.algorithm_override = None;
+        self.config_generation += 1;
     }
 
     /// The pinned join algorithm, if any.
@@ -173,37 +209,81 @@ impl LotusX {
     /// Sets the ranking weights.
     pub fn set_rank_weights(&mut self, weights: RankWeights) {
         self.weights = weights;
+        self.config_generation += 1;
     }
 
     /// Enables/disables automatic rewriting of empty-result queries.
     pub fn set_auto_rewrite(&mut self, on: bool) {
         self.auto_rewrite = on;
+        self.config_generation += 1;
     }
 
     /// Sets how many ranked results a search returns (default 100).
     pub fn set_result_limit(&mut self, limit: usize) {
         self.result_limit = limit;
+        self.config_generation += 1;
     }
 
-    /// Parses and runs a textual query.
+    /// Sets the worker-thread count for partitioned search and ranking
+    /// (default: the host's available parallelism). `1` means fully
+    /// serial. Outcomes are identical for every thread count, so the
+    /// query cache is not invalidated.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Hit/miss statistics of the query-result cache.
+    pub fn query_cache_stats(&self) -> CacheStats {
+        self.query_cache.stats()
+    }
+
+    /// Number of per-tag value-completion tries currently cached.
+    pub fn value_trie_cache_len(&self) -> usize {
+        self.value_cache.len()
+    }
+
+    /// Parses and runs a textual query. Outcomes are memoized in a
+    /// thread-safe LRU keyed by the normalized pattern text, so repeating
+    /// a query (even spelled differently, e.g. with extra whitespace) is
+    /// a cache hit until a configuration setter invalidates the cache.
     pub fn search(&self, query: &str) -> Result<SearchOutcome, LotusError> {
-        Ok(self.search_pattern(&parse_query(query)?))
+        let pattern = parse_query(query)?;
+        let key = format!("g{}|{}", self.config_generation, pattern);
+        if let Some(hit) = self.query_cache.get(&key) {
+            return Ok((*hit).clone());
+        }
+        let outcome = self.search_pattern(&pattern);
+        self.query_cache.insert(key, outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Runs many queries, partitioned across the worker threads. The
+    /// result at position `i` is exactly `self.search(queries[i])`.
+    pub fn search_batch(&self, queries: &[&str]) -> Vec<Result<SearchOutcome, LotusError>> {
+        par_map(queries, self.threads, |q| self.search(q))
     }
 
     /// Runs a twig pattern: execute → (rewrite if empty) → rank.
     pub fn search_pattern(&self, pattern: &TwigPattern) -> SearchOutcome {
-        let matches = execute(&self.idx, pattern, self.algorithm_for(pattern));
+        let matches = self.execute(pattern);
         if !matches.is_empty() || !self.auto_rewrite {
             return self.finish(pattern, matches, None);
         }
         // Empty: try rewriting.
-        let rewriter =
-            Rewriter::with(&self.idx, lotusx_rewrite::SynonymTable::default_table(), self.rewriter_config);
+        let rewriter = Rewriter::with(
+            &self.idx,
+            lotusx_rewrite::SynonymTable::default_table(),
+            self.rewriter_config,
+        );
         let rewrites = rewriter.rewrite(pattern);
         match rewrites.into_iter().next() {
             Some(best) => {
-                let matches =
-                    execute(&self.idx, &best.pattern, self.algorithm_for(&best.pattern));
+                let matches = self.execute(&best.pattern);
                 let info = RewriteInfo {
                     pattern: best.pattern.clone(),
                     cost: best.cost,
@@ -215,6 +295,15 @@ impl LotusX {
         }
     }
 
+    fn execute(&self, pattern: &TwigPattern) -> Vec<TwigMatch> {
+        execute_parallel(
+            &self.idx,
+            pattern,
+            self.algorithm_for(pattern),
+            self.threads,
+        )
+    }
+
     fn finish(
         &self,
         pattern: &TwigPattern,
@@ -223,11 +312,10 @@ impl LotusX {
     ) -> SearchOutcome {
         let total_matches = matches.len();
         let ranker = Ranker::with_weights(&self.idx, self.weights);
-        let ranked = ranker.rank(pattern, matches);
+        let ranked = ranker.rank_top_k(pattern, matches, self.result_limit, self.threads);
         let doc = self.idx.document();
         let results = ranked
             .into_iter()
-            .take(self.result_limit)
             .map(|sm| {
                 let output = sm.m.project(pattern);
                 let snippet = output
@@ -249,9 +337,11 @@ impl LotusX {
         }
     }
 
-    /// A position-aware completion engine over this document.
+    /// A position-aware completion engine over this document. All engines
+    /// share one value-trie cache, so a trie built while serving one
+    /// completion request is reused by every later engine.
     pub fn completion_engine(&self) -> CompletionEngine<'_> {
-        CompletionEngine::new(&self.idx)
+        CompletionEngine::with_cache(&self.idx, Arc::clone(&self.value_cache))
     }
 
     /// Free-text keyword search: ranked smallest subtrees (SLCA) covering
@@ -341,10 +431,19 @@ mod tests {
 
     #[test]
     fn bad_inputs_surface_errors() {
-        assert!(matches!(LotusX::load_str("<a><b></a>"), Err(LotusError::Xml(_))));
+        assert!(matches!(
+            LotusX::load_str("<a><b></a>"),
+            Err(LotusError::Xml(_))
+        ));
         let system = LotusX::load_str(BIB).unwrap();
-        assert!(matches!(system.search("//book["), Err(LotusError::Query(_))));
-        assert!(matches!(LotusX::load_file("/nonexistent/path.xml"), Err(LotusError::Io(_))));
+        assert!(matches!(
+            system.search("//book["),
+            Err(LotusError::Query(_))
+        ));
+        assert!(matches!(
+            LotusX::load_file("/nonexistent/path.xml"),
+            Err(LotusError::Io(_))
+        ));
     }
 
     #[test]
@@ -357,10 +456,16 @@ mod tests {
     #[test]
     fn auto_algorithm_matches_pinned_results() {
         let mut system = LotusX::load_str(BIB).unwrap();
-        let pinned = system.search("//book[title][author]").unwrap().total_matches;
+        let pinned = system
+            .search("//book[title][author]")
+            .unwrap()
+            .total_matches;
         system.set_auto_algorithm();
         assert_eq!(
-            system.search("//book[title][author]").unwrap().total_matches,
+            system
+                .search("//book[title][author]")
+                .unwrap()
+                .total_matches,
             pinned
         );
         assert_eq!(system.algorithm(), Algorithm::TwigStack, "reported default");
@@ -404,5 +509,109 @@ mod tests {
         let unordered = system.search("//book[title][year]").unwrap();
         let ordered = system.search("ordered //book[title][year]").unwrap();
         assert!(ordered.total_matches <= unordered.total_matches);
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LotusX>();
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let first = system.search("//book/title").unwrap();
+        assert_eq!(system.query_cache_stats().hits, 0);
+        // Same pattern, different spelling: still one normalized key.
+        let second = system.search("  //book/title ").unwrap();
+        let stats = system.query_cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(second.total_matches, first.total_matches);
+        assert_eq!(second.results.len(), first.results.len());
+    }
+
+    #[test]
+    fn configuration_changes_invalidate_the_cache() {
+        let mut system = LotusX::load_str(BIB).unwrap();
+        assert_eq!(system.search("//author").unwrap().results.len(), 3);
+        system.set_result_limit(1);
+        // A stale cached outcome would still hold 3 results.
+        let outcome = system.search("//author").unwrap();
+        assert_eq!(outcome.results.len(), 1);
+        assert_eq!(outcome.total_matches, 3);
+        assert_eq!(system.query_cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn batch_search_matches_individual_searches() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let queries = [
+            "//book/title",
+            "//author",
+            "//book[",
+            "//book[year >= 2000]",
+        ];
+        let batch = system.search_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, outcome) in queries.iter().zip(&batch) {
+            match outcome {
+                Ok(got) => {
+                    let expect = system.search(q).unwrap();
+                    assert_eq!(got.total_matches, expect.total_matches, "{q}");
+                    assert_eq!(got.results.len(), expect.results.len(), "{q}");
+                }
+                Err(e) => assert!(matches!(e, LotusError::Query(_)), "{q}"),
+            }
+        }
+        assert!(batch[2].is_err(), "malformed query surfaces its error");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_outcomes() {
+        let mut serial = LotusX::load_str(BIB).unwrap();
+        serial.set_threads(1);
+        let mut parallel = LotusX::load_str(BIB).unwrap();
+        for threads in [2, 8] {
+            parallel.set_threads(threads);
+            assert_eq!(parallel.threads(), threads);
+            for q in [
+                "//book/title",
+                "//book[title][author]",
+                "ordered //book[title][year]",
+            ] {
+                let a = serial.search(q).unwrap();
+                let b = parallel.search(q).unwrap();
+                assert_eq!(a.total_matches, b.total_matches, "{q} at {threads}");
+                let ka: Vec<_> = a
+                    .results
+                    .iter()
+                    .map(|r| (r.bindings.clone(), r.score.to_bits()))
+                    .collect();
+                let kb: Vec<_> = b
+                    .results
+                    .iter()
+                    .map(|r| (r.bindings.clone(), r.score.to_bits()))
+                    .collect();
+                assert_eq!(ka, kb, "{q} at {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_trie_cache_is_precomputed_and_shared() {
+        let system = LotusX::load_str(BIB).unwrap();
+        // BIB has 5 distinct tags; all fit under the hot-tag budget.
+        assert!(system.value_trie_cache_len() > 0);
+        let before = system.value_trie_cache_len();
+        let engine = system.completion_engine();
+        let hits = engine.complete_value("title", "xm", 10);
+        assert!(hits.iter().any(|c| c.term.starts_with("xm")));
+        assert_eq!(
+            system.value_trie_cache_len(),
+            before,
+            "served from shared cache"
+        );
     }
 }

@@ -121,7 +121,9 @@ impl<'a> Session<'a> {
     pub fn value_suggestions(&self, prefix: &str) -> Result<Vec<ValueCandidate>, CanvasError> {
         let node = self.focus.ok_or(CanvasError::NoSuchNode)?;
         match self.canvas.tag(node)? {
-            Some(tag) => Ok(self.completion.complete_value(tag, prefix, self.suggestion_k)),
+            Some(tag) => Ok(self
+                .completion
+                .complete_value(tag, prefix, self.suggestion_k)),
             None => Ok(self
                 .completion
                 .complete_value_global(prefix, self.suggestion_k)),

@@ -5,17 +5,16 @@
 //! publication elements of a handful of types, each 3–8 shallow children,
 //! authors drawn from a heavily skewed pool, years spanning decades.
 
+use crate::rng::XorShiftRng;
 use crate::words::{zipf_words, Zipf, NAMES};
 use lotusx_xml::{Document, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Publications generated per unit of scale.
 pub const PUBLICATIONS_PER_SCALE: u32 = 400;
 
 /// Generates a DBLP-like document.
 pub fn generate(scale: u32, seed: u64) -> Document {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let author_zipf = Zipf::new(NAMES.len() * 4, 1.05);
     let word_zipf = Zipf::new(crate::words::WORDS.len(), 1.0);
 
@@ -70,7 +69,10 @@ pub fn generate(scale: u32, seed: u64) -> Document {
                 doc.append_text(publisher, zipf_words(&mut rng, &word_zipf, 2));
                 if rng.gen_bool(0.4) {
                     let isbn = doc.append_element(publication, "isbn");
-                    doc.append_text(isbn, format!("978-{}", rng.gen_range(100_000_000..999_999_999u64)));
+                    doc.append_text(
+                        isbn,
+                        format!("978-{}", rng.gen_range(100_000_000..999_999_999u64)),
+                    );
                 }
             }
         }
@@ -107,7 +109,15 @@ mod tests {
     fn publication_types_and_fields_present() {
         let doc = generate(1, 11);
         let syms = doc.symbols();
-        for tag in ["article", "inproceedings", "book", "author", "title", "year", "journal"] {
+        for tag in [
+            "article",
+            "inproceedings",
+            "book",
+            "author",
+            "title",
+            "year",
+            "journal",
+        ] {
             assert!(syms.get(tag).is_some(), "missing tag {tag}");
         }
     }

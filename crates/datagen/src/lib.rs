@@ -19,6 +19,7 @@
 
 pub mod dblp;
 pub mod queries;
+pub mod rng;
 pub mod treebank;
 pub mod words;
 pub mod xmark;
@@ -38,11 +39,7 @@ pub enum Dataset {
 
 impl Dataset {
     /// All dataset families, in the order experiments report them.
-    pub const ALL: [Dataset; 3] = [
-        Dataset::DblpLike,
-        Dataset::XmarkLike,
-        Dataset::TreebankLike,
-    ];
+    pub const ALL: [Dataset; 3] = [Dataset::DblpLike, Dataset::XmarkLike, Dataset::TreebankLike];
 
     /// A short display name.
     pub fn name(&self) -> &'static str {

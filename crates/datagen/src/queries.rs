@@ -21,28 +21,82 @@ pub struct BenchQuery {
 pub fn queries(dataset: Dataset) -> &'static [BenchQuery] {
     match dataset {
         Dataset::DblpLike => &[
-            BenchQuery { id: "D1", text: "//article/author" },
-            BenchQuery { id: "D2", text: "//article[author][title]/year" },
-            BenchQuery { id: "D3", text: "//dblp/book[publisher]" },
-            BenchQuery { id: "D4", text: "//inproceedings[booktitle][pages]/title" },
-            BenchQuery { id: "D5", text: "//article[year >= 2000][author]/title" },
-            BenchQuery { id: "D6", text: r#"//article[author ~ "smith"]/title"# },
+            BenchQuery {
+                id: "D1",
+                text: "//article/author",
+            },
+            BenchQuery {
+                id: "D2",
+                text: "//article[author][title]/year",
+            },
+            BenchQuery {
+                id: "D3",
+                text: "//dblp/book[publisher]",
+            },
+            BenchQuery {
+                id: "D4",
+                text: "//inproceedings[booktitle][pages]/title",
+            },
+            BenchQuery {
+                id: "D5",
+                text: "//article[year >= 2000][author]/title",
+            },
+            BenchQuery {
+                id: "D6",
+                text: r#"//article[author ~ "smith"]/title"#,
+            },
         ],
         Dataset::XmarkLike => &[
-            BenchQuery { id: "X1", text: "//people/person/name" },
-            BenchQuery { id: "X2", text: "//open_auction[bidder]/current" },
-            BenchQuery { id: "X3", text: "//open_auction[bidder/increase >= 20]/current" },
-            BenchQuery { id: "X4", text: "//item[description//keyword]/name" },
-            BenchQuery { id: "X5", text: "//person[profile[income >= 80000]]/name" },
-            BenchQuery { id: "X6", text: "//site//open_auction[annotation//keyword][seller]" },
+            BenchQuery {
+                id: "X1",
+                text: "//people/person/name",
+            },
+            BenchQuery {
+                id: "X2",
+                text: "//open_auction[bidder]/current",
+            },
+            BenchQuery {
+                id: "X3",
+                text: "//open_auction[bidder/increase >= 20]/current",
+            },
+            BenchQuery {
+                id: "X4",
+                text: "//item[description//keyword]/name",
+            },
+            BenchQuery {
+                id: "X5",
+                text: "//person[profile[income >= 80000]]/name",
+            },
+            BenchQuery {
+                id: "X6",
+                text: "//site//open_auction[annotation//keyword][seller]",
+            },
         ],
         Dataset::TreebankLike => &[
-            BenchQuery { id: "T1", text: "//s/np" },
-            BenchQuery { id: "T2", text: "//s//vp//nn" },
-            BenchQuery { id: "T3", text: "//s[np][vp]" },
-            BenchQuery { id: "T4", text: "//vp[pp//nn]/vb" },
-            BenchQuery { id: "T5", text: "//s//s[np]" },
-            BenchQuery { id: "T6", text: "//np[dt][nn]" },
+            BenchQuery {
+                id: "T1",
+                text: "//s/np",
+            },
+            BenchQuery {
+                id: "T2",
+                text: "//s//vp//nn",
+            },
+            BenchQuery {
+                id: "T3",
+                text: "//s[np][vp]",
+            },
+            BenchQuery {
+                id: "T4",
+                text: "//vp[pp//nn]/vb",
+            },
+            BenchQuery {
+                id: "T5",
+                text: "//s//s[np]",
+            },
+            BenchQuery {
+                id: "T6",
+                text: "//np[dt][nn]",
+            },
         ],
     }
 }
@@ -64,25 +118,85 @@ pub struct BrokenQuery {
 pub fn broken_queries(dataset: Dataset) -> &'static [BrokenQuery] {
     match dataset {
         Dataset::DblpLike => &[
-            BrokenQuery { id: "R1", text: "//article/writer", damage: "synonym tag (writer→author)" },
-            BrokenQuery { id: "R2", text: "//dblp/author", damage: "wrong axis (author is a grandchild)" },
-            BrokenQuery { id: "R3", text: "//artcle/title", damage: "typo in tag (artcle)" },
-            BrokenQuery { id: "R4", text: "//book/journal", damage: "field of the wrong type (books have publishers)" },
-            BrokenQuery { id: "R5", text: "//article[title][journal]/publisher", damage: "structure from another type" },
+            BrokenQuery {
+                id: "R1",
+                text: "//article/writer",
+                damage: "synonym tag (writer→author)",
+            },
+            BrokenQuery {
+                id: "R2",
+                text: "//dblp/author",
+                damage: "wrong axis (author is a grandchild)",
+            },
+            BrokenQuery {
+                id: "R3",
+                text: "//artcle/title",
+                damage: "typo in tag (artcle)",
+            },
+            BrokenQuery {
+                id: "R4",
+                text: "//book/journal",
+                damage: "field of the wrong type (books have publishers)",
+            },
+            BrokenQuery {
+                id: "R5",
+                text: "//article[title][journal]/publisher",
+                damage: "structure from another type",
+            },
         ],
         Dataset::XmarkLike => &[
-            BrokenQuery { id: "R1", text: "//person/income", damage: "wrong axis (income under profile)" },
-            BrokenQuery { id: "R2", text: "//open_auction/keyword", damage: "wrong axis (keyword is deep)" },
-            BrokenQuery { id: "R3", text: "//persn/name", damage: "typo in tag (persn)" },
-            BrokenQuery { id: "R4", text: "//item/bidder", damage: "bidders belong to auctions" },
-            BrokenQuery { id: "R5", text: "//open_auction[bidder/cost]", damage: "synonym tag (cost→increase)" },
+            BrokenQuery {
+                id: "R1",
+                text: "//person/income",
+                damage: "wrong axis (income under profile)",
+            },
+            BrokenQuery {
+                id: "R2",
+                text: "//open_auction/keyword",
+                damage: "wrong axis (keyword is deep)",
+            },
+            BrokenQuery {
+                id: "R3",
+                text: "//persn/name",
+                damage: "typo in tag (persn)",
+            },
+            BrokenQuery {
+                id: "R4",
+                text: "//item/bidder",
+                damage: "bidders belong to auctions",
+            },
+            BrokenQuery {
+                id: "R5",
+                text: "//open_auction[bidder/cost]",
+                damage: "synonym tag (cost→increase)",
+            },
         ],
         Dataset::TreebankLike => &[
-            BrokenQuery { id: "R1", text: "//nn/np", damage: "inverted hierarchy (terminals have no children)" },
-            BrokenQuery { id: "R2", text: "//sentence/np", damage: "synonym tag (sentence→s)" },
-            BrokenQuery { id: "R3", text: "//s/vpp", damage: "typo in tag (vpp)" },
-            BrokenQuery { id: "R4", text: "//np/nn/vb", damage: "chain through a childless terminal" },
-            BrokenQuery { id: "R5", text: "//treebank/nn", damage: "wrong axis from the root" },
+            BrokenQuery {
+                id: "R1",
+                text: "//nn/np",
+                damage: "inverted hierarchy (terminals have no children)",
+            },
+            BrokenQuery {
+                id: "R2",
+                text: "//sentence/np",
+                damage: "synonym tag (sentence→s)",
+            },
+            BrokenQuery {
+                id: "R3",
+                text: "//s/vpp",
+                damage: "typo in tag (vpp)",
+            },
+            BrokenQuery {
+                id: "R4",
+                text: "//np/nn/vb",
+                damage: "chain through a childless terminal",
+            },
+            BrokenQuery {
+                id: "R5",
+                text: "//treebank/nn",
+                damage: "wrong axis from the root",
+            },
         ],
     }
 }
@@ -102,29 +216,86 @@ pub struct CompletionTrace {
 pub fn completion_traces(dataset: Dataset) -> &'static [CompletionTrace] {
     match dataset {
         Dataset::DblpLike => &[
-            CompletionTrace { context_path: &[], intended: "dblp" },
-            CompletionTrace { context_path: &["dblp"], intended: "article" },
-            CompletionTrace { context_path: &["dblp"], intended: "inproceedings" },
-            CompletionTrace { context_path: &["dblp", "article"], intended: "author" },
-            CompletionTrace { context_path: &["dblp", "article"], intended: "title" },
-            CompletionTrace { context_path: &["dblp", "book"], intended: "publisher" },
-            CompletionTrace { context_path: &["dblp", "inproceedings"], intended: "booktitle" },
+            CompletionTrace {
+                context_path: &[],
+                intended: "dblp",
+            },
+            CompletionTrace {
+                context_path: &["dblp"],
+                intended: "article",
+            },
+            CompletionTrace {
+                context_path: &["dblp"],
+                intended: "inproceedings",
+            },
+            CompletionTrace {
+                context_path: &["dblp", "article"],
+                intended: "author",
+            },
+            CompletionTrace {
+                context_path: &["dblp", "article"],
+                intended: "title",
+            },
+            CompletionTrace {
+                context_path: &["dblp", "book"],
+                intended: "publisher",
+            },
+            CompletionTrace {
+                context_path: &["dblp", "inproceedings"],
+                intended: "booktitle",
+            },
         ],
         Dataset::XmarkLike => &[
-            CompletionTrace { context_path: &[], intended: "site" },
-            CompletionTrace { context_path: &["site"], intended: "people" },
-            CompletionTrace { context_path: &["site", "people"], intended: "person" },
-            CompletionTrace { context_path: &["site", "people", "person"], intended: "profile" },
-            CompletionTrace { context_path: &["site", "people", "person", "profile"], intended: "income" },
-            CompletionTrace { context_path: &["site", "open_auctions", "open_auction"], intended: "bidder" },
-            CompletionTrace { context_path: &["site", "open_auctions", "open_auction", "bidder"], intended: "increase" },
+            CompletionTrace {
+                context_path: &[],
+                intended: "site",
+            },
+            CompletionTrace {
+                context_path: &["site"],
+                intended: "people",
+            },
+            CompletionTrace {
+                context_path: &["site", "people"],
+                intended: "person",
+            },
+            CompletionTrace {
+                context_path: &["site", "people", "person"],
+                intended: "profile",
+            },
+            CompletionTrace {
+                context_path: &["site", "people", "person", "profile"],
+                intended: "income",
+            },
+            CompletionTrace {
+                context_path: &["site", "open_auctions", "open_auction"],
+                intended: "bidder",
+            },
+            CompletionTrace {
+                context_path: &["site", "open_auctions", "open_auction", "bidder"],
+                intended: "increase",
+            },
         ],
         Dataset::TreebankLike => &[
-            CompletionTrace { context_path: &[], intended: "treebank" },
-            CompletionTrace { context_path: &["treebank"], intended: "s" },
-            CompletionTrace { context_path: &["treebank", "s"], intended: "np" },
-            CompletionTrace { context_path: &["treebank", "s", "np"], intended: "nn" },
-            CompletionTrace { context_path: &["treebank", "s", "vp"], intended: "vb" },
+            CompletionTrace {
+                context_path: &[],
+                intended: "treebank",
+            },
+            CompletionTrace {
+                context_path: &["treebank"],
+                intended: "s",
+            },
+            CompletionTrace {
+                context_path: &["treebank", "s"],
+                intended: "np",
+            },
+            CompletionTrace {
+                context_path: &["treebank", "s", "np"],
+                intended: "nn",
+            },
+            CompletionTrace {
+                context_path: &["treebank", "s", "vp"],
+                intended: "vb",
+            },
         ],
     }
 }

@@ -1,0 +1,163 @@
+//! A small deterministic PRNG (xorshift64\*), replacing the external
+//! `rand` crate so the workspace builds with zero network access.
+//!
+//! Statistical quality only needs to be good enough for synthetic-corpus
+//! shaping (Zipf skew, optional-element coin flips); xorshift64\* passes
+//! the distribution assertions every generator test makes. Determinism is
+//! the hard requirement: the same seed must produce the same document on
+//! every platform, which integer arithmetic guarantees.
+
+/// A seedable xorshift64\* generator.
+#[derive(Clone, Debug)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a seed. Any seed is fine — the value is
+    /// passed through a splitmix64 step so 0 and small consecutive seeds
+    /// still yield well-mixed streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 finalizer: guarantees a non-zero, well-mixed state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShiftRng { state: z | 1 }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of randomness).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform draw from the half-open range `lo..hi` (`hi` exclusive).
+    /// Panics when the range is empty.
+    pub fn gen_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+}
+
+/// Types drawable uniformly from a half-open range by [`XorShiftRng`].
+pub trait RangeSample: Copy {
+    /// Draws a value in `lo..hi`.
+    fn sample(rng: &mut XorShiftRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_sample_int {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample(rng: &mut XorShiftRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range over an empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                // Modulo bias is negligible for the tiny spans synthetic
+                // corpora draw from (span ≪ 2^64).
+                lo.wrapping_add((rng.next_u64() % span) as Self)
+            }
+        }
+    )*};
+}
+
+impl_range_sample_int!(i32, u32, u64, usize);
+
+impl RangeSample for f64 {
+    fn sample(rng: &mut XorShiftRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range over an empty range");
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = XorShiftRng::seed_from_u64(42);
+        let mut b = XorShiftRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShiftRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = XorShiftRng::seed_from_u64(0);
+        let first = rng.next_u64();
+        assert_ne!(first, 0);
+        assert_ne!(first, rng.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_fills_it() {
+        let mut rng = XorShiftRng::seed_from_u64(7);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            low |= v < 0.1;
+            high |= v > 0.9;
+        }
+        assert!(low && high, "both tails of [0,1) get hit");
+    }
+
+    #[test]
+    fn int_ranges_are_inclusive_exclusive_and_roughly_uniform() {
+        let mut rng = XorShiftRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "bucket {i} drew {c}");
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(100_000_000..999_999_999u64);
+            assert!((100_000_000..999_999_999).contains(&v));
+            let n = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn f64_ranges_span_their_interval() {
+        let mut rng = XorShiftRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = rng.gen_range(1.0..200.0f64);
+            assert!((1.0..200.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = XorShiftRng::seed_from_u64(5);
+        let trues = (0..10_000).filter(|_| rng.gen_bool(0.7)).count();
+        assert!((6500..7500).contains(&trues), "p=0.7 drew {trues}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        XorShiftRng::seed_from_u64(1).gen_range(5..5usize);
+    }
+}

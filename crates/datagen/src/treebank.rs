@@ -6,10 +6,9 @@
 //! matching degrades and ancestor-descendant twigs produce many nested
 //! matches.
 
+use crate::rng::XorShiftRng;
 use crate::words::{Zipf, WORDS};
 use lotusx_xml::{Document, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Sentences generated per unit of scale.
 pub const SENTENCES_PER_SCALE: u32 = 220;
@@ -22,10 +21,11 @@ const TERMINALS: [&str; 8] = ["nn", "vb", "dt", "jj", "in", "prp", "rb", "cd"];
 
 /// Generates a TreeBank-like document.
 pub fn generate(scale: u32, seed: u64) -> Document {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let word_zipf = Zipf::new(WORDS.len(), 1.0);
     let mut doc = Document::new();
     let corpus = doc.append_element(NodeId::DOCUMENT, "treebank");
+    exemplar_sentence(&mut doc, corpus);
     for _ in 0..scale * SENTENCES_PER_SCALE {
         let s = doc.append_element(corpus, "s");
         grow(&mut doc, s, 1, &mut rng, &word_zipf);
@@ -33,7 +33,31 @@ pub fn generate(scale: u32, seed: u64) -> Document {
     doc
 }
 
-fn grow(doc: &mut Document, parent: NodeId, depth: u32, rng: &mut StdRng, zipf: &Zipf) {
+/// One deterministic textbook sentence per document, so the canonical
+/// constituent paths (s/np/nn, s/vp/vb, s/pp/in, …) exist at every seed.
+/// Real treebanks guarantee these; a purely random grammar does not.
+fn exemplar_sentence(doc: &mut Document, corpus: NodeId) {
+    let s = doc.append_element(corpus, "s");
+    let np = doc.append_element(s, "np");
+    for (tag, word) in [("dt", "the"), ("jj", "old"), ("nn", "parser")] {
+        let t = doc.append_element(np, tag);
+        doc.append_text(t, word.to_string());
+    }
+    let vp = doc.append_element(s, "vp");
+    let vb = doc.append_element(vp, "vb");
+    doc.append_text(vb, "matches".to_string());
+    let obj = doc.append_element(vp, "np");
+    let nn = doc.append_element(obj, "nn");
+    doc.append_text(nn, "twigs".to_string());
+    let pp = doc.append_element(s, "pp");
+    let prep = doc.append_element(pp, "in");
+    doc.append_text(prep, "in".to_string());
+    let pobj = doc.append_element(pp, "np");
+    let pnn = doc.append_element(pobj, "nn");
+    doc.append_text(pnn, "order".to_string());
+}
+
+fn grow(doc: &mut Document, parent: NodeId, depth: u32, rng: &mut XorShiftRng, zipf: &Zipf) {
     let kids = rng.gen_range(1..4);
     for _ in 0..kids {
         // Recurse deeper with probability decaying in depth; at the depth
@@ -75,7 +99,8 @@ mod tests {
         // Find at least one s strictly inside another s.
         let mut nested = false;
         for n in doc.all_nodes() {
-            if doc.tag_name(n) == Some("s") && doc.ancestors(n).any(|a| doc.tag_name(a) == Some("s"))
+            if doc.tag_name(n) == Some("s")
+                && doc.ancestors(n).any(|a| doc.tag_name(a) == Some("s"))
             {
                 nested = true;
                 break;

@@ -1,32 +1,114 @@
 //! Deterministic word pools and a Zipf sampler.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::XorShiftRng;
 
 /// A fixed pool of lowercase words used for titles, keywords and names.
 pub const WORDS: [&str; 96] = [
-    "data", "query", "xml", "index", "tree", "join", "twig", "pattern", "search", "graph",
-    "stream", "label", "path", "node", "cache", "storage", "engine", "parallel", "optimal",
-    "ranking", "semantic", "schema", "holistic", "structural", "adaptive", "efficient",
-    "scalable", "distributed", "incremental", "approximate", "probabilistic", "relational",
-    "spatial", "temporal", "dynamic", "static", "compact", "robust", "novel", "hybrid",
-    "web", "mining", "learning", "network", "system", "model", "analysis", "processing",
-    "evaluation", "algorithm", "language", "interface", "keyword", "document", "database",
-    "transaction", "recovery", "concurrency", "partition", "replica", "cluster", "shard",
-    "vector", "matrix", "tensor", "kernel", "buffer", "page", "block", "segment", "log",
-    "snapshot", "version", "branch", "merge", "filter", "scan", "probe", "hash", "sort",
-    "window", "trigger", "view", "cube", "sample", "sketch", "summary", "digest", "order",
-    "range", "prefix", "suffix", "token", "term", "corpus", "archive",
+    "data",
+    "query",
+    "xml",
+    "index",
+    "tree",
+    "join",
+    "twig",
+    "pattern",
+    "search",
+    "graph",
+    "stream",
+    "label",
+    "path",
+    "node",
+    "cache",
+    "storage",
+    "engine",
+    "parallel",
+    "optimal",
+    "ranking",
+    "semantic",
+    "schema",
+    "holistic",
+    "structural",
+    "adaptive",
+    "efficient",
+    "scalable",
+    "distributed",
+    "incremental",
+    "approximate",
+    "probabilistic",
+    "relational",
+    "spatial",
+    "temporal",
+    "dynamic",
+    "static",
+    "compact",
+    "robust",
+    "novel",
+    "hybrid",
+    "web",
+    "mining",
+    "learning",
+    "network",
+    "system",
+    "model",
+    "analysis",
+    "processing",
+    "evaluation",
+    "algorithm",
+    "language",
+    "interface",
+    "keyword",
+    "document",
+    "database",
+    "transaction",
+    "recovery",
+    "concurrency",
+    "partition",
+    "replica",
+    "cluster",
+    "shard",
+    "vector",
+    "matrix",
+    "tensor",
+    "kernel",
+    "buffer",
+    "page",
+    "block",
+    "segment",
+    "log",
+    "snapshot",
+    "version",
+    "branch",
+    "merge",
+    "filter",
+    "scan",
+    "probe",
+    "hash",
+    "sort",
+    "window",
+    "trigger",
+    "view",
+    "cube",
+    "sample",
+    "sketch",
+    "summary",
+    "digest",
+    "order",
+    "range",
+    "prefix",
+    "suffix",
+    "token",
+    "term",
+    "corpus",
+    "archive",
 ];
 
 /// A fixed pool of surnames used for author/person names.
 pub const NAMES: [&str; 48] = [
-    "smith", "johnson", "lee", "chen", "kumar", "garcia", "mueller", "tanaka", "silva",
-    "rossi", "kim", "nguyen", "patel", "cohen", "ivanov", "hansen", "dubois", "novak",
-    "jones", "brown", "davis", "miller", "wilson", "moore", "taylor", "thomas", "white",
-    "harris", "martin", "clark", "lewis", "walker", "hall", "allen", "young", "king",
-    "wright", "scott", "green", "baker", "adams", "nelson", "hill", "ramos", "campbell",
-    "mitchell", "roberts", "carter",
+    "smith", "johnson", "lee", "chen", "kumar", "garcia", "mueller", "tanaka", "silva", "rossi",
+    "kim", "nguyen", "patel", "cohen", "ivanov", "hansen", "dubois", "novak", "jones", "brown",
+    "davis", "miller", "wilson", "moore", "taylor", "thomas", "white", "harris", "martin", "clark",
+    "lewis", "walker", "hall", "allen", "young", "king", "wright", "scott", "green", "baker",
+    "adams", "nelson", "hill", "ramos", "campbell", "mitchell", "roberts", "carter",
 ];
 
 /// A Zipf sampler over `0..n` with exponent `s`, built once and sampled by
@@ -54,14 +136,16 @@ impl Zipf {
     }
 
     /// Samples a rank in `0..n` (rank 0 is the most frequent).
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
-        let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    pub fn sample(&self, rng: &mut XorShiftRng) -> usize {
+        let u: f64 = rng.gen_f64();
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
 /// Samples `count` Zipf-distributed words joined by spaces.
-pub fn zipf_words(rng: &mut StdRng, zipf: &Zipf, count: usize) -> String {
+pub fn zipf_words(rng: &mut XorShiftRng, zipf: &Zipf, count: usize) -> String {
     let mut out = String::new();
     for i in 0..count {
         if i > 0 {
@@ -75,12 +159,11 @@ pub fn zipf_words(rng: &mut StdRng, zipf: &Zipf, count: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn zipf_is_skewed_toward_low_ranks() {
         let zipf = Zipf::new(50, 1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = XorShiftRng::seed_from_u64(1);
         let mut counts = vec![0usize; 50];
         for _ in 0..20_000 {
             counts[zipf.sample(&mut rng)] += 1;
@@ -93,7 +176,7 @@ mod tests {
     #[test]
     fn zipf_samples_stay_in_range() {
         let zipf = Zipf::new(3, 1.5);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = XorShiftRng::seed_from_u64(9);
         for _ in 0..1000 {
             assert!(zipf.sample(&mut rng) < 3);
         }
@@ -102,7 +185,7 @@ mod tests {
     #[test]
     fn zipf_words_joins_with_spaces() {
         let zipf = Zipf::new(10, 1.0);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = XorShiftRng::seed_from_u64(5);
         let words = zipf_words(&mut rng, &zipf, 4);
         assert_eq!(words.split(' ').count(), 4);
     }

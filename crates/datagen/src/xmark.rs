@@ -6,10 +6,9 @@
 //! moderate nesting (depth 6–8) that makes XMark the standard "mixed"
 //! workload of the twig-join papers.
 
+use crate::rng::XorShiftRng;
 use crate::words::{zipf_words, Zipf, NAMES, WORDS};
 use lotusx_xml::{Document, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// People generated per unit of scale.
 pub const PEOPLE_PER_SCALE: u32 = 120;
@@ -22,7 +21,7 @@ const REGIONS: [&str; 5] = ["africa", "asia", "europe", "namerica", "samerica"];
 
 /// Generates an XMark-like document.
 pub fn generate(scale: u32, seed: u64) -> Document {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let word_zipf = Zipf::new(WORDS.len(), 1.0);
     let mut doc = Document::new();
     let site = doc.append_element(NodeId::DOCUMENT, "site");
@@ -50,7 +49,10 @@ pub fn generate(scale: u32, seed: u64) -> Document {
         doc.append_text(text, zipf_words(&mut rng, &word_zipf, desc_len));
         for _ in 0..rng.gen_range(0..3) {
             let keyword = doc.append_element(text, "keyword");
-            doc.append_text(keyword, WORDS[word_zipf.sample(&mut rng) % WORDS.len()].to_string());
+            doc.append_text(
+                keyword,
+                WORDS[word_zipf.sample(&mut rng) % WORDS.len()].to_string(),
+            );
         }
         if rng.gen_bool(0.6) {
             let quantity = doc.append_element(item, "quantity");
@@ -66,7 +68,10 @@ pub fn generate(scale: u32, seed: u64) -> Document {
         doc.set_attribute(person, "id", format!("person{i}"));
         let name = doc.append_element(person, "name");
         let surname = NAMES[rng.gen_range(0..NAMES.len())];
-        doc.append_text(name, format!("{} {surname}", NAMES[rng.gen_range(0..NAMES.len())]));
+        doc.append_text(
+            name,
+            format!("{} {surname}", NAMES[rng.gen_range(0..NAMES.len())]),
+        );
         let email = doc.append_element(person, "emailaddress");
         doc.append_text(email, format!("mailto:{surname}{i}@example.org"));
         if rng.gen_bool(0.55) {
@@ -121,7 +126,11 @@ pub fn generate(scale: u32, seed: u64) -> Document {
         let current = doc.append_element(auction, "current");
         doc.append_text(current, format!("{price:.2}"));
         let itemref = doc.append_element(auction, "itemref");
-        doc.set_attribute(itemref, "item", format!("item{}", rng.gen_range(0..items.max(1))));
+        doc.set_attribute(
+            itemref,
+            "item",
+            format!("item{}", rng.gen_range(0..items.max(1))),
+        );
         let seller = doc.append_element(auction, "seller");
         doc.set_attribute(
             seller,
@@ -156,7 +165,15 @@ mod tests {
         let stats = lotusx_index::Stats::compute(&doc);
         assert!(stats.max_depth >= 6, "depth was {}", stats.max_depth);
         assert!(stats.element_count > 2500);
-        for tag in ["site", "regions", "people", "person", "open_auction", "bidder", "keyword"] {
+        for tag in [
+            "site",
+            "regions",
+            "people",
+            "person",
+            "open_auction",
+            "bidder",
+            "keyword",
+        ] {
             assert!(doc.symbols().get(tag).is_some(), "missing {tag}");
         }
     }

@@ -257,9 +257,7 @@ mod tests {
     fn counts_aggregate_elements_per_path() {
         let d = doc();
         let g = DataGuide::from_document(&d);
-        let book_path = g
-            .lookup_path(&[sym(&d, "bib"), sym(&d, "book")])
-            .unwrap();
+        let book_path = g.lookup_path(&[sym(&d, "bib"), sym(&d, "book")]).unwrap();
         assert_eq!(g.count(book_path), 2);
         let book_author = g
             .lookup_path(&[sym(&d, "bib"), sym(&d, "book"), sym(&d, "author")])

@@ -25,7 +25,7 @@ pub mod tag_index;
 pub mod trie;
 pub mod value_index;
 
-pub use builder::IndexedDocument;
+pub use builder::{BuildOptions, IndexedDocument};
 pub use dataguide::{DataGuide, GuideNodeId};
 pub use stats::Stats;
 pub use tag_index::{ElementEntry, TagIndex, TagStream};

@@ -67,10 +67,7 @@ mod tests {
 
     #[test]
     fn computes_counts_depths_and_fanout() {
-        let doc = Document::parse_str(
-            "<a x=\"1\"><b><c>t</c><c>u</c></b><d>v</d></a>",
-        )
-        .unwrap();
+        let doc = Document::parse_str("<a x=\"1\"><b><c>t</c><c>u</c></b><d>v</d></a>").unwrap();
         let s = Stats::compute(&doc);
         assert_eq!(s.element_count, 5);
         assert_eq!(s.text_count, 3);

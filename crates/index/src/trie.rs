@@ -147,7 +147,8 @@ impl Trie {
 
     /// Advances a cursor by one byte (one keystroke).
     pub fn descend(&self, cursor: TrieCursor, byte: u8) -> Option<TrieCursor> {
-        self.child(cursor.node, byte).map(|node| TrieCursor { node })
+        self.child(cursor.node, byte)
+            .map(|node| TrieCursor { node })
     }
 
     /// Top-k completions under `prefix`, heaviest first; ties broken by key.
@@ -203,8 +204,7 @@ impl Trie {
             match entry.terminal {
                 Some((payload, weight)) => {
                     out.push(Completion {
-                        key: String::from_utf8(entry.key)
-                            .expect("inserted keys are valid UTF-8"),
+                        key: String::from_utf8(entry.key).expect("inserted keys are valid UTF-8"),
                         payload,
                         weight,
                     });

@@ -87,7 +87,11 @@ mod tests {
         let idx = idx();
         let engine = KeywordEngine::new(&idx);
         let hits = engine.search("xml search");
-        assert_eq!(hits.len(), 2, "both xml publications' titles cover the terms");
+        assert_eq!(
+            hits.len(),
+            2,
+            "both xml publications' titles cover the terms"
+        );
         for h in &hits {
             assert_eq!(idx.document().tag_name(h.node), Some("title"));
             assert!(h.score > 0.0);
@@ -116,7 +120,12 @@ mod tests {
     fn indexed_and_bitmask_slca_agree_here() {
         let idx = idx();
         let engine = KeywordEngine::new(&idx);
-        for q in [vec!["xml"], vec!["xml", "search"], vec!["lu", "twig"], vec!["codd"]] {
+        for q in [
+            vec!["xml"],
+            vec!["xml", "search"],
+            vec!["lu", "twig"],
+            vec!["codd"],
+        ] {
             let mut a = engine.slca(&q);
             let mut b = engine.slca_bitmask(&q);
             a.sort();

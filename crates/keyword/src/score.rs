@@ -70,8 +70,14 @@ mod tests {
         )
         .unwrap();
         let doc = idx.document();
-        let one = doc.all_nodes().find(|&n| doc.tag_name(n) == Some("one")).unwrap();
-        let two = doc.all_nodes().find(|&n| doc.tag_name(n) == Some("two")).unwrap();
+        let one = doc
+            .all_nodes()
+            .find(|&n| doc.tag_name(n) == Some("one"))
+            .unwrap();
+        let two = doc
+            .all_nodes()
+            .find(|&n| doc.tag_name(n) == Some("two"))
+            .unwrap();
         let kws = ["alpha", "beta"];
         assert!(score_hit(&idx, two, &kws) > score_hit(&idx, one, &kws));
     }
@@ -80,7 +86,10 @@ mod tests {
     fn missing_keywords_contribute_nothing() {
         let idx = IndexedDocument::from_str("<r><a>alpha</a></r>").unwrap();
         let doc = idx.document();
-        let a = doc.all_nodes().find(|&n| doc.tag_name(n) == Some("a")).unwrap();
+        let a = doc
+            .all_nodes()
+            .find(|&n| doc.tag_name(n) == Some("a"))
+            .unwrap();
         assert_eq!(score_hit(&idx, a, &["missing"]), 0.0);
         assert!(score_hit(&idx, a, &["alpha", "missing"]) > 0.0);
     }

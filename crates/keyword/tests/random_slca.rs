@@ -1,0 +1,128 @@
+//! Randomized tests (seeded, deterministic): the indexed SLCA algorithm
+//! agrees with the bitmask ground truth on random documents and keyword
+//! sets, and the classic set relations (SLCA ⊆ ELCA, anti-chain property)
+//! always hold. Ported from proptest to plain seeded loops so the
+//! workspace builds offline.
+
+use lotusx_datagen::rng::XorShiftRng;
+use lotusx_index::IndexedDocument;
+use lotusx_keyword::{bitmask, indexed};
+use lotusx_xml::{Document, NodeId};
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+const WORDS: [&str; 5] = ["k1", "k2", "k3", "k4", "k5"];
+
+#[derive(Clone, Debug)]
+struct GenTree {
+    tag: usize,
+    words: Vec<usize>,
+    children: Vec<GenTree>,
+}
+
+fn random_tree(rng: &mut XorShiftRng, depth: u32, budget: &mut u32) -> GenTree {
+    let tag = rng.gen_range(0..TAGS.len());
+    if depth == 0 || *budget == 0 || rng.gen_bool(0.3) {
+        let words = (0..rng.gen_range(0..3usize))
+            .map(|_| rng.gen_range(0..WORDS.len()))
+            .collect();
+        return GenTree {
+            tag,
+            words,
+            children: vec![],
+        };
+    }
+    let words = (0..rng.gen_range(0..2usize))
+        .map(|_| rng.gen_range(0..WORDS.len()))
+        .collect();
+    let n = rng.gen_range(0..4usize);
+    let mut children = Vec::with_capacity(n);
+    for _ in 0..n {
+        if *budget == 0 {
+            break;
+        }
+        *budget -= 1;
+        children.push(random_tree(rng, depth - 1, budget));
+    }
+    GenTree {
+        tag,
+        words,
+        children,
+    }
+}
+
+fn build(doc: &mut Document, parent: NodeId, t: &GenTree) {
+    let e = doc.append_element(parent, TAGS[t.tag]);
+    if !t.words.is_empty() {
+        let text: Vec<&str> = t.words.iter().map(|&w| WORDS[w]).collect();
+        doc.append_text(e, text.join(" "));
+    }
+    for c in &t.children {
+        build(doc, e, c);
+    }
+}
+
+fn random_case(rng: &mut XorShiftRng) -> (IndexedDocument, Vec<&'static str>) {
+    let mut budget = 60u32;
+    let root = random_tree(rng, 5, &mut budget);
+    let mut doc = Document::new();
+    build(&mut doc, NodeId::DOCUMENT, &root);
+    let idx = IndexedDocument::build(doc);
+    let kw_mask = rng.gen_range(1..(1usize << WORDS.len()));
+    let keywords: Vec<&str> = WORDS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| kw_mask & (1 << i) != 0)
+        .map(|(_, w)| *w)
+        .collect();
+    (idx, keywords)
+}
+
+#[test]
+fn indexed_slca_matches_bitmask() {
+    let mut rng = XorShiftRng::seed_from_u64(0x51CA);
+    for case in 0..128 {
+        let (idx, keywords) = random_case(&mut rng);
+        let mut truth = bitmask::slca(&idx, &keywords);
+        truth.sort();
+        let got = indexed::slca_indexed(&idx, &keywords);
+        assert_eq!(got, truth, "case {case}: keywords {keywords:?}");
+    }
+}
+
+#[test]
+fn slca_answers_form_an_antichain_and_subset_elca() {
+    let mut rng = XorShiftRng::seed_from_u64(0xE1CA);
+    for case in 0..128 {
+        let (idx, keywords) = random_case(&mut rng);
+        let slca = bitmask::slca(&idx, &keywords);
+        let elca = bitmask::elca(&idx, &keywords);
+        let labels = idx.labels();
+        // No SLCA answer is an ancestor of another.
+        for &x in &slca {
+            for &y in &slca {
+                if x != y {
+                    assert!(
+                        !labels.is_ancestor(x, y),
+                        "case {case}: {x:?} contains {y:?}"
+                    );
+                }
+            }
+            // Every SLCA is an ELCA.
+            assert!(elca.contains(&x), "case {case}");
+            // Every answer actually contains all keywords.
+            let text = idx.document().full_text(x).to_lowercase();
+            let attrs: String = idx
+                .document()
+                .descendants_or_self(x)
+                .flat_map(|n| idx.document().attributes(n))
+                .map(|(_, v)| format!(" {v}"))
+                .collect();
+            for kw in &keywords {
+                assert!(
+                    text.contains(kw) || attrs.to_lowercase().contains(kw),
+                    "case {case}: answer lacks {kw}"
+                );
+            }
+        }
+    }
+}

@@ -71,7 +71,13 @@ mod tests {
     //       b(3,4,3)
     //       c(5,6,3)
     //     d(8,9,2)
-    fn labels() -> (RegionLabel, RegionLabel, RegionLabel, RegionLabel, RegionLabel) {
+    fn labels() -> (
+        RegionLabel,
+        RegionLabel,
+        RegionLabel,
+        RegionLabel,
+        RegionLabel,
+    ) {
         (
             RegionLabel::new(1, 10, 1),
             RegionLabel::new(2, 7, 2),

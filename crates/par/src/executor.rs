@@ -1,0 +1,183 @@
+//! Deterministic chunked parallel combinators over slices.
+//!
+//! All combinators partition the input into at most `threads` contiguous
+//! chunks, run one scoped thread per chunk, and recombine results in
+//! chunk order. Because chunk boundaries depend only on `(len, threads)`
+//! and recombination is ordered, the output never depends on scheduling —
+//! the invariant the parallel-vs-serial equivalence suite checks.
+
+/// The number of worker threads to use by default: the `LOTUSX_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// host's available parallelism (1 if unknown).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("LOTUSX_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `len` items into at most `threads` contiguous chunk ranges.
+fn chunk_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.max(1).min(len.max(1));
+    let chunk = len.div_ceil(threads);
+    (0..len)
+        .step_by(chunk.max(1))
+        .map(|start| start..(start + chunk).min(len))
+        .collect()
+}
+
+/// Applies `f` to every chunk of `items` (at most `threads` contiguous
+/// chunks), returning one result per chunk in chunk order. `f` receives
+/// the chunk's starting index in `items` plus the chunk itself.
+///
+/// With `threads <= 1` (or a single chunk) everything runs inline on the
+/// calling thread — no spawn overhead on the serial path.
+pub fn par_chunks<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    let ranges = chunk_ranges(items.len(), threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(|r| f(r.start, &items[r])).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                let chunk = &items[r.clone()];
+                scope.spawn(move || f(r.start, chunk))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Order-preserving parallel map: `par_map(xs, t, f)` equals
+/// `xs.iter().map(f).collect()` for every thread count.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in par_chunks(items, threads, |_, chunk| {
+        chunk.iter().map(&f).collect::<Vec<U>>()
+    }) {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Parallel fold: each worker folds its contiguous chunk into a fresh
+/// accumulator from `init`, then the per-chunk accumulators are merged
+/// left-to-right in chunk order with `merge`. Deterministic whenever
+/// `merge` is associative over chunk concatenation (it need not be
+/// commutative — chunk order is preserved).
+pub fn par_fold<T, A, I, F, M>(items: &[T], threads: usize, init: I, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let accs = par_chunks(items, threads, |_, chunk| chunk.iter().fold(init(), &fold));
+    let mut iter = accs.into_iter();
+    let first = iter.next().unwrap_or_else(&init);
+    iter.fold(first, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in [0usize, 1, 2, 7, 16, 100] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, threads);
+                let mut covered = Vec::new();
+                for r in &ranges {
+                    covered.extend(r.clone());
+                }
+                assert_eq!(covered, (0..len).collect::<Vec<_>>(), "{len}/{threads}");
+                assert!(ranges.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_map_for_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map(&items, threads, |x| x * x + 1), expect, "{threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_passes_chunk_offsets() {
+        let items: Vec<u32> = (0..100).collect();
+        let chunks = par_chunks(&items, 4, |start, chunk| (start, chunk.len()));
+        let mut expected_start = 0;
+        for (start, len) in chunks {
+            assert_eq!(start, expected_start);
+            expected_start += len;
+        }
+        assert_eq!(expected_start, items.len());
+    }
+
+    #[test]
+    fn par_fold_is_deterministic_and_ordered() {
+        // String concatenation is associative but NOT commutative: any
+        // out-of-order merge would scramble the result.
+        let items: Vec<String> = (0..50).map(|i| format!("{i};")).collect();
+        let expect: String = items.concat();
+        for threads in [1, 2, 5, 16] {
+            let got = par_fold(
+                &items,
+                threads,
+                String::new,
+                |mut acc, s| {
+                    acc.push_str(s);
+                    acc
+                },
+                |mut a, b| {
+                    a.push_str(&b);
+                    a
+                },
+            );
+            assert_eq!(got, expect, "{threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: [u8; 0] = [];
+        assert!(par_map(&items, 4, |x| *x).is_empty());
+        assert!(par_chunks(&items, 4, |_, c| c.len()).is_empty());
+        assert_eq!(
+            par_fold(&items, 4, || 7u32, |a, _| a, |a, b| a + b),
+            7,
+            "empty fold yields init()"
+        );
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

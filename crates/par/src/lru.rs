@@ -1,0 +1,173 @@
+//! A small concurrent LRU cache with hit/miss accounting.
+//!
+//! Designed for the engine's query-result cache: entries are few (default
+//! capacities in the tens-to-hundreds) but values are fat, so a plain
+//! mutex-protected map with tick-based recency is simpler and faster than
+//! a lock-free structure at this scale. Hit/miss counters are atomics so
+//! [`ConcurrentLru::stats`] never takes the lock.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache usage counters, as surfaced in the CLI `stats` output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Maximum entries retained.
+    pub capacity: usize,
+}
+
+struct LruInner<K, V> {
+    map: HashMap<K, (u64, Arc<V>)>,
+    tick: u64,
+}
+
+/// A thread-safe LRU keyed by `K`, storing `Arc<V>`.
+pub struct ConcurrentLru<K, V> {
+    inner: Mutex<LruInner<K, V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> ConcurrentLru<K, V> {
+    /// Creates a cache retaining at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ConcurrentLru {
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock().expect("lru poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((last_used, v)) => {
+                *last_used = tick;
+                let v = v.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&self, key: K, value: V) {
+        let mut inner = self.inner.lock().expect("lru poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, (tick, Arc::new(value)));
+        while inner.map.len() > self.capacity {
+            // O(n) victim scan: capacities are small by construction.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+                .expect("map is over capacity, hence non-empty");
+            inner.map.remove(&victim);
+        }
+    }
+
+    /// Drops every entry (counters are preserved — they describe the
+    /// cache's lifetime, not its current contents).
+    pub fn clear(&self) {
+        self.inner.lock().expect("lru poisoned").map.clear();
+    }
+
+    /// Current usage counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("lru poisoned").map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_counters_track_lookups() {
+        let lru: ConcurrentLru<u32, u32> = ConcurrentLru::new(4);
+        assert!(lru.get(&1).is_none());
+        lru.insert(1, 10);
+        assert_eq!(lru.get(&1).as_deref(), Some(&10));
+        let s = lru.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.capacity), (1, 1, 1, 4));
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted() {
+        let lru: ConcurrentLru<u32, u32> = ConcurrentLru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.get(&1); // 2 is now the LRU entry.
+        lru.insert(3, 30);
+        assert!(lru.get(&2).is_none(), "2 was evicted");
+        assert!(lru.get(&1).is_some());
+        assert!(lru.get(&3).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_growth() {
+        let lru: ConcurrentLru<u32, u32> = ConcurrentLru::new(2);
+        lru.insert(1, 10);
+        lru.insert(1, 11);
+        assert_eq!(lru.stats().entries, 1);
+        assert_eq!(lru.get(&1).as_deref(), Some(&11));
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counters() {
+        let lru: ConcurrentLru<u32, u32> = ConcurrentLru::new(2);
+        lru.insert(1, 10);
+        lru.get(&1);
+        lru.clear();
+        let s = lru.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn concurrent_access_never_loses_the_map() {
+        let lru: ConcurrentLru<u32, u32> = ConcurrentLru::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lru = &lru;
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        lru.insert(i % 16, i);
+                        lru.get(&(i % 16));
+                    }
+                });
+            }
+        });
+        let s = lru.stats();
+        assert!(s.entries <= 8);
+        assert_eq!(s.hits + s.misses, 2000);
+    }
+}

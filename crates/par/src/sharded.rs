@@ -1,0 +1,148 @@
+//! A sharded read-write-locked map: build-once, read-many caching.
+//!
+//! Keys are hashed to one of a fixed number of shards; each shard is an
+//! independent `RwLock<HashMap<K, Arc<V>>>`. Readers on different shards
+//! never contend, and readers of the same shard share the lock. Values
+//! are handed out as `Arc<V>` so a long-lived reader never holds a shard
+//! lock while using the value.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::{Arc, RwLock};
+
+/// Default shard count — comfortably above any realistic worker count so
+/// hot tags rarely collide.
+const DEFAULT_SHARDS: usize = 16;
+
+/// One shard: an independently locked map from key to shared value.
+type Shard<K, V> = RwLock<HashMap<K, Arc<V>>>;
+
+/// A concurrent map sharded across independent `RwLock`s.
+pub struct ShardedMap<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    hasher: RandomState,
+}
+
+impl<K: Eq + Hash, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash, V> ShardedMap<K, V> {
+    /// Creates a map with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates a map with an explicit shard count (minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedMap {
+            shards: (0..shards)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Arc<V>>> {
+        let h = self.hasher.hash_one(key);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key`, cloning out the `Arc` under a read lock.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        self.shard(key)
+            .read()
+            .expect("shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Returns the cached value for `key`, building it with `build` on a
+    /// miss. `build` runs OUTSIDE the lock, so concurrent missers may
+    /// build redundantly; the first writer wins and all callers see the
+    /// same `Arc` afterwards — acceptable for pure, idempotent builds.
+    pub fn get_or_insert_with(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let value = Arc::new(build());
+        let mut shard = self.shard(&key).write().expect("shard poisoned");
+        shard.entry(key).or_insert(value).clone()
+    }
+
+    /// Inserts (or replaces) a value.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key)
+            .write()
+            .expect("shard poisoned")
+            .insert(key, Arc::new(value));
+    }
+
+    /// Total number of cached entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.write().expect("shard poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_insert_builds_once_per_key() {
+        let map: ShardedMap<u32, String> = ShardedMap::new();
+        let a = map.get_or_insert_with(1, || "one".to_string());
+        let b = map.get_or_insert_with(1, || unreachable!("cached"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(&1).as_deref(), Some(&"one".to_string()));
+        assert!(map.get(&2).is_none());
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let map: ShardedMap<u32, u32> = ShardedMap::with_shards(4);
+        for i in 0..100 {
+            map.insert(i, i * 2);
+        }
+        assert_eq!(map.len(), 100);
+        map.clear();
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn concurrent_mixed_access_is_consistent() {
+        let map: ShardedMap<u32, u32> = ShardedMap::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let map = &map;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let v = map.get_or_insert_with(i % 50, || (i % 50) * 10);
+                        assert_eq!(*v, (i % 50) * 10, "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 50);
+    }
+}

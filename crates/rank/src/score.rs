@@ -1,5 +1,6 @@
 //! Match scoring: the reconstructed LotusScore.
 
+use crate::topk::OrderedTopK;
 use lotusx_index::IndexedDocument;
 use lotusx_twig::matcher::TwigMatch;
 use lotusx_twig::pattern::{Axis, TwigPattern, ValuePredicate};
@@ -139,6 +140,41 @@ impl<'a> Ranker<'a> {
         });
         scored
     }
+
+    /// Scores matches across `threads` workers and returns the best `k`.
+    ///
+    /// Exactly equal to `self.rank(pattern, matches)` truncated to `k`
+    /// for every thread count: the (score descending, document-order
+    /// ascending) tie-break is a total order, so per-chunk bounded
+    /// [`OrderedTopK`] collectors merge to the exact global top-k, and
+    /// scoring a match is pure — the same match yields bit-identical
+    /// scores on any thread.
+    pub fn rank_top_k(
+        &self,
+        pattern: &TwigPattern,
+        matches: Vec<TwigMatch>,
+        k: usize,
+        threads: usize,
+    ) -> Vec<ScoredMatch> {
+        let collector = lotusx_par::par_fold(
+            &matches,
+            threads,
+            || OrderedTopK::new(k),
+            |mut acc: OrderedTopK<TwigMatch>, m| {
+                acc.push(self.score(pattern, m), m.clone());
+                acc
+            },
+            |mut a, b| {
+                a.merge(b);
+                a
+            },
+        );
+        collector
+            .into_sorted()
+            .into_iter()
+            .map(|(score, m)| ScoredMatch { m, score })
+            .collect()
+    }
 }
 
 /// Baseline: document order (the first match in the document first).
@@ -150,7 +186,11 @@ pub fn rank_by_document_order(matches: Vec<TwigMatch>) -> Vec<TwigMatch> {
 
 /// Baseline: frequency-only — matches whose root binding sits on a COMMON
 /// DataGuide path first (what a naive popularity ranking would do).
-pub fn rank_by_frequency(idx: &IndexedDocument, pattern: &TwigPattern, matches: Vec<TwigMatch>) -> Vec<TwigMatch> {
+pub fn rank_by_frequency(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    matches: Vec<TwigMatch>,
+) -> Vec<TwigMatch> {
     let mut m = matches;
     m.sort_by_key(|x| {
         let g = idx.guide_node(x.binding(pattern.root()));
@@ -209,7 +249,11 @@ mod tests {
     fn scores_are_in_unit_range() {
         let idx = idx();
         let ranker = Ranker::new(&idx);
-        for q in ["//book//author", "//book/title", r#"//book[title ~ "xml twig"]"#] {
+        for q in [
+            "//book//author",
+            "//book/title",
+            r#"//book[title ~ "xml twig"]"#,
+        ] {
             let pattern = parse_query(q).unwrap();
             for sm in ranker.rank(&pattern, execute(&idx, &pattern, Algorithm::TwigStack)) {
                 assert!(sm.score > 0.0 && sm.score <= 1.0, "{q}: {}", sm.score);
@@ -219,10 +263,8 @@ mod tests {
 
     #[test]
     fn specificity_prefers_rare_paths() {
-        let idx = IndexedDocument::from_str(
-            "<r><common/><common/><common/><common/><rare/></r>",
-        )
-        .unwrap();
+        let idx = IndexedDocument::from_str("<r><common/><common/><common/><common/><rare/></r>")
+            .unwrap();
         let ranker = Ranker::new(&idx);
         let p_common = parse_query("//common").unwrap();
         let p_rare = parse_query("//rare").unwrap();
@@ -240,9 +282,40 @@ mod tests {
         let pattern = parse_query("//book//author").unwrap();
         let matches = execute(&idx, &pattern, Algorithm::TwigStack);
         let ranker = Ranker::new(&idx);
-        let a: Vec<f64> = ranker.rank(&pattern, matches.clone()).iter().map(|s| s.score).collect();
-        let b: Vec<f64> = ranker.rank(&pattern, matches).iter().map(|s| s.score).collect();
+        let a: Vec<f64> = ranker
+            .rank(&pattern, matches.clone())
+            .iter()
+            .map(|s| s.score)
+            .collect();
+        let b: Vec<f64> = ranker
+            .rank(&pattern, matches)
+            .iter()
+            .map(|s| s.score)
+            .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_top_k_equals_full_rank_truncated() {
+        let idx = idx();
+        let ranker = Ranker::new(&idx);
+        for q in ["//book//author", "//book/title", "//book", "//bib//title"] {
+            let pattern = parse_query(q).unwrap();
+            let matches = execute(&idx, &pattern, Algorithm::TwigStack);
+            let full = ranker.rank(&pattern, matches.clone());
+            for k in [0, 1, 2, 100] {
+                let mut expect = full.clone();
+                expect.truncate(k);
+                for threads in [1, 2, 8] {
+                    let got = ranker.rank_top_k(&pattern, matches.clone(), k, threads);
+                    assert_eq!(got.len(), expect.len(), "{q} k={k} t={threads}");
+                    for (g, e) in got.iter().zip(&expect) {
+                        assert_eq!(g.m, e.m, "{q} k={k} t={threads}");
+                        assert_eq!(g.score, e.score, "{q} k={k} t={threads}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -61,16 +61,14 @@ pub fn apply(pattern: &TwigPattern, op: &RewriteOp) -> Option<TwigPattern> {
             p.set_axis(*q, Axis::Descendant);
             Some(p)
         }
-        RewriteOp::SubstituteTag(q, tag) => {
-            match &pattern.node(*q).test {
-                NodeTest::Tag(old) if old != tag => {
-                    let mut p = pattern.clone();
-                    p.set_test(*q, NodeTest::Tag(tag.clone()));
-                    Some(p)
-                }
-                _ => None,
+        RewriteOp::SubstituteTag(q, tag) => match &pattern.node(*q).test {
+            NodeTest::Tag(old) if old != tag => {
+                let mut p = pattern.clone();
+                p.set_test(*q, NodeTest::Tag(tag.clone()));
+                Some(p)
             }
-        }
+            _ => None,
+        },
         RewriteOp::SoftenPredicate(q) => match &pattern.node(*q).predicate {
             Some(ValuePredicate::Equals(v)) => {
                 let mut p = pattern.clone();
@@ -114,11 +112,7 @@ pub fn apply(pattern: &TwigPattern, op: &RewriteOp) -> Option<TwigPattern> {
 /// Rebuilds the pattern without `removed`. With `reattach`, the removed
 /// node's children hang off its parent via ancestor-descendant edges;
 /// otherwise `removed` must be a leaf.
-fn rebuild_without(
-    pattern: &TwigPattern,
-    removed: QNodeId,
-    reattach: bool,
-) -> Option<TwigPattern> {
+fn rebuild_without(pattern: &TwigPattern, removed: QNodeId, reattach: bool) -> Option<TwigPattern> {
     let root = pattern.root();
     let root_node = pattern.node(root);
     let mut out = TwigPattern::new(root_node.test.clone(), root_node.axis);
@@ -184,7 +178,10 @@ mod tests {
         let b = p.node(p.root()).children[0];
         let p2 = apply(&p, &RewriteOp::GeneralizeEdge(b)).unwrap();
         assert_eq!(p2.node(b).axis, Axis::Descendant);
-        assert!(apply(&p2, &RewriteOp::GeneralizeEdge(b)).is_none(), "already general");
+        assert!(
+            apply(&p2, &RewriteOp::GeneralizeEdge(b)).is_none(),
+            "already general"
+        );
     }
 
     #[test]
@@ -193,7 +190,10 @@ mod tests {
         let w = p.node(p.root()).children[0];
         let p2 = apply(&p, &RewriteOp::SubstituteTag(w, "author".into())).unwrap();
         assert_eq!(p2.node(w).test, NodeTest::Tag("author".into()));
-        assert!(apply(&p, &RewriteOp::SubstituteTag(w, "writer".into())).is_none(), "same tag");
+        assert!(
+            apply(&p, &RewriteOp::SubstituteTag(w, "writer".into())).is_none(),
+            "same tag"
+        );
     }
 
     #[test]
@@ -243,7 +243,10 @@ mod tests {
         let p2 = apply(&p, &RewriteOp::DeleteLeaf(d)).unwrap();
         assert!(p2.is_ordered());
         let b = p2.node(p2.root()).children[0];
-        assert_eq!(p2.node(b).predicate, Some(ValuePredicate::Equals("x".into())));
+        assert_eq!(
+            p2.node(b).predicate,
+            Some(ValuePredicate::Equals("x".into()))
+        );
         let c = p2.node(p2.root()).children[1];
         assert!(p2.node(c).output);
     }
@@ -251,7 +254,13 @@ mod tests {
     #[test]
     fn costs_are_ordered_gentlest_first() {
         let q = QNodeId::from_index(0);
-        assert!(RewriteOp::GeneralizeEdge(q).base_cost() < RewriteOp::SubstituteTag(q, "x".into()).base_cost());
-        assert!(RewriteOp::SubstituteTag(q, "x".into()).base_cost() < RewriteOp::DeleteLeaf(q).base_cost());
+        assert!(
+            RewriteOp::GeneralizeEdge(q).base_cost()
+                < RewriteOp::SubstituteTag(q, "x".into()).base_cost()
+        );
+        assert!(
+            RewriteOp::SubstituteTag(q, "x".into()).base_cost()
+                < RewriteOp::DeleteLeaf(q).base_cost()
+        );
     }
 }

@@ -73,7 +73,11 @@ pub struct Rewriter<'a> {
 impl<'a> Rewriter<'a> {
     /// Creates a rewriter with the default synonym table and config.
     pub fn new(idx: &'a IndexedDocument) -> Self {
-        Self::with(idx, SynonymTable::default_table(), RewriterConfig::default())
+        Self::with(
+            idx,
+            SynonymTable::default_table(),
+            RewriterConfig::default(),
+        )
     }
 
     /// Creates a rewriter with explicit synonym table and config.
@@ -191,11 +195,26 @@ impl<'a> Rewriter<'a> {
         let symbols = self.idx.document().symbols();
         for q in pattern.node_ids() {
             let node = pattern.node(q);
-            out.push((RewriteOp::GeneralizeEdge(q), RewriteOp::GeneralizeEdge(q).base_cost()));
-            out.push((RewriteOp::SoftenPredicate(q), RewriteOp::SoftenPredicate(q).base_cost()));
-            out.push((RewriteOp::DropPredicate(q), RewriteOp::DropPredicate(q).base_cost()));
-            out.push((RewriteOp::DeleteLeaf(q), RewriteOp::DeleteLeaf(q).base_cost()));
-            out.push((RewriteOp::PromoteNode(q), RewriteOp::PromoteNode(q).base_cost()));
+            out.push((
+                RewriteOp::GeneralizeEdge(q),
+                RewriteOp::GeneralizeEdge(q).base_cost(),
+            ));
+            out.push((
+                RewriteOp::SoftenPredicate(q),
+                RewriteOp::SoftenPredicate(q).base_cost(),
+            ));
+            out.push((
+                RewriteOp::DropPredicate(q),
+                RewriteOp::DropPredicate(q).base_cost(),
+            ));
+            out.push((
+                RewriteOp::DeleteLeaf(q),
+                RewriteOp::DeleteLeaf(q).base_cost(),
+            ));
+            out.push((
+                RewriteOp::PromoteNode(q),
+                RewriteOp::PromoteNode(q).base_cost(),
+            ));
             if let NodeTest::Tag(tag) = &node.test {
                 // Synonyms that actually occur in the document.
                 for syn in self.synonyms.synonyms(tag) {
@@ -290,7 +309,11 @@ mod tests {
         let rewrites = r.rewrite(&broken);
         assert!(!rewrites.is_empty());
         let best = &rewrites[0];
-        assert!(best.pattern.to_string().contains("author"), "{}", best.pattern);
+        assert!(
+            best.pattern.to_string().contains("author"),
+            "{}",
+            best.pattern
+        );
         assert_eq!(best.match_count, 2);
     }
 
@@ -306,10 +329,7 @@ mod tests {
 
     #[test]
     fn axis_generalization_recovers_results() {
-        let idx = IndexedDocument::from_str(
-            "<r><a><m><b>x</b></m></a></r>",
-        )
-        .unwrap();
+        let idx = IndexedDocument::from_str("<r><a><m><b>x</b></m></a></r>").unwrap();
         let r = Rewriter::new(&idx);
         let broken = parse_query("//a/b").unwrap();
         let rewrites = r.rewrite(&broken);

@@ -126,7 +126,12 @@ mod tests {
 
     #[test]
     fn spelling_candidates_rank_by_distance_then_frequency() {
-        let tags = [("article", 100usize), ("artcle2", 3), ("title", 50), ("artie", 2)];
+        let tags = [
+            ("article", 100usize),
+            ("artcle2", 3),
+            ("title", 50),
+            ("artie", 2),
+        ];
         let cands = spelling_candidates("artcle", tags.iter().map(|(t, f)| (*t, *f)), 2);
         assert_eq!(cands[0].0, "article");
         assert_eq!(cands[0].1, 1);

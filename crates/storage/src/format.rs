@@ -36,7 +36,10 @@ impl fmt::Display for StorageError {
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::BadMagic => write!(f, "not a LotusX storage file (bad magic)"),
             StorageError::UnsupportedVersion(v) => {
-                write!(f, "unsupported storage version {v} (this build reads ≤ {VERSION})")
+                write!(
+                    f,
+                    "unsupported storage version {v} (this build reads ≤ {VERSION})"
+                )
             }
             StorageError::ChecksumMismatch => write!(f, "payload checksum mismatch (corrupt file)"),
             StorageError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
@@ -172,8 +175,7 @@ fn encode_node(doc: &Document, node: NodeId, out: &mut Vec<u8>) {
 fn decode_payload(payload: &[u8]) -> Result<Document, StorageError> {
     let mut pos = 0usize;
     let corrupt = |what| StorageError::Corrupt(what);
-    let symbol_count =
-        get_varint(payload, &mut pos).ok_or(corrupt("symbol count"))? as usize;
+    let symbol_count = get_varint(payload, &mut pos).ok_or(corrupt("symbol count"))? as usize;
     let mut names = Vec::with_capacity(symbol_count);
     for _ in 0..symbol_count {
         names.push(get_string(payload, &mut pos).ok_or(corrupt("symbol name"))?);
@@ -208,7 +210,9 @@ fn decode_node(
     match get_varint(payload, pos).ok_or(corrupt("node kind"))? {
         KIND_ELEMENT => {
             let name_idx = get_varint(payload, pos).ok_or(corrupt("tag symbol"))? as usize;
-            let name = names.get(name_idx).ok_or(corrupt("tag symbol out of range"))?;
+            let name = names
+                .get(name_idx)
+                .ok_or(corrupt("tag symbol out of range"))?;
             let element = doc.new_element(name);
             let attr_count = get_varint(payload, pos).ok_or(corrupt("attribute count"))? as usize;
             for _ in 0..attr_count {
@@ -327,7 +331,10 @@ mod tests {
         let mut buf = Vec::new();
         save_document(&doc, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(matches!(load_document(&buf[..]).unwrap_err(), StorageError::Io(_)));
+        assert!(matches!(
+            load_document(&buf[..]).unwrap_err(),
+            StorageError::Io(_)
+        ));
     }
 
     #[test]
@@ -344,10 +351,7 @@ mod tests {
 
     #[test]
     fn indexed_roundtrip_rebuilds_indexes() {
-        let idx = IndexedDocument::from_str(
-            "<bib><book><title>xml</title></book></bib>",
-        )
-        .unwrap();
+        let idx = IndexedDocument::from_str("<bib><book><title>xml</title></book></bib>").unwrap();
         let mut buf = Vec::new();
         save_indexed(&idx, &mut buf).unwrap();
         let back = load_indexed(&buf[..]).unwrap();

@@ -1,0 +1,130 @@
+//! Randomized tests (seeded, deterministic): save → load is the identity on
+//! documents, including the generated benchmark corpora, and random
+//! corruption never panics. Ported from proptest to plain seeded loops so
+//! the workspace builds offline.
+
+use lotusx_datagen::rng::XorShiftRng;
+use lotusx_storage::{load_document, save_document};
+use lotusx_xml::{Document, NodeId};
+
+const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+const ATTRS: [&str; 3] = ["k", "id", "year"];
+const TEXT_CHARS: [char; 15] = [
+    'a', 'z', 'q', 'm', '0', '5', '9', ' ', '<', '>', '&', '"', '\'', 'x', '3',
+];
+
+#[derive(Clone, Debug)]
+enum GenNode {
+    Element {
+        tag: usize,
+        attrs: Vec<(usize, String)>,
+        children: Vec<GenNode>,
+    },
+    Text(String),
+}
+
+fn random_text(rng: &mut XorShiftRng) -> String {
+    loop {
+        let len = rng.gen_range(1..16usize);
+        let s: String = (0..len)
+            .map(|_| TEXT_CHARS[rng.gen_range(0..TEXT_CHARS.len())])
+            .collect();
+        if !s.trim().is_empty() {
+            return s;
+        }
+    }
+}
+
+fn random_node(rng: &mut XorShiftRng, depth: u32) -> GenNode {
+    if depth == 0 || rng.gen_bool(0.35) {
+        if rng.gen_bool(0.5) {
+            return GenNode::Text(random_text(rng));
+        }
+        return GenNode::Element {
+            tag: rng.gen_range(0..TAGS.len()),
+            attrs: vec![],
+            children: vec![],
+        };
+    }
+    let mut seen = std::collections::HashSet::new();
+    let attrs = (0..rng.gen_range(0..2usize))
+        .map(|_| (rng.gen_range(0..ATTRS.len()), random_text(rng)))
+        .filter(|(k, _)| seen.insert(*k))
+        .collect();
+    let children = (0..rng.gen_range(0..4usize))
+        .map(|_| random_node(rng, depth - 1))
+        .collect();
+    GenNode::Element {
+        tag: rng.gen_range(0..TAGS.len()),
+        attrs,
+        children,
+    }
+}
+
+fn build(doc: &mut Document, parent: NodeId, node: &GenNode) {
+    match node {
+        GenNode::Element {
+            tag,
+            attrs,
+            children,
+        } => {
+            let e = doc.append_element(parent, TAGS[*tag]);
+            for (k, v) in attrs {
+                doc.set_attribute(e, ATTRS[*k], v.clone());
+            }
+            for c in children {
+                build(doc, e, c);
+            }
+        }
+        GenNode::Text(t) => {
+            doc.append_text(parent, t.clone());
+        }
+    }
+}
+
+#[test]
+fn save_load_is_identity() {
+    let mut rng = XorShiftRng::seed_from_u64(0x5707);
+    for case in 0..128 {
+        let mut doc = Document::new();
+        let root = doc.append_element(NodeId::DOCUMENT, TAGS[rng.gen_range(0..TAGS.len())]);
+        for _ in 0..rng.gen_range(0..5usize) {
+            let node = random_node(&mut rng, 4);
+            build(&mut doc, root, &node);
+        }
+        let mut buf = Vec::new();
+        save_document(&doc, &mut buf).unwrap();
+        let back = load_document(&buf[..]).unwrap();
+        assert_eq!(back.to_xml(), doc.to_xml(), "case {case}");
+        assert_eq!(back.node_count(), doc.node_count(), "case {case}");
+    }
+}
+
+#[test]
+fn corrupted_bytes_error_but_never_panic() {
+    let doc = Document::parse_str(
+        "<bib><book year=\"1999\"><title>data</title><author>lu</author></book></bib>",
+    )
+    .unwrap();
+    let mut clean = Vec::new();
+    save_document(&doc, &mut clean).unwrap();
+    let mut rng = XorShiftRng::seed_from_u64(0xC0FF);
+    for _ in 0..256 {
+        let mut buf = clean.clone();
+        let i = rng.gen_range(0..200usize) % buf.len();
+        buf[i] ^= rng.gen_range(1..256u32) as u8;
+        // Either a clean error or (if the flip hit a don't-care byte) success.
+        let _ = load_document(&buf[..]);
+    }
+}
+
+#[test]
+fn benchmark_corpora_roundtrip() {
+    for ds in lotusx_datagen::Dataset::ALL {
+        let doc = lotusx_datagen::generate(ds, 1, 7);
+        let mut buf = Vec::new();
+        save_document(&doc, &mut buf).unwrap();
+        let back = load_document(&buf[..]).unwrap();
+        assert_eq!(back.to_xml(), doc.to_xml(), "{ds}");
+    }
+}

@@ -81,8 +81,7 @@ pub fn admissibility(idx: &IndexedDocument, pattern: &TwigPattern) -> GuideAdmis
                 None => true,
                 Some(sym) => guide.tag(g) == Some(*sym),
             };
-            sat[q.index()][g_idx] =
-                tag_ok && child_ok.iter().all(|ok| ok[g_idx]);
+            sat[q.index()][g_idx] = tag_ok && child_ok.iter().all(|ok| ok[g_idx]);
         }
     }
 
@@ -185,10 +184,7 @@ pub fn pruned_stream(
 pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
     let adm = admissibility(idx, pattern);
     // Fast reject: a query node with no admissible position cannot match.
-    if pattern
-        .node_ids()
-        .any(|q| adm.admissible_count(q) == 0)
-    {
+    if pattern.node_ids().any(|q| adm.admissible_count(q) == 0) {
         return Vec::new();
     }
     let streams: Vec<Vec<ElementEntry>> = pattern

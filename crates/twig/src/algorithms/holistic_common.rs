@@ -78,11 +78,7 @@ fn recurse(
     let axis = pattern.node(q).axis;
     let parent_q = qpath[pos - 1];
     let parent_stack = &stacks[parent_q.index()];
-    for candidate in parent_stack
-        .iter()
-        .take(parent_top)
-        .copied()
-    {
+    for candidate in parent_stack.iter().take(parent_top).copied() {
         let ok = match axis {
             Axis::Descendant => candidate.entry.region.is_ancestor_of(&element.region),
             Axis::Child => candidate.entry.region.is_parent_of(&element.region),

@@ -13,13 +13,39 @@ use lotusx_xml::NodeId;
 
 /// Evaluates `pattern` navigationally, returning all full matches.
 pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    evaluate_partitioned(idx, pattern, 1)
+}
+
+/// Evaluates `pattern` navigationally with the root candidate stream
+/// partitioned across `threads` workers.
+///
+/// Each root binding expands independently of every other, so the stream
+/// splits into contiguous chunks with no shared state. The final global
+/// sort + dedup (which the serial path performs anyway) makes the result
+/// identical for every thread count.
+pub fn evaluate_partitioned(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    threads: usize,
+) -> Vec<TwigMatch> {
     let roots = filtered_stream(idx, pattern, pattern.root());
-    let mut out = Vec::new();
-    let mut bindings = vec![NodeId::DOCUMENT; pattern.len()];
-    for entry in roots {
-        bindings[pattern.root().index()] = entry.node;
-        extend(idx, pattern, pattern.root(), entry.node, &mut bindings, &mut out);
-    }
+    let chunks = lotusx_par::par_chunks(&roots, threads, |_, chunk| {
+        let mut out = Vec::new();
+        let mut bindings = vec![NodeId::DOCUMENT; pattern.len()];
+        for entry in chunk {
+            bindings[pattern.root().index()] = entry.node;
+            extend(
+                idx,
+                pattern,
+                pattern.root(),
+                entry.node,
+                &mut bindings,
+                &mut out,
+            );
+        }
+        out
+    });
+    let mut out: Vec<TwigMatch> = chunks.into_iter().flatten().collect();
     out.sort();
     out.dedup();
     out
@@ -130,10 +156,23 @@ mod tests {
     #[test]
     fn path_query_respects_axes() {
         let idx = idx();
-        assert_eq!(evaluate(&idx, &parse_query("//book/title").unwrap()).len(), 2);
-        assert_eq!(evaluate(&idx, &parse_query("//bib//title").unwrap()).len(), 3);
-        assert_eq!(evaluate(&idx, &parse_query("/bib/book/title").unwrap()).len(), 2);
-        assert_eq!(evaluate(&idx, &parse_query("/book").unwrap()).len(), 0, "book is not the root");
+        assert_eq!(
+            evaluate(&idx, &parse_query("//book/title").unwrap()).len(),
+            2
+        );
+        assert_eq!(
+            evaluate(&idx, &parse_query("//bib//title").unwrap()).len(),
+            3
+        );
+        assert_eq!(
+            evaluate(&idx, &parse_query("/bib/book/title").unwrap()).len(),
+            2
+        );
+        assert_eq!(
+            evaluate(&idx, &parse_query("/book").unwrap()).len(),
+            0,
+            "book is not the root"
+        );
     }
 
     #[test]
@@ -173,10 +212,7 @@ mod tests {
 
     #[test]
     fn deep_descendant_axis() {
-        let idx = IndexedDocument::from_str(
-            "<a><b><c><b><c>x</c></b></c></b></a>",
-        )
-        .unwrap();
+        let idx = IndexedDocument::from_str("<a><b><c><b><c>x</c></b></c></b></a>").unwrap();
         let q = parse_query("//b//c").unwrap();
         // b1 pairs with c1, c2; b2 pairs with c2 → 3.
         assert_eq!(evaluate(&idx, &q).len(), 3);

@@ -44,7 +44,13 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
             .iter()
             .copied()
             .filter(|q| !streams[q.index()].is_exhausted())
-            .min_by_key(|q| streams[q.index()].head().expect("non-exhausted").region.start)
+            .min_by_key(|q| {
+                streams[q.index()]
+                    .head()
+                    .expect("non-exhausted")
+                    .region
+                    .start
+            })
             .expect("leaf stream is non-exhausted");
         let entry = streams[qmin.index()].head().expect("non-exhausted");
 
@@ -63,7 +69,9 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
             };
             stacks[qmin.index()].push(StackEntry { entry, parent_top });
             if qmin == leaf {
-                solutions.extend(expand_solutions(pattern, &qpath, &stacks, entry, parent_top));
+                solutions.extend(expand_solutions(
+                    pattern, &qpath, &stacks, entry, parent_top,
+                ));
                 stacks[qmin.index()].pop();
             }
         }
@@ -114,10 +122,8 @@ mod tests {
 
     #[test]
     fn agrees_with_naive_on_recursive_documents() {
-        let idx = IndexedDocument::from_str(
-            "<s><s><t>1</t><s><t>2</t></s></s><t>3</t></s>",
-        )
-        .unwrap();
+        let idx =
+            IndexedDocument::from_str("<s><s><t>1</t><s><t>2</t></s></s><t>3</t></s>").unwrap();
         for q in ["//s//t", "//s/t", "//s/s/t", "//s//s//t", "//s/s//t"] {
             let pattern = parse_query(q).unwrap();
             assert_eq!(

@@ -29,11 +29,7 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
     for q in pattern.node_ids() {
         let node = pattern.node(q);
         let Some(parent) = node.parent else { continue };
-        let pairs = stack_tree_join(
-            &streams[parent.index()],
-            &streams[q.index()],
-            node.axis,
-        );
+        let pairs = stack_tree_join(&streams[parent.index()], &streams[q.index()], node.axis);
         let map = &mut edge_pairs[q.index()];
         for (anc, desc) in pairs {
             map.entry(anc).or_default().push(desc);
@@ -45,7 +41,13 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
     let mut bindings = vec![NodeId::DOCUMENT; pattern.len()];
     for entry in &streams[pattern.root().index()] {
         bindings[pattern.root().index()] = entry.node;
-        stitch(pattern, &edge_pairs, pattern.root(), &mut bindings, &mut out);
+        stitch(
+            pattern,
+            &edge_pairs,
+            pattern.root(),
+            &mut bindings,
+            &mut out,
+        );
     }
     out.sort();
     out.dedup();
@@ -182,10 +184,13 @@ mod tests {
         let ancestors = vec![entry(1, 1, 10, 1), entry(2, 4, 9, 2)];
         let descendants = vec![entry(3, 2, 3, 2), entry(4, 5, 6, 3)];
         let pairs = stack_tree_join(&ancestors, &descendants, Axis::Child);
-        assert_eq!(pairs, vec![
-            (NodeId::from_index(1), NodeId::from_index(3)),
-            (NodeId::from_index(2), NodeId::from_index(4)),
-        ]);
+        assert_eq!(
+            pairs,
+            vec![
+                (NodeId::from_index(1), NodeId::from_index(3)),
+                (NodeId::from_index(2), NodeId::from_index(4)),
+            ]
+        );
     }
 
     #[test]

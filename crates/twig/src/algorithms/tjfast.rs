@@ -60,10 +60,7 @@ fn match_leaf_element(
         .tag_path(labels.fst())
         .expect("labels derived from this document");
     // Ancestor chain by depth: ancestors[d] is the element at depth d+1.
-    let mut chain: Vec<NodeId> = idx
-        .document()
-        .ancestors(leaf_element)
-        .collect();
+    let mut chain: Vec<NodeId> = idx.document().ancestors(leaf_element).collect();
     chain.reverse();
     chain.push(leaf_element);
     debug_assert_eq!(chain.len(), tag_path.len());
@@ -92,7 +89,15 @@ fn match_leaf_element(
     // Backtracking enumeration (paths are short).
     let mut assignment: Vec<usize> = Vec::with_capacity(k);
     enumerate(
-        pattern, qpath, &test_matches, k, n, 0, &mut assignment, &mut out, &chain,
+        pattern,
+        qpath,
+        &test_matches,
+        k,
+        n,
+        0,
+        &mut assignment,
+        &mut out,
+        &chain,
     );
     // The leaf must be the element itself: keep only assignments ending at
     // the last depth.
@@ -141,7 +146,17 @@ fn enumerate(
             continue;
         }
         assignment.push(d);
-        enumerate(pattern, qpath, test_matches, k, n, pos + 1, assignment, out, chain);
+        enumerate(
+            pattern,
+            qpath,
+            test_matches,
+            k,
+            n,
+            pos + 1,
+            assignment,
+            out,
+            chain,
+        );
         assignment.pop();
     }
 }

@@ -232,10 +232,8 @@ mod tests {
         // x occurs once, early; b elements keep coming afterwards. The
         // a//x branch dies, yet //r[a//x][b] must still pair the old x
         // solution with the later b's.
-        let idx = IndexedDocument::from_str(
-            "<r><a><x>1</x></a><b>1</b><b>2</b><b>3</b></r>",
-        )
-        .unwrap();
+        let idx =
+            IndexedDocument::from_str("<r><a><x>1</x></a><b>1</b><b>2</b><b>3</b></r>").unwrap();
         check(&idx, "//r[a//x][b]");
         let pattern = parse_query("//r[a//x][b]").unwrap();
         assert_eq!(evaluate(&idx, &pattern).len(), 3);

@@ -86,7 +86,11 @@ pub fn select_algorithm(idx: &IndexedDocument, pattern: &TwigPattern) -> Algorit
 
 /// Evaluates `pattern` over `idx` with the chosen algorithm, applying the
 /// order-sensitivity filter if the pattern requests it.
-pub fn execute(idx: &IndexedDocument, pattern: &TwigPattern, algorithm: Algorithm) -> Vec<TwigMatch> {
+pub fn execute(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    algorithm: Algorithm,
+) -> Vec<TwigMatch> {
     let matches = match algorithm {
         Algorithm::Naive => naive::evaluate(idx, pattern),
         Algorithm::StructuralJoin => structural_join::evaluate(idx, pattern),
@@ -101,6 +105,35 @@ pub fn execute(idx: &IndexedDocument, pattern: &TwigPattern, algorithm: Algorith
         Algorithm::TJFast => tjfast::evaluate(idx, pattern),
         Algorithm::TwigStackGuided => guided::evaluate(idx, pattern),
     };
+    if pattern.is_ordered() {
+        filter_ordered(idx, pattern, matches)
+    } else {
+        matches
+    }
+}
+
+/// Like [`execute`], but partitions match enumeration across `threads`
+/// workers where the algorithm permits. Output is identical to
+/// [`execute`] for every thread count.
+///
+/// Only the navigational algorithm partitions today: each of its root
+/// candidates expands independently, so the root stream splits into
+/// contiguous chunks with no shared state. The stack-based holistic joins
+/// (PathStack/TwigStack/TJFast/guided) thread one global stack state
+/// through the whole leaf stream — partitioning them would need
+/// cross-chunk repair for ancestor chains spanning a chunk boundary — and
+/// the binary structural join is a sequence of full-stream merges; they
+/// all run serially.
+pub fn execute_parallel(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    algorithm: Algorithm,
+    threads: usize,
+) -> Vec<TwigMatch> {
+    if threads <= 1 || algorithm != Algorithm::Naive {
+        return execute(idx, pattern, algorithm);
+    }
+    let matches = naive::evaluate_partitioned(idx, pattern, threads);
     if pattern.is_ordered() {
         filter_ordered(idx, pattern, matches)
     } else {
@@ -184,6 +217,30 @@ mod tests {
                 execute(&idx, &pattern, Algorithm::Naive),
                 "{q}"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_identical_to_serial() {
+        let idx = idx();
+        for q in [
+            "//book/title",
+            "//book[title][author]",
+            "//book[year >= 2000]/title",
+            "ordered //book[title][author]",
+            "//bib//author",
+        ] {
+            let pattern = parse_query(q).unwrap();
+            for algo in Algorithm::ALL {
+                let serial = execute(&idx, &pattern, algo);
+                for threads in [1, 2, 8] {
+                    assert_eq!(
+                        execute_parallel(&idx, &pattern, algo, threads),
+                        serial,
+                        "{q} via {algo} at {threads} threads"
+                    );
+                }
+            }
         }
     }
 

@@ -34,9 +34,7 @@ impl TwigMatch {
 pub fn predicate_matches(idx: &IndexedDocument, node: NodeId, pred: &ValuePredicate) -> bool {
     let doc = idx.document();
     match pred {
-        ValuePredicate::Equals(v) => {
-            doc.direct_text(node).trim().eq_ignore_ascii_case(v.trim())
-        }
+        ValuePredicate::Equals(v) => doc.direct_text(node).trim().eq_ignore_ascii_case(v.trim()),
         ValuePredicate::Contains(v) => {
             let needles = lotusx_index::tokenize(v);
             if needles.is_empty() {
@@ -65,8 +63,7 @@ pub fn predicate_matches(idx: &IndexedDocument, node: NodeId, pred: &ValuePredic
         ValuePredicate::AttrContains { name, value } => doc
             .attribute(node, name)
             .map(|v| {
-                let haystack: HashSet<String> =
-                    lotusx_index::tokenize(v).into_iter().collect();
+                let haystack: HashSet<String> = lotusx_index::tokenize(v).into_iter().collect();
                 lotusx_index::tokenize(value)
                     .iter()
                     .all(|t| haystack.contains(t))
@@ -88,7 +85,11 @@ pub fn predicate_matches(idx: &IndexedDocument, node: NodeId, pred: &ValuePredic
 /// candidate sets from the value index which are then intersected with the
 /// tag stream, so a selective predicate shrinks the stream before any join
 /// work happens.
-pub fn filtered_stream(idx: &IndexedDocument, pattern: &TwigPattern, q: QNodeId) -> Vec<ElementEntry> {
+pub fn filtered_stream(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    q: QNodeId,
+) -> Vec<ElementEntry> {
     let node = pattern.node(q);
     let base: &[ElementEntry] = match &node.test {
         NodeTest::Tag(name) => match idx.document().symbols().get(name) {
@@ -99,8 +100,11 @@ pub fn filtered_stream(idx: &IndexedDocument, pattern: &TwigPattern, q: QNodeId)
     };
     // A child-axis query root can only bind the document's root element.
     if node.parent.is_none() && node.axis == Axis::Child {
-        let mut out: Vec<ElementEntry> =
-            base.iter().filter(|e| e.region.level == 1).copied().collect();
+        let mut out: Vec<ElementEntry> = base
+            .iter()
+            .filter(|e| e.region.level == 1)
+            .copied()
+            .collect();
         if let Some(pred) = &node.predicate {
             out.retain(|e| predicate_matches(idx, e.node, pred));
         }
@@ -129,8 +133,11 @@ pub fn filtered_stream(idx: &IndexedDocument, pattern: &TwigPattern, q: QNodeId)
                 .collect()
         }
         Some(ValuePredicate::Range { low, high }) => {
-            let allowed: HashSet<NodeId> =
-                idx.values().range_matches(*low, *high).into_iter().collect();
+            let allowed: HashSet<NodeId> = idx
+                .values()
+                .range_matches(*low, *high)
+                .into_iter()
+                .collect();
             base.iter()
                 .filter(|e| allowed.contains(&e.node))
                 .copied()
@@ -140,12 +147,7 @@ pub fn filtered_stream(idx: &IndexedDocument, pattern: &TwigPattern, q: QNodeId)
 }
 
 /// Checks the structural edge between a bound parent and child element.
-pub fn edge_satisfied(
-    idx: &IndexedDocument,
-    axis: Axis,
-    parent: NodeId,
-    child: NodeId,
-) -> bool {
+pub fn edge_satisfied(idx: &IndexedDocument, axis: Axis, parent: NodeId, child: NodeId) -> bool {
     let labels = idx.labels();
     match axis {
         Axis::Child => labels.is_parent(parent, child),
@@ -224,10 +226,7 @@ pub fn merge_path_solutions(
     let mut out: Vec<TwigMatch> = partials
         .into_iter()
         .map(|assignment| TwigMatch {
-            bindings: pattern
-                .node_ids()
-                .map(|q| assignment[&q])
-                .collect(),
+            bindings: pattern.node_ids().map(|q| assignment[&q]).collect(),
         })
         .collect();
     out.sort();
@@ -343,7 +342,10 @@ mod tests {
         assert_eq!(filtered_stream(&idx, &p, p.root()).len(), 1);
 
         let mut b = TwigBuilder::root("title");
-        b.predicate(b.root_id(), ValuePredicate::Equals("data on the web".into()));
+        b.predicate(
+            b.root_id(),
+            ValuePredicate::Equals("data on the web".into()),
+        );
         let p = b.build();
         assert_eq!(filtered_stream(&idx, &p, p.root()).len(), 1);
     }
@@ -397,34 +399,54 @@ mod tests {
         assert!(predicate_matches(
             &idx,
             book0,
-            &ValuePredicate::AttrEquals { name: "lang".into(), value: "EN".into() }
+            &ValuePredicate::AttrEquals {
+                name: "lang".into(),
+                value: "EN".into()
+            }
         ));
         assert!(!predicate_matches(
             &idx,
             book1,
-            &ValuePredicate::AttrExists { name: "lang".into() }
+            &ValuePredicate::AttrExists {
+                name: "lang".into()
+            }
         ));
         assert!(predicate_matches(
             &idx,
             book1,
-            &ValuePredicate::AttrRange { name: "year".into(), low: 2000.0, high: 2400.0 }
+            &ValuePredicate::AttrRange {
+                name: "year".into(),
+                low: 2000.0,
+                high: 2400.0
+            }
         ));
         assert!(!predicate_matches(
             &idx,
             book0,
-            &ValuePredicate::AttrRange { name: "year".into(), low: 2000.0, high: 2400.0 }
+            &ValuePredicate::AttrRange {
+                name: "year".into(),
+                low: 2000.0,
+                high: 2400.0
+            }
         ));
         assert!(predicate_matches(
             &idx,
             book0,
-            &ValuePredicate::AttrContains { name: "lang".into(), value: "en".into() }
+            &ValuePredicate::AttrContains {
+                name: "lang".into(),
+                value: "en".into()
+            }
         ));
 
         // Through the stream filter and a full query:
         let mut b = TwigBuilder::root("book");
         b.predicate(
             b.root_id(),
-            ValuePredicate::AttrRange { name: "year".into(), low: 2000.0, high: f64::INFINITY },
+            ValuePredicate::AttrRange {
+                name: "year".into(),
+                low: 2000.0,
+                high: f64::INFINITY,
+            },
         );
         let p = b.build();
         let stream = filtered_stream(&idx, &p, p.root());
@@ -452,12 +474,20 @@ mod tests {
         let y1 = nth_element(&idx, "year", 1);
 
         let sols_title = vec![
-            PathSolution { nodes: vec![book0, t0] },
-            PathSolution { nodes: vec![book1, t1] },
+            PathSolution {
+                nodes: vec![book0, t0],
+            },
+            PathSolution {
+                nodes: vec![book1, t1],
+            },
         ];
         let sols_year = vec![
-            PathSolution { nodes: vec![book0, y0] },
-            PathSolution { nodes: vec![book1, y1] },
+            PathSolution {
+                nodes: vec![book0, y0],
+            },
+            PathSolution {
+                nodes: vec![book1, y1],
+            },
         ];
         let merged = merge_path_solutions(&p, &paths, &[sols_title, sols_year]);
         assert_eq!(merged.len(), 2);
@@ -465,7 +495,9 @@ mod tests {
             assert!(match_is_valid(&idx, &p, m));
         }
         // Cross-book combinations must not appear.
-        assert!(!merged.iter().any(|m| m.binding(root) == book0 && m.binding(year) == y1));
+        assert!(!merged
+            .iter()
+            .any(|m| m.binding(root) == book0 && m.binding(year) == y1));
     }
 
     #[test]
@@ -490,8 +522,20 @@ mod tests {
         let book0 = nth_element(&idx, "book", 0);
         let t0 = nth_element(&idx, "title", 0);
         let t1 = nth_element(&idx, "title", 1);
-        assert!(match_is_valid(&idx, &p, &TwigMatch { bindings: vec![book0, t0] }));
+        assert!(match_is_valid(
+            &idx,
+            &p,
+            &TwigMatch {
+                bindings: vec![book0, t0]
+            }
+        ));
         // Title of the other book fails the child edge.
-        assert!(!match_is_valid(&idx, &p, &TwigMatch { bindings: vec![book0, t1] }));
+        assert!(!match_is_valid(
+            &idx,
+            &p,
+            &TwigMatch {
+                bindings: vec![book0, t1]
+            }
+        ));
     }
 }

@@ -84,15 +84,17 @@ mod tests {
         let all = naive::evaluate(&idx, &q);
         assert_eq!(all.len(), 1);
         let kept = filter_ordered(&idx, &q, all);
-        assert!(kept.is_empty(), "same element cannot satisfy ordered siblings");
+        assert!(
+            kept.is_empty(),
+            "same element cannot satisfy ordered siblings"
+        );
     }
 
     #[test]
     fn order_checked_at_every_level() {
-        let idx = IndexedDocument::from_str(
-            "<r><g><a>1</a><b>1</b></g><g><b>2</b><a>2</a></g></r>",
-        )
-        .unwrap();
+        let idx =
+            IndexedDocument::from_str("<r><g><a>1</a><b>1</b></g><g><b>2</b><a>2</a></g></r>")
+                .unwrap();
         let q = parse_query("//r/g[a][b]").unwrap();
         let all = naive::evaluate(&idx, &q);
         assert_eq!(all.len(), 2);

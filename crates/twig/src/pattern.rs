@@ -231,10 +231,7 @@ impl TwigPattern {
     /// The output nodes; if none was marked, the root is the default
     /// output (what the GUI highlights when the user marks nothing).
     pub fn output_nodes(&self) -> Vec<QNodeId> {
-        let marked: Vec<QNodeId> = self
-            .node_ids()
-            .filter(|id| self.node(*id).output)
-            .collect();
+        let marked: Vec<QNodeId> = self.node_ids().filter(|id| self.node(*id).output).collect();
         if marked.is_empty() {
             vec![self.root()]
         } else {
@@ -303,11 +300,7 @@ fn write_range(f: &mut fmt::Formatter<'_>, target: &str, low: f64, high: f64) ->
 
 impl fmt::Display for TwigPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn write_node(
-            pat: &TwigPattern,
-            id: QNodeId,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
+        fn write_node(pat: &TwigPattern, id: QNodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             let node = pat.node(id);
             write!(f, "{}", if node.axis == Axis::Child { "/" } else { "//" })?;
             match &node.test {
@@ -320,9 +313,7 @@ impl fmt::Display for TwigPattern {
             match &node.predicate {
                 Some(ValuePredicate::Equals(v)) => write!(f, "[. = \"{v}\"]")?,
                 Some(ValuePredicate::Contains(v)) => write!(f, "[. ~ \"{v}\"]")?,
-                Some(ValuePredicate::Range { low, high }) => {
-                    write_range(f, ".", *low, *high)?
-                }
+                Some(ValuePredicate::Range { low, high }) => write_range(f, ".", *low, *high)?,
                 Some(ValuePredicate::AttrEquals { name, value }) => {
                     write!(f, "[@{name} = \"{value}\"]")?
                 }

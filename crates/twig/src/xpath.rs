@@ -43,7 +43,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -226,9 +230,7 @@ impl<'a> Parser<'a> {
             let pred = if matches!(self.peek(), Some('=' | '~' | '>' | '<' | 'i')) {
                 match self.parse_value_test()? {
                     ValuePredicate::Equals(value) => ValuePredicate::AttrEquals { name, value },
-                    ValuePredicate::Contains(value) => {
-                        ValuePredicate::AttrContains { name, value }
-                    }
+                    ValuePredicate::Contains(value) => ValuePredicate::AttrContains { name, value },
                     ValuePredicate::Range { low, high } => {
                         ValuePredicate::AttrRange { name, low, high }
                     }
@@ -397,8 +399,8 @@ mod tests {
 
     #[test]
     fn parses_value_tests() {
-        let q = parse_query(r#"//book[year >= 2000][title = "XML"][author ~ "jiaheng lu"]"#)
-            .unwrap();
+        let q =
+            parse_query(r#"//book[year >= 2000][title = "XML"][author ~ "jiaheng lu"]"#).unwrap();
         let root = q.root();
         let kids = &q.node(root).children;
         assert_eq!(
@@ -506,7 +508,10 @@ mod tests {
         let q = parse_query(r#"//book[@lang = "en"]"#).unwrap();
         assert_eq!(
             q.node(q.root()).predicate,
-            Some(ValuePredicate::AttrEquals { name: "lang".into(), value: "en".into() })
+            Some(ValuePredicate::AttrEquals {
+                name: "lang".into(),
+                value: "en".into()
+            })
         );
         let q = parse_query(r#"//item[@id ~ "item1"]"#).unwrap();
         assert!(matches!(
@@ -516,7 +521,9 @@ mod tests {
         let q = parse_query("//book[@isbn]").unwrap();
         assert_eq!(
             q.node(q.root()).predicate,
-            Some(ValuePredicate::AttrExists { name: "isbn".into() })
+            Some(ValuePredicate::AttrExists {
+                name: "isbn".into()
+            })
         );
         assert!(parse_query("//book[@*]").is_err());
     }

@@ -1,7 +1,8 @@
 //! The crown-jewel invariant: all five twig algorithms produce identical
-//! match sets, on random documents × random patterns (proptest) and on the
-//! canonical datasets × canonical query workloads.
+//! match sets, on random documents × random patterns (seeded loops) and on
+//! the canonical datasets × canonical query workloads.
 
+use lotusx_datagen::rng::XorShiftRng;
 use lotusx_datagen::{queries, Dataset};
 use lotusx_index::IndexedDocument;
 use lotusx_twig::exec::{execute, Algorithm};
@@ -9,7 +10,6 @@ use lotusx_twig::matcher::match_is_valid;
 use lotusx_twig::pattern::{Axis, NodeTest, TwigPattern};
 use lotusx_twig::xpath::parse_query;
 use lotusx_xml::{Document, NodeId};
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
 // Canonical workloads
@@ -74,15 +74,24 @@ struct GenTree {
     children: Vec<GenTree>,
 }
 
-fn tree_strategy() -> impl Strategy<Value = GenTree> {
-    let leaf = (0usize..TAGS.len()).prop_map(|tag| GenTree {
-        tag,
-        children: vec![],
-    });
-    leaf.prop_recursive(5, 50, 4, |inner| {
-        ((0usize..TAGS.len()), prop::collection::vec(inner, 0..4))
-            .prop_map(|(tag, children)| GenTree { tag, children })
-    })
+fn random_tree(rng: &mut XorShiftRng, depth: u32, budget: &mut u32) -> GenTree {
+    let tag = rng.gen_range(0..TAGS.len());
+    if depth == 0 || *budget == 0 || rng.gen_bool(0.3) {
+        return GenTree {
+            tag,
+            children: vec![],
+        };
+    }
+    let n = rng.gen_range(0..4usize);
+    let mut children = Vec::with_capacity(n);
+    for _ in 0..n {
+        if *budget == 0 {
+            break;
+        }
+        *budget -= 1;
+        children.push(random_tree(rng, depth - 1, budget));
+    }
+    GenTree { tag, children }
 }
 
 fn build(doc: &mut Document, parent: NodeId, t: &GenTree) {
@@ -97,41 +106,40 @@ fn build(doc: &mut Document, parent: NodeId, t: &GenTree) {
 #[derive(Clone, Debug)]
 struct GenPattern {
     root_tag: usize,
-    root_wild: bool,
     // (parent index among already-created nodes, axis-is-child, tag, wild)
     extra: Vec<(usize, bool, usize, bool)>,
     ordered: bool,
 }
 
-fn pattern_strategy() -> impl Strategy<Value = GenPattern> {
-    (
-        0usize..TAGS.len(),
-        prop::collection::vec(
-            (0usize..5, any::<bool>(), 0usize..TAGS.len(), prop::bool::weighted(0.2)),
-            0..4,
-        ),
-        any::<bool>(),
-    )
-        .prop_map(|(root_tag, extra, ordered)| GenPattern {
-            root_tag,
-            // Wildcard roots multiply matches combinatorially and slow the
-            // naive oracle to a crawl; interior wildcards cover the case.
-            root_wild: false,
-            extra,
-            ordered,
-        })
+fn random_pattern(rng: &mut XorShiftRng) -> GenPattern {
+    GenPattern {
+        // Wildcard roots multiply matches combinatorially and slow the
+        // naive oracle to a crawl; interior wildcards cover the case.
+        root_tag: rng.gen_range(0..TAGS.len()),
+        extra: (0..rng.gen_range(0..4usize))
+            .map(|_| {
+                (
+                    rng.gen_range(0..5usize),
+                    rng.gen_bool(0.5),
+                    rng.gen_range(0..TAGS.len()),
+                    rng.gen_bool(0.2),
+                )
+            })
+            .collect(),
+        ordered: rng.gen_bool(0.5),
+    }
 }
 
 fn materialize(gp: &GenPattern) -> TwigPattern {
-    let test = if gp.root_wild {
-        NodeTest::Wildcard
-    } else {
-        NodeTest::Tag(TAGS[gp.root_tag].to_string())
-    };
+    let test = NodeTest::Tag(TAGS[gp.root_tag].to_string());
     let mut pattern = TwigPattern::new(test, Axis::Descendant);
     let mut ids = vec![pattern.root()];
     for (parent, is_child, tag, wild) in &gp.extra {
-        let axis = if *is_child { Axis::Child } else { Axis::Descendant };
+        let axis = if *is_child {
+            Axis::Child
+        } else {
+            Axis::Descendant
+        };
         let test = if *wild {
             NodeTest::Wildcard
         } else {
@@ -144,23 +152,34 @@ fn materialize(gp: &GenPattern) -> TwigPattern {
     pattern
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn all_algorithms_agree_on_random_inputs(root in tree_strategy(), gp in pattern_strategy()) {
+#[test]
+fn all_algorithms_agree_on_random_inputs() {
+    let mut rng = XorShiftRng::seed_from_u64(0x7716);
+    for case in 0..96 {
+        let mut budget = 50u32;
+        let root = random_tree(&mut rng, 5, &mut budget);
         let mut doc = Document::new();
         build(&mut doc, NodeId::DOCUMENT, &root);
         let idx = IndexedDocument::build(doc);
+        let gp = random_pattern(&mut rng);
         let pattern = materialize(&gp);
 
         let reference = execute(&idx, &pattern, Algorithm::Naive);
         for m in &reference {
-            prop_assert!(match_is_valid(&idx, &pattern, m));
+            assert!(match_is_valid(&idx, &pattern, m), "case {case}");
         }
-        for algo in [Algorithm::StructuralJoin, Algorithm::PathStack, Algorithm::TwigStack, Algorithm::TJFast, Algorithm::TwigStackGuided] {
+        for algo in [
+            Algorithm::StructuralJoin,
+            Algorithm::PathStack,
+            Algorithm::TwigStack,
+            Algorithm::TJFast,
+            Algorithm::TwigStackGuided,
+        ] {
             let got = execute(&idx, &pattern, algo);
-            prop_assert_eq!(&got, &reference, "algorithm {} on pattern {}", algo, pattern);
+            assert_eq!(
+                got, reference,
+                "case {case}: algorithm {algo} on pattern {pattern}"
+            );
         }
     }
 }

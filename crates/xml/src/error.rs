@@ -125,7 +125,10 @@ impl fmt::Display for Error {
                 found,
                 expected,
                 pos,
-            } => write!(f, "unexpected character {found:?} at {pos}, expected {expected}"),
+            } => write!(
+                f,
+                "unexpected character {found:?} at {pos}, expected {expected}"
+            ),
             Error::InvalidName { pos } => write!(f, "invalid XML name at {pos}"),
             Error::UnknownEntity { name, pos } => {
                 write!(f, "unknown entity &{name}; at {pos}")
@@ -138,9 +141,15 @@ impl fmt::Display for Error {
                 expected,
                 found,
                 pos,
-            } => write!(f, "closing tag </{found}> at {pos} does not match open <{expected}>"),
+            } => write!(
+                f,
+                "closing tag </{found}> at {pos} does not match open <{expected}>"
+            ),
             Error::UnexpectedClosingTag { found, pos } => {
-                write!(f, "closing tag </{found}> at {pos} has no matching open element")
+                write!(
+                    f,
+                    "closing tag </{found}> at {pos} has no matching open element"
+                )
             }
             Error::UnclosedElements { tag } => {
                 write!(f, "document ended while <{tag}> was still open")
@@ -185,7 +194,10 @@ mod tests {
             found: "b".into(),
             pos: TextPos::new(2, 5),
         };
-        assert_eq!(e.to_string(), "closing tag </b> at 2:5 does not match open <a>");
+        assert_eq!(
+            e.to_string(),
+            "closing tag </b> at 2:5 does not match open <a>"
+        );
         let e = Error::UnknownEntity {
             name: "nbsp".into(),
             pos: TextPos::new(1, 3),

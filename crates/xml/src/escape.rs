@@ -185,14 +185,20 @@ mod tests {
     #[test]
     fn unescape_rejects_invalid_char_refs() {
         for s in ["&#0;", "&#xD800;", "&#x110000;", "&#notanumber;"] {
-            assert!(matches!(unescape(s, s, 0), Err(Error::InvalidCharRef { .. })), "{s}");
+            assert!(
+                matches!(unescape(s, s, 0), Err(Error::InvalidCharRef { .. })),
+                "{s}"
+            );
         }
     }
 
     #[test]
     fn unescape_rejects_unterminated_reference() {
         let s = "&amp";
-        assert!(matches!(unescape(s, s, 0), Err(Error::UnexpectedEof { .. })));
+        assert!(matches!(
+            unescape(s, s, 0),
+            Err(Error::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

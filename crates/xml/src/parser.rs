@@ -377,9 +377,8 @@ mod tests {
 
     #[test]
     fn prolog_is_accepted() {
-        let doc =
-            Document::parse_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?><!DOCTYPE a><a/>")
-                .unwrap();
+        let doc = Document::parse_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?><!DOCTYPE a><a/>")
+            .unwrap();
         assert_eq!(doc.tag_name(doc.root_element().unwrap()), Some("a"));
     }
 

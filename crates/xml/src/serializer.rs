@@ -152,10 +152,7 @@ mod tests {
     fn pretty_print_indents_elements_but_not_text_leaves() {
         let doc = Document::parse_str("<a><b>t</b><c><d/></c></a>").unwrap();
         let pretty = doc.to_xml_pretty();
-        assert_eq!(
-            pretty,
-            "<a>\n  <b>t</b>\n  <c>\n    <d/>\n  </c>\n</a>"
-        );
+        assert_eq!(pretty, "<a>\n  <b>t</b>\n  <c>\n    <d/>\n  </c>\n</a>");
     }
 
     #[test]

@@ -378,7 +378,14 @@ mod tests {
     fn tokenizes_simple_element() {
         let t = all("<a>text</a>");
         assert_eq!(t.len(), 3);
-        assert!(matches!(t[0], Token::StartTag { name: "a", self_closing: false, .. }));
+        assert!(matches!(
+            t[0],
+            Token::StartTag {
+                name: "a",
+                self_closing: false,
+                ..
+            }
+        ));
         assert!(matches!(t[1], Token::Text { raw: "text", .. }));
         assert!(matches!(t[2], Token::EndTag { name: "a" }));
     }
@@ -386,7 +393,14 @@ mod tests {
     #[test]
     fn tokenizes_self_closing_tag() {
         let t = all("<br/>");
-        assert!(matches!(t[0], Token::StartTag { name: "br", self_closing: true, .. }));
+        assert!(matches!(
+            t[0],
+            Token::StartTag {
+                name: "br",
+                self_closing: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -411,7 +425,10 @@ mod tests {
         match &t[0] {
             Token::StartTag { attributes, .. } => {
                 let a = &attributes[0];
-                assert_eq!(&input[a.value_offset..a.value_offset + a.raw_value.len()], "val");
+                assert_eq!(
+                    &input[a.value_offset..a.value_offset + a.raw_value.len()],
+                    "val"
+                );
             }
             _ => unreachable!(),
         }
@@ -425,7 +442,13 @@ mod tests {
         assert!(matches!(t[2], Token::Comment { text: " c " }));
         assert!(matches!(t[3], Token::StartTag { name: "a", .. }));
         assert!(matches!(t[4], Token::CData { text: "<raw>" }));
-        assert!(matches!(t[5], Token::ProcessingInstruction { target: "php", data: "echo" }));
+        assert!(matches!(
+            t[5],
+            Token::ProcessingInstruction {
+                target: "php",
+                data: "echo"
+            }
+        ));
         assert!(matches!(t[6], Token::EndTag { name: "a" }));
     }
 
@@ -447,13 +470,17 @@ mod tests {
 
     #[test]
     fn rejects_invalid_tag_name() {
-        let err = Tokenizer::new("<1abc/>").collect::<Result<Vec<_>>>().unwrap_err();
+        let err = Tokenizer::new("<1abc/>")
+            .collect::<Result<Vec<_>>>()
+            .unwrap_err();
         assert!(matches!(err, Error::InvalidName { .. }));
     }
 
     #[test]
     fn rejects_unquoted_attribute_value() {
-        let err = Tokenizer::new("<a k=v/>").collect::<Result<Vec<_>>>().unwrap_err();
+        let err = Tokenizer::new("<a k=v/>")
+            .collect::<Result<Vec<_>>>()
+            .unwrap_err();
         assert!(matches!(err, Error::UnexpectedChar { .. }));
     }
 
@@ -475,7 +502,13 @@ mod tests {
     #[test]
     fn text_between_elements_is_preserved_raw() {
         let t = all("<a>x &amp; y</a>");
-        assert!(matches!(t[1], Token::Text { raw: "x &amp; y", .. }));
+        assert!(matches!(
+            t[1],
+            Token::Text {
+                raw: "x &amp; y",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -493,6 +526,11 @@ mod tests {
     #[test]
     fn unicode_names_are_accepted() {
         let t = all("<日本語>x</日本語>");
-        assert!(matches!(t[0], Token::StartTag { name: "日本語", .. }));
+        assert!(matches!(
+            t[0],
+            Token::StartTag {
+                name: "日本語", ..
+            }
+        ));
     }
 }

@@ -270,10 +270,7 @@ impl Document {
 
     /// Root-to-node tag path of an element, e.g. `["bib", "book", "title"]`.
     pub fn tag_path(&self, id: NodeId) -> Vec<Symbol> {
-        let mut path: Vec<Symbol> = self
-            .ancestors(id)
-            .filter_map(|a| self.tag(a))
-            .collect();
+        let mut path: Vec<Symbol> = self.ancestors(id).filter_map(|a| self.tag(a)).collect();
         path.reverse();
         if let Some(t) = self.tag(id) {
             path.push(t);

@@ -1,0 +1,187 @@
+//! Randomized tests (seeded, deterministic): serialize → parse is the
+//! identity on document structure, parsing never panics, and escaping
+//! round-trips. Ported from proptest to plain seeded loops so the
+//! workspace builds offline.
+
+use lotusx_datagen::rng::XorShiftRng;
+use lotusx_xml::{Document, NodeId, NodeKind};
+
+const TAGS: [&str; 8] = ["a", "b", "book", "title", "author", "item", "x-y", "ns:tag"];
+const ATTR_NAMES: [&str; 3] = ["k", "id", "year"];
+// Includes characters that require escaping and multi-byte UTF-8.
+const TEXT_CHARS: [char; 10] = ['a', 'b', ' ', '&', '<', '>', '"', '\'', 'é', '中'];
+
+/// A lightweight random tree we materialize into a `Document`.
+#[derive(Clone, Debug)]
+enum GenNode {
+    Element {
+        tag: usize,
+        attrs: Vec<(usize, String)>,
+        children: Vec<GenNode>,
+    },
+    Text(String),
+}
+
+fn random_text(rng: &mut XorShiftRng) -> String {
+    loop {
+        let len = rng.gen_range(1..12usize);
+        let s: String = (0..len)
+            .map(|_| TEXT_CHARS[rng.gen_range(0..TEXT_CHARS.len())])
+            .collect();
+        if !s.chars().all(|c| c.is_ascii_whitespace()) {
+            return s;
+        }
+    }
+}
+
+fn random_attrs(rng: &mut XorShiftRng, max: usize) -> Vec<(usize, String)> {
+    let n = rng.gen_range(0..max + 1);
+    let mut seen = std::collections::HashSet::new();
+    (0..n)
+        .map(|_| (rng.gen_range(0..ATTR_NAMES.len()), random_text(rng)))
+        .filter(|(k, _)| seen.insert(*k))
+        .collect()
+}
+
+fn random_node(rng: &mut XorShiftRng, depth: u32) -> GenNode {
+    if depth == 0 || rng.gen_bool(0.35) {
+        if rng.gen_bool(0.5) {
+            return GenNode::Text(random_text(rng));
+        }
+        return GenNode::Element {
+            tag: rng.gen_range(0..TAGS.len()),
+            attrs: random_attrs(rng, 2),
+            children: vec![],
+        };
+    }
+    let children = (0..rng.gen_range(0..4usize))
+        .map(|_| random_node(rng, depth - 1))
+        .collect();
+    GenNode::Element {
+        tag: rng.gen_range(0..TAGS.len()),
+        attrs: random_attrs(rng, 3),
+        children: merge_adjacent_text(children),
+    }
+}
+
+/// Adjacent generated text nodes would be merged by any parser; merge them
+/// up front so the comparison is well-defined.
+fn merge_adjacent_text(children: Vec<GenNode>) -> Vec<GenNode> {
+    let mut out: Vec<GenNode> = Vec::new();
+    for c in children {
+        match (out.last_mut(), c) {
+            (Some(GenNode::Text(prev)), GenNode::Text(t)) => prev.push_str(&t),
+            (_, c) => out.push(c),
+        }
+    }
+    out
+}
+
+fn build(doc: &mut Document, parent: NodeId, node: &GenNode) {
+    match node {
+        GenNode::Element {
+            tag,
+            attrs,
+            children,
+        } => {
+            let e = doc.append_element(parent, TAGS[*tag]);
+            for (k, v) in attrs {
+                doc.set_attribute(e, ATTR_NAMES[*k], v.clone());
+            }
+            for c in children {
+                build(doc, e, c);
+            }
+        }
+        GenNode::Text(t) => {
+            doc.append_text(parent, t.clone());
+        }
+    }
+}
+
+fn structure(doc: &Document, id: NodeId) -> String {
+    // Canonical structural fingerprint.
+    match doc.kind(id) {
+        NodeKind::Document => doc
+            .children(id)
+            .map(|c| structure(doc, c))
+            .collect::<Vec<_>>()
+            .join(""),
+        NodeKind::Element { .. } => {
+            let mut attrs = doc.attributes(id);
+            attrs.sort();
+            format!(
+                "E({};{:?};[{}])",
+                doc.tag_name(id).unwrap(),
+                attrs,
+                doc.children(id)
+                    .map(|c| structure(doc, c))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        }
+        NodeKind::Text(t) => format!("T({t:?})"),
+        NodeKind::Comment(t) => format!("C({t:?})"),
+        NodeKind::Pi { target, data } => format!("P({target:?},{data:?})"),
+    }
+}
+
+#[test]
+fn serialize_then_parse_preserves_structure() {
+    let mut rng = XorShiftRng::seed_from_u64(0xD0C);
+    for case in 0..128 {
+        let mut doc = Document::new();
+        let root = doc.append_element(NodeId::DOCUMENT, TAGS[rng.gen_range(0..TAGS.len())]);
+        let children = (0..rng.gen_range(0..5usize))
+            .map(|_| random_node(&mut rng, 4))
+            .collect();
+        for c in merge_adjacent_text(children) {
+            build(&mut doc, root, &c);
+        }
+        let xml = doc.to_xml();
+        let parsed = Document::parse_with_options(
+            &xml,
+            lotusx_xml::ParseOptions {
+                trim_whitespace_text: false,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| {
+            panic!("case {case}: serialized output must be well-formed: {e}\n{xml}")
+        });
+        assert_eq!(
+            structure(&doc, NodeId::DOCUMENT),
+            structure(&parsed, NodeId::DOCUMENT),
+            "case {case}: {xml}"
+        );
+    }
+}
+
+#[test]
+fn parse_never_panics_on_arbitrary_input() {
+    const POOL: [char; 20] = [
+        '<', '>', '&', '"', '\'', '=', '/', '?', '!', '-', 'a', 'b', ' ', '\t', 'é', '中', ';',
+        '#', 'x', '0',
+    ];
+    let mut rng = XorShiftRng::seed_from_u64(0xBAD);
+    for _ in 0..512 {
+        let len = rng.gen_range(0..200usize);
+        let input: String = (0..len)
+            .map(|_| POOL[rng.gen_range(0..POOL.len())])
+            .collect();
+        let _ = Document::parse_str(&input);
+    }
+}
+
+#[test]
+fn escape_unescape_roundtrip() {
+    let mut rng = XorShiftRng::seed_from_u64(0xE5C);
+    for _ in 0..256 {
+        let len = rng.gen_range(0..80usize);
+        let text: String = (0..len)
+            .map(|_| TEXT_CHARS[rng.gen_range(0..TEXT_CHARS.len())])
+            .collect();
+        let escaped = lotusx_xml::escape::escape_text(&text);
+        let back = lotusx_xml::escape::unescape(&escaped, &escaped, 0).unwrap();
+        assert_eq!(back, text);
+    }
+}

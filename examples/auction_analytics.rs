@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let queries = [
         ("auctions with bidders", "//open_auction[bidder]/current"),
         ("big bids", "//open_auction[bidder/increase >= 25]/itemref"),
-        ("rich bidders' names", "//person[profile[income >= 100000]]/name"),
+        (
+            "rich bidders' names",
+            "//person[profile[income >= 100000]]/name",
+        ),
         ("keyword'd items", "//item[description//text/keyword]/name"),
     ];
 

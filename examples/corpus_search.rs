@@ -23,15 +23,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hits = corpus.search("//person[profile/income >= 100000]/name")?;
     println!("rich people ({} hits, all from one document):", hits.len());
     for h in hits.iter().take(3) {
-        println!("  [{}] [{:.3}] {}", h.document, h.result.score, h.result.snippet);
+        println!(
+            "  [{}] [{:.3}] {}",
+            h.document, h.result.score, h.result.snippet
+        );
     }
 
     // `name` exists in the auction data; dblp has no such tag, so there
     // the per-document auto-rewrite kicks in (name → its synonym `title`)
     // and both corpora contribute, interleaved by score.
     let hits = corpus.search("//name")?;
-    let docs: std::collections::HashSet<&str> =
-        hits.iter().map(|h| h.document.as_str()).collect();
+    let docs: std::collections::HashSet<&str> = hits.iter().map(|h| h.document.as_str()).collect();
     println!(
         "\n//name across the corpus: {} hits from {:?} (dblp via rewrite)",
         hits.len(),

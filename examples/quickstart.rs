@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 7. Attribute predicates and binary snapshots.
     let outcome = system.search("//book[@year >= 2000]/title")?;
-    println!("\npost-2000 books (by attribute): {} match", outcome.total_matches);
+    println!(
+        "\npost-2000 books (by attribute): {} match",
+        outcome.total_matches
+    );
     let path = std::env::temp_dir().join("quickstart.ltsx");
     system.save_snapshot(&path)?;
     let reopened = lotusx::LotusX::load_file(&path)?;

@@ -186,9 +186,7 @@ fn index_size_reporting_is_monotone_in_scale() {
     let small = LotusX::load_document(generate(Dataset::DblpLike, 1, 1));
     let large = LotusX::load_document(generate(Dataset::DblpLike, 3, 1));
     assert!(large.index().index_size_bytes() > small.index().index_size_bytes());
-    assert!(
-        large.index().stats().element_count > 2 * small.index().stats().element_count
-    );
+    assert!(large.index().stats().element_count > 2 * small.index().stats().element_count);
 }
 
 #[test]
