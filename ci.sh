@@ -4,6 +4,18 @@ set -eux
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+# The observability crate must stay warning-free on its own too (it is
+# the one crate everything above lotusx-par depends on).
+cargo clippy -p lotusx-obs --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 cargo test --workspace -q
+
+# Smoke-test the CLI observability surface headlessly: a scripted REPL
+# session exercising profile/explain/stats must run to completion, and
+# the explain output must contain the stage-timing tree.
+out=$(printf 'profile on\nexplain //book[author]/title\nquery //book/title\nquery //book/title\nalgo tjfast\nquery //book/title\nstats\nstats json\nquit\n' \
+    | cargo run --release -p lotusx --bin lotusx-cli)
+echo "$out" | grep -q 'parse'
+echo "$out" | grep -q 'total:'
+echo "$out" | grep -q 'cache_hit'

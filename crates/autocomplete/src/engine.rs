@@ -158,14 +158,30 @@ impl<'a> CompletionEngine<'a> {
 
     /// Position-aware tag completion: the tags that can occur at the
     /// focused position, filtered by `prefix`, heaviest-at-position first.
+    ///
+    /// Per-keystroke latency is recorded into the global
+    /// [`lotusx_obs::Stage::CompleteTag`] histogram while observability
+    /// is enabled (one sample per call, never double-counted through the
+    /// global fallback).
     pub fn complete_tag(
         &self,
         context: &PositionContext,
         prefix: &str,
         k: usize,
     ) -> Vec<TagCandidate> {
+        lotusx_obs::time_stage(lotusx_obs::Stage::CompleteTag, || {
+            self.complete_tag_inner(context, prefix, k)
+        })
+    }
+
+    fn complete_tag_inner(
+        &self,
+        context: &PositionContext,
+        prefix: &str,
+        k: usize,
+    ) -> Vec<TagCandidate> {
         if context.is_unconstrained() {
-            return self.complete_tag_global(prefix, k);
+            return self.tag_global_inner(prefix, k);
         }
         let guide = self.idx.guide();
         let symbols = self.idx.document().symbols();
@@ -217,6 +233,12 @@ impl<'a> CompletionEngine<'a> {
     /// Global (position-blind) tag completion over the tag trie — the
     /// baseline the position-aware experiment compares against.
     pub fn complete_tag_global(&self, prefix: &str, k: usize) -> Vec<TagCandidate> {
+        lotusx_obs::time_stage(lotusx_obs::Stage::CompleteTag, || {
+            self.tag_global_inner(prefix, k)
+        })
+    }
+
+    fn tag_global_inner(&self, prefix: &str, k: usize) -> Vec<TagCandidate> {
         self.idx
             .tag_trie()
             .complete(prefix, k)
@@ -249,35 +271,42 @@ impl<'a> CompletionEngine<'a> {
 
     /// Value completion for a node whose tag is already fixed: terms that
     /// actually occur inside elements with that tag, filtered by prefix.
+    ///
+    /// Latency lands in the [`lotusx_obs::Stage::CompleteValue`]
+    /// histogram while observability is enabled.
     pub fn complete_value(&self, tag: &str, prefix: &str, k: usize) -> Vec<ValueCandidate> {
-        let Some(sym) = self.idx.document().symbols().get(tag) else {
-            return Vec::new();
-        };
-        let vt = self
-            .cache
-            .map
-            .get_or_insert_with(sym, || build_value_trie(self.idx, sym));
-        vt.trie
-            .complete(prefix, k)
-            .into_iter()
-            .map(|c| ValueCandidate {
-                term: vt.terms[c.payload as usize].clone(),
-                count: c.weight,
-            })
-            .collect()
+        lotusx_obs::time_stage(lotusx_obs::Stage::CompleteValue, || {
+            let Some(sym) = self.idx.document().symbols().get(tag) else {
+                return Vec::new();
+            };
+            let vt = self
+                .cache
+                .map
+                .get_or_insert_with(sym, || build_value_trie(self.idx, sym));
+            vt.trie
+                .complete(prefix, k)
+                .into_iter()
+                .map(|c| ValueCandidate {
+                    term: vt.terms[c.payload as usize].clone(),
+                    count: c.weight,
+                })
+                .collect()
+        })
     }
 
     /// Global value completion over the whole content-term trie.
     pub fn complete_value_global(&self, prefix: &str, k: usize) -> Vec<ValueCandidate> {
-        self.idx
-            .term_trie()
-            .complete(prefix, k)
-            .into_iter()
-            .map(|c| ValueCandidate {
-                term: self.idx.term(c.payload).to_string(),
-                count: c.weight,
-            })
-            .collect()
+        lotusx_obs::time_stage(lotusx_obs::Stage::CompleteValue, || {
+            self.idx
+                .term_trie()
+                .complete(prefix, k)
+                .into_iter()
+                .map(|c| ValueCandidate {
+                    term: self.idx.term(c.payload).to_string(),
+                    count: c.weight,
+                })
+                .collect()
+        })
     }
 
     /// The underlying index (used by sessions).
@@ -496,6 +525,49 @@ mod tests {
                 "{tag}"
             );
         }
+    }
+
+    #[test]
+    fn keystroke_latency_lands_in_the_global_histograms() {
+        let idx = idx();
+        let e = CompletionEngine::new(&idx);
+        let ctx = PositionContext::from_tag_path(&["bib", "book"], Axis::Child);
+        // Disabled: no samples recorded.
+        let tag_before = lotusx_obs::metrics()
+            .stage(lotusx_obs::Stage::CompleteTag)
+            .count();
+        e.complete_tag(&ctx, "t", 10);
+        assert_eq!(
+            lotusx_obs::metrics()
+                .stage(lotusx_obs::Stage::CompleteTag)
+                .count(),
+            tag_before
+        );
+        // Enabled: one sample per keystroke, including the global
+        // fallback path (never double-counted).
+        lotusx_obs::set_enabled(true);
+        let tag_before = lotusx_obs::metrics()
+            .stage(lotusx_obs::Stage::CompleteTag)
+            .count();
+        let val_before = lotusx_obs::metrics()
+            .stage(lotusx_obs::Stage::CompleteValue)
+            .count();
+        e.complete_tag(&ctx, "t", 10);
+        e.complete_tag(&PositionContext::unconstrained(), "a", 10);
+        e.complete_value("title", "x", 10);
+        lotusx_obs::set_enabled(false);
+        assert_eq!(
+            lotusx_obs::metrics()
+                .stage(lotusx_obs::Stage::CompleteTag)
+                .count(),
+            tag_before + 2
+        );
+        assert_eq!(
+            lotusx_obs::metrics()
+                .stage(lotusx_obs::Stage::CompleteValue)
+                .count(),
+            val_before + 1
+        );
     }
 
     #[test]

@@ -5,13 +5,23 @@
 //! from scratch. Position-aware candidate sets are small (bounded by the
 //! DataGuide fan-out), so they are computed once per focus change and then
 //! narrowed by prefix; the global fallback narrows through the trie cursor.
+//!
+//! The narrowing state lives in [`CompletionState`], an engine-free value
+//! shared with `lotusx::Session` (the canvas-driven session re-exports
+//! it) so both sessions run the exact same keystroke logic.
 
 use crate::context::PositionContext;
 use crate::engine::{CompletionEngine, TagCandidate};
 
-/// An incremental tag-completion session for one focused query node.
-pub struct CompletionSession<'a> {
-    engine: &'a CompletionEngine<'a>,
+/// The engine-free state of one focused query node being typed into:
+/// the structural context, the typed prefix, and the cached empty-prefix
+/// candidate set the keystrokes narrow.
+///
+/// This is the single shared implementation of per-keystroke narrowing;
+/// both [`CompletionSession`] and the canvas-driven `lotusx::Session`
+/// delegate to it.
+#[derive(Clone, Debug)]
+pub struct CompletionState {
     context: PositionContext,
     typed: String,
     /// Candidates for the current context with an empty prefix, reused on
@@ -20,13 +30,12 @@ pub struct CompletionSession<'a> {
     k: usize,
 }
 
-impl<'a> CompletionSession<'a> {
-    /// Starts a session for `context`, returning up to `k` candidates per
+impl CompletionState {
+    /// Starts narrowing at `context`, returning up to `k` candidates per
     /// keystroke.
-    pub fn new(engine: &'a CompletionEngine<'a>, context: PositionContext, k: usize) -> Self {
+    pub fn new(engine: &CompletionEngine<'_>, context: PositionContext, k: usize) -> Self {
         let base_candidates = engine.complete_tag(&context, "", usize::MAX);
-        CompletionSession {
-            engine,
+        CompletionState {
             context,
             typed: String::new(),
             base_candidates,
@@ -39,28 +48,48 @@ impl<'a> CompletionSession<'a> {
         &self.typed
     }
 
-    /// The session's structural context.
+    /// The structural context being completed at.
     pub fn context(&self) -> &PositionContext {
         &self.context
     }
 
+    /// Sets how many candidates each keystroke returns.
+    pub fn set_k(&mut self, k: usize) {
+        self.k = k;
+    }
+
+    /// Discards the typed prefix.
+    pub fn clear_typed(&mut self) {
+        self.typed.clear();
+    }
+
+    /// Re-resolves the base candidates if `context` differs from the one
+    /// the state was built for (the canvas may have been edited between
+    /// keystrokes). The typed prefix is preserved.
+    pub fn ensure_context(&mut self, engine: &CompletionEngine<'_>, context: &PositionContext) {
+        if &self.context != context {
+            self.context = context.clone();
+            self.base_candidates = engine.complete_tag(context, "", usize::MAX);
+        }
+    }
+
     /// Processes one keystroke and returns the narrowed top-k candidates.
-    pub fn keystroke(&mut self, ch: char) -> Vec<TagCandidate> {
+    pub fn keystroke(&mut self, engine: &CompletionEngine<'_>, ch: char) -> Vec<TagCandidate> {
         self.typed.push(ch);
-        self.current()
+        self.current(engine)
     }
 
     /// Removes the last keystroke (no-op on empty input).
-    pub fn backspace(&mut self) -> Vec<TagCandidate> {
+    pub fn backspace(&mut self, engine: &CompletionEngine<'_>) -> Vec<TagCandidate> {
         self.typed.pop();
-        self.current()
+        self.current(engine)
     }
 
     /// The current top-k candidates for the typed prefix.
-    pub fn current(&self) -> Vec<TagCandidate> {
+    pub fn current(&self, engine: &CompletionEngine<'_>) -> Vec<TagCandidate> {
         if self.context.is_unconstrained() {
             // Global mode: the trie answers prefix queries directly.
-            return self.engine.complete_tag_global(&self.typed, self.k);
+            return engine.complete_tag_global(&self.typed, self.k);
         }
         self.base_candidates
             .iter()
@@ -70,15 +99,63 @@ impl<'a> CompletionSession<'a> {
             .collect()
     }
 
-    /// Accepts the single remaining candidate, if the prefix is already
-    /// unambiguous.
-    pub fn accept_if_unique(&self) -> Option<TagCandidate> {
-        let current = self.current();
+    /// The single remaining candidate, if the prefix is unambiguous.
+    pub fn accept_if_unique(&self, engine: &CompletionEngine<'_>) -> Option<TagCandidate> {
+        let current = self.current(engine);
         if current.len() == 1 {
             Some(current[0].clone())
         } else {
             None
         }
+    }
+}
+
+/// An incremental tag-completion session for one focused query node: a
+/// [`CompletionState`] bound to its engine.
+pub struct CompletionSession<'a> {
+    engine: &'a CompletionEngine<'a>,
+    state: CompletionState,
+}
+
+impl<'a> CompletionSession<'a> {
+    /// Starts a session for `context`, returning up to `k` candidates per
+    /// keystroke.
+    pub fn new(engine: &'a CompletionEngine<'a>, context: PositionContext, k: usize) -> Self {
+        CompletionSession {
+            state: CompletionState::new(engine, context, k),
+            engine,
+        }
+    }
+
+    /// The text typed so far.
+    pub fn typed(&self) -> &str {
+        self.state.typed()
+    }
+
+    /// The session's structural context.
+    pub fn context(&self) -> &PositionContext {
+        self.state.context()
+    }
+
+    /// Processes one keystroke and returns the narrowed top-k candidates.
+    pub fn keystroke(&mut self, ch: char) -> Vec<TagCandidate> {
+        self.state.keystroke(self.engine, ch)
+    }
+
+    /// Removes the last keystroke (no-op on empty input).
+    pub fn backspace(&mut self) -> Vec<TagCandidate> {
+        self.state.backspace(self.engine)
+    }
+
+    /// The current top-k candidates for the typed prefix.
+    pub fn current(&self) -> Vec<TagCandidate> {
+        self.state.current(self.engine)
+    }
+
+    /// Accepts the single remaining candidate, if the prefix is already
+    /// unambiguous.
+    pub fn accept_if_unique(&self) -> Option<TagCandidate> {
+        self.state.accept_if_unique(self.engine)
     }
 }
 
@@ -161,5 +238,31 @@ mod tests {
         assert!(s.keystroke('z').is_empty());
         assert!(s.accept_if_unique().is_none());
         assert!(!s.backspace().is_empty());
+    }
+
+    #[test]
+    fn state_refocuses_only_when_the_context_changes() {
+        let idx = idx();
+        let engine = CompletionEngine::new(&idx);
+        let book = PositionContext::from_tag_path(&["bib", "book"], Axis::Child);
+        let article = PositionContext::from_tag_path(&["bib", "article"], Axis::Child);
+        let mut state = CompletionState::new(&engine, book.clone(), 10);
+        state.keystroke(&engine, 'a');
+        // Same context: base candidates and typed prefix are kept.
+        state.ensure_context(&engine, &book);
+        assert_eq!(state.typed(), "a");
+        assert_eq!(state.current(&engine).len(), 1, "author under book");
+        // New context: base candidates refresh, typed prefix survives.
+        state.ensure_context(&engine, &article);
+        assert_eq!(state.context(), &article);
+        assert_eq!(state.typed(), "a");
+        assert_eq!(
+            state.current(&engine).len(),
+            2,
+            "author + abstract under article"
+        );
+        state.clear_typed();
+        state.set_k(1);
+        assert_eq!(state.current(&engine).len(), 1);
     }
 }

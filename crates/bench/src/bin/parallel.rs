@@ -13,7 +13,7 @@
 //! in the output so a single-core container (where every ratio is ≈ 1.0
 //! by construction) is distinguishable from a genuine multi-core run.
 
-use lotusx::LotusX;
+use lotusx::{LotusX, QueryRequest};
 use lotusx_autocomplete::ValueTrieCache;
 use lotusx_bench::{median_time, SEED};
 use lotusx_datagen::{generate, Dataset};
@@ -79,11 +79,15 @@ fn main() {
     // `search_pattern` bypasses the query cache, so every repetition
     // does the full execute + rank pipeline.
     let mut serial = LotusX::load_document(doc.clone());
-    serial.set_threads(1);
-    serial.set_auto_algorithm();
+    let config = serial.config().clone().threads(1).auto_algorithm();
+    serial.reconfigure(config).unwrap();
     let mut parallel = LotusX::load_document(doc.clone());
-    parallel.set_threads(PARALLEL_THREADS);
-    parallel.set_auto_algorithm();
+    let config = parallel
+        .config()
+        .clone()
+        .threads(PARALLEL_THREADS)
+        .auto_algorithm();
+    parallel.reconfigure(config).unwrap();
     let patterns: Vec<_> = QUERIES
         .iter()
         .map(|q| lotusx_twig::parse_query(q).unwrap())
@@ -134,8 +138,13 @@ fn main() {
     let hot_pattern = lotusx_twig::parse_query(hot_query).unwrap();
     // `search_pattern` bypasses the cache: the full execute + rank cost.
     let (t_uncached, _) = median_time(REPS, || system.search_pattern(&hot_pattern).total_matches);
-    let _ = system.search(hot_query); // populate the cache
-    let (t_warm, _) = median_time(REPS, || system.search(hot_query).unwrap().total_matches);
+    let _ = system.query(&QueryRequest::twig(hot_query)); // populate the cache
+    let (t_warm, _) = median_time(REPS, || {
+        system
+            .query(&QueryRequest::twig(hot_query))
+            .unwrap()
+            .total_matches
+    });
     let cache_stats = system.query_cache_stats();
     eprintln!(
         "query cache: uncached {:.3}ms, cached {:.3}ms ({} hits / {} misses)",

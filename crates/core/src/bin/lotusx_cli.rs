@@ -5,9 +5,10 @@
 //! `help` for the command list. Everything the GUI demonstrates is
 //! reachable: incremental canvas construction with per-keystroke
 //! position-aware candidates, one-shot textual queries, algorithm
-//! switching, ranked results, and automatic rewriting of empty queries.
+//! switching, ranked results, automatic rewriting of empty queries, and
+//! the observability surface (`profile`, `explain`, `stats`).
 
-use lotusx::{Algorithm, Axis, CanvasNodeId, LotusX, Session};
+use lotusx::{Algorithm, Axis, CanvasNodeId, LotusX, QueryRequest, Session};
 use std::io::{BufRead, Write};
 
 const SAMPLE: &str = r#"<bib>
@@ -44,6 +45,9 @@ fn main() {
 
     let mut session = Session::new(&system);
     let mut nodes: Vec<CanvasNodeId> = Vec::new();
+    // Per-request join-algorithm override ("algo <name>"); the session
+    // borrows the engine, so reconfiguration happens per request here.
+    let mut algo_override: Option<Algorithm> = None;
 
     println!("LotusX demo CLI — type 'help' for commands");
     loop {
@@ -60,79 +64,95 @@ fn main() {
             "help" => print_help(),
             "quit" | "exit" => break,
             "stats" => {
-                let s = system.index().stats();
-                println!(
-                    "elements: {}  distinct tags: {}  max depth: {}  index bytes: {}",
-                    s.element_count,
-                    s.distinct_tags,
-                    s.max_depth,
-                    system.index().index_size_bytes()
-                );
-                let qc = system.query_cache_stats();
-                println!(
-                    "query cache: {} hits, {} misses, {}/{} entries  value tries cached: {}  threads: {}",
-                    qc.hits,
-                    qc.misses,
-                    qc.entries,
-                    qc.capacity,
-                    system.value_trie_cache_len(),
-                    system.threads()
-                );
+                if rest == "json" {
+                    println!("{}", lotusx_obs::metrics().snapshot().to_json());
+                } else {
+                    print_stats(&system);
+                }
             }
+            "profile" => match rest {
+                "on" => {
+                    lotusx_obs::set_enabled(true);
+                    println!("profiling on: global metrics recorded, queries print their profile");
+                }
+                "off" => {
+                    lotusx_obs::set_enabled(false);
+                    println!("profiling off");
+                }
+                _ => println!(
+                    "usage: profile on|off (currently {})",
+                    if lotusx_obs::enabled() { "on" } else { "off" }
+                ),
+            },
+            "explain" => match system.explain(rest) {
+                Ok(profile) => print!("{}", profile.render()),
+                Err(e) => println!("error: {e}"),
+            },
             "save" => match system.save_snapshot(rest) {
                 Ok(()) => println!("snapshot written to {rest}"),
                 Err(e) => println!("error: {e}"),
             },
             "keyword" => {
-                let hits = system.search_keywords(rest);
-                println!("{} answers", hits.len());
-                for (i, h) in hits.iter().take(10).enumerate() {
-                    println!(
-                        "  {:>2}. [{:.3}] {}",
-                        i + 1,
-                        h.score,
-                        truncate(&h.snippet, 90)
-                    );
+                let request = QueryRequest::keyword(rest).profiled(lotusx_obs::enabled());
+                match system.query(&request) {
+                    Ok(response) => {
+                        println!("{} answers", response.total_matches);
+                        for (i, h) in response.matches.iter().take(10).enumerate() {
+                            println!(
+                                "  {:>2}. [{:.3}] {}",
+                                i + 1,
+                                h.score,
+                                truncate(&h.snippet, 90)
+                            );
+                        }
+                        if let Some(profile) = &response.profile {
+                            print!("{}", profile.render());
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
                 }
             }
-            "query" => match system.search(rest) {
-                Ok(outcome) => {
-                    if let Some(rw) = &outcome.rewrite {
-                        println!(
-                            "(no results for the original query — rewritten to {} [penalty {:.1}])",
-                            rw.pattern, rw.cost
-                        );
+            "query" => {
+                let mut request = QueryRequest::twig(rest).profiled(lotusx_obs::enabled());
+                request.algorithm = algo_override;
+                match system.query(&request) {
+                    Ok(response) => {
+                        if let Some(rw) = &response.rewrite {
+                            println!(
+                                "(no results for the original query — rewritten to {} [penalty {:.1}])",
+                                rw.pattern, rw.cost
+                            );
+                        }
+                        println!("{} matches", response.total_matches);
+                        for (i, r) in response.matches.iter().take(10).enumerate() {
+                            println!(
+                                "  {:>2}. [{:.3}] {}",
+                                i + 1,
+                                r.score,
+                                truncate(&r.snippet, 90)
+                            );
+                        }
+                        if let Some(profile) = &response.profile {
+                            print!("{}", profile.render());
+                        }
                     }
-                    println!("{} matches", outcome.total_matches);
-                    for (i, r) in outcome.results.iter().take(10).enumerate() {
-                        println!(
-                            "  {:>2}. [{:.3}] {}",
-                            i + 1,
-                            r.score,
-                            truncate(&r.snippet, 90)
-                        );
-                    }
+                    Err(e) => println!("error: {e}"),
                 }
-                Err(e) => println!("error: {e}"),
+            }
+            "algo" => match parse_algorithm(rest) {
+                Some(a) => {
+                    algo_override = Some(a);
+                    println!("queries now run with {a}");
+                }
+                None if rest == "auto" => {
+                    algo_override = None;
+                    println!("queries now use the engine's configuration");
+                }
+                None => println!(
+                    "algorithms: naive structural-join pathstack twigstack tjfast twigstack-guided auto (current: {})",
+                    algo_override.map(|a| a.name()).unwrap_or("auto")
+                ),
             },
-            "algo" => {
-                let algo = match rest {
-                    "naive" => Some(Algorithm::Naive),
-                    "structural-join" => Some(Algorithm::StructuralJoin),
-                    "pathstack" => Some(Algorithm::PathStack),
-                    "twigstack" => Some(Algorithm::TwigStack),
-                    "tjfast" => Some(Algorithm::TJFast),
-                    "twigstack-guided" => Some(Algorithm::TwigStackGuided),
-                    _ => None,
-                };
-                match algo {
-                    Some(_a) => println!(
-                        "algorithm switching requires a mutable engine; restart with --algo (current: {})",
-                        system.algorithm()
-                    ),
-                    None => println!("algorithms: naive structural-join pathstack twigstack tjfast twigstack-guided"),
-                }
-            }
             "root" => match session.canvas_mut().add_root() {
                 Ok(id) => {
                     nodes.push(id);
@@ -236,6 +256,72 @@ fn main() {
     }
 }
 
+fn parse_algorithm(name: &str) -> Option<Algorithm> {
+    Algorithm::ALL.into_iter().find(|a| a.name() == name)
+}
+
+fn print_stats(system: &LotusX) {
+    let s = system.index().stats();
+    println!(
+        "elements: {}  distinct tags: {}  max depth: {}  index bytes: {}",
+        s.element_count,
+        s.distinct_tags,
+        s.max_depth,
+        system.index().index_size_bytes()
+    );
+    let qc = system.query_cache_stats();
+    println!(
+        "query cache: {} hits, {} misses, {}/{} entries  value tries cached: {}  threads: {}",
+        qc.hits,
+        qc.misses,
+        qc.entries,
+        qc.capacity,
+        system.value_trie_cache_len(),
+        system.threads()
+    );
+    let ex = lotusx_par::executor_stats();
+    println!(
+        "executor: {} parallel jobs, {} worker threads spawned",
+        ex.jobs, ex.threads_spawned
+    );
+    if !lotusx_obs::enabled() {
+        println!("profiling off — `profile on` to record stage latencies ('stats json' for the raw snapshot)");
+        return;
+    }
+    let snapshot = lotusx_obs::metrics().snapshot();
+    println!("stage latencies (count / p50 / p95 / p99 / max):");
+    for (name, h) in &snapshot.stages {
+        if h.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:<14} {:>6}  {:>9}  {:>9}  {:>9}  {:>9}",
+            name,
+            h.count,
+            lotusx_obs::fmt_ns(h.p50_ns),
+            lotusx_obs::fmt_ns(h.p95_ns),
+            lotusx_obs::fmt_ns(h.p99_ns),
+            lotusx_obs::fmt_ns(h.max_ns),
+        );
+    }
+    if !snapshot.counters.is_empty() {
+        let rendered: Vec<String> = snapshot
+            .counters
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect();
+        println!("counters: {}", rendered.join("  "));
+    }
+    if !snapshot.slow_queries.is_empty() {
+        println!("slow queries (threshold {}):", {
+            lotusx_obs::fmt_ns(lotusx_obs::metrics().slow_queries().threshold_ns())
+        });
+        for sq in &snapshot.slow_queries {
+            println!("  {}  {}", lotusx_obs::fmt_ns(sq.total_ns), sq.query);
+        }
+    }
+}
+
 fn print_candidates(cands: &[lotusx::TagCandidate]) {
     if cands.is_empty() {
         println!("  (no candidates at this position)");
@@ -264,7 +350,11 @@ one-shot queries:
   query <xpath>      run a query, e.g.  query //book[@year >= 2000]/title
   keyword <terms>    keyword search (ranked smallest covering subtrees)
   save <path.ltsx>   write a binary snapshot (reopen with lotusx-cli <path.ltsx>)
-  stats              document / index statistics
+observability:
+  profile on|off     toggle metrics recording + per-query profiles
+  explain <xpath>    run one query and print its stage-timing tree
+  stats              document, cache, executor and latency statistics
+  stats json         the metrics snapshot as JSON (metrics.json format)
 canvas (the GUI surrogate):
   root               drop the root node
   node <i> [/ | //]  add a node under node i
@@ -276,7 +366,7 @@ canvas (the GUI surrogate):
   show               print the canvas as a query
   run                execute the canvas (untyped nodes are wildcards)
 other:
-  algo [name]        list / note join algorithms
+  algo [name|auto]   per-request join algorithm override
   help, quit"
     );
 }

@@ -5,7 +5,7 @@
 //! indexed, with twig and keyword search fanned out across all of them
 //! and results merged by score.
 
-use crate::engine::{LotusError, LotusX, SearchResult};
+use crate::engine::{LotusError, LotusX, QueryRequest, SearchResult};
 use lotusx_xml::Document;
 
 /// One search result together with the document it came from.
@@ -84,8 +84,8 @@ impl Corpus {
     pub fn search(&self, query: &str) -> Result<Vec<CorpusResult>, LotusError> {
         let mut merged = Vec::new();
         for (name, system) in &self.systems {
-            let outcome = system.search(query)?;
-            merged.extend(outcome.results.into_iter().map(|result| CorpusResult {
+            let response = system.query(&QueryRequest::twig(query))?;
+            merged.extend(response.matches.into_iter().map(|result| CorpusResult {
                 document: name.clone(),
                 result,
             }));
@@ -98,15 +98,13 @@ impl Corpus {
     pub fn search_keywords(&self, query: &str) -> Vec<CorpusResult> {
         let mut merged = Vec::new();
         for (name, system) in &self.systems {
-            merged.extend(
-                system
-                    .search_keywords(query)
-                    .into_iter()
-                    .map(|result| CorpusResult {
-                        document: name.clone(),
-                        result,
-                    }),
-            );
+            let response = system
+                .query(&QueryRequest::keyword(query))
+                .expect("keyword queries never fail to parse");
+            merged.extend(response.matches.into_iter().map(|result| CorpusResult {
+                document: name.clone(),
+                result,
+            }));
         }
         sort_by_score(&mut merged);
         merged

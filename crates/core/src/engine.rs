@@ -1,29 +1,44 @@
 //! The LotusX engine: load, search, rank, rewrite.
+//!
+//! The engine is driven through one typed request/response pair:
+//! [`QueryRequest`] (twig or keyword text plus per-request overrides and
+//! an opt-in profiling flag) and [`QueryResponse`] (ranked matches plus an
+//! optional [`QueryProfile`] with the stage-timing tree). Configuration
+//! travels as a validated [`EngineConfig`] value applied atomically with
+//! [`LotusX::reconfigure`]. The pre-redesign entry points (`search`,
+//! `search_batch`, `search_keywords`, the `set_*` setters) survive as
+//! deprecated shims over the new API.
 
 use lotusx_autocomplete::{CompletionEngine, ValueTrieCache};
 use lotusx_index::{BuildOptions, IndexedDocument};
+use lotusx_obs::{QueryProfile, Span, Stage};
 use lotusx_par::{default_threads, par_map, CacheStats, ConcurrentLru};
 use lotusx_rank::{RankWeights, Ranker};
 use lotusx_rewrite::{Rewriter, RewriterConfig};
-use lotusx_twig::exec::{execute_parallel, Algorithm};
+use lotusx_twig::exec::{execute_spanned, Algorithm};
 use lotusx_twig::matcher::TwigMatch;
 use lotusx_twig::pattern::TwigPattern;
 use lotusx_twig::xpath::{parse_query, ParseError};
 use lotusx_xml::{Document, NodeId, SerializeOptions};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Errors surfaced by the engine.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum LotusError {
     /// The XML input failed to parse.
     Xml(lotusx_xml::Error),
-    /// The query text failed to parse.
+    /// The query text failed to parse (the message carries the byte
+    /// offset and a caret snippet of the offending input).
     Query(ParseError),
     /// The file could not be read.
     Io(std::io::Error),
     /// A binary snapshot could not be read or written.
     Storage(String),
+    /// An [`EngineConfig`] failed validation.
+    Config(String),
 }
 
 impl fmt::Display for LotusError {
@@ -33,6 +48,7 @@ impl fmt::Display for LotusError {
             LotusError::Query(e) => write!(f, "query error: {e}"),
             LotusError::Io(e) => write!(f, "I/O error: {e}"),
             LotusError::Storage(e) => write!(f, "snapshot error: {e}"),
+            LotusError::Config(e) => write!(f, "configuration error: {e}"),
         }
     }
 }
@@ -53,6 +69,262 @@ impl From<std::io::Error> for LotusError {
     fn from(e: std::io::Error) -> Self {
         LotusError::Io(e)
     }
+}
+
+/// The engine's full configuration as one validated value.
+///
+/// Build one with the fluent setters and apply it atomically with
+/// [`LotusX::reconfigure`]; read the active one back with
+/// [`LotusX::config`]:
+///
+/// ```
+/// use lotusx::{engine::EngineConfig, Algorithm, LotusX};
+///
+/// let mut system = LotusX::load_str("<a><b/></a>").unwrap();
+/// let config = system
+///     .config()
+///     .clone()
+///     .algorithm(Algorithm::TJFast)
+///     .result_limit(10);
+/// system.reconfigure(config).unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    algorithm: Option<Algorithm>,
+    weights: RankWeights,
+    rewriter: RewriterConfig,
+    auto_rewrite: bool,
+    result_limit: usize,
+    threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            algorithm: Some(Algorithm::TwigStack),
+            weights: RankWeights::default(),
+            rewriter: RewriterConfig::default(),
+            auto_rewrite: true,
+            result_limit: 100,
+            threads: default_threads(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration (TwigStack pinned, auto-rewrite on,
+    /// 100 results, the host's available parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the join algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Lets the engine pick an algorithm per query from its shape and the
+    /// streams' selectivity (see `lotusx_twig::select_algorithm`).
+    pub fn auto_algorithm(mut self) -> Self {
+        self.algorithm = None;
+        self
+    }
+
+    /// Sets the ranking weights.
+    pub fn rank_weights(mut self, weights: RankWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the empty-result rewriter's search budget.
+    pub fn rewriter(mut self, config: RewriterConfig) -> Self {
+        self.rewriter = config;
+        self
+    }
+
+    /// Enables/disables automatic rewriting of empty-result queries.
+    pub fn auto_rewrite(mut self, on: bool) -> Self {
+        self.auto_rewrite = on;
+        self
+    }
+
+    /// Sets how many ranked results a search returns.
+    pub fn result_limit(mut self, limit: usize) -> Self {
+        self.result_limit = limit;
+        self
+    }
+
+    /// Sets the worker-thread count for partitioned search and ranking
+    /// (`1` = fully serial). Outcomes are identical for every thread
+    /// count, so changing only this never invalidates the query cache.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The pinned algorithm (`None` = per-query auto-selection).
+    pub fn pinned_algorithm(&self) -> Option<Algorithm> {
+        self.algorithm
+    }
+
+    /// The ranking weights.
+    pub fn weights(&self) -> RankWeights {
+        self.weights
+    }
+
+    /// The rewriter budget.
+    pub fn rewriter_config(&self) -> RewriterConfig {
+        self.rewriter
+    }
+
+    /// Whether empty-result queries are rewritten automatically.
+    pub fn auto_rewrite_enabled(&self) -> bool {
+        self.auto_rewrite
+    }
+
+    /// The ranked-result limit.
+    pub fn result_limit_value(&self) -> usize {
+        self.result_limit
+    }
+
+    /// The worker-thread count.
+    pub fn threads_value(&self) -> usize {
+        self.threads
+    }
+
+    /// Checks the configuration for nonsensical values.
+    pub fn validate(&self) -> Result<(), LotusError> {
+        if self.threads == 0 {
+            return Err(LotusError::Config(
+                "threads must be at least 1 (1 = serial)".into(),
+            ));
+        }
+        for (name, w) in [
+            ("structure", self.weights.structure),
+            ("content", self.weights.content),
+            ("specificity", self.weights.specificity),
+        ] {
+            if !w.is_finite() || w < 0.0 {
+                return Err(LotusError::Config(format!(
+                    "rank weight `{name}` must be finite and non-negative, got {w}"
+                )));
+            }
+        }
+        if !self.rewriter.max_cost.is_finite() || self.rewriter.max_cost < 0.0 {
+            return Err(LotusError::Config(format!(
+                "rewriter max_cost must be finite and non-negative, got {}",
+                self.rewriter.max_cost
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether `self` and `other` can produce different query outcomes
+    /// (everything except the thread count, which never changes results).
+    fn affects_results_differently(&self, other: &EngineConfig) -> bool {
+        let w = |x: RankWeights| {
+            (
+                x.structure.to_bits(),
+                x.content.to_bits(),
+                x.specificity.to_bits(),
+            )
+        };
+        let r = |x: RewriterConfig| {
+            (
+                x.max_rewrites,
+                x.max_expansions,
+                x.max_cost.to_bits(),
+                x.spell_distance,
+                x.guide_pruning,
+            )
+        };
+        self.algorithm != other.algorithm
+            || w(self.weights) != w(other.weights)
+            || r(self.rewriter) != r(other.rewriter)
+            || self.auto_rewrite != other.auto_rewrite
+            || self.result_limit != other.result_limit
+    }
+}
+
+/// What a [`QueryRequest`] asks the engine to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// A twig (XPath-like) pattern, parsed from the request text.
+    Twig,
+    /// Free-text keyword (SLCA) search.
+    Keyword,
+}
+
+/// One query as the engine runs it: the text, what kind of search it is,
+/// per-request overrides, and whether to profile the execution.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The query text (twig syntax or whitespace-separated keywords).
+    pub text: String,
+    /// Twig pattern or keyword search.
+    pub kind: QueryKind,
+    /// Per-request result limit (`None` = the engine's configured limit).
+    pub top_k: Option<usize>,
+    /// Per-request join algorithm (`None` = the engine's configuration;
+    /// ignored by keyword searches).
+    pub algorithm: Option<Algorithm>,
+    /// Ask for a [`QueryProfile`] in the response. Profiling never
+    /// changes the computed matches.
+    pub profile: bool,
+}
+
+impl QueryRequest {
+    /// A twig query over `text` with engine-default settings.
+    pub fn twig(text: impl Into<String>) -> Self {
+        QueryRequest {
+            text: text.into(),
+            kind: QueryKind::Twig,
+            top_k: None,
+            algorithm: None,
+            profile: false,
+        }
+    }
+
+    /// A keyword (SLCA) query over `text`.
+    pub fn keyword(text: impl Into<String>) -> Self {
+        QueryRequest {
+            kind: QueryKind::Keyword,
+            ..Self::twig(text)
+        }
+    }
+
+    /// Limits this request to the best `k` results.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Pins the join algorithm for this request only.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Asks for (or suppresses) a per-query profile.
+    pub fn profiled(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+}
+
+/// The engine's answer to one [`QueryRequest`].
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Ranked results (best first), truncated to the effective limit.
+    pub matches: Vec<SearchResult>,
+    /// Total number of matches before truncation.
+    pub total_matches: usize,
+    /// If the original query was empty and a rewrite produced these
+    /// results: the rewritten query and what was changed.
+    pub rewrite: Option<RewriteInfo>,
+    /// The execution profile, present iff the request asked for one.
+    pub profile: Option<QueryProfile>,
 }
 
 /// One ranked search result.
@@ -98,6 +370,29 @@ const HOT_TAG_TRIES: usize = 8;
 /// Capacity of the query-result LRU cache.
 const QUERY_CACHE_CAPACITY: usize = 128;
 
+/// Runs one pipeline stage: `f` gets a child span when the query is
+/// profiled, and the stage's wall time lands in the global histogram when
+/// recording is on. With both off this is the bare call.
+fn run_stage<T>(
+    span: Option<&Span>,
+    stage: Stage,
+    recording: bool,
+    f: impl FnOnce(Option<&Span>) -> T,
+) -> T {
+    let started = recording.then(Instant::now);
+    let out = match span {
+        Some(parent) => {
+            let child = parent.child(stage.name());
+            f(Some(&child))
+        }
+        None => f(None),
+    };
+    if let Some(t0) = started {
+        lotusx_obs::metrics().record_stage(stage, t0.elapsed().as_nanos() as u64);
+    }
+    out
+}
+
 /// The LotusX system over one loaded document.
 ///
 /// `LotusX` is `Send + Sync`: searches and completions take `&self` and
@@ -106,21 +401,15 @@ const QUERY_CACHE_CAPACITY: usize = 128;
 /// callers.
 pub struct LotusX {
     idx: IndexedDocument,
-    /// `None` = pick per query via `lotusx_twig::select_algorithm`.
-    algorithm_override: Option<Algorithm>,
-    weights: RankWeights,
-    rewriter_config: RewriterConfig,
-    auto_rewrite: bool,
-    result_limit: usize,
-    /// Worker threads for the partitioned search/ranking phases.
-    threads: usize,
+    config: EngineConfig,
     /// Per-tag value-completion tries, shared with every engine handed
     /// out by [`Self::completion_engine`].
     value_cache: Arc<ValueTrieCache>,
-    /// Memoized outcomes keyed by normalized pattern + config generation.
+    /// Memoized outcomes keyed by normalized pattern + effective limit +
+    /// per-request algorithm + config generation.
     query_cache: ConcurrentLru<String, SearchOutcome>,
-    /// Bumped by every configuration setter; stale cache keys never match
-    /// again and age out of the LRU.
+    /// Bumped by every result-affecting reconfiguration; stale cache keys
+    /// never match again and age out of the LRU.
     config_generation: u64,
 }
 
@@ -160,18 +449,18 @@ impl LotusX {
     /// across the host's worker threads and pre-building the value tries
     /// of the hottest tags.
     pub fn load_document(doc: Document) -> Self {
-        let threads = default_threads();
-        let idx = IndexedDocument::build_with(doc, &BuildOptions { threads });
+        let config = EngineConfig::default();
+        let idx = IndexedDocument::build_with(
+            doc,
+            &BuildOptions {
+                threads: config.threads,
+            },
+        );
         let value_cache = Arc::new(ValueTrieCache::new());
-        value_cache.precompute_hottest(&idx, HOT_TAG_TRIES, threads);
+        value_cache.precompute_hottest(&idx, HOT_TAG_TRIES, config.threads);
         LotusX {
             idx,
-            algorithm_override: Some(Algorithm::TwigStack),
-            weights: RankWeights::default(),
-            rewriter_config: RewriterConfig::default(),
-            auto_rewrite: true,
-            result_limit: 100,
-            threads,
+            config,
             value_cache,
             query_cache: ConcurrentLru::new(QUERY_CACHE_CAPACITY),
             config_generation: 0,
@@ -183,58 +472,87 @@ impl LotusX {
         &self.idx
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Validates and applies `config` atomically. The query cache is
+    /// invalidated iff a result-affecting knob changed (everything except
+    /// the thread count). On error nothing changes.
+    pub fn reconfigure(&mut self, config: EngineConfig) -> Result<(), LotusError> {
+        config.validate()?;
+        if self.config.affects_results_differently(&config) {
+            self.config_generation += 1;
+        }
+        self.config = config;
+        Ok(())
+    }
+
     /// Pins the join algorithm (default: TwigStack).
+    #[deprecated(note = "use `reconfigure` with `EngineConfig::algorithm`")]
     pub fn set_algorithm(&mut self, algorithm: Algorithm) {
-        self.algorithm_override = Some(algorithm);
-        self.config_generation += 1;
+        let config = self.config.clone().algorithm(algorithm);
+        self.reconfigure(config).expect("still valid");
     }
 
-    /// Lets the engine pick an algorithm per query from its shape and the
-    /// streams' selectivity (see `lotusx_twig::select_algorithm`).
+    /// Lets the engine pick an algorithm per query.
+    #[deprecated(note = "use `reconfigure` with `EngineConfig::auto_algorithm`")]
     pub fn set_auto_algorithm(&mut self) {
-        self.algorithm_override = None;
-        self.config_generation += 1;
+        let config = self.config.clone().auto_algorithm();
+        self.reconfigure(config).expect("still valid");
     }
 
-    /// The pinned join algorithm, if any.
+    /// The pinned join algorithm (the default when auto-selection is on).
     pub fn algorithm(&self) -> Algorithm {
-        self.algorithm_override.unwrap_or(Algorithm::TwigStack)
+        self.config.algorithm.unwrap_or(Algorithm::TwigStack)
     }
 
-    fn algorithm_for(&self, pattern: &TwigPattern) -> Algorithm {
-        self.algorithm_override
+    fn algorithm_for(
+        &self,
+        pattern: &TwigPattern,
+        request_override: Option<Algorithm>,
+    ) -> Algorithm {
+        request_override
+            .or(self.config.algorithm)
             .unwrap_or_else(|| lotusx_twig::select_algorithm(&self.idx, pattern))
     }
 
     /// Sets the ranking weights.
+    #[deprecated(note = "use `reconfigure` with `EngineConfig::rank_weights`")]
     pub fn set_rank_weights(&mut self, weights: RankWeights) {
-        self.weights = weights;
-        self.config_generation += 1;
+        let config = self.config.clone().rank_weights(weights);
+        if self.reconfigure(config).is_err() {
+            // Preserve the old setter's silence on odd weights.
+            self.config.weights = weights;
+            self.config_generation += 1;
+        }
     }
 
     /// Enables/disables automatic rewriting of empty-result queries.
+    #[deprecated(note = "use `reconfigure` with `EngineConfig::auto_rewrite`")]
     pub fn set_auto_rewrite(&mut self, on: bool) {
-        self.auto_rewrite = on;
-        self.config_generation += 1;
+        let config = self.config.clone().auto_rewrite(on);
+        self.reconfigure(config).expect("still valid");
     }
 
     /// Sets how many ranked results a search returns (default 100).
+    #[deprecated(note = "use `reconfigure` with `EngineConfig::result_limit`")]
     pub fn set_result_limit(&mut self, limit: usize) {
-        self.result_limit = limit;
-        self.config_generation += 1;
+        let config = self.config.clone().result_limit(limit);
+        self.reconfigure(config).expect("still valid");
     }
 
-    /// Sets the worker-thread count for partitioned search and ranking
-    /// (default: the host's available parallelism). `1` means fully
-    /// serial. Outcomes are identical for every thread count, so the
-    /// query cache is not invalidated.
+    /// Sets the worker-thread count (clamped to at least 1).
+    #[deprecated(note = "use `reconfigure` with `EngineConfig::threads`")]
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        let config = self.config.clone().threads(threads.max(1));
+        self.reconfigure(config).expect("still valid");
     }
 
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.config.threads
     }
 
     /// Hit/miss statistics of the query-result cache.
@@ -247,61 +565,248 @@ impl LotusX {
         self.value_cache.len()
     }
 
-    /// Parses and runs a textual query. Outcomes are memoized in a
-    /// thread-safe LRU keyed by the normalized pattern text, so repeating
-    /// a query (even spelled differently, e.g. with extra whitespace) is
-    /// a cache hit until a configuration setter invalidates the cache.
-    pub fn search(&self, query: &str) -> Result<SearchOutcome, LotusError> {
-        let pattern = parse_query(query)?;
-        let key = format!("g{}|{}", self.config_generation, pattern);
-        if let Some(hit) = self.query_cache.get(&key) {
-            return Ok((*hit).clone());
+    /// Runs one [`QueryRequest`].
+    ///
+    /// Twig outcomes are memoized in a thread-safe LRU keyed by the
+    /// normalized pattern text plus the request's effective limit and
+    /// algorithm override, so repeating a query (even spelled differently,
+    /// e.g. with extra whitespace) is a cache hit until a result-affecting
+    /// reconfiguration invalidates the cache. Keyword searches are not
+    /// cached. Profiling ([`QueryRequest::profile`]) never changes the
+    /// matches — responses are identical with it on or off.
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse, LotusError> {
+        match request.kind {
+            QueryKind::Twig => self.query_twig(request),
+            QueryKind::Keyword => Ok(self.query_keyword(request)),
         }
-        let outcome = self.search_pattern(&pattern);
-        self.query_cache.insert(key, outcome.clone());
-        Ok(outcome)
     }
 
-    /// Runs many queries, partitioned across the worker threads. The
-    /// result at position `i` is exactly `self.search(queries[i])`.
+    /// Runs many requests, partitioned across the worker threads. The
+    /// result at position `i` is exactly `self.query(&requests[i])`.
+    pub fn query_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse, LotusError>> {
+        par_map(requests, self.config.threads, |r| self.query(r))
+    }
+
+    /// Profiles one twig query: shorthand for a profiled [`Self::query`],
+    /// returning just the [`QueryProfile`] the CLI renders as `explain`.
+    pub fn explain(&self, query: &str) -> Result<QueryProfile, LotusError> {
+        let request = QueryRequest::twig(query).profiled(true);
+        let response = self.query(&request)?;
+        Ok(response
+            .profile
+            .expect("profiled requests always carry a profile"))
+    }
+
+    fn query_twig(&self, request: &QueryRequest) -> Result<QueryResponse, LotusError> {
+        let recording = lotusx_obs::enabled();
+        let started = recording.then(Instant::now);
+        let root = request.profile.then(|| Span::new("query"));
+        let span = root.as_ref();
+
+        let parsed = run_stage(span, Stage::Parse, recording, |_| {
+            parse_query(&request.text)
+        });
+        let pattern = match parsed {
+            Ok(p) => p,
+            Err(e) => {
+                if recording {
+                    lotusx_obs::metrics().incr("query_errors", 1);
+                }
+                return Err(e.into());
+            }
+        };
+
+        let limit = request.top_k.unwrap_or(self.config.result_limit);
+        let key = format!(
+            "g{}|k{}|a{}|{}",
+            self.config_generation,
+            limit,
+            request.algorithm.map(|a| a.name()).unwrap_or("-"),
+            pattern
+        );
+
+        let cached = self.query_cache.get(&key);
+        let hit = cached.is_some();
+        if recording {
+            let m = lotusx_obs::metrics();
+            m.incr("queries", 1);
+            m.incr(if hit { "cache_hit" } else { "cache_miss" }, 1);
+        }
+
+        let (outcome, executed_algorithm) = match cached {
+            Some(outcome) => ((*outcome).clone(), None),
+            None => {
+                let (outcome, algorithm) =
+                    self.run_pattern(&pattern, limit, request.algorithm, span, recording);
+                self.query_cache.insert(key, outcome.clone());
+                (outcome, Some(algorithm))
+            }
+        };
+
+        if let Some(t0) = started {
+            let total_ns = t0.elapsed().as_nanos() as u64;
+            let m = lotusx_obs::metrics();
+            m.record_stage(Stage::Total, total_ns);
+            m.slow_queries().record(&request.text, total_ns);
+        }
+
+        let profile = root.map(|r| {
+            r.annotate("cache", if hit { "hit" } else { "miss" });
+            QueryProfile {
+                query: request.text.clone(),
+                executed: pattern.to_string(),
+                algorithm: executed_algorithm.map(|a| a.name().to_string()),
+                cache_hit: hit,
+                threads: self.config.threads,
+                candidates: outcome.total_matches,
+                results: outcome.results.len(),
+                rewritten: outcome.rewrite.as_ref().map(|i| i.pattern.to_string()),
+                span: r.finish(),
+            }
+        });
+
+        Ok(QueryResponse {
+            matches: outcome.results,
+            total_matches: outcome.total_matches,
+            rewrite: outcome.rewrite,
+            profile,
+        })
+    }
+
+    fn query_keyword(&self, request: &QueryRequest) -> QueryResponse {
+        let recording = lotusx_obs::enabled();
+        let started = recording.then(Instant::now);
+        let root = request.profile.then(|| Span::new("query"));
+        let limit = request.top_k.unwrap_or(self.config.result_limit);
+
+        let (results, total_matches) =
+            run_stage(root.as_ref(), Stage::Keyword, recording, |span| {
+                let engine = lotusx_keyword::KeywordEngine::new(&self.idx);
+                let doc = self.idx.document();
+                let hits = engine.search(&request.text);
+                let total = hits.len();
+                if let Some(s) = span {
+                    s.annotate("hits", total);
+                }
+                let results: Vec<SearchResult> = hits
+                    .into_iter()
+                    .take(limit)
+                    .map(|hit| SearchResult {
+                        score: hit.score,
+                        bindings: vec![hit.node],
+                        output: vec![hit.node],
+                        snippet: doc.serialize(hit.node, SerializeOptions::default()),
+                    })
+                    .collect();
+                (results, total)
+            });
+
+        if let Some(t0) = started {
+            let total_ns = t0.elapsed().as_nanos() as u64;
+            let m = lotusx_obs::metrics();
+            m.incr("queries", 1);
+            m.incr("keyword_queries", 1);
+            m.record_stage(Stage::Total, total_ns);
+            m.slow_queries().record(&request.text, total_ns);
+        }
+
+        let profile = root.map(|r| QueryProfile {
+            query: request.text.clone(),
+            executed: request.text.clone(),
+            algorithm: None,
+            cache_hit: false,
+            threads: self.config.threads,
+            candidates: total_matches,
+            results: results.len(),
+            rewritten: None,
+            span: r.finish(),
+        });
+
+        QueryResponse {
+            matches: results,
+            total_matches,
+            rewrite: None,
+            profile,
+        }
+    }
+
+    /// Parses and runs a textual query.
+    #[deprecated(note = "use `query` with `QueryRequest::twig`")]
+    pub fn search(&self, query: &str) -> Result<SearchOutcome, LotusError> {
+        let response = self.query(&QueryRequest::twig(query))?;
+        Ok(SearchOutcome {
+            results: response.matches,
+            total_matches: response.total_matches,
+            rewrite: response.rewrite,
+        })
+    }
+
+    /// Runs many queries, partitioned across the worker threads.
+    #[deprecated(note = "use `query_batch` with `QueryRequest`s")]
     pub fn search_batch(&self, queries: &[&str]) -> Vec<Result<SearchOutcome, LotusError>> {
-        par_map(queries, self.threads, |q| self.search(q))
+        #[allow(deprecated)]
+        par_map(queries, self.config.threads, |q| self.search(q))
     }
 
-    /// Runs a twig pattern: execute → (rewrite if empty) → rank.
+    /// Runs a twig pattern: execute → (rewrite if empty) → rank. This is
+    /// the canvas-level entry (no query text, no cache) used by
+    /// `Session::run`.
     pub fn search_pattern(&self, pattern: &TwigPattern) -> SearchOutcome {
-        let matches = self.execute(pattern);
-        if !matches.is_empty() || !self.auto_rewrite {
-            return self.finish(pattern, matches, None);
+        let recording = lotusx_obs::enabled();
+        self.run_pattern(pattern, self.config.result_limit, None, None, recording)
+            .0
+    }
+
+    /// Executes, possibly rewrites, ranks and serializes one pattern.
+    /// Returns the outcome and the join algorithm of the last execution.
+    fn run_pattern(
+        &self,
+        pattern: &TwigPattern,
+        limit: usize,
+        algorithm_override: Option<Algorithm>,
+        span: Option<&Span>,
+        recording: bool,
+    ) -> (SearchOutcome, Algorithm) {
+        let algorithm = self.algorithm_for(pattern, algorithm_override);
+        let matches = run_stage(span, Stage::Match, recording, |s| {
+            execute_spanned(&self.idx, pattern, algorithm, self.config.threads, s)
+        });
+        if !matches.is_empty() || !self.config.auto_rewrite {
+            return (
+                self.finish(pattern, matches, None, limit, span, recording),
+                algorithm,
+            );
         }
         // Empty: try rewriting.
-        let rewriter = Rewriter::with(
-            &self.idx,
-            lotusx_rewrite::SynonymTable::default_table(),
-            self.rewriter_config,
-        );
-        let rewrites = rewriter.rewrite(pattern);
+        let rewrites = run_stage(span, Stage::Rewrite, recording, |s| {
+            let rewriter = Rewriter::with(
+                &self.idx,
+                lotusx_rewrite::SynonymTable::default_table(),
+                self.config.rewriter,
+            );
+            rewriter.rewrite_spanned(pattern, s)
+        });
         match rewrites.into_iter().next() {
             Some(best) => {
-                let matches = self.execute(&best.pattern);
+                let algorithm = self.algorithm_for(&best.pattern, algorithm_override);
+                let matches = run_stage(span, Stage::Match, recording, |s| {
+                    execute_spanned(&self.idx, &best.pattern, algorithm, self.config.threads, s)
+                });
                 let info = RewriteInfo {
                     pattern: best.pattern.clone(),
                     cost: best.cost,
                     ops: best.ops,
                 };
-                self.finish(&best.pattern, matches, Some(info))
+                (
+                    self.finish(&best.pattern, matches, Some(info), limit, span, recording),
+                    algorithm,
+                )
             }
-            None => self.finish(pattern, Vec::new(), None),
+            None => (
+                self.finish(pattern, Vec::new(), None, limit, span, recording),
+                algorithm,
+            ),
         }
-    }
-
-    fn execute(&self, pattern: &TwigPattern) -> Vec<TwigMatch> {
-        execute_parallel(
-            &self.idx,
-            pattern,
-            self.algorithm_for(pattern),
-            self.threads,
-        )
     }
 
     fn finish(
@@ -309,27 +814,37 @@ impl LotusX {
         pattern: &TwigPattern,
         matches: Vec<TwigMatch>,
         rewrite: Option<RewriteInfo>,
+        limit: usize,
+        span: Option<&Span>,
+        recording: bool,
     ) -> SearchOutcome {
         let total_matches = matches.len();
-        let ranker = Ranker::with_weights(&self.idx, self.weights);
-        let ranked = ranker.rank_top_k(pattern, matches, self.result_limit, self.threads);
-        let doc = self.idx.document();
-        let results = ranked
-            .into_iter()
-            .map(|sm| {
-                let output = sm.m.project(pattern);
-                let snippet = output
-                    .first()
-                    .map(|&n| doc.serialize(n, SerializeOptions::default()))
-                    .unwrap_or_default();
-                SearchResult {
-                    score: sm.score,
-                    bindings: sm.m.bindings,
-                    output,
-                    snippet,
-                }
-            })
-            .collect();
+        let ranked = run_stage(span, Stage::Rank, recording, |s| {
+            let ranker = Ranker::with_weights(&self.idx, self.config.weights);
+            ranker.rank_top_k_spanned(pattern, matches, limit, self.config.threads, s)
+        });
+        let results = run_stage(span, Stage::Serialize, recording, |s| {
+            let doc = self.idx.document();
+            if let Some(s) = s {
+                s.annotate("snippets", ranked.len());
+            }
+            ranked
+                .into_iter()
+                .map(|sm| {
+                    let output = sm.m.project(pattern);
+                    let snippet = output
+                        .first()
+                        .map(|&n| doc.serialize(n, SerializeOptions::default()))
+                        .unwrap_or_default();
+                    SearchResult {
+                        score: sm.score,
+                        bindings: sm.m.bindings,
+                        output,
+                        snippet,
+                    }
+                })
+                .collect()
+        });
         SearchOutcome {
             results,
             total_matches,
@@ -345,22 +860,10 @@ impl LotusX {
     }
 
     /// Free-text keyword search: ranked smallest subtrees (SLCA) covering
-    /// every query term — the zero-knowledge entry point for users who
-    /// haven't placed a single node on the canvas yet.
+    /// every query term.
+    #[deprecated(note = "use `query` with `QueryRequest::keyword`")]
     pub fn search_keywords(&self, query: &str) -> Vec<SearchResult> {
-        let engine = lotusx_keyword::KeywordEngine::new(&self.idx);
-        let doc = self.idx.document();
-        engine
-            .search(query)
-            .into_iter()
-            .take(self.result_limit)
-            .map(|hit| SearchResult {
-                score: hit.score,
-                bindings: vec![hit.node],
-                output: vec![hit.node],
-                snippet: doc.serialize(hit.node, SerializeOptions::default()),
-            })
-            .collect()
+        self.query_keyword(&QueryRequest::keyword(query)).matches
     }
 }
 
@@ -374,24 +877,29 @@ mod tests {
         <article><title>TwigStack</title><author>Bruno</author><year>2002</year></article>\
     </bib>";
 
+    fn twig(text: &str) -> QueryRequest {
+        QueryRequest::twig(text)
+    }
+
     #[test]
-    fn search_returns_ranked_results_with_snippets() {
+    fn query_returns_ranked_results_with_snippets() {
         let system = LotusX::load_str(BIB).unwrap();
-        let outcome = system.search("//book/title").unwrap();
-        assert_eq!(outcome.total_matches, 2);
-        assert_eq!(outcome.results.len(), 2);
-        assert!(outcome.rewrite.is_none());
-        assert!(outcome.results[0].snippet.starts_with("<title>"));
-        assert!(outcome.results[0].score >= outcome.results[1].score);
+        let response = system.query(&twig("//book/title")).unwrap();
+        assert_eq!(response.total_matches, 2);
+        assert_eq!(response.matches.len(), 2);
+        assert!(response.rewrite.is_none());
+        assert!(response.profile.is_none(), "not requested");
+        assert!(response.matches[0].snippet.starts_with("<title>"));
+        assert!(response.matches[0].score >= response.matches[1].score);
     }
 
     #[test]
     fn empty_query_triggers_auto_rewrite() {
         let system = LotusX::load_str(BIB).unwrap();
         // "writer" is a synonym of "author".
-        let outcome = system.search("//book/writer").unwrap();
-        assert!(outcome.total_matches > 0);
-        let info = outcome.rewrite.expect("rewrite applied");
+        let response = system.query(&twig("//book/writer")).unwrap();
+        assert!(response.total_matches > 0);
+        let info = response.rewrite.expect("rewrite applied");
         assert!(info.pattern.to_string().contains("author"));
         assert!(info.cost > 0.0);
         assert!(!info.ops.is_empty());
@@ -400,33 +908,69 @@ mod tests {
     #[test]
     fn auto_rewrite_can_be_disabled() {
         let mut system = LotusX::load_str(BIB).unwrap();
-        system.set_auto_rewrite(false);
-        let outcome = system.search("//book/writer").unwrap();
-        assert_eq!(outcome.total_matches, 0);
-        assert!(outcome.rewrite.is_none());
+        let config = system.config().clone().auto_rewrite(false);
+        system.reconfigure(config).unwrap();
+        let response = system.query(&twig("//book/writer")).unwrap();
+        assert_eq!(response.total_matches, 0);
+        assert!(response.rewrite.is_none());
     }
 
     #[test]
     fn result_limit_truncates_but_total_is_kept() {
         let mut system = LotusX::load_str(BIB).unwrap();
-        system.set_result_limit(1);
-        let outcome = system.search("//author").unwrap();
-        assert_eq!(outcome.total_matches, 3);
-        assert_eq!(outcome.results.len(), 1);
+        let config = system.config().clone().result_limit(1);
+        system.reconfigure(config).unwrap();
+        let response = system.query(&twig("//author")).unwrap();
+        assert_eq!(response.total_matches, 3);
+        assert_eq!(response.matches.len(), 1);
     }
 
     #[test]
-    fn algorithms_are_switchable() {
-        let mut system = LotusX::load_str(BIB).unwrap();
-        let reference = system.search("//book[author]/title").unwrap().total_matches;
+    fn per_request_top_k_overrides_the_limit() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let all = system.query(&twig("//author")).unwrap();
+        assert_eq!(all.matches.len(), 3);
+        let one = system.query(&twig("//author").top_k(1)).unwrap();
+        assert_eq!(one.matches.len(), 1);
+        assert_eq!(one.total_matches, 3);
+        assert_eq!(one.matches[0].bindings, all.matches[0].bindings);
+        // Different top_k values key the cache separately: asking for all
+        // again is not poisoned by the k=1 entry.
+        assert_eq!(system.query(&twig("//author")).unwrap().matches.len(), 3);
+    }
+
+    #[test]
+    fn algorithms_are_switchable_per_request() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let reference = system
+            .query(&twig("//book[author]/title"))
+            .unwrap()
+            .total_matches;
         for algo in Algorithm::ALL {
-            system.set_algorithm(algo);
-            assert_eq!(
-                system.search("//book[author]/title").unwrap().total_matches,
-                reference,
-                "{algo}"
-            );
+            let response = system
+                .query(&twig("//book[author]/title").algorithm(algo))
+                .unwrap();
+            assert_eq!(response.total_matches, reference, "{algo}");
         }
+    }
+
+    #[test]
+    fn reconfigure_validates() {
+        let mut system = LotusX::load_str(BIB).unwrap();
+        let bad = system.config().clone().threads(0);
+        assert!(matches!(
+            system.reconfigure(bad),
+            Err(LotusError::Config(_))
+        ));
+        assert_eq!(system.threads(), default_threads(), "unchanged on error");
+        let bad = system.config().clone().rank_weights(RankWeights {
+            structure: f64::NAN,
+            ..RankWeights::default()
+        });
+        assert!(matches!(
+            system.reconfigure(bad),
+            Err(LotusError::Config(_))
+        ));
     }
 
     #[test]
@@ -436,10 +980,13 @@ mod tests {
             Err(LotusError::Xml(_))
         ));
         let system = LotusX::load_str(BIB).unwrap();
-        assert!(matches!(
-            system.search("//book["),
-            Err(LotusError::Query(_))
-        ));
+        let err = system.query(&twig("//book[")).unwrap_err();
+        assert!(matches!(err, LotusError::Query(_)));
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains('^'),
+            "caret snippet in context: {rendered}"
+        );
         assert!(matches!(
             LotusX::load_file("/nonexistent/path.xml"),
             Err(LotusError::Io(_))
@@ -449,21 +996,22 @@ mod tests {
     #[test]
     fn output_marker_projects_results() {
         let system = LotusX::load_str(BIB).unwrap();
-        let outcome = system.search("//book[author!]/title").unwrap();
-        assert!(outcome.results[0].snippet.starts_with("<author>"));
+        let response = system.query(&twig("//book[author!]/title")).unwrap();
+        assert!(response.matches[0].snippet.starts_with("<author>"));
     }
 
     #[test]
     fn auto_algorithm_matches_pinned_results() {
         let mut system = LotusX::load_str(BIB).unwrap();
         let pinned = system
-            .search("//book[title][author]")
+            .query(&twig("//book[title][author]"))
             .unwrap()
             .total_matches;
-        system.set_auto_algorithm();
+        let config = system.config().clone().auto_algorithm();
+        system.reconfigure(config).unwrap();
         assert_eq!(
             system
-                .search("//book[title][author]")
+                .query(&twig("//book[title][author]"))
                 .unwrap()
                 .total_matches,
             pinned
@@ -480,8 +1028,8 @@ mod tests {
         system.save_snapshot(&path).unwrap();
         let reopened = LotusX::load_file(&path).unwrap();
         assert_eq!(
-            reopened.search("//book/title").unwrap().total_matches,
-            system.search("//book/title").unwrap().total_matches
+            reopened.query(&twig("//book/title")).unwrap().total_matches,
+            system.query(&twig("//book/title")).unwrap().total_matches
         );
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(
@@ -491,23 +1039,29 @@ mod tests {
     }
 
     #[test]
-    fn keyword_search_through_engine() {
+    fn keyword_search_through_query() {
         let system = LotusX::load_str(BIB).unwrap();
-        let hits = system.search_keywords("twigstack bruno");
-        assert_eq!(hits.len(), 1);
-        assert!(hits[0].snippet.starts_with("<article>"));
-        assert!(system.search_keywords("").is_empty());
-        // Result limit applies.
-        let mut limited = LotusX::load_str(BIB).unwrap();
-        limited.set_result_limit(1);
-        assert!(limited.search_keywords("title").len() <= 1);
+        let response = system
+            .query(&QueryRequest::keyword("twigstack bruno"))
+            .unwrap();
+        assert_eq!(response.matches.len(), 1);
+        assert!(response.matches[0].snippet.starts_with("<article>"));
+        assert!(response.rewrite.is_none());
+        let empty = system.query(&QueryRequest::keyword("")).unwrap();
+        assert!(empty.matches.is_empty());
+        // Per-request top_k applies; total is kept.
+        let limited = system
+            .query(&QueryRequest::keyword("title").top_k(1))
+            .unwrap();
+        assert!(limited.matches.len() <= 1);
+        assert!(limited.total_matches >= limited.matches.len());
     }
 
     #[test]
     fn ordered_query_through_engine() {
         let system = LotusX::load_str(BIB).unwrap();
-        let unordered = system.search("//book[title][year]").unwrap();
-        let ordered = system.search("ordered //book[title][year]").unwrap();
+        let unordered = system.query(&twig("//book[title][year]")).unwrap();
+        let ordered = system.query(&twig("ordered //book[title][year]")).unwrap();
         assert!(ordered.total_matches <= unordered.total_matches);
     }
 
@@ -520,49 +1074,117 @@ mod tests {
     #[test]
     fn repeated_queries_hit_the_cache() {
         let system = LotusX::load_str(BIB).unwrap();
-        let first = system.search("//book/title").unwrap();
+        let first = system.query(&twig("//book/title")).unwrap();
         assert_eq!(system.query_cache_stats().hits, 0);
         // Same pattern, different spelling: still one normalized key.
-        let second = system.search("  //book/title ").unwrap();
+        let second = system.query(&twig("  //book/title ")).unwrap();
         let stats = system.query_cache_stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.entries, 1);
         assert_eq!(second.total_matches, first.total_matches);
-        assert_eq!(second.results.len(), first.results.len());
+        assert_eq!(second.matches.len(), first.matches.len());
+    }
+
+    #[test]
+    fn profiles_report_cache_hits() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let miss = system.query(&twig("//book/title").profiled(true)).unwrap();
+        let p = miss.profile.expect("requested");
+        assert!(!p.cache_hit);
+        assert_eq!(p.algorithm.as_deref(), Some("twigstack"));
+        assert_eq!(p.candidates, 2);
+        assert_eq!(p.results, 2);
+        assert!(p.stage_ns("match") > 0);
+        assert!(p.stages_ns() <= p.total_ns());
+        let hit = system.query(&twig("//book/title").profiled(true)).unwrap();
+        let p = hit.profile.expect("requested");
+        assert!(p.cache_hit);
+        assert!(p.algorithm.is_none(), "cache hits never reach the join");
+        assert!(p.render().contains("cache: hit"));
+    }
+
+    #[test]
+    fn profiling_does_not_change_results() {
+        let system = LotusX::load_str(BIB).unwrap();
+        for q in ["//book/title", "//book[author]/title", "//book/writer"] {
+            let plain = system.query(&twig(q)).unwrap();
+            let fresh = LotusX::load_str(BIB).unwrap();
+            let profiled = fresh.query(&twig(q).profiled(true)).unwrap();
+            assert_eq!(plain.total_matches, profiled.total_matches, "{q}");
+            assert_eq!(plain.matches.len(), profiled.matches.len(), "{q}");
+            for (a, b) in plain.matches.iter().zip(&profiled.matches) {
+                assert_eq!(a.bindings, b.bindings, "{q}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "{q}");
+                assert_eq!(a.snippet, b.snippet, "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_renders_a_stage_tree() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let profile = system.explain("//book[author]/title").unwrap();
+        let text = profile.render();
+        assert!(text.contains("query: //book[author]/title"));
+        assert!(text.contains("parse"));
+        assert!(text.contains("match"));
+        assert!(text.contains("rank"));
+        assert!(text.contains("serialize"));
+        assert!(text.contains("total:"));
+        // Rewritten queries say so.
+        let rewritten = system.explain("//book/writer").unwrap();
+        assert!(rewritten.rewritten.is_some());
+        assert!(rewritten.render().contains("rewritten to:"));
+        assert!(rewritten.stage_ns("rewrite") > 0);
     }
 
     #[test]
     fn configuration_changes_invalidate_the_cache() {
         let mut system = LotusX::load_str(BIB).unwrap();
-        assert_eq!(system.search("//author").unwrap().results.len(), 3);
-        system.set_result_limit(1);
+        assert_eq!(system.query(&twig("//author")).unwrap().matches.len(), 3);
+        let config = system.config().clone().result_limit(1);
+        system.reconfigure(config).unwrap();
         // A stale cached outcome would still hold 3 results.
-        let outcome = system.search("//author").unwrap();
-        assert_eq!(outcome.results.len(), 1);
-        assert_eq!(outcome.total_matches, 3);
+        let response = system.query(&twig("//author")).unwrap();
+        assert_eq!(response.matches.len(), 1);
+        assert_eq!(response.total_matches, 3);
         assert_eq!(system.query_cache_stats().hits, 0);
     }
 
     #[test]
-    fn batch_search_matches_individual_searches() {
+    fn thread_only_changes_keep_the_cache() {
+        let mut system = LotusX::load_str(BIB).unwrap();
+        system.query(&twig("//author")).unwrap();
+        let config = system.config().clone().threads(2);
+        system.reconfigure(config).unwrap();
+        system.query(&twig("//author")).unwrap();
+        assert_eq!(system.query_cache_stats().hits, 1, "cache survives");
+    }
+
+    #[test]
+    fn batch_query_matches_individual_queries() {
         let system = LotusX::load_str(BIB).unwrap();
-        let queries = [
+        let requests: Vec<QueryRequest> = [
             "//book/title",
             "//author",
             "//book[",
             "//book[year >= 2000]",
-        ];
-        let batch = system.search_batch(&queries);
-        assert_eq!(batch.len(), queries.len());
-        for (q, outcome) in queries.iter().zip(&batch) {
-            match outcome {
+        ]
+        .iter()
+        .map(|q| QueryRequest::twig(*q))
+        .collect();
+        let batch = system.query_batch(&requests);
+        assert_eq!(batch.len(), requests.len());
+        for (request, response) in requests.iter().zip(&batch) {
+            match response {
                 Ok(got) => {
-                    let expect = system.search(q).unwrap();
+                    let expect = system.query(request).unwrap();
+                    let q = &request.text;
                     assert_eq!(got.total_matches, expect.total_matches, "{q}");
-                    assert_eq!(got.results.len(), expect.results.len(), "{q}");
+                    assert_eq!(got.matches.len(), expect.matches.len(), "{q}");
                 }
-                Err(e) => assert!(matches!(e, LotusError::Query(_)), "{q}"),
+                Err(e) => assert!(matches!(e, LotusError::Query(_))),
             }
         }
         assert!(batch[2].is_err(), "malformed query surfaces its error");
@@ -571,26 +1193,30 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_outcomes() {
         let mut serial = LotusX::load_str(BIB).unwrap();
-        serial.set_threads(1);
+        serial
+            .reconfigure(serial.config().clone().threads(1))
+            .unwrap();
         let mut parallel = LotusX::load_str(BIB).unwrap();
         for threads in [2, 8] {
-            parallel.set_threads(threads);
+            parallel
+                .reconfigure(parallel.config().clone().threads(threads))
+                .unwrap();
             assert_eq!(parallel.threads(), threads);
             for q in [
                 "//book/title",
                 "//book[title][author]",
                 "ordered //book[title][year]",
             ] {
-                let a = serial.search(q).unwrap();
-                let b = parallel.search(q).unwrap();
+                let a = serial.query(&twig(q)).unwrap();
+                let b = parallel.query(&twig(q)).unwrap();
                 assert_eq!(a.total_matches, b.total_matches, "{q} at {threads}");
                 let ka: Vec<_> = a
-                    .results
+                    .matches
                     .iter()
                     .map(|r| (r.bindings.clone(), r.score.to_bits()))
                     .collect();
                 let kb: Vec<_> = b
-                    .results
+                    .matches
                     .iter()
                     .map(|r| (r.bindings.clone(), r.score.to_bits()))
                     .collect();
@@ -613,5 +1239,25 @@ mod tests {
             before,
             "served from shared cache"
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let mut system = LotusX::load_str(BIB).unwrap();
+        system.set_threads(2);
+        system.set_algorithm(Algorithm::TJFast);
+        system.set_result_limit(2);
+        system.set_auto_rewrite(true);
+        system.set_rank_weights(RankWeights::default());
+        let outcome = system.search("//book/title").unwrap();
+        assert_eq!(outcome.total_matches, 2);
+        assert_eq!(outcome.results.len(), 2);
+        let batch = system.search_batch(&["//author", "//book["]);
+        assert!(batch[0].is_ok() && batch[1].is_err());
+        let hits = system.search_keywords("twigstack bruno");
+        assert_eq!(hits.len(), 1);
+        system.set_auto_algorithm();
+        assert_eq!(system.search("//book/title").unwrap().total_matches, 2);
     }
 }

@@ -18,13 +18,13 @@
 //!   per-keystroke position-aware completion.
 //!
 //! ```
-//! use lotusx::LotusX;
+//! use lotusx::{LotusX, QueryRequest};
 //!
 //! let system = LotusX::load_str(
 //!     "<bib><book><title>Data on the Web</title><year>1999</year></book></bib>").unwrap();
-//! let outcome = system.search("//book[year <= 2000]/title").unwrap();
-//! assert_eq!(outcome.results.len(), 1);
-//! assert!(outcome.results[0].snippet.contains("Data on the Web"));
+//! let response = system.query(&QueryRequest::twig("//book[year <= 2000]/title")).unwrap();
+//! assert_eq!(response.matches.len(), 1);
+//! assert!(response.matches[0].snippet.contains("Data on the Web"));
 //! ```
 
 #![warn(missing_docs)]
@@ -36,12 +36,18 @@ pub mod session;
 
 pub use canvas::{CanvasError, CanvasNodeId, QueryCanvas};
 pub use corpus::{Corpus, CorpusResult};
-pub use engine::{LotusError, LotusX, SearchOutcome, SearchResult};
+pub use engine::{
+    EngineConfig, LotusError, LotusX, QueryKind, QueryRequest, QueryResponse, SearchOutcome,
+    SearchResult,
+};
 pub use session::Session;
 
 // Re-export the vocabulary types callers need.
-pub use lotusx_autocomplete::{CompletionEngine, PositionContext, TagCandidate, ValueCandidate};
+pub use lotusx_autocomplete::{
+    CompletionEngine, CompletionState, PositionContext, TagCandidate, ValueCandidate,
+};
 pub use lotusx_index::IndexedDocument;
+pub use lotusx_obs::QueryProfile;
 pub use lotusx_rank::RankWeights;
 pub use lotusx_rewrite::{RankedRewrite, RewriterConfig};
 pub use lotusx_twig::{Algorithm, Axis, NodeTest, TwigPattern, ValuePredicate};

@@ -6,15 +6,14 @@
 
 use crate::canvas::{CanvasError, CanvasNodeId, QueryCanvas};
 use crate::engine::{LotusX, SearchOutcome};
-use lotusx_autocomplete::{CompletionEngine, TagCandidate, ValueCandidate};
+use lotusx_autocomplete::{CompletionEngine, CompletionState, TagCandidate, ValueCandidate};
 
 /// An interactive query-building session over one loaded document.
 pub struct Session<'a> {
     engine: &'a LotusX,
     completion: CompletionEngine<'a>,
     canvas: QueryCanvas,
-    focus: Option<CanvasNodeId>,
-    typed: String,
+    focus: Option<(CanvasNodeId, CompletionState)>,
     suggestion_k: usize,
 }
 
@@ -26,7 +25,6 @@ impl<'a> Session<'a> {
             engine,
             canvas: QueryCanvas::new(),
             focus: None,
-            typed: String::new(),
             suggestion_k: 8,
         }
     }
@@ -44,70 +42,73 @@ impl<'a> Session<'a> {
     /// Sets how many candidates each keystroke returns (default 8).
     pub fn set_suggestion_count(&mut self, k: usize) {
         self.suggestion_k = k;
+        if let Some((_, state)) = &mut self.focus {
+            state.set_k(k);
+        }
     }
 
     /// Focuses a canvas node for typing; returns the initial (empty-prefix)
     /// candidates for that position.
     pub fn focus(&mut self, node: CanvasNodeId) -> Result<Vec<TagCandidate>, CanvasError> {
         let ctx = self.canvas.context_of(node)?;
-        self.focus = Some(node);
-        self.typed.clear();
-        Ok(self.completion.complete_tag(&ctx, "", self.suggestion_k))
+        let state = CompletionState::new(&self.completion, ctx, self.suggestion_k);
+        let candidates = state.current(&self.completion);
+        self.focus = Some((node, state));
+        Ok(candidates)
     }
 
     /// The focused node, if any.
     pub fn focused(&self) -> Option<CanvasNodeId> {
-        self.focus
+        self.focus.as_ref().map(|(node, _)| *node)
     }
 
     /// Text typed into the focused node so far.
     pub fn typed(&self) -> &str {
-        &self.typed
+        self.focus
+            .as_ref()
+            .map(|(_, state)| state.typed())
+            .unwrap_or("")
     }
 
     /// Types one character into the focused node, returning the narrowed
     /// candidates.
     pub fn keystroke(&mut self, ch: char) -> Result<Vec<TagCandidate>, CanvasError> {
-        let node = self.focus.ok_or(CanvasError::NoSuchNode)?;
-        self.typed.push(ch);
-        let ctx = self.canvas.context_of(node)?;
-        Ok(self
-            .completion
-            .complete_tag(&ctx, &self.typed, self.suggestion_k))
+        let (node, state) = self.focus.as_mut().ok_or(CanvasError::NoSuchNode)?;
+        let ctx = self.canvas.context_of(*node)?;
+        state.ensure_context(&self.completion, &ctx);
+        Ok(state.keystroke(&self.completion, ch))
     }
 
     /// Deletes the last typed character.
     pub fn backspace(&mut self) -> Result<Vec<TagCandidate>, CanvasError> {
-        let node = self.focus.ok_or(CanvasError::NoSuchNode)?;
-        self.typed.pop();
-        let ctx = self.canvas.context_of(node)?;
-        Ok(self
-            .completion
-            .complete_tag(&ctx, &self.typed, self.suggestion_k))
+        let (node, state) = self.focus.as_mut().ok_or(CanvasError::NoSuchNode)?;
+        let ctx = self.canvas.context_of(*node)?;
+        state.ensure_context(&self.completion, &ctx);
+        Ok(state.backspace(&self.completion))
     }
 
     /// Accepts a candidate (or whatever has been typed) as the focused
     /// node's tag. With no candidate and nothing typed, the node's tag is
     /// left untouched.
     pub fn accept(&mut self, candidate: Option<&TagCandidate>) -> Result<(), CanvasError> {
-        let node = self.focus.ok_or(CanvasError::NoSuchNode)?;
+        let (node, state) = self.focus.as_mut().ok_or(CanvasError::NoSuchNode)?;
         let tag = match candidate {
             Some(c) => c.name.clone(),
-            None if self.typed.is_empty() => return Ok(()),
-            None => self.typed.clone(),
+            None if state.typed().is_empty() => return Ok(()),
+            None => state.typed().to_string(),
         };
-        self.canvas.set_tag(node, &tag)?;
-        self.typed.clear();
+        self.canvas.set_tag(*node, &tag)?;
+        state.clear_typed();
         Ok(())
     }
 
-    /// The candidates for the focused node at the current typed prefix.
-    pub fn current_candidates(&self) -> Result<Vec<TagCandidate>, CanvasError> {
-        let node = self.focus.ok_or(CanvasError::NoSuchNode)?;
-        let ctx = self.canvas.context_of(node)?;
-        Ok(self
-            .completion
-            .complete_tag(&ctx, &self.typed, self.suggestion_k))
+    /// The candidates for the focused node at the current typed prefix
+    /// (re-anchored if the canvas changed since the last keystroke).
+    pub fn current_candidates(&mut self) -> Result<Vec<TagCandidate>, CanvasError> {
+        let (node, state) = self.focus.as_mut().ok_or(CanvasError::NoSuchNode)?;
+        let ctx = self.canvas.context_of(*node)?;
+        state.ensure_context(&self.completion, &ctx);
+        Ok(state.current(&self.completion))
     }
 
     /// Accepts the current top candidate (falling back to the typed text
@@ -119,7 +120,8 @@ impl<'a> Session<'a> {
 
     /// Value-term suggestions for the focused node (after its tag is set).
     pub fn value_suggestions(&self, prefix: &str) -> Result<Vec<ValueCandidate>, CanvasError> {
-        let node = self.focus.ok_or(CanvasError::NoSuchNode)?;
+        let (node, _) = self.focus.as_ref().ok_or(CanvasError::NoSuchNode)?;
+        let node = *node;
         match self.canvas.tag(node)? {
             Some(tag) => Ok(self
                 .completion

@@ -1,0 +1,123 @@
+//! A tiny hand-rolled JSON emitter (this workspace has no serde) used to
+//! dump metrics snapshots in a `metrics.json`-able shape.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::MetricsSnapshot;
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+        h.count,
+        h.sum_ns,
+        h.mean_ns(),
+        h.max_ns,
+        h.p50_ns,
+        h.p95_ns,
+        h.p99_ns
+    )
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a pretty-printed JSON object with
+    /// `stages`, `counters` and `slow_queries` sections.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"stages\": {\n");
+        for (i, (name, h)) in self.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}: {}{}\n",
+                json_string(name),
+                histogram_json(h),
+                if i + 1 == self.stages.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  },\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {}: {}{}",
+                json_string(name),
+                v,
+                if i + 1 == self.counters.len() {
+                    "\n  "
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("},\n  \"slow_queries\": [");
+        for (i, q) in self.slow_queries.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {{\"query\":{},\"total_ns\":{},\"seq\":{}}}{}",
+                json_string(&q.query),
+                q.total_ns,
+                q.seq,
+                if i + 1 == self.slow_queries.len() {
+                    "\n  "
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Metrics, Stage};
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\t"), "\"line\\nbreak\\t\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn snapshot_renders_valid_looking_json() {
+        let m = Metrics::new();
+        m.record_stage(Stage::Total, 1_000);
+        m.incr("queries", 2);
+        m.slow_queries().set_threshold_ns(1);
+        m.slow_queries().record("//a[\"x\"]", 500_000);
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"total\": {\"count\":1"));
+        assert!(json.contains("\"queries\": 2"));
+        assert!(json.contains("\\\"x\\\""));
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders() {
+        let json = Metrics::new().snapshot().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"slow_queries\": []"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # lotusx-obs
+//!
+//! The observability substrate of the LotusX query pipeline: lightweight
+//! nestable timing spans, log2-bucketed latency histograms with
+//! p50/p95/p99, named counters, per-query [`QueryProfile`]s, a bounded
+//! slow-query log, and a `metrics.json`-able snapshot — all on `std`
+//! only (thread safety reuses the `lotusx-par` primitives).
+//!
+//! Two recording paths:
+//!
+//! * **Global metrics** — one process-wide [`Metrics`] registry behind an
+//!   [`enabled`] flag. Instrumented code guards every recording with
+//!   `obs::enabled()`, so the *entire* cost of the subsystem while
+//!   disabled is a few relaxed atomic loads.
+//! * **Per-query profiles** — a [`Span`] tree threaded through the
+//!   pipeline when one request opts in (`QueryRequest::profile`),
+//!   finished into a [`QueryProfile`] the caller can inspect or render
+//!   as the CLI `explain` tree.
+//!
+//! ```
+//! use lotusx_obs::{Span, QueryProfile};
+//!
+//! let root = Span::new("query");
+//! root.time("parse", |_| { /* … */ });
+//! root.time("match", |s| s.annotate("algorithm", "twigstack"));
+//! let profile = QueryProfile {
+//!     query: "//book/title".into(),
+//!     span: root.finish(),
+//!     ..Default::default()
+//! };
+//! assert!(profile.stages_ns() <= profile.total_ns());
+//! assert!(profile.render().contains("├─ parse"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod json;
+pub mod profile;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{fmt_ns, HistogramSnapshot, LatencyHistogram};
+pub use json::json_string;
+pub use profile::QueryProfile;
+pub use registry::{
+    enabled, metrics, set_enabled, time_stage, Metrics, MetricsSnapshot, SlowQuery, SlowQueryLog,
+    Stage,
+};
+pub use span::{Span, SpanGuard, SpanRecord};

@@ -1,0 +1,364 @@
+//! The global metrics registry: stage histograms, named counters and the
+//! slow-query log, behind one process-wide enable flag.
+//!
+//! Everything here is designed around the *overhead-when-disabled*
+//! budget: a disabled pipeline pays exactly one relaxed atomic load per
+//! potential recording site ([`enabled`]) and nothing else. When enabled,
+//! recordings are relaxed atomic adds (histograms, counters) or one short
+//! mutex push (slow-query log — taken only for queries over the
+//! threshold).
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use lotusx_par::ShardedMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Pipeline stages with a dedicated (array-indexed, hash-free) histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Query-text parsing.
+    Parse,
+    /// Empty-result rewriting.
+    Rewrite,
+    /// Twig matching (stream scans + joins).
+    Match,
+    /// Scoring and top-k selection.
+    Rank,
+    /// Snippet serialization.
+    Serialize,
+    /// Whole-query wall time.
+    Total,
+    /// Keyword (SLCA) search.
+    Keyword,
+    /// Per-keystroke tag completion.
+    CompleteTag,
+    /// Per-keystroke value completion.
+    CompleteValue,
+}
+
+impl Stage {
+    /// Every stage, in display order.
+    pub const ALL: [Stage; 9] = [
+        Stage::Parse,
+        Stage::Rewrite,
+        Stage::Match,
+        Stage::Rank,
+        Stage::Serialize,
+        Stage::Total,
+        Stage::Keyword,
+        Stage::CompleteTag,
+        Stage::CompleteValue,
+    ];
+
+    /// Stable snake-case name (used as the JSON key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Rewrite => "rewrite",
+            Stage::Match => "match",
+            Stage::Rank => "rank",
+            Stage::Serialize => "serialize",
+            Stage::Total => "total",
+            Stage::Keyword => "keyword",
+            Stage::CompleteTag => "complete_tag",
+            Stage::CompleteValue => "complete_value",
+        }
+    }
+}
+
+/// One slow query, as retained by the bounded slow-query log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// The query text.
+    pub query: String,
+    /// Its total wall time.
+    pub total_ns: u64,
+    /// Monotonic admission number (higher = more recent).
+    pub seq: u64,
+}
+
+/// A bounded log of the most recent queries over a latency threshold.
+pub struct SlowQueryLog {
+    entries: Mutex<VecDeque<SlowQuery>>,
+    capacity: usize,
+    threshold_ns: AtomicU64,
+    seq: AtomicU64,
+}
+
+/// Default slow-query threshold: 10ms.
+const DEFAULT_SLOW_THRESHOLD_NS: u64 = 10_000_000;
+
+/// Default slow-query log capacity.
+const DEFAULT_SLOW_CAPACITY: usize = 32;
+
+impl SlowQueryLog {
+    fn new(capacity: usize, threshold_ns: u64) -> Self {
+        SlowQueryLog {
+            entries: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            threshold_ns: AtomicU64::new(threshold_ns),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The current threshold in nanoseconds.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Sets the threshold.
+    pub fn set_threshold_ns(&self, ns: u64) {
+        self.threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Admits `query` if it is slow enough, evicting the oldest entry
+    /// when full. Returns whether it was admitted.
+    pub fn record(&self, query: &str, total_ns: u64) -> bool {
+        if total_ns < self.threshold_ns() {
+            return false;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("slow log poisoned");
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(SlowQuery {
+            query: query.to_string(),
+            total_ns,
+            seq,
+        });
+        true
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        self.entries
+            .lock()
+            .expect("slow log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    fn reset(&self) {
+        self.entries.lock().expect("slow log poisoned").clear();
+        self.seq.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The metrics registry: per-stage histograms, named counters, slow log.
+pub struct Metrics {
+    stages: [LatencyHistogram; Stage::ALL.len()],
+    counters: ShardedMap<&'static str, AtomicU64>,
+    slow: SlowQueryLog,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates an empty registry (the process-wide one is [`metrics`]).
+    pub fn new() -> Self {
+        Metrics {
+            stages: Default::default(),
+            counters: ShardedMap::new(),
+            slow: SlowQueryLog::new(DEFAULT_SLOW_CAPACITY, DEFAULT_SLOW_THRESHOLD_NS),
+        }
+    }
+
+    /// The histogram of one pipeline stage.
+    pub fn stage(&self, stage: Stage) -> &LatencyHistogram {
+        &self.stages[stage as usize]
+    }
+
+    /// Records one stage sample (no-op shorthand guarded by the caller).
+    pub fn record_stage(&self, stage: Stage, ns: u64) {
+        self.stage(stage).record_ns(ns);
+    }
+
+    /// Adds `n` to the named counter, creating it at zero first.
+    pub fn incr(&self, name: &'static str, n: u64) {
+        self.counters
+            .get_or_insert_with(name, || AtomicU64::new(0))
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value of a named counter (0 if never incremented).
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.counters
+            .get(&name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// The slow-query log.
+    pub fn slow_queries(&self) -> &SlowQueryLog {
+        &self.slow
+    }
+
+    /// Zeroes every histogram and counter and empties the slow log.
+    pub fn reset(&self) {
+        for h in &self.stages {
+            h.reset();
+        }
+        let mut names = Vec::new();
+        self.counters.for_each(|name, _| names.push(*name));
+        for name in names {
+            if let Some(c) = self.counters.get(&name) {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+        self.slow.reset();
+    }
+
+    /// A plain-data snapshot of everything in the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = Vec::new();
+        self.counters
+            .for_each(|name, c| counters.push((name.to_string(), c.load(Ordering::Relaxed))));
+        counters.sort();
+        MetricsSnapshot {
+            stages: Stage::ALL
+                .iter()
+                .map(|&s| (s.name(), self.stage(s).snapshot()))
+                .collect(),
+            counters,
+            slow_queries: self.slow.entries(),
+        }
+    }
+}
+
+/// A point-in-time view of a [`Metrics`] registry (see
+/// [`MetricsSnapshot::to_json`] for the `metrics.json` rendering).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Per-stage histogram snapshots, in [`Stage::ALL`] order.
+    pub stages: Vec<(&'static str, HistogramSnapshot)>,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Slow-query log entries, oldest first.
+    pub slow_queries: Vec<SlowQuery>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static METRICS: OnceLock<Metrics> = OnceLock::new();
+
+/// Is global metrics recording on? One relaxed load — the whole cost of
+/// the observability subsystem when profiling is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns global metrics recording on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide metrics registry.
+pub fn metrics() -> &'static Metrics {
+    METRICS.get_or_init(Metrics::new)
+}
+
+/// Runs `f`, recording its wall time into the global histogram of
+/// `stage` when recording is [`enabled`]. When disabled this is exactly
+/// one atomic load plus the call.
+pub fn time_stage<T>(stage: Stage, f: impl FnOnce() -> T) -> T {
+    if !enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let out = f();
+    metrics().record_stage(stage, start.elapsed().as_nanos() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_have_independent_histograms() {
+        let m = Metrics::new();
+        m.record_stage(Stage::Parse, 100);
+        m.record_stage(Stage::Parse, 200);
+        m.record_stage(Stage::Rank, 999);
+        assert_eq!(m.stage(Stage::Parse).count(), 2);
+        assert_eq!(m.stage(Stage::Rank).count(), 1);
+        assert_eq!(m.stage(Stage::Match).count(), 0);
+    }
+
+    #[test]
+    fn counters_create_on_first_increment() {
+        let m = Metrics::new();
+        assert_eq!(m.counter("queries"), 0);
+        m.incr("queries", 1);
+        m.incr("queries", 2);
+        assert_eq!(m.counter("queries"), 3);
+    }
+
+    #[test]
+    fn slow_log_is_bounded_and_thresholded() {
+        let log = SlowQueryLog::new(2, 1_000);
+        assert!(!log.record("fast", 999));
+        assert!(log.record("a", 1_000));
+        assert!(log.record("b", 5_000));
+        assert!(log.record("c", 9_000));
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2, "capacity evicts the oldest");
+        assert_eq!(entries[0].query, "b");
+        assert_eq!(entries[1].query, "c");
+        assert!(entries[1].seq > entries[0].seq);
+        log.set_threshold_ns(10_000);
+        assert!(!log.record("d", 9_999));
+    }
+
+    #[test]
+    fn snapshot_collects_everything() {
+        let m = Metrics::new();
+        m.record_stage(Stage::Total, 50_000);
+        m.incr("cache_hits", 4);
+        m.slow_queries().set_threshold_ns(1);
+        m.slow_queries().record("//slow", 77);
+        let s = m.snapshot();
+        assert_eq!(s.stages.len(), Stage::ALL.len());
+        let total = s.stages.iter().find(|(n, _)| *n == "total").unwrap();
+        assert_eq!(total.1.count, 1);
+        assert_eq!(s.counters, vec![("cache_hits".to_string(), 4)]);
+        assert_eq!(s.slow_queries.len(), 1);
+        m.reset();
+        let s = m.snapshot();
+        assert_eq!(s.counters, vec![("cache_hits".to_string(), 0)]);
+        assert!(s.slow_queries.is_empty());
+        assert_eq!(s.stages[0].1.count, 0);
+    }
+
+    #[test]
+    fn global_flag_gates_time_stage() {
+        assert!(!enabled());
+        let before = metrics().stage(Stage::CompleteValue).count();
+        assert_eq!(time_stage(Stage::CompleteValue, || 7), 7);
+        assert_eq!(
+            metrics().stage(Stage::CompleteValue).count(),
+            before,
+            "disabled: nothing recorded"
+        );
+        set_enabled(true);
+        assert!(enabled());
+        assert_eq!(time_stage(Stage::CompleteValue, || 8), 8);
+        assert_eq!(metrics().stage(Stage::CompleteValue).count(), before + 1);
+        set_enabled(false);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(Stage::Match.name(), "match");
+        assert_eq!(Stage::CompleteTag.name(), "complete_tag");
+        let names: std::collections::HashSet<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Stage::ALL.len(), "names are unique");
+    }
+}

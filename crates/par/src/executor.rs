@@ -5,6 +5,38 @@
 //! chunk order. Because chunk boundaries depend only on `(len, threads)`
 //! and recombination is ordered, the output never depends on scheduling —
 //! the invariant the parallel-vs-serial equivalence suite checks.
+//!
+//! The executor keeps process-wide usage counters ([`executor_stats`]):
+//! two relaxed atomic adds per combinator call, which the observability
+//! layer folds into its metrics snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide executor usage counters (see [`executor_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Combinator invocations (`par_map` / `par_chunks` / `par_fold`).
+    pub jobs: u64,
+    /// Worker threads spawned (0 for inline/serial runs).
+    pub threads_spawned: u64,
+}
+
+static JOBS: AtomicU64 = AtomicU64::new(0);
+static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide executor counters.
+pub fn executor_stats() -> ExecutorStats {
+    ExecutorStats {
+        jobs: JOBS.load(Ordering::Relaxed),
+        threads_spawned: THREADS_SPAWNED.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the executor counters to zero (tests and CLI `stats reset`).
+pub fn reset_executor_stats() {
+    JOBS.store(0, Ordering::Relaxed);
+    THREADS_SPAWNED.store(0, Ordering::Relaxed);
+}
 
 /// The number of worker threads to use by default: the `LOTUSX_THREADS`
 /// environment variable when set to a positive integer, otherwise the
@@ -45,9 +77,11 @@ where
     F: Fn(usize, &[T]) -> U + Sync,
 {
     let ranges = chunk_ranges(items.len(), threads);
+    JOBS.fetch_add(1, Ordering::Relaxed);
     if ranges.len() <= 1 {
         return ranges.into_iter().map(|r| f(r.start, &items[r])).collect();
     }
+    THREADS_SPAWNED.fetch_add(ranges.len() as u64, Ordering::Relaxed);
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
@@ -179,5 +213,25 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn executor_counters_are_monotonic() {
+        let items: Vec<u32> = (0..64).collect();
+        let before = executor_stats();
+        let _ = par_map(&items, 4, |x| x + 1);
+        let after = executor_stats();
+        assert!(after.jobs > before.jobs);
+        assert!(
+            after.threads_spawned >= before.threads_spawned + 2,
+            "a 4-way map spawns workers"
+        );
+        // Serial runs count the job but spawn nothing.
+        let before = executor_stats();
+        let _ = par_map(&items, 1, |x| x + 1);
+        assert!(executor_stats().jobs > before.jobs);
+        // Reset is only guaranteed exact when no other threads are
+        // running combinators; here just check it does not panic.
+        reset_executor_stats();
     }
 }

@@ -22,6 +22,9 @@ pub mod executor;
 pub mod lru;
 pub mod sharded;
 
-pub use executor::{default_threads, par_chunks, par_fold, par_map};
+pub use executor::{
+    default_threads, executor_stats, par_chunks, par_fold, par_map, reset_executor_stats,
+    ExecutorStats,
+};
 pub use lru::{CacheStats, ConcurrentLru};
 pub use sharded::ShardedMap;

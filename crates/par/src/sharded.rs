@@ -101,6 +101,17 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
             s.write().expect("shard poisoned").clear();
         }
     }
+
+    /// Visits every entry under per-shard read locks (shard order, then
+    /// arbitrary `HashMap` order within a shard). Do not call back into
+    /// the map from `f`.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &Arc<V>)) {
+        for s in self.shards.iter() {
+            for (k, v) in s.read().expect("shard poisoned").iter() {
+                f(k, v);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +127,18 @@ mod tests {
         assert_eq!(map.len(), 1);
         assert_eq!(map.get(&1).as_deref(), Some(&"one".to_string()));
         assert!(map.get(&2).is_none());
+    }
+
+    #[test]
+    fn for_each_visits_every_entry() {
+        let map: ShardedMap<u32, u32> = ShardedMap::with_shards(4);
+        for i in 0..50 {
+            map.insert(i, i + 1);
+        }
+        let mut seen = Vec::new();
+        map.for_each(|k, v| seen.push((*k, **v)));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).map(|i| (i, i + 1)).collect::<Vec<_>>());
     }
 
     #[test]

@@ -156,6 +156,26 @@ impl<'a> Ranker<'a> {
         k: usize,
         threads: usize,
     ) -> Vec<ScoredMatch> {
+        self.rank_top_k_spanned(pattern, matches, k, threads, None)
+    }
+
+    /// Like [`Self::rank_top_k`], recording the score/select and merge
+    /// phases as timed children of `span` when one is supplied. The span
+    /// never changes the ranking.
+    pub fn rank_top_k_spanned(
+        &self,
+        pattern: &TwigPattern,
+        matches: Vec<TwigMatch>,
+        k: usize,
+        threads: usize,
+        span: Option<&lotusx_obs::Span>,
+    ) -> Vec<ScoredMatch> {
+        let guard = span.map(|p| {
+            let g = p.child("score-select");
+            g.annotate("candidates", matches.len());
+            g.annotate("k", k);
+            g
+        });
         let collector = lotusx_par::par_fold(
             &matches,
             threads,
@@ -169,6 +189,8 @@ impl<'a> Ranker<'a> {
                 a
             },
         );
+        drop(guard);
+        let _sort = span.map(|p| p.child("sort"));
         collector
             .into_sorted()
             .into_iter()

@@ -109,6 +109,25 @@ impl<'a> Rewriter<'a> {
         self.rewrite_with_stats(original).0
     }
 
+    /// Like [`Self::rewrite`], annotating `span` (when supplied) with the
+    /// search statistics: frontier expansions, candidates pruned as
+    /// unsatisfiable by the DataGuide, and candidates executed against
+    /// the data. The span never changes the search.
+    pub fn rewrite_spanned(
+        &self,
+        original: &TwigPattern,
+        span: Option<&lotusx_obs::Span>,
+    ) -> Vec<RankedRewrite> {
+        let (rewrites, stats) = self.rewrite_with_stats(original);
+        if let Some(span) = span {
+            span.annotate("expansions", stats.expansions);
+            span.annotate("pruned-unsatisfiable", stats.pruned_unsatisfiable);
+            span.annotate("executions", stats.executions);
+            span.annotate("rewrites", rewrites.len());
+        }
+        rewrites
+    }
+
     /// Like [`Self::rewrite`], also returning search statistics.
     pub fn rewrite_with_stats(&self, original: &TwigPattern) -> (Vec<RankedRewrite>, RewriteStats) {
         let mut stats = RewriteStats::default();

@@ -5,6 +5,7 @@ use crate::matcher::TwigMatch;
 use crate::ordered::filter_ordered;
 use crate::pattern::TwigPattern;
 use lotusx_index::IndexedDocument;
+use lotusx_obs::Span;
 
 /// The available twig evaluation algorithms.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -84,14 +85,19 @@ pub fn select_algorithm(idx: &IndexedDocument, pattern: &TwigPattern) -> Algorit
     }
 }
 
-/// Evaluates `pattern` over `idx` with the chosen algorithm, applying the
-/// order-sensitivity filter if the pattern requests it.
-pub fn execute(
+/// The raw join: runs the chosen algorithm, partitioning across
+/// `threads` workers where the algorithm permits (see
+/// [`execute_parallel`] for why only the navigational baseline splits).
+fn join(
     idx: &IndexedDocument,
     pattern: &TwigPattern,
     algorithm: Algorithm,
+    threads: usize,
 ) -> Vec<TwigMatch> {
-    let matches = match algorithm {
+    if threads > 1 && algorithm == Algorithm::Naive {
+        return naive::evaluate_partitioned(idx, pattern, threads);
+    }
+    match algorithm {
         Algorithm::Naive => naive::evaluate(idx, pattern),
         Algorithm::StructuralJoin => structural_join::evaluate(idx, pattern),
         Algorithm::PathStack => {
@@ -104,12 +110,17 @@ pub fn execute(
         Algorithm::TwigStack => twigstack::evaluate(idx, pattern),
         Algorithm::TJFast => tjfast::evaluate(idx, pattern),
         Algorithm::TwigStackGuided => guided::evaluate(idx, pattern),
-    };
-    if pattern.is_ordered() {
-        filter_ordered(idx, pattern, matches)
-    } else {
-        matches
     }
+}
+
+/// Evaluates `pattern` over `idx` with the chosen algorithm, applying the
+/// order-sensitivity filter if the pattern requests it.
+pub fn execute(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    algorithm: Algorithm,
+) -> Vec<TwigMatch> {
+    execute_spanned(idx, pattern, algorithm, 1, None)
 }
 
 /// Like [`execute`], but partitions match enumeration across `threads`
@@ -130,14 +141,46 @@ pub fn execute_parallel(
     algorithm: Algorithm,
     threads: usize,
 ) -> Vec<TwigMatch> {
-    if threads <= 1 || algorithm != Algorithm::Naive {
-        return execute(idx, pattern, algorithm);
+    execute_spanned(idx, pattern, algorithm, threads, None)
+}
+
+/// Like [`execute_parallel`], recording the join and the ordered filter
+/// as timed children of `span` when one is supplied. The span never
+/// changes what is computed — results are identical with and without it.
+pub fn execute_spanned(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    algorithm: Algorithm,
+    threads: usize,
+    span: Option<&Span>,
+) -> Vec<TwigMatch> {
+    let matches = match span {
+        None => join(idx, pattern, algorithm, threads),
+        Some(parent) => {
+            let guard = parent.child(format!("join/{algorithm}"));
+            let effective = if algorithm == Algorithm::Naive {
+                threads.max(1)
+            } else {
+                1
+            };
+            guard.annotate("threads", effective);
+            let m = join(idx, pattern, algorithm, threads);
+            guard.annotate("matches", m.len());
+            m
+        }
+    };
+    if !pattern.is_ordered() {
+        return matches;
     }
-    let matches = naive::evaluate_partitioned(idx, pattern, threads);
-    if pattern.is_ordered() {
-        filter_ordered(idx, pattern, matches)
-    } else {
-        matches
+    match span {
+        None => filter_ordered(idx, pattern, matches),
+        Some(parent) => {
+            let guard = parent.child("ordered-filter");
+            guard.annotate("in", matches.len());
+            let out = filter_ordered(idx, pattern, matches);
+            guard.annotate("kept", out.len());
+            out
+        }
     }
 }
 
@@ -248,5 +291,26 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Algorithm::TwigStack.to_string(), "twigstack");
         assert_eq!(Algorithm::ALL.len(), 6);
+    }
+
+    #[test]
+    fn spans_observe_without_changing_results() {
+        let idx = idx();
+        let pattern = parse_query("ordered //book[title][author]").unwrap();
+        let plain = execute_parallel(&idx, &pattern, Algorithm::TwigStack, 2);
+        let span = Span::new("query");
+        let spanned = execute_spanned(&idx, &pattern, Algorithm::TwigStack, 2, Some(&span));
+        assert_eq!(plain, spanned);
+        let rec = span.finish();
+        let join = rec.child("join/twigstack").expect("join child recorded");
+        assert_eq!(join.note("matches"), Some("2"));
+        assert_eq!(
+            join.note("threads"),
+            Some("1"),
+            "holistic joins run serially"
+        );
+        let filter = rec.child("ordered-filter").expect("filter child");
+        assert_eq!(filter.note("in"), Some("2"));
+        assert_eq!(filter.note("kept"), Some("1"));
     }
 }

@@ -32,13 +32,48 @@
 use crate::pattern::{Axis, NodeTest, QNodeId, TwigPattern, ValuePredicate};
 use std::fmt;
 
-/// A query-parsing error with a byte position.
+/// A query-parsing error with a byte position and, when produced by
+/// [`parse_query`], a rendered snippet of the offending input.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// What went wrong.
     pub message: String,
     /// Byte offset in the query string.
     pub offset: usize,
+    /// A two-line window of the input with a caret under the offset,
+    /// shown by `Display`. `None` until [`ParseError::with_snippet`].
+    pub snippet: Option<String>,
+}
+
+/// Bytes of query context shown on each side of the error offset.
+const SNIPPET_RADIUS: usize = 30;
+
+impl ParseError {
+    /// Attaches a rendered context window of `input` around the error
+    /// offset (a truncated copy of the query plus a caret line).
+    pub fn with_snippet(mut self, input: &str) -> Self {
+        let offset = self.offset.min(input.len());
+        let mut start = offset.saturating_sub(SNIPPET_RADIUS);
+        while !input.is_char_boundary(start) {
+            start -= 1;
+        }
+        let mut end = (offset + SNIPPET_RADIUS).min(input.len());
+        while !input.is_char_boundary(end) {
+            end += 1;
+        }
+        let prefix = if start > 0 { "…" } else { "" };
+        let suffix = if end < input.len() { "…" } else { "" };
+        let window: String = input[start..end]
+            .chars()
+            .map(|c| if c == '\n' || c == '\t' { ' ' } else { c })
+            .collect();
+        let caret_col = prefix.chars().count() + input[start..offset].chars().count();
+        self.snippet = Some(format!(
+            "  {prefix}{window}{suffix}\n  {}^",
+            " ".repeat(caret_col)
+        ));
+        self
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -47,15 +82,22 @@ impl fmt::Display for ParseError {
             f,
             "query parse error at byte {}: {}",
             self.offset, self.message
-        )
+        )?;
+        if let Some(snippet) = &self.snippet {
+            write!(f, "\n{snippet}")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for ParseError {}
 
-/// Parses a query string into a [`TwigPattern`].
+/// Parses a query string into a [`TwigPattern`]. Errors carry a rendered
+/// snippet of the input around the failure offset.
 pub fn parse_query(input: &str) -> Result<TwigPattern, ParseError> {
-    Parser::new(input).parse()
+    Parser::new(input)
+        .parse()
+        .map_err(|e| e.with_snippet(input))
 }
 
 struct Parser<'a> {
@@ -77,6 +119,7 @@ impl<'a> Parser<'a> {
         Err(ParseError {
             message: message.into(),
             offset: self.pos,
+            snippet: None,
         })
     }
 
@@ -354,6 +397,7 @@ impl<'a> Parser<'a> {
             .map_err(|_| ParseError {
                 message: "expected a number".into(),
                 offset: start,
+                snippet: None,
             })
     }
 }
@@ -550,6 +594,39 @@ mod tests {
         assert!(parse_query("//book]").is_err());
         assert!(parse_query("//book[year > ]").is_err());
         assert!(parse_query(r#"//t[. = "unterminated]"#).is_err());
+    }
+
+    #[test]
+    fn errors_display_a_caret_snippet() {
+        let err = parse_query("//book[").unwrap_err();
+        let text = err.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("query parse error at byte"));
+        assert!(lines[1].contains("//book["));
+        // The caret sits under the error offset.
+        let caret_col = lines[2].find('^').expect("caret line");
+        let snippet_col = lines[1].find("//book[").unwrap();
+        assert_eq!(caret_col, snippet_col + err.offset, "{text}");
+    }
+
+    #[test]
+    fn long_inputs_are_windowed_with_ellipses() {
+        let long = format!("//{}[", "x".repeat(200));
+        let err = parse_query(&long).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains('…'), "{text}");
+        assert!(
+            text.lines().nth(1).unwrap().chars().count() < 80,
+            "window stays short: {text}"
+        );
+        // Without a snippet (direct construction) Display is one line.
+        let bare = ParseError {
+            message: "boom".into(),
+            offset: 3,
+            snippet: None,
+        };
+        assert_eq!(bare.to_string().lines().count(), 1);
     }
 
     #[test]

@@ -5,13 +5,13 @@
 //! cargo run --release --example auction_analytics
 //! ```
 
-use lotusx::{Algorithm, LotusX};
+use lotusx::{Algorithm, LotusX, QueryRequest};
 use lotusx_datagen::{generate, Dataset};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let doc = generate(Dataset::XmarkLike, 2, 7);
-    let mut system = LotusX::load_document(doc);
+    let system = LotusX::load_document(doc);
     let stats = system.index().stats();
     println!(
         "auction site: {} elements, max depth {}, {} distinct tags\n",
@@ -30,24 +30,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, query) in queries {
         println!("{label}: {query}");
-        let outcome = system.search(query)?;
-        println!("  {} matches", outcome.total_matches);
-        if let Some(best) = outcome.results.first() {
+        let response = system.query(&QueryRequest::twig(query))?;
+        println!("  {} matches", response.total_matches);
+        if let Some(best) = response.matches.first() {
             println!("  best: [{:.3}] {}", best.score, best.snippet);
         }
     }
 
     // Same query through every algorithm — identical answers, different
-    // costs (run with --release to see the spread clearly).
+    // costs (run with --release to see the spread clearly). The override
+    // rides on the request, so no engine reconfiguration is needed.
     println!("\nalgorithm comparison on //open_auction[bidder/increase >= 25]/itemref:");
     for algo in Algorithm::ALL {
-        system.set_algorithm(algo);
+        let request =
+            QueryRequest::twig("//open_auction[bidder/increase >= 25]/itemref").algorithm(algo);
         let start = Instant::now();
-        let outcome = system.search("//open_auction[bidder/increase >= 25]/itemref")?;
+        let response = system.query(&request)?;
         println!(
             "  {:<16} {:>6} matches in {:>9.3?}",
             algo.to_string(),
-            outcome.total_matches,
+            response.total_matches,
             start.elapsed()
         );
     }

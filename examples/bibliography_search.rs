@@ -7,7 +7,7 @@
 //! cargo run --example bibliography_search
 //! ```
 
-use lotusx::{Axis, LotusX, Session};
+use lotusx::{Axis, LotusX, QueryRequest, Session};
 use lotusx_datagen::{generate, Dataset};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Scene 3: typo recovery via rewriting --------------------------
-    let broken = system.search("//artcle/author")?;
+    let broken = system.query(&QueryRequest::twig("//artcle/author"))?;
     if let Some(info) = &broken.rewrite {
         println!(
             "\nuser typo '//artcle/author' → rewritten to {} ({:?}), {} matches",
@@ -73,12 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Scene 4: value search with ranking -----------------------------
-    let outcome = system.search(r#"//article[author ~ "smith"][year >= 2000]/title"#)?;
+    let response = system.query(&QueryRequest::twig(
+        r#"//article[author ~ "smith"][year >= 2000]/title"#,
+    ))?;
     println!(
         "\npost-2000 articles by Smith: {} matches; best: {}",
-        outcome.total_matches,
-        outcome
-            .results
+        response.total_matches,
+        response
+            .matches
             .first()
             .map(|r| r.snippet.as_str())
             .unwrap_or("(none)")

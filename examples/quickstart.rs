@@ -4,7 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use lotusx::LotusX;
+use lotusx::{LotusX, QueryRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Load & index an XML document (one call builds labels, tag
@@ -18,26 +18,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 2. Run a twig query: books with a title, output the title.
-    let outcome = system.search("//book/title")?;
-    println!("query //book/title → {} matches", outcome.total_matches);
-    for result in &outcome.results {
+    let response = system.query(&QueryRequest::twig("//book/title"))?;
+    println!("query //book/title → {} matches", response.total_matches);
+    for result in &response.matches {
         println!("  [{:.3}] {}", result.score, result.snippet);
     }
 
     // 3. Value predicates: equality, containment, numeric ranges.
-    let outcome = system.search(r#"//book[title ~ "web"]/author"#)?;
+    let response = system.query(&QueryRequest::twig(r#"//book[title ~ "web"]/author"#))?;
     println!(
         "\nbooks about the web → author: {}",
-        outcome.results[0].snippet
+        response.matches[0].snippet
     );
 
     // 4. Queries that come back empty are rewritten automatically:
     //    "writer" is not a tag in this document, but its synonym is.
-    let outcome = system.search("//book/writer")?;
-    if let Some(rewrite) = &outcome.rewrite {
+    let response = system.query(&QueryRequest::twig("//book/writer"))?;
+    if let Some(rewrite) = &response.rewrite {
         println!(
             "\n//book/writer was empty — rewritten to {} (penalty {:.1}), {} matches",
-            rewrite.pattern, rewrite.cost, outcome.total_matches
+            rewrite.pattern, rewrite.cost, response.total_matches
         );
     }
 
@@ -52,23 +52,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. Keyword search: no structure at all — the smallest subtrees
     //    covering every term, ranked.
-    let hits = system.search_keywords("holistic bruno");
+    let response = system.query(&QueryRequest::keyword("holistic bruno"))?;
     println!("\nkeyword search 'holistic bruno':");
-    for h in &hits {
+    for h in &response.matches {
         println!("  [{:.3}] {}", h.score, h.snippet);
     }
 
-    // 7. Attribute predicates and binary snapshots.
-    let outcome = system.search("//book[@year >= 2000]/title")?;
+    // 7. Per-request knobs ride on the request: top-k, algorithm, and an
+    //    execution profile showing where the time went.
+    let request = QueryRequest::twig("//book[@year >= 2000]/title")
+        .top_k(5)
+        .profiled(true);
+    let response = system.query(&request)?;
     println!(
         "\npost-2000 books (by attribute): {} match",
-        outcome.total_matches
+        response.total_matches
     );
+    let profile = response.profile.expect("requested with .profiled(true)");
+    print!("{}", profile.render());
+
+    // 8. Binary snapshots.
     let path = std::env::temp_dir().join("quickstart.ltsx");
     system.save_snapshot(&path)?;
     let reopened = lotusx::LotusX::load_file(&path)?;
     println!(
-        "snapshot reopened: {} elements",
+        "\nsnapshot reopened: {} elements",
         reopened.index().stats().element_count
     );
     std::fs::remove_file(&path)?;

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full pipeline (generate → parse →
 //! index → complete → query → rank → rewrite) on every dataset family.
 
-use lotusx::{Algorithm, Axis, LotusX, PositionContext, Session};
+use lotusx::{Algorithm, Axis, LotusX, PositionContext, QueryRequest, QueryResponse, Session};
 use lotusx_datagen::{generate, queries, Dataset};
 use lotusx_twig::matcher::match_is_valid;
 use lotusx_twig::xpath::parse_query;
@@ -10,15 +10,19 @@ fn system(ds: Dataset) -> LotusX {
     LotusX::load_document(generate(ds, 1, 4242))
 }
 
+fn run(sys: &LotusX, q: &str) -> QueryResponse {
+    sys.query(&QueryRequest::twig(q)).expect("query parses")
+}
+
 #[test]
 fn canonical_queries_return_valid_ranked_results() {
     for ds in Dataset::ALL {
         let sys = system(ds);
         for q in queries::queries(ds) {
-            let outcome = sys.search(q.text).expect("canonical query parses");
+            let response = run(&sys, q.text);
             let pattern = parse_query(q.text).unwrap();
             // Every reported result is a genuine match.
-            for r in &outcome.results {
+            for r in &response.matches {
                 let m = lotusx_twig::matcher::TwigMatch {
                     bindings: r.bindings.clone(),
                 };
@@ -26,7 +30,7 @@ fn canonical_queries_return_valid_ranked_results() {
                 assert!(!r.snippet.is_empty());
             }
             // Scores are non-increasing.
-            for w in outcome.results.windows(2) {
+            for w in response.matches.windows(2) {
                 assert!(w[0].score >= w[1].score, "{} {}", ds, q.id);
             }
         }
@@ -36,12 +40,12 @@ fn canonical_queries_return_valid_ranked_results() {
 #[test]
 fn every_algorithm_returns_identical_counts_end_to_end() {
     for ds in Dataset::ALL {
-        let mut sys = system(ds);
+        let sys = system(ds);
         for q in queries::queries(ds) {
             let mut counts = Vec::new();
             for algo in Algorithm::ALL {
-                sys.set_algorithm(algo);
-                counts.push(sys.search(q.text).unwrap().total_matches);
+                let request = QueryRequest::twig(q.text).algorithm(algo);
+                counts.push(sys.query(&request).unwrap().total_matches);
             }
             assert!(
                 counts.windows(2).all(|w| w[0] == w[1]),
@@ -64,11 +68,11 @@ fn broken_queries_recover_through_rewriting() {
         let sys = system(ds);
         for q in queries::broken_queries(ds) {
             total += 1;
-            let outcome = sys.search(q.text).expect("broken queries still parse");
-            if outcome.total_matches > 0 {
+            let response = run(&sys, q.text);
+            if response.total_matches > 0 {
                 recovered += 1;
                 assert!(
-                    outcome.rewrite.is_some(),
+                    response.rewrite.is_some(),
                     "{} {}: results without a rewrite?",
                     ds,
                     q.id
@@ -144,15 +148,15 @@ fn offered_candidates_are_reachable_by_query() {
             }
             query.push('/');
             query.push_str(&cand.name);
-            let outcome = sys.search(&query).unwrap();
+            let response = run(&sys, &query);
             assert!(
-                outcome.total_matches > 0,
+                response.total_matches > 0,
                 "candidate {} at /{} is a dead end",
                 cand.name,
                 trace.context_path.join("/")
             );
             assert_eq!(
-                outcome.total_matches as u64, cand.count,
+                response.total_matches as u64, cand.count,
                 "candidate count mismatch for {query}"
             );
         }
@@ -220,7 +224,10 @@ fn keyword_search_end_to_end() {
         bitmask.sort();
         assert_eq!(indexed, bitmask, "{ds}");
         // Through the engine facade: ranked, scored, non-empty.
-        let hits = sys.search_keywords(&terms.join(" "));
+        let hits = sys
+            .query(&QueryRequest::keyword(terms.join(" ")))
+            .unwrap()
+            .matches;
         assert!(!hits.is_empty(), "{ds}: {terms:?}");
         for w in hits.windows(2) {
             assert!(w[0].score >= w[1].score);
@@ -238,8 +245,8 @@ fn snapshot_roundtrip_preserves_query_results() {
     let reopened = lotusx::LotusX::load_file(&path).unwrap();
     for q in queries::queries(Dataset::XmarkLike) {
         assert_eq!(
-            reopened.search(q.text).unwrap().total_matches,
-            sys.search(q.text).unwrap().total_matches,
+            run(&reopened, q.text).total_matches,
+            run(&sys, q.text).total_matches,
             "{}",
             q.id
         );
@@ -253,17 +260,12 @@ fn auto_algorithm_selection_is_safe_on_canonical_workloads() {
         let mut sys = system(ds);
         let mut pinned = Vec::new();
         for q in queries::queries(ds) {
-            pinned.push(sys.search(q.text).unwrap().total_matches);
+            pinned.push(run(&sys, q.text).total_matches);
         }
-        sys.set_auto_algorithm();
+        let config = sys.config().clone().auto_algorithm();
+        sys.reconfigure(config).unwrap();
         for (q, expected) in queries::queries(ds).iter().zip(pinned) {
-            assert_eq!(
-                sys.search(q.text).unwrap().total_matches,
-                expected,
-                "{} {}",
-                ds,
-                q.id
-            );
+            assert_eq!(run(&sys, q.text).total_matches, expected, "{} {}", ds, q.id);
         }
     }
 }
@@ -272,25 +274,26 @@ fn auto_algorithm_selection_is_safe_on_canonical_workloads() {
 fn attribute_queries_end_to_end() {
     let sys = system(Dataset::XmarkLike);
     // Every person has an id attribute.
-    let with = sys.search("//person[@id]").unwrap().total_matches;
-    let all = sys.search("//person").unwrap().total_matches;
+    let with = run(&sys, "//person[@id]").total_matches;
+    let all = run(&sys, "//person").total_matches;
     assert_eq!(with, all);
     let mut none = system(Dataset::XmarkLike);
-    none.set_auto_rewrite(false);
-    assert_eq!(none.search("//person[@nosuch]").unwrap().total_matches, 0);
+    let config = none.config().clone().auto_rewrite(false);
+    none.reconfigure(config).unwrap();
+    assert_eq!(run(&none, "//person[@nosuch]").total_matches, 0);
     // Exact attribute lookup.
-    let one = sys.search(r#"//item[@id = "item0"]"#).unwrap();
+    let one = run(&sys, r#"//item[@id = "item0"]"#);
     assert_eq!(one.total_matches, 1);
 }
 
 #[test]
 fn ordered_queries_are_consistent_across_algorithms() {
-    let mut sys = system(Dataset::XmarkLike);
+    let sys = system(Dataset::XmarkLike);
     let q = "ordered //bidder[time][increase]";
     let mut counts = Vec::new();
     for algo in Algorithm::ALL {
-        sys.set_algorithm(algo);
-        counts.push(sys.search(q).unwrap().total_matches);
+        let request = QueryRequest::twig(q).algorithm(algo);
+        counts.push(sys.query(&request).unwrap().total_matches);
     }
     assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
     assert!(counts[0] > 0, "bidders always list time before increase");

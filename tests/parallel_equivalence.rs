@@ -7,7 +7,7 @@
 //! families at thread counts 1, 2 and 8 — including on a single-core
 //! host, where the chunked executor degenerates to a plain loop.
 
-use lotusx::LotusX;
+use lotusx::{LotusX, QueryRequest, QueryResponse};
 use lotusx_datagen::{generate, Dataset};
 use lotusx_index::{BuildOptions, IndexedDocument};
 
@@ -22,13 +22,13 @@ const QUERIES: [&str; 6] = [
     "//nosuchtag/title",
 ];
 
-/// A comparable projection of one search outcome: everything a caller
+/// A comparable projection of one query response: everything a caller
 /// can observe, with scores compared bit-for-bit.
-fn outcome_key(outcome: &lotusx::SearchOutcome) -> (usize, Vec<(u64, Vec<u32>, String)>) {
+fn response_key(response: &QueryResponse) -> (usize, Vec<(u64, Vec<u32>, String)>) {
     (
-        outcome.total_matches,
-        outcome
-            .results
+        response.total_matches,
+        response
+            .matches
             .iter()
             .map(|r| {
                 (
@@ -88,18 +88,18 @@ fn searches_are_identical_across_thread_counts() {
     for dataset in Dataset::ALL {
         let doc = generate(dataset, 1, 7);
         let mut reference = LotusX::load_document(doc.clone());
-        reference.set_threads(1);
-        reference.set_auto_algorithm();
+        let config = reference.config().clone().threads(1).auto_algorithm();
+        reference.reconfigure(config).unwrap();
         for threads in THREAD_COUNTS {
             let mut system = LotusX::load_document(doc.clone());
-            system.set_threads(threads);
-            system.set_auto_algorithm();
+            let config = system.config().clone().threads(threads).auto_algorithm();
+            system.reconfigure(config).unwrap();
             for q in QUERIES {
-                let a = reference.search(q).unwrap();
-                let b = system.search(q).unwrap();
+                let a = reference.query(&QueryRequest::twig(q)).unwrap();
+                let b = system.query(&QueryRequest::twig(q)).unwrap();
                 assert_eq!(
-                    outcome_key(&a),
-                    outcome_key(&b),
+                    response_key(&a),
+                    response_key(&b),
                     "{dataset}: {q} at {threads} threads"
                 );
             }
@@ -149,14 +149,16 @@ fn batch_search_is_identical_to_sequential_searches() {
     let doc = generate(Dataset::XmarkLike, 1, 3);
     for threads in THREAD_COUNTS {
         let mut system = LotusX::load_document(doc.clone());
-        system.set_threads(threads);
-        let batch = system.search_batch(&QUERIES);
+        let config = system.config().clone().threads(threads);
+        system.reconfigure(config).unwrap();
+        let requests: Vec<QueryRequest> = QUERIES.iter().map(|q| QueryRequest::twig(*q)).collect();
+        let batch = system.query_batch(&requests);
         for (q, got) in QUERIES.iter().zip(&batch) {
             let got = got.as_ref().unwrap();
-            let expect = system.search(q).unwrap();
+            let expect = system.query(&QueryRequest::twig(*q)).unwrap();
             assert_eq!(
-                outcome_key(got),
-                outcome_key(&expect),
+                response_key(got),
+                response_key(&expect),
                 "{q} at {threads} threads"
             );
         }
