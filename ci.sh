@@ -1,21 +1,127 @@
-#!/bin/sh
-# Offline CI: format, lint, build, test. No network access required.
-set -eux
+#!/usr/bin/env bash
+# Offline CI: staged, self-timing. No network access required.
+#
+#   ./ci.sh          run every stage (fmt, clippy, build, test, smoke,
+#                    robust-smoke) and print a per-stage timing table
+#   ./ci.sh --fast   skip the release build and both smoke stages
+#
+# Fails fast: the first failing stage aborts the run, names itself, and
+# still prints the timing table for the stages that ran.
+set -u
 
-cargo fmt --all -- --check
-cargo clippy --workspace --all-targets -- -D warnings
-# The observability crate must stay warning-free on its own too (it is
-# the one crate everything above lotusx-par depends on).
-cargo clippy -p lotusx-obs --all-targets -- -D warnings
-cargo build --release
-cargo test -q
-cargo test --workspace -q
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        *) echo "unknown option: $arg (supported: --fast)" >&2; exit 2 ;;
+    esac
+done
+
+STAGE_NAMES=()
+STAGE_TIMES=()
+FAILED_STAGE=""
+
+now_ns() { date +%s%N; }
+
+fmt_duration() {
+    # ns → "12.345s"
+    local ns=$1
+    printf '%d.%03ds' $((ns / 1000000000)) $(((ns / 1000000) % 1000))
+}
+
+print_summary() {
+    echo
+    echo "=== ci summary ==="
+    local i total=0
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '  %-14s %10s\n' "${STAGE_NAMES[$i]}" "$(fmt_duration "${STAGE_TIMES[$i]}")"
+        total=$((total + STAGE_TIMES[i]))
+    done
+    printf '  %-14s %10s\n' "total" "$(fmt_duration "$total")"
+    if [ -n "$FAILED_STAGE" ]; then
+        echo "FAILED at stage: $FAILED_STAGE"
+    else
+        echo "all stages passed"
+    fi
+}
+
+run_stage() {
+    local name=$1
+    shift
+    echo
+    echo "=== stage: $name ==="
+    local t0 t1
+    t0=$(now_ns)
+    "$@"
+    local status=$?
+    t1=$(now_ns)
+    STAGE_NAMES+=("$name")
+    STAGE_TIMES+=($((t1 - t0)))
+    if [ $status -ne 0 ]; then
+        FAILED_STAGE=$name
+        print_summary
+        exit $status
+    fi
+}
+
+stage_fmt() {
+    cargo fmt --all -- --check
+}
+
+stage_clippy() {
+    cargo clippy --workspace --all-targets -- -D warnings &&
+    # The observability crate must stay warning-free on its own too (it
+    # is the one crate everything above lotusx-par depends on).
+    cargo clippy -p lotusx-obs --all-targets -- -D warnings
+}
+
+stage_build() {
+    cargo build --release
+}
+
+stage_test() {
+    cargo test -q &&
+    cargo test --workspace -q
+}
 
 # Smoke-test the CLI observability surface headlessly: a scripted REPL
 # session exercising profile/explain/stats must run to completion, and
 # the explain output must contain the stage-timing tree.
-out=$(printf 'profile on\nexplain //book[author]/title\nquery //book/title\nquery //book/title\nalgo tjfast\nquery //book/title\nstats\nstats json\nquit\n' \
-    | cargo run --release -p lotusx --bin lotusx-cli)
-echo "$out" | grep -q 'parse'
-echo "$out" | grep -q 'total:'
-echo "$out" | grep -q 'cache_hit'
+stage_smoke() {
+    local out
+    out=$(printf 'profile on\nexplain //book[author]/title\nquery //book/title\nquery //book/title\nalgo tjfast\nquery //book/title\nstats\nstats json\nquit\n' \
+        | cargo run --release -p lotusx --bin lotusx-cli) || return 1
+    echo "$out" | grep -q 'parse' &&
+    echo "$out" | grep -q 'total:' &&
+    echo "$out" | grep -q 'cache_hit'
+}
+
+# Robustness smoke: a deliberately explosive all-wildcard query with a
+# 1 ms timeout against a deep synthetic corpus must come back promptly,
+# alive, and explicitly marked truncated — never hang, never panic.
+# Then a seeded stress run fires 200 randomized (often starved) queries
+# and fails if any panic escapes the engine.
+stage_robust_smoke() {
+    local out
+    out=$(printf 'timeout 1\nquery //*//*//*//*//*\nstats\nquit\n' \
+        | cargo run --release -p lotusx --bin lotusx-cli -- @treebank:4) || return 1
+    echo "$out" | grep -q 'truncated: deadline_exceeded' || {
+        echo "robust-smoke: expected a truncation marker in:" >&2
+        echo "$out" >&2
+        return 1
+    }
+    cargo run --release -p lotusx --bin lotusx-stress -- 200 42
+}
+
+run_stage fmt    stage_fmt
+run_stage clippy stage_clippy
+if [ "$FAST" -eq 0 ]; then
+    run_stage build stage_build
+fi
+run_stage test   stage_test
+if [ "$FAST" -eq 0 ]; then
+    run_stage smoke        stage_smoke
+    run_stage robust-smoke stage_robust_smoke
+fi
+
+print_summary

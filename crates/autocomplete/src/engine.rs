@@ -1,6 +1,7 @@
 //! The completion engine: position-aware tag and value candidates.
 
 use crate::context::PositionContext;
+use lotusx_guard::{QueryGuard, Ticker};
 use lotusx_index::{GuideNodeId, IndexedDocument, Trie};
 use lotusx_par::{par_map, ShardedMap};
 use lotusx_twig::Axis;
@@ -111,7 +112,11 @@ impl<'a> CompletionEngine<'a> {
     }
 
     /// The guide nodes where the *parent* of the focused node can sit.
-    fn context_anchors(&self, context: &PositionContext) -> Vec<GuideNodeId> {
+    ///
+    /// An anchor is only valid if it satisfies *every* context step, so
+    /// on a budget trip this returns no anchors at all (an empty
+    /// candidate list) rather than anchors from an unfinished step.
+    fn context_anchors(&self, context: &PositionContext, ticker: &mut Ticker) -> Vec<GuideNodeId> {
         let guide = self.idx.guide();
         let symbols = self.idx.document().symbols();
         let mut current = vec![GuideNodeId::ROOT];
@@ -129,6 +134,9 @@ impl<'a> CompletionEngine<'a> {
                 match step.axis {
                     Axis::Child => {
                         for &(tag, child) in guide.children(g) {
+                            if ticker.tick(1) {
+                                return Vec::new();
+                            }
                             if want.is_none() || want == Some(tag) {
                                 next.push(child);
                             }
@@ -136,6 +144,9 @@ impl<'a> CompletionEngine<'a> {
                     }
                     Axis::Descendant => {
                         for d in guide.descendants_or_self(g) {
+                            if ticker.tick(1) {
+                                return Vec::new();
+                            }
                             if d == g {
                                 continue;
                             }
@@ -169,8 +180,22 @@ impl<'a> CompletionEngine<'a> {
         prefix: &str,
         k: usize,
     ) -> Vec<TagCandidate> {
+        self.complete_tag_guarded(context, prefix, k, &QueryGuard::unlimited())
+    }
+
+    /// [`Self::complete_tag`] under a budget: anchor expansion and
+    /// count accumulation checkpoint per guide node; a tripped guard
+    /// yields fewer (or no) candidates, but every candidate returned is
+    /// a tag that genuinely occurs at the queried position.
+    pub fn complete_tag_guarded(
+        &self,
+        context: &PositionContext,
+        prefix: &str,
+        k: usize,
+        guard: &QueryGuard,
+    ) -> Vec<TagCandidate> {
         lotusx_obs::time_stage(lotusx_obs::Stage::CompleteTag, || {
-            self.complete_tag_inner(context, prefix, k)
+            self.complete_tag_inner(context, prefix, k, guard)
         })
     }
 
@@ -179,20 +204,25 @@ impl<'a> CompletionEngine<'a> {
         context: &PositionContext,
         prefix: &str,
         k: usize,
+        guard: &QueryGuard,
     ) -> Vec<TagCandidate> {
         if context.is_unconstrained() {
             return self.tag_global_inner(prefix, k);
         }
         let guide = self.idx.guide();
         let symbols = self.idx.document().symbols();
-        let anchors = self.context_anchors(context);
+        let mut ticker = guard.ticker();
+        let anchors = self.context_anchors(context, &mut ticker);
         let mut counts: HashMap<Symbol, u64> = HashMap::new();
         match context.axis_to_focus {
             Axis::Child => {
                 // Distinct anchors have disjoint child sets (the guide is
                 // a tree), so summing per anchor cannot double-count.
-                for g in anchors {
+                'anchors: for g in anchors {
                     for (tag, count) in guide.child_tag_counts(g) {
+                        if ticker.tick(1) {
+                            break 'anchors;
+                        }
                         *counts.entry(tag).or_insert(0) += count;
                     }
                 }
@@ -203,8 +233,11 @@ impl<'a> CompletionEngine<'a> {
                 // nodes once per enclosing anchor. Union the guide-node
                 // sets first, then count each node exactly once.
                 let mut under: HashSet<GuideNodeId> = HashSet::new();
-                for &g in &anchors {
+                'union: for &g in &anchors {
                     for d in guide.descendants_or_self(g) {
+                        if ticker.tick(1) {
+                            break 'union;
+                        }
                         if d != g {
                             under.insert(d);
                         }
@@ -275,22 +308,45 @@ impl<'a> CompletionEngine<'a> {
     /// Latency lands in the [`lotusx_obs::Stage::CompleteValue`]
     /// histogram while observability is enabled.
     pub fn complete_value(&self, tag: &str, prefix: &str, k: usize) -> Vec<ValueCandidate> {
+        self.complete_value_guarded(tag, prefix, k, &QueryGuard::unlimited())
+    }
+
+    /// [`Self::complete_value`] under a budget. The lazy per-tag trie
+    /// build is the expensive step, so it checkpoints per element
+    /// scanned; a trie left incomplete by a trip answers this call (its
+    /// terms are real, with possibly lowered counts) but is **not**
+    /// cached — the next unbudgeted call rebuilds it fully.
+    pub fn complete_value_guarded(
+        &self,
+        tag: &str,
+        prefix: &str,
+        k: usize,
+        guard: &QueryGuard,
+    ) -> Vec<ValueCandidate> {
         lotusx_obs::time_stage(lotusx_obs::Stage::CompleteValue, || {
             let Some(sym) = self.idx.document().symbols().get(tag) else {
                 return Vec::new();
             };
-            let vt = self
-                .cache
-                .map
-                .get_or_insert_with(sym, || build_value_trie(self.idx, sym));
-            vt.trie
-                .complete(prefix, k)
-                .into_iter()
-                .map(|c| ValueCandidate {
-                    term: vt.terms[c.payload as usize].clone(),
-                    count: c.weight,
-                })
-                .collect()
+            let complete_from = |vt: &ValueTrie| -> Vec<ValueCandidate> {
+                vt.trie
+                    .complete(prefix, k)
+                    .into_iter()
+                    .map(|c| ValueCandidate {
+                        term: vt.terms[c.payload as usize].clone(),
+                        count: c.weight,
+                    })
+                    .collect()
+            };
+            if let Some(vt) = self.cache.map.get(&sym) {
+                return complete_from(&vt);
+            }
+            let mut ticker = guard.ticker();
+            let vt = build_value_trie_ticked(self.idx, sym, &mut ticker);
+            let out = complete_from(&vt);
+            if !ticker.stopped() {
+                self.cache.map.get_or_insert_with(sym, || vt);
+            }
+            out
         })
     }
 
@@ -316,9 +372,16 @@ impl<'a> CompletionEngine<'a> {
 }
 
 fn build_value_trie(idx: &IndexedDocument, tag: Symbol) -> ValueTrie {
+    build_value_trie_ticked(idx, tag, &mut QueryGuard::unlimited().ticker())
+}
+
+fn build_value_trie_ticked(idx: &IndexedDocument, tag: Symbol, ticker: &mut Ticker) -> ValueTrie {
     let doc = idx.document();
     let mut counts: HashMap<String, u64> = HashMap::new();
     for entry in idx.tags().stream(tag) {
+        if ticker.tick(1) {
+            break;
+        }
         for term in lotusx_index::tokenize(&doc.direct_text(entry.node)) {
             *counts.entry(term).or_insert(0) += 1;
         }

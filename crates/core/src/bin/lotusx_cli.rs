@@ -8,8 +8,9 @@
 //! switching, ranked results, automatic rewriting of empty queries, and
 //! the observability surface (`profile`, `explain`, `stats`).
 
-use lotusx::{Algorithm, Axis, CanvasNodeId, LotusX, QueryRequest, Session};
+use lotusx::{Algorithm, Axis, Budget, CanvasNodeId, LotusX, QueryRequest, Session};
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 const SAMPLE: &str = r#"<bib>
   <book year="1999"><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author><publisher>Morgan Kaufmann</publisher></book>
@@ -24,6 +25,22 @@ fn main() {
 
     let arg = std::env::args().nth(1);
     let system = match &arg {
+        // `@dataset[:scale[:seed]]` loads a seeded synthetic corpus, e.g.
+        // `@treebank:2:7` — handy for robustness demos without files.
+        Some(spec) if spec.starts_with('@') => match parse_dataset_spec(spec) {
+            Some((dataset, scale, seed)) => {
+                let system = LotusX::load_document(lotusx_datagen::generate(dataset, scale, seed));
+                println!(
+                    "generated {dataset} corpus (scale {scale}, seed {seed}, {} elements)",
+                    system.index().stats().element_count
+                );
+                system
+            }
+            None => {
+                eprintln!("bad corpus spec {spec}: expected @dblp|@xmark|@treebank[:scale[:seed]]");
+                std::process::exit(1);
+            }
+        },
         Some(path) => match LotusX::load_file(path) {
             Ok(s) => {
                 println!(
@@ -48,6 +65,9 @@ fn main() {
     // Per-request join-algorithm override ("algo <name>"); the session
     // borrows the engine, so reconfiguration happens per request here.
     let mut algo_override: Option<Algorithm> = None;
+    // Per-request budget knobs ("timeout <ms>", "budget <nodes>"; 0 = off).
+    let mut timeout_ms: Option<u64> = None;
+    let mut node_budget: Option<u64> = None;
 
     println!("LotusX demo CLI — type 'help' for commands");
     loop {
@@ -93,9 +113,14 @@ fn main() {
                 Err(e) => println!("error: {e}"),
             },
             "keyword" => {
-                let request = QueryRequest::keyword(rest).profiled(lotusx_obs::enabled());
+                let request = QueryRequest::keyword(rest)
+                    .budget(build_budget(timeout_ms, node_budget))
+                    .profiled(lotusx_obs::enabled());
                 match system.query(&request) {
                     Ok(response) => {
+                        if let Some(reason) = response.completeness.truncation_reason() {
+                            println!("(truncated: {reason} — partial results)");
+                        }
                         println!("{} answers", response.total_matches);
                         for (i, h) in response.matches.iter().take(10).enumerate() {
                             println!(
@@ -113,10 +138,15 @@ fn main() {
                 }
             }
             "query" => {
-                let mut request = QueryRequest::twig(rest).profiled(lotusx_obs::enabled());
+                let mut request = QueryRequest::twig(rest)
+                    .budget(build_budget(timeout_ms, node_budget))
+                    .profiled(lotusx_obs::enabled());
                 request.algorithm = algo_override;
                 match system.query(&request) {
                     Ok(response) => {
+                        if let Some(reason) = response.completeness.truncation_reason() {
+                            println!("(truncated: {reason} — partial results)");
+                        }
                         if let Some(rw) = &response.rewrite {
                             println!(
                                 "(no results for the original query — rewritten to {} [penalty {:.1}])",
@@ -139,6 +169,34 @@ fn main() {
                     Err(e) => println!("error: {e}"),
                 }
             }
+            "timeout" => match rest.parse::<u64>() {
+                Ok(0) => {
+                    timeout_ms = None;
+                    println!("query timeout off");
+                }
+                Ok(ms) => {
+                    timeout_ms = Some(ms);
+                    println!("queries now time out after {ms} ms (partial results are marked)");
+                }
+                Err(_) => println!(
+                    "usage: timeout <ms> (0 = off; currently {})",
+                    timeout_ms.map_or("off".to_string(), |ms| format!("{ms} ms"))
+                ),
+            },
+            "budget" => match rest.parse::<u64>() {
+                Ok(0) => {
+                    node_budget = None;
+                    println!("node budget off");
+                }
+                Ok(n) => {
+                    node_budget = Some(n);
+                    println!("queries now stop after visiting ~{n} nodes");
+                }
+                Err(_) => println!(
+                    "usage: budget <nodes> (0 = off; currently {})",
+                    node_budget.map_or("off".to_string(), |n| format!("{n} nodes"))
+                ),
+            },
             "algo" => match parse_algorithm(rest) {
                 Some(a) => {
                     algo_override = Some(a);
@@ -260,6 +318,38 @@ fn parse_algorithm(name: &str) -> Option<Algorithm> {
     Algorithm::ALL.into_iter().find(|a| a.name() == name)
 }
 
+fn build_budget(timeout_ms: Option<u64>, node_budget: Option<u64>) -> Budget {
+    let mut budget = Budget::default();
+    if let Some(ms) = timeout_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(nodes) = node_budget {
+        budget = budget.with_node_quota(nodes);
+    }
+    budget
+}
+
+/// Parses `@dataset[:scale[:seed]]` into (dataset, scale, seed).
+fn parse_dataset_spec(spec: &str) -> Option<(lotusx_datagen::Dataset, u32, u64)> {
+    use lotusx_datagen::Dataset;
+    let mut parts = spec.trim_start_matches('@').split(':');
+    let dataset = match parts.next()? {
+        "dblp" => Dataset::DblpLike,
+        "xmark" => Dataset::XmarkLike,
+        "treebank" => Dataset::TreebankLike,
+        _ => return None,
+    };
+    let scale = match parts.next() {
+        Some(s) => s.parse().ok()?,
+        None => 1,
+    };
+    let seed = match parts.next() {
+        Some(s) => s.parse().ok()?,
+        None => 42,
+    };
+    Some((dataset, scale, seed))
+}
+
 fn print_stats(system: &LotusX) {
     let s = system.index().stats();
     println!(
@@ -311,6 +401,36 @@ fn print_stats(system: &LotusX) {
             .map(|(n, v)| format!("{n}={v}"))
             .collect();
         println!("counters: {}", rendered.join("  "));
+    }
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let queries = counter("queries");
+    let degraded = counter("degraded_responses");
+    if queries > 0 && (degraded > 0 || counter("worker_panics") > 0) {
+        println!(
+            "degradation: {degraded}/{queries} responses truncated ({:.1}%), \
+             {} past deadline, {} worker panics isolated",
+            100.0 * degraded as f64 / queries as f64,
+            counter("queries_deadline_exceeded"),
+            counter("worker_panics"),
+        );
+        if let Some((_, h)) = snapshot
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "deadline_overshoot")
+        {
+            println!(
+                "deadline overshoot: p50 {}  p99 {}  max {}",
+                lotusx_obs::fmt_ns(h.p50_ns),
+                lotusx_obs::fmt_ns(h.p99_ns),
+                lotusx_obs::fmt_ns(h.max_ns),
+            );
+        }
     }
     if !snapshot.slow_queries.is_empty() {
         println!("slow queries (threshold {}):", {
@@ -367,6 +487,11 @@ canvas (the GUI surrogate):
   run                execute the canvas (untyped nodes are wildcards)
 other:
   algo [name|auto]   per-request join algorithm override
-  help, quit"
+  timeout <ms>       wall-clock budget per query, 0 = off (partial results are marked)
+  budget <nodes>     node-visit budget per query, 0 = off
+  help, quit
+
+start with '@dblp', '@xmark' or '@treebank[:scale[:seed]]' instead of a
+file to load a seeded synthetic corpus."
     );
 }

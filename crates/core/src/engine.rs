@@ -1,21 +1,27 @@
 //! The LotusX engine: load, search, rank, rewrite.
 //!
 //! The engine is driven through one typed request/response pair:
-//! [`QueryRequest`] (twig or keyword text plus per-request overrides and
-//! an opt-in profiling flag) and [`QueryResponse`] (ranked matches plus an
+//! [`QueryRequest`] (twig or keyword text plus per-request overrides, an
+//! optional execution [`Budget`], and an opt-in profiling flag) and
+//! [`QueryResponse`] (ranked matches, a [`Completeness`] marker, plus an
 //! optional [`QueryProfile`] with the stage-timing tree). Configuration
 //! travels as a validated [`EngineConfig`] value applied atomically with
-//! [`LotusX::reconfigure`]. The pre-redesign entry points (`search`,
-//! `search_batch`, `search_keywords`, the `set_*` setters) survive as
-//! deprecated shims over the new API.
+//! [`LotusX::reconfigure`].
+//!
+//! Budgeted queries degrade gracefully: when a deadline or quota trips
+//! mid-query the engine stops at the next cooperative checkpoint and
+//! returns the best results found so far, marked
+//! [`Completeness::Truncated`] — never an error, and never silently
+//! passed off as a complete answer. Truncated outcomes are not cached.
 
 use lotusx_autocomplete::{CompletionEngine, ValueTrieCache};
+use lotusx_guard::{Budget, Completeness, QueryGuard, TruncationReason};
 use lotusx_index::{BuildOptions, IndexedDocument};
 use lotusx_obs::{QueryProfile, Span, Stage};
-use lotusx_par::{default_threads, par_map, CacheStats, ConcurrentLru};
+use lotusx_par::{default_threads, par_map_isolated, CacheStats, ConcurrentLru, WorkerPanic};
 use lotusx_rank::{RankWeights, Ranker};
 use lotusx_rewrite::{Rewriter, RewriterConfig};
-use lotusx_twig::exec::{execute_spanned, Algorithm};
+use lotusx_twig::exec::{execute_budgeted, Algorithm};
 use lotusx_twig::matcher::TwigMatch;
 use lotusx_twig::pattern::TwigPattern;
 use lotusx_twig::xpath::{parse_query, ParseError};
@@ -39,6 +45,10 @@ pub enum LotusError {
     Storage(String),
     /// An [`EngineConfig`] failed validation.
     Config(String),
+    /// A worker thread panicked while running this query in a batch. Only
+    /// the panicking slot fails; sibling queries in the same
+    /// [`LotusX::query_batch`] call still return their results.
+    WorkerPanic(WorkerPanic),
 }
 
 impl fmt::Display for LotusError {
@@ -49,6 +59,7 @@ impl fmt::Display for LotusError {
             LotusError::Io(e) => write!(f, "I/O error: {e}"),
             LotusError::Storage(e) => write!(f, "snapshot error: {e}"),
             LotusError::Config(e) => write!(f, "configuration error: {e}"),
+            LotusError::WorkerPanic(e) => write!(f, "worker panic: {e}"),
         }
     }
 }
@@ -68,6 +79,11 @@ impl From<ParseError> for LotusError {
 impl From<std::io::Error> for LotusError {
     fn from(e: std::io::Error) -> Self {
         LotusError::Io(e)
+    }
+}
+impl From<WorkerPanic> for LotusError {
+    fn from(e: WorkerPanic) -> Self {
+        LotusError::WorkerPanic(e)
     }
 }
 
@@ -269,6 +285,11 @@ pub struct QueryRequest {
     /// Per-request join algorithm (`None` = the engine's configuration;
     /// ignored by keyword searches).
     pub algorithm: Option<Algorithm>,
+    /// Execution budget: wall-clock deadline, work quotas and/or a
+    /// cancellation token. The default is unlimited. When a limit trips
+    /// the response carries the best results found so far and is marked
+    /// [`Completeness::Truncated`].
+    pub budget: Budget,
     /// Ask for a [`QueryProfile`] in the response. Profiling never
     /// changes the computed matches.
     pub profile: bool,
@@ -282,6 +303,7 @@ impl QueryRequest {
             kind: QueryKind::Twig,
             top_k: None,
             algorithm: None,
+            budget: Budget::unlimited(),
             profile: false,
         }
     }
@@ -306,6 +328,22 @@ impl QueryRequest {
         self
     }
 
+    /// Caps this request's execution with `budget`.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Shorthand: caps this request at a wall-clock deadline of `ms`
+    /// milliseconds.
+    pub fn deadline_ms(self, ms: u64) -> Self {
+        let budget = self
+            .budget
+            .clone()
+            .with_deadline(std::time::Duration::from_millis(ms));
+        self.budget(budget)
+    }
+
     /// Asks for (or suppresses) a per-query profile.
     pub fn profiled(mut self, on: bool) -> Self {
         self.profile = on;
@@ -323,6 +361,11 @@ pub struct QueryResponse {
     /// If the original query was empty and a rewrite produced these
     /// results: the rewritten query and what was changed.
     pub rewrite: Option<RewriteInfo>,
+    /// Whether the query ran to completion or was cut short by its
+    /// [`Budget`]. Truncated responses still hold valid matches — every
+    /// result returned is a true answer — but the set may be a prefix of
+    /// what an unbudgeted run would find.
+    pub completeness: Completeness,
     /// The execution profile, present iff the request asked for one.
     pub profile: Option<QueryProfile>,
 }
@@ -350,6 +393,8 @@ pub struct SearchOutcome {
     /// If the original query was empty and a rewrite produced these
     /// results: the rewritten query and what was changed.
     pub rewrite: Option<RewriteInfo>,
+    /// Whether the search ran to completion or was cut short by a budget.
+    pub completeness: Completeness,
 }
 
 /// Provenance of an automatic rewrite.
@@ -391,6 +436,26 @@ fn run_stage<T>(
         lotusx_obs::metrics().record_stage(stage, t0.elapsed().as_nanos() as u64);
     }
     out
+}
+
+/// Records degradation metrics (degraded-response and deadline counters,
+/// the deadline-overshoot histogram) for a truncated outcome. A no-op for
+/// complete outcomes or when recording is off.
+fn note_degradation(recording: bool, guard: &QueryGuard, completeness: Completeness) {
+    let Some(reason) = completeness.truncation_reason() else {
+        return;
+    };
+    if !recording {
+        return;
+    }
+    let m = lotusx_obs::metrics();
+    m.incr("degraded_responses", 1);
+    if reason == TruncationReason::DeadlineExceeded {
+        m.incr("queries_deadline_exceeded", 1);
+        if let Some(overshoot) = guard.deadline_overshoot() {
+            m.record_named("deadline_overshoot", overshoot.as_nanos() as u64);
+        }
+    }
 }
 
 /// The LotusX system over one loaded document.
@@ -489,20 +554,6 @@ impl LotusX {
         Ok(())
     }
 
-    /// Pins the join algorithm (default: TwigStack).
-    #[deprecated(note = "use `reconfigure` with `EngineConfig::algorithm`")]
-    pub fn set_algorithm(&mut self, algorithm: Algorithm) {
-        let config = self.config.clone().algorithm(algorithm);
-        self.reconfigure(config).expect("still valid");
-    }
-
-    /// Lets the engine pick an algorithm per query.
-    #[deprecated(note = "use `reconfigure` with `EngineConfig::auto_algorithm`")]
-    pub fn set_auto_algorithm(&mut self) {
-        let config = self.config.clone().auto_algorithm();
-        self.reconfigure(config).expect("still valid");
-    }
-
     /// The pinned join algorithm (the default when auto-selection is on).
     pub fn algorithm(&self) -> Algorithm {
         self.config.algorithm.unwrap_or(Algorithm::TwigStack)
@@ -516,38 +567,6 @@ impl LotusX {
         request_override
             .or(self.config.algorithm)
             .unwrap_or_else(|| lotusx_twig::select_algorithm(&self.idx, pattern))
-    }
-
-    /// Sets the ranking weights.
-    #[deprecated(note = "use `reconfigure` with `EngineConfig::rank_weights`")]
-    pub fn set_rank_weights(&mut self, weights: RankWeights) {
-        let config = self.config.clone().rank_weights(weights);
-        if self.reconfigure(config).is_err() {
-            // Preserve the old setter's silence on odd weights.
-            self.config.weights = weights;
-            self.config_generation += 1;
-        }
-    }
-
-    /// Enables/disables automatic rewriting of empty-result queries.
-    #[deprecated(note = "use `reconfigure` with `EngineConfig::auto_rewrite`")]
-    pub fn set_auto_rewrite(&mut self, on: bool) {
-        let config = self.config.clone().auto_rewrite(on);
-        self.reconfigure(config).expect("still valid");
-    }
-
-    /// Sets how many ranked results a search returns (default 100).
-    #[deprecated(note = "use `reconfigure` with `EngineConfig::result_limit`")]
-    pub fn set_result_limit(&mut self, limit: usize) {
-        let config = self.config.clone().result_limit(limit);
-        self.reconfigure(config).expect("still valid");
-    }
-
-    /// Sets the worker-thread count (clamped to at least 1).
-    #[deprecated(note = "use `reconfigure` with `EngineConfig::threads`")]
-    pub fn set_threads(&mut self, threads: usize) {
-        let config = self.config.clone().threads(threads.max(1));
-        self.reconfigure(config).expect("still valid");
     }
 
     /// The configured worker-thread count.
@@ -583,8 +602,22 @@ impl LotusX {
 
     /// Runs many requests, partitioned across the worker threads. The
     /// result at position `i` is exactly `self.query(&requests[i])`.
+    ///
+    /// Worker panics are isolated: a panic while running one request
+    /// surfaces as [`LotusError::WorkerPanic`] in that slot (after a
+    /// serial retry of the affected chunk narrows it to the poisoned
+    /// request) while every sibling request still completes normally.
     pub fn query_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse, LotusError>> {
-        par_map(requests, self.config.threads, |r| self.query(r))
+        par_map_isolated(requests, self.config.threads, |r| self.query(r))
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(response) => response,
+                Err(panic) => {
+                    lotusx_obs::metrics().incr("worker_panics", 1);
+                    Err(LotusError::WorkerPanic(panic))
+                }
+            })
+            .collect()
     }
 
     /// Profiles one twig query: shorthand for a profiled [`Self::query`],
@@ -602,6 +635,7 @@ impl LotusX {
         let started = recording.then(Instant::now);
         let root = request.profile.then(|| Span::new("query"));
         let span = root.as_ref();
+        let guard = QueryGuard::new(&request.budget);
 
         let parsed = run_stage(span, Stage::Parse, recording, |_| {
             parse_query(&request.text)
@@ -634,14 +668,31 @@ impl LotusX {
         }
 
         let (outcome, executed_algorithm) = match cached {
+            // Cache hits are always complete answers (truncated outcomes
+            // are never inserted), so they satisfy any budget as-is.
             Some(outcome) => ((*outcome).clone(), None),
+            // Exhausted before any work ran (zero budget, pre-cancelled
+            // token, or the deadline already passed): nothing but the
+            // truncation marker.
+            None if guard.checkpoint() => (
+                SearchOutcome {
+                    results: Vec::new(),
+                    total_matches: 0,
+                    rewrite: None,
+                    completeness: guard.completeness(),
+                },
+                None,
+            ),
             None => {
                 let (outcome, algorithm) =
-                    self.run_pattern(&pattern, limit, request.algorithm, span, recording);
-                self.query_cache.insert(key, outcome.clone());
+                    self.run_pattern(&pattern, limit, request.algorithm, span, recording, &guard);
+                if outcome.completeness.is_complete() {
+                    self.query_cache.insert(key, outcome.clone());
+                }
                 (outcome, Some(algorithm))
             }
         };
+        note_degradation(recording, &guard, outcome.completeness);
 
         if let Some(t0) = started {
             let total_ns = t0.elapsed().as_nanos() as u64;
@@ -652,6 +703,9 @@ impl LotusX {
 
         let profile = root.map(|r| {
             r.annotate("cache", if hit { "hit" } else { "miss" });
+            if let Some(reason) = outcome.completeness.truncation_reason() {
+                r.annotate("truncated", reason.name());
+            }
             QueryProfile {
                 query: request.text.clone(),
                 executed: pattern.to_string(),
@@ -669,6 +723,7 @@ impl LotusX {
             matches: outcome.results,
             total_matches: outcome.total_matches,
             rewrite: outcome.rewrite,
+            completeness: outcome.completeness,
             profile,
         })
     }
@@ -678,8 +733,16 @@ impl LotusX {
         let started = recording.then(Instant::now);
         let root = request.profile.then(|| Span::new("query"));
         let limit = request.top_k.unwrap_or(self.config.result_limit);
+        // Keyword (SLCA) search runs to completion once started, so the
+        // budget gates only whether it starts at all: an exhausted budget
+        // yields an empty truncated response, anything else a complete
+        // one.
+        let guard = QueryGuard::new(&request.budget);
+        let exhausted = guard.checkpoint();
 
-        let (results, total_matches) =
+        let (results, total_matches) = if exhausted {
+            (Vec::new(), 0)
+        } else {
             run_stage(root.as_ref(), Stage::Keyword, recording, |span| {
                 let engine = lotusx_keyword::KeywordEngine::new(&self.idx);
                 let doc = self.idx.document();
@@ -699,7 +762,9 @@ impl LotusX {
                     })
                     .collect();
                 (results, total)
-            });
+            })
+        };
+        note_degradation(recording, &guard, guard.completeness());
 
         if let Some(t0) = started {
             let total_ns = t0.elapsed().as_nanos() as u64;
@@ -726,26 +791,9 @@ impl LotusX {
             matches: results,
             total_matches,
             rewrite: None,
+            completeness: guard.completeness(),
             profile,
         }
-    }
-
-    /// Parses and runs a textual query.
-    #[deprecated(note = "use `query` with `QueryRequest::twig`")]
-    pub fn search(&self, query: &str) -> Result<SearchOutcome, LotusError> {
-        let response = self.query(&QueryRequest::twig(query))?;
-        Ok(SearchOutcome {
-            results: response.matches,
-            total_matches: response.total_matches,
-            rewrite: response.rewrite,
-        })
-    }
-
-    /// Runs many queries, partitioned across the worker threads.
-    #[deprecated(note = "use `query_batch` with `QueryRequest`s")]
-    pub fn search_batch(&self, queries: &[&str]) -> Vec<Result<SearchOutcome, LotusError>> {
-        #[allow(deprecated)]
-        par_map(queries, self.config.threads, |q| self.search(q))
     }
 
     /// Runs a twig pattern: execute → (rewrite if empty) → rank. This is
@@ -753,8 +801,15 @@ impl LotusX {
     /// `Session::run`.
     pub fn search_pattern(&self, pattern: &TwigPattern) -> SearchOutcome {
         let recording = lotusx_obs::enabled();
-        self.run_pattern(pattern, self.config.result_limit, None, None, recording)
-            .0
+        self.run_pattern(
+            pattern,
+            self.config.result_limit,
+            None,
+            None,
+            recording,
+            &QueryGuard::unlimited(),
+        )
+        .0
     }
 
     /// Executes, possibly rewrites, ranks and serializes one pattern.
@@ -766,14 +821,18 @@ impl LotusX {
         algorithm_override: Option<Algorithm>,
         span: Option<&Span>,
         recording: bool,
+        guard: &QueryGuard,
     ) -> (SearchOutcome, Algorithm) {
         let algorithm = self.algorithm_for(pattern, algorithm_override);
         let matches = run_stage(span, Stage::Match, recording, |s| {
-            execute_spanned(&self.idx, pattern, algorithm, self.config.threads, s)
+            execute_budgeted(&self.idx, pattern, algorithm, self.config.threads, s, guard)
         });
-        if !matches.is_empty() || !self.config.auto_rewrite {
+        // A tripped guard suppresses rewriting: a truncated empty run says
+        // nothing about whether the query is truly empty, and the budget
+        // is spent anyway.
+        if !matches.is_empty() || !self.config.auto_rewrite || guard.is_tripped() {
             return (
-                self.finish(pattern, matches, None, limit, span, recording),
+                self.finish(pattern, matches, None, limit, span, recording, guard),
                 algorithm,
             );
         }
@@ -790,7 +849,14 @@ impl LotusX {
             Some(best) => {
                 let algorithm = self.algorithm_for(&best.pattern, algorithm_override);
                 let matches = run_stage(span, Stage::Match, recording, |s| {
-                    execute_spanned(&self.idx, &best.pattern, algorithm, self.config.threads, s)
+                    execute_budgeted(
+                        &self.idx,
+                        &best.pattern,
+                        algorithm,
+                        self.config.threads,
+                        s,
+                        guard,
+                    )
                 });
                 let info = RewriteInfo {
                     pattern: best.pattern.clone(),
@@ -798,17 +864,26 @@ impl LotusX {
                     ops: best.ops,
                 };
                 (
-                    self.finish(&best.pattern, matches, Some(info), limit, span, recording),
+                    self.finish(
+                        &best.pattern,
+                        matches,
+                        Some(info),
+                        limit,
+                        span,
+                        recording,
+                        guard,
+                    ),
                     algorithm,
                 )
             }
             None => (
-                self.finish(pattern, Vec::new(), None, limit, span, recording),
+                self.finish(pattern, Vec::new(), None, limit, span, recording, guard),
                 algorithm,
             ),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         pattern: &TwigPattern,
@@ -817,11 +892,12 @@ impl LotusX {
         limit: usize,
         span: Option<&Span>,
         recording: bool,
+        guard: &QueryGuard,
     ) -> SearchOutcome {
         let total_matches = matches.len();
         let ranked = run_stage(span, Stage::Rank, recording, |s| {
             let ranker = Ranker::with_weights(&self.idx, self.config.weights);
-            ranker.rank_top_k_spanned(pattern, matches, limit, self.config.threads, s)
+            ranker.rank_top_k_budgeted(pattern, matches, limit, self.config.threads, s, guard)
         });
         let results = run_stage(span, Stage::Serialize, recording, |s| {
             let doc = self.idx.document();
@@ -849,6 +925,7 @@ impl LotusX {
             results,
             total_matches,
             rewrite,
+            completeness: guard.completeness(),
         }
     }
 
@@ -857,13 +934,6 @@ impl LotusX {
     /// completion request is reused by every later engine.
     pub fn completion_engine(&self) -> CompletionEngine<'_> {
         CompletionEngine::with_cache(&self.idx, Arc::clone(&self.value_cache))
-    }
-
-    /// Free-text keyword search: ranked smallest subtrees (SLCA) covering
-    /// every query term.
-    #[deprecated(note = "use `query` with `QueryRequest::keyword`")]
-    pub fn search_keywords(&self, query: &str) -> Vec<SearchResult> {
-        self.query_keyword(&QueryRequest::keyword(query)).matches
     }
 }
 
@@ -1242,22 +1312,103 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let mut system = LotusX::load_str(BIB).unwrap();
-        system.set_threads(2);
-        system.set_algorithm(Algorithm::TJFast);
-        system.set_result_limit(2);
-        system.set_auto_rewrite(true);
-        system.set_rank_weights(RankWeights::default());
-        let outcome = system.search("//book/title").unwrap();
-        assert_eq!(outcome.total_matches, 2);
-        assert_eq!(outcome.results.len(), 2);
-        let batch = system.search_batch(&["//author", "//book["]);
-        assert!(batch[0].is_ok() && batch[1].is_err());
-        let hits = system.search_keywords("twigstack bruno");
-        assert_eq!(hits.len(), 1);
-        system.set_auto_algorithm();
-        assert_eq!(system.search("//book/title").unwrap().total_matches, 2);
+    fn unbudgeted_queries_are_complete() {
+        let system = LotusX::load_str(BIB).unwrap();
+        let response = system.query(&twig("//book/title")).unwrap();
+        assert!(response.completeness.is_complete());
+        let keyword = system.query(&QueryRequest::keyword("twigstack")).unwrap();
+        assert!(keyword.completeness.is_complete());
+    }
+
+    #[test]
+    fn zero_budget_truncates_immediately() {
+        use lotusx_guard::Budget;
+        let system = LotusX::load_str(BIB).unwrap();
+        let budget = Budget::default().with_node_quota(0);
+        let response = system.query(&twig("//book/title").budget(budget)).unwrap();
+        assert!(!response.completeness.is_complete());
+        assert!(response.matches.is_empty());
+        assert_eq!(response.total_matches, 0);
+        // A zero deadline behaves the same, on both query kinds.
+        let response = system.query(&twig("//author").deadline_ms(0)).unwrap();
+        assert_eq!(
+            response.completeness.truncation_reason(),
+            Some(TruncationReason::DeadlineExceeded)
+        );
+        let keyword = system
+            .query(&QueryRequest::keyword("twigstack").deadline_ms(0))
+            .unwrap();
+        assert!(!keyword.completeness.is_complete());
+        assert!(keyword.matches.is_empty());
+    }
+
+    #[test]
+    fn cancelled_token_truncates() {
+        use lotusx_guard::{Budget, CancelToken};
+        let system = LotusX::load_str(BIB).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::default().with_cancel(token);
+        let response = system.query(&twig("//author").budget(budget)).unwrap();
+        assert_eq!(
+            response.completeness.truncation_reason(),
+            Some(TruncationReason::Cancelled)
+        );
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_run() {
+        use lotusx_guard::Budget;
+        let system = LotusX::load_str(BIB).unwrap();
+        let plain = system.query(&twig("//book[author]/title")).unwrap();
+        let fresh = LotusX::load_str(BIB).unwrap();
+        let budget = Budget::default()
+            .with_deadline(std::time::Duration::from_secs(60))
+            .with_node_quota(1_000_000);
+        let budgeted = fresh
+            .query(&twig("//book[author]/title").budget(budget))
+            .unwrap();
+        assert!(budgeted.completeness.is_complete());
+        assert_eq!(budgeted.total_matches, plain.total_matches);
+        for (a, b) in plain.matches.iter().zip(&budgeted.matches) {
+            assert_eq!(a.bindings, b.bindings);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_outcomes_are_not_cached() {
+        use lotusx_guard::Budget;
+        let system = LotusX::load_str(BIB).unwrap();
+        let starved = Budget::default().with_node_quota(0);
+        let first = system.query(&twig("//book/title").budget(starved)).unwrap();
+        assert!(!first.completeness.is_complete());
+        // The full-budget rerun must not be served the truncated outcome.
+        let second = system.query(&twig("//book/title")).unwrap();
+        assert!(second.completeness.is_complete());
+        assert_eq!(second.total_matches, 2);
+        let stats = system.query_cache_stats();
+        assert_eq!(stats.hits, 0, "nothing to hit: truncation never cached");
+        // And a cached complete answer satisfies a starved rerun.
+        let starved = Budget::default().with_node_quota(0);
+        let third = system.query(&twig("//book/title").budget(starved)).unwrap();
+        assert!(third.completeness.is_complete(), "served from cache");
+        assert_eq!(third.total_matches, 2);
+    }
+
+    #[test]
+    fn truncated_profile_reports_the_reason() {
+        use lotusx_guard::Budget;
+        let system = LotusX::load_str(BIB).unwrap();
+        let budget = Budget::default().with_node_quota(0);
+        let response = system
+            .query(&twig("//book/title").budget(budget).profiled(true))
+            .unwrap();
+        let profile = response.profile.expect("requested");
+        assert!(
+            profile.render().contains("truncated=node_quota_exceeded"),
+            "{}",
+            profile.render()
+        );
     }
 }

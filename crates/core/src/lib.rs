@@ -46,8 +46,10 @@ pub use session::Session;
 pub use lotusx_autocomplete::{
     CompletionEngine, CompletionState, PositionContext, TagCandidate, ValueCandidate,
 };
+pub use lotusx_guard::{Budget, CancelToken, Completeness, QueryGuard, TruncationReason};
 pub use lotusx_index::IndexedDocument;
 pub use lotusx_obs::QueryProfile;
+pub use lotusx_par::WorkerPanic;
 pub use lotusx_rank::RankWeights;
 pub use lotusx_rewrite::{RankedRewrite, RewriterConfig};
 pub use lotusx_twig::{Algorithm, Axis, NodeTest, TwigPattern, ValuePredicate};

@@ -38,7 +38,7 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
 
 impl MetricsSnapshot {
     /// Renders the snapshot as a pretty-printed JSON object with
-    /// `stages`, `counters` and `slow_queries` sections.
+    /// `stages`, `counters`, `histograms` and `slow_queries` sections.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"stages\": {\n");
         for (i, (name, h)) in self.stages.iter().enumerate() {
@@ -56,6 +56,19 @@ impl MetricsSnapshot {
                 json_string(name),
                 v,
                 if i + 1 == self.counters.len() {
+                    "\n  "
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {}: {}{}",
+                json_string(name),
+                histogram_json(h),
+                if i + 1 == self.histograms.len() {
                     "\n  "
                 } else {
                     ","
@@ -99,11 +112,13 @@ mod tests {
         let m = Metrics::new();
         m.record_stage(Stage::Total, 1_000);
         m.incr("queries", 2);
+        m.record_named("deadline_overshoot", 7_000);
         m.slow_queries().set_threshold_ns(1);
         m.slow_queries().record("//a[\"x\"]", 500_000);
         let json = m.snapshot().to_json();
         assert!(json.contains("\"total\": {\"count\":1"));
         assert!(json.contains("\"queries\": 2"));
+        assert!(json.contains("\"deadline_overshoot\": {\"count\":1"));
         assert!(json.contains("\\\"x\\\""));
         // Balanced braces/brackets — a cheap structural sanity check.
         assert_eq!(
@@ -118,6 +133,7 @@ mod tests {
     fn empty_snapshot_still_renders() {
         let json = Metrics::new().snapshot().to_json();
         assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
         assert!(json.contains("\"slow_queries\": []"));
     }
 }

@@ -147,10 +147,12 @@ impl SlowQueryLog {
     }
 }
 
-/// The metrics registry: per-stage histograms, named counters, slow log.
+/// The metrics registry: per-stage histograms, named counters, named
+/// (dynamically registered) histograms, and the slow-query log.
 pub struct Metrics {
     stages: [LatencyHistogram; Stage::ALL.len()],
     counters: ShardedMap<&'static str, AtomicU64>,
+    named: ShardedMap<&'static str, LatencyHistogram>,
     slow: SlowQueryLog,
 }
 
@@ -166,6 +168,7 @@ impl Metrics {
         Metrics {
             stages: Default::default(),
             counters: ShardedMap::new(),
+            named: ShardedMap::new(),
             slow: SlowQueryLog::new(DEFAULT_SLOW_CAPACITY, DEFAULT_SLOW_THRESHOLD_NS),
         }
     }
@@ -194,6 +197,22 @@ impl Metrics {
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
+    /// Records one sample into the named histogram, creating it first.
+    ///
+    /// Unlike [`Metrics::record_stage`], names are registered on first
+    /// use — this is the home for low-frequency series (e.g. deadline
+    /// overshoot on truncated queries) that do not merit a [`Stage`].
+    pub fn record_named(&self, name: &'static str, ns: u64) {
+        self.named
+            .get_or_insert_with(name, LatencyHistogram::default)
+            .record_ns(ns);
+    }
+
+    /// A snapshot of a named histogram, or `None` if never recorded.
+    pub fn named_histogram(&self, name: &'static str) -> Option<HistogramSnapshot> {
+        self.named.get(&name).map(|h| h.snapshot())
+    }
+
     /// The slow-query log.
     pub fn slow_queries(&self) -> &SlowQueryLog {
         &self.slow
@@ -211,6 +230,7 @@ impl Metrics {
                 c.store(0, Ordering::Relaxed);
             }
         }
+        self.named.for_each(|_, h| h.reset());
         self.slow.reset();
     }
 
@@ -220,12 +240,17 @@ impl Metrics {
         self.counters
             .for_each(|name, c| counters.push((name.to_string(), c.load(Ordering::Relaxed))));
         counters.sort();
+        let mut histograms = Vec::new();
+        self.named
+            .for_each(|name, h| histograms.push((name.to_string(), h.snapshot())));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
         MetricsSnapshot {
             stages: Stage::ALL
                 .iter()
                 .map(|&s| (s.name(), self.stage(s).snapshot()))
                 .collect(),
             counters,
+            histograms,
             slow_queries: self.slow.entries(),
         }
     }
@@ -239,6 +264,8 @@ pub struct MetricsSnapshot {
     pub stages: Vec<(&'static str, HistogramSnapshot)>,
     /// Named counters, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Named histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Slow-query log entries, oldest first.
     pub slow_queries: Vec<SlowQuery>,
 }
@@ -314,6 +341,23 @@ mod tests {
         assert!(entries[1].seq > entries[0].seq);
         log.set_threshold_ns(10_000);
         assert!(!log.record("d", 9_999));
+    }
+
+    #[test]
+    fn named_histograms_register_on_first_record() {
+        let m = Metrics::new();
+        assert!(m.named_histogram("deadline_overshoot").is_none());
+        m.record_named("deadline_overshoot", 1_000);
+        m.record_named("deadline_overshoot", 3_000);
+        m.record_named("queue_wait", 42);
+        let h = m.named_histogram("deadline_overshoot").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max_ns, 3_000);
+        let s = m.snapshot();
+        let names: Vec<_> = s.histograms.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["deadline_overshoot", "queue_wait"], "sorted");
+        m.reset();
+        assert_eq!(m.named_histogram("queue_wait").unwrap().count, 0);
     }
 
     #[test]

@@ -10,7 +10,51 @@
 //! two relaxed atomic adds per combinator call, which the observability
 //! layer folds into its metrics snapshot.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A worker panic captured by the executor: which chunk died and the
+/// panic message, with the payload dropped at the catch site so sibling
+/// chunks can finish and the caller gets a structured error instead of
+/// a process abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the chunk whose worker panicked (chunk order).
+    pub chunk_index: usize,
+    /// Starting item index of that chunk in the input slice.
+    pub start: usize,
+    /// Number of items in the chunk.
+    pub len: usize,
+    /// The panic message, when it was a `&str` or `String` payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on chunk {} (items {}..{}): {}",
+            self.chunk_index,
+            self.start,
+            self.start + self.len,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a panic payload as text (`&str` / `String` payloads; anything
+/// else becomes a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Process-wide executor usage counters (see [`executor_stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -64,13 +108,16 @@ fn chunk_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
         .collect()
 }
 
-/// Applies `f` to every chunk of `items` (at most `threads` contiguous
-/// chunks), returning one result per chunk in chunk order. `f` receives
-/// the chunk's starting index in `items` plus the chunk itself.
-///
-/// With `threads <= 1` (or a single chunk) everything runs inline on the
-/// calling thread — no spawn overhead on the serial path.
-pub fn par_chunks<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+/// Per-chunk outcome of [`run_chunks`]: the chunk's result, or the
+/// structured panic record plus the original payload (kept so the
+/// infallible combinators can [`resume_unwind`] it on the caller).
+type ChunkOutcome<U> = Result<U, (WorkerPanic, Box<dyn std::any::Any + Send>)>;
+
+/// The shared chunked runner: applies `f` to every chunk, catching each
+/// worker's panic individually so one poisoned chunk never takes down
+/// its siblings — every other chunk runs to completion and returns its
+/// result.
+fn run_chunks<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<ChunkOutcome<U>>
 where
     T: Sync,
     U: Send,
@@ -78,24 +125,101 @@ where
 {
     let ranges = chunk_ranges(items.len(), threads);
     JOBS.fetch_add(1, Ordering::Relaxed);
+    let capture = |chunk_index: usize, r: std::ops::Range<usize>| -> ChunkOutcome<U> {
+        let chunk = &items[r.clone()];
+        catch_unwind(AssertUnwindSafe(|| f(r.start, chunk))).map_err(|payload| {
+            (
+                WorkerPanic {
+                    chunk_index,
+                    start: r.start,
+                    len: r.len(),
+                    message: panic_message(payload.as_ref()),
+                },
+                payload,
+            )
+        })
+    };
     if ranges.len() <= 1 {
-        return ranges.into_iter().map(|r| f(r.start, &items[r])).collect();
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| capture(i, r))
+            .collect();
     }
     THREADS_SPAWNED.fetch_add(ranges.len() as u64, Ordering::Relaxed);
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|r| {
-                let f = &f;
-                let chunk = &items[r.clone()];
-                scope.spawn(move || f(r.start, chunk))
+            .enumerate()
+            .map(|(i, r)| {
+                let capture = &capture;
+                scope.spawn(move || capture(i, r))
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| match h.join() {
+                Ok(outcome) => outcome,
+                // The worker closure already catches panics, so join()
+                // only fails if the catch itself was bypassed (e.g. a
+                // panic-in-panic abort never reaches here anyway).
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    Err((
+                        WorkerPanic {
+                            chunk_index: usize::MAX,
+                            start: 0,
+                            len: 0,
+                            message,
+                        },
+                        payload,
+                    ))
+                }
+            })
             .collect()
     })
+}
+
+/// Applies `f` to every chunk of `items` (at most `threads` contiguous
+/// chunks), returning one result per chunk in chunk order. `f` receives
+/// the chunk's starting index in `items` plus the chunk itself.
+///
+/// With `threads <= 1` (or a single chunk) everything runs inline on the
+/// calling thread — no spawn overhead on the serial path.
+///
+/// If a worker panics, every sibling chunk still runs to completion;
+/// the first panic (in chunk order) is then re-raised on the calling
+/// thread. Callers that want panics as values instead use
+/// [`try_par_chunks`].
+pub fn par_chunks<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    let mut out = Vec::new();
+    for outcome in run_chunks(items, threads, f) {
+        match outcome {
+            Ok(u) => out.push(u),
+            Err((_, payload)) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Like [`par_chunks`], but worker panics become per-chunk
+/// [`WorkerPanic`] values instead of unwinding the caller. Sibling
+/// chunks always complete and keep their results.
+pub fn try_par_chunks<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<Result<U, WorkerPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    run_chunks(items, threads, f)
+        .into_iter()
+        .map(|outcome| outcome.map_err(|(wp, _payload)| wp))
+        .collect()
 }
 
 /// Order-preserving parallel map: `par_map(xs, t, f)` equals
@@ -111,6 +235,48 @@ where
         chunk.iter().map(&f).collect::<Vec<U>>()
     }) {
         out.extend(chunk);
+    }
+    out
+}
+
+/// Panic-isolated parallel map: like [`par_map`], but a worker panic
+/// fails only the items it was responsible for, as per-item
+/// [`WorkerPanic`] errors — siblings keep their results.
+///
+/// When a chunk panics, its items are retried one at a time on the
+/// calling thread (each retry individually caught), so a single
+/// poisoned item inside a large chunk fails alone and the rest of the
+/// chunk still succeeds.
+pub fn par_map_isolated<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<Result<U, WorkerPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for outcome in try_par_chunks(items, threads, |start, chunk| {
+        (start, chunk.iter().map(&f).collect::<Vec<U>>())
+    }) {
+        match outcome {
+            Ok((_, results)) => out.extend(results.into_iter().map(Ok)),
+            Err(panic) => {
+                // Serial per-item retry isolates the poisoned item(s).
+                for (offset, item) in items[panic.start..panic.start + panic.len]
+                    .iter()
+                    .enumerate()
+                {
+                    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(u) => out.push(Ok(u)),
+                        Err(payload) => out.push(Err(WorkerPanic {
+                            chunk_index: panic.chunk_index,
+                            start: panic.start + offset,
+                            len: 1,
+                            message: panic_message(payload.as_ref()),
+                        })),
+                    }
+                }
+            }
+        }
     }
     out
 }
@@ -208,6 +374,113 @@ mod tests {
             7,
             "empty fold yields init()"
         );
+    }
+
+    #[test]
+    fn panicking_chunk_fails_alone_in_try_par_chunks() {
+        let items: Vec<u32> = (0..100).collect();
+        let outcomes = try_par_chunks(&items, 4, |start, chunk| {
+            if start == 25 {
+                panic!("chunk at {start} is poisoned");
+            }
+            chunk.iter().sum::<u32>()
+        });
+        assert_eq!(outcomes.len(), 4);
+        let mut failed = 0;
+        for (i, o) in outcomes.iter().enumerate() {
+            match o {
+                Ok(sum) => {
+                    let expect: u32 = items[i * 25..(i + 1) * 25].iter().sum();
+                    assert_eq!(*sum, expect, "sibling chunk {i} completed intact");
+                }
+                Err(wp) => {
+                    failed += 1;
+                    assert_eq!(wp.chunk_index, 1);
+                    assert_eq!(wp.start, 25);
+                    assert_eq!(wp.len, 25);
+                    assert!(wp.message.contains("poisoned"), "{}", wp.message);
+                }
+            }
+        }
+        assert_eq!(failed, 1, "exactly the poisoned chunk failed");
+    }
+
+    #[test]
+    fn try_par_chunks_catches_inline_serial_panics_too() {
+        let items: Vec<u32> = (0..8).collect();
+        let outcomes = try_par_chunks(&items, 1, |_, _| -> u32 { panic!("serial boom") });
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].is_err());
+    }
+
+    #[test]
+    fn par_chunks_resumes_panic_after_siblings_finish() {
+        use std::sync::atomic::AtomicUsize;
+        let completed = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_chunks(&items, 4, |start, chunk| {
+                if start == 0 {
+                    panic!("first chunk dies");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                chunk.len()
+            })
+        }));
+        assert!(caught.is_err(), "the panic still reaches the caller");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            3,
+            "sibling chunks ran to completion before the re-raise"
+        );
+    }
+
+    #[test]
+    fn par_map_isolated_retries_serially_and_fails_only_the_poisoned_item() {
+        let items: Vec<u32> = (0..40).collect();
+        let out = par_map_isolated(&items, 4, |x| {
+            if *x == 17 {
+                panic!("item 17 is cursed");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), items.len());
+        for (i, r) in out.iter().enumerate() {
+            if i == 17 {
+                let wp = r.as_ref().unwrap_err();
+                assert_eq!(wp.start, 17);
+                assert_eq!(wp.len, 1);
+                assert!(wp.message.contains("cursed"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2, "item {i} survived");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_isolated_matches_par_map_when_nothing_panics() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 8] {
+            let got: Vec<u64> = par_map_isolated(&items, threads, |x| x + 7)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(got, par_map(&items, threads, |x| x + 7), "{threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_displays_usefully() {
+        let wp = WorkerPanic {
+            chunk_index: 2,
+            start: 50,
+            len: 25,
+            message: "boom".to_string(),
+        };
+        let s = wp.to_string();
+        assert!(s.contains("chunk 2"), "{s}");
+        assert!(s.contains("50..75"), "{s}");
+        assert!(s.contains("boom"), "{s}");
     }
 
     #[test]

@@ -23,8 +23,8 @@ pub mod lru;
 pub mod sharded;
 
 pub use executor::{
-    default_threads, executor_stats, par_chunks, par_fold, par_map, reset_executor_stats,
-    ExecutorStats,
+    default_threads, executor_stats, panic_message, par_chunks, par_fold, par_map,
+    par_map_isolated, reset_executor_stats, try_par_chunks, ExecutorStats, WorkerPanic,
 };
 pub use lru::{CacheStats, ConcurrentLru};
 pub use sharded::ShardedMap;

@@ -170,25 +170,53 @@ impl<'a> Ranker<'a> {
         threads: usize,
         span: Option<&lotusx_obs::Span>,
     ) -> Vec<ScoredMatch> {
+        self.rank_top_k_budgeted(
+            pattern,
+            matches,
+            k,
+            threads,
+            span,
+            &lotusx_guard::QueryGuard::unlimited(),
+        )
+    }
+
+    /// Like [`Self::rank_top_k_spanned`], under a budget: each worker
+    /// charges one node visit per match scored and stops scoring once
+    /// the guard trips. The matches handed in are already verified, so
+    /// the truncated top-k is an exact top-k over the scored prefix —
+    /// every returned hit is a true hit.
+    pub fn rank_top_k_budgeted(
+        &self,
+        pattern: &TwigPattern,
+        matches: Vec<TwigMatch>,
+        k: usize,
+        threads: usize,
+        span: Option<&lotusx_obs::Span>,
+        qguard: &lotusx_guard::QueryGuard,
+    ) -> Vec<ScoredMatch> {
         let guard = span.map(|p| {
             let g = p.child("score-select");
             g.annotate("candidates", matches.len());
             g.annotate("k", k);
             g
         });
-        let collector = lotusx_par::par_fold(
-            &matches,
-            threads,
-            || OrderedTopK::new(k),
-            |mut acc: OrderedTopK<TwigMatch>, m| {
+        let collector = lotusx_par::par_chunks(&matches, threads, |_, chunk| {
+            let mut acc = OrderedTopK::new(k);
+            let mut ticker = qguard.ticker();
+            for m in chunk {
+                if ticker.tick(1) {
+                    break;
+                }
                 acc.push(self.score(pattern, m), m.clone());
-                acc
-            },
-            |mut a, b| {
-                a.merge(b);
-                a
-            },
-        );
+            }
+            acc
+        })
+        .into_iter()
+        .reduce(|mut a, b| {
+            a.merge(b);
+            a
+        })
+        .unwrap_or_else(|| OrderedTopK::new(k));
         drop(guard);
         let _sort = span.map(|p| p.child("sort"));
         collector

@@ -20,6 +20,7 @@
 use super::twigstack;
 use crate::matcher::{filtered_stream, TwigMatch};
 use crate::pattern::{Axis, NodeTest, QNodeId, TwigPattern};
+use lotusx_guard::QueryGuard;
 use lotusx_index::{DataGuide, ElementEntry, GuideNodeId, IndexedDocument};
 
 /// Per-query-node admissible DataGuide positions.
@@ -182,6 +183,22 @@ pub fn pruned_stream(
 
 /// Evaluates the pattern with TwigStack over guide-pruned streams.
 pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    evaluate_guarded(idx, pattern, &QueryGuard::unlimited())
+}
+
+/// [`evaluate`] under a budget: the admissibility sweeps charge their
+/// `O(|Q| · |G|)` cost up front, then the pruned join runs under the
+/// same guard (see [`twigstack::evaluate_with_streams_guarded`]).
+pub fn evaluate_guarded(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
+    let mut ticker = guard.ticker();
+    let sweep_cost = (idx.guide().node_count() * pattern.len()) as u64;
+    if ticker.tick(sweep_cost) {
+        return Vec::new();
+    }
     let adm = admissibility(idx, pattern);
     // Fast reject: a query node with no admissible position cannot match.
     if pattern.node_ids().any(|q| adm.admissible_count(q) == 0) {
@@ -191,7 +208,7 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
         .node_ids()
         .map(|q| pruned_stream(idx, pattern, q, &adm))
         .collect();
-    twigstack::evaluate_with_streams(idx, pattern, streams)
+    twigstack::evaluate_with_streams_guarded(idx, pattern, streams, guard)
 }
 
 /// Total stream entries before and after pruning (reported by E9d).

@@ -8,6 +8,7 @@
 
 use crate::matcher::{filtered_stream, predicate_matches, TwigMatch};
 use crate::pattern::{Axis, NodeTest, QNodeId, TwigPattern};
+use lotusx_guard::{QueryGuard, Ticker};
 use lotusx_index::IndexedDocument;
 use lotusx_xml::NodeId;
 
@@ -28,11 +29,29 @@ pub fn evaluate_partitioned(
     pattern: &TwigPattern,
     threads: usize,
 ) -> Vec<TwigMatch> {
+    evaluate_guarded(idx, pattern, threads, &QueryGuard::unlimited())
+}
+
+/// [`evaluate_partitioned`] under a budget. Every worker charges one
+/// node visit per candidate binding it examines (amortized through a
+/// per-chunk [`Ticker`]); on trip each worker finishes its in-flight
+/// recursion step and stops expanding new root candidates. Only fully
+/// bound assignments are ever emitted, so partial output is valid.
+pub fn evaluate_guarded(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    threads: usize,
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
     let roots = filtered_stream(idx, pattern, pattern.root());
     let chunks = lotusx_par::par_chunks(&roots, threads, |_, chunk| {
         let mut out = Vec::new();
         let mut bindings = vec![NodeId::DOCUMENT; pattern.len()];
+        let mut ticker = guard.ticker();
         for entry in chunk {
+            if ticker.tick(1) {
+                break;
+            }
             bindings[pattern.root().index()] = entry.node;
             extend(
                 idx,
@@ -41,6 +60,7 @@ pub fn evaluate_partitioned(
                 entry.node,
                 &mut bindings,
                 &mut out,
+                &mut ticker,
             );
         }
         out
@@ -53,6 +73,7 @@ pub fn evaluate_partitioned(
 
 /// Recursively binds the children of query node `q` (already bound to
 /// `element`), appending every completed assignment to `out`.
+#[allow(clippy::too_many_arguments)]
 fn extend(
     idx: &IndexedDocument,
     pattern: &TwigPattern,
@@ -60,11 +81,13 @@ fn extend(
     element: NodeId,
     bindings: &mut Vec<NodeId>,
     out: &mut Vec<TwigMatch>,
+    ticker: &mut Ticker,
 ) {
     let children = &pattern.node(q).children;
-    bind_children(idx, pattern, element, children, 0, bindings, out);
+    bind_children(idx, pattern, element, children, 0, bindings, out, ticker);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bind_children(
     idx: &IndexedDocument,
     pattern: &TwigPattern,
@@ -73,6 +96,7 @@ fn bind_children(
     at: usize,
     bindings: &mut Vec<NodeId>,
     out: &mut Vec<TwigMatch>,
+    ticker: &mut Ticker,
 ) {
     if at == children.len() {
         // All children of this level bound; if no unresolved nodes remain
@@ -84,14 +108,27 @@ fn bind_children(
     }
     let qchild = children[at];
     for candidate in candidates(idx, pattern, qchild, element) {
+        // Budget checkpoint: one visit per candidate binding examined.
+        if ticker.tick(1) {
+            return;
+        }
         bindings[qchild.index()] = candidate;
         // Recurse into the subtree of qchild first; for each completion of
         // that subtree, continue with the next sibling.
         let mut sub = Vec::new();
-        extend(idx, pattern, qchild, candidate, bindings, &mut sub);
+        extend(idx, pattern, qchild, candidate, bindings, &mut sub, ticker);
         for m in sub {
             *bindings = m.bindings;
-            bind_children(idx, pattern, element, children, at + 1, bindings, out);
+            bind_children(
+                idx,
+                pattern,
+                element,
+                children,
+                at + 1,
+                bindings,
+                out,
+                ticker,
+            );
         }
     }
 }

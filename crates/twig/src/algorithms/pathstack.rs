@@ -7,8 +7,9 @@
 //! input + output for ancestor-descendant paths.
 
 use super::holistic_common::{clean_stack, expand_solutions, StackEntry};
-use crate::matcher::{filtered_stream, merge_path_solutions, TwigMatch};
+use crate::matcher::{filtered_stream, merge_path_solutions_guarded, TwigMatch};
 use crate::pattern::TwigPattern;
+use lotusx_guard::QueryGuard;
 use lotusx_index::{ElementEntry, IndexedDocument, TagStream};
 
 /// Evaluates a **path** pattern holistically.
@@ -17,6 +18,19 @@ use lotusx_index::{ElementEntry, IndexedDocument, TagStream};
 /// Panics if `pattern` branches; callers route twigs to TwigStack (the
 /// [`crate::exec`] facade does this automatically).
 pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    evaluate_guarded(idx, pattern, &QueryGuard::unlimited())
+}
+
+/// [`evaluate`] under a budget: one node visit per element processed;
+/// on trip the scan stops and the solutions emitted so far are merged.
+///
+/// # Panics
+/// Panics if `pattern` branches (see [`evaluate`]).
+pub fn evaluate_guarded(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
     assert!(
         pattern.is_path(),
         "PathStack evaluates path queries; use TwigStack for twigs"
@@ -35,10 +49,14 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
     let mut streams: Vec<TagStream<'_>> = stream_data.iter().map(|s| TagStream::new(s)).collect();
     let mut stacks: Vec<Vec<StackEntry>> = vec![Vec::new(); pattern.len()];
     let mut solutions = Vec::new();
+    let mut ticker = guard.ticker();
 
     // Process elements in global document order until the leaf stream ends:
     // once it does, no further solutions can be emitted.
     while !streams[leaf.index()].is_exhausted() {
+        if ticker.tick(1) {
+            break;
+        }
         // qmin: the non-exhausted stream with the smallest next start.
         let qmin = qpath
             .iter()
@@ -78,7 +96,7 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
         streams[qmin.index()].advance();
     }
 
-    merge_path_solutions(pattern, &[qpath], &[solutions])
+    merge_path_solutions_guarded(pattern, &[qpath], &[solutions], guard)
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use crate::matcher::{filtered_stream, TwigMatch};
 use crate::pattern::{Axis, QNodeId, TwigPattern};
+use lotusx_guard::{QueryGuard, Ticker};
 use lotusx_index::ElementEntry;
 use lotusx_index::IndexedDocument;
 use lotusx_xml::NodeId;
@@ -17,11 +18,25 @@ use std::collections::HashMap;
 
 /// Evaluates `pattern` with one binary structural join per edge.
 pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    evaluate_guarded(idx, pattern, &QueryGuard::unlimited())
+}
+
+/// [`evaluate`] under a budget. The explicit per-edge pair lists are
+/// this algorithm's blow-up site, so the join charges one node visit
+/// per pair emitted; on trip later edges get incomplete (possibly
+/// empty) pair lists and the stitch stops early — every stitched match
+/// still satisfies all its edges, so partial output is valid.
+pub fn evaluate_guarded(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
     // Streams per query node.
     let streams: Vec<Vec<ElementEntry>> = pattern
         .node_ids()
         .map(|q| filtered_stream(idx, pattern, q))
         .collect();
+    let mut ticker = guard.ticker();
 
     // One pair list per non-root query node (its edge to the parent),
     // keyed by the ancestor binding.
@@ -29,7 +44,17 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
     for q in pattern.node_ids() {
         let node = pattern.node(q);
         let Some(parent) = node.parent else { continue };
-        let pairs = stack_tree_join(&streams[parent.index()], &streams[q.index()], node.axis);
+        if ticker.stopped() {
+            // A missing pair list only removes matches, never invents
+            // them: the stitch treats it as "no descendants".
+            break;
+        }
+        let pairs = stack_tree_join_ticked(
+            &streams[parent.index()],
+            &streams[q.index()],
+            node.axis,
+            &mut ticker,
+        );
         let map = &mut edge_pairs[q.index()];
         for (anc, desc) in pairs {
             map.entry(anc).or_default().push(desc);
@@ -40,6 +65,9 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
     let mut out = Vec::new();
     let mut bindings = vec![NodeId::DOCUMENT; pattern.len()];
     for entry in &streams[pattern.root().index()] {
+        if ticker.tick(1) {
+            break;
+        }
         bindings[pattern.root().index()] = entry.node;
         stitch(
             pattern,
@@ -106,10 +134,26 @@ pub fn stack_tree_join(
     descendants: &[ElementEntry],
     axis: Axis,
 ) -> Vec<(NodeId, NodeId)> {
+    let mut ticker = QueryGuard::unlimited().ticker();
+    stack_tree_join_ticked(ancestors, descendants, axis, &mut ticker)
+}
+
+/// [`stack_tree_join`] charging one node visit per descendant consumed
+/// and per pair emitted; on trip the output is a truncated (but real)
+/// pair list.
+fn stack_tree_join_ticked(
+    ancestors: &[ElementEntry],
+    descendants: &[ElementEntry],
+    axis: Axis,
+    ticker: &mut Ticker,
+) -> Vec<(NodeId, NodeId)> {
     let mut out = Vec::new();
     let mut stack: Vec<ElementEntry> = Vec::new();
     let mut ai = 0usize;
     for d in descendants {
+        if ticker.tick(1) {
+            break;
+        }
         // Push every ancestor that starts before d does.
         while ai < ancestors.len() && ancestors[ai].region.start < d.region.start {
             let a = ancestors[ai];
@@ -138,6 +182,9 @@ pub fn stack_tree_join(
                 && (axis == Axis::Descendant || a.region.level + 1 == d.region.level)
             {
                 out.push((a.node, d.node));
+                if ticker.tick(1) {
+                    return out;
+                }
             }
         }
     }

@@ -13,25 +13,42 @@
 //! verified on the merged matches as a final filter.
 
 use crate::matcher::{
-    filtered_stream, match_is_valid, merge_path_solutions, PathSolution, TwigMatch,
+    filtered_stream, match_is_valid, merge_path_solutions_guarded, PathSolution, TwigMatch,
 };
 use crate::pattern::{Axis, NodeTest, QNodeId, TwigPattern};
+use lotusx_guard::QueryGuard;
 use lotusx_index::IndexedDocument;
 use lotusx_xml::{NodeId, Symbol};
 
 /// Evaluates any twig pattern scanning only its leaf streams.
 pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    evaluate_guarded(idx, pattern, &QueryGuard::unlimited())
+}
+
+/// [`evaluate`] under a budget: one node visit per leaf-stream element
+/// decoded; on trip the remaining stream suffixes are skipped and the
+/// solutions found so far are merged (and post-verified as usual, so
+/// partial output is valid).
+pub fn evaluate_guarded(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
     let paths = pattern.root_to_leaf_paths();
+    let mut ticker = guard.ticker();
     let mut per_leaf: Vec<Vec<PathSolution>> = Vec::with_capacity(paths.len());
     for qpath in &paths {
         let leaf = *qpath.last().expect("non-empty path");
         let mut solutions = Vec::new();
         for entry in filtered_stream(idx, pattern, leaf) {
+            if ticker.tick(1) {
+                break;
+            }
             solutions.extend(match_leaf_element(idx, pattern, qpath, entry.node));
         }
         per_leaf.push(solutions);
     }
-    let merged = merge_path_solutions(pattern, &paths, &per_leaf);
+    let merged = merge_path_solutions_guarded(pattern, &paths, &per_leaf, guard);
     // Internal predicates were invisible to the label scan; verify now.
     let needs_verify = pattern
         .node_ids()

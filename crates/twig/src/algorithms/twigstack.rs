@@ -17,17 +17,27 @@
 //! branch drains before the others.
 
 use super::holistic_common::{clean_stack, expand_solutions, StackEntry};
-use crate::matcher::{filtered_stream, merge_path_solutions, PathSolution, TwigMatch};
+use crate::matcher::{filtered_stream, merge_path_solutions_guarded, PathSolution, TwigMatch};
 use crate::pattern::{QNodeId, TwigPattern};
+use lotusx_guard::{QueryGuard, Ticker};
 use lotusx_index::{ElementEntry, IndexedDocument, TagStream};
 
 /// Evaluates any twig pattern holistically.
 pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
+    evaluate_guarded(idx, pattern, &QueryGuard::unlimited())
+}
+
+/// [`evaluate`] under a budget.
+pub fn evaluate_guarded(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
     let stream_data: Vec<Vec<ElementEntry>> = pattern
         .node_ids()
         .map(|q| filtered_stream(idx, pattern, q))
         .collect();
-    evaluate_with_streams(idx, pattern, stream_data)
+    evaluate_with_streams_guarded(idx, pattern, stream_data, guard)
 }
 
 /// Evaluates with caller-provided per-node streams (document-ordered).
@@ -37,6 +47,20 @@ pub fn evaluate_with_streams(
     pattern: &TwigPattern,
     stream_data: Vec<Vec<ElementEntry>>,
 ) -> Vec<TwigMatch> {
+    evaluate_with_streams_guarded(idx, pattern, stream_data, &QueryGuard::unlimited())
+}
+
+/// [`evaluate_with_streams`] under a budget: the main loop and the
+/// `getNext` skip loop each charge one node visit per stream advance;
+/// on trip the scan stops and the path solutions found so far are
+/// merged (each emitted solution is a verified root-to-leaf chain, so
+/// partial output stays valid).
+pub fn evaluate_with_streams_guarded(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    stream_data: Vec<Vec<ElementEntry>>,
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
     let _ = idx;
     let mut state = State {
         pattern,
@@ -44,9 +68,13 @@ pub fn evaluate_with_streams(
         stacks: vec![Vec::new(); pattern.len()],
         paths: pattern.root_to_leaf_paths(),
         solutions: vec![Vec::new(); pattern.len()],
+        ticker: guard.ticker(),
     };
 
     while state.subtree_alive(pattern.root()) {
+        if state.ticker.tick(1) {
+            break;
+        }
         let qact = state.get_next(pattern.root());
         let entry = match state.streams[qact.index()].head() {
             Some(e) => e,
@@ -85,7 +113,7 @@ pub fn evaluate_with_streams(
         .iter()
         .map(|p| state.solutions[p.last().expect("non-empty").index()].clone())
         .collect();
-    merge_path_solutions(pattern, &state.paths, &per_leaf)
+    merge_path_solutions_guarded(pattern, &state.paths, &per_leaf, guard)
 }
 
 struct State<'a> {
@@ -95,6 +123,8 @@ struct State<'a> {
     paths: Vec<Vec<QNodeId>>,
     /// Emitted path solutions, indexed by leaf query node.
     solutions: Vec<Vec<PathSolution>>,
+    /// Budget checkpoint shared by the main loop and the skip loop.
+    ticker: Ticker,
 }
 
 impl State<'_> {
@@ -154,9 +184,15 @@ impl State<'_> {
             .max()
             .expect("non-empty");
         // Skip q-elements that end before the furthest child element
-        // starts: they cannot contain a full set of child matches.
+        // starts: they cannot contain a full set of child matches. A
+        // single skip can traverse most of a stream, so it checkpoints
+        // too; breaking early only forgoes future solutions (anything
+        // pushed is still a verified containment chain).
         while self.next_r(q) < nmax_l {
             self.streams[q.index()].advance();
+            if self.ticker.tick(1) {
+                break;
+            }
         }
         if self.next_l(q) < self.next_l(nmin) {
             q

@@ -4,6 +4,7 @@ use crate::algorithms::{guided, naive, pathstack, structural_join, tjfast, twigs
 use crate::matcher::TwigMatch;
 use crate::ordered::filter_ordered;
 use crate::pattern::TwigPattern;
+use lotusx_guard::QueryGuard;
 use lotusx_index::IndexedDocument;
 use lotusx_obs::Span;
 
@@ -93,23 +94,21 @@ fn join(
     pattern: &TwigPattern,
     algorithm: Algorithm,
     threads: usize,
+    guard: &QueryGuard,
 ) -> Vec<TwigMatch> {
-    if threads > 1 && algorithm == Algorithm::Naive {
-        return naive::evaluate_partitioned(idx, pattern, threads);
-    }
     match algorithm {
-        Algorithm::Naive => naive::evaluate(idx, pattern),
-        Algorithm::StructuralJoin => structural_join::evaluate(idx, pattern),
+        Algorithm::Naive => naive::evaluate_guarded(idx, pattern, threads, guard),
+        Algorithm::StructuralJoin => structural_join::evaluate_guarded(idx, pattern, guard),
         Algorithm::PathStack => {
             if pattern.is_path() {
-                pathstack::evaluate(idx, pattern)
+                pathstack::evaluate_guarded(idx, pattern, guard)
             } else {
-                twigstack::evaluate(idx, pattern)
+                twigstack::evaluate_guarded(idx, pattern, guard)
             }
         }
-        Algorithm::TwigStack => twigstack::evaluate(idx, pattern),
-        Algorithm::TJFast => tjfast::evaluate(idx, pattern),
-        Algorithm::TwigStackGuided => guided::evaluate(idx, pattern),
+        Algorithm::TwigStack => twigstack::evaluate_guarded(idx, pattern, guard),
+        Algorithm::TJFast => tjfast::evaluate_guarded(idx, pattern, guard),
+        Algorithm::TwigStackGuided => guided::evaluate_guarded(idx, pattern, guard),
     }
 }
 
@@ -154,18 +153,40 @@ pub fn execute_spanned(
     threads: usize,
     span: Option<&Span>,
 ) -> Vec<TwigMatch> {
+    execute_budgeted(
+        idx,
+        pattern,
+        algorithm,
+        threads,
+        span,
+        &QueryGuard::unlimited(),
+    )
+}
+
+/// Like [`execute_spanned`], under a budget: the join runs its guarded
+/// variant and stops cooperatively once `guard` trips, returning only
+/// matches proven valid by then. Callers inspect the guard afterwards
+/// to learn whether the result is complete.
+pub fn execute_budgeted(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    algorithm: Algorithm,
+    threads: usize,
+    span: Option<&Span>,
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
     let matches = match span {
-        None => join(idx, pattern, algorithm, threads),
+        None => join(idx, pattern, algorithm, threads, guard),
         Some(parent) => {
-            let guard = parent.child(format!("join/{algorithm}"));
+            let span_guard = parent.child(format!("join/{algorithm}"));
             let effective = if algorithm == Algorithm::Naive {
                 threads.max(1)
             } else {
                 1
             };
-            guard.annotate("threads", effective);
-            let m = join(idx, pattern, algorithm, threads);
-            guard.annotate("matches", m.len());
+            span_guard.annotate("threads", effective);
+            let m = join(idx, pattern, algorithm, threads, guard);
+            span_guard.annotate("matches", m.len());
             m
         }
     };
@@ -175,10 +196,10 @@ pub fn execute_spanned(
     match span {
         None => filter_ordered(idx, pattern, matches),
         Some(parent) => {
-            let guard = parent.child("ordered-filter");
-            guard.annotate("in", matches.len());
+            let span_guard = parent.child("ordered-filter");
+            span_guard.annotate("in", matches.len());
             let out = filter_ordered(idx, pattern, matches);
-            guard.annotate("kept", out.len());
+            span_guard.annotate("kept", out.len());
             out
         }
     }

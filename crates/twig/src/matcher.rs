@@ -3,6 +3,7 @@
 //! algorithms.
 
 use crate::pattern::{Axis, NodeTest, QNodeId, TwigPattern, ValuePredicate};
+use lotusx_guard::QueryGuard;
 use lotusx_index::{ElementEntry, IndexedDocument};
 use lotusx_xml::{NodeId, NodeKind};
 use std::collections::{HashMap, HashSet};
@@ -174,10 +175,32 @@ pub fn merge_path_solutions(
     paths: &[Vec<QNodeId>],
     solutions: &[Vec<PathSolution>],
 ) -> Vec<TwigMatch> {
+    merge_path_solutions_guarded(pattern, paths, solutions, &QueryGuard::unlimited())
+}
+
+/// How many partial assignments the merge keeps alive once the budget
+/// trips. The survivors are still joined against every remaining leaf,
+/// so each emitted match is a complete, valid twig match — the cap only
+/// bounds how much longer a tripped query runs.
+const TRIPPED_PARTIAL_CAP: usize = 64;
+
+/// [`merge_path_solutions`] with a budget: the intermediate partial
+/// product is the classic blow-up site of path-solution merging, so the
+/// merge charges one node visit per partial examined and, once the guard
+/// trips, shrinks the frontier to [`TRIPPED_PARTIAL_CAP`] survivors
+/// while still completing their joins with every remaining leaf path —
+/// truncated output, but only true matches in it.
+pub fn merge_path_solutions_guarded(
+    pattern: &TwigPattern,
+    paths: &[Vec<QNodeId>],
+    solutions: &[Vec<PathSolution>],
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
     assert_eq!(paths.len(), solutions.len());
     if paths.is_empty() {
         return Vec::new();
     }
+    let mut ticker = guard.ticker();
     // Partial assignments: query-node -> element, grown one leaf at a time.
     let mut partials: Vec<HashMap<QNodeId, NodeId>> = solutions[0]
         .iter()
@@ -189,6 +212,9 @@ pub fn merge_path_solutions(
                 .collect()
         })
         .collect();
+    if ticker.tick(partials.len() as u64) {
+        partials.truncate(TRIPPED_PARTIAL_CAP);
+    }
 
     for (path, sols) in paths.iter().zip(solutions.iter()).skip(1) {
         if partials.is_empty() {
@@ -208,7 +234,10 @@ pub fn merge_path_solutions(
             by_key.entry(key).or_default().push(sol);
         }
         let mut next: Vec<HashMap<QNodeId, NodeId>> = Vec::new();
-        for partial in &partials {
+        'grow: for partial in &partials {
+            if ticker.tick(1) && next.len() >= TRIPPED_PARTIAL_CAP {
+                break 'grow;
+            }
             let key: Vec<NodeId> = shared.iter().map(|&i| partial[&path[i]]).collect();
             if let Some(matching) = by_key.get(&key) {
                 for sol in matching {
@@ -217,6 +246,9 @@ pub fn merge_path_solutions(
                         extended.insert(*q, *n);
                     }
                     next.push(extended);
+                    if ticker.stopped() && next.len() >= TRIPPED_PARTIAL_CAP {
+                        break 'grow;
+                    }
                 }
             }
         }

@@ -145,6 +145,35 @@ fn completions_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn generously_budgeted_searches_are_identical_across_thread_counts() {
+    use lotusx::Budget;
+    let doc = generate(Dataset::DblpLike, 1, 7);
+    let reference = LotusX::load_document(doc.clone());
+    let generous = || {
+        Budget::default()
+            .with_deadline(std::time::Duration::from_secs(600))
+            .with_node_quota(1 << 40)
+    };
+    for threads in THREAD_COUNTS {
+        let mut system = LotusX::load_document(doc.clone());
+        let config = system.config().clone().threads(threads);
+        system.reconfigure(config).unwrap();
+        for q in QUERIES {
+            let plain = reference.query(&QueryRequest::twig(q)).unwrap();
+            let budgeted = system
+                .query(&QueryRequest::twig(q).budget(generous()))
+                .unwrap();
+            assert!(budgeted.completeness.is_complete(), "{q} at {threads}");
+            assert_eq!(
+                response_key(&plain),
+                response_key(&budgeted),
+                "{q} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn batch_search_is_identical_to_sequential_searches() {
     let doc = generate(Dataset::XmarkLike, 1, 3);
     for threads in THREAD_COUNTS {
