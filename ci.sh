@@ -2,8 +2,9 @@
 # Offline CI: staged, self-timing. No network access required.
 #
 #   ./ci.sh          run every stage (fmt, clippy, build, test, smoke,
-#                    robust-smoke) and print a per-stage timing table
-#   ./ci.sh --fast   skip the release build and both smoke stages
+#                    robust-smoke, telemetry-smoke) and print a
+#                    per-stage timing table
+#   ./ci.sh --fast   skip the release build and the smoke stages
 #
 # Fails fast: the first failing stage aborts the run, names itself, and
 # still prints the timing table for the stages that ran.
@@ -113,6 +114,23 @@ stage_robust_smoke() {
     cargo run --release -p lotusx --bin lotusx-stress -- 200 42
 }
 
+# Telemetry smoke: a headless CLI session turns tracing on, runs a
+# budget-starved query (guaranteed budget trip) plus cached repeats, and
+# exports a Chrome trace. trace-check then validates the file end to
+# end: well-formed JSON, at least one complete query span with nested
+# stage slices, per-lane monotonic timestamps, and a budget trip.
+# Finally the telemetry bench (--quick) fails the stage if the
+# disabled-path overhead exceeds its 3% budget.
+stage_telemetry_smoke() {
+    local trace=/tmp/lotusx_ci_trace.json
+    rm -f "$trace"
+    printf 'trace on\ntimeout 1\nquery //*//*//*//*//*\ntimeout 0\nquery //s/np\nquery //s/np\ntrace export %s\nquit\n' "$trace" \
+        | LOTUSX_THREADS=4 cargo run --release -p lotusx --bin lotusx-cli -- @treebank:2 \
+        || return 1
+    cargo run --release -p lotusx-bench --bin trace-check -- "$trace" --require-trip || return 1
+    cargo run --release -p lotusx-bench --bin lotusx-telemetry-bench -- --quick
+}
+
 run_stage fmt    stage_fmt
 run_stage clippy stage_clippy
 if [ "$FAST" -eq 0 ]; then
@@ -120,8 +138,9 @@ if [ "$FAST" -eq 0 ]; then
 fi
 run_stage test   stage_test
 if [ "$FAST" -eq 0 ]; then
-    run_stage smoke        stage_smoke
-    run_stage robust-smoke stage_robust_smoke
+    run_stage smoke           stage_smoke
+    run_stage robust-smoke    stage_robust_smoke
+    run_stage telemetry-smoke stage_telemetry_smoke
 fi
 
 print_summary

@@ -60,6 +60,12 @@ impl ValueTrieCache {
         self.map.clear();
     }
 
+    /// Per-shard hit/miss/occupancy counters of the underlying sharded
+    /// map, in shard order — makes shard imbalance visible in `stats`.
+    pub fn shard_stats(&self) -> Vec<lotusx_par::ShardLoad> {
+        self.map.shard_stats()
+    }
+
     /// Builds and caches the value tries of the `top_k` most frequent
     /// tags (ties broken by name), partitioning the builds across
     /// `threads` workers. Returns the number of tries built.

@@ -1,0 +1,142 @@
+//! Validates an exported Chrome trace-event JSON file.
+//!
+//! ```sh
+//! trace-check <trace.json> [--require-trip] [--require-workers]
+//! ```
+//!
+//! Checks, in order: the file parses as JSON with the obs crate's own
+//! reader, `traceEvents` is an array, every `B` query slice has a
+//! matching `E` (at least one complete query span), at least one stage
+//! slice is nested inside a query span, and timestamps are finite and
+//! non-decreasing per lane. `--require-trip` additionally demands a
+//! budget-trip instant or a truncated query end (the robustness story);
+//! `--require-workers` demands at least one worker lane besides `main`.
+//! Exits non-zero with a message on the first violated check — this is
+//! the `telemetry-smoke` CI gate.
+
+use lotusx_obs::{parse_json, JsonValue};
+use std::collections::HashMap;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace-check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut path = None;
+    let mut require_trip = false;
+    let mut require_workers = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--require-trip" => require_trip = true,
+            "--require-workers" => require_workers = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(path) = path else {
+        fail("usage: trace-check <trace.json> [--require-trip] [--require-workers]");
+    };
+
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = parse_json(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or_else(|| fail("missing traceEvents array"));
+
+    let mut complete_queries = 0usize;
+    let mut open_queries: HashMap<String, u64> = HashMap::new();
+    let mut stages_in_query = 0usize;
+    let mut trips = 0usize;
+    let mut truncated_queries = 0usize;
+    let mut worker_lanes = 0usize;
+    let mut last_ts_per_lane: HashMap<u64, f64> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| fail(&format!("event {i} has no name")));
+        let ph = e
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| fail(&format!("event {i} has no ph")));
+        if ph == "M" {
+            if name == "thread_name" {
+                let label = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_else(|| fail("thread_name metadata without a name"));
+                if label.starts_with("worker-") {
+                    worker_lanes += 1;
+                }
+            }
+            continue;
+        }
+        let ts = e
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| fail(&format!("event {i} ({name}) has no ts")));
+        if !ts.is_finite() || ts < 0.0 {
+            fail(&format!("event {i} ({name}) has bad ts {ts}"));
+        }
+        let lane = e.get("tid").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+        let prev = last_ts_per_lane.entry(lane).or_insert(0.0);
+        if ts < *prev {
+            fail(&format!(
+                "event {i} ({name}) goes back in time on lane {lane}: {ts} < {prev}"
+            ));
+        }
+        *prev = ts;
+
+        if name.starts_with("query#") {
+            match ph {
+                "B" => {
+                    open_queries.insert(name.to_string(), lane);
+                }
+                "E" => {
+                    if open_queries.remove(name).is_none() {
+                        fail(&format!("query end without begin: {name}"));
+                    }
+                    complete_queries += 1;
+                    let truncated = e
+                        .get("args")
+                        .and_then(|a| a.get("truncated"))
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false);
+                    if truncated {
+                        truncated_queries += 1;
+                    }
+                }
+                other => fail(&format!("query slice with odd phase {other:?}")),
+            }
+        } else if ph == "B" && !open_queries.is_empty() && !name.starts_with("chunk#") {
+            // A stage slice opened while a query slice is open: nesting.
+            stages_in_query += 1;
+        }
+        if name.starts_with("budget_trip:") {
+            trips += 1;
+        }
+    }
+
+    if complete_queries == 0 {
+        fail("no complete query span (matching B/E pair named query#N)");
+    }
+    if stages_in_query == 0 {
+        fail("no stage slice nested inside a query span");
+    }
+    if require_trip && trips == 0 && truncated_queries == 0 {
+        fail("no budget trip or truncated query in the trace (--require-trip)");
+    }
+    if require_workers && worker_lanes == 0 {
+        fail("no worker lanes besides main (--require-workers)");
+    }
+    println!(
+        "trace-check: OK: {} events, {complete_queries} complete queries \
+         ({truncated_queries} truncated), {stages_in_query} nested stage slices, \
+         {trips} budget trips, {worker_lanes} worker lanes",
+        events.len()
+    );
+}

@@ -108,6 +108,56 @@ fn main() {
                 Ok(profile) => print!("{}", profile.render()),
                 Err(e) => println!("error: {e}"),
             },
+            "top" => {
+                let frames: u64 = rest.parse().unwrap_or(1);
+                for frame in 0..frames.max(1) {
+                    if frame > 0 {
+                        std::thread::sleep(Duration::from_secs(1));
+                    }
+                    print_top();
+                }
+            }
+            "trace" => {
+                let (sub, arg) = rest.split_once(' ').unwrap_or((rest, ""));
+                match sub {
+                    "on" => {
+                        lotusx_obs::set_tracing(true);
+                        println!(
+                            "tracing on: queries emit events into the ring buffer \
+                             ('trace export <file>' for a Perfetto-loadable trace)"
+                        );
+                    }
+                    "off" => {
+                        lotusx_obs::set_tracing(false);
+                        println!("tracing off (buffered events are kept until exported)");
+                    }
+                    "export" if !arg.is_empty() => {
+                        let events = lotusx_obs::drain_events();
+                        match std::fs::write(arg, lotusx_obs::chrome_trace_json(&events)) {
+                            Ok(()) => {
+                                let c = lotusx_obs::trace_counters();
+                                println!(
+                                    "wrote {} events to {arg} ({} dropped) — load at ui.perfetto.dev",
+                                    events.len(),
+                                    c.dropped
+                                );
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    "log" if !arg.is_empty() => {
+                        let events = lotusx_obs::drain_events();
+                        match std::fs::write(arg, lotusx_obs::jsonl_log(&events)) {
+                            Ok(()) => println!("wrote {} events to {arg} (JSONL)", events.len()),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    _ => println!(
+                        "usage: trace on|off|export <file>|log <file> (currently {})",
+                        if lotusx_obs::tracing() { "on" } else { "off" }
+                    ),
+                }
+            }
             "save" => match system.save_snapshot(rest) {
                 Ok(()) => println!("snapshot written to {rest}"),
                 Err(e) => println!("error: {e}"),
@@ -369,6 +419,25 @@ fn print_stats(system: &LotusX) {
         system.value_trie_cache_len(),
         system.threads()
     );
+    if qc.hits + qc.misses > 0 {
+        let per_shard: Vec<String> = system
+            .query_cache_shard_stats()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}:{}h/{}m", s.hits, s.misses))
+            .collect();
+        println!("  query-cache shards: {}", per_shard.join("  "));
+    }
+    let vt = system.value_trie_shard_stats();
+    if vt.iter().any(|s| s.hits + s.misses > 0) {
+        let per_shard: Vec<String> = vt
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.hits + s.misses > 0 || s.entries > 0)
+            .map(|(i, s)| format!("{i}:{}h/{}m/{}e", s.hits, s.misses, s.entries))
+            .collect();
+        println!("  value-trie shards: {}", per_shard.join("  "));
+    }
     let ex = lotusx_par::executor_stats();
     println!(
         "executor: {} parallel jobs, {} worker threads spawned",
@@ -442,6 +511,59 @@ fn print_stats(system: &LotusX) {
     }
 }
 
+/// One frame of live telemetry: windowed QPS / tail latency / cache and
+/// truncation rates, plus the retained worst-case exemplars.
+fn print_top() {
+    let m = lotusx_obs::metrics();
+    if !lotusx_obs::enabled() {
+        println!("profiling off — `profile on` to feed the live windows");
+        return;
+    }
+    println!("window   queries      qps   hit%  trunc%   p50(total)   p95(total)   p99(total)");
+    for w in m.windows().aggregate_all() {
+        let total = &w.stages[lotusx_obs::Stage::Total as usize].1;
+        println!(
+            "{:>5}s  {:>8}  {:>7.1}  {:>5.1}  {:>6.1}  {:>11}  {:>11}  {:>11}",
+            w.window_secs,
+            w.queries,
+            w.qps,
+            100.0 * w.hit_ratio,
+            100.0 * w.truncation_rate,
+            lotusx_obs::fmt_ns(total.p50_ns),
+            lotusx_obs::fmt_ns(total.p95_ns),
+            lotusx_obs::fmt_ns(total.p99_ns),
+        );
+    }
+    // Busiest stages over the last 10 seconds.
+    let ten = &m.windows().aggregate_all()[1];
+    let mut active: Vec<_> = ten.stages.iter().filter(|(_, h)| h.count > 0).collect();
+    active.sort_by_key(|s| std::cmp::Reverse(s.1.sum_ns));
+    if !active.is_empty() {
+        println!("stages (10s, by time):");
+        for (name, h) in active.iter().take(5) {
+            println!(
+                "  {:<14} {:>6}  p50 {:>9}  p99 {:>9}",
+                name,
+                h.count,
+                lotusx_obs::fmt_ns(h.p50_ns),
+                lotusx_obs::fmt_ns(h.p99_ns),
+            );
+        }
+    }
+    let exemplars = m.exemplars().snapshot();
+    if !exemplars.is_empty() {
+        println!("slowest sampled queries (by dominant stage):");
+        for e in exemplars.iter().take(8) {
+            println!(
+                "  {:<10} {:>9}  {}",
+                e.stage,
+                lotusx_obs::fmt_ns(e.total_ns),
+                truncate(&e.profile.query, 60)
+            );
+        }
+    }
+}
+
 fn print_candidates(cands: &[lotusx::TagCandidate]) {
     if cands.is_empty() {
         println!("  (no candidates at this position)");
@@ -475,6 +597,10 @@ observability:
   explain <xpath>    run one query and print its stage-timing tree
   stats              document, cache, executor and latency statistics
   stats json         the metrics snapshot as JSON (metrics.json format)
+  top [frames]       live windowed telemetry (QPS, tail latency, exemplars)
+  trace on|off       toggle structured event tracing into the ring buffer
+  trace export <f>   drain the ring to a Chrome/Perfetto trace JSON file
+  trace log <f>      drain the ring to a JSONL event log
 canvas (the GUI surrogate):
   root               drop the root node
   node <i> [/ | //]  add a node under node i

@@ -17,8 +17,10 @@
 use lotusx_autocomplete::{CompletionEngine, ValueTrieCache};
 use lotusx_guard::{Budget, Completeness, QueryGuard, TruncationReason};
 use lotusx_index::{BuildOptions, IndexedDocument};
-use lotusx_obs::{QueryProfile, Span, Stage};
-use lotusx_par::{default_threads, par_map_isolated, CacheStats, ConcurrentLru, WorkerPanic};
+use lotusx_obs::{EventKind, QueryId, QueryProfile, Span, Stage};
+use lotusx_par::{
+    default_threads, par_map_isolated, CacheStats, ShardLoad, ShardedLru, WorkerPanic,
+};
 use lotusx_rank::{RankWeights, Ranker};
 use lotusx_rewrite::{Rewriter, RewriterConfig};
 use lotusx_twig::exec::{execute_budgeted, Algorithm};
@@ -415,15 +417,29 @@ const HOT_TAG_TRIES: usize = 8;
 /// Capacity of the query-result LRU cache.
 const QUERY_CACHE_CAPACITY: usize = 128;
 
+/// Shard count of the query-result LRU cache: enough that concurrent
+/// queries rarely contend on one shard mutex, few enough that per-shard
+/// stats stay readable.
+const QUERY_CACHE_SHARDS: usize = 8;
+
 /// Runs one pipeline stage: `f` gets a child span when the query is
-/// profiled, and the stage's wall time lands in the global histogram when
-/// recording is on. With both off this is the bare call.
+/// profiled, the stage's wall time lands in the global histogram when
+/// recording is on, and stage begin/end events tagged with `qid` go to
+/// the trace ring when tracing is on. With all three off this is the
+/// bare call.
 fn run_stage<T>(
     span: Option<&Span>,
     stage: Stage,
     recording: bool,
+    qid: QueryId,
     f: impl FnOnce(Option<&Span>) -> T,
 ) -> T {
+    lotusx_obs::emit(
+        qid,
+        EventKind::StageBegin {
+            stage: stage.name(),
+        },
+    );
     let started = recording.then(Instant::now);
     let out = match span {
         Some(parent) => {
@@ -435,6 +451,12 @@ fn run_stage<T>(
     if let Some(t0) = started {
         lotusx_obs::metrics().record_stage(stage, t0.elapsed().as_nanos() as u64);
     }
+    lotusx_obs::emit(
+        qid,
+        EventKind::StageEnd {
+            stage: stage.name(),
+        },
+    );
     out
 }
 
@@ -471,8 +493,9 @@ pub struct LotusX {
     /// out by [`Self::completion_engine`].
     value_cache: Arc<ValueTrieCache>,
     /// Memoized outcomes keyed by normalized pattern + effective limit +
-    /// per-request algorithm + config generation.
-    query_cache: ConcurrentLru<String, SearchOutcome>,
+    /// per-request algorithm + config generation. Sharded so concurrent
+    /// queries on different keys never contend on one mutex.
+    query_cache: ShardedLru<String, SearchOutcome>,
     /// Bumped by every result-affecting reconfiguration; stale cache keys
     /// never match again and age out of the LRU.
     config_generation: u64,
@@ -527,7 +550,7 @@ impl LotusX {
             idx,
             config,
             value_cache,
-            query_cache: ConcurrentLru::new(QUERY_CACHE_CAPACITY),
+            query_cache: ShardedLru::new(QUERY_CACHE_CAPACITY, QUERY_CACHE_SHARDS),
             config_generation: 0,
         }
     }
@@ -574,14 +597,25 @@ impl LotusX {
         self.config.threads
     }
 
-    /// Hit/miss statistics of the query-result cache.
+    /// Aggregate hit/miss statistics of the query-result cache.
     pub fn query_cache_stats(&self) -> CacheStats {
         self.query_cache.stats()
+    }
+
+    /// Per-shard hit/miss statistics of the query-result cache, in shard
+    /// order — a hot query hammering one shard shows up as an outlier.
+    pub fn query_cache_shard_stats(&self) -> Vec<CacheStats> {
+        self.query_cache.per_shard_stats()
     }
 
     /// Number of per-tag value-completion tries currently cached.
     pub fn value_trie_cache_len(&self) -> usize {
         self.value_cache.len()
+    }
+
+    /// Per-shard hit/miss/occupancy counters of the value-trie cache.
+    pub fn value_trie_shard_stats(&self) -> Vec<ShardLoad> {
+        self.value_cache.shard_stats()
     }
 
     /// Runs one [`QueryRequest`].
@@ -632,12 +666,25 @@ impl LotusX {
 
     fn query_twig(&self, request: &QueryRequest) -> Result<QueryResponse, LotusError> {
         let recording = lotusx_obs::enabled();
+        let tracing = lotusx_obs::tracing();
+        let qid = if tracing {
+            lotusx_obs::next_query_id()
+        } else {
+            QueryId::NONE
+        };
+        lotusx_obs::emit(qid, EventKind::QueryBegin);
         let started = recording.then(Instant::now);
-        let root = request.profile.then(|| Span::new("query"));
+        // Sampled always-on profiling: 1-in-N queries build the full span
+        // tree even without `request.profile`, feeding the exemplar store.
+        // The profile is attached to the response only when asked for, so
+        // sampling never changes what the caller sees.
+        let sampled = request.profile || lotusx_obs::sampler().should_sample();
+        let root = sampled.then(|| Span::new("query"));
         let span = root.as_ref();
         let guard = QueryGuard::new(&request.budget);
+        guard.set_trace_id(qid.0);
 
-        let parsed = run_stage(span, Stage::Parse, recording, |_| {
+        let parsed = run_stage(span, Stage::Parse, recording, qid, |_| {
             parse_query(&request.text)
         });
         let pattern = match parsed {
@@ -646,6 +693,14 @@ impl LotusX {
                 if recording {
                     lotusx_obs::metrics().incr("query_errors", 1);
                 }
+                lotusx_obs::emit(
+                    qid,
+                    EventKind::QueryEnd {
+                        cache_hit: false,
+                        truncated: false,
+                        results: 0,
+                    },
+                );
                 return Err(e.into());
             }
         };
@@ -666,6 +721,15 @@ impl LotusX {
             m.incr("queries", 1);
             m.incr(if hit { "cache_hit" } else { "cache_miss" }, 1);
         }
+        if tracing {
+            lotusx_obs::emit(
+                qid,
+                EventKind::CacheAccess {
+                    shard: self.query_cache.shard_for(&key) as u32,
+                    hit,
+                },
+            );
+        }
 
         let (outcome, executed_algorithm) = match cached {
             // Cache hits are always complete answers (truncated outcomes
@@ -684,8 +748,15 @@ impl LotusX {
                 None,
             ),
             None => {
-                let (outcome, algorithm) =
-                    self.run_pattern(&pattern, limit, request.algorithm, span, recording, &guard);
+                let (outcome, algorithm) = self.run_pattern(
+                    &pattern,
+                    limit,
+                    request.algorithm,
+                    span,
+                    recording,
+                    qid,
+                    &guard,
+                );
                 if outcome.completeness.is_complete() {
                     self.query_cache.insert(key, outcome.clone());
                 }
@@ -718,32 +789,53 @@ impl LotusX {
                 span: r.finish(),
             }
         });
+        if let Some(p) = profile.as_ref() {
+            lotusx_obs::metrics().exemplars().observe(p);
+        }
+
+        lotusx_obs::emit(
+            qid,
+            EventKind::QueryEnd {
+                cache_hit: hit,
+                truncated: !outcome.completeness.is_complete(),
+                results: outcome.results.len() as u32,
+            },
+        );
 
         Ok(QueryResponse {
             matches: outcome.results,
             total_matches: outcome.total_matches,
             rewrite: outcome.rewrite,
             completeness: outcome.completeness,
-            profile,
+            profile: if request.profile { profile } else { None },
         })
     }
 
     fn query_keyword(&self, request: &QueryRequest) -> QueryResponse {
         let recording = lotusx_obs::enabled();
+        let tracing = lotusx_obs::tracing();
+        let qid = if tracing {
+            lotusx_obs::next_query_id()
+        } else {
+            QueryId::NONE
+        };
+        lotusx_obs::emit(qid, EventKind::QueryBegin);
         let started = recording.then(Instant::now);
-        let root = request.profile.then(|| Span::new("query"));
+        let sampled = request.profile || lotusx_obs::sampler().should_sample();
+        let root = sampled.then(|| Span::new("query"));
         let limit = request.top_k.unwrap_or(self.config.result_limit);
         // Keyword (SLCA) search runs to completion once started, so the
         // budget gates only whether it starts at all: an exhausted budget
         // yields an empty truncated response, anything else a complete
         // one.
         let guard = QueryGuard::new(&request.budget);
+        guard.set_trace_id(qid.0);
         let exhausted = guard.checkpoint();
 
         let (results, total_matches) = if exhausted {
             (Vec::new(), 0)
         } else {
-            run_stage(root.as_ref(), Stage::Keyword, recording, |span| {
+            run_stage(root.as_ref(), Stage::Keyword, recording, qid, |span| {
                 let engine = lotusx_keyword::KeywordEngine::new(&self.idx);
                 let doc = self.idx.document();
                 let hits = engine.search(&request.text);
@@ -786,13 +878,26 @@ impl LotusX {
             rewritten: None,
             span: r.finish(),
         });
+        if let Some(p) = profile.as_ref() {
+            lotusx_obs::metrics().exemplars().observe(p);
+        }
+
+        let completeness = guard.completeness();
+        lotusx_obs::emit(
+            qid,
+            EventKind::QueryEnd {
+                cache_hit: false,
+                truncated: !completeness.is_complete(),
+                results: results.len() as u32,
+            },
+        );
 
         QueryResponse {
             matches: results,
             total_matches,
             rewrite: None,
-            completeness: guard.completeness(),
-            profile,
+            completeness,
+            profile: if request.profile { profile } else { None },
         }
     }
 
@@ -807,6 +912,7 @@ impl LotusX {
             None,
             None,
             recording,
+            QueryId::NONE,
             &QueryGuard::unlimited(),
         )
         .0
@@ -814,6 +920,7 @@ impl LotusX {
 
     /// Executes, possibly rewrites, ranks and serializes one pattern.
     /// Returns the outcome and the join algorithm of the last execution.
+    #[allow(clippy::too_many_arguments)]
     fn run_pattern(
         &self,
         pattern: &TwigPattern,
@@ -821,10 +928,11 @@ impl LotusX {
         algorithm_override: Option<Algorithm>,
         span: Option<&Span>,
         recording: bool,
+        qid: QueryId,
         guard: &QueryGuard,
     ) -> (SearchOutcome, Algorithm) {
         let algorithm = self.algorithm_for(pattern, algorithm_override);
-        let matches = run_stage(span, Stage::Match, recording, |s| {
+        let matches = run_stage(span, Stage::Match, recording, qid, |s| {
             execute_budgeted(&self.idx, pattern, algorithm, self.config.threads, s, guard)
         });
         // A tripped guard suppresses rewriting: a truncated empty run says
@@ -832,12 +940,12 @@ impl LotusX {
         // is spent anyway.
         if !matches.is_empty() || !self.config.auto_rewrite || guard.is_tripped() {
             return (
-                self.finish(pattern, matches, None, limit, span, recording, guard),
+                self.finish(pattern, matches, None, limit, span, recording, qid, guard),
                 algorithm,
             );
         }
         // Empty: try rewriting.
-        let rewrites = run_stage(span, Stage::Rewrite, recording, |s| {
+        let rewrites = run_stage(span, Stage::Rewrite, recording, qid, |s| {
             let rewriter = Rewriter::with(
                 &self.idx,
                 lotusx_rewrite::SynonymTable::default_table(),
@@ -847,8 +955,9 @@ impl LotusX {
         });
         match rewrites.into_iter().next() {
             Some(best) => {
+                lotusx_obs::emit(qid, EventKind::Rewrite { accepted: true });
                 let algorithm = self.algorithm_for(&best.pattern, algorithm_override);
-                let matches = run_stage(span, Stage::Match, recording, |s| {
+                let matches = run_stage(span, Stage::Match, recording, qid, |s| {
                     execute_budgeted(
                         &self.idx,
                         &best.pattern,
@@ -871,15 +980,28 @@ impl LotusX {
                         limit,
                         span,
                         recording,
+                        qid,
                         guard,
                     ),
                     algorithm,
                 )
             }
-            None => (
-                self.finish(pattern, Vec::new(), None, limit, span, recording, guard),
-                algorithm,
-            ),
+            None => {
+                lotusx_obs::emit(qid, EventKind::Rewrite { accepted: false });
+                (
+                    self.finish(
+                        pattern,
+                        Vec::new(),
+                        None,
+                        limit,
+                        span,
+                        recording,
+                        qid,
+                        guard,
+                    ),
+                    algorithm,
+                )
+            }
         }
     }
 
@@ -892,14 +1014,15 @@ impl LotusX {
         limit: usize,
         span: Option<&Span>,
         recording: bool,
+        qid: QueryId,
         guard: &QueryGuard,
     ) -> SearchOutcome {
         let total_matches = matches.len();
-        let ranked = run_stage(span, Stage::Rank, recording, |s| {
+        let ranked = run_stage(span, Stage::Rank, recording, qid, |s| {
             let ranker = Ranker::with_weights(&self.idx, self.config.weights);
             ranker.rank_top_k_budgeted(pattern, matches, limit, self.config.threads, s, guard)
         });
-        let results = run_stage(span, Stage::Serialize, recording, |s| {
+        let results = run_stage(span, Stage::Serialize, recording, qid, |s| {
             let doc = self.idx.document();
             if let Some(s) = s {
                 s.annotate("snippets", ranked.len());

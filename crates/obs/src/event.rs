@@ -1,0 +1,247 @@
+//! Typed trace events and the process-wide tracer.
+//!
+//! When tracing is on ([`set_tracing`]), the engine emits one
+//! [`TraceEvent`] per interesting moment of a query's life — query
+//! begin/end, stage enter/exit, per-shard cache hits, budget trips,
+//! worker activity, rewrite decisions — into a lock-free bounded
+//! [`EventRing`](crate::ring::EventRing). Nothing on the hot path ever
+//! blocks: a full ring drops the event and counts it. The CLI (or any
+//! embedder) drains the ring into a Chrome trace-event JSON or a JSONL
+//! log (see [`crate::export`]).
+//!
+//! When tracing is off the entire cost is one relaxed atomic load per
+//! potential emission site.
+
+use crate::ring::{EventRing, RingCounters};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A monotonic per-process query identifier (0 = no traced query).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl QueryId {
+    /// The null id used for work not attached to a traced query.
+    pub const NONE: QueryId = QueryId(0);
+}
+
+/// What happened (the payload half of a [`TraceEvent`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A query started executing.
+    QueryBegin,
+    /// A query finished.
+    QueryEnd {
+        /// Whether the outcome came from the query-result cache.
+        cache_hit: bool,
+        /// Whether the budget cut the query short.
+        truncated: bool,
+        /// Results returned.
+        results: u32,
+    },
+    /// A pipeline stage started.
+    StageBegin {
+        /// The stage's stable name (e.g. `match`).
+        stage: &'static str,
+    },
+    /// A pipeline stage finished.
+    StageEnd {
+        /// The stage's stable name.
+        stage: &'static str,
+    },
+    /// The query-result cache was consulted.
+    CacheAccess {
+        /// Which cache shard served the lookup.
+        shard: u32,
+        /// Hit or miss.
+        hit: bool,
+    },
+    /// A budget limit tripped (first trip only; sticky afterwards).
+    BudgetTrip {
+        /// The stable truncation-reason name.
+        reason: &'static str,
+    },
+    /// A parallel worker picked up a chunk.
+    WorkerBegin {
+        /// Chunk index within the parallel job.
+        chunk: u32,
+    },
+    /// A parallel worker finished its chunk.
+    WorkerEnd {
+        /// Chunk index within the parallel job.
+        chunk: u32,
+    },
+    /// A worker panicked and was isolated.
+    WorkerPanicked,
+    /// The empty-result rewriter ran.
+    Rewrite {
+        /// Whether a rewrite was applied (false = no candidate survived).
+        accepted: bool,
+    },
+}
+
+impl EventKind {
+    /// Stable snake-case name of the event kind (JSONL `kind` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::QueryBegin => "query_begin",
+            EventKind::QueryEnd { .. } => "query_end",
+            EventKind::StageBegin { .. } => "stage_begin",
+            EventKind::StageEnd { .. } => "stage_end",
+            EventKind::CacheAccess { .. } => "cache_access",
+            EventKind::BudgetTrip { .. } => "budget_trip",
+            EventKind::WorkerBegin { .. } => "worker_begin",
+            EventKind::WorkerEnd { .. } => "worker_end",
+            EventKind::WorkerPanicked => "worker_panic",
+            EventKind::Rewrite { .. } => "rewrite",
+        }
+    }
+}
+
+/// One timestamped, lane-attributed event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Worker lane (0 = coordinating thread, 1.. = parallel workers; see
+    /// `lotusx_par::current_lane`).
+    pub lane: u32,
+    /// The query this event belongs to (`QueryId::NONE` when unknown).
+    pub query: QueryId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Default trace-ring capacity in events (~1 MiB of 32-byte events).
+pub const DEFAULT_RING_CAPACITY: usize = 32_768;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static QUERY_SEQ: AtomicU64 = AtomicU64::new(1);
+static RING: OnceLock<EventRing<TraceEvent>> = OnceLock::new();
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Is structured event tracing on? One relaxed load — the whole cost of
+/// the tracer at a disabled emission site.
+#[inline]
+pub fn tracing() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Turns event tracing on or off. The first enable installs the
+/// parallel-executor worker observer so worker lanes show up in traces.
+pub fn set_tracing(on: bool) {
+    if on {
+        // Idempotent: the executor accepts one observer for the process.
+        lotusx_par::set_worker_observer(worker_observer);
+        // Pin the epoch so the first events don't all start at ts 0.
+        let _ = trace_epoch();
+    }
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Allocates the next monotonic [`QueryId`].
+pub fn next_query_id() -> QueryId {
+    QueryId(QUERY_SEQ.fetch_add(1, Ordering::Relaxed))
+}
+
+/// The process-wide trace ring.
+pub fn trace_ring() -> &'static EventRing<TraceEvent> {
+    RING.get_or_init(|| EventRing::new(DEFAULT_RING_CAPACITY))
+}
+
+/// The process trace epoch (set on first use; all `ts_ns` are relative
+/// to it).
+pub fn trace_epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the trace epoch.
+pub fn trace_now_ns() -> u64 {
+    trace_epoch().elapsed().as_nanos() as u64
+}
+
+/// Emits one event for `query` if tracing is on: stamps the current
+/// time and worker lane and pushes into the ring (dropping, never
+/// blocking, when full).
+#[inline]
+pub fn emit(query: QueryId, kind: EventKind) {
+    if !tracing() {
+        return;
+    }
+    trace_ring().push(TraceEvent {
+        ts_ns: trace_now_ns(),
+        lane: lotusx_par::current_lane(),
+        query,
+        kind,
+    });
+}
+
+/// Drains every event currently buffered, in queue order.
+pub fn drain_events() -> Vec<TraceEvent> {
+    trace_ring().drain()
+}
+
+/// The ring's produced/dropped/exported counters.
+pub fn trace_counters() -> RingCounters {
+    trace_ring().counters()
+}
+
+/// The executor hook: emits worker begin/end events on the worker's own
+/// lane whenever a parallel chunk runs while tracing is on.
+fn worker_observer(chunk: usize, begin: bool) {
+    if !tracing() {
+        return;
+    }
+    let chunk = chunk.min(u32::MAX as usize) as u32;
+    let kind = if begin {
+        EventKind::WorkerBegin { chunk }
+    } else {
+        EventKind::WorkerEnd { chunk }
+    };
+    emit(QueryId::NONE, kind);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_ids_are_monotonic_and_nonzero() {
+        let a = next_query_id();
+        let b = next_query_id();
+        assert!(a.0 > 0);
+        assert!(b > a);
+        assert_eq!(QueryId::NONE.0, 0);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::QueryBegin.name(), "query_begin");
+        assert_eq!(
+            EventKind::CacheAccess {
+                shard: 3,
+                hit: true
+            }
+            .name(),
+            "cache_access"
+        );
+        assert_eq!(EventKind::WorkerPanicked.name(), "worker_panic");
+    }
+
+    #[test]
+    fn emit_is_gated_by_the_flag() {
+        // Tracing starts off in this process; emission must not buffer.
+        // (Tests that enable tracing live in integration tests, which
+        // run in their own process — the flag is process-global.)
+        let before = trace_counters().produced;
+        emit(QueryId(42), EventKind::QueryBegin);
+        assert_eq!(trace_counters().produced, before, "disabled: no event");
+    }
+
+    #[test]
+    fn events_are_compact() {
+        // The ring stores events by value; keep them cache-friendly.
+        assert!(std::mem::size_of::<TraceEvent>() <= 48);
+    }
+}

@@ -1,0 +1,264 @@
+//! Trace exporters: Chrome trace-event JSON (loadable in
+//! `chrome://tracing` and Perfetto) and a line-per-event JSONL log.
+//!
+//! The Chrome format is the "JSON Array Format" with duration (`B`/`E`)
+//! and instant (`i`) phases: every worker lane from `lotusx-par` becomes
+//! a named thread (`tid` = lane), query and stage events nest into
+//! slices on the lane that executed them, and point events (cache
+//! accesses, budget trips, rewrites, panics) render as instants.
+//! Timestamps are microseconds since the trace epoch, with sub-µs
+//! precision kept as fractions.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::json::json_string;
+
+/// Timestamp in fractional microseconds, as Chrome expects.
+fn ts_us(ts_ns: u64) -> String {
+    format!("{:.3}", ts_ns as f64 / 1_000.0)
+}
+
+/// One Chrome trace-event object.
+fn chrome_event(e: &TraceEvent) -> String {
+    let (ph, name, args) = match e.kind {
+        EventKind::QueryBegin => ("B", format!("query#{}", e.query.0), String::new()),
+        EventKind::QueryEnd {
+            cache_hit,
+            truncated,
+            results,
+        } => (
+            "E",
+            format!("query#{}", e.query.0),
+            format!("\"cache_hit\":{cache_hit},\"truncated\":{truncated},\"results\":{results}"),
+        ),
+        EventKind::StageBegin { stage } => ("B", stage.to_string(), String::new()),
+        EventKind::StageEnd { stage } => ("E", stage.to_string(), String::new()),
+        EventKind::CacheAccess { shard, hit } => (
+            "i",
+            format!("cache_{}", if hit { "hit" } else { "miss" }),
+            format!("\"shard\":{shard}"),
+        ),
+        EventKind::BudgetTrip { reason } => ("i", format!("budget_trip:{reason}"), String::new()),
+        EventKind::WorkerBegin { chunk } => ("B", format!("chunk#{chunk}"), String::new()),
+        EventKind::WorkerEnd { chunk } => ("E", format!("chunk#{chunk}"), String::new()),
+        EventKind::WorkerPanicked => ("i", "worker_panic".to_string(), String::new()),
+        EventKind::Rewrite { accepted } => (
+            "i",
+            "rewrite".to_string(),
+            format!("\"accepted\":{accepted}"),
+        ),
+    };
+    let mut out = format!(
+        "{{\"name\":{},\"cat\":{},\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+        json_string(&name),
+        json_string(e.kind.name()),
+        ph,
+        ts_us(e.ts_ns),
+        e.lane
+    );
+    if ph == "i" {
+        // Thread-scoped instants render as small markers on the lane.
+        out.push_str(",\"s\":\"t\"");
+    }
+    let mut args = args;
+    if e.query.0 != 0 && !matches!(e.kind, EventKind::QueryBegin | EventKind::QueryEnd { .. }) {
+        if !args.is_empty() {
+            args.push(',');
+        }
+        args.push_str(&format!("\"query\":{}", e.query.0));
+    }
+    if !args.is_empty() {
+        out.push_str(&format!(",\"args\":{{{args}}}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders events as a complete Chrome trace-event JSON document
+/// (`{"traceEvents":[...]}`) with one named lane per worker thread.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut lanes: Vec<u32> = events.iter().map(|e| e.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    // Metadata: name the process and each lane so Perfetto labels them.
+    push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"lotusx\"}}"
+            .to_string(),
+        &mut out,
+    );
+    for lane in &lanes {
+        let label = if *lane == 0 {
+            "main".to_string()
+        } else {
+            format!("worker-{lane}")
+        };
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                lane,
+                json_string(&label)
+            ),
+            &mut out,
+        );
+    }
+    for e in events {
+        push(chrome_event(e), &mut out);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One JSONL line per event: flat objects with `ts_ns`, `lane`, `query`,
+/// `kind` and the kind-specific fields.
+pub fn jsonl_log(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let mut line = format!(
+            "{{\"ts_ns\":{},\"lane\":{},\"query\":{},\"kind\":{}",
+            e.ts_ns,
+            e.lane,
+            e.query.0,
+            json_string(e.kind.name())
+        );
+        match e.kind {
+            EventKind::QueryEnd {
+                cache_hit,
+                truncated,
+                results,
+            } => line.push_str(&format!(
+                ",\"cache_hit\":{cache_hit},\"truncated\":{truncated},\"results\":{results}"
+            )),
+            EventKind::StageBegin { stage } | EventKind::StageEnd { stage } => {
+                line.push_str(&format!(",\"stage\":{}", json_string(stage)));
+            }
+            EventKind::CacheAccess { shard, hit } => {
+                line.push_str(&format!(",\"shard\":{shard},\"hit\":{hit}"));
+            }
+            EventKind::BudgetTrip { reason } => {
+                line.push_str(&format!(",\"reason\":{}", json_string(reason)));
+            }
+            EventKind::WorkerBegin { chunk } | EventKind::WorkerEnd { chunk } => {
+                line.push_str(&format!(",\"chunk\":{chunk}"));
+            }
+            EventKind::QueryBegin | EventKind::WorkerPanicked | EventKind::Rewrite { .. } => {}
+        }
+        if let EventKind::Rewrite { accepted } = e.kind {
+            line.push_str(&format!(",\"accepted\":{accepted}"));
+        }
+        line.push_str("}\n");
+        out.push_str(&line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::QueryId;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let q = QueryId(7);
+        vec![
+            TraceEvent {
+                ts_ns: 1_000,
+                lane: 0,
+                query: q,
+                kind: EventKind::QueryBegin,
+            },
+            TraceEvent {
+                ts_ns: 1_500,
+                lane: 0,
+                query: q,
+                kind: EventKind::StageBegin { stage: "match" },
+            },
+            TraceEvent {
+                ts_ns: 2_000,
+                lane: 1,
+                query: QueryId::NONE,
+                kind: EventKind::WorkerBegin { chunk: 0 },
+            },
+            TraceEvent {
+                ts_ns: 2_200,
+                lane: 1,
+                query: QueryId::NONE,
+                kind: EventKind::WorkerEnd { chunk: 0 },
+            },
+            TraceEvent {
+                ts_ns: 2_500,
+                lane: 0,
+                query: q,
+                kind: EventKind::BudgetTrip {
+                    reason: "deadline_exceeded",
+                },
+            },
+            TraceEvent {
+                ts_ns: 3_000,
+                lane: 0,
+                query: q,
+                kind: EventKind::StageEnd { stage: "match" },
+            },
+            TraceEvent {
+                ts_ns: 4_000,
+                lane: 0,
+                query: q,
+                kind: EventKind::QueryEnd {
+                    cache_hit: false,
+                    truncated: true,
+                    results: 3,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_has_lanes_and_balanced_spans() {
+        let json = chrome_trace_json(&sample_events());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("{\"name\":\"main\"}"));
+        assert!(json.contains("{\"name\":\"worker-1\"}"));
+        assert!(json.contains("\"name\":\"query#7\",\"cat\":\"query_begin\",\"ph\":\"B\""));
+        assert!(json.contains("\"name\":\"match\""));
+        assert!(json.contains("budget_trip:deadline_exceeded"));
+        assert!(json.contains("\"truncated\":true"));
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count(),
+            "every B has an E"
+        );
+        // Timestamps are µs: 1_500ns → 1.500.
+        assert!(json.contains("\"ts\":1.500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let log = jsonl_log(&sample_events());
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].contains("\"kind\":\"query_begin\""));
+        assert!(lines[1].contains("\"stage\":\"match\""));
+        assert!(lines[4].contains("\"reason\":\"deadline_exceeded\""));
+        assert!(lines[6].contains("\"results\":3"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_still_wellformed() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("process_name"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(jsonl_log(&[]), "");
+    }
+}

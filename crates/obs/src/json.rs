@@ -1,8 +1,11 @@
-//! A tiny hand-rolled JSON emitter (this workspace has no serde) used to
-//! dump metrics snapshots in a `metrics.json`-able shape.
+//! A tiny hand-rolled JSON emitter *and* reader (this workspace has no
+//! serde), used to dump metrics snapshots in a `metrics.json`-able shape
+//! and to validate the emitted documents (`stats json` schema test,
+//! Chrome-trace well-formedness check) without external dependencies.
 
 use crate::histogram::HistogramSnapshot;
 use crate::registry::MetricsSnapshot;
+use crate::window::WindowSnapshot;
 
 /// Escapes a string for inclusion in a JSON document (quotes included).
 pub fn json_string(s: &str) -> String {
@@ -23,6 +26,37 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
+/// Formats an `f64` so the output is always a finite JSON number.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn window_json(w: &WindowSnapshot) -> String {
+    let mut out = format!(
+        "{{\"window_secs\":{},\"queries\":{},\"qps\":{},\"cache_hits\":{},\"cache_misses\":{},\"hit_ratio\":{},\"truncated\":{},\"truncation_rate\":{},\"stages\":{{",
+        w.window_secs,
+        w.queries,
+        json_f64(w.qps),
+        w.cache_hits,
+        w.cache_misses,
+        json_f64(w.hit_ratio),
+        w.truncated,
+        json_f64(w.truncation_rate)
+    );
+    for (i, (name, h)) in w.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json_string(name), histogram_json(h)));
+    }
+    out.push_str("}}");
+    out
+}
+
 fn histogram_json(h: &HistogramSnapshot) -> String {
     format!(
         "{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
@@ -38,7 +72,9 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
 
 impl MetricsSnapshot {
     /// Renders the snapshot as a pretty-printed JSON object with
-    /// `stages`, `counters`, `histograms` and `slow_queries` sections.
+    /// `stages`, `counters`, `histograms`, `slow_queries`, `windows`
+    /// (1s/10s/60s rolling aggregates), `exemplars` (worst-K sampled
+    /// profiles) and `trace` (ring accounting) sections.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"stages\": {\n");
         for (i, (name, h)) in self.stages.iter().enumerate() {
@@ -89,8 +125,270 @@ impl MetricsSnapshot {
                 }
             ));
         }
-        out.push_str("]\n}\n");
+        out.push_str("],\n  \"windows\": {");
+        for (i, w) in self.windows.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {}: {}{}",
+                json_string(&format!("{}s", w.window_secs)),
+                window_json(w),
+                if i + 1 == self.windows.len() {
+                    "\n  "
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("},\n  \"exemplars\": [");
+        for (i, e) in self.exemplars.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {{\"stage\":{},\"query\":{},\"total_ns\":{},\"seq\":{}}}{}",
+                json_string(&e.stage),
+                json_string(&e.profile.query),
+                e.total_ns,
+                e.seq,
+                if i + 1 == self.exemplars.len() {
+                    "\n  "
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "],\n  \"trace\": {{\"produced\":{},\"dropped\":{},\"exported\":{}}}\n}}\n",
+            self.trace.produced, self.trace.dropped, self.trace.exported
+        ));
         out
+    }
+}
+
+/// A parsed JSON value (the reader half of this module).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, as insertion-ordered key/value pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8".to_string());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        // Surrogate pairs are not needed for our own
+                        // documents; map them to the replacement char.
+                        let c = char::from_u32(hex).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
     }
 }
 
@@ -135,5 +433,64 @@ mod tests {
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"histograms\": {}"));
         assert!(json.contains("\"slow_queries\": []"));
+        assert!(json.contains("\"windows\""));
+        assert!(json.contains("\"exemplars\": []"));
+        assert!(json.contains("\"trace\""));
+    }
+
+    #[test]
+    fn parser_handles_scalars_arrays_objects() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("-12.5e2").unwrap(), JsonValue::Num(-1250.0));
+        assert_eq!(
+            parse_json("\"a\\n\\\"b\\u0041\"").unwrap(),
+            JsonValue::Str("a\n\"bA".to_string())
+        );
+        let v = parse_json("{\"xs\":[1,2,3],\"ok\":false}").unwrap();
+        let xs = v.get("xs").unwrap().as_arr().unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[2].as_f64(), Some(3.0));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.as_obj().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{\"a\":1").is_err());
+        assert!(parse_json("[1,2,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_through_the_parser() {
+        let m = Metrics::new();
+        m.record_stage(Stage::Total, 2_000_000);
+        m.incr("queries", 1);
+        m.incr("cache_miss", 1);
+        let doc = parse_json(&m.snapshot().to_json()).expect("self-emitted JSON parses");
+        let windows = doc.get("windows").expect("windows section");
+        for w in ["1s", "10s", "60s"] {
+            let win = windows.get(w).unwrap_or_else(|| panic!("{w} window"));
+            let p99 = win
+                .get("stages")
+                .and_then(|s| s.get("total"))
+                .and_then(|t| t.get("p99_ns"))
+                .and_then(|v| v.as_f64())
+                .unwrap();
+            assert!(p99.is_finite());
+        }
+        let trace = doc.get("trace").expect("trace section");
+        assert!(trace.get("dropped").unwrap().as_f64().is_some());
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("queries"))
+                .and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
     }
 }

@@ -15,7 +15,16 @@
 //! * **Per-query profiles** — a [`Span`] tree threaded through the
 //!   pipeline when one request opts in (`QueryRequest::profile`),
 //!   finished into a [`QueryProfile`] the caller can inspect or render
-//!   as the CLI `explain` tree.
+//!   as the CLI `explain` tree. A process-wide [`sampler`] also profiles
+//!   1-in-N queries *without* opting in, feeding the worst-K
+//!   [`ExemplarStore`] so tail latencies come with attribution.
+//! * **Structured event tracing** — typed [`TraceEvent`]s pushed into a
+//!   lock-free bounded ring ([`EventRing`]) behind the [`tracing`] flag,
+//!   exportable as Chrome trace-event JSON ([`chrome_trace_json`],
+//!   loadable in Perfetto with one lane per worker thread) or a JSONL
+//!   log. The [`WindowedStats`] ring adds rolling 1s/10s/60s live
+//!   aggregates (QPS, per-stage p50/p95/p99, cache hit ratio,
+//!   truncation rate) behind the same [`enabled`] flag.
 //!
 //! ```
 //! use lotusx_obs::{Span, QueryProfile};
@@ -34,17 +43,30 @@
 
 #![warn(missing_docs)]
 
+pub mod event;
+pub mod export;
 pub mod histogram;
 pub mod json;
 pub mod profile;
 pub mod registry;
+pub mod ring;
+pub mod sampler;
 pub mod span;
+pub mod window;
 
-pub use histogram::{fmt_ns, HistogramSnapshot, LatencyHistogram};
-pub use json::json_string;
+pub use event::{
+    drain_events, emit, next_query_id, set_tracing, trace_counters, tracing, EventKind, QueryId,
+    TraceEvent,
+};
+pub use export::{chrome_trace_json, jsonl_log};
+pub use histogram::{fmt_ns, HistogramAccumulator, HistogramSnapshot, LatencyHistogram};
+pub use json::{json_string, parse_json, JsonValue};
 pub use profile::QueryProfile;
 pub use registry::{
     enabled, metrics, set_enabled, time_stage, Metrics, MetricsSnapshot, SlowQuery, SlowQueryLog,
     Stage,
 };
+pub use ring::{EventRing, RingCounters};
+pub use sampler::{sampler, Exemplar, ExemplarStore, Sampler, DEFAULT_SAMPLE_RATE};
 pub use span::{Span, SpanGuard, SpanRecord};
+pub use window::{WindowCounter, WindowSnapshot, WindowedStats};

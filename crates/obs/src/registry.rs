@@ -9,6 +9,8 @@
 //! threshold).
 
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::sampler::{Exemplar, ExemplarStore};
+use crate::window::{WindowCounter, WindowSnapshot, WindowedStats};
 use lotusx_par::ShardedMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -154,6 +156,8 @@ pub struct Metrics {
     counters: ShardedMap<&'static str, AtomicU64>,
     named: ShardedMap<&'static str, LatencyHistogram>,
     slow: SlowQueryLog,
+    windows: WindowedStats,
+    exemplars: ExemplarStore,
 }
 
 impl Default for Metrics {
@@ -170,6 +174,8 @@ impl Metrics {
             counters: ShardedMap::new(),
             named: ShardedMap::new(),
             slow: SlowQueryLog::new(DEFAULT_SLOW_CAPACITY, DEFAULT_SLOW_THRESHOLD_NS),
+            windows: WindowedStats::new(),
+            exemplars: ExemplarStore::new(),
         }
     }
 
@@ -179,15 +185,31 @@ impl Metrics {
     }
 
     /// Records one stage sample (no-op shorthand guarded by the caller).
+    /// Every sample also lands in the current one-second telemetry slot,
+    /// so lifetime histograms and live windows stay in lockstep.
     pub fn record_stage(&self, stage: Stage, ns: u64) {
         self.stage(stage).record_ns(ns);
+        self.windows.record_stage(stage, ns);
     }
 
-    /// Adds `n` to the named counter, creating it at zero first.
+    /// Adds `n` to the named counter, creating it at zero first. The
+    /// handful of counters the live dashboard derives its rates from
+    /// (queries, cache hits/misses, truncations) are mirrored into the
+    /// current telemetry window.
     pub fn incr(&self, name: &'static str, n: u64) {
         self.counters
             .get_or_insert_with(name, || AtomicU64::new(0))
             .fetch_add(n, Ordering::Relaxed);
+        let window = match name {
+            "queries" => Some(WindowCounter::Queries),
+            "cache_hit" => Some(WindowCounter::CacheHits),
+            "cache_miss" => Some(WindowCounter::CacheMisses),
+            "degraded_responses" => Some(WindowCounter::Truncated),
+            _ => None,
+        };
+        if let Some(counter) = window {
+            self.windows.incr(counter, n);
+        }
     }
 
     /// The current value of a named counter (0 if never incremented).
@@ -218,6 +240,16 @@ impl Metrics {
         &self.slow
     }
 
+    /// The rolling 1s/10s/60s telemetry windows.
+    pub fn windows(&self) -> &WindowedStats {
+        &self.windows
+    }
+
+    /// The worst-K sampled-profile exemplar store.
+    pub fn exemplars(&self) -> &ExemplarStore {
+        &self.exemplars
+    }
+
     /// Zeroes every histogram and counter and empties the slow log.
     pub fn reset(&self) {
         for h in &self.stages {
@@ -232,6 +264,8 @@ impl Metrics {
         }
         self.named.for_each(|_, h| h.reset());
         self.slow.reset();
+        self.windows.reset();
+        self.exemplars.reset();
     }
 
     /// A plain-data snapshot of everything in the registry.
@@ -252,6 +286,9 @@ impl Metrics {
             counters,
             histograms,
             slow_queries: self.slow.entries(),
+            windows: self.windows.aggregate_all(),
+            exemplars: self.exemplars.snapshot(),
+            trace: crate::event::trace_counters(),
         }
     }
 }
@@ -268,6 +305,12 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Slow-query log entries, oldest first.
     pub slow_queries: Vec<SlowQuery>,
+    /// Rolling 1s/10s/60s window aggregates, shortest window first.
+    pub windows: Vec<WindowSnapshot>,
+    /// Worst-K sampled-profile exemplars, grouped by dominant stage.
+    pub exemplars: Vec<Exemplar>,
+    /// Trace-ring accounting (produced / dropped / exported events).
+    pub trace: crate::ring::RingCounters,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);

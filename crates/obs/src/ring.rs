@@ -1,0 +1,282 @@
+//! A lock-free bounded ring buffer for trace events.
+//!
+//! [`EventRing`] is a fixed-capacity multi-producer queue (Vyukov's
+//! bounded MPMC design): producers claim slots with one `fetch_add` plus
+//! a sequence-number CAS handshake, and never block. When the ring is
+//! full the event is *dropped* and counted — the hot path pays the cost
+//! of a failed claim, never a lock or a wait. The exporter drains from
+//! the other end, concurrently with producers.
+//!
+//! Accounting is exact: every [`EventRing::push`] attempt increments
+//! `produced`, every rejected push increments `dropped`, and every
+//! popped element increments `exported`, so after producers quiesce and
+//! a final drain, `produced == exported + dropped` holds with equality
+//! (the ring-stress integration test asserts this under contention).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One slot: a sequence number for the claim handshake plus the payload.
+///
+/// The sequence protocol (for a ring of capacity `cap`): a slot at index
+/// `i` starts with `seq = i`. A producer that claimed ticket `t` may
+/// write when `seq == t`, then publishes with `seq = t + 1`. A consumer
+/// holding ticket `t` may read when `seq == t + 1`, then releases the
+/// slot for the next lap with `seq = t + cap`.
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+// SAFETY: access to `value` is serialized by the `seq` handshake — a
+// producer writes only after winning the CAS for its ticket, and the
+// consumer reads only after the producer published, with the
+// acquire/release pairs on `seq` ordering the payload accesses.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Monotonic usage counters of an [`EventRing`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RingCounters {
+    /// Push attempts (successful or dropped).
+    pub produced: u64,
+    /// Pushes rejected because the ring was full.
+    pub dropped: u64,
+    /// Elements handed out by `pop` / `drain`.
+    pub exported: u64,
+}
+
+/// A bounded lock-free multi-producer ring buffer (see the module docs).
+pub struct EventRing<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    produced: AtomicU64,
+    dropped: AtomicU64,
+    exported: AtomicU64,
+}
+
+impl<T> EventRing<T> {
+    /// Creates a ring holding at most `capacity` events (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        EventRing {
+            slots: (0..capacity)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            mask: capacity - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            produced: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            exported: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring's capacity (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Attempts to enqueue `value` without blocking. Returns `false`
+    /// (and counts the drop) when the ring is full.
+    pub fn push(&self, value: T) -> bool {
+        self.produced.fetch_add(1, Ordering::Relaxed);
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // The slot is free for this ticket: try to claim it.
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS above made us the unique owner
+                        // of this slot for ticket `pos`; nobody else
+                        // touches `value` until we bump `seq`.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                // The slot still holds an unconsumed element from the
+                // previous lap: the ring is full. Drop, never block.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                // Another producer claimed this ticket; reload and retry.
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues one element, or `None` when the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos.wrapping_add(1)) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made us the unique consumer of
+                        // this slot for ticket `pos`, and the producer's
+                        // release-store on `seq` published the value.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        self.exported.fetch_add(1, Ordering::Relaxed);
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                // The slot has not been published yet: the ring is empty
+                // (or the producer for this ticket is mid-write).
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains everything currently in the ring, in queue order.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+
+    /// The monotonic produced/dropped/exported counters.
+    pub fn counters(&self) -> RingCounters {
+        RingCounters {
+            produced: self.produced.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            exported: self.exported.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<T> Drop for EventRing<T> {
+    fn drop(&mut self) {
+        // Release any elements still queued so non-trivial payloads are
+        // not leaked.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let ring: EventRing<u32> = EventRing::new(8);
+        for i in 0..5 {
+            assert!(ring.push(i));
+        }
+        assert_eq!(ring.drain(), vec![0, 1, 2, 3, 4]);
+        let c = ring.counters();
+        assert_eq!((c.produced, c.dropped, c.exported), (5, 0, 5));
+    }
+
+    #[test]
+    fn full_ring_drops_instead_of_blocking() {
+        let ring: EventRing<u32> = EventRing::new(4);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4 {
+            assert!(ring.push(i));
+        }
+        assert!(!ring.push(99), "full ring rejects");
+        assert!(!ring.push(100));
+        let c = ring.counters();
+        assert_eq!(c.produced, 6);
+        assert_eq!(c.dropped, 2);
+        assert_eq!(ring.drain(), vec![0, 1, 2, 3], "queued events intact");
+        assert!(ring.push(5), "space again after draining");
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventRing::<u8>::new(0).capacity(), 2);
+        assert_eq!(EventRing::<u8>::new(5).capacity(), 8);
+        assert_eq!(EventRing::<u8>::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn wraparound_keeps_accounting_exact() {
+        let ring: EventRing<u64> = EventRing::new(4);
+        for lap in 0..10u64 {
+            for i in 0..4 {
+                assert!(ring.push(lap * 4 + i));
+            }
+            assert_eq!(ring.drain().len(), 4);
+        }
+        let c = ring.counters();
+        assert_eq!(c.produced, 40);
+        assert_eq!(c.exported, 40);
+        assert_eq!(c.dropped, 0);
+    }
+
+    #[test]
+    fn drop_releases_queued_values() {
+        let payload = std::sync::Arc::new(());
+        let ring: EventRing<std::sync::Arc<()>> = EventRing::new(8);
+        ring.push(payload.clone());
+        ring.push(payload.clone());
+        assert_eq!(std::sync::Arc::strong_count(&payload), 3);
+        drop(ring);
+        assert_eq!(std::sync::Arc::strong_count(&payload), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_but_drops() {
+        let ring: EventRing<u64> = EventRing::new(1024);
+        let total = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..5_000 {
+                        ring.push(t * 1_000_000 + i);
+                    }
+                });
+            }
+            let ring = &ring;
+            let total = &total;
+            s.spawn(move || {
+                // Concurrent draining while producers run.
+                for _ in 0..200 {
+                    total.fetch_add(ring.drain().len() as u64, Ordering::Relaxed);
+                    std::thread::yield_now();
+                }
+            });
+        });
+        total.fetch_add(ring.drain().len() as u64, Ordering::Relaxed);
+        let c = ring.counters();
+        assert_eq!(c.produced, 20_000);
+        assert_eq!(c.exported, total.load(Ordering::Relaxed));
+        assert_eq!(c.produced, c.exported + c.dropped);
+    }
+}

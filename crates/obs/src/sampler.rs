@@ -1,0 +1,260 @@
+//! Sampled always-on profiling: every 1-in-N queries gets a full span
+//! tree without the caller opting in, and the slowest sampled profiles
+//! are retained per dominant stage in a worst-K [`ExemplarStore`] —
+//! turning "the p99 is 40ms" into "the p99 is 40ms *and here is the
+//! stage tree of an actual such query*".
+//!
+//! The cost model matches the rest of the crate: an unsampled query pays
+//! one relaxed load (rate check) plus one relaxed `fetch_add`; a sampled
+//! query pays span bookkeeping plus one short mutex push into the
+//! exemplar store. Sampling never changes a query's *answer* — the
+//! profile is recorded on the side and only attached to the response
+//! when the request asked for it (the profile-integration test asserts
+//! byte-identical responses).
+
+use crate::profile::QueryProfile;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default sampling rate: profile one query in this many. 1-in-128 keeps
+/// the always-on cost under the disabled-path budget even for cache-hit
+/// queries of a few microseconds on a slow single-core host, while still
+/// collecting thousands of exemplar candidates per minute at real loads.
+pub const DEFAULT_SAMPLE_RATE: u64 = 128;
+
+/// Profiles retained per dominant stage by the exemplar store.
+pub const EXEMPLARS_PER_STAGE: usize = 4;
+
+/// A deterministic 1-in-N sampler (N = 0 disables sampling entirely).
+pub struct Sampler {
+    rate: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl Sampler {
+    /// Creates a sampler with the given rate.
+    pub fn new(rate: u64) -> Self {
+        Sampler {
+            rate: AtomicU64::new(rate),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The current rate (0 = off, 1 = every query, N = one in N).
+    pub fn rate(&self) -> u64 {
+        self.rate.load(Ordering::Relaxed)
+    }
+
+    /// Sets the rate.
+    pub fn set_rate(&self, rate: u64) {
+        self.rate.store(rate, Ordering::Relaxed);
+    }
+
+    /// Should this query be profiled? One relaxed load when sampling is
+    /// off; one extra relaxed `fetch_add` when on.
+    #[inline]
+    pub fn should_sample(&self) -> bool {
+        let rate = self.rate();
+        if rate == 0 {
+            return false;
+        }
+        self.seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(rate)
+    }
+}
+
+static SAMPLER: OnceLock<Sampler> = OnceLock::new();
+
+/// The process-wide sampler (starts at [`DEFAULT_SAMPLE_RATE`]).
+pub fn sampler() -> &'static Sampler {
+    SAMPLER.get_or_init(|| Sampler::new(DEFAULT_SAMPLE_RATE))
+}
+
+/// One retained worst-case profile.
+#[derive(Clone, Debug)]
+pub struct Exemplar {
+    /// The dominant top-level stage (largest share of wall time).
+    pub stage: String,
+    /// Total wall time of the query.
+    pub total_ns: u64,
+    /// Monotonic admission number (higher = more recent).
+    pub seq: u64,
+    /// The full profile, span tree included.
+    pub profile: QueryProfile,
+}
+
+/// Keeps the [`EXEMPLARS_PER_STAGE`] slowest sampled profiles per
+/// dominant stage. Small, bounded, and mutex-guarded — only sampled
+/// queries ever touch it.
+pub struct ExemplarStore {
+    by_stage: Mutex<HashMap<String, Vec<Exemplar>>>,
+    seq: AtomicU64,
+}
+
+impl Default for ExemplarStore {
+    fn default() -> Self {
+        ExemplarStore {
+            by_stage: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ExemplarStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stage a profile is charged to: the top-level child span with
+    /// the largest duration, or `total` when the tree has no children.
+    pub fn dominant_stage(profile: &QueryProfile) -> String {
+        profile
+            .span
+            .children
+            .iter()
+            .max_by_key(|c| c.duration_ns)
+            .map(|c| c.name.clone())
+            .unwrap_or_else(|| "total".to_string())
+    }
+
+    /// Offers a sampled profile; it is retained if it is among the
+    /// worst-K for its dominant stage. Returns whether it was kept.
+    pub fn observe(&self, profile: &QueryProfile) -> bool {
+        let stage = Self::dominant_stage(profile);
+        let total_ns = profile.total_ns();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.by_stage.lock().expect("exemplar store poisoned");
+        let slot = map.entry(stage.clone()).or_default();
+        if slot.len() < EXEMPLARS_PER_STAGE {
+            slot.push(Exemplar {
+                stage,
+                total_ns,
+                seq,
+                profile: profile.clone(),
+            });
+            return true;
+        }
+        // Full: replace the fastest retained exemplar if we are slower.
+        let (min_idx, min) = slot
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.total_ns)
+            .expect("slot is non-empty");
+        if total_ns <= min.total_ns {
+            return false;
+        }
+        slot[min_idx] = Exemplar {
+            stage,
+            total_ns,
+            seq,
+            profile: profile.clone(),
+        };
+        true
+    }
+
+    /// Every retained exemplar, grouped by stage name (sorted), slowest
+    /// first within a stage.
+    pub fn snapshot(&self) -> Vec<Exemplar> {
+        let map = self.by_stage.lock().expect("exemplar store poisoned");
+        let mut stages: Vec<&String> = map.keys().collect();
+        stages.sort();
+        let mut out = Vec::new();
+        for stage in stages {
+            let mut group = map[stage].clone();
+            group.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.seq.cmp(&b.seq)));
+            out.extend(group);
+        }
+        out
+    }
+
+    /// Drops every retained exemplar.
+    pub fn reset(&self) {
+        self.by_stage
+            .lock()
+            .expect("exemplar store poisoned")
+            .clear();
+        self.seq.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRecord;
+
+    fn profile(query: &str, stage: &str, total_ns: u64) -> QueryProfile {
+        QueryProfile {
+            query: query.into(),
+            span: SpanRecord {
+                name: "query".into(),
+                duration_ns: total_ns,
+                notes: vec![],
+                children: vec![
+                    SpanRecord {
+                        name: stage.into(),
+                        duration_ns: total_ns / 2 + 1,
+                        ..Default::default()
+                    },
+                    SpanRecord {
+                        name: "parse".into(),
+                        duration_ns: 1,
+                        ..Default::default()
+                    },
+                ],
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sampler_rate_one_in_n() {
+        let s = Sampler::new(4);
+        let sampled = (0..40).filter(|_| s.should_sample()).count();
+        assert_eq!(sampled, 10, "exactly 1 in 4");
+        s.set_rate(0);
+        assert!(!(0..100).any(|_| s.should_sample()), "rate 0 disables");
+        s.set_rate(1);
+        assert!((0..10).all(|_| s.should_sample()), "rate 1 samples all");
+    }
+
+    #[test]
+    fn dominant_stage_is_largest_child() {
+        let p = profile("//a", "match", 10_000);
+        assert_eq!(ExemplarStore::dominant_stage(&p), "match");
+        let flat = QueryProfile::default();
+        assert_eq!(ExemplarStore::dominant_stage(&flat), "total");
+    }
+
+    #[test]
+    fn store_keeps_worst_k_per_stage() {
+        let store = ExemplarStore::new();
+        for ns in [50u64, 10, 40, 20, 30] {
+            store.observe(&profile("//q", "match", ns));
+        }
+        let kept = store.snapshot();
+        assert_eq!(kept.len(), EXEMPLARS_PER_STAGE);
+        let totals: Vec<u64> = kept.iter().map(|e| e.total_ns).collect();
+        assert_eq!(totals, vec![50, 40, 30, 20], "slowest first, 10 evicted");
+        // A faster query than everything retained is rejected.
+        assert!(!store.observe(&profile("//fast", "match", 5)));
+        // Stages are independent.
+        assert!(store.observe(&profile("//r", "rank", 1)));
+        assert_eq!(store.snapshot().len(), EXEMPLARS_PER_STAGE + 1);
+        store.reset();
+        assert!(store.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_groups_by_stage_sorted() {
+        let store = ExemplarStore::new();
+        store.observe(&profile("//r", "rank", 100));
+        store.observe(&profile("//m", "match", 200));
+        let kept = store.snapshot();
+        assert_eq!(kept[0].stage, "match");
+        assert_eq!(kept[1].stage, "rank");
+        assert_eq!(kept[1].profile.query, "//r");
+    }
+}

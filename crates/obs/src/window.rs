@@ -1,0 +1,335 @@
+//! Time-windowed rolling telemetry: live QPS, per-stage tail latency,
+//! cache hit ratio and truncation rate over the last 1s / 10s / 60s.
+//!
+//! [`WindowedStats`] keeps a ring of [`WINDOW_SLOTS`] one-second slots.
+//! Each slot carries its own per-stage [`LatencyHistogram`]s plus a few
+//! counters, and is labelled with the second it describes; writers find
+//! the slot for "now", lazily recycling slots whose label has gone
+//! stale. Readers fold the labelled slots inside a window into one
+//! [`WindowSnapshot`] with a [`HistogramAccumulator`].
+//!
+//! The recycle step (reset-then-relabel) races benignly with concurrent
+//! writers: a sample recorded while a slot is being recycled may land in
+//! either the old or the new second, and a reader may see a partially
+//! reset slot. Both misplace at most a handful of samples at a window
+//! boundary — acceptable for live dashboards, and the price of keeping
+//! the write path lock-free (a label load, an index, and the usual
+//! relaxed histogram adds).
+
+use crate::histogram::{HistogramAccumulator, HistogramSnapshot, LatencyHistogram};
+use crate::registry::Stage;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of one-second slots retained (must cover the largest window).
+pub const WINDOW_SLOTS: usize = 64;
+
+/// The windows surfaced by [`WindowedStats::aggregate_all`], in seconds.
+pub const WINDOWS_SECS: [u64; 3] = [1, 10, 60];
+
+/// The counters each slot tracks alongside its stage histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowCounter {
+    /// Queries answered (twig + keyword).
+    Queries,
+    /// Query-cache hits.
+    CacheHits,
+    /// Query-cache misses.
+    CacheMisses,
+    /// Queries answered with a truncated (budget-limited) result.
+    Truncated,
+}
+
+struct WindowSlot {
+    /// The second this slot describes, offset by one (0 = never used).
+    label: AtomicU64,
+    stages: [LatencyHistogram; Stage::ALL.len()],
+    counters: [AtomicU64; 4],
+}
+
+impl Default for WindowSlot {
+    fn default() -> Self {
+        WindowSlot {
+            label: AtomicU64::new(0),
+            stages: Default::default(),
+            counters: Default::default(),
+        }
+    }
+}
+
+impl WindowSlot {
+    fn reset(&self) {
+        for h in &self.stages {
+            h.reset();
+        }
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A rolling ring of per-second telemetry slots (see the module docs).
+pub struct WindowedStats {
+    // Boxed: 64 slots of 9 histograms are a few hundred KB — far too
+    // big to construct by value on a 2 MiB test-thread stack.
+    slots: Box<[WindowSlot]>,
+}
+
+impl Default for WindowedStats {
+    fn default() -> Self {
+        WindowedStats {
+            slots: (0..WINDOW_SLOTS)
+                .map(|_| WindowSlot::default())
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+}
+
+/// An aggregated view of one window (e.g. the last 10 seconds).
+#[derive(Clone, Debug)]
+pub struct WindowSnapshot {
+    /// The window length in seconds.
+    pub window_secs: u64,
+    /// Queries answered inside the window.
+    pub queries: u64,
+    /// Queries per second over the window.
+    pub qps: f64,
+    /// Query-cache hits inside the window.
+    pub cache_hits: u64,
+    /// Query-cache misses inside the window.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, or 0 when the cache was idle.
+    pub hit_ratio: f64,
+    /// Truncated (budget-limited) responses inside the window.
+    pub truncated: u64,
+    /// `truncated / queries`, or 0 when idle.
+    pub truncation_rate: f64,
+    /// Per-stage latency over the window, in [`Stage::ALL`] order.
+    pub stages: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl WindowedStats {
+    /// Creates an empty ring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The slot label for "now": whole seconds since the trace epoch,
+    /// offset by one so 0 can mean "never used".
+    pub fn now_label() -> u64 {
+        crate::event::trace_now_ns() / 1_000_000_000 + 1
+    }
+
+    /// Finds (recycling if stale) the slot for second `label`.
+    fn slot(&self, label: u64) -> &WindowSlot {
+        let slot = &self.slots[(label as usize) % WINDOW_SLOTS];
+        if slot.label.load(Ordering::Relaxed) != label {
+            // Benign race: concurrent writers may repeat the reset or
+            // land a sample across the relabel (see module docs).
+            slot.reset();
+            slot.label.store(label, Ordering::Relaxed);
+        }
+        slot
+    }
+
+    /// Records one stage latency sample into the current second.
+    pub fn record_stage(&self, stage: Stage, ns: u64) {
+        self.record_stage_at(Self::now_label(), stage, ns);
+    }
+
+    /// Bumps one counter in the current second.
+    pub fn incr(&self, counter: WindowCounter, n: u64) {
+        self.incr_at(Self::now_label(), counter, n);
+    }
+
+    /// Test seam: records into an explicit second.
+    pub fn record_stage_at(&self, label: u64, stage: Stage, ns: u64) {
+        self.slot(label).stages[stage as usize].record_ns(ns);
+    }
+
+    /// Test seam: bumps a counter in an explicit second.
+    pub fn incr_at(&self, label: u64, counter: WindowCounter, n: u64) {
+        self.slot(label).counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folds the slots of the last `window_secs` seconds (ending at the
+    /// current second) into one snapshot.
+    pub fn aggregate(&self, window_secs: u64) -> WindowSnapshot {
+        self.aggregate_at(Self::now_label(), window_secs)
+    }
+
+    /// Test seam: aggregates the window ending at an explicit second.
+    pub fn aggregate_at(&self, now_label: u64, window_secs: u64) -> WindowSnapshot {
+        let window_secs = window_secs.clamp(1, WINDOW_SLOTS as u64);
+        let mut stages: Vec<HistogramAccumulator> = Stage::ALL
+            .iter()
+            .map(|_| HistogramAccumulator::new())
+            .collect();
+        let mut counters = [0u64; 4];
+        let first = now_label.saturating_sub(window_secs - 1).max(1);
+        for label in first..=now_label {
+            let slot = &self.slots[(label as usize) % WINDOW_SLOTS];
+            if slot.label.load(Ordering::Relaxed) != label {
+                continue; // never written, or already recycled
+            }
+            for (acc, h) in stages.iter_mut().zip(slot.stages.iter()) {
+                acc.merge(h);
+            }
+            for (total, c) in counters.iter_mut().zip(slot.counters.iter()) {
+                *total += c.load(Ordering::Relaxed);
+            }
+        }
+        let [queries, cache_hits, cache_misses, truncated] = counters;
+        let lookups = cache_hits + cache_misses;
+        WindowSnapshot {
+            window_secs,
+            queries,
+            qps: queries as f64 / window_secs as f64,
+            cache_hits,
+            cache_misses,
+            hit_ratio: if lookups == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / lookups as f64
+            },
+            truncated,
+            truncation_rate: if queries == 0 {
+                0.0
+            } else {
+                truncated as f64 / queries as f64
+            },
+            stages: Stage::ALL
+                .iter()
+                .zip(stages.iter())
+                .map(|(s, acc)| (s.name(), acc.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Snapshots every standard window (1s, 10s, 60s), shortest first.
+    pub fn aggregate_all(&self) -> Vec<WindowSnapshot> {
+        let now = Self::now_label();
+        WINDOWS_SECS
+            .iter()
+            .map(|&w| self.aggregate_at(now, w))
+            .collect()
+    }
+
+    /// Clears every slot.
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.reset();
+            slot.label.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage_count(snap: &WindowSnapshot, stage: Stage) -> u64 {
+        snap.stages[stage as usize].1.count
+    }
+
+    #[test]
+    fn windows_cover_only_their_seconds() {
+        let w = WindowedStats::new();
+        // Seconds 100..=105, one query each, 1ms total-stage latency.
+        for label in 100..=105u64 {
+            w.incr_at(label, WindowCounter::Queries, 1);
+            w.record_stage_at(label, Stage::Total, 1_000_000);
+        }
+        let s1 = w.aggregate_at(105, 1);
+        assert_eq!(s1.queries, 1);
+        assert_eq!(s1.qps, 1.0);
+        assert_eq!(stage_count(&s1, Stage::Total), 1);
+        let s10 = w.aggregate_at(105, 10);
+        assert_eq!(s10.queries, 6, "only six seconds were active");
+        assert_eq!(s10.qps, 0.6);
+        assert_eq!(stage_count(&s10, Stage::Total), 6);
+        // A window ending before the activity sees nothing.
+        let earlier = w.aggregate_at(99, 10);
+        assert_eq!(earlier.queries, 0);
+        assert_eq!(earlier.qps, 0.0);
+    }
+
+    #[test]
+    fn ratios_and_rates() {
+        let w = WindowedStats::new();
+        w.incr_at(200, WindowCounter::Queries, 10);
+        w.incr_at(200, WindowCounter::CacheHits, 3);
+        w.incr_at(200, WindowCounter::CacheMisses, 7);
+        w.incr_at(200, WindowCounter::Truncated, 2);
+        let s = w.aggregate_at(200, 1);
+        assert!((s.hit_ratio - 0.3).abs() < 1e-9);
+        assert!((s.truncation_rate - 0.2).abs() < 1e-9);
+        // Idle window: ratios defined as zero, never NaN.
+        let idle = w.aggregate_at(500, 1);
+        assert_eq!(idle.hit_ratio, 0.0);
+        assert_eq!(idle.truncation_rate, 0.0);
+    }
+
+    #[test]
+    fn stale_slots_are_recycled_on_reuse() {
+        let w = WindowedStats::new();
+        w.incr_at(7, WindowCounter::Queries, 5);
+        // Second 7 + WINDOW_SLOTS maps to the same slot; the old count
+        // must not leak into the new second.
+        let reused = 7 + WINDOW_SLOTS as u64;
+        w.incr_at(reused, WindowCounter::Queries, 1);
+        assert_eq!(w.aggregate_at(reused, 1).queries, 1);
+        // And the old label no longer matches, so the old window is gone.
+        assert_eq!(w.aggregate_at(7, 1).queries, 0);
+    }
+
+    #[test]
+    fn merged_percentiles_span_slots() {
+        let w = WindowedStats::new();
+        for _ in 0..95 {
+            w.record_stage_at(300, Stage::Match, 1_000);
+        }
+        for _ in 0..5 {
+            w.record_stage_at(301, Stage::Match, 50_000_000);
+        }
+        let s = w.aggregate_at(301, 10);
+        let m = s.stages[Stage::Match as usize].1;
+        assert_eq!(m.count, 100);
+        assert!(m.p50_ns < 2_048);
+        assert_eq!(m.p99_ns, 50_000_000, "slow tail dominates p99");
+    }
+
+    #[test]
+    fn aggregate_all_returns_standard_windows() {
+        let w = WindowedStats::new();
+        let all = w.aggregate_all();
+        let secs: Vec<u64> = all.iter().map(|s| s.window_secs).collect();
+        assert_eq!(secs, vec![1, 10, 60]);
+    }
+
+    #[test]
+    fn reset_clears_all_slots() {
+        let w = WindowedStats::new();
+        w.incr_at(42, WindowCounter::Queries, 9);
+        w.reset();
+        assert_eq!(w.aggregate_at(42, 60).queries, 0);
+    }
+
+    #[test]
+    fn concurrent_writers_one_second() {
+        let w = WindowedStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        w.incr_at(900, WindowCounter::Queries, 1);
+                        w.record_stage_at(900, Stage::Total, 500);
+                    }
+                });
+            }
+        });
+        let s = w.aggregate_at(900, 1);
+        assert_eq!(s.queries, 4_000);
+        assert_eq!(stage_count(&s, Stage::Total), 4_000);
+    }
+}

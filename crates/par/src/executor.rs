@@ -10,8 +10,41 @@
 //! two relaxed atomic adds per combinator call, which the observability
 //! layer folds into its metrics snapshot.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    /// The worker lane of the current thread: 0 for any coordinating
+    /// (non-executor) thread, `chunk_index + 1` inside a spawned worker.
+    static LANE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The worker lane of the calling thread (see [`set_worker_observer`]):
+/// 0 outside the executor, `chunk_index + 1` on a spawned worker thread.
+/// Tracing layers use this to attribute events to per-worker lanes.
+pub fn current_lane() -> u32 {
+    LANE.get()
+}
+
+/// A hook invoked on the worker's own thread around every spawned chunk:
+/// `f(chunk_index, true)` before the chunk runs, `f(chunk_index, false)`
+/// after (inline serial runs do not fire it — there is no worker).
+type WorkerObserver = fn(usize, bool);
+
+static WORKER_OBSERVER: OnceLock<WorkerObserver> = OnceLock::new();
+
+/// Installs the process-wide worker observer. The first call wins;
+/// later calls are ignored (the observability layer installs exactly
+/// one, lazily, when tracing is first enabled).
+pub fn set_worker_observer(f: fn(usize, bool)) {
+    let _ = WORKER_OBSERVER.set(f);
+}
+
+fn worker_observer() -> Option<WorkerObserver> {
+    WORKER_OBSERVER.get().copied()
+}
 
 /// A worker panic captured by the executor: which chunk died and the
 /// panic message, with the payload dropped at the catch site so sibling
@@ -153,7 +186,18 @@ where
             .enumerate()
             .map(|(i, r)| {
                 let capture = &capture;
-                scope.spawn(move || capture(i, r))
+                scope.spawn(move || {
+                    LANE.set(i as u32 + 1);
+                    let observer = worker_observer();
+                    if let Some(observe) = observer {
+                        observe(i, true);
+                    }
+                    let outcome = capture(i, r);
+                    if let Some(observe) = observer {
+                        observe(i, false);
+                    }
+                    outcome
+                })
             })
             .collect();
         handles
@@ -487,6 +531,22 @@ mod tests {
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
     }
+
+    #[test]
+    fn lanes_identify_worker_threads() {
+        assert_eq!(current_lane(), 0, "coordinating thread is lane 0");
+        let items: Vec<u32> = (0..64).collect();
+        let lanes = par_chunks(&items, 4, |_, _| current_lane());
+        assert_eq!(lanes, vec![1, 2, 3, 4], "one lane per chunk, in order");
+        // Serial/inline runs stay on the caller's lane.
+        let lanes = par_chunks(&items, 1, |_, _| current_lane());
+        assert_eq!(lanes, vec![0]);
+        assert_eq!(current_lane(), 0, "lane restored after the job");
+    }
+
+    // The worker-observer hook is process-global, so its test lives in
+    // `tests/worker_observer.rs` (own process — no cross-test pollution
+    // from concurrently running parallel jobs).
 
     #[test]
     fn executor_counters_are_monotonic() {

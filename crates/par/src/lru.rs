@@ -7,7 +7,7 @@
 //! [`ConcurrentLru::stats`] never takes the lock.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -106,9 +106,139 @@ impl<K: Eq + Hash + Clone, V> ConcurrentLru<K, V> {
     }
 }
 
+/// An LRU cache split into independently locked [`ConcurrentLru`]
+/// shards: keys hash to a shard, so concurrent queries on different
+/// shards never contend on one mutex, and per-shard stats expose
+/// imbalance (a hot query hammering one shard is visible in `stats`).
+pub struct ShardedLru<K, V> {
+    shards: Box<[ConcurrentLru<K, V>]>,
+    hasher: RandomState,
+}
+
+impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
+    /// Creates a cache of `shards` shards (minimum 1) holding at most
+    /// about `capacity` entries in total — each shard gets
+    /// `ceil(capacity / shards)` slots (minimum 1 per shard).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| ConcurrentLru::new(per_shard))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` maps to.
+    pub fn shard_for(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) as usize) % self.shards.len()
+    }
+
+    /// Looks up `key` in its shard, refreshing recency on a hit.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        self.shards[self.shard_for(key)].get(key)
+    }
+
+    /// Inserts `value` under `key`, evicting within the key's shard only.
+    pub fn insert(&self, key: K, value: V) {
+        self.shards[self.shard_for(&key)].insert(key, value);
+    }
+
+    /// Drops every entry in every shard (lifetime counters preserved).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.clear();
+        }
+    }
+
+    /// Aggregate counters across all shards (capacity = sum of shards).
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.entries += s.entries;
+            total.capacity += s.capacity;
+        }
+        total
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn per_shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharded_lru_routes_keys_stably_and_aggregates_stats() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(16, 4);
+        assert_eq!(lru.shard_count(), 4);
+        for i in 0..8u32 {
+            lru.insert(i, i * 10);
+            assert_eq!(lru.shard_for(&i), lru.shard_for(&i), "routing is stable");
+        }
+        for i in 0..8u32 {
+            assert_eq!(lru.get(&i).as_deref(), Some(&(i * 10)));
+        }
+        assert!(lru.get(&999).is_none());
+        let total = lru.stats();
+        assert_eq!(total.hits, 8);
+        assert_eq!(total.misses, 1);
+        assert_eq!(total.entries, 8);
+        assert_eq!(total.capacity, 16, "4 shards x 4 slots");
+        let per_shard = lru.per_shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), 8);
+        let miss_shard = lru.shard_for(&999);
+        assert_eq!(per_shard[miss_shard].misses, 1, "miss charged to its shard");
+        lru.clear();
+        assert_eq!(lru.stats().entries, 0);
+        assert_eq!(lru.stats().hits, 8, "lifetime counters survive clear");
+    }
+
+    #[test]
+    fn sharded_lru_eviction_is_per_shard() {
+        // One shard of capacity 2 behaves exactly like a plain LRU.
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(2, 1);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.get(&1);
+        lru.insert(3, 30);
+        assert!(lru.get(&2).is_none(), "LRU entry evicted");
+        assert!(lru.get(&1).is_some());
+        assert!(lru.get(&3).is_some());
+    }
+
+    #[test]
+    fn sharded_lru_concurrent_access_is_safe() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(32, 4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lru = &lru;
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        lru.insert(i % 16, i);
+                        lru.get(&(i % 16));
+                    }
+                });
+            }
+        });
+        let s = lru.stats();
+        assert!(s.entries <= 32);
+        assert_eq!(s.hits + s.misses, 2000);
+    }
 
     #[test]
     fn hit_miss_counters_track_lookups() {

@@ -8,14 +8,42 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Default shard count — comfortably above any realistic worker count so
 /// hot tags rarely collide.
 const DEFAULT_SHARDS: usize = 16;
 
-/// One shard: an independently locked map from key to shared value.
-type Shard<K, V> = RwLock<HashMap<K, Arc<V>>>;
+/// One shard: an independently locked map from key to shared value, plus
+/// its own hit/miss accounting so shard imbalance is observable.
+struct Shard<K, V> {
+    map: RwLock<HashMap<K, Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-shard load counters of a [`ShardedMap`] (see
+/// [`ShardedMap::shard_stats`]); hot shards show up as outliers here.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Lookups served from this shard.
+    pub hits: u64,
+    /// Lookups that found nothing in this shard.
+    pub misses: u64,
+    /// Entries currently stored in this shard.
+    pub entries: usize,
+}
 
 /// A concurrent map sharded across independent `RwLock`s.
 pub struct ShardedMap<K, V> {
@@ -40,25 +68,41 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
         let shards = shards.max(1);
         ShardedMap {
             shards: (0..shards)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| Shard::default())
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             hasher: RandomState::new(),
         }
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Arc<V>>> {
-        let h = self.hasher.hash_one(key);
-        &self.shards[(h as usize) % self.shards.len()]
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` maps to.
+    pub fn shard_for(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) as usize) % self.shards.len()
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        &self.shards[self.shard_for(key)]
     }
 
     /// Looks up `key`, cloning out the `Arc` under a read lock.
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
-        self.shard(key)
-            .read()
-            .expect("shard poisoned")
-            .get(key)
-            .cloned()
+        let shard = self.shard(key);
+        let found = shard.map.read().expect("shard poisoned").get(key).cloned();
+        match found {
+            Some(v) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Returns the cached value for `key`, building it with `build` on a
@@ -70,13 +114,14 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
             return v;
         }
         let value = Arc::new(build());
-        let mut shard = self.shard(&key).write().expect("shard poisoned");
+        let mut shard = self.shard(&key).map.write().expect("shard poisoned");
         shard.entry(key).or_insert(value).clone()
     }
 
     /// Inserts (or replaces) a value.
     pub fn insert(&self, key: K, value: V) {
         self.shard(&key)
+            .map
             .write()
             .expect("shard poisoned")
             .insert(key, Arc::new(value));
@@ -86,8 +131,20 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard poisoned").len())
+            .map(|s| s.map.read().expect("shard poisoned").len())
             .sum()
+    }
+
+    /// Per-shard hit/miss/occupancy counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .map(|s| ShardLoad {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                entries: s.map.read().expect("shard poisoned").len(),
+            })
+            .collect()
     }
 
     /// True when no entries are cached.
@@ -95,10 +152,11 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
         self.len() == 0
     }
 
-    /// Drops every cached entry.
+    /// Drops every cached entry (per-shard counters are preserved — they
+    /// describe the map's lifetime, not its current contents).
     pub fn clear(&self) {
         for s in self.shards.iter() {
-            s.write().expect("shard poisoned").clear();
+            s.map.write().expect("shard poisoned").clear();
         }
     }
 
@@ -107,7 +165,7 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
     /// the map from `f`.
     pub fn for_each(&self, mut f: impl FnMut(&K, &Arc<V>)) {
         for s in self.shards.iter() {
-            for (k, v) in s.read().expect("shard poisoned").iter() {
+            for (k, v) in s.map.read().expect("shard poisoned").iter() {
                 f(k, v);
             }
         }
@@ -150,6 +208,28 @@ mod tests {
         assert_eq!(map.len(), 100);
         map.clear();
         assert!(map.is_empty());
+    }
+
+    #[test]
+    fn shard_stats_attribute_traffic_to_the_right_shard() {
+        let map: ShardedMap<u32, u32> = ShardedMap::with_shards(4);
+        assert_eq!(map.shard_count(), 4);
+        map.insert(7, 70);
+        let shard = map.shard_for(&7);
+        assert!(map.get(&7).is_some()); // hit on `shard`
+        assert!(map.get(&7).is_some());
+        assert!(map.get(&1234).is_none()); // miss somewhere
+        let stats = map.shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats[shard].hits, 2);
+        assert_eq!(stats[shard].entries, 1);
+        let total_misses: u64 = stats.iter().map(|s| s.misses).sum();
+        assert_eq!(total_misses, 1);
+        // Lifetime counters survive clear(); occupancy does not.
+        map.clear();
+        let stats = map.shard_stats();
+        assert_eq!(stats[shard].hits, 2);
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<usize>(), 0);
     }
 
     #[test]

@@ -100,4 +100,42 @@ fn profiles_and_metrics_agree_with_engine_behaviour() {
     // Stage histograms were fed while enabled.
     let snapshot = m.snapshot();
     assert!(!snapshot.to_json().is_empty());
+
+    // --- Sampled always-on profiling is invisible in responses. --------
+    // A 1-in-2 sampled run must return byte-equal `QueryResponse`s to an
+    // unsampled run: the span tree is built on the side and only the
+    // exemplar store sees it.
+    let sampler = lotusx_obs::sampler();
+    let queries = [
+        "//article[author]/title",
+        "//book/publisher",
+        "//inproceedings[year]",
+        "//article//author",
+        "//masterthesis", // empty: exercises the rewrite path too
+        "//book[title][publisher]",
+    ];
+    sampler.set_rate(0); // no sampling at all
+    let unsampled: Vec<String> = queries
+        .iter()
+        .map(|q| format!("{:?}", sys.query(&QueryRequest::twig(*q)).unwrap()))
+        .collect();
+    sampler.set_rate(2); // every other query gets a span tree
+    let sampled: Vec<String> = queries
+        .iter()
+        .map(|q| format!("{:?}", sys.query(&QueryRequest::twig(*q)).unwrap()))
+        .collect();
+    sampler.set_rate(lotusx_obs::DEFAULT_SAMPLE_RATE);
+    assert_eq!(
+        unsampled, sampled,
+        "sampled profiling must not change any byte of the response"
+    );
+    assert!(
+        sampled.iter().all(|r| r.contains("profile: None")),
+        "sampling must never attach a profile the request did not ask for"
+    );
+    // The sampled pass left worst-K exemplars behind for attribution.
+    assert!(
+        !m.exemplars().snapshot().is_empty(),
+        "a 1-in-2 sampled run must retain exemplar profiles"
+    );
 }

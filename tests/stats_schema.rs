@@ -1,0 +1,107 @@
+//! Schema check for `stats json`: the snapshot the CLI prints must parse
+//! with the in-repo JSON reader and carry the documented sections —
+//! counters, stage histograms, 1s/10s/60s windows with percentiles,
+//! exemplars, and trace-ring accounting — with every number finite.
+//!
+//! One test function: the obs registry and flags are process-wide, and
+//! this file runs as its own process, isolated from the other
+//! integration tests.
+
+use lotusx::{LotusX, QueryRequest};
+use lotusx_datagen::{generate, Dataset};
+use lotusx_obs::{parse_json, JsonValue};
+
+fn num(v: &JsonValue, key: &str) -> f64 {
+    let n = v
+        .get(key)
+        .unwrap_or_else(|| panic!("missing key {key:?}"))
+        .as_f64()
+        .unwrap_or_else(|| panic!("key {key:?} is not a number"));
+    assert!(n.is_finite(), "key {key:?} is not finite");
+    n
+}
+
+#[test]
+fn stats_json_has_the_documented_schema() {
+    let sys = LotusX::load_document(generate(Dataset::DblpLike, 1, 5));
+
+    lotusx_obs::set_enabled(true);
+    lotusx_obs::sampler().set_rate(1); // every query feeds the exemplars
+    sys.query(&QueryRequest::twig("//article/title")).unwrap();
+    sys.query(&QueryRequest::twig("//article/title")).unwrap(); // cache hit
+    sys.query(&QueryRequest::twig("//book[author]")).unwrap();
+    sys.query(&QueryRequest::keyword("xml data")).unwrap();
+    lotusx_obs::sampler().set_rate(lotusx_obs::DEFAULT_SAMPLE_RATE);
+    lotusx_obs::set_enabled(false);
+
+    let json = lotusx_obs::metrics().snapshot().to_json();
+    let doc = parse_json(&json).expect("stats json must parse");
+
+    // --- counters: queries ran and the cache was exercised. ------------
+    let counters = doc.get("counters").expect("counters section");
+    assert!(num(counters, "queries") >= 4.0);
+    assert!(num(counters, "cache_hit") >= 1.0);
+    assert!(num(counters, "cache_miss") >= 2.0);
+
+    // --- stages: every stage histogram has finite, coherent numbers. ---
+    let stages = doc.get("stages").and_then(JsonValue::as_obj).unwrap();
+    assert!(!stages.is_empty());
+    let mut total_count = 0.0;
+    for (name, h) in stages {
+        let count = num(h, "count");
+        for key in ["sum_ns", "mean_ns", "max_ns", "p50_ns", "p95_ns", "p99_ns"] {
+            let v = num(h, key);
+            assert!(v >= 0.0, "stage {name} {key} negative");
+        }
+        assert!(
+            num(h, "p50_ns") <= num(h, "p99_ns") || count == 0.0,
+            "stage {name}: p50 above p99"
+        );
+        total_count += count;
+    }
+    assert!(total_count > 0.0, "some stage recorded samples");
+
+    // --- histograms section exists (named histograms may be empty). ----
+    assert!(doc.get("histograms").and_then(JsonValue::as_obj).is_some());
+    assert!(doc
+        .get("slow_queries")
+        .and_then(JsonValue::as_arr)
+        .is_some());
+
+    // --- windows: all three windows, with per-stage p99 and rates. -----
+    let windows = doc.get("windows").expect("windows section");
+    for w in ["1s", "10s", "60s"] {
+        let win = windows.get(w).unwrap_or_else(|| panic!("missing {w}"));
+        assert!(num(win, "qps") >= 0.0);
+        assert!((0.0..=1.0).contains(&num(win, "hit_ratio")));
+        assert!((0.0..=1.0).contains(&num(win, "truncation_rate")));
+        let total = win
+            .get("stages")
+            .and_then(|s| s.get("total"))
+            .unwrap_or_else(|| panic!("window {w} lacks stages.total"));
+        num(total, "p99_ns");
+    }
+    // The queries above all ran "now", so the 60s window must see them.
+    let w60 = windows.get("60s").unwrap();
+    assert!(num(w60, "queries") >= 4.0, "60s window saw the queries");
+    assert!(num(w60, "cache_hits") >= 1.0);
+
+    // --- exemplars: rate-1 sampling retained worst-K profiles. ---------
+    let exemplars = doc.get("exemplars").and_then(JsonValue::as_arr).unwrap();
+    assert!(
+        !exemplars.is_empty(),
+        "rate-1 sampling must leave exemplars"
+    );
+    for e in exemplars {
+        assert!(e.get("stage").and_then(JsonValue::as_str).is_some());
+        assert!(e.get("query").and_then(JsonValue::as_str).is_some());
+        num(e, "total_ns");
+    }
+
+    // --- trace: ring accounting is present and consistent. -------------
+    let trace = doc.get("trace").expect("trace section");
+    let produced = num(trace, "produced");
+    let dropped = num(trace, "dropped");
+    let exported = num(trace, "exported");
+    assert!(produced >= exported + dropped - 0.5, "accounting holds");
+}
