@@ -2,8 +2,8 @@
 # Offline CI: staged, self-timing. No network access required.
 #
 #   ./ci.sh          run every stage (fmt, clippy, build, test, smoke,
-#                    robust-smoke, telemetry-smoke) and print a
-#                    per-stage timing table
+#                    robust-smoke, telemetry-smoke, serve-smoke) and
+#                    print a per-stage timing table
 #   ./ci.sh --fast   skip the release build and the smoke stages
 #
 # Fails fast: the first failing stage aborts the run, names itself, and
@@ -91,7 +91,7 @@ stage_test() {
 stage_smoke() {
     local out
     out=$(printf 'profile on\nexplain //book[author]/title\nquery //book/title\nquery //book/title\nalgo tjfast\nquery //book/title\nstats\nstats json\nquit\n' \
-        | cargo run --release -p lotusx --bin lotusx-cli) || return 1
+        | cargo run --release -p lotusx-serve --bin lotusx-cli) || return 1
     echo "$out" | grep -q 'parse' &&
     echo "$out" | grep -q 'total:' &&
     echo "$out" | grep -q 'cache_hit'
@@ -105,7 +105,7 @@ stage_smoke() {
 stage_robust_smoke() {
     local out
     out=$(printf 'timeout 1\nquery //*//*//*//*//*\nstats\nquit\n' \
-        | cargo run --release -p lotusx --bin lotusx-cli -- @treebank:4) || return 1
+        | cargo run --release -p lotusx-serve --bin lotusx-cli -- @treebank:4) || return 1
     echo "$out" | grep -q 'truncated: deadline_exceeded' || {
         echo "robust-smoke: expected a truncation marker in:" >&2
         echo "$out" >&2
@@ -125,10 +125,57 @@ stage_telemetry_smoke() {
     local trace=/tmp/lotusx_ci_trace.json
     rm -f "$trace"
     printf 'trace on\ntimeout 1\nquery //*//*//*//*//*\ntimeout 0\nquery //s/np\nquery //s/np\ntrace export %s\nquit\n' "$trace" \
-        | LOTUSX_THREADS=4 cargo run --release -p lotusx --bin lotusx-cli -- @treebank:2 \
+        | LOTUSX_THREADS=4 cargo run --release -p lotusx-serve --bin lotusx-cli -- @treebank:2 \
         || return 1
     cargo run --release -p lotusx-bench --bin trace-check -- "$trace" --require-trip || return 1
     cargo run --release -p lotusx-bench --bin lotusx-telemetry-bench -- --quick
+}
+
+# Serving smoke: boot the lotusx-serve binary on an ephemeral loopback
+# port, wait for its "listening on" line, hit /healthz and run one query
+# through the raw-socket test client (--probe), then stop it gracefully
+# over HTTP (--stop) and check it exits cleanly. Offline, loopback-only,
+# no curl.
+stage_serve_smoke() {
+    # The root `cargo build --release` does not build dependency crates'
+    # binaries; make sure the server binary exists (no-op when cached).
+    cargo build --release -p lotusx-serve --bin lotusx-serve || return 1
+    local log=/tmp/lotusx_ci_serve.log
+    rm -f "$log"
+    ./target/release/lotusx-serve --addr 127.0.0.1:0 --corpus @dblp:1 </dev/null >"$log" 2>&1 &
+    local pid=$!
+    local addr="" i
+    for i in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$log")
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "serve-smoke: server exited before binding" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "serve-smoke: server never printed its address" >&2
+        cat "$log" >&2
+        kill "$pid" 2>/dev/null
+        return 1
+    fi
+    if ! ./target/release/lotusx-serve --probe "$addr"; then
+        echo "serve-smoke: probe failed" >&2
+        cat "$log" >&2
+        kill "$pid" 2>/dev/null
+        return 1
+    fi
+    ./target/release/lotusx-serve --stop "$addr" || { kill "$pid" 2>/dev/null; return 1; }
+    local status=0
+    wait "$pid" || status=$?
+    if [ $status -ne 0 ]; then
+        echo "serve-smoke: server exited with status $status" >&2
+        cat "$log" >&2
+        return 1
+    fi
+    grep -q '^stopped:' "$log"
 }
 
 run_stage fmt    stage_fmt
@@ -141,6 +188,7 @@ if [ "$FAST" -eq 0 ]; then
     run_stage smoke           stage_smoke
     run_stage robust-smoke    stage_robust_smoke
     run_stage telemetry-smoke stage_telemetry_smoke
+    run_stage serve-smoke     stage_serve_smoke
 fi
 
 print_summary

@@ -230,9 +230,11 @@ fn main() {
         trace.produced, trace.dropped, trace.exported,
     );
     // Quick (CI) runs keep their hands off the committed full-run
-    // artifact.
+    // artifact and write under target/ so they never litter the
+    // repository root.
     let out = if quick {
-        "BENCH_obs_quick.json"
+        let _ = std::fs::create_dir_all("target");
+        "target/BENCH_obs_quick.json"
     } else {
         "BENCH_obs.json"
     };

@@ -44,7 +44,7 @@ pub use session::Session;
 
 // Re-export the vocabulary types callers need.
 pub use lotusx_autocomplete::{
-    CompletionEngine, CompletionState, PositionContext, TagCandidate, ValueCandidate,
+    CompletionEngine, CompletionState, ContextStep, PositionContext, TagCandidate, ValueCandidate,
 };
 pub use lotusx_guard::{Budget, CancelToken, Completeness, QueryGuard, TruncationReason};
 pub use lotusx_index::IndexedDocument;
@@ -53,4 +53,4 @@ pub use lotusx_par::WorkerPanic;
 pub use lotusx_rank::RankWeights;
 pub use lotusx_rewrite::{RankedRewrite, RewriterConfig};
 pub use lotusx_twig::{Algorithm, Axis, NodeTest, TwigPattern, ValuePredicate};
-pub use lotusx_xml::Document;
+pub use lotusx_xml::{Document, NodeId};

@@ -68,6 +68,31 @@ pub fn generate(dataset: Dataset, scale: u32, seed: u64) -> Document {
     }
 }
 
+/// Parses an `@dataset[:scale[:seed]]` corpus spec (e.g. `@xmark:2:7`)
+/// into `(dataset, scale, seed)`. Scale defaults to 1, seed to 42. The
+/// CLI and the server share this grammar for their `--corpus` arguments.
+pub fn parse_spec(spec: &str) -> Option<(Dataset, u32, u64)> {
+    let mut parts = spec.trim_start_matches('@').split(':');
+    let dataset = match parts.next()? {
+        "dblp" => Dataset::DblpLike,
+        "xmark" => Dataset::XmarkLike,
+        "treebank" => Dataset::TreebankLike,
+        _ => return None,
+    };
+    let scale = match parts.next() {
+        Some(s) => s.parse().ok()?,
+        None => 1,
+    };
+    let seed = match parts.next() {
+        Some(s) => s.parse().ok()?,
+        None => 42,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((dataset, scale, seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

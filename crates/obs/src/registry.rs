@@ -37,11 +37,17 @@ pub enum Stage {
     CompleteTag,
     /// Per-keystroke value completion.
     CompleteValue,
+    /// End-to-end handling of one served `POST /query` request.
+    HttpQuery,
+    /// End-to-end handling of one served `POST /complete` request.
+    HttpComplete,
+    /// End-to-end handling of one served `GET /stats` request.
+    HttpStats,
 }
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Parse,
         Stage::Rewrite,
         Stage::Match,
@@ -51,6 +57,9 @@ impl Stage {
         Stage::Keyword,
         Stage::CompleteTag,
         Stage::CompleteValue,
+        Stage::HttpQuery,
+        Stage::HttpComplete,
+        Stage::HttpStats,
     ];
 
     /// Stable snake-case name (used as the JSON key).
@@ -65,6 +74,9 @@ impl Stage {
             Stage::Keyword => "keyword",
             Stage::CompleteTag => "complete_tag",
             Stage::CompleteValue => "complete_value",
+            Stage::HttpQuery => "http_query",
+            Stage::HttpComplete => "http_complete",
+            Stage::HttpStats => "http_stats",
         }
     }
 }

@@ -1,12 +1,13 @@
 //! LotusX command-line demo — the textual stand-in for the original web
 //! GUI at `datasearch.ruc.edu.cn:8080/LotusX`.
 //!
-//! Run with `cargo run -p lotusx --bin lotusx-cli [file.xml]` and type
-//! `help` for the command list. Everything the GUI demonstrates is
+//! Run with `cargo run -p lotusx-serve --bin lotusx-cli [file.xml]` and
+//! type `help` for the command list. Everything the GUI demonstrates is
 //! reachable: incremental canvas construction with per-keystroke
 //! position-aware candidates, one-shot textual queries, algorithm
-//! switching, ranked results, automatic rewriting of empty queries, and
-//! the observability surface (`profile`, `explain`, `stats`).
+//! switching, ranked results, automatic rewriting of empty queries, the
+//! observability surface (`profile`, `explain`, `stats`), and `serve
+//! <port>` to expose the loaded document over HTTP.
 
 use lotusx::{Algorithm, Axis, Budget, CanvasNodeId, LotusX, QueryRequest, Session};
 use std::io::{BufRead, Write};
@@ -27,7 +28,7 @@ fn main() {
     let system = match &arg {
         // `@dataset[:scale[:seed]]` loads a seeded synthetic corpus, e.g.
         // `@treebank:2:7` — handy for robustness demos without files.
-        Some(spec) if spec.starts_with('@') => match parse_dataset_spec(spec) {
+        Some(spec) if spec.starts_with('@') => match lotusx_datagen::parse_spec(spec) {
             Some((dataset, scale, seed)) => {
                 let system = LotusX::load_document(lotusx_datagen::generate(dataset, scale, seed));
                 println!(
@@ -158,6 +159,7 @@ fn main() {
                     ),
                 }
             }
+            "serve" => serve_command(&system, rest),
             "save" => match system.save_snapshot(rest) {
                 Ok(()) => println!("snapshot written to {rest}"),
                 Err(e) => println!("error: {e}"),
@@ -379,25 +381,40 @@ fn build_budget(timeout_ms: Option<u64>, node_budget: Option<u64>) -> Budget {
     budget
 }
 
-/// Parses `@dataset[:scale[:seed]]` into (dataset, scale, seed).
-fn parse_dataset_spec(spec: &str) -> Option<(lotusx_datagen::Dataset, u32, u64)> {
-    use lotusx_datagen::Dataset;
-    let mut parts = spec.trim_start_matches('@').split(':');
-    let dataset = match parts.next()? {
-        "dblp" => Dataset::DblpLike,
-        "xmark" => Dataset::XmarkLike,
-        "treebank" => Dataset::TreebankLike,
-        _ => return None,
+/// Serves the loaded document over HTTP on `127.0.0.1:<port>` until the
+/// user presses Enter (blocking the REPL while serving).
+fn serve_command(system: &LotusX, rest: &str) {
+    let Ok(port) = rest.trim().parse::<u16>() else {
+        println!("usage: serve <port> (e.g. serve 8080; port 0 picks one)");
+        return;
     };
-    let scale = match parts.next() {
-        Some(s) => s.parse().ok()?,
-        None => 1,
+    let config = lotusx_serve::ServeConfig {
+        addr: format!("127.0.0.1:{port}"),
+        ..lotusx_serve::ServeConfig::default()
     };
-    let seed = match parts.next() {
-        Some(s) => s.parse().ok()?,
-        None => 42,
+    let server = match lotusx_serve::Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            println!("error: bind failed: {e}");
+            return;
+        }
     };
-    Some((dataset, scale, seed))
+    let handle = server.handle();
+    println!(
+        "serving on {} (POST /query, POST /complete, GET /stats, GET /healthz) — press Enter to stop",
+        server.local_addr()
+    );
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run(system));
+        let mut line = String::new();
+        let _ = std::io::stdin().lock().read_line(&mut line);
+        handle.shutdown();
+    });
+    let stats = handle.stats();
+    println!(
+        "stopped: {} requests ({} rejected, {} panics)",
+        stats.requests, stats.rejected, stats.panics
+    );
 }
 
 fn print_stats(system: &LotusX) {
@@ -612,6 +629,9 @@ canvas (the GUI surrogate):
   show               print the canvas as a query
   run                execute the canvas (untyped nodes are wildcards)
 other:
+  serve <port>       serve this document over HTTP on 127.0.0.1:<port>
+                     (POST /query, POST /complete, GET /stats, GET /healthz;
+                     Enter stops the server and returns to the REPL)
   algo [name|auto]   per-request join algorithm override
   timeout <ms>       wall-clock budget per query, 0 = off (partial results are marked)
   budget <nodes>     node-visit budget per query, 0 = off

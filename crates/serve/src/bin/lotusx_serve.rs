@@ -1,0 +1,196 @@
+//! The `lotusx-serve` binary: serve a generated corpus over HTTP.
+//!
+//! ```text
+//! lotusx-serve [--addr HOST:PORT] [--threads N] [--max-inflight N]
+//!              [--corpus @dataset[:scale[:seed]]] [--read-timeout-ms MS]
+//! lotusx-serve --probe HOST:PORT   # healthz + one query, exit 0/1
+//! lotusx-serve --stop HOST:PORT    # graceful remote shutdown
+//! ```
+//!
+//! The server prints `listening on <ADDR>` once bound (scripts wait for
+//! that line), then serves until it reads `quit` on stdin, receives
+//! `POST /shutdown`, or the process is killed. EOF on stdin parks the
+//! reader — backgrounding with `</dev/null` does not stop the server.
+
+use lotusx::LotusX;
+use lotusx_serve::{client, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Mode::Serve(config, corpus)) => serve(config, &corpus),
+        Ok(Mode::Probe(addr)) => probe(addr),
+        Ok(Mode::Stop(addr)) => stop(addr),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: lotusx-serve [--addr HOST:PORT] [--threads N] [--max-inflight N] \
+                 [--corpus @dataset[:scale[:seed]]] [--read-timeout-ms MS]\n\
+                 \x20      lotusx-serve --probe HOST:PORT | --stop HOST:PORT"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum Mode {
+    Serve(ServeConfig, String),
+    Probe(SocketAddr),
+    Stop(SocketAddr),
+}
+
+fn parse_args(args: &[String]) -> Result<Mode, String> {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut corpus = "@dblp:1".to_string();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a positive integer".to_string())?
+            }
+            "--max-inflight" => {
+                config.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|_| "--max-inflight must be a positive integer".to_string())?
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms must be an integer".to_string())?;
+                config.read_timeout = Duration::from_millis(ms);
+            }
+            "--corpus" => corpus = value("--corpus")?,
+            "--probe" => return Ok(Mode::Probe(parse_addr(&value("--probe")?)?)),
+            "--stop" => return Ok(Mode::Stop(parse_addr(&value("--stop")?)?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Mode::Serve(config, corpus))
+}
+
+fn parse_addr(s: &str) -> Result<SocketAddr, String> {
+    s.parse().map_err(|_| format!("bad address {s:?}"))
+}
+
+fn serve(config: ServeConfig, corpus: &str) -> ExitCode {
+    let Some((dataset, scale, seed)) = lotusx_datagen::parse_spec(corpus) else {
+        eprintln!(
+            "error: bad corpus spec {corpus:?} (expected @dblp|@xmark|@treebank[:scale[:seed]])"
+        );
+        return ExitCode::FAILURE;
+    };
+    lotusx_obs::set_enabled(true);
+    eprintln!("generating corpus {}:{scale}:{seed} ...", dataset.name());
+    let engine = LotusX::load_document(lotusx_datagen::generate(dataset, scale, seed));
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = server.handle();
+    // The wait-for line: scripts poll for this exact prefix.
+    println!("listening on {}", server.local_addr());
+
+    std::thread::scope(|scope| {
+        // stdin control: a `quit` line triggers graceful shutdown; EOF
+        // just parks so `</dev/null &` backgrounding works.
+        let stdin_handle = handle.clone();
+        scope.spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::stdin().read_line(&mut line) {
+                    Ok(0) => loop {
+                        if stdin_handle.is_stopping() {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(200));
+                    },
+                    Ok(_) => {
+                        if line.trim() == "quit" {
+                            stdin_handle.shutdown();
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+        server.run(&engine);
+    });
+    let stats = handle.stats();
+    eprintln!(
+        "stopped: {} requests ({} rejected, {} panics)",
+        stats.requests, stats.rejected, stats.panics
+    );
+    ExitCode::SUCCESS
+}
+
+/// Liveness + one end-to-end query against a running server.
+fn probe(addr: SocketAddr) -> ExitCode {
+    let health = match client::get(addr, "/healthz") {
+        Ok(r) if r.status == 200 => r,
+        Ok(r) => {
+            eprintln!("probe: /healthz answered {}", r.status);
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("probe: /healthz failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if health.body_text().trim() != "ok" {
+        eprintln!("probe: unexpected health body {:?}", health.body_text());
+        return ExitCode::FAILURE;
+    }
+    // A keyword query works on any corpus (twig probes would need to
+    // know the schema); an empty result set is still a valid probe.
+    let query = "{\"text\":\"author\",\"kind\":\"keyword\",\"top_k\":1}";
+    match client::post(addr, "/query", query) {
+        Ok(r) if r.status == 200 && r.body_text().contains("\"total_matches\":") => {
+            println!("probe ok: {}", r.body_text().trim_end());
+            ExitCode::SUCCESS
+        }
+        Ok(r) => {
+            eprintln!("probe: /query answered {}: {}", r.status, r.body_text());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("probe: /query failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn stop(addr: SocketAddr) -> ExitCode {
+    match client::post(addr, "/shutdown", "{}") {
+        Ok(r) if r.status == 200 => {
+            println!("stopping");
+            ExitCode::SUCCESS
+        }
+        Ok(r) => {
+            eprintln!("stop: answered {}", r.status);
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("stop: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

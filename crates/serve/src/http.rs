@@ -1,0 +1,294 @@
+//! A hand-rolled HTTP/1.1 request parser and response writer.
+//!
+//! This is deliberately a *server-side subset* of HTTP/1.1: enough for
+//! JSON request/response bodies over loopback or a trusted LAN, with
+//! strict size limits so a malformed or hostile peer can never make the
+//! server allocate unboundedly or hang forever. Unsupported protocol
+//! features (chunked transfer encoding, continuation lines, pipelining)
+//! are rejected with the documented 4xx status rather than misparsed.
+//!
+//! Every connection serves exactly one request and is closed afterwards
+//! (`Connection: close` on every response); keep-alive buys little on
+//! loopback and one-request-per-connection keeps the admission gate and
+//! the failure handling trivially per-request.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Size limits the parser enforces while reading a request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum bytes in the request line (`GET /path HTTP/1.1`).
+    pub max_request_line: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum bytes in one header line.
+    pub max_header_line: usize,
+    /// Maximum bytes in the request body (`Content-Length` above this is
+    /// rejected with 413 before reading the body).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 4096,
+            max_headers: 64,
+            max_header_line: 8192,
+            max_body_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The method verb, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path (query strings are kept verbatim).
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request was rejected before (or instead of) being handled.
+///
+/// `status == 0` means the connection died in a way that cannot be
+/// answered (peer reset); no response should be attempted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reject {
+    /// The HTTP status to answer with (400, 408, 411, 413, 431, …).
+    pub status: u16,
+    /// A short human-readable reason, sent in the JSON error body.
+    pub reason: String,
+}
+
+impl Reject {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        Reject {
+            status,
+            reason: reason.into(),
+        }
+    }
+
+    /// True when the connection is already dead and writing a response
+    /// is pointless.
+    pub fn connection_dead(&self) -> bool {
+        self.status == 0
+    }
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Classifies a read error: timeouts become 408, everything else marks
+/// the connection dead.
+fn read_error(e: std::io::Error) -> Reject {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            Reject::new(408, "read timed out")
+        }
+        _ => Reject::new(0, format!("connection error: {e}")),
+    }
+}
+
+/// A small buffered reader over the stream; `BufReader` would work too,
+/// but an explicit buffer keeps the per-line caps and timeout handling
+/// in one obvious place.
+struct ByteReader<'a> {
+    stream: &'a mut TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(stream: &'a mut TcpStream) -> Self {
+        ByteReader {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn fill(&mut self) -> Result<usize, Reject> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk).map_err(read_error)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Reads one `\r\n`- (or `\n`-) terminated line of at most `cap`
+    /// bytes, excluding the terminator. Over-long lines reject with
+    /// `over_cap_status`; EOF mid-line rejects with 400.
+    fn read_line(&mut self, cap: usize, over_cap_status: u16) -> Result<String, Reject> {
+        loop {
+            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let end = self.pos + nl;
+                let mut line = &self.buf[self.pos..end];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                if line.len() > cap {
+                    return Err(Reject::new(over_cap_status, "line too long"));
+                }
+                let text = std::str::from_utf8(line)
+                    .map_err(|_| Reject::new(400, "non-UTF-8 bytes in request head"))?
+                    .to_string();
+                self.pos = end + 1;
+                return Ok(text);
+            }
+            if self.buf.len() - self.pos > cap {
+                return Err(Reject::new(over_cap_status, "line too long"));
+            }
+            if self.fill()? == 0 {
+                return Err(Reject::new(400, "truncated request"));
+            }
+        }
+    }
+
+    /// Reads exactly `n` body bytes (the head may have over-read some).
+    fn read_exact_body(&mut self, n: usize) -> Result<Vec<u8>, Reject> {
+        while self.buf.len() - self.pos < n {
+            if self.fill()? == 0 {
+                return Err(Reject::new(400, "body shorter than content-length"));
+            }
+        }
+        let body = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Ok(body)
+    }
+}
+
+/// Reads and parses one request from `stream` under `limits`.
+///
+/// The stream's read timeout must already be set by the caller; a
+/// timeout anywhere while reading yields a 408 [`Reject`].
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, Reject> {
+    let mut reader = ByteReader::new(stream);
+
+    let request_line = reader.read_line(limits.max_request_line, 400)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(Reject::new(400, "malformed request line")),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(Reject::new(400, "malformed method"));
+    }
+    if !path.starts_with('/') {
+        return Err(Reject::new(400, "path must start with '/'"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(Reject::new(400, "unsupported protocol version"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = reader.read_line(limits.max_header_line, 431)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(Reject::new(431, "too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| Reject::new(400, "malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(Reject::new(400, "transfer-encoding is not supported"));
+    }
+
+    let body = match request.header("content-length") {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| Reject::new(400, "bad content-length"))?;
+            if n > limits.max_body_bytes {
+                return Err(Reject::new(413, "body exceeds the size cap"));
+            }
+            reader.read_exact_body(n)?
+        }
+        None if request.method == "POST" => {
+            return Err(Reject::new(411, "POST requires content-length"));
+        }
+        None => Vec::new(),
+    };
+
+    Ok(Request { body, ..request })
+}
+
+/// Writes one complete response (`Connection: close`) and flushes it.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len()
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+    stream.write_all(&out)?;
+    stream.flush()
+}
+
+/// Writes a JSON error body for a rejected request (best-effort: the
+/// peer may already be gone).
+pub fn write_error(stream: &mut TcpStream, status: u16, reason: &str) -> std::io::Result<()> {
+    let body = format!("{{\"error\":{}}}\n", lotusx_obs::json_string(reason));
+    write_response(stream, status, "application/json", body.as_bytes())
+}
+
+/// Applies per-connection socket timeouts (`None` disables them).
+pub fn set_timeouts(stream: &TcpStream, read: Duration, write: Duration) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(read))?;
+    stream.set_write_timeout(Some(write))
+}

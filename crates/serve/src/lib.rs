@@ -1,0 +1,47 @@
+//! # lotusx-serve
+//!
+//! The network serving layer for LotusX: a dependency-free threaded
+//! HTTP/1.1 server over `std::net::TcpListener` that exposes the
+//! engine's [`QueryRequest`](lotusx::QueryRequest) /
+//! [`QueryResponse`](lotusx::QueryResponse) API as JSON endpoints:
+//!
+//! | Endpoint          | Meaning                                        |
+//! |-------------------|------------------------------------------------|
+//! | `POST /query`     | Twig/keyword search (per-request `top_k`, `algorithm`, `deadline_ms`, `budget`) |
+//! | `POST /complete`  | Position-aware tag/value auto-completion       |
+//! | `GET /stats`      | Per-server counters + the full obs snapshot    |
+//! | `GET /healthz`    | Liveness probe (`ok`)                          |
+//! | `POST /shutdown`  | Graceful remote stop                           |
+//!
+//! Robustness is first-class: per-connection read/write timeouts, a
+//! max-in-flight admission gate (`429`), a request-size cap (`413`),
+//! malformed input answered with `400` (never a panic — worker panics
+//! are isolated per connection and counted), and graceful shutdown that
+//! drains in-flight queries via a [`CancelToken`](lotusx::CancelToken).
+//! See [`server`] for the threading model and [`wire`] for the exact
+//! JSON wire format.
+//!
+//! ```no_run
+//! use lotusx::LotusX;
+//! use lotusx_serve::{Server, ServeConfig};
+//!
+//! let engine = LotusX::load_str("<bib><book><title>t</title></book></bib>").unwrap();
+//! let server = Server::bind(ServeConfig::default()).unwrap();
+//! let handle = server.handle();
+//! std::thread::scope(|s| {
+//!     s.spawn(|| server.run(&engine));
+//!     // ... talk to server.local_addr() ...
+//!     handle.shutdown();
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod wire;
+
+pub use client::{get, post, raw_request, request, Response};
+pub use http::{Limits, Reject, Request};
+pub use server::{ServeConfig, Server, ServerHandle, ServerStats, StatsSnapshot};

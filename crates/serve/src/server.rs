@@ -1,0 +1,492 @@
+//! The threaded HTTP server: accept loop, fixed worker pool, admission
+//! control, panic isolation, and graceful shutdown.
+//!
+//! Threading model: one accept thread (the caller of [`Server::run`])
+//! polls the listener and dispatches accepted connections to a fixed
+//! pool of worker threads over a channel. Admission is gated *before*
+//! dispatch — when `max_inflight` connections are queued or being
+//! served, new connections are answered `429` straight from the accept
+//! thread and closed. Only the accept thread increments the in-flight
+//! count, so the gate never over-admits.
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`]) does three things, in
+//! order: it cancels the server-wide [`CancelToken`] attached to every
+//! in-flight query's budget (so long-running queries truncate at their
+//! next cooperative checkpoint and still produce a valid, marked
+//! response), stops the accept loop, and lets the workers drain every
+//! already-accepted connection before joining. No in-flight request is
+//! ever answered with a torn or missing response.
+
+use crate::http::{self, Limits, Reject, Request};
+use crate::wire;
+use lotusx::{CancelToken, LotusX, QueryRequest};
+use lotusx_obs::{EventKind, QueryId, Stage};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration. The default binds an ephemeral loopback port
+/// with one worker per available core.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` = ephemeral).
+    pub addr: String,
+    /// Worker threads serving requests (at least 1).
+    pub threads: usize,
+    /// Maximum connections queued or being served before new ones are
+    /// answered `429`.
+    pub max_inflight: usize,
+    /// Per-connection read timeout (slow or stalled peers get `408`).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Request parsing limits (body cap, header caps).
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: lotusx_par::default_threads(),
+            max_inflight: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Lifetime request counters, kept per server instance (exact and
+/// isolated, unlike the process-global obs counters they mirror).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests that parsed and were routed (including ones that were
+    /// then rejected with a 4xx).
+    pub requests: AtomicU64,
+    /// Rejected work: parse failures, timeouts, 404/405/411/413/429/431,
+    /// and bad request bodies.
+    pub rejected: AtomicU64,
+    /// Handler panics isolated to their connection.
+    pub panics: AtomicU64,
+    /// `POST /query` requests answered 200.
+    pub queries: AtomicU64,
+    /// `POST /complete` requests answered 200.
+    pub completions: AtomicU64,
+    /// `GET /stats` requests answered 200.
+    pub stats_requests: AtomicU64,
+    /// `GET /healthz` requests answered 200.
+    pub health_checks: AtomicU64,
+    /// Query responses that went out marked truncated.
+    pub truncated_responses: AtomicU64,
+}
+
+/// A plain-value copy of [`ServerStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`ServerStats::requests`].
+    pub requests: u64,
+    /// See [`ServerStats::rejected`].
+    pub rejected: u64,
+    /// See [`ServerStats::panics`].
+    pub panics: u64,
+    /// See [`ServerStats::queries`].
+    pub queries: u64,
+    /// See [`ServerStats::completions`].
+    pub completions: u64,
+    /// See [`ServerStats::stats_requests`].
+    pub stats_requests: u64,
+    /// See [`ServerStats::health_checks`].
+    pub health_checks: u64,
+    /// See [`ServerStats::truncated_responses`].
+    pub truncated_responses: u64,
+}
+
+impl ServerStats {
+    /// A consistent-enough snapshot (each field read relaxed).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            stats_requests: self.stats_requests.load(Ordering::Relaxed),
+            health_checks: self.health_checks.load(Ordering::Relaxed),
+            truncated_responses: self.truncated_responses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// The `server` section of the `/stats` response body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"rejected\":{},\"panics\":{},\"queries\":{},\
+             \"completions\":{},\"stats_requests\":{},\"health_checks\":{},\
+             \"truncated_responses\":{}}}",
+            self.requests,
+            self.rejected,
+            self.panics,
+            self.queries,
+            self.completions,
+            self.stats_requests,
+            self.health_checks,
+            self.truncated_responses
+        )
+    }
+}
+
+/// A cloneable handle for stopping and inspecting a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    query_cancel: CancelToken,
+    stats: Arc<ServerStats>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Begins graceful shutdown: cancels every in-flight query's budget
+    /// token, stops accepting, and lets workers drain what was already
+    /// accepted. Idempotent; returns immediately (join the thread
+    /// running [`Server::run`] to wait for the drain).
+    pub fn shutdown(&self) {
+        self.query_cancel.cancel();
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// The server's lifetime request counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// A bound (but not yet running) LotusX HTTP server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    query_cancel: CancelToken,
+    stats: Arc<ServerStats>,
+    inflight: Arc<AtomicUsize>,
+}
+
+/// How often the accept loop re-checks the stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+impl Server {
+    /// Binds the configured address. The engine is supplied at
+    /// [`Server::run`] time so the server can borrow it (no `'static`
+    /// requirement — run it under `std::thread::scope` if needed).
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        if config.threads == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "threads must be at least 1",
+            ));
+        }
+        if config.max_inflight == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "max_inflight must be at least 1",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            config,
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+            query_cancel: CancelToken::new(),
+            stats: Arc::new(ServerStats::default()),
+            inflight: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for stopping/inspecting this server from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: Arc::clone(&self.stop),
+            query_cancel: self.query_cancel.clone(),
+            stats: Arc::clone(&self.stats),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves `engine` until [`ServerHandle::shutdown`] is called,
+    /// blocking the calling thread. Worker threads are scoped to this
+    /// call: when it returns, every accepted connection has been
+    /// answered and every thread joined.
+    pub fn run(&self, engine: &LotusX) {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.threads {
+                scope.spawn(|| self.worker_loop(engine, &rx));
+            }
+            self.accept_loop(&tx);
+            // Dropping the sender lets idle workers observe the
+            // disconnect once the queue is drained.
+            drop(tx);
+        });
+    }
+
+    fn accept_loop(&self, tx: &mpsc::Sender<TcpStream>) {
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((mut stream, _peer)) => {
+                    // Admission gate: only this thread increments the
+                    // in-flight count, so the check cannot over-admit.
+                    if self.inflight.load(Ordering::SeqCst) >= self.config.max_inflight {
+                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        if lotusx_obs::enabled() {
+                            lotusx_obs::metrics().incr("http_rejected", 1);
+                        }
+                        let _ = http::set_timeouts(
+                            &stream,
+                            self.config.read_timeout,
+                            self.config.write_timeout,
+                        );
+                        let _ = http::write_error(&mut stream, 429, "server at capacity");
+                        continue;
+                    }
+                    self.inflight.fetch_add(1, Ordering::SeqCst);
+                    if tx.send(stream).is_err() {
+                        // Workers are gone; nothing to do but stop.
+                        self.inflight.fetch_sub(1, Ordering::SeqCst);
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+    }
+
+    fn worker_loop(&self, engine: &LotusX, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+        loop {
+            // Take the lock only long enough to pull one connection.
+            let received = {
+                let guard = rx.lock().expect("receiver mutex poisoned");
+                guard.recv_timeout(Duration::from_millis(50))
+            };
+            match received {
+                Ok(mut stream) => {
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        self.handle_connection(engine, &mut stream)
+                    }));
+                    if outcome.is_err() {
+                        // The panic is isolated to this connection; the
+                        // peer gets a best-effort 500 and the server
+                        // keeps serving.
+                        self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                        if lotusx_obs::enabled() {
+                            lotusx_obs::metrics().incr("http_worker_panics", 1);
+                        }
+                        let _ = http::write_error(&mut stream, 500, "internal error");
+                    }
+                    self.inflight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Keep draining until the accept loop hangs up, even
+                    // after a stop request: accepted connections must be
+                    // answered.
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    fn handle_connection(&self, engine: &LotusX, stream: &mut TcpStream) {
+        if http::set_timeouts(stream, self.config.read_timeout, self.config.write_timeout).is_err()
+        {
+            return;
+        }
+        let request = match http::read_request(stream, &self.config.limits) {
+            Ok(request) => request,
+            Err(reject) => {
+                self.reject(stream, &reject);
+                return;
+            }
+        };
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if lotusx_obs::enabled() {
+            lotusx_obs::metrics().incr("http_requests", 1);
+        }
+        match self.route(engine, &request) {
+            Ok((content_type, body)) => {
+                let _ = http::write_response(stream, 200, content_type, body.as_bytes());
+            }
+            Err(reject) => self.reject(stream, &reject),
+        }
+    }
+
+    fn reject(&self, stream: &mut TcpStream, reject: &Reject) {
+        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        if lotusx_obs::enabled() {
+            lotusx_obs::metrics().incr("http_rejected", 1);
+        }
+        if !reject.connection_dead() {
+            let _ = http::write_error(stream, reject.status, &reject.reason);
+        }
+    }
+
+    /// Routes one parsed request. `Ok` carries the response content type
+    /// and body (the status is always 200).
+    fn route(&self, engine: &LotusX, request: &Request) -> Result<(&'static str, String), Reject> {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                self.stats.health_checks.fetch_add(1, Ordering::Relaxed);
+                Ok(("text/plain", "ok\n".to_string()))
+            }
+            ("GET", "/stats") => self.timed(Stage::HttpStats, || {
+                self.stats.stats_requests.fetch_add(1, Ordering::Relaxed);
+                let body = format!(
+                    "{{\n\"server\": {},\n\"metrics\": {}}}\n",
+                    self.stats.snapshot().to_json(),
+                    lotusx_obs::metrics().snapshot().to_json()
+                );
+                Ok(("application/json", body))
+            }),
+            ("POST", "/query") => self.timed(Stage::HttpQuery, || {
+                let query = self.decode_body(&request.body, wire::decode_query)?;
+                let query = self.with_server_cancel(query);
+                match engine.query(&query) {
+                    Ok(response) => {
+                        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+                        if !response.completeness.is_complete() {
+                            self.stats
+                                .truncated_responses
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(("application/json", wire::encode_response(&response)))
+                    }
+                    Err(e @ lotusx::LotusError::Query(_)) => Err(Reject {
+                        status: 400,
+                        reason: e.to_string(),
+                    }),
+                    Err(e) => Err(Reject {
+                        status: 500,
+                        reason: e.to_string(),
+                    }),
+                }
+            }),
+            ("POST", "/complete") => self.timed(Stage::HttpComplete, || {
+                let complete = self.decode_body(&request.body, wire::decode_complete)?;
+                let completion = engine.completion_engine();
+                let body = match complete {
+                    wire::CompleteRequest::Tag { context, prefix, k } => {
+                        wire::encode_tag_candidates(&completion.complete_tag(&context, &prefix, k))
+                    }
+                    wire::CompleteRequest::Value { tag, prefix, k } => {
+                        wire::encode_value_candidates(&completion.complete_value(&tag, &prefix, k))
+                    }
+                };
+                self.stats.completions.fetch_add(1, Ordering::Relaxed);
+                Ok(("application/json", body))
+            }),
+            ("POST", "/shutdown") => {
+                // Graceful remote stop: the response goes out first, the
+                // accept loop notices the flag within its poll interval.
+                self.query_cancel.cancel();
+                self.stop.store(true, Ordering::SeqCst);
+                Ok(("application/json", "{\"stopping\":true}\n".to_string()))
+            }
+            (_, "/healthz" | "/stats") => Err(Reject {
+                status: 405,
+                reason: format!("{} requires GET", request.path),
+            }),
+            (_, "/query" | "/complete" | "/shutdown") => Err(Reject {
+                status: 405,
+                reason: format!("{} requires POST", request.path),
+            }),
+            (_, path) => Err(Reject {
+                status: 404,
+                reason: format!("unknown endpoint {path}"),
+            }),
+        }
+    }
+
+    /// Parses a request body as JSON and decodes it; decode errors are
+    /// 400s.
+    fn decode_body<T>(
+        &self,
+        body: &[u8],
+        decode: impl FnOnce(&lotusx_obs::JsonValue) -> Result<T, String>,
+    ) -> Result<T, Reject> {
+        let text = std::str::from_utf8(body).map_err(|_| Reject {
+            status: 400,
+            reason: "body is not valid UTF-8".to_string(),
+        })?;
+        let value = lotusx_obs::parse_json(text).map_err(|e| Reject {
+            status: 400,
+            reason: format!("body is not valid JSON: {e}"),
+        })?;
+        decode(&value).map_err(|reason| Reject {
+            status: 400,
+            reason,
+        })
+    }
+
+    /// Attaches the server-wide cancellation token to a request's budget
+    /// (client budgets and the shutdown token compose: whichever trips
+    /// first wins).
+    fn with_server_cancel(&self, mut request: QueryRequest) -> QueryRequest {
+        // The wire never carries a client token, so the slot is free.
+        request.budget = request
+            .budget
+            .clone()
+            .with_cancel(self.query_cancel.clone());
+        request
+    }
+
+    /// Runs `f`, recording its wall time into `stage` (lifetime + live
+    /// windows) and emitting stage begin/end trace events when tracing
+    /// is on.
+    fn timed<T>(&self, stage: Stage, f: impl FnOnce() -> Result<T, Reject>) -> Result<T, Reject> {
+        lotusx_obs::emit(
+            QueryId::NONE,
+            EventKind::StageBegin {
+                stage: stage.name(),
+            },
+        );
+        let recording = lotusx_obs::enabled();
+        let started = recording.then(Instant::now);
+        let out = f();
+        if let Some(t0) = started {
+            lotusx_obs::metrics().record_stage(stage, t0.elapsed().as_nanos() as u64);
+        }
+        lotusx_obs::emit(
+            QueryId::NONE,
+            EventKind::StageEnd {
+                stage: stage.name(),
+            },
+        );
+        out
+    }
+}

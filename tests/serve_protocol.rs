@@ -1,0 +1,287 @@
+//! Protocol-hardening suite: malformed, hostile, and slow inputs all get
+//! the documented 4xx (or a timeout), never a panic, and the rejection
+//! counters account for every one of them exactly.
+
+use lotusx::LotusX;
+use lotusx_serve::{client, Limits, ServeConfig, Server};
+use std::io::Write;
+use std::time::Duration;
+
+const DOC: &str =
+    "<bib><book><title>Data on the Web</title><author>Abiteboul</author></book></bib>";
+
+/// Short server-side read timeout so the slow-loris case resolves fast.
+const READ_TIMEOUT: Duration = Duration::from_millis(400);
+
+fn hardened_config() -> ServeConfig {
+    ServeConfig {
+        read_timeout: READ_TIMEOUT,
+        write_timeout: Duration::from_secs(5),
+        limits: Limits {
+            max_request_line: 256,
+            max_headers: 8,
+            max_header_line: 512,
+            max_body_bytes: 1024,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+struct Case {
+    name: &'static str,
+    /// Raw bytes written to the socket, with a pause after each chunk.
+    chunks: Vec<(Vec<u8>, Duration)>,
+    /// The status the server must answer with.
+    expect: u16,
+    /// Does this input get far enough to be *routed* (and therefore
+    /// counted in `requests` as well as `rejected`)?
+    routed: bool,
+}
+
+fn case(name: &'static str, raw: &str, expect: u16, routed: bool) -> Case {
+    Case {
+        name,
+        chunks: vec![(raw.as_bytes().to_vec(), Duration::ZERO)],
+        expect,
+        routed,
+    }
+}
+
+#[test]
+fn malformed_inputs_get_documented_rejections_and_exact_counters() {
+    let engine = LotusX::load_str(DOC).unwrap();
+    let server = Server::bind(hardened_config()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    let cases = vec![
+        case("truncated request line", "GET /healthz", 400, false),
+        case("empty request", "", 400, false),
+        case("one-token request line", "GARBAGE\r\n\r\n", 400, false),
+        case(
+            "lowercase method",
+            "get /healthz HTTP/1.1\r\n\r\n",
+            400,
+            false,
+        ),
+        case(
+            "wrong protocol",
+            "GET /healthz SPDY/3.1\r\n\r\n",
+            400,
+            false,
+        ),
+        case(
+            "oversized request line",
+            &format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(300)),
+            400,
+            false,
+        ),
+        case(
+            "oversized header line",
+            &format!(
+                "GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+                "b".repeat(600)
+            ),
+            431,
+            false,
+        ),
+        case(
+            "too many headers",
+            &format!(
+                "GET /healthz HTTP/1.1\r\n{}\r\n",
+                (0..12)
+                    .map(|i| format!("X-H{i}: v\r\n"))
+                    .collect::<String>()
+            ),
+            431,
+            false,
+        ),
+        case(
+            "header without colon",
+            "GET /healthz HTTP/1.1\r\nnocolonhere\r\n\r\n",
+            400,
+            false,
+        ),
+        case(
+            "bad content-length",
+            "POST /query HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            400,
+            false,
+        ),
+        case(
+            "negative content-length",
+            "POST /query HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+            400,
+            false,
+        ),
+        case(
+            "content-length over the cap",
+            "POST /query HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+            413,
+            false,
+        ),
+        case(
+            "post without content-length",
+            "POST /query HTTP/1.1\r\n\r\n",
+            411,
+            false,
+        ),
+        case(
+            "body shorter than content-length",
+            "POST /query HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"x\":1}",
+            400,
+            false,
+        ),
+        case(
+            "chunked transfer-encoding",
+            "POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 2\r\n\r\n{}",
+            400,
+            false,
+        ),
+        Case {
+            name: "invalid UTF-8 body",
+            chunks: vec![(
+                [
+                    b"POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\n".to_vec(),
+                    vec![0xff, 0xfe, 0x80, 0x81],
+                ]
+                .concat(),
+                Duration::ZERO,
+            )],
+            expect: 400,
+            routed: true,
+        },
+        case(
+            "body is not JSON",
+            "POST /query HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!",
+            400,
+            true,
+        ),
+        case(
+            "body fails wire validation",
+            "POST /query HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"top_k\":\"x\"}",
+            400,
+            true,
+        ),
+        case("unknown endpoint", "GET /admin HTTP/1.1\r\n\r\n", 404, true),
+        case(
+            "wrong method on /query",
+            "GET /query HTTP/1.1\r\n\r\n",
+            405,
+            true,
+        ),
+        case(
+            "wrong method on /healthz",
+            "POST /healthz HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}",
+            405,
+            true,
+        ),
+        Case {
+            name: "slow-loris hits the read timeout",
+            chunks: vec![
+                (b"GET /healthz HT".to_vec(), READ_TIMEOUT * 3),
+                (b"TP/1.1\r\n\r\n".to_vec(), Duration::ZERO),
+            ],
+            expect: 408,
+            routed: false,
+        },
+    ];
+
+    let expected_rejects = cases.len() as u64;
+    let expected_routed = cases.iter().filter(|c| c.routed).count() as u64;
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run(&engine));
+
+        for c in &cases {
+            let chunks: Vec<(&[u8], Duration)> = c
+                .chunks
+                .iter()
+                .map(|(bytes, pause)| (bytes.as_slice(), *pause))
+                .collect();
+            let response = client::raw_request(addr, &chunks, Duration::from_secs(5))
+                .unwrap_or_else(|e| panic!("{}: socket error {e}", c.name))
+                .unwrap_or_else(|| panic!("{}: server closed without responding", c.name));
+            assert_eq!(response.status, c.expect, "{}", c.name);
+            // Every rejection carries a JSON error body.
+            assert!(
+                response.body_text().starts_with("{\"error\":"),
+                "{}: body {:?}",
+                c.name,
+                response.body_text()
+            );
+        }
+
+        // One good request to prove the server is still healthy after
+        // all of the above.
+        let ok = client::get(addr, "/healthz").expect("healthz after the gauntlet");
+        assert_eq!(ok.status, 200);
+
+        let stats = handle.stats();
+        assert_eq!(stats.panics, 0, "hardening input must never panic a worker");
+        assert_eq!(
+            stats.rejected, expected_rejects,
+            "every case increments `rejected` exactly once"
+        );
+        assert_eq!(
+            stats.requests,
+            expected_routed + 1, // the routed rejects + the final healthz
+            "only parseable requests count as requests"
+        );
+
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn admission_gate_answers_429_exactly_at_capacity() {
+    let engine = LotusX::load_str(DOC).unwrap();
+    let config = ServeConfig {
+        threads: 1,
+        max_inflight: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run(&engine));
+
+        // Occupy the single slot: connect and send only part of a
+        // request, so the worker sits in read() holding the slot.
+        let mut occupier = std::net::TcpStream::connect(addr).expect("occupier connects");
+        occupier
+            .write_all(b"GET /healthz HTTP/1.1\r\n")
+            .expect("partial write");
+        occupier.flush().unwrap();
+        // Give the accept loop (5ms poll) ample time to admit it.
+        std::thread::sleep(Duration::from_millis(150));
+
+        // The next connection must be turned away at the door.
+        let turned_away = client::get(addr, "/healthz").expect("rejected roundtrip");
+        assert_eq!(turned_away.status, 429);
+
+        // Finish the occupier's request: it was admitted, so it gets
+        // served normally — admission control never cancels admitted work.
+        occupier.write_all(b"\r\n").expect("finish request");
+        occupier.flush().unwrap();
+        let response = client::read_response(&mut occupier).expect("occupier response");
+        assert_eq!(response.status, 200);
+
+        // The worker releases the slot just after writing the response;
+        // wait out that sliver so the next request cannot race a 429.
+        std::thread::sleep(Duration::from_millis(150));
+
+        // With the slot free again, requests flow.
+        let ok = client::get(addr, "/healthz").expect("healthz after release");
+        assert_eq!(ok.status, 200);
+
+        let stats = handle.stats();
+        assert_eq!(stats.rejected, 1, "exactly one 429");
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.health_checks, 2);
+
+        handle.shutdown();
+    });
+}
