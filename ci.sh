@@ -2,8 +2,8 @@
 # Offline CI: staged, self-timing. No network access required.
 #
 #   ./ci.sh          run every stage (fmt, clippy, build, test, smoke,
-#                    robust-smoke, telemetry-smoke, serve-smoke) and
-#                    print a per-stage timing table
+#                    robust-smoke, telemetry-smoke, serve-smoke,
+#                    join-bench-smoke) and print a per-stage timing table
 #   ./ci.sh --fast   skip the release build and the smoke stages
 #
 # Fails fast: the first failing stage aborts the run, names itself, and
@@ -178,6 +178,15 @@ stage_serve_smoke() {
     grep -q '^stopped:' "$log"
 }
 
+# Join-engine smoke: the head-to-head benchmark in --quick mode (scale 1,
+# few reps, artifact under target/). Exits nonzero if any algorithm
+# disagrees with the reference results (exit 2) or the adaptive chooser
+# lands outside its 1.25x-of-best gate (exit 1) — a regression gate for
+# both the columnar join paths and the cost model. Fully offline.
+stage_join_bench_smoke() {
+    cargo run --release -p lotusx-bench --bin join-bench -- --quick
+}
+
 run_stage fmt    stage_fmt
 run_stage clippy stage_clippy
 if [ "$FAST" -eq 0 ]; then
@@ -189,6 +198,7 @@ if [ "$FAST" -eq 0 ]; then
     run_stage robust-smoke    stage_robust_smoke
     run_stage telemetry-smoke stage_telemetry_smoke
     run_stage serve-smoke     stage_serve_smoke
+    run_stage join-bench-smoke stage_join_bench_smoke
 fi
 
 print_summary

@@ -1,0 +1,422 @@
+//! Head-to-head join benchmark: every twig algorithm (plus the
+//! pre-columnar `twigstack-entrywise` baseline and the `auto` chooser)
+//! across all dataset shapes and scales.
+//!
+//! For every (dataset, scale, query) cell it measures the median wall
+//! time of each contender, verifies all contenders return bit-identical
+//! match sets, finds the per-query best concrete algorithm, and checks
+//! the adaptive chooser (`Algorithm::Auto`) lands within `--gate` (default
+//! 1.25×) of that best. Gate violations increment the process-local
+//! `chooser_mispicks` counter and fail the run with a nonzero exit, so
+//! CI can use this binary as a regression gate.
+//!
+//! ```sh
+//! cargo run --release -p lotusx-bench --bin join-bench            # full sweep, writes BENCH_join.json
+//! cargo run --release -p lotusx-bench --bin join-bench -- --quick # small sweep for CI smoke
+//! ```
+//!
+//! Flags: `--quick` (scale 1, fewer reps, default output under
+//! `target/`), `--gate <factor>`, `--slack-ms <ms>` (absolute noise floor
+//! added to the gate for micro-second queries), `--out <path>`.
+
+use lotusx_bench::{fixture, fmt_duration, time_once, SEED};
+use lotusx_datagen::{queries, Dataset};
+use lotusx_guard::QueryGuard;
+use lotusx_twig::algorithms::twigstack;
+use lotusx_twig::xpath::parse_query;
+use lotusx_twig::{choose_algorithm, execute, Algorithm, TwigMatch};
+use std::time::Duration;
+
+/// The extra, non-`Algorithm` contender: the preserved array-of-structs
+/// TwigStack that advances element by element (the seed's join engine).
+const ENTRYWISE: &str = "twigstack-entrywise";
+
+struct Config {
+    quick: bool,
+    gate: f64,
+    slack_ms: f64,
+    out: String,
+    scales: Vec<u32>,
+    reps: usize,
+}
+
+fn parse_args() -> Config {
+    let mut quick = false;
+    let mut gate = 1.25f64;
+    let mut slack_ms = 0.05f64;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--gate" => {
+                gate = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--gate needs a number");
+            }
+            "--slack-ms" => {
+                slack_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--slack-ms needs a number");
+            }
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown flag {other} (try --quick, --gate, --slack-ms, --out)"),
+        }
+    }
+    // Reps are minimums per contender, taken over fully interleaved
+    // rounds; on a busy 1-CPU host near-tied contenders need several
+    // rounds before each one has seen a quiet slice of the machine.
+    let (scales, reps, default_out) = if quick {
+        (vec![1u32], 3usize, "target/BENCH_join_quick.json")
+    } else {
+        (vec![2u32, 8], 9usize, "BENCH_join.json")
+    };
+    Config {
+        quick,
+        gate,
+        slack_ms,
+        out: out.unwrap_or_else(|| default_out.to_string()),
+        scales,
+        reps,
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Canonical form for equivalence checks: matches sorted by bindings.
+fn canonical(mut matches: Vec<TwigMatch>) -> Vec<TwigMatch> {
+    matches.sort();
+    matches
+}
+
+struct QueryRow {
+    id: &'static str,
+    text: &'static str,
+    matches: usize,
+    /// (contender name, median ms) in contender order.
+    times: Vec<(&'static str, f64)>,
+    best: &'static str,
+    best_ms: f64,
+    auto_ms: f64,
+    auto_pick: &'static str,
+    auto_factor: f64,
+    gate_pass: bool,
+    /// entrywise_ms / columnar twigstack_ms (> 1 = columnar wins).
+    columnar_speedup: f64,
+    equivalent: bool,
+}
+
+fn main() {
+    let cfg = parse_args();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mode = if cfg.quick { "quick" } else { "full" };
+    eprintln!(
+        "join-bench ({mode}): scales {:?}, reps {}, gate {:.2}x + {:.2}ms, host_cpus {host_cpus}",
+        cfg.scales, cfg.reps, cfg.gate, cfg.slack_ms
+    );
+
+    let metrics = lotusx_obs::metrics();
+    let mut sections = Vec::new();
+    let mut all_rows: Vec<QueryRow> = Vec::new();
+
+    for ds in Dataset::ALL {
+        for &scale in &cfg.scales {
+            let idx = fixture(ds, scale);
+            let elements = idx.stats().element_count;
+            eprintln!("\n=== {ds} scale {scale} ({elements} elements) ===");
+            let mut rows = Vec::new();
+            for q in queries::queries(ds) {
+                let pattern = parse_query(q.text).expect("canonical queries parse");
+
+                // Reference answer from the navigational baseline.
+                let reference = canonical(execute(&idx, &pattern, Algorithm::Naive));
+                let mut equivalent = true;
+
+                // Interleaved timing: one run of every contender per round,
+                // minimum per contender over the rounds. Interleaving makes
+                // slow phases of a shared host hit all contenders alike
+                // instead of biasing whichever one happened to run during
+                // the noise, and the minimum discards the interference that
+                // remains. Equivalence is checked on the first round.
+                let mut mins = vec![f64::INFINITY; Algorithm::ALL.len() + 2];
+                for rep in 0..cfg.reps {
+                    for (slot, algo) in Algorithm::ALL.into_iter().enumerate() {
+                        let (t, m) = time_once(|| execute(&idx, &pattern, algo));
+                        mins[slot] = mins[slot].min(ms(t));
+                        if rep == 0 && canonical(m) != reference {
+                            equivalent = false;
+                            eprintln!("  MISMATCH: {} on {} {}", algo, ds, q.id);
+                        }
+                    }
+                    // The seed's entrywise TwigStack, for the
+                    // columnar-vs-seed comparison.
+                    let (t, m) = time_once(|| {
+                        twigstack::evaluate_entrywise_guarded(
+                            &idx,
+                            &pattern,
+                            &QueryGuard::unlimited(),
+                        )
+                    });
+                    let slot = Algorithm::ALL.len();
+                    mins[slot] = mins[slot].min(ms(t));
+                    if rep == 0 && canonical(m) != reference {
+                        equivalent = false;
+                        eprintln!("  MISMATCH: {ENTRYWISE} on {} {}", ds, q.id);
+                    }
+                    // Auto end to end, chooser resolution included.
+                    let (t, m) = time_once(|| execute(&idx, &pattern, Algorithm::Auto));
+                    let slot = Algorithm::ALL.len() + 1;
+                    mins[slot] = mins[slot].min(ms(t));
+                    if rep == 0 && canonical(m) != reference {
+                        equivalent = false;
+                        eprintln!("  MISMATCH: auto on {} {}", ds, q.id);
+                    }
+                }
+                let mut times: Vec<(&'static str, f64)> = Algorithm::ALL
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, algo)| (algo.name(), mins[slot]))
+                    .collect();
+                times.push((ENTRYWISE, mins[Algorithm::ALL.len()]));
+                let auto_ms = mins[Algorithm::ALL.len() + 1];
+
+                // Record what the chooser picked.
+                let choice = choose_algorithm(&idx, &pattern);
+                let pick = choice.algorithm.name();
+                metrics.incr(
+                    match choice.algorithm {
+                        Algorithm::Naive => "algo_chosen_naive",
+                        Algorithm::StructuralJoin => "algo_chosen_structural_join",
+                        Algorithm::PathStack => "algo_chosen_pathstack",
+                        Algorithm::TwigStack => "algo_chosen_twigstack",
+                        Algorithm::TJFast => "algo_chosen_tjfast",
+                        Algorithm::TwigStackGuided => "algo_chosen_twigstack_guided",
+                        Algorithm::Auto => "algo_chosen_auto",
+                    },
+                    1,
+                );
+
+                // Per-query best among the six concrete algorithms.
+                let (best, best_ms) = times
+                    .iter()
+                    .filter(|(name, _)| *name != ENTRYWISE)
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .copied()
+                    .expect("six algorithms ran");
+                let auto_factor = auto_ms / best_ms.max(1e-9);
+                let gate_pass = auto_ms <= cfg.gate * best_ms + cfg.slack_ms;
+                if !gate_pass {
+                    metrics.incr("chooser_mispicks", 1);
+                }
+
+                let columnar_ms = times
+                    .iter()
+                    .find(|(name, _)| *name == "twigstack")
+                    .expect("twigstack ran")
+                    .1;
+                let columnar_speedup = mins[Algorithm::ALL.len()] / columnar_ms.max(1e-9);
+
+                eprintln!(
+                    "  {:3} {:-44} {:7} m  best {:-16} {:>9}  auto->{:-16} {:.2}x{}  col/entry {:.2}x",
+                    q.id,
+                    q.text,
+                    reference.len(),
+                    best,
+                    fmt_duration(Duration::from_secs_f64(best_ms / 1e3)),
+                    pick,
+                    auto_factor,
+                    if gate_pass { "" } else { " GATE-FAIL" },
+                    columnar_speedup,
+                );
+
+                rows.push(QueryRow {
+                    id: q.id,
+                    text: q.text,
+                    matches: reference.len(),
+                    times,
+                    best,
+                    best_ms,
+                    auto_ms,
+                    auto_pick: pick,
+                    auto_factor,
+                    gate_pass,
+                    columnar_speedup,
+                    equivalent,
+                });
+            }
+            sections.push((ds, scale, elements, rows.len()));
+            all_rows.extend(rows);
+        }
+    }
+
+    // ---- Summary --------------------------------------------------------
+    let total = all_rows.len();
+    let mispicks = all_rows.iter().filter(|r| !r.gate_pass).count();
+    let nonequivalent = all_rows.iter().filter(|r| !r.equivalent).count();
+    let max_factor = all_rows
+        .iter()
+        .map(|r| r.auto_factor)
+        .fold(0.0f64, f64::max);
+    let columnar_wins = all_rows.iter().filter(|r| r.columnar_speedup > 1.0).count();
+    let speedup_geomean = (all_rows
+        .iter()
+        .map(|r| r.columnar_speedup.max(1e-9).ln())
+        .sum::<f64>()
+        / total.max(1) as f64)
+        .exp();
+    let max_speedup = all_rows
+        .iter()
+        .map(|r| r.columnar_speedup)
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "\nsummary: {total} queries, {mispicks} chooser mispicks (max auto factor {max_factor:.2}x), \
+         columnar beats entrywise on {columnar_wins}/{total} (geomean {speedup_geomean:.2}x, max {max_speedup:.2}x)"
+    );
+    let snapshot = metrics.snapshot();
+    let chooser_counts: Vec<String> = snapshot
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("algo_chosen_") || n == "chooser_mispicks")
+        .map(|(n, v)| format!("{n}={v}"))
+        .collect();
+    eprintln!("counters: {}", chooser_counts.join("  "));
+
+    // ---- JSON artifact --------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"columnar join engine head-to-head\",\n");
+    json.push_str(&format!("  \"mode\": {},\n", json_str(mode)));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"reps\": {},\n", cfg.reps));
+    json.push_str("  \"timing\": \"min-of-reps\",\n");
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!("  \"gate\": {:.3},\n", cfg.gate));
+    json.push_str(&format!("  \"slack_ms\": {:.3},\n", cfg.slack_ms));
+    json.push_str(&format!(
+        "  \"scales\": [{}],\n",
+        cfg.scales
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"sections\": [\n");
+    let mut row_iter = all_rows.iter();
+    for (si, (ds, scale, elements, nrows)) in sections.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"dataset\": {},\n", json_str(ds.name())));
+        json.push_str(&format!("      \"scale\": {scale},\n"));
+        json.push_str(&format!("      \"elements\": {elements},\n"));
+        json.push_str("      \"queries\": [\n");
+        for qi in 0..*nrows {
+            let r = row_iter.next().expect("row per section count");
+            json.push_str("        {\n");
+            json.push_str(&format!("          \"id\": {},\n", json_str(r.id)));
+            json.push_str(&format!("          \"query\": {},\n", json_str(r.text)));
+            json.push_str(&format!("          \"matches\": {},\n", r.matches));
+            json.push_str("          \"ms\": {");
+            json.push_str(
+                &r.times
+                    .iter()
+                    .map(|(name, t)| format!("{}: {t:.4}", json_str(name)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            json.push_str(&format!(", \"auto\": {:.4}}},\n", r.auto_ms));
+            json.push_str(&format!("          \"best\": {},\n", json_str(r.best)));
+            json.push_str(&format!("          \"best_ms\": {:.4},\n", r.best_ms));
+            json.push_str(&format!(
+                "          \"auto_pick\": {},\n",
+                json_str(r.auto_pick)
+            ));
+            json.push_str(&format!(
+                "          \"auto_factor\": {:.3},\n",
+                r.auto_factor
+            ));
+            json.push_str(&format!("          \"gate_pass\": {},\n", r.gate_pass));
+            json.push_str(&format!(
+                "          \"columnar_vs_entrywise\": {:.3},\n",
+                r.columnar_speedup
+            ));
+            json.push_str(&format!("          \"equivalent\": {}\n", r.equivalent));
+            json.push_str(if qi + 1 == *nrows {
+                "        }\n"
+            } else {
+                "        },\n"
+            });
+        }
+        json.push_str("      ]\n");
+        json.push_str(if si + 1 == sections.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"summary\": {\n");
+    json.push_str(&format!("    \"queries\": {total},\n"));
+    json.push_str(&format!("    \"chooser_mispicks\": {mispicks},\n"));
+    json.push_str(&format!("    \"max_auto_factor\": {max_factor:.3},\n"));
+    json.push_str(&format!(
+        "    \"columnar_wins_vs_entrywise\": {columnar_wins},\n"
+    ));
+    json.push_str(&format!(
+        "    \"columnar_speedup_geomean\": {speedup_geomean:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"columnar_speedup_max\": {max_speedup:.3},\n"
+    ));
+    json.push_str(&format!("    \"nonequivalent\": {nonequivalent},\n"));
+    json.push_str(&format!(
+        "    \"gate_pass\": {}\n",
+        mispicks == 0 && nonequivalent == 0
+    ));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    if let Some(parent) = std::path::Path::new(&cfg.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&cfg.out, &json).expect("write benchmark artifact");
+    eprintln!("wrote {}", cfg.out);
+
+    if nonequivalent > 0 {
+        eprintln!("FAIL: {nonequivalent} queries returned non-identical matches");
+        std::process::exit(2);
+    }
+    if mispicks > 0 {
+        eprintln!(
+            "FAIL: chooser exceeded {:.2}x-of-best gate on {mispicks} queries",
+            cfg.gate
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "PASS: chooser within {:.2}x of per-query best everywhere",
+        cfg.gate
+    );
+}

@@ -368,6 +368,13 @@ pub struct QueryResponse {
     /// result returned is a true answer — but the set may be a prefix of
     /// what an unbudgeted run would find.
     pub completeness: Completeness,
+    /// The join algorithm that produced these matches — the chooser's
+    /// pick when the configuration or request said [`Algorithm::Auto`].
+    /// Cache hits report the algorithm of the original execution;
+    /// keyword searches report `None`. Not part of the wire encoding:
+    /// identical answers stay byte-identical regardless of which
+    /// algorithm produced them.
+    pub algorithm: Option<Algorithm>,
     /// The execution profile, present iff the request asked for one.
     pub profile: Option<QueryProfile>,
 }
@@ -397,6 +404,10 @@ pub struct SearchOutcome {
     pub rewrite: Option<RewriteInfo>,
     /// Whether the search ran to completion or was cut short by a budget.
     pub completeness: Completeness,
+    /// The join algorithm that produced these results (`None` when no
+    /// join ran, e.g. an exhausted budget). Memoized with the outcome, so
+    /// a cache hit reports the algorithm of the original execution.
+    pub algorithm: Option<Algorithm>,
 }
 
 /// Provenance of an automatic rewrite.
@@ -458,6 +469,20 @@ fn run_stage<T>(
         },
     );
     out
+}
+
+/// Stable counter name for one chooser decision (`algo_chosen_*` in the
+/// metrics snapshot, `stats`, and the `top` live view).
+fn chosen_counter(algorithm: Algorithm) -> &'static str {
+    match algorithm {
+        Algorithm::Naive => "algo_chosen_naive",
+        Algorithm::StructuralJoin => "algo_chosen_structural_join",
+        Algorithm::PathStack => "algo_chosen_pathstack",
+        Algorithm::TwigStack => "algo_chosen_twigstack",
+        Algorithm::TJFast => "algo_chosen_tjfast",
+        Algorithm::TwigStackGuided => "algo_chosen_twigstack_guided",
+        Algorithm::Auto => "algo_chosen_auto",
+    }
 }
 
 /// Records degradation metrics (degraded-response and deadline counters,
@@ -582,14 +607,34 @@ impl LotusX {
         self.config.algorithm.unwrap_or(Algorithm::TwigStack)
     }
 
+    /// Resolves the effective join algorithm for one execution. A pinned
+    /// concrete algorithm passes through; `Algorithm::Auto` (per request
+    /// or configuration) and an unset configuration run the cost-model
+    /// chooser, recording the decision as an `algo_chosen_*` counter and
+    /// an [`EventKind::AlgoChosen`] trace event.
     fn algorithm_for(
         &self,
         pattern: &TwigPattern,
         request_override: Option<Algorithm>,
+        recording: bool,
+        qid: QueryId,
     ) -> Algorithm {
-        request_override
-            .or(self.config.algorithm)
-            .unwrap_or_else(|| lotusx_twig::select_algorithm(&self.idx, pattern))
+        match request_override.or(self.config.algorithm) {
+            Some(Algorithm::Auto) | None => {
+                let choice = lotusx_twig::choose_algorithm(&self.idx, pattern);
+                if recording {
+                    lotusx_obs::metrics().incr(chosen_counter(choice.algorithm), 1);
+                }
+                lotusx_obs::emit(
+                    qid,
+                    EventKind::AlgoChosen {
+                        algorithm: choice.algorithm.name(),
+                    },
+                );
+                choice.algorithm
+            }
+            Some(pinned) => pinned,
+        }
     }
 
     /// The configured worker-thread count.
@@ -744,6 +789,7 @@ impl LotusX {
                     total_matches: 0,
                     rewrite: None,
                     completeness: guard.completeness(),
+                    algorithm: None,
                 },
                 None,
             ),
@@ -803,6 +849,7 @@ impl LotusX {
         );
 
         Ok(QueryResponse {
+            algorithm: outcome.algorithm,
             matches: outcome.results,
             total_matches: outcome.total_matches,
             rewrite: outcome.rewrite,
@@ -897,6 +944,7 @@ impl LotusX {
             total_matches,
             rewrite: None,
             completeness,
+            algorithm: None,
             profile: if request.profile { profile } else { None },
         }
     }
@@ -931,7 +979,7 @@ impl LotusX {
         qid: QueryId,
         guard: &QueryGuard,
     ) -> (SearchOutcome, Algorithm) {
-        let algorithm = self.algorithm_for(pattern, algorithm_override);
+        let algorithm = self.algorithm_for(pattern, algorithm_override, recording, qid);
         let matches = run_stage(span, Stage::Match, recording, qid, |s| {
             execute_budgeted(&self.idx, pattern, algorithm, self.config.threads, s, guard)
         });
@@ -939,10 +987,10 @@ impl LotusX {
         // nothing about whether the query is truly empty, and the budget
         // is spent anyway.
         if !matches.is_empty() || !self.config.auto_rewrite || guard.is_tripped() {
-            return (
-                self.finish(pattern, matches, None, limit, span, recording, qid, guard),
-                algorithm,
-            );
+            let mut outcome =
+                self.finish(pattern, matches, None, limit, span, recording, qid, guard);
+            outcome.algorithm = Some(algorithm);
+            return (outcome, algorithm);
         }
         // Empty: try rewriting.
         let rewrites = run_stage(span, Stage::Rewrite, recording, qid, |s| {
@@ -956,7 +1004,8 @@ impl LotusX {
         match rewrites.into_iter().next() {
             Some(best) => {
                 lotusx_obs::emit(qid, EventKind::Rewrite { accepted: true });
-                let algorithm = self.algorithm_for(&best.pattern, algorithm_override);
+                let algorithm =
+                    self.algorithm_for(&best.pattern, algorithm_override, recording, qid);
                 let matches = run_stage(span, Stage::Match, recording, qid, |s| {
                     execute_budgeted(
                         &self.idx,
@@ -972,35 +1021,33 @@ impl LotusX {
                     cost: best.cost,
                     ops: best.ops,
                 };
-                (
-                    self.finish(
-                        &best.pattern,
-                        matches,
-                        Some(info),
-                        limit,
-                        span,
-                        recording,
-                        qid,
-                        guard,
-                    ),
-                    algorithm,
-                )
+                let mut outcome = self.finish(
+                    &best.pattern,
+                    matches,
+                    Some(info),
+                    limit,
+                    span,
+                    recording,
+                    qid,
+                    guard,
+                );
+                outcome.algorithm = Some(algorithm);
+                (outcome, algorithm)
             }
             None => {
                 lotusx_obs::emit(qid, EventKind::Rewrite { accepted: false });
-                (
-                    self.finish(
-                        pattern,
-                        Vec::new(),
-                        None,
-                        limit,
-                        span,
-                        recording,
-                        qid,
-                        guard,
-                    ),
-                    algorithm,
-                )
+                let mut outcome = self.finish(
+                    pattern,
+                    Vec::new(),
+                    None,
+                    limit,
+                    span,
+                    recording,
+                    qid,
+                    guard,
+                );
+                outcome.algorithm = Some(algorithm);
+                (outcome, algorithm)
             }
         }
     }
@@ -1049,6 +1096,7 @@ impl LotusX {
             total_matches,
             rewrite,
             completeness: guard.completeness(),
+            algorithm: None,
         }
     }
 
@@ -1191,6 +1239,33 @@ mod tests {
         let system = LotusX::load_str(BIB).unwrap();
         let response = system.query(&twig("//book[author!]/title")).unwrap();
         assert!(response.matches[0].snippet.starts_with("<author>"));
+    }
+
+    #[test]
+    fn responses_report_the_executed_algorithm() {
+        let mut system = LotusX::load_str(BIB).unwrap();
+        // Pinned configuration: the pin is reported.
+        let response = system.query(&twig("//book[title][author]")).unwrap();
+        assert_eq!(response.algorithm, Some(Algorithm::TwigStack));
+        // Cache hits report the algorithm of the original execution.
+        let hit = system.query(&twig("//book[title][author]")).unwrap();
+        assert_eq!(hit.algorithm, Some(Algorithm::TwigStack));
+        // Auto (via configuration) resolves to a concrete algorithm.
+        let config = system.config().clone().auto_algorithm();
+        system.reconfigure(config).unwrap();
+        let auto = system.query(&twig("//book[title][author]")).unwrap();
+        let resolved = auto.algorithm.expect("a join ran");
+        assert_ne!(resolved, Algorithm::Auto, "always resolved");
+        // Auto as a per-request override resolves too.
+        let fresh = LotusX::load_str(BIB).unwrap();
+        let via_request = fresh
+            .query(&twig("//book/title").algorithm(Algorithm::Auto))
+            .unwrap();
+        assert!(via_request.algorithm.is_some());
+        assert_ne!(via_request.algorithm, Some(Algorithm::Auto));
+        // Keyword searches never run a join.
+        let keyword = fresh.query(&QueryRequest::keyword("handbook")).unwrap();
+        assert!(keyword.algorithm.is_none());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! One-pass construction of every index over a document.
 
+use crate::columns::TagColumns;
 use crate::dataguide::{DataGuide, GuideNodeId};
-use crate::stats::Stats;
+use crate::stats::{JoinStats, Stats};
 use crate::tag_index::{ElementEntry, TagIndex};
 use crate::trie::Trie;
 use crate::value_index::ValueIndex;
@@ -43,6 +44,7 @@ pub struct IndexedDocument {
     doc: Document,
     labels: DocumentLabels,
     tags: TagIndex,
+    columns: TagColumns,
     values: ValueIndex,
     tag_trie: Trie,
     term_trie: Trie,
@@ -50,6 +52,7 @@ pub struct IndexedDocument {
     guide: DataGuide,
     guide_of: Vec<GuideNodeId>,
     stats: Stats,
+    join_stats: JoinStats,
     all_elements: Vec<ElementEntry>,
 }
 
@@ -162,6 +165,12 @@ impl IndexedDocument {
         }
         values.finish();
 
+        // Columnar (struct-of-arrays) mirror of the merged tag streams —
+        // the layout the join engine scans. Derived entirely from the
+        // merged postings, so it is identical for any thread count.
+        let columns = TagColumns::build(&tags, &all_elements, tag_count);
+        let join_stats = JoinStats::compute(&tags, &guide, tag_count);
+
         // Phase 4: the two completion tries are independent of each other.
         // Insertion order is fixed (symbol order / sorted terms), so the
         // tries are identical however the closures are scheduled.
@@ -200,6 +209,7 @@ impl IndexedDocument {
             doc,
             labels,
             tags,
+            columns,
             values,
             tag_trie,
             term_trie,
@@ -207,6 +217,7 @@ impl IndexedDocument {
             guide,
             guide_of,
             stats,
+            join_stats,
             all_elements,
         }
     }
@@ -224,6 +235,11 @@ impl IndexedDocument {
     /// The per-tag element streams.
     pub fn tags(&self) -> &TagIndex {
         &self.tags
+    }
+
+    /// The columnar (struct-of-arrays) mirror of the tag streams.
+    pub fn columns(&self) -> &TagColumns {
+        &self.columns
     }
 
     /// The content index.
@@ -261,6 +277,11 @@ impl IndexedDocument {
         &self.stats
     }
 
+    /// Join-selectivity statistics (chooser inputs).
+    pub fn join_stats(&self) -> &JoinStats {
+        &self.join_stats
+    }
+
     /// Document-ordered stream of ALL elements (the stream a wildcard
     /// query node scans).
     pub fn all_elements(&self) -> &[ElementEntry] {
@@ -277,6 +298,7 @@ impl IndexedDocument {
     pub fn index_size_bytes(&self) -> usize {
         self.labels.size_bytes()
             + self.tags.size_bytes()
+            + self.columns.size_bytes()
             + self.values.size_bytes()
             + self.tag_trie.size_bytes()
             + self.term_trie.size_bytes()

@@ -4,6 +4,10 @@
 //!
 //! * [`tag_index::TagIndex`] — per-tag, document-ordered element streams
 //!   (the inputs of structural and holistic twig joins);
+//! * [`columns::TagColumns`] — a struct-of-arrays mirror of those streams
+//!   (contiguous start/end/level columns plus a prefix-max-end column)
+//!   that the join engine scans branch-light and skips with galloping
+//!   binary search;
 //! * [`value_index::ValueIndex`] — tokenized term postings with term
 //!   frequencies, an exact-value index, and a numeric index for range
 //!   predicates;
@@ -12,13 +16,17 @@
 //! * [`dataguide::DataGuide`] — a strong DataGuide structural summary,
 //!   the engine behind *position-aware* candidate filtering and
 //!   satisfiability pruning;
-//! * [`stats::Stats`] — corpus statistics used by ranking.
+//! * [`stats::Stats`] — corpus statistics used by ranking — and
+//!   [`stats::JoinStats`] — per-tag frequencies and DataGuide-derived
+//!   pair selectivities, the cost-model inputs of the adaptive join
+//!   algorithm chooser.
 //!
 //! [`IndexedDocument`] bundles the document, its labels and all indexes.
 
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod columns;
 pub mod dataguide;
 pub mod stats;
 pub mod tag_index;
@@ -26,8 +34,9 @@ pub mod trie;
 pub mod value_index;
 
 pub use builder::{BuildOptions, IndexedDocument};
+pub use columns::{ColumnCursor, ColumnView, OwnedColumns, TagColumns};
 pub use dataguide::{DataGuide, GuideNodeId};
-pub use stats::Stats;
+pub use stats::{JoinStats, Stats};
 pub use tag_index::{ElementEntry, TagIndex, TagStream};
 pub use trie::{Trie, TrieCursor};
 pub use value_index::{tokenize, ValueIndex};

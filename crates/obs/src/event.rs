@@ -79,6 +79,12 @@ pub enum EventKind {
         /// Whether a rewrite was applied (false = no candidate survived).
         accepted: bool,
     },
+    /// The adaptive chooser resolved `Algorithm::Auto` to a concrete join
+    /// algorithm for this query.
+    AlgoChosen {
+        /// The chosen algorithm's stable name (e.g. `twigstack`).
+        algorithm: &'static str,
+    },
 }
 
 impl EventKind {
@@ -95,6 +101,7 @@ impl EventKind {
             EventKind::WorkerEnd { .. } => "worker_end",
             EventKind::WorkerPanicked => "worker_panic",
             EventKind::Rewrite { .. } => "rewrite",
+            EventKind::AlgoChosen { .. } => "algo_chosen",
         }
     }
 }

@@ -46,6 +46,11 @@ fn chrome_event(e: &TraceEvent) -> String {
             "rewrite".to_string(),
             format!("\"accepted\":{accepted}"),
         ),
+        EventKind::AlgoChosen { algorithm } => (
+            "i",
+            format!("algo_chosen:{algorithm}"),
+            format!("\"algorithm\":{}", json_string(algorithm)),
+        ),
     };
     let mut out = format!(
         "{{\"name\":{},\"cat\":{},\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
@@ -147,6 +152,9 @@ pub fn jsonl_log(events: &[TraceEvent]) -> String {
             }
             EventKind::WorkerBegin { chunk } | EventKind::WorkerEnd { chunk } => {
                 line.push_str(&format!(",\"chunk\":{chunk}"));
+            }
+            EventKind::AlgoChosen { algorithm } => {
+                line.push_str(&format!(",\"algorithm\":{}", json_string(algorithm)));
             }
             EventKind::QueryBegin | EventKind::WorkerPanicked | EventKind::Rewrite { .. } => {}
         }

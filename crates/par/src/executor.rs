@@ -141,7 +141,41 @@ fn chunk_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
         .collect()
 }
 
-/// Per-chunk outcome of [`run_chunks`]: the chunk's result, or the
+/// Splits `len` items into at most `threads` contiguous ranges of
+/// roughly equal total weight: each chunk closes once it holds its fair
+/// share of the weight that was left when it began, so one heavy item
+/// gets a chunk to itself and the light tail spreads over the rest.
+/// Boundaries depend only on `(weights, threads)` — deterministic.
+fn weighted_chunk_ranges(weights: &[u64], threads: usize) -> Vec<std::ops::Range<usize>> {
+    let len = weights.len();
+    let threads = threads.max(1).min(len.max(1));
+    let total: u64 = weights.iter().sum();
+    if threads <= 1 || total == 0 {
+        // Serial, or nothing to balance: fall back to even item counts.
+        return chunk_ranges(len, threads);
+    }
+    let mut ranges = Vec::with_capacity(threads);
+    let mut remaining = total;
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        remaining -= w;
+        let chunks_left = (threads - ranges.len()) as u64;
+        // acc >= (acc + remaining) / chunks_left, in overflow-safe form.
+        if chunks_left > 1 && acc.saturating_mul(chunks_left) >= remaining + acc {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < len {
+        ranges.push(start..len);
+    }
+    ranges
+}
+
+/// Per-chunk outcome of [`run_ranges`]: the chunk's result, or the
 /// structured panic record plus the original payload (kept so the
 /// infallible combinators can [`resume_unwind`] it on the caller).
 type ChunkOutcome<U> = Result<U, (WorkerPanic, Box<dyn std::any::Any + Send>)>;
@@ -156,7 +190,21 @@ where
     U: Send,
     F: Fn(usize, &[T]) -> U + Sync,
 {
-    let ranges = chunk_ranges(items.len(), threads);
+    run_ranges(items, chunk_ranges(items.len(), threads), f)
+}
+
+/// Runs `f` over the given precomputed contiguous ranges of `items`, one
+/// scoped worker per range (inline when there is at most one range).
+fn run_ranges<T, U, F>(
+    items: &[T],
+    ranges: Vec<std::ops::Range<usize>>,
+    f: F,
+) -> Vec<ChunkOutcome<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
     JOBS.fetch_add(1, Ordering::Relaxed);
     let capture = |chunk_index: usize, r: std::ops::Range<usize>| -> ChunkOutcome<U> {
         let chunk = &items[r.clone()];
@@ -243,6 +291,39 @@ where
 {
     let mut out = Vec::new();
     for outcome in run_chunks(items, threads, f) {
+        match outcome {
+            Ok(u) => out.push(u),
+            Err((_, payload)) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Like [`par_chunks`], but chunk boundaries balance *work* instead of
+/// item count: `weight` prices each item, and every chunk takes on
+/// roughly the same total weight. With uniform weights this still
+/// differs from [`par_chunks`]' fixed arithmetic split, so callers that
+/// pin exact chunk boundaries keep using [`par_chunks`].
+///
+/// Deterministic for a fixed `(items, threads, weight)`: boundaries
+/// depend only on the weight sequence, never on scheduling. Panic
+/// semantics match [`par_chunks`] — siblings finish, then the first
+/// panic (in chunk order) is re-raised.
+///
+/// Use when per-item cost is predictably skewed (e.g. tree roots with
+/// very different subtree sizes) and an even item count would leave all
+/// but one worker idle behind the heaviest chunk.
+pub fn par_chunks_weighted<T, U, W, F>(items: &[T], threads: usize, weight: W, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    W: Fn(&T) -> u64,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    let weights: Vec<u64> = items.iter().map(&weight).collect();
+    let ranges = weighted_chunk_ranges(&weights, threads);
+    let mut out = Vec::new();
+    for outcome in run_ranges(items, ranges, f) {
         match outcome {
             Ok(u) => out.push(u),
             Err((_, payload)) => resume_unwind(payload),
@@ -361,6 +442,97 @@ mod tests {
                 assert!(ranges.len() <= threads.max(1));
             }
         }
+    }
+
+    #[test]
+    fn weighted_ranges_cover_exactly_once_and_respect_thread_cap() {
+        let weight_sets: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![5],
+            vec![0, 0, 0, 0],
+            vec![1; 100],
+            vec![1000, 1, 1, 1, 1, 1, 1, 1],
+            (0..97).map(|i| (i * 37 + 11) % 101).collect(),
+        ];
+        for weights in &weight_sets {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let ranges = weighted_chunk_ranges(weights, threads);
+                let mut covered = Vec::new();
+                for r in &ranges {
+                    covered.extend(r.clone());
+                }
+                assert_eq!(
+                    covered,
+                    (0..weights.len()).collect::<Vec<_>>(),
+                    "{weights:?}/{threads}"
+                );
+                assert!(ranges.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_isolate_a_heavy_head() {
+        // One item carrying almost all the weight gets a chunk to
+        // itself; the light tail spreads over the remaining workers.
+        let weights = vec![1000u64, 1, 1, 1, 1, 1, 1, 1, 1];
+        let ranges = weighted_chunk_ranges(&weights, 4);
+        assert_eq!(ranges[0], 0..1, "heavy item isolated: {ranges:?}");
+        assert!(ranges.len() > 1);
+    }
+
+    #[test]
+    fn par_chunks_weighted_matches_serial_for_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: u64 = items.iter().map(|x| x * 3).sum();
+        for threads in [1, 2, 3, 8, 64] {
+            let got: u64 = par_chunks_weighted(
+                &items,
+                threads,
+                |x| *x, // skewed: later items are heavier
+                |_, chunk| chunk.iter().map(|x| x * 3).sum::<u64>(),
+            )
+            .into_iter()
+            .sum();
+            assert_eq!(got, expect, "{threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_weighted_balances_skewed_weights() {
+        // Even item-count chunking would put the whole heavy prefix in
+        // one chunk; weighted chunking splits by work instead.
+        let items: Vec<u64> = (0..64).map(|i| if i < 8 { 100 } else { 1 }).collect();
+        let loads = par_chunks_weighted(&items, 4, |w| *w, |_, chunk| chunk.iter().sum::<u64>());
+        let max = loads.iter().copied().max().unwrap();
+        let total: u64 = items.iter().sum();
+        assert!(max <= total / 2, "no chunk hoards the weight: {loads:?}");
+    }
+
+    #[test]
+    fn par_chunks_weighted_passes_chunk_offsets_and_propagates_panics() {
+        let items: Vec<u32> = (0..100).collect();
+        let chunks = par_chunks_weighted(&items, 4, |_| 1, |start, chunk| (start, chunk.len()));
+        let mut expected_start = 0;
+        for (start, len) in chunks {
+            assert_eq!(start, expected_start);
+            expected_start += len;
+        }
+        assert_eq!(expected_start, items.len());
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_chunks_weighted(
+                &items,
+                4,
+                |_| 1,
+                |start, _| {
+                    if start == 0 {
+                        panic!("weighted chunk dies");
+                    }
+                    0u32
+                },
+            )
+        }));
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -23,9 +23,9 @@ pub mod lru;
 pub mod sharded;
 
 pub use executor::{
-    current_lane, default_threads, executor_stats, panic_message, par_chunks, par_fold, par_map,
-    par_map_isolated, reset_executor_stats, set_worker_observer, try_par_chunks, ExecutorStats,
-    WorkerPanic,
+    current_lane, default_threads, executor_stats, panic_message, par_chunks, par_chunks_weighted,
+    par_fold, par_map, par_map_isolated, reset_executor_stats, set_worker_observer, try_par_chunks,
+    ExecutorStats, WorkerPanic,
 };
 pub use lru::{CacheStats, ConcurrentLru, ShardedLru};
 pub use sharded::{ShardLoad, ShardedMap};

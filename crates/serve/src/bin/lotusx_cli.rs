@@ -105,10 +105,19 @@ fn main() {
                     if lotusx_obs::enabled() { "on" } else { "off" }
                 ),
             },
-            "explain" => match system.explain(rest) {
-                Ok(profile) => print!("{}", profile.render()),
-                Err(e) => println!("error: {e}"),
-            },
+            "explain" => {
+                // Honor the session's `algo` override (notably `auto`, so
+                // the chooser's decision shows up in the stage tree).
+                let mut request = QueryRequest::twig(rest).profiled(true);
+                request.algorithm = algo_override;
+                match system.query(&request) {
+                    Ok(response) => {
+                        let profile = response.profile.expect("profiled request");
+                        print!("{}", profile.render());
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
             "top" => {
                 let frames: u64 = rest.parse().unwrap_or(1);
                 for frame in 0..frames.max(1) {
@@ -250,17 +259,21 @@ fn main() {
                 ),
             },
             "algo" => match parse_algorithm(rest) {
+                Some(Algorithm::Auto) => {
+                    algo_override = Some(Algorithm::Auto);
+                    println!("queries now pick an algorithm per query (cost-model chooser)");
+                }
                 Some(a) => {
                     algo_override = Some(a);
                     println!("queries now run with {a}");
                 }
-                None if rest == "auto" => {
+                None if rest == "config" => {
                     algo_override = None;
                     println!("queries now use the engine's configuration");
                 }
                 None => println!(
-                    "algorithms: naive structural-join pathstack twigstack tjfast twigstack-guided auto (current: {})",
-                    algo_override.map(|a| a.name()).unwrap_or("auto")
+                    "algorithms: naive structural-join pathstack twigstack tjfast twigstack-guided auto config (current: {})",
+                    algo_override.map(|a| a.name()).unwrap_or("config")
                 ),
             },
             "root" => match session.canvas_mut().add_root() {
@@ -367,7 +380,10 @@ fn main() {
 }
 
 fn parse_algorithm(name: &str) -> Option<Algorithm> {
-    Algorithm::ALL.into_iter().find(|a| a.name() == name)
+    Algorithm::ALL
+        .into_iter()
+        .chain([Algorithm::Auto])
+        .find(|a| a.name() == name)
 }
 
 fn build_budget(timeout_ms: Option<u64>, node_budget: Option<u64>) -> Budget {
@@ -567,6 +583,23 @@ fn print_top() {
             );
         }
     }
+    // Adaptive-chooser decisions since startup (algo_chosen_* counters,
+    // plus mispicks recorded by the join benchmark's regression gate).
+    let snapshot = m.snapshot();
+    let chooser: Vec<String> = snapshot
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("algo_chosen_") || n == "chooser_mispicks")
+        .map(|(n, v)| {
+            format!(
+                "{}={v}",
+                n.strip_prefix("algo_chosen_").unwrap_or(n.as_str())
+            )
+        })
+        .collect();
+    if !chooser.is_empty() {
+        println!("chooser: {}", chooser.join("  "));
+    }
     let exemplars = m.exemplars().snapshot();
     if !exemplars.is_empty() {
         println!("slowest sampled queries (by dominant stage):");
@@ -632,7 +665,8 @@ other:
   serve <port>       serve this document over HTTP on 127.0.0.1:<port>
                      (POST /query, POST /complete, GET /stats, GET /healthz;
                      Enter stops the server and returns to the REPL)
-  algo [name|auto]   per-request join algorithm override
+  algo [name|auto]   per-request join algorithm override ('auto' = per-query
+                     cost-model chooser, 'config' = engine configuration)
   timeout <ms>       wall-clock budget per query, 0 = off (partial results are marked)
   budget <nodes>     node-visit budget per query, 0 = off
   help, quit

@@ -63,13 +63,19 @@ fn parse_axis(name: &str) -> Result<Axis, String> {
     }
 }
 
-/// Resolves an algorithm name (`twigstack`, `tjfast`, …) from the wire.
+/// Resolves an algorithm name (`twigstack`, `tjfast`, `auto`, …) from the
+/// wire. `auto` requests the engine's per-query cost-model chooser.
 pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
     Algorithm::ALL
         .into_iter()
+        .chain([Algorithm::Auto])
         .find(|a| a.name() == name)
         .ok_or_else(|| {
-            let known: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+            let known: Vec<&str> = Algorithm::ALL
+                .iter()
+                .map(|a| a.name())
+                .chain(["auto"])
+                .collect();
             format!("unknown algorithm {name:?} (one of {})", known.join(", "))
         })
 }

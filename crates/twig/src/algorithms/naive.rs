@@ -21,9 +21,13 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
 /// partitioned across `threads` workers.
 ///
 /// Each root binding expands independently of every other, so the stream
-/// splits into contiguous chunks with no shared state. The final global
-/// sort + dedup (which the serial path performs anyway) makes the result
-/// identical for every thread count.
+/// splits into contiguous chunks with no shared state. Chunk boundaries
+/// balance estimated work, not item count: a root's expansion cost scales
+/// with its subtree, whose size is exactly its region width, so workers
+/// split on cumulative width and a few huge subtrees no longer serialize
+/// behind one worker. The final global sort + dedup (which the serial
+/// path performs anyway) makes the result identical for every thread
+/// count and chunking.
 pub fn evaluate_partitioned(
     idx: &IndexedDocument,
     pattern: &TwigPattern,
@@ -44,7 +48,8 @@ pub fn evaluate_guarded(
     guard: &QueryGuard,
 ) -> Vec<TwigMatch> {
     let roots = filtered_stream(idx, pattern, pattern.root());
-    let chunks = lotusx_par::par_chunks(&roots, threads, |_, chunk| {
+    let weight = |e: &lotusx_index::ElementEntry| u64::from(e.region.end - e.region.start);
+    let chunks = lotusx_par::par_chunks_weighted(&roots, threads, weight, |_, chunk| {
         let mut out = Vec::new();
         let mut bindings = vec![NodeId::DOCUMENT; pattern.len()];
         let mut ticker = guard.ticker();

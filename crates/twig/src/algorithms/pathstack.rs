@@ -7,10 +7,10 @@
 //! input + output for ancestor-descendant paths.
 
 use super::holistic_common::{clean_stack, expand_solutions, StackEntry};
-use crate::matcher::{filtered_stream, merge_path_solutions_guarded, TwigMatch};
+use crate::matcher::{merge_path_solutions_guarded, node_columns, NodeColumns, TwigMatch};
 use crate::pattern::TwigPattern;
 use lotusx_guard::QueryGuard;
-use lotusx_index::{ElementEntry, IndexedDocument, TagStream};
+use lotusx_index::{ColumnCursor, IndexedDocument};
 
 /// Evaluates a **path** pattern holistically.
 ///
@@ -42,11 +42,13 @@ pub fn evaluate_guarded(
         .expect("a pattern always has one leaf");
     let leaf = *qpath.last().expect("non-empty path");
 
-    let stream_data: Vec<Vec<ElementEntry>> = pattern
+    // Columnar per-node streams: index-resident borrows where possible,
+    // owned transposes of the filtered streams otherwise.
+    let columns: Vec<NodeColumns<'_>> = pattern
         .node_ids()
-        .map(|q| filtered_stream(idx, pattern, q))
+        .map(|q| node_columns(idx, pattern, q, false))
         .collect();
-    let mut streams: Vec<TagStream<'_>> = stream_data.iter().map(|s| TagStream::new(s)).collect();
+    let mut streams: Vec<ColumnCursor<'_>> = columns.iter().map(|c| c.view().cursor()).collect();
     let mut stacks: Vec<Vec<StackEntry>> = vec![Vec::new(); pattern.len()];
     let mut solutions = Vec::new();
     let mut ticker = guard.ticker();
@@ -57,18 +59,12 @@ pub fn evaluate_guarded(
         if ticker.tick(1) {
             break;
         }
-        // qmin: the non-exhausted stream with the smallest next start.
+        // qmin: the non-exhausted stream with the smallest next start
+        // (exhausted cursors report u32::MAX and lose the comparison).
         let qmin = qpath
             .iter()
             .copied()
-            .filter(|q| !streams[q.index()].is_exhausted())
-            .min_by_key(|q| {
-                streams[q.index()]
-                    .head()
-                    .expect("non-exhausted")
-                    .region
-                    .start
-            })
+            .min_by_key(|q| streams[q.index()].head_start())
             .expect("leaf stream is non-exhausted");
         let entry = streams[qmin.index()].head().expect("non-exhausted");
 

@@ -7,12 +7,18 @@
 //! pair lists along the twig. The per-edge pair lists are the
 //! characteristic cost of this approach — they can dwarf the final result,
 //! which is precisely what holistic joins avoid.
+//!
+//! The merge scans the index's struct-of-arrays region columns and skips
+//! with galloping binary search on both sides: descendants that start
+//! before any live ancestor jump forward in one seek, and ancestors whose
+//! subtrees end before the current descendant (dead — they can never
+//! contain a later descendant either) jump via the per-stream end-maxima
+//! tree. Emitted pairs are identical to the element-by-element merge.
 
-use crate::matcher::{filtered_stream, TwigMatch};
+use crate::matcher::{node_columns, NodeColumns, TwigMatch};
 use crate::pattern::{Axis, QNodeId, TwigPattern};
 use lotusx_guard::{QueryGuard, Ticker};
-use lotusx_index::ElementEntry;
-use lotusx_index::IndexedDocument;
+use lotusx_index::{ColumnView, ElementEntry, IndexedDocument, OwnedColumns};
 use lotusx_xml::NodeId;
 use std::collections::HashMap;
 
@@ -23,19 +29,21 @@ pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> 
 
 /// [`evaluate`] under a budget. The explicit per-edge pair lists are
 /// this algorithm's blow-up site, so the join charges one node visit
-/// per pair emitted; on trip later edges get incomplete (possibly
-/// empty) pair lists and the stitch stops early — every stitched match
-/// still satisfies all its edges, so partial output is valid.
+/// per pair emitted (and one per element skipped); on trip later edges
+/// get incomplete (possibly empty) pair lists and the stitch stops
+/// early — every stitched match still satisfies all its edges, so
+/// partial output is valid.
 pub fn evaluate_guarded(
     idx: &IndexedDocument,
     pattern: &TwigPattern,
     guard: &QueryGuard,
 ) -> Vec<TwigMatch> {
-    // Streams per query node.
-    let streams: Vec<Vec<ElementEntry>> = pattern
+    // Columnar streams per query node.
+    let columns: Vec<NodeColumns<'_>> = pattern
         .node_ids()
-        .map(|q| filtered_stream(idx, pattern, q))
+        .map(|q| node_columns(idx, pattern, q, true))
         .collect();
+    let views: Vec<ColumnView<'_>> = columns.iter().map(|c| c.view()).collect();
     let mut ticker = guard.ticker();
 
     // One pair list per non-root query node (its edge to the parent),
@@ -49,9 +57,9 @@ pub fn evaluate_guarded(
             // them: the stitch treats it as "no descendants".
             break;
         }
-        let pairs = stack_tree_join_ticked(
-            &streams[parent.index()],
-            &streams[q.index()],
+        let pairs = stack_tree_join_columns(
+            views[parent.index()],
+            views[q.index()],
             node.axis,
             &mut ticker,
         );
@@ -64,11 +72,12 @@ pub fn evaluate_guarded(
     // Stitch: enumerate root candidates, then expand edge pair lists.
     let mut out = Vec::new();
     let mut bindings = vec![NodeId::DOCUMENT; pattern.len()];
-    for entry in &streams[pattern.root().index()] {
+    let root_nodes = views[pattern.root().index()].nodes();
+    for &root in root_nodes {
         if ticker.tick(1) {
             break;
         }
-        bindings[pattern.root().index()] = entry.node;
+        bindings[pattern.root().index()] = root;
         stitch(
             pattern,
             &edge_pairs,
@@ -128,65 +137,100 @@ fn stitch_children(
 /// The stack-tree structural join: all `(a, d)` with `a` from `ancestors`,
 /// `d` from `descendants`, and `a` an ancestor (or parent, per `axis`) of
 /// `d`. Both inputs must be in document order; output cost is
-/// `O(|A| + |D| + |result|)`.
+/// `O(|A| + |D| + |result|)` — with the galloping skips, the `|A| + |D|`
+/// term drops to the number of elements that actually participate.
 pub fn stack_tree_join(
     ancestors: &[ElementEntry],
     descendants: &[ElementEntry],
     axis: Axis,
 ) -> Vec<(NodeId, NodeId)> {
     let mut ticker = QueryGuard::unlimited().ticker();
-    stack_tree_join_ticked(ancestors, descendants, axis, &mut ticker)
+    let anc = OwnedColumns::from_entries(ancestors);
+    let desc = OwnedColumns::from_entries(descendants);
+    stack_tree_join_columns(anc.view(), desc.view(), axis, &mut ticker)
 }
 
-/// [`stack_tree_join`] charging one node visit per descendant consumed
-/// and per pair emitted; on trip the output is a truncated (but real)
-/// pair list.
-fn stack_tree_join_ticked(
-    ancestors: &[ElementEntry],
-    descendants: &[ElementEntry],
+/// Columnar stack-tree join, charging one node visit per descendant
+/// consumed or skipped and per pair emitted; on trip the output is a
+/// truncated (but real) pair list.
+fn stack_tree_join_columns(
+    ancestors: ColumnView<'_>,
+    descendants: ColumnView<'_>,
     axis: Axis,
     ticker: &mut Ticker,
 ) -> Vec<(NodeId, NodeId)> {
     let mut out = Vec::new();
-    let mut stack: Vec<ElementEntry> = Vec::new();
-    let mut ai = 0usize;
-    for d in descendants {
-        if ticker.tick(1) {
-            break;
-        }
-        // Push every ancestor that starts before d does.
-        while ai < ancestors.len() && ancestors[ai].region.start < d.region.start {
-            let a = ancestors[ai];
+    let (a_starts, a_ends) = (ancestors.starts(), ancestors.ends());
+    let (a_levels, a_nodes) = (ancestors.levels(), ancestors.nodes());
+    let (d_starts, d_ends) = (descendants.starts(), descendants.ends());
+    let (d_levels, d_nodes) = (descendants.levels(), descendants.nodes());
+    // Stack of indices into the ancestor columns (a nested chain).
+    let mut stack: Vec<u32> = Vec::new();
+    let mut acur = ancestors.cursor();
+    let mut dcur = descendants.cursor();
+    while !dcur.is_exhausted() {
+        let di = dcur.position();
+        let dstart = d_starts[di];
+        // Push every ancestor that starts before d does. Ancestors whose
+        // subtree ends before d starts are dead — they cannot contain
+        // this or any later descendant — so the cursor seeks straight to
+        // the next one whose end reaches d.
+        while !acur.is_exhausted() && acur.head_start() < dstart {
+            if acur.head_end() < dstart {
+                let skipped = acur.seek_end_at_least(dstart);
+                let _ = ticker.tick(skipped as u64);
+                continue;
+            }
+            let ai = acur.position();
             // Pop finished ancestors first.
-            while let Some(top) = stack.last() {
-                if top.region.end < a.region.start {
+            while let Some(&top) = stack.last() {
+                if a_ends[top as usize] < a_starts[ai] {
                     stack.pop();
                 } else {
                     break;
                 }
             }
-            stack.push(a);
-            ai += 1;
+            stack.push(ai as u32);
+            acur.advance();
         }
         // Pop ancestors that ended before d starts.
-        while let Some(top) = stack.last() {
-            if top.region.end < d.region.start {
+        while let Some(&top) = stack.last() {
+            if a_ends[top as usize] < dstart {
                 stack.pop();
             } else {
                 break;
             }
         }
+        if stack.is_empty() {
+            // Nothing contains this descendant — nor any other that
+            // starts before the next ancestor does. One seek disposes of
+            // the whole gap (at least d itself).
+            if acur.is_exhausted() {
+                break;
+            }
+            let next_a = acur.head_start();
+            let skipped = dcur.seek_start_at_least(next_a.saturating_add(1));
+            if ticker.tick(skipped.max(1) as u64) {
+                break;
+            }
+            continue;
+        }
+        if ticker.tick(1) {
+            break;
+        }
         // Every remaining stack entry contains d.
-        for a in &stack {
-            if a.region.is_ancestor_of(&d.region)
-                && (axis == Axis::Descendant || a.region.level + 1 == d.region.level)
-            {
-                out.push((a.node, d.node));
+        let (dend, dlevel, dnode) = (d_ends[di], d_levels[di], d_nodes[di]);
+        for &ai in &stack {
+            let ai = ai as usize;
+            let contains = a_starts[ai] < dstart && dend < a_ends[ai];
+            if contains && (axis == Axis::Descendant || a_levels[ai] + 1 == dlevel) {
+                out.push((a_nodes[ai], dnode));
                 if ticker.tick(1) {
                     return out;
                 }
             }
         }
+        dcur.advance();
     }
     out
 }
@@ -217,6 +261,47 @@ mod tests {
         }
     }
 
+    /// The pre-columnar element-by-element merge, kept as the oracle the
+    /// galloping join is checked against.
+    fn stack_tree_join_scalar(
+        ancestors: &[ElementEntry],
+        descendants: &[ElementEntry],
+        axis: Axis,
+    ) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<ElementEntry> = Vec::new();
+        let mut ai = 0usize;
+        for d in descendants {
+            while ai < ancestors.len() && ancestors[ai].region.start < d.region.start {
+                let a = ancestors[ai];
+                while let Some(top) = stack.last() {
+                    if top.region.end < a.region.start {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                stack.push(a);
+                ai += 1;
+            }
+            while let Some(top) = stack.last() {
+                if top.region.end < d.region.start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            for a in &stack {
+                if a.region.is_ancestor_of(&d.region)
+                    && (axis == Axis::Descendant || a.region.level + 1 == d.region.level)
+                {
+                    out.push((a.node, d.node));
+                }
+            }
+        }
+        out
+    }
+
     #[test]
     fn stack_tree_join_ad_pairs() {
         // a1(1,10) contains d1(2,3), a2(4,9) inside a1 contains d2(5,6).
@@ -245,6 +330,33 @@ mod tests {
         let ancestors = vec![entry(1, 1, 2, 1)];
         let descendants = vec![entry(2, 3, 4, 1)];
         assert!(stack_tree_join(&ancestors, &descendants, Axis::Descendant).is_empty());
+    }
+
+    #[test]
+    fn galloping_join_matches_scalar_join_on_self_join_and_gaps() {
+        // A shape exercising every skip path: dead ancestors (early
+        // siblings), descendant gaps (runs with no live ancestor), and a
+        // self-join (identical streams) where starts collide.
+        let stream = vec![
+            entry(1, 1, 4, 1),
+            entry(2, 2, 3, 2),
+            entry(3, 5, 6, 1),
+            entry(4, 7, 20, 1),
+            entry(5, 8, 15, 2),
+            entry(6, 9, 10, 3),
+            entry(7, 16, 17, 2),
+            entry(8, 21, 22, 1),
+        ];
+        let sparse = vec![entry(9, 9, 10, 3), entry(10, 21, 22, 1)];
+        for axis in [Axis::Descendant, Axis::Child] {
+            for (a, d) in [(&stream, &stream), (&stream, &sparse), (&sparse, &stream)] {
+                let mut expect = stack_tree_join_scalar(a, d, axis);
+                let mut got = stack_tree_join(a, d, axis);
+                expect.sort();
+                got.sort();
+                assert_eq!(got, expect, "axis {axis:?}");
+            }
+        }
     }
 
     #[test]

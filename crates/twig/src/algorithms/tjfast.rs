@@ -13,7 +13,7 @@
 //! verified on the merged matches as a final filter.
 
 use crate::matcher::{
-    filtered_stream, match_is_valid, merge_path_solutions_guarded, PathSolution, TwigMatch,
+    match_is_valid, merge_path_solutions_guarded, node_columns, PathSolution, TwigMatch,
 };
 use crate::pattern::{Axis, NodeTest, QNodeId, TwigPattern};
 use lotusx_guard::QueryGuard;
@@ -40,11 +40,14 @@ pub fn evaluate_guarded(
     for qpath in &paths {
         let leaf = *qpath.last().expect("non-empty path");
         let mut solutions = Vec::new();
-        for entry in filtered_stream(idx, pattern, leaf) {
+        // Only the node-id column is touched: the label decode supplies
+        // everything else, so the region columns stay cold in cache.
+        let columns = node_columns(idx, pattern, leaf, false);
+        for &node in columns.view().nodes() {
             if ticker.tick(1) {
                 break;
             }
-            solutions.extend(match_leaf_element(idx, pattern, qpath, entry.node));
+            solutions.extend(match_leaf_element(idx, pattern, qpath, node));
         }
         per_leaf.push(solutions);
     }

@@ -9,18 +9,32 @@
 //! and verified during path-solution expansion, the standard (correct but
 //! sub-optimal) treatment.
 //!
-//! One engineering addition over the paper's pseudo-code: a query subtree
-//! whose leaf streams are all exhausted is marked *dead* and skipped by
-//! `get_next`. Dead subtrees can never contribute new path solutions (a
-//! future element cannot be the ancestor of an already-consumed one), and
-//! skipping them prevents the stall the textbook pseudo-code hits when one
-//! branch drains before the others.
+//! Two engineering additions over the paper's pseudo-code:
+//!
+//! * a query subtree whose leaf streams are all exhausted is marked *dead*
+//!   and skipped by `get_next`. Dead subtrees can never contribute new
+//!   path solutions (a future element cannot be the ancestor of an
+//!   already-consumed one), and skipping them prevents the stall the
+//!   textbook pseudo-code hits when one branch drains before the others;
+//! * the streams are the index's struct-of-arrays region columns
+//!   ([`lotusx_index::TagColumns`]), and `get_next`'s skip loop — "advance
+//!   q until its head's subtree reaches the furthest child head" — is a
+//!   single O(log n) seek over the per-stream end-maxima tree instead of
+//!   an element-by-element walk. On low-selectivity streams this skips
+//!   millions of elements per probe. [`evaluate_entrywise_guarded`] keeps
+//!   the pre-columnar walk alive as the reference the benchmarks compare
+//!   against.
 
 use super::holistic_common::{clean_stack, expand_solutions, StackEntry};
-use crate::matcher::{filtered_stream, merge_path_solutions_guarded, PathSolution, TwigMatch};
+use crate::matcher::{
+    filtered_stream, merge_path_solutions_guarded, node_columns, NodeColumns, PathSolution,
+    TwigMatch,
+};
 use crate::pattern::{QNodeId, TwigPattern};
 use lotusx_guard::{QueryGuard, Ticker};
-use lotusx_index::{ElementEntry, IndexedDocument, TagStream};
+use lotusx_index::{
+    ColumnCursor, ColumnView, ElementEntry, IndexedDocument, OwnedColumns, TagStream,
+};
 
 /// Evaluates any twig pattern holistically.
 pub fn evaluate(idx: &IndexedDocument, pattern: &TwigPattern) -> Vec<TwigMatch> {
@@ -33,11 +47,12 @@ pub fn evaluate_guarded(
     pattern: &TwigPattern,
     guard: &QueryGuard,
 ) -> Vec<TwigMatch> {
-    let stream_data: Vec<Vec<ElementEntry>> = pattern
+    let columns: Vec<NodeColumns<'_>> = pattern
         .node_ids()
-        .map(|q| filtered_stream(idx, pattern, q))
+        .map(|q| node_columns(idx, pattern, q, false))
         .collect();
-    evaluate_with_streams_guarded(idx, pattern, stream_data, guard)
+    let views: Vec<ColumnView<'_>> = columns.iter().map(|c| c.view()).collect();
+    run_guarded(pattern, &views, guard)
 }
 
 /// Evaluates with caller-provided per-node streams (document-ordered).
@@ -50,11 +65,12 @@ pub fn evaluate_with_streams(
     evaluate_with_streams_guarded(idx, pattern, stream_data, &QueryGuard::unlimited())
 }
 
-/// [`evaluate_with_streams`] under a budget: the main loop and the
-/// `getNext` skip loop each charge one node visit per stream advance;
-/// on trip the scan stops and the path solutions found so far are
-/// merged (each emitted solution is a verified root-to-leaf chain, so
-/// partial output stays valid).
+/// [`evaluate_with_streams`] under a budget: the main loop charges one
+/// node visit per element processed and the `getNext` skip seek charges
+/// one per element skipped, so truncation economics match the
+/// element-by-element walk; on trip the scan stops and the path solutions
+/// found so far are merged (each emitted solution is a verified
+/// root-to-leaf chain, so partial output stays valid).
 pub fn evaluate_with_streams_guarded(
     idx: &IndexedDocument,
     pattern: &TwigPattern,
@@ -62,7 +78,161 @@ pub fn evaluate_with_streams_guarded(
     guard: &QueryGuard,
 ) -> Vec<TwigMatch> {
     let _ = idx;
+    let owned: Vec<OwnedColumns> = stream_data
+        .iter()
+        .map(|s| OwnedColumns::from_entries_without_end_tree(s))
+        .collect();
+    let views: Vec<ColumnView<'_>> = owned.iter().map(|o| o.view()).collect();
+    run_guarded(pattern, &views, guard)
+}
+
+fn run_guarded(
+    pattern: &TwigPattern,
+    views: &[ColumnView<'_>],
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
     let mut state = State {
+        pattern,
+        cursors: views.iter().map(|v| v.cursor()).collect(),
+        stacks: vec![Vec::new(); pattern.len()],
+        paths: pattern.root_to_leaf_paths(),
+        solutions: vec![Vec::new(); pattern.len()],
+        ticker: guard.ticker(),
+    };
+
+    while state.subtree_alive(pattern.root()) {
+        if state.ticker.tick(1) {
+            break;
+        }
+        let qact = state.get_next(pattern.root());
+        let entry = match state.cursors[qact.index()].head() {
+            Some(e) => e,
+            // Defensive: an alive node always has a head; bail if not.
+            None => break,
+        };
+        let parent = pattern.node(qact).parent;
+        if let Some(p) = parent {
+            clean_stack(&mut state.stacks[p.index()], entry.region.start);
+        }
+        let parent_ok = match parent {
+            None => true,
+            Some(p) => !state.stacks[p.index()].is_empty(),
+        };
+        if parent_ok {
+            clean_stack(&mut state.stacks[qact.index()], entry.region.start);
+            let parent_top = parent.map(|p| state.stacks[p.index()].len()).unwrap_or(0);
+            state.stacks[qact.index()].push(StackEntry { entry, parent_top });
+            if pattern.node(qact).children.is_empty() {
+                let qpath = state
+                    .paths
+                    .iter()
+                    .find(|p| *p.last().expect("non-empty") == qact)
+                    .expect("every leaf has a path")
+                    .clone();
+                let sols = expand_solutions(pattern, &qpath, &state.stacks, entry, parent_top);
+                state.solutions[qact.index()].extend(sols);
+                state.stacks[qact.index()].pop();
+            }
+        }
+        state.cursors[qact.index()].advance();
+    }
+
+    let per_leaf: Vec<Vec<PathSolution>> = state
+        .paths
+        .iter()
+        .map(|p| state.solutions[p.last().expect("non-empty").index()].clone())
+        .collect();
+    merge_path_solutions_guarded(pattern, &state.paths, &per_leaf, guard)
+}
+
+struct State<'a, 'p> {
+    pattern: &'p TwigPattern,
+    cursors: Vec<ColumnCursor<'a>>,
+    stacks: Vec<Vec<StackEntry>>,
+    paths: Vec<Vec<QNodeId>>,
+    /// Emitted path solutions, indexed by leaf query node.
+    solutions: Vec<Vec<PathSolution>>,
+    /// Budget checkpoint shared by the main loop and the skip seek.
+    ticker: Ticker,
+}
+
+impl State<'_, '_> {
+    /// Next start of a node's stream (`u32::MAX` once exhausted).
+    fn next_l(&self, q: QNodeId) -> u32 {
+        self.cursors[q.index()].head_start()
+    }
+
+    /// True while the subtree below `q` can still emit path solutions:
+    /// at least one of its leaf streams has elements left.
+    fn subtree_alive(&self, q: QNodeId) -> bool {
+        let node = self.pattern.node(q);
+        if node.children.is_empty() {
+            return !self.cursors[q.index()].is_exhausted();
+        }
+        node.children.iter().any(|c| self.subtree_alive(*c))
+    }
+
+    /// The paper's `getNext`, restricted to alive subtrees.
+    fn get_next(&mut self, q: QNodeId) -> QNodeId {
+        let children: Vec<QNodeId> = self.pattern.node(q).children.clone();
+        let alive: Vec<QNodeId> = children
+            .iter()
+            .copied()
+            .filter(|c| self.subtree_alive(*c))
+            .collect();
+        if alive.is_empty() {
+            // Leaf, or an interior node whose branches are all dead —
+            // behaves like a leaf.
+            return q;
+        }
+        for &qi in &alive {
+            let ni = self.get_next(qi);
+            if ni != qi {
+                return ni;
+            }
+        }
+        let nmin = alive
+            .iter()
+            .copied()
+            .min_by_key(|c| self.next_l(*c))
+            .expect("non-empty");
+        let nmax_l = alive
+            .iter()
+            .map(|c| self.next_l(*c))
+            .max()
+            .expect("non-empty");
+        // Skip q-elements that end before the furthest child element
+        // starts: they cannot contain a full set of child matches. One
+        // seek over the end-maxima tree replaces the element-by-element
+        // walk; the budget is still charged per element skipped, so a
+        // tripped query stops within the same work envelope.
+        let skipped = self.cursors[q.index()].seek_end_at_least(nmax_l);
+        if skipped > 0 {
+            self.ticker.tick(skipped as u64);
+        }
+        if self.next_l(q) < self.next_l(nmin) {
+            q
+        } else {
+            nmin
+        }
+    }
+}
+
+/// The pre-columnar TwigStack: identical logic over the array-of-structs
+/// [`TagStream`]s, advancing element by element in the skip loop. Kept as
+/// the measured baseline for the columnar engine (`join_bench` reports it
+/// as `twigstack-entrywise`) and as an equivalence oracle in tests; not
+/// reachable through [`crate::exec::Algorithm`].
+pub fn evaluate_entrywise_guarded(
+    idx: &IndexedDocument,
+    pattern: &TwigPattern,
+    guard: &QueryGuard,
+) -> Vec<TwigMatch> {
+    let stream_data: Vec<Vec<ElementEntry>> = pattern
+        .node_ids()
+        .map(|q| filtered_stream(idx, pattern, q))
+        .collect();
+    let mut state = EntrywiseState {
         pattern,
         streams: stream_data.iter().map(|s| TagStream::new(s)).collect(),
         stacks: vec![Vec::new(); pattern.len()],
@@ -78,7 +248,6 @@ pub fn evaluate_with_streams_guarded(
         let qact = state.get_next(pattern.root());
         let entry = match state.streams[qact.index()].head() {
             Some(e) => e,
-            // Defensive: an alive node always has a head; bail if not.
             None => break,
         };
         let parent = pattern.node(qact).parent;
@@ -116,19 +285,16 @@ pub fn evaluate_with_streams_guarded(
     merge_path_solutions_guarded(pattern, &state.paths, &per_leaf, guard)
 }
 
-struct State<'a> {
+struct EntrywiseState<'a> {
     pattern: &'a TwigPattern,
     streams: Vec<TagStream<'a>>,
     stacks: Vec<Vec<StackEntry>>,
     paths: Vec<Vec<QNodeId>>,
-    /// Emitted path solutions, indexed by leaf query node.
     solutions: Vec<Vec<PathSolution>>,
-    /// Budget checkpoint shared by the main loop and the skip loop.
     ticker: Ticker,
 }
 
-impl State<'_> {
-    /// Next start of a node's stream (`u32::MAX` once exhausted).
+impl EntrywiseState<'_> {
     fn next_l(&self, q: QNodeId) -> u32 {
         self.streams[q.index()]
             .head()
@@ -136,7 +302,6 @@ impl State<'_> {
             .unwrap_or(u32::MAX)
     }
 
-    /// Next end of a node's stream (`u32::MAX` once exhausted).
     fn next_r(&self, q: QNodeId) -> u32 {
         self.streams[q.index()]
             .head()
@@ -144,8 +309,6 @@ impl State<'_> {
             .unwrap_or(u32::MAX)
     }
 
-    /// True while the subtree below `q` can still emit path solutions:
-    /// at least one of its leaf streams has elements left.
     fn subtree_alive(&self, q: QNodeId) -> bool {
         let node = self.pattern.node(q);
         if node.children.is_empty() {
@@ -154,7 +317,6 @@ impl State<'_> {
         node.children.iter().any(|c| self.subtree_alive(*c))
     }
 
-    /// The paper's `getNext`, restricted to alive subtrees.
     fn get_next(&mut self, q: QNodeId) -> QNodeId {
         let children: Vec<QNodeId> = self.pattern.node(q).children.clone();
         let alive: Vec<QNodeId> = children
@@ -163,8 +325,6 @@ impl State<'_> {
             .filter(|c| self.subtree_alive(*c))
             .collect();
         if alive.is_empty() {
-            // Leaf, or an interior node whose branches are all dead —
-            // behaves like a leaf.
             return q;
         }
         for &qi in &alive {
@@ -183,11 +343,6 @@ impl State<'_> {
             .map(|c| self.next_l(*c))
             .max()
             .expect("non-empty");
-        // Skip q-elements that end before the furthest child element
-        // starts: they cannot contain a full set of child matches. A
-        // single skip can traverse most of a stream, so it checkpoints
-        // too; breaking early only forgoes future solutions (anything
-        // pushed is still a verified containment chain).
         while self.next_r(q) < nmax_l {
             self.streams[q.index()].advance();
             if self.ticker.tick(1) {
@@ -222,10 +377,12 @@ mod tests {
 
     fn check(idx: &IndexedDocument, q: &str) {
         let pattern = parse_query(q).unwrap();
+        let reference = naive::evaluate(idx, &pattern);
+        assert_eq!(reference, evaluate(idx, &pattern), "query {q}");
         assert_eq!(
-            naive::evaluate(idx, &pattern),
-            evaluate(idx, &pattern),
-            "query {q}"
+            reference,
+            evaluate_entrywise_guarded(idx, &pattern, &QueryGuard::unlimited()),
+            "entrywise reference, query {q}"
         );
     }
 
@@ -298,5 +455,28 @@ mod tests {
         let idx = idx();
         let pattern = parse_query("//author").unwrap();
         assert_eq!(evaluate(&idx, &pattern).len(), 4);
+    }
+
+    #[test]
+    fn columnar_and_entrywise_agree_on_deep_recursion() {
+        // Heavily nested same-tag regions exercise the end-maxima seek
+        // against the scalar skip walk.
+        let mut xml = String::new();
+        for _ in 0..30 {
+            xml.push_str("<s><t>x</t>");
+        }
+        xml.push_str("<u>y</u>");
+        for _ in 0..30 {
+            xml.push_str("</s>");
+        }
+        let idx = IndexedDocument::from_str(&xml).unwrap();
+        for q in ["//s[t][u]", "//s[s/t]//u", "//s//s[t]", "//s[t]/s[t]"] {
+            let pattern = parse_query(q).unwrap();
+            assert_eq!(
+                evaluate(&idx, &pattern),
+                evaluate_entrywise_guarded(&idx, &pattern, &QueryGuard::unlimited()),
+                "query {q}"
+            );
+        }
     }
 }

@@ -35,7 +35,10 @@ pub mod ordered;
 pub mod pattern;
 pub mod xpath;
 
-pub use exec::{execute, execute_budgeted, execute_parallel, select_algorithm, Algorithm};
+pub use exec::{
+    choose_algorithm, execute, execute_budgeted, execute_parallel, select_algorithm, Algorithm,
+    Choice,
+};
 pub use matcher::TwigMatch;
 pub use pattern::{Axis, NodeTest, QNodeId, TwigPattern, ValuePredicate};
 pub use xpath::parse_query;

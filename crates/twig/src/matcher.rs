@@ -4,7 +4,7 @@
 
 use crate::pattern::{Axis, NodeTest, QNodeId, TwigPattern, ValuePredicate};
 use lotusx_guard::QueryGuard;
-use lotusx_index::{ElementEntry, IndexedDocument};
+use lotusx_index::{ColumnView, ElementEntry, IndexedDocument, OwnedColumns};
 use lotusx_xml::{NodeId, NodeKind};
 use std::collections::{HashMap, HashSet};
 
@@ -144,6 +144,63 @@ pub fn filtered_stream(
                 .copied()
                 .collect()
         }
+    }
+}
+
+/// The columnar stream for one query node: a zero-copy borrow of the
+/// index-resident column arenas when the node carries no predicate (the
+/// overwhelmingly common case — the join then scans the index's own
+/// memory), or an owned transpose of its [`filtered_stream`] otherwise.
+pub enum NodeColumns<'a> {
+    /// Index-resident columns, borrowed.
+    Borrowed(ColumnView<'a>),
+    /// Filtered stream, transposed and owned.
+    Owned(OwnedColumns),
+}
+
+impl NodeColumns<'_> {
+    /// The column slices to scan.
+    pub fn view(&self) -> ColumnView<'_> {
+        match self {
+            NodeColumns::Borrowed(view) => *view,
+            NodeColumns::Owned(cols) => cols.view(),
+        }
+    }
+}
+
+/// Resolves the columnar stream for a query node, borrowing from the
+/// index wherever [`filtered_stream`] would have copied the tag stream
+/// verbatim (no predicate, and not the level-filtered child-axis root).
+///
+/// `with_end_seeks` says whether the caller will use
+/// `ColumnCursor::seek_end_at_least` on this stream: only the binary
+/// structural join does, and only it should pay for building the end
+/// max-segment-tree when the stream has to be owned. (Borrowed index
+/// columns carry their trees for free — built once at index time.)
+pub fn node_columns<'a>(
+    idx: &'a IndexedDocument,
+    pattern: &TwigPattern,
+    q: QNodeId,
+    with_end_seeks: bool,
+) -> NodeColumns<'a> {
+    let node = pattern.node(q);
+    let level_filtered_root = node.parent.is_none() && node.axis == Axis::Child;
+    if node.predicate.is_none() && !level_filtered_root {
+        let view = match &node.test {
+            NodeTest::Tag(name) => match idx.document().symbols().get(name) {
+                Some(sym) => idx.columns().view(sym),
+                None => ColumnView::empty(),
+            },
+            NodeTest::Wildcard => idx.columns().all_elements(),
+        };
+        NodeColumns::Borrowed(view)
+    } else {
+        let stream = filtered_stream(idx, pattern, q);
+        NodeColumns::Owned(if with_end_seeks {
+            OwnedColumns::from_entries(&stream)
+        } else {
+            OwnedColumns::from_entries_without_end_tree(&stream)
+        })
     }
 }
 
