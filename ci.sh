@@ -187,6 +187,15 @@ stage_join_bench_smoke() {
     cargo run --release -p lotusx-bench --bin join-bench -- --quick
 }
 
+# Snapshot smoke: build @dblp:2 from XML, save a v2 .ltsx snapshot,
+# reload it cold, and byte-compare query responses across all six join
+# algorithms plus auto, chooser decisions and completion sweeps (exit 2
+# on any mismatch), then gate the cold-boot speedup (exit 1). Artifact
+# under target/BENCH_snapshot_quick.json. Fully offline.
+stage_snapshot_smoke() {
+    cargo run --release -p lotusx-bench --bin snapshot-bench -- --quick
+}
+
 run_stage fmt    stage_fmt
 run_stage clippy stage_clippy
 if [ "$FAST" -eq 0 ]; then
@@ -199,6 +208,7 @@ if [ "$FAST" -eq 0 ]; then
     run_stage telemetry-smoke stage_telemetry_smoke
     run_stage serve-smoke     stage_serve_smoke
     run_stage join-bench-smoke stage_join_bench_smoke
+    run_stage snapshot-smoke  stage_snapshot_smoke
 fi
 
 print_summary

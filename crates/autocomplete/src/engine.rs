@@ -4,6 +4,8 @@ use crate::context::PositionContext;
 use lotusx_guard::{QueryGuard, Ticker};
 use lotusx_index::{GuideNodeId, IndexedDocument, Trie};
 use lotusx_par::{par_map, ShardedMap};
+use lotusx_storage::codec::{get_string, get_varint, put_string, put_varint};
+use lotusx_storage::StorageError;
 use lotusx_twig::Axis;
 use lotusx_xml::Symbol;
 use std::collections::{HashMap, HashSet};
@@ -89,6 +91,72 @@ impl ValueTrieCache {
             self.map.get_or_insert_with(sym, || vt);
         }
         n
+    }
+
+    /// Serializes every cached per-tag trie for the snapshot
+    /// `VALUE_TRIES` section: entries sorted by tag symbol, each carrying
+    /// its sorted term table and the structural trie encoding. Rebuilding
+    /// these tries dominates warm-up after a snapshot load, so shipping
+    /// them in the file is what keeps cold boot in the millisecond range.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut entries: Vec<(Symbol, Arc<ValueTrie>)> = Vec::new();
+        self.map
+            .for_each(|&sym, vt| entries.push((sym, Arc::clone(vt))));
+        entries.sort_by_key(|(sym, _)| sym.index());
+        let mut out = Vec::new();
+        put_varint(&mut out, entries.len() as u64);
+        for (sym, vt) in entries {
+            put_varint(&mut out, sym.index() as u64);
+            put_varint(&mut out, vt.terms.len() as u64);
+            for term in &vt.terms {
+                put_string(&mut out, term);
+            }
+            vt.trie.encode(&mut out);
+        }
+        out
+    }
+
+    /// Restores a cache from [`encode`](Self::encode) bytes. `tag_count`
+    /// bounds the tag symbols (untrusted input); entries must be strictly
+    /// sorted by symbol and each term table strictly sorted — the same
+    /// invariants a fresh [`build`](Self::precompute_hottest) guarantees.
+    pub fn decode(data: &[u8], tag_count: usize) -> Result<ValueTrieCache, StorageError> {
+        let corrupt = StorageError::Corrupt;
+        let mut pos = 0usize;
+        let count = get_varint(data, &mut pos).ok_or(corrupt("value-trie entry count"))? as usize;
+        if count > tag_count {
+            return Err(corrupt("value-trie entry count"));
+        }
+        let cache = ValueTrieCache::new();
+        let mut prev: Option<u64> = None;
+        for _ in 0..count {
+            let sym = get_varint(data, &mut pos).ok_or(corrupt("value-trie tag symbol"))?;
+            if sym as usize >= tag_count || prev.is_some_and(|p| p >= sym) {
+                return Err(corrupt("value-trie tag symbol"));
+            }
+            prev = Some(sym);
+            let term_count =
+                get_varint(data, &mut pos).ok_or(corrupt("value-trie term count"))? as usize;
+            if term_count > data.len() {
+                return Err(corrupt("value-trie term count"));
+            }
+            let mut terms: Vec<String> = Vec::with_capacity(term_count);
+            for _ in 0..term_count {
+                let term = get_string(data, &mut pos).ok_or(corrupt("value-trie term"))?;
+                if terms.last().is_some_and(|last| *last >= term) {
+                    return Err(corrupt("value-trie terms not sorted"));
+                }
+                terms.push(term);
+            }
+            let trie = Trie::decode(data, &mut pos, terms.len() as u32)?;
+            cache
+                .map
+                .insert(Symbol::from_index(sym as usize), ValueTrie { trie, terms });
+        }
+        if pos != data.len() {
+            return Err(corrupt("value-trie section trailing bytes"));
+        }
+        Ok(cache)
     }
 }
 
@@ -644,5 +712,69 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ValueTrieCache>();
         assert_send_sync::<CompletionEngine<'static>>();
+    }
+
+    #[test]
+    fn cache_codec_roundtrip_preserves_completions() {
+        let idx = idx();
+        let cache = Arc::new(ValueTrieCache::new());
+        cache.precompute_hottest(&idx, 8, 1);
+        assert!(!cache.is_empty());
+
+        let bytes = cache.encode();
+        let tag_count = idx.document().symbols().len();
+        let restored = Arc::new(ValueTrieCache::decode(&bytes, tag_count).unwrap());
+        assert_eq!(restored.len(), cache.len());
+
+        let fresh = CompletionEngine::with_cache(&idx, Arc::clone(&cache));
+        let loaded = CompletionEngine::with_cache(&idx, Arc::clone(&restored));
+        for tag in ["title", "author", "publisher", "journal", "book"] {
+            for prefix in ["", "t", "x", "go", "zzz"] {
+                assert_eq!(
+                    fresh.complete_value(tag, prefix, 10),
+                    loaded.complete_value(tag, prefix, 10),
+                    "tag={tag} prefix={prefix}"
+                );
+            }
+        }
+        // Round-tripping the restored cache is byte-stable.
+        assert_eq!(restored.encode(), bytes);
+    }
+
+    #[test]
+    fn empty_cache_roundtrips() {
+        let cache = ValueTrieCache::new();
+        let bytes = cache.encode();
+        let restored = ValueTrieCache::decode(&bytes, 0).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn cache_decode_rejects_malformed_bytes_without_panicking() {
+        let idx = idx();
+        let cache = ValueTrieCache::new();
+        cache.precompute_hottest(&idx, 8, 1);
+        let good = cache.encode();
+        let tag_count = idx.document().symbols().len();
+
+        // Every single-byte flip and every truncation must surface as a
+        // typed error (or decode to a valid cache), never a panic.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            let _ = ValueTrieCache::decode(&bad, tag_count);
+            let _ = ValueTrieCache::decode(&good[..i], tag_count);
+        }
+
+        // Targeted invariants: symbol out of range, unsorted entries,
+        // trailing garbage.
+        assert!(ValueTrieCache::decode(&good, 0).is_err(), "sym bound");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(
+            ValueTrieCache::decode(&trailing, tag_count).is_err(),
+            "trailing bytes"
+        );
+        assert!(ValueTrieCache::decode(&[0x01], tag_count).is_err());
     }
 }

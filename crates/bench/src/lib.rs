@@ -3,16 +3,24 @@
 
 #![warn(missing_docs)]
 
-use lotusx_datagen::{generate, Dataset};
+use lotusx::{CorpusSource, LotusX};
+use lotusx_datagen::Dataset;
 use lotusx_index::IndexedDocument;
 use std::time::{Duration, Instant};
 
 /// The seed every experiment uses, for reproducibility.
 pub const SEED: u64 = 2012;
 
-/// Builds the indexed document for a dataset at a scale.
+/// Builds the indexed document for a dataset at a scale, through the
+/// unified [`LotusX::open`] corpus entry point.
 pub fn fixture(dataset: Dataset, scale: u32) -> IndexedDocument {
-    IndexedDocument::build(generate(dataset, scale, SEED))
+    LotusX::open(&CorpusSource::Spec {
+        dataset,
+        scale,
+        seed: SEED,
+    })
+    .expect("generated corpora always open")
+    .into_index()
 }
 
 /// Times `f` once, returning (elapsed, result).

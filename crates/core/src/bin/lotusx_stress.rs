@@ -12,8 +12,8 @@
 //! event tracing on and export the ring buffer as a Chrome/Perfetto
 //! trace at exit — a quick way to get a trace full of budget trips.
 
-use lotusx::{Algorithm, Budget, LotusX, QueryRequest};
-use lotusx_datagen::{generate, queries::queries, rng::XorShiftRng, Dataset};
+use lotusx::{Algorithm, Budget, CorpusSource, LotusX, QueryRequest};
+use lotusx_datagen::{queries::queries, rng::XorShiftRng, Dataset};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
@@ -114,7 +114,17 @@ fn main() {
     let mut rng = XorShiftRng::seed_from_u64(seed);
     let systems: Vec<(Dataset, LotusX)> = Dataset::ALL
         .into_iter()
-        .map(|ds| (ds, LotusX::load_document(generate(ds, 1, seed))))
+        .map(|ds| {
+            let source = CorpusSource::Spec {
+                dataset: ds,
+                scale: 1,
+                seed,
+            };
+            (
+                ds,
+                LotusX::open(&source).expect("generated corpora always open"),
+            )
+        })
         .collect();
 
     let (mut complete, mut truncated, mut errors, mut panics) = (0u64, 0u64, 0u64, 0u64);

@@ -43,8 +43,10 @@ pub enum LotusError {
     Query(ParseError),
     /// The file could not be read.
     Io(std::io::Error),
-    /// A binary snapshot could not be read or written.
-    Storage(String),
+    /// A binary snapshot could not be read or written. Carries the
+    /// structured [`lotusx_storage::StorageError`] so callers can
+    /// distinguish corruption from version skew from I/O failure.
+    Storage(lotusx_storage::StorageError),
     /// An [`EngineConfig`] failed validation.
     Config(String),
     /// A worker thread panicked while running this query in a batch. Only
@@ -86,6 +88,11 @@ impl From<std::io::Error> for LotusError {
 impl From<WorkerPanic> for LotusError {
     fn from(e: WorkerPanic) -> Self {
         LotusError::WorkerPanic(e)
+    }
+}
+impl From<lotusx_storage::StorageError> for LotusError {
+    fn from(e: lotusx_storage::StorageError) -> Self {
+        LotusError::Storage(e)
     }
 }
 
@@ -534,50 +541,126 @@ impl LotusX {
 
     /// Reads, parses and indexes an XML file. Files with the `.ltsx`
     /// extension are opened as LotusX binary snapshots instead.
+    ///
+    /// This is a thin shim over [`Self::open`] with
+    /// [`CorpusSource::from_path`].
     pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<Self, LotusError> {
-        let path = path.as_ref();
-        if path.extension().is_some_and(|e| e == "ltsx") {
-            return Self::open_snapshot(path);
-        }
-        let xml = std::fs::read_to_string(path)?;
-        Self::load_str(&xml)
+        Self::open(&crate::source::CorpusSource::from_path(path.as_ref()))
     }
 
-    /// Saves the loaded document as a compact binary snapshot that
-    /// [`Self::open_snapshot`] (or `load_file` with a `.ltsx` path)
-    /// reopens without re-parsing XML.
+    /// Opens any corpus source — XML file, `.ltsx` snapshot, generated
+    /// dataset spec or inline XML — through one entry point. See
+    /// [`CorpusSource`](crate::source::CorpusSource) for the accepted
+    /// forms.
+    pub fn open(source: &crate::source::CorpusSource) -> Result<Self, LotusError> {
+        use crate::source::CorpusSource;
+        match source {
+            CorpusSource::XmlFile(path) => {
+                let xml = std::fs::read_to_string(path)?;
+                Self::load_str(&xml)
+            }
+            CorpusSource::Snapshot(path) => Self::open_snapshot(path),
+            CorpusSource::Spec {
+                dataset,
+                scale,
+                seed,
+            } => Ok(Self::load_document(lotusx_datagen::generate(
+                *dataset, *scale, *seed,
+            ))),
+            CorpusSource::Inline(xml) => Self::load_str(xml),
+        }
+    }
+
+    /// Saves the **entire index set** — document tree, labels, tag/value
+    /// indexes, completion tries, DataGuide and statistics tables — as a
+    /// sectioned, checksummed binary snapshot that [`Self::open_snapshot`]
+    /// reopens with bulk reads instead of a rebuild. The write is atomic:
+    /// the snapshot is staged in a temp file beside the target, fsynced
+    /// and renamed into place, so a crash never leaves a torn file.
     pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), LotusError> {
-        lotusx_storage::save_document_file(self.idx.document(), path)
-            .map_err(|e| LotusError::Storage(e.to_string()))
+        let mut sections = lotusx_index::snapshot::encode_sections(&self.idx);
+        // The warm value-trie cache rides along so a reopened snapshot
+        // starts with the same hot completion set instead of rebuilding it.
+        sections.push(lotusx_storage::Section {
+            id: lotusx_storage::snapshot::section::VALUE_TRIES,
+            bytes: self.value_cache.encode(),
+        });
+        lotusx_storage::write_snapshot_file(path, &sections)?;
+        Ok(())
     }
 
     /// Opens a binary snapshot written by [`Self::save_snapshot`].
+    ///
+    /// Version negotiation: v2 snapshots deserialize every index
+    /// structure directly into place (no re-parsing, re-labeling or stats
+    /// re-walks); legacy v1 document-only snapshots still open by
+    /// decoding the tree and rebuilding the indexes.
     pub fn open_snapshot(path: impl AsRef<std::path::Path>) -> Result<Self, LotusError> {
-        let doc = lotusx_storage::load_document_file(path)
-            .map_err(|e| LotusError::Storage(e.to_string()))?;
-        Ok(Self::load_document(doc))
+        let snapshot = lotusx_storage::read_snapshot_file(path)?;
+        if snapshot.version == 1 {
+            let payload = snapshot
+                .section(lotusx_storage::snapshot::section::DOCUMENT)
+                .ok_or(LotusError::Storage(lotusx_storage::StorageError::Corrupt(
+                    "v1 snapshot without document payload",
+                )))?;
+            let doc = lotusx_storage::decode_document_payload(payload)?;
+            return Ok(Self::load_document(doc));
+        }
+        let idx = lotusx_index::snapshot::decode_sections(&snapshot.sections)?;
+        // Restore the shipped value-trie cache when present (duplicates
+        // are corruption); snapshots without one rebuild the hot set.
+        let mut vtries = snapshot
+            .sections
+            .iter()
+            .filter(|s| s.id == lotusx_storage::snapshot::section::VALUE_TRIES);
+        match (vtries.next(), vtries.next()) {
+            (Some(s), None) => {
+                let cache = ValueTrieCache::decode(&s.bytes, idx.document().symbols().len())?;
+                Ok(Self::assemble(idx, cache))
+            }
+            (None, None) => Ok(Self::from_indexed(idx)),
+            _ => Err(LotusError::Storage(lotusx_storage::StorageError::Corrupt(
+                "duplicate snapshot section",
+            ))),
+        }
+    }
+
+    /// Wraps an already-indexed document in a fresh engine (new caches,
+    /// default configuration), pre-building the value tries of the
+    /// hottest tags exactly as [`Self::load_document`] does.
+    pub fn from_indexed(idx: IndexedDocument) -> Self {
+        let value_cache = ValueTrieCache::new();
+        value_cache.precompute_hottest(&idx, HOT_TAG_TRIES, EngineConfig::default().threads);
+        Self::assemble(idx, value_cache)
+    }
+
+    /// Pairs an index with an already-warm value-trie cache (the snapshot
+    /// fast path: no trie rebuilds at all).
+    fn assemble(idx: IndexedDocument, value_cache: ValueTrieCache) -> Self {
+        LotusX {
+            idx,
+            config: EngineConfig::default(),
+            value_cache: Arc::new(value_cache),
+            query_cache: ShardedLru::new(QUERY_CACHE_CAPACITY, QUERY_CACHE_SHARDS),
+            config_generation: 0,
+        }
+    }
+
+    /// Consumes the engine, returning the indexed document.
+    pub fn into_index(self) -> IndexedDocument {
+        self.idx
     }
 
     /// Indexes an already-parsed document, partitioning index construction
     /// across the host's worker threads and pre-building the value tries
     /// of the hottest tags.
     pub fn load_document(doc: Document) -> Self {
-        let config = EngineConfig::default();
-        let idx = IndexedDocument::build_with(
+        Self::from_indexed(IndexedDocument::build_with(
             doc,
             &BuildOptions {
-                threads: config.threads,
+                threads: default_threads(),
             },
-        );
-        let value_cache = Arc::new(ValueTrieCache::new());
-        value_cache.precompute_hottest(&idx, HOT_TAG_TRIES, config.threads);
-        LotusX {
-            idx,
-            config,
-            value_cache,
-            query_cache: ShardedLru::new(QUERY_CACHE_CAPACITY, QUERY_CACHE_SHARDS),
-            config_generation: 0,
-        }
+        ))
     }
 
     /// The underlying indexed document.

@@ -33,6 +33,7 @@ pub mod canvas;
 pub mod corpus;
 pub mod engine;
 pub mod session;
+pub mod source;
 
 pub use canvas::{CanvasError, CanvasNodeId, QueryCanvas};
 pub use corpus::{Corpus, CorpusResult};
@@ -41,6 +42,7 @@ pub use engine::{
     SearchResult,
 };
 pub use session::Session;
+pub use source::CorpusSource;
 
 // Re-export the vocabulary types callers need.
 pub use lotusx_autocomplete::{

@@ -56,6 +56,24 @@ pub struct IndexedDocument {
     all_elements: Vec<ElementEntry>,
 }
 
+/// The full field set of an [`IndexedDocument`], used by the snapshot
+/// decoder to reassemble one without running the build pipeline.
+pub(crate) struct IndexParts {
+    pub(crate) doc: Document,
+    pub(crate) labels: DocumentLabels,
+    pub(crate) tags: TagIndex,
+    pub(crate) columns: TagColumns,
+    pub(crate) values: ValueIndex,
+    pub(crate) tag_trie: Trie,
+    pub(crate) term_trie: Trie,
+    pub(crate) terms: Vec<String>,
+    pub(crate) guide: DataGuide,
+    pub(crate) guide_of: Vec<GuideNodeId>,
+    pub(crate) stats: Stats,
+    pub(crate) join_stats: JoinStats,
+    pub(crate) all_elements: Vec<ElementEntry>,
+}
+
 impl IndexedDocument {
     /// Parses `xml` and builds all indexes.
     ///
@@ -219,6 +237,28 @@ impl IndexedDocument {
             stats,
             join_stats,
             all_elements,
+        }
+    }
+
+    /// Reassembles an `IndexedDocument` from deserialized parts (the
+    /// snapshot load path). The parts must be mutually consistent — the
+    /// snapshot decoder validates each structure against the document
+    /// before calling this.
+    pub(crate) fn from_parts(parts: IndexParts) -> Self {
+        IndexedDocument {
+            doc: parts.doc,
+            labels: parts.labels,
+            tags: parts.tags,
+            columns: parts.columns,
+            values: parts.values,
+            tag_trie: parts.tag_trie,
+            term_trie: parts.term_trie,
+            terms: parts.terms,
+            guide: parts.guide,
+            guide_of: parts.guide_of,
+            stats: parts.stats,
+            join_stats: parts.join_stats,
+            all_elements: parts.all_elements,
         }
     }
 

@@ -27,6 +27,10 @@
 //! skip loops into logarithmic jumps.
 
 use crate::tag_index::{ElementEntry, TagIndex};
+use crate::wire::{
+    corrupt, get_u16_slice, get_u32_slice, put_u16_slice, put_u32_slice, put_varint, rd_len,
+    StorageError,
+};
 use lotusx_labeling::RegionLabel;
 use lotusx_xml::{NodeId, Symbol};
 
@@ -138,6 +142,104 @@ impl TagColumns {
             + self.nodes.capacity() * std::mem::size_of::<NodeId>()
             + self.end_tree.capacity() * 4
             + self.ranges.capacity() * std::mem::size_of::<StreamRange>()
+    }
+
+    /// Serializes the arenas for the snapshot `COLUMNS` section. Node ids
+    /// are written through `node_map` (old id → canonical preorder id) so
+    /// the decoded columns reference the decoded document's ids.
+    pub(crate) fn encode(&self, node_map: &[u32], out: &mut Vec<u8>) {
+        put_varint(out, self.starts.len() as u64);
+        put_u32_slice(out, &self.starts);
+        put_u32_slice(out, &self.ends);
+        put_u16_slice(out, &self.levels);
+        out.reserve(self.nodes.len() * 4);
+        for &n in &self.nodes {
+            out.extend_from_slice(&node_map[n.index()].to_le_bytes());
+        }
+        put_varint(out, self.end_tree.len() as u64);
+        put_u32_slice(out, &self.end_tree);
+        put_varint(out, self.ranges.len() as u64);
+        for r in self.ranges.iter().chain(std::iter::once(&self.all_range)) {
+            put_varint(out, r.offset as u64);
+            put_varint(out, r.len as u64);
+            put_varint(out, r.tree_offset as u64);
+            put_varint(out, r.tree_leaves as u64);
+        }
+    }
+
+    /// Deserializes arenas written by [`encode`](Self::encode) — a bulk
+    /// read straight into the struct-of-arrays layout. Validates every
+    /// invariant the join loops rely on: node ids within the document,
+    /// range extents within the arenas, per-element `start < end`, and
+    /// strictly increasing `starts` within each stream (document order).
+    pub(crate) fn decode(
+        data: &[u8],
+        pos: &mut usize,
+        node_count: usize,
+    ) -> Result<TagColumns, StorageError> {
+        let n = rd_len(data, pos, "columns length")?;
+        if n > u32::MAX as usize {
+            return Err(corrupt("columns length exceeds u32"));
+        }
+        let starts = get_u32_slice(data, pos, n, "columns starts")?;
+        let ends = get_u32_slice(data, pos, n, "columns ends")?;
+        let levels = get_u16_slice(data, pos, n, "columns levels")?;
+        let raw_nodes = get_u32_slice(data, pos, n, "columns nodes")?;
+        let mut nodes = Vec::with_capacity(n);
+        for v in raw_nodes {
+            if v as usize >= node_count {
+                return Err(corrupt("columns node id out of range"));
+            }
+            nodes.push(NodeId::from_index(v as usize));
+        }
+        let tree_len = rd_len(data, pos, "columns end-tree length")?;
+        if tree_len > u32::MAX as usize {
+            return Err(corrupt("end-tree length exceeds u32"));
+        }
+        let end_tree = get_u32_slice(data, pos, tree_len, "columns end tree")?;
+        let range_count = rd_len(data, pos, "columns range count")?;
+        let mut ranges = Vec::new();
+        for _ in 0..range_count + 1 {
+            let offset = rd_len(data, pos, "range offset")? as u64;
+            let len = rd_len(data, pos, "range length")? as u64;
+            let tree_offset = rd_len(data, pos, "range tree offset")? as u64;
+            let tree_leaves = rd_len(data, pos, "range tree leaves")? as u64;
+            let end = offset.checked_add(len).ok_or(corrupt("range overflow"))?;
+            if end > n as u64 {
+                return Err(corrupt("range exceeds column arenas"));
+            }
+            let tree_end = tree_offset
+                .checked_add(2 * tree_leaves)
+                .ok_or(corrupt("range tree overflow"))?;
+            if tree_end > tree_len as u64 {
+                return Err(corrupt("range exceeds end-tree arena"));
+            }
+            let (a, b) = (offset as usize, end as usize);
+            for i in a..b {
+                if starts[i] >= ends[i] {
+                    return Err(corrupt("column element with start >= end"));
+                }
+                if i > a && starts[i - 1] >= starts[i] {
+                    return Err(corrupt("column stream not in document order"));
+                }
+            }
+            ranges.push(StreamRange {
+                offset: offset as u32,
+                len: len as u32,
+                tree_offset: tree_offset as u32,
+                tree_leaves: tree_leaves as u32,
+            });
+        }
+        let all_range = ranges.pop().expect("range_count + 1 ranges were read");
+        Ok(TagColumns {
+            starts,
+            ends,
+            levels,
+            nodes,
+            end_tree,
+            ranges,
+            all_range,
+        })
     }
 }
 

@@ -11,6 +11,7 @@
 //! 2. *rewriting*: "can this twig match anything at all?" — a twig is
 //!    structurally satisfiable iff it matches the guide tree.
 
+use crate::wire::{corrupt, put_varint, rd_len, rd_varint, StorageError};
 use lotusx_xml::{Document, NodeId, Symbol};
 use std::collections::HashMap;
 
@@ -221,6 +222,88 @@ impl DataGuide {
                 .iter()
                 .map(|n| n.children.capacity() * std::mem::size_of::<(Symbol, GuideNodeId)>())
                 .sum::<usize>()
+    }
+
+    /// Serializes the guide for the snapshot `GUIDE` section. Children
+    /// are written in their stored order — [`to_document`](Self::to_document)
+    /// and the completion ranking depend on it being preserved exactly.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.nodes.len() as u64);
+        for node in &self.nodes {
+            // 0 encodes None; symbols/ids are shifted by one.
+            put_varint(out, node.tag.map(|t| t.index() as u64 + 1).unwrap_or(0));
+            put_varint(out, node.parent.map(|p| p.index() as u64 + 1).unwrap_or(0));
+            put_varint(out, node.children.len() as u64);
+            for &(tag, child) in &node.children {
+                put_varint(out, tag.index() as u64);
+                put_varint(out, child.index() as u64);
+            }
+            put_varint(out, node.count);
+            put_varint(out, u64::from(node.depth));
+        }
+    }
+
+    /// Deserializes a guide written by [`encode`](Self::encode), checking
+    /// the invariants consumers rely on: nodes are stored
+    /// parent-before-child (children have larger indexes than their
+    /// parent), the root has neither tag nor parent, every other node has
+    /// both, and all symbols fall below `tag_count`.
+    pub(crate) fn decode(
+        data: &[u8],
+        pos: &mut usize,
+        tag_count: usize,
+    ) -> Result<DataGuide, StorageError> {
+        let node_count = rd_len(data, pos, "guide node count")?;
+        if node_count == 0 || node_count > data.len() {
+            return Err(corrupt("guide node count"));
+        }
+        let rd_tag = |v: usize, what| -> Result<Symbol, StorageError> {
+            if v >= tag_count {
+                return Err(corrupt(what));
+            }
+            Ok(Symbol::from_index(v))
+        };
+        let mut nodes = Vec::with_capacity(node_count);
+        for i in 0..node_count {
+            let tag = match rd_len(data, pos, "guide tag")? {
+                0 if i == 0 => None,
+                0 => return Err(corrupt("non-root guide node without tag")),
+                v => Some(rd_tag(v - 1, "guide tag out of range")?),
+            };
+            let parent = match rd_len(data, pos, "guide parent")? {
+                0 if i == 0 => None,
+                0 => return Err(corrupt("non-root guide node without parent")),
+                v if v - 1 < i => Some(GuideNodeId::from_index(v - 1)),
+                _ => return Err(corrupt("guide parent not before child")),
+            };
+            let child_count = rd_len(data, pos, "guide child count")?;
+            if child_count > data.len() {
+                return Err(corrupt("guide child count"));
+            }
+            let mut children = Vec::with_capacity(child_count);
+            for _ in 0..child_count {
+                let tag = rd_tag(
+                    rd_len(data, pos, "guide child tag")?,
+                    "guide child tag out of range",
+                )?;
+                let child = rd_len(data, pos, "guide child id")?;
+                if child <= i || child >= node_count {
+                    return Err(corrupt("guide child id out of range"));
+                }
+                children.push((tag, GuideNodeId::from_index(child)));
+            }
+            let count = rd_varint(data, pos, "guide count")?;
+            let depth = u16::try_from(rd_varint(data, pos, "guide depth")?)
+                .map_err(|_| corrupt("guide depth"))?;
+            nodes.push(GuideNode {
+                tag,
+                parent,
+                children,
+                count,
+                depth,
+            });
+        }
+        Ok(DataGuide { nodes })
     }
 }
 

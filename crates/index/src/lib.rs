@@ -28,10 +28,12 @@
 pub mod builder;
 pub mod columns;
 pub mod dataguide;
+pub mod snapshot;
 pub mod stats;
 pub mod tag_index;
 pub mod trie;
 pub mod value_index;
+mod wire;
 
 pub use builder::{BuildOptions, IndexedDocument};
 pub use columns::{ColumnCursor, ColumnView, OwnedColumns, TagColumns};

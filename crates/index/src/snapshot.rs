@@ -1,0 +1,700 @@
+//! Full-index snapshot codecs: the section payloads of the `LTSX` v2
+//! container.
+//!
+//! [`encode_sections`] serializes every structure of an
+//! [`IndexedDocument`] — the document tree, all label families, the
+//! columnar arenas, the value index, both completion tries, the
+//! DataGuide and the statistics tables — into the sections that
+//! `lotusx-storage` frames and checksums. [`decode_sections`] is the
+//! inverse: bulk reads straight into the arena layouts, with **no
+//! re-parsing, no re-labeling and no stats re-walks**. The only derived
+//! work on load is an O(n) transpose of the columnar arenas back into
+//! the per-tag [`TagIndex`] posting vectors (the columns are the exact
+//! same entries in the same order, so serializing both would double the
+//! file for no information).
+//!
+//! ## Node-id canonicalization
+//!
+//! Sections embed [`NodeId`]s (columns, value postings). The document
+//! section decoder assigns ids in strict preorder, but the *source*
+//! document's ids need not be preorder-dense (e.g. after text
+//! coalescing). Encoding therefore remaps every stored node id through
+//! the canonical preorder numbering of the document walk, so decoded
+//! sections always agree with the decoded tree. For documents built by
+//! the parser or the generators the map is the identity.
+//!
+//! ## Determinism
+//!
+//! Every hash-map-backed structure is emitted under a sorted key order
+//! and the tries are serialized structurally, so encoding the same
+//! index twice yields byte-identical sections — and a loaded snapshot
+//! answers every query, completion and chooser probe bit-identically to
+//! the fresh build it was saved from.
+
+use crate::builder::{IndexParts, IndexedDocument};
+use crate::columns::TagColumns;
+use crate::dataguide::{DataGuide, GuideNodeId};
+use crate::stats::{JoinStats, Stats};
+use crate::tag_index::{ElementEntry, TagIndex};
+use crate::trie::Trie;
+use crate::value_index::ValueIndex;
+use crate::wire::{corrupt, get_string, put_string, put_varint, rd_len, StorageError};
+use crate::wire::{get_u16_slice, get_u32_slice, put_u16_slice, put_u32_slice};
+use lotusx_labeling::{DocumentLabels, RegionLabel, TagFst};
+use lotusx_storage::snapshot::{section, Section};
+use lotusx_xml::{Document, NodeId, NodeKind, Symbol};
+
+/// Serializes the entire index set into v2 snapshot sections.
+pub fn encode_sections(idx: &IndexedDocument) -> Vec<Section> {
+    let doc = idx.document();
+    let order = preorder(doc);
+    let mut node_map = vec![u32::MAX; doc.node_count()];
+    for (new_id, old) in order.iter().enumerate() {
+        node_map[old.index()] = new_id as u32;
+    }
+
+    let mut document = Vec::new();
+    encode_document(doc, &order, &node_map, &mut document);
+    let mut labels = Vec::new();
+    encode_labels(idx, &order, &mut labels);
+    let mut columns = Vec::new();
+    idx.columns().encode(&node_map, &mut columns);
+    let mut values = Vec::new();
+    idx.values().encode(&node_map, &mut values);
+    let mut tries = Vec::new();
+    encode_tries(idx, &mut tries);
+    let mut guide = Vec::new();
+    encode_guide(idx, &order, &mut guide);
+    let mut stats = Vec::new();
+    idx.stats().encode(&mut stats);
+    idx.join_stats().encode(&mut stats);
+
+    vec![
+        Section {
+            id: section::DOCUMENT,
+            bytes: document,
+        },
+        Section {
+            id: section::LABELS,
+            bytes: labels,
+        },
+        Section {
+            id: section::COLUMNS,
+            bytes: columns,
+        },
+        Section {
+            id: section::VALUES,
+            bytes: values,
+        },
+        Section {
+            id: section::TRIES,
+            bytes: tries,
+        },
+        Section {
+            id: section::GUIDE,
+            bytes: guide,
+        },
+        Section {
+            id: section::STATS,
+            bytes: stats,
+        },
+    ]
+}
+
+/// Reassembles an [`IndexedDocument`] from v2 snapshot sections. Every
+/// section must be present exactly once; every embedded id is
+/// bounds-checked so a crafted payload yields a typed error, never a
+/// panic.
+pub fn decode_sections(sections: &[Section]) -> Result<IndexedDocument, StorageError> {
+    let find = |id: u64| -> Result<&[u8], StorageError> {
+        let mut matches = sections.iter().filter(|s| s.id == id);
+        let first = matches.next().ok_or(corrupt("missing snapshot section"))?;
+        if matches.next().is_some() {
+            return Err(corrupt("duplicate snapshot section"));
+        }
+        Ok(&first.bytes)
+    };
+
+    let doc = decode_document(find(section::DOCUMENT)?)?;
+    let n = doc.node_count();
+    let tag_count = doc.symbols().len();
+
+    let labels = decode_labels(find(section::LABELS)?, n, tag_count)?;
+
+    let bytes = find(section::COLUMNS)?;
+    let mut pos = 0;
+    let columns = TagColumns::decode(bytes, &mut pos, n)?;
+    ensure_consumed(bytes, pos, "columns")?;
+    let (tags, all_elements) = rebuild_tag_index(&columns, tag_count)?;
+
+    let bytes = find(section::VALUES)?;
+    let mut pos = 0;
+    let values = ValueIndex::decode(bytes, &mut pos, n)?;
+    ensure_consumed(bytes, pos, "values")?;
+
+    let (terms, tag_trie, term_trie) = decode_tries(find(section::TRIES)?, tag_count)?;
+
+    let (guide, guide_of) = decode_guide(find(section::GUIDE)?, n, tag_count)?;
+
+    let bytes = find(section::STATS)?;
+    let mut pos = 0;
+    let stats = Stats::decode(bytes, &mut pos)?;
+    let join_stats = JoinStats::decode(bytes, &mut pos, tag_count)?;
+    ensure_consumed(bytes, pos, "stats")?;
+
+    Ok(IndexedDocument::from_parts(IndexParts {
+        doc,
+        labels,
+        tags,
+        columns,
+        values,
+        tag_trie,
+        term_trie,
+        terms,
+        guide,
+        guide_of,
+        stats,
+        join_stats,
+        all_elements,
+    }))
+}
+
+/// The canonical preorder node walk: the document root first, then every
+/// node in the order the document-section decoder re-creates them.
+fn preorder(doc: &Document) -> Vec<NodeId> {
+    let mut order = Vec::with_capacity(doc.node_count());
+    order.push(NodeId::DOCUMENT);
+    let mut stack: Vec<NodeId> = doc.children(NodeId::DOCUMENT).collect();
+    stack.reverse();
+    while let Some(node) = stack.pop() {
+        order.push(node);
+        let children: Vec<NodeId> = doc.children(node).collect();
+        for child in children.into_iter().rev() {
+            stack.push(child);
+        }
+    }
+    order
+}
+
+fn ensure_consumed(bytes: &[u8], pos: usize, _what: &'static str) -> Result<(), StorageError> {
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes in snapshot section"));
+    }
+    Ok(())
+}
+
+/// `DOCUMENT` (v2 bulk form): the symbol table in exact insertion order,
+/// then a kind column, a parent column, and the per-node payload stream —
+/// all in canonical preorder. Unlike the v1 tree-walk payload this never
+/// re-interns tag strings per node (symbols load with their original
+/// dense indexes, which every other section's symbol references rely on)
+/// and rebuilds sibling links in one forward pass.
+fn encode_document(doc: &Document, order: &[NodeId], node_map: &[u32], out: &mut Vec<u8>) {
+    let symbols = doc.symbols();
+    put_varint(out, symbols.len() as u64);
+    for (_, name) in symbols.iter() {
+        put_string(out, name);
+    }
+    put_varint(out, order.len() as u64);
+    for &old in order {
+        out.push(match doc.kind(old) {
+            NodeKind::Document => 0,
+            NodeKind::Element { .. } => 1,
+            NodeKind::Text(_) => 2,
+            NodeKind::Comment(_) => 3,
+            NodeKind::Pi { .. } => 4,
+        });
+    }
+    // The parent column as raw u32s (0 = no parent, the root alone; else
+    // new preorder id + 1) — a bulk read on load.
+    let parents: Vec<u32> = order
+        .iter()
+        .map(|&old| {
+            doc.parent(old)
+                .map(|p| node_map[p.index()] + 1)
+                .unwrap_or(0)
+        })
+        .collect();
+    put_u32_slice(out, &parents);
+    for &old in order {
+        match doc.kind(old) {
+            NodeKind::Document => {}
+            NodeKind::Element { name, attributes } => {
+                put_varint(out, name.index() as u64);
+                put_varint(out, attributes.len() as u64);
+                for (sym, value) in attributes {
+                    put_varint(out, sym.index() as u64);
+                    put_string(out, value);
+                }
+            }
+            NodeKind::Text(t) | NodeKind::Comment(t) => put_string(out, t),
+            NodeKind::Pi { target, data } => {
+                put_string(out, target);
+                put_string(out, data);
+            }
+        }
+    }
+}
+
+fn decode_document(bytes: &[u8]) -> Result<Document, StorageError> {
+    let pos = &mut 0;
+    let sym_count = rd_len(bytes, pos, "symbol count")?;
+    if sym_count > bytes.len() {
+        return Err(corrupt("symbol count"));
+    }
+    let mut doc = Document::new();
+    for _ in 0..sym_count {
+        let name = get_string(bytes, pos).ok_or(corrupt("symbol name"))?;
+        doc.symbols_mut().intern(&name);
+    }
+    if doc.symbols().len() != sym_count {
+        return Err(corrupt("duplicate symbol in table"));
+    }
+    let n = rd_len(bytes, pos, "node count")?;
+    if n == 0 || n > bytes.len() {
+        return Err(corrupt("node count"));
+    }
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= bytes.len())
+        .ok_or(corrupt("kind column"))?;
+    let kinds = &bytes[*pos..end];
+    *pos = end;
+    if kinds[0] != 0 {
+        return Err(corrupt("first node must be the document root"));
+    }
+    let raw_parents = get_u32_slice(bytes, pos, n, "parent column")?;
+    let mut parents = Vec::with_capacity(n);
+    for (i, &p) in raw_parents.iter().enumerate() {
+        if i == 0 {
+            if p != 0 {
+                return Err(corrupt("document root with a parent"));
+            }
+            parents.push(0);
+        } else {
+            // Preorder guarantees every parent precedes its children, so
+            // a single forward pass rebuilds the sibling links acyclically.
+            if p == 0 || p as usize > i {
+                return Err(corrupt("parent id out of preorder range"));
+            }
+            parents.push(p as usize - 1);
+        }
+    }
+    let rd_sym = |bytes: &[u8], pos: &mut usize, what| -> Result<Symbol, StorageError> {
+        let v = rd_len(bytes, pos, what)?;
+        if v >= sym_count {
+            return Err(corrupt(what));
+        }
+        Ok(Symbol::from_index(v))
+    };
+    for (i, &kind) in kinds.iter().enumerate().skip(1) {
+        let id = match kind {
+            1 => {
+                let name = rd_sym(bytes, pos, "element tag symbol")?;
+                let attr_count = rd_len(bytes, pos, "attribute count")?;
+                if attr_count > bytes.len() {
+                    return Err(corrupt("attribute count"));
+                }
+                let mut attributes = Vec::with_capacity(attr_count);
+                for _ in 0..attr_count {
+                    let sym = rd_sym(bytes, pos, "attribute name symbol")?;
+                    let value = get_string(bytes, pos).ok_or(corrupt("attribute value"))?;
+                    attributes.push((sym, value));
+                }
+                doc.new_element_with(name, attributes)
+            }
+            2 => {
+                let t = get_string(bytes, pos).ok_or(corrupt("text payload"))?;
+                doc.new_text(t)
+            }
+            3 => {
+                let t = get_string(bytes, pos).ok_or(corrupt("comment payload"))?;
+                doc.new_comment(t)
+            }
+            4 => {
+                let target = get_string(bytes, pos).ok_or(corrupt("pi target"))?;
+                let data = get_string(bytes, pos).ok_or(corrupt("pi data"))?;
+                doc.new_pi(target, data)
+            }
+            _ => return Err(corrupt("unknown node kind")),
+        };
+        debug_assert_eq!(id.index(), i);
+        doc.append_child(NodeId::from_index(parents[i]), id);
+    }
+    ensure_consumed(bytes, *pos, "document")?;
+    Ok(doc)
+}
+
+/// `LABELS`: three raw region columns, then per-node Dewey and extended
+/// Dewey component lists, then the tag transducer sorted by state.
+fn encode_labels(idx: &IndexedDocument, order: &[NodeId], out: &mut Vec<u8>) {
+    let labels = idx.labels();
+    let n = order.len();
+    put_varint(out, n as u64);
+    let mut starts = Vec::with_capacity(n);
+    let mut ends = Vec::with_capacity(n);
+    let mut levels = Vec::with_capacity(n);
+    for &old in order {
+        let r = labels.region(old);
+        starts.push(r.start);
+        ends.push(r.end);
+        levels.push(r.level);
+    }
+    put_u32_slice(out, &starts);
+    put_u32_slice(out, &ends);
+    put_u16_slice(out, &levels);
+    // Dewey families as columns: per-node component counts (u16 — depth
+    // is bounded by the u16 region level), then one flat component
+    // arena. Decoding is two bulk reads plus a prefix sum, matching the
+    // arena layout `DocumentLabels` uses in memory.
+    fn put_family<'a>(
+        out: &mut Vec<u8>,
+        order: &[NodeId],
+        components_of: impl Fn(NodeId) -> &'a [u32],
+    ) {
+        let lens: Vec<u16> = order
+            .iter()
+            .map(|&old| u16::try_from(components_of(old).len()).expect("depth fits in u16"))
+            .collect();
+        put_u16_slice(out, &lens);
+        let mut flat = Vec::with_capacity(lens.iter().map(|&l| l as usize).sum());
+        for &old in order {
+            flat.extend_from_slice(components_of(old));
+        }
+        put_u32_slice(out, &flat);
+    }
+    put_family(out, order, |old| labels.dewey(old).components());
+    put_family(out, order, |old| labels.extended(old).components());
+    // Transducer states sorted by encoded key (None first) so hash-map
+    // order never leaks into the bytes.
+    let mut states: Vec<(Option<Symbol>, &[Symbol])> = labels.fst().states().collect();
+    states.sort_by_key(|(s, _)| s.map(|t| t.index() as u64 + 1).unwrap_or(0));
+    put_varint(out, states.len() as u64);
+    for (state, alphabet) in states {
+        put_varint(out, state.map(|t| t.index() as u64 + 1).unwrap_or(0));
+        put_varint(out, alphabet.len() as u64);
+        for &t in alphabet {
+            put_varint(out, t.index() as u64);
+        }
+    }
+}
+
+fn decode_labels(
+    bytes: &[u8],
+    node_count: usize,
+    tag_count: usize,
+) -> Result<DocumentLabels, StorageError> {
+    let pos = &mut 0;
+    let n = rd_len(bytes, pos, "labels length")?;
+    if n != node_count {
+        return Err(corrupt("labels length mismatch with document"));
+    }
+    let starts = get_u32_slice(bytes, pos, n, "region starts")?;
+    let ends = get_u32_slice(bytes, pos, n, "region ends")?;
+    let levels = get_u16_slice(bytes, pos, n, "region levels")?;
+    let mut region = Vec::with_capacity(n);
+    for i in 0..n {
+        if starts[i] >= ends[i] {
+            return Err(corrupt("region label with start >= end"));
+        }
+        region.push(RegionLabel::new(starts[i], ends[i], levels[i]));
+    }
+    let mut rd_family = |what: &'static str| -> Result<(Vec<u32>, Vec<u32>), StorageError> {
+        let lens = get_u16_slice(bytes, pos, n, what)?;
+        let mut off = Vec::with_capacity(n + 1);
+        let mut total = 0u32;
+        off.push(0);
+        for &len in &lens {
+            total = total.checked_add(u32::from(len)).ok_or(corrupt(what))?;
+            off.push(total);
+        }
+        let flat = get_u32_slice(bytes, pos, total as usize, what)?;
+        Ok((flat, off))
+    };
+    let dewey = rd_family("dewey labels")?;
+    let extended = rd_family("extended dewey labels")?;
+    let state_count = rd_len(bytes, pos, "fst state count")?;
+    if state_count > bytes.len() {
+        return Err(corrupt("fst state count"));
+    }
+    let rd_sym = |v: usize| -> Result<Symbol, StorageError> {
+        if v >= tag_count {
+            return Err(corrupt("fst symbol out of range"));
+        }
+        Ok(Symbol::from_index(v))
+    };
+    let mut states = Vec::with_capacity(state_count);
+    for _ in 0..state_count {
+        let state = match rd_len(bytes, pos, "fst state")? {
+            0 => None,
+            v => Some(rd_sym(v - 1)?),
+        };
+        let alpha_len = rd_len(bytes, pos, "fst alphabet length")?;
+        if alpha_len > bytes.len() {
+            return Err(corrupt("fst alphabet length"));
+        }
+        let mut alphabet = Vec::with_capacity(alpha_len);
+        for _ in 0..alpha_len {
+            alphabet.push(rd_sym(rd_len(bytes, pos, "fst alphabet symbol")?)?);
+        }
+        states.push((state, alphabet));
+    }
+    ensure_consumed(bytes, *pos, "labels")?;
+    Ok(DocumentLabels::from_parts(
+        region,
+        dewey,
+        extended,
+        TagFst::from_states(states),
+    ))
+}
+
+/// `TRIES`: the sorted term table, then both tries structurally.
+fn encode_tries(idx: &IndexedDocument, out: &mut Vec<u8>) {
+    let term_count = idx.term_trie().len() as u64;
+    // The term table is exactly the sorted distinct-term list; its length
+    // equals the term-trie key count by construction.
+    put_varint(out, term_count);
+    for i in 0..term_count {
+        put_string(out, idx.term(i as u32));
+    }
+    idx.tag_trie().encode(out);
+    idx.term_trie().encode(out);
+}
+
+fn decode_tries(bytes: &[u8], tag_count: usize) -> Result<(Vec<String>, Trie, Trie), StorageError> {
+    let pos = &mut 0;
+    let term_count = rd_len(bytes, pos, "term table length")?;
+    if term_count > bytes.len() {
+        return Err(corrupt("term table length"));
+    }
+    let mut terms = Vec::with_capacity(term_count);
+    for _ in 0..term_count {
+        terms.push(get_string(bytes, pos).ok_or(corrupt("term table entry"))?);
+    }
+    let tag_trie = Trie::decode(bytes, pos, tag_count as u32)?;
+    let term_trie = Trie::decode(bytes, pos, terms.len() as u32)?;
+    ensure_consumed(bytes, *pos, "tries")?;
+    Ok((terms, tag_trie, term_trie))
+}
+
+/// `GUIDE`: the guide nodes, then the node → guide-node map in canonical
+/// node order.
+fn encode_guide(idx: &IndexedDocument, order: &[NodeId], out: &mut Vec<u8>) {
+    idx.guide().encode(out);
+    // The node → guide-node map as one raw u32 column (bulk read on load).
+    let guide_of: Vec<u32> = order
+        .iter()
+        .map(|&old| idx.guide_node(old).index() as u32)
+        .collect();
+    put_u32_slice(out, &guide_of);
+}
+
+fn decode_guide(
+    bytes: &[u8],
+    node_count: usize,
+    tag_count: usize,
+) -> Result<(DataGuide, Vec<GuideNodeId>), StorageError> {
+    let pos = &mut 0;
+    let guide = DataGuide::decode(bytes, pos, tag_count)?;
+    let raw = get_u32_slice(bytes, pos, node_count, "guide-of entries")?;
+    let mut guide_of = Vec::with_capacity(node_count);
+    for g in raw {
+        if g as usize >= guide.node_count() {
+            return Err(corrupt("guide-of entry out of range"));
+        }
+        guide_of.push(GuideNodeId::from_index(g as usize));
+    }
+    ensure_consumed(bytes, *pos, "guide")?;
+    Ok((guide, guide_of))
+}
+
+/// Rebuilds the per-tag posting vectors and the all-elements stream from
+/// the decoded columns — an O(n) transpose, the only derived work on the
+/// snapshot load path.
+fn rebuild_tag_index(
+    columns: &TagColumns,
+    tag_count: usize,
+) -> Result<(TagIndex, Vec<ElementEntry>), StorageError> {
+    let mut tags = TagIndex::with_tag_count(tag_count);
+    for t in 0..tag_count {
+        let sym = Symbol::from_index(t);
+        let view = columns.view(sym);
+        for i in 0..view.len() {
+            tags.push(sym, view.entry(i));
+        }
+    }
+    let all = columns.all_elements();
+    let all_elements: Vec<ElementEntry> = (0..all.len()).map(|i| all.entry(i)).collect();
+    Ok((tags, all_elements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IndexedDocument {
+        IndexedDocument::from_str(
+            "<bib>\
+               <book year=\"1999\"><title>Data on the Web</title><author>Abiteboul</author></book>\
+               <book year=\"2003\"><title>XML Handbook</title><author>Goldfarb</author></book>\
+               <article><title>TwigStack</title><info><title>deep</title></info></article>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sections_roundtrip_every_structure() {
+        let idx = sample();
+        let sections = encode_sections(&idx);
+        let back = decode_sections(&sections).unwrap();
+
+        assert_eq!(back.document().to_xml(), idx.document().to_xml());
+        let doc = idx.document();
+        for node in doc.all_nodes() {
+            assert_eq!(back.labels().region(node), idx.labels().region(node));
+            assert_eq!(back.labels().dewey(node), idx.labels().dewey(node));
+            assert_eq!(back.labels().extended(node), idx.labels().extended(node));
+            if doc.is_element(node) {
+                assert_eq!(back.guide_node(node), idx.guide_node(node));
+            }
+        }
+        for (sym, _) in doc.symbols().iter() {
+            assert_eq!(back.tags().stream(sym), idx.tags().stream(sym));
+            let (a, b) = (back.columns().view(sym), idx.columns().view(sym));
+            assert_eq!(a.len(), b.len());
+            for i in 0..a.len() {
+                assert_eq!(a.entry(i), b.entry(i));
+            }
+        }
+        assert_eq!(back.all_elements(), idx.all_elements());
+        for (term, df) in idx.values().terms() {
+            assert_eq!(back.values().df(term), df);
+            assert_eq!(back.values().postings(term), idx.values().postings(term));
+        }
+        assert_eq!(
+            back.values().exact_matches("twigstack"),
+            idx.values().exact_matches("twigstack")
+        );
+        assert_eq!(
+            back.values().range_matches(1990.0, 2005.0),
+            idx.values().range_matches(1990.0, 2005.0)
+        );
+        assert_eq!(
+            back.values().content_element_count(),
+            idx.values().content_element_count()
+        );
+        assert_eq!(
+            back.tag_trie().complete("", 100),
+            idx.tag_trie().complete("", 100)
+        );
+        assert_eq!(
+            back.term_trie().complete("", 1000),
+            idx.term_trie().complete("", 1000)
+        );
+        for c in back.term_trie().complete("", 1000) {
+            assert_eq!(back.term(c.payload), idx.term(c.payload));
+        }
+        assert_eq!(back.guide().node_count(), idx.guide().node_count());
+        for i in 0..idx.guide().node_count() {
+            let id = GuideNodeId::from_index(i);
+            assert_eq!(back.guide().tag(id), idx.guide().tag(id));
+            assert_eq!(back.guide().parent(id), idx.guide().parent(id));
+            assert_eq!(back.guide().count(id), idx.guide().count(id));
+            assert_eq!(back.guide().depth(id), idx.guide().depth(id));
+            assert_eq!(back.guide().children(id), idx.guide().children(id));
+        }
+        assert_eq!(back.stats().element_count, idx.stats().element_count);
+        assert_eq!(back.stats().depth_histogram, idx.stats().depth_histogram);
+        assert_eq!(
+            back.stats().avg_fanout.to_bits(),
+            idx.stats().avg_fanout.to_bits()
+        );
+        for (a, _) in doc.symbols().iter() {
+            assert_eq!(
+                back.join_stats().tag_frequency(a),
+                idx.join_stats().tag_frequency(a)
+            );
+            for (b, _) in doc.symbols().iter() {
+                assert_eq!(
+                    back.join_stats().descendant_pairs(a, b),
+                    idx.join_stats().descendant_pairs(a, b)
+                );
+                assert_eq!(
+                    back.join_stats().child_pairs(a, b),
+                    idx.join_stats().child_pairs(a, b)
+                );
+                assert_eq!(
+                    back.join_stats().descendant_pair_multiplicity(a, b),
+                    idx.join_stats().descendant_pair_multiplicity(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let idx = sample();
+        assert_eq!(encode_sections(&idx), encode_sections(&idx));
+        // And stable across decode: re-encoding the decoded index is a
+        // fixpoint (hash maps rebuilt in a different order must not leak).
+        let back = decode_sections(&encode_sections(&idx)).unwrap();
+        assert_eq!(encode_sections(&back), encode_sections(&idx));
+    }
+
+    #[test]
+    fn missing_and_duplicate_sections_are_typed_errors() {
+        let idx = sample();
+        let mut sections = encode_sections(&idx);
+        let stats = sections.pop().unwrap();
+        assert!(matches!(
+            decode_sections(&sections),
+            Err(StorageError::Corrupt(_))
+        ));
+        sections.push(stats.clone());
+        sections.push(stats);
+        assert!(matches!(
+            decode_sections(&sections),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    /// Flip one byte of every section in turn: decoding must fail with a
+    /// typed error (or succeed only if the flip hit redundant slack, which
+    /// these payloads do not have) — and must never panic.
+    #[test]
+    fn payload_tampering_never_panics() {
+        let idx = sample();
+        let sections = encode_sections(&idx);
+        for (si, s) in sections.iter().enumerate() {
+            let step = (s.bytes.len() / 23).max(1);
+            for offset in (0..s.bytes.len()).step_by(step) {
+                let mut tampered: Vec<Section> = sections.clone();
+                tampered[si].bytes[offset] ^= 0x01;
+                // Any outcome but a panic is acceptable; most flips must
+                // surface as typed errors, a few land in value bytes
+                // (counts, weights) that decode to different-but-valid data.
+                let _ = decode_sections(&tampered);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_sections_are_typed_errors() {
+        let idx = sample();
+        let sections = encode_sections(&idx);
+        for si in 0..sections.len() {
+            let mut truncated: Vec<Section> = sections.clone();
+            let len = truncated[si].bytes.len();
+            truncated[si].bytes.truncate(len / 2);
+            assert!(
+                matches!(
+                    decode_sections(&truncated),
+                    Err(StorageError::Corrupt(_)) | Err(StorageError::Io(_))
+                ),
+                "truncating section {} must fail decoding",
+                sections[si].id
+            );
+        }
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::dataguide::{DataGuide, GuideNodeId};
 use crate::tag_index::TagIndex;
+use crate::wire::{corrupt, put_varint, rd_f64, rd_len, rd_varint, StorageError};
 use lotusx_xml::{Document, NodeId, Symbol};
 use std::collections::HashMap;
 
@@ -62,6 +63,49 @@ impl Stats {
             0.0
         };
         stats
+    }
+
+    /// Serializes the statistics for the snapshot `STATS` section.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.element_count as u64);
+        put_varint(out, self.text_count as u64);
+        put_varint(out, self.attribute_count as u64);
+        put_varint(out, self.distinct_tags as u64);
+        put_varint(out, u64::from(self.max_depth));
+        put_varint(out, self.depth_histogram.len() as u64);
+        for &d in &self.depth_histogram {
+            put_varint(out, d as u64);
+        }
+        // f64 as raw bits: bit-exact round-trip, no text formatting drift.
+        out.extend_from_slice(&self.avg_fanout.to_bits().to_le_bytes());
+    }
+
+    /// Deserializes statistics written by [`encode`](Self::encode).
+    pub(crate) fn decode(data: &[u8], pos: &mut usize) -> Result<Stats, StorageError> {
+        let element_count = rd_len(data, pos, "stats element count")?;
+        let text_count = rd_len(data, pos, "stats text count")?;
+        let attribute_count = rd_len(data, pos, "stats attribute count")?;
+        let distinct_tags = rd_len(data, pos, "stats distinct tags")?;
+        let max_depth = u32::try_from(rd_varint(data, pos, "stats max depth")?)
+            .map_err(|_| corrupt("stats max depth"))?;
+        let hist_len = rd_len(data, pos, "stats histogram length")?;
+        if hist_len > data.len() {
+            return Err(corrupt("stats histogram length"));
+        }
+        let mut depth_histogram = Vec::with_capacity(hist_len);
+        for _ in 0..hist_len {
+            depth_histogram.push(rd_len(data, pos, "stats histogram bucket")?);
+        }
+        let avg_fanout = rd_f64(data, pos, "stats avg fanout")?;
+        Ok(Stats {
+            element_count,
+            text_count,
+            attribute_count,
+            distinct_tags,
+            max_depth,
+            depth_histogram,
+            avg_fanout,
+        })
     }
 }
 
@@ -159,6 +203,88 @@ impl JoinStats {
             }
         }
         stats
+    }
+
+    /// Serializes the join statistics for the snapshot `STATS` section.
+    /// The pair table is emitted sorted by `(anc, desc)` symbol index so
+    /// the encoding is deterministic regardless of hash-map order.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.tag_freq.len() as u64);
+        for &f in &self.tag_freq {
+            put_varint(out, f);
+        }
+        put_varint(out, self.element_count);
+        for &c in &self.children_total {
+            put_varint(out, c);
+        }
+        for &w in &self.subtree_weight {
+            put_varint(out, w);
+        }
+        let mut pairs: Vec<(&(Symbol, Symbol), &PairCounts)> = self.pair_table.iter().collect();
+        pairs.sort_by_key(|((a, d), _)| (a.index(), d.index()));
+        put_varint(out, pairs.len() as u64);
+        for ((anc, desc), counts) in pairs {
+            put_varint(out, anc.index() as u64);
+            put_varint(out, desc.index() as u64);
+            put_varint(out, counts.child);
+            put_varint(out, counts.descendant);
+            put_varint(out, counts.multiplicity);
+        }
+    }
+
+    /// Deserializes join statistics written by [`encode`](Self::encode).
+    /// `tag_count` is the document's symbol count; the per-tag vectors
+    /// must match it and every pair symbol must fall inside it.
+    pub(crate) fn decode(
+        data: &[u8],
+        pos: &mut usize,
+        tag_count: usize,
+    ) -> Result<JoinStats, StorageError> {
+        let n = rd_len(data, pos, "join-stats tag count")?;
+        if n != tag_count {
+            return Err(corrupt("join-stats tag count mismatch"));
+        }
+        let read_per_tag = |pos: &mut usize, what| -> Result<Vec<u64>, StorageError> {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(rd_varint(data, pos, what)?);
+            }
+            Ok(v)
+        };
+        let tag_freq = read_per_tag(pos, "join-stats tag frequency")?;
+        let element_count = rd_varint(data, pos, "join-stats element count")?;
+        let children_total = read_per_tag(pos, "join-stats children total")?;
+        let subtree_weight = read_per_tag(pos, "join-stats subtree weight")?;
+        let pair_count = rd_len(data, pos, "join-stats pair count")?;
+        if pair_count > data.len() {
+            return Err(corrupt("join-stats pair count"));
+        }
+        let mut pair_table = HashMap::with_capacity(pair_count);
+        for _ in 0..pair_count {
+            let anc = rd_len(data, pos, "join-stats pair ancestor")?;
+            let desc = rd_len(data, pos, "join-stats pair descendant")?;
+            if anc >= tag_count || desc >= tag_count {
+                return Err(corrupt("join-stats pair symbol out of range"));
+            }
+            let child = rd_varint(data, pos, "join-stats pair child count")?;
+            let descendant = rd_varint(data, pos, "join-stats pair descendant count")?;
+            let multiplicity = rd_varint(data, pos, "join-stats pair multiplicity")?;
+            pair_table.insert(
+                (Symbol::from_index(anc), Symbol::from_index(desc)),
+                PairCounts {
+                    child,
+                    descendant,
+                    multiplicity,
+                },
+            );
+        }
+        Ok(JoinStats {
+            tag_freq,
+            element_count,
+            children_total,
+            subtree_weight,
+            pair_table,
+        })
     }
 
     /// Stream length of `tag` (0 for unseen symbols).

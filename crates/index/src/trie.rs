@@ -7,6 +7,7 @@
 //! other completions exist. [`TrieCursor`] supports the per-keystroke
 //! narrowing of an auto-completion session.
 
+use crate::wire::{corrupt, put_varint, rd_len, rd_u8, rd_varint, StorageError};
 use std::collections::BinaryHeap;
 
 #[derive(Clone, Debug, Default)]
@@ -241,6 +242,84 @@ impl Trie {
     /// All completions under `prefix` (unbounded; document order of keys).
     pub fn complete_all(&self, prefix: &str) -> Vec<Completion> {
         self.complete(prefix, usize::MAX)
+    }
+
+    /// Serializes the trie structurally (node array with edges, terminals
+    /// and cached subtree maxima) for the snapshot `TRIES` section — the
+    /// decoded trie is field-for-field identical, so completion order is
+    /// bit-stable across a snapshot round-trip.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.key_count as u64);
+        put_varint(out, self.nodes.len() as u64);
+        for node in &self.nodes {
+            put_varint(out, node.children.len() as u64);
+            for &(byte, child) in &node.children {
+                out.push(byte);
+                put_varint(out, u64::from(child));
+            }
+            match node.terminal {
+                None => put_varint(out, 0),
+                Some((payload, weight)) => {
+                    put_varint(out, 1);
+                    put_varint(out, u64::from(payload));
+                    put_varint(out, weight);
+                }
+            }
+            put_varint(out, node.best);
+        }
+    }
+
+    /// Deserializes a trie written by [`encode`](Self::encode). Edge
+    /// targets are bounds-checked against the node count and edges must be
+    /// strictly sorted by byte (the lookup invariant); terminal payloads
+    /// must be below `payload_bound` (a symbol or term-table index).
+    pub fn decode(data: &[u8], pos: &mut usize, payload_bound: u32) -> Result<Trie, StorageError> {
+        let key_count = rd_len(data, pos, "trie key count")?;
+        let node_count = rd_len(data, pos, "trie node count")?;
+        if node_count == 0 || node_count > data.len() {
+            return Err(corrupt("trie node count"));
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let edge_count = rd_len(data, pos, "trie edge count")?;
+            if edge_count > data.len() {
+                return Err(corrupt("trie edge count"));
+            }
+            let mut children = Vec::with_capacity(edge_count);
+            for _ in 0..edge_count {
+                let byte = rd_u8(data, pos, "trie edge byte")?;
+                let child = rd_len(data, pos, "trie edge target")?;
+                if child >= node_count {
+                    return Err(corrupt("trie edge target out of range"));
+                }
+                if let Some(&(prev, _)) = children.last() {
+                    if prev >= byte {
+                        return Err(corrupt("trie edges not sorted"));
+                    }
+                }
+                children.push((byte, child as u32));
+            }
+            let terminal = match rd_varint(data, pos, "trie terminal flag")? {
+                0 => None,
+                1 => {
+                    let payload = u32::try_from(rd_varint(data, pos, "trie payload")?)
+                        .map_err(|_| corrupt("trie payload"))?;
+                    if payload >= payload_bound {
+                        return Err(corrupt("trie payload out of range"));
+                    }
+                    let weight = rd_varint(data, pos, "trie weight")?;
+                    Some((payload, weight))
+                }
+                _ => return Err(corrupt("trie terminal flag")),
+            };
+            let best = rd_varint(data, pos, "trie best weight")?;
+            nodes.push(TrieNode {
+                children,
+                terminal,
+                best,
+            });
+        }
+        Ok(Trie { nodes, key_count })
     }
 }
 

@@ -4,6 +4,9 @@
 //! contains the text (or carries the attribute): that is the node a value
 //! predicate in a twig query attaches to.
 
+use crate::wire::{
+    corrupt, get_string, put_string, put_varint, rd_f64, rd_len, rd_varint, StorageError,
+};
 use lotusx_xml::NodeId;
 use std::collections::HashMap;
 
@@ -153,6 +156,112 @@ impl ValueIndex {
     /// Iterates over `(term, document frequency)` pairs (arbitrary order).
     pub fn terms(&self) -> impl Iterator<Item = (&str, usize)> {
         self.terms.iter().map(|(t, p)| (t.as_str(), p.len()))
+    }
+
+    /// Serializes the content index for the snapshot `VALUES` section.
+    /// Term and exact-value maps are emitted with sorted keys so the
+    /// encoding is deterministic regardless of hash-map order; node ids
+    /// are written through `node_map` (old id → canonical preorder id).
+    pub(crate) fn encode(&self, node_map: &[u32], out: &mut Vec<u8>) {
+        let mut term_keys: Vec<&String> = self.terms.keys().collect();
+        term_keys.sort();
+        put_varint(out, term_keys.len() as u64);
+        for key in term_keys {
+            put_string(out, key);
+            let postings = &self.terms[key];
+            put_varint(out, postings.len() as u64);
+            for p in postings {
+                put_varint(out, u64::from(node_map[p.node.index()]));
+                put_varint(out, u64::from(p.tf));
+            }
+        }
+        let mut exact_keys: Vec<&String> = self.exact.keys().collect();
+        exact_keys.sort();
+        put_varint(out, exact_keys.len() as u64);
+        for key in exact_keys {
+            put_string(out, key);
+            let nodes = &self.exact[key];
+            put_varint(out, nodes.len() as u64);
+            for n in nodes {
+                put_varint(out, u64::from(node_map[n.index()]));
+            }
+        }
+        put_varint(out, self.numeric.len() as u64);
+        for (value, node) in &self.numeric {
+            out.extend_from_slice(&value.to_bits().to_le_bytes());
+            put_varint(out, u64::from(node_map[node.index()]));
+        }
+        put_varint(out, self.content_elements as u64);
+    }
+
+    /// Deserializes a content index written by [`encode`](Self::encode),
+    /// bounds-checking every node id against `node_count`.
+    pub(crate) fn decode(
+        data: &[u8],
+        pos: &mut usize,
+        node_count: usize,
+    ) -> Result<ValueIndex, StorageError> {
+        let rd_node = |data: &[u8], pos: &mut usize| -> Result<NodeId, StorageError> {
+            let id = rd_len(data, pos, "value-index node id")?;
+            if id >= node_count {
+                return Err(corrupt("value-index node id out of range"));
+            }
+            Ok(NodeId::from_index(id))
+        };
+        let term_count = rd_len(data, pos, "value-index term count")?;
+        if term_count > data.len() {
+            return Err(corrupt("value-index term count"));
+        }
+        let mut terms = HashMap::with_capacity(term_count);
+        for _ in 0..term_count {
+            let key = get_string(data, pos).ok_or(corrupt("value-index term key"))?;
+            let posting_count = rd_len(data, pos, "value-index posting count")?;
+            if posting_count > data.len() {
+                return Err(corrupt("value-index posting count"));
+            }
+            let mut postings = Vec::with_capacity(posting_count);
+            for _ in 0..posting_count {
+                let node = rd_node(data, pos)?;
+                let tf = u32::try_from(rd_varint(data, pos, "value-index tf")?)
+                    .map_err(|_| corrupt("value-index tf"))?;
+                postings.push(Posting { node, tf });
+            }
+            terms.insert(key, postings);
+        }
+        let exact_count = rd_len(data, pos, "value-index exact count")?;
+        if exact_count > data.len() {
+            return Err(corrupt("value-index exact count"));
+        }
+        let mut exact = HashMap::with_capacity(exact_count);
+        for _ in 0..exact_count {
+            let key = get_string(data, pos).ok_or(corrupt("value-index exact key"))?;
+            let node_len = rd_len(data, pos, "value-index exact node count")?;
+            if node_len > data.len() {
+                return Err(corrupt("value-index exact node count"));
+            }
+            let mut nodes = Vec::with_capacity(node_len);
+            for _ in 0..node_len {
+                nodes.push(rd_node(data, pos)?);
+            }
+            exact.insert(key, nodes);
+        }
+        let numeric_count = rd_len(data, pos, "value-index numeric count")?;
+        if numeric_count > data.len() {
+            return Err(corrupt("value-index numeric count"));
+        }
+        let mut numeric = Vec::with_capacity(numeric_count);
+        for _ in 0..numeric_count {
+            let value = rd_f64(data, pos, "value-index numeric value")?;
+            let node = rd_node(data, pos)?;
+            numeric.push((value, node));
+        }
+        let content_elements = rd_len(data, pos, "value-index content elements")?;
+        Ok(ValueIndex {
+            terms,
+            exact,
+            numeric,
+            content_elements,
+        })
     }
 
     /// Approximate heap size in bytes.

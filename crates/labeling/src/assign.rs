@@ -1,11 +1,18 @@
 //! One-pass assignment of all label families over a document.
 
-use crate::dewey::DeweyLabel;
-use crate::extended_dewey::{assign_extended_dewey, ExtendedDeweyLabel, TagFst};
+use crate::dewey::{DeweyLabel, DeweyRef};
+use crate::extended_dewey::{assign_extended_dewey, ExtendedDeweyRef, TagFst};
 use crate::region::RegionLabel;
 use lotusx_xml::{Document, NodeId};
 
 /// All positional labels for one document, indexed by [`NodeId`].
+///
+/// Per-node Dewey and extended-Dewey component lists live in two shared
+/// flat arenas (`*_flat`) addressed by per-node offsets (`*_off`, length
+/// `n + 1`) — one allocation per family instead of one per node, so the
+/// store deserializes from a snapshot with a handful of bulk reads and
+/// stays cache-friendly during joins. Accessors hand out borrowed
+/// [`DeweyRef`] / [`ExtendedDeweyRef`] views into the arenas.
 ///
 /// ```
 /// use lotusx_xml::Document;
@@ -20,9 +27,22 @@ use lotusx_xml::{Document, NodeId};
 #[derive(Clone, Debug)]
 pub struct DocumentLabels {
     region: Vec<RegionLabel>,
-    dewey: Vec<DeweyLabel>,
-    extended: Vec<ExtendedDeweyLabel>,
+    dewey_flat: Vec<u32>,
+    dewey_off: Vec<u32>,
+    extended_flat: Vec<u32>,
+    extended_off: Vec<u32>,
     fst: TagFst,
+}
+
+/// Flattens per-node component lists into a `(flat, offsets)` arena pair.
+fn flatten(per_node: impl Iterator<Item = Vec<u32>>) -> (Vec<u32>, Vec<u32>) {
+    let mut flat = Vec::new();
+    let mut off = vec![0u32];
+    for components in per_node {
+        flat.extend_from_slice(&components);
+        off.push(flat.len() as u32);
+    }
+    (flat, off)
 }
 
 impl DocumentLabels {
@@ -79,12 +99,44 @@ impl DocumentLabels {
         let fst = TagFst::from_document(doc);
         let extended = assign_extended_dewey(doc, &fst);
 
+        let (dewey_flat, dewey_off) = flatten(dewey.into_iter().map(DeweyLabel::into_components));
+        let (extended_flat, extended_off) =
+            flatten(extended.into_iter().map(|l| l.components().to_vec()));
         DocumentLabels {
             region,
-            dewey,
-            extended,
+            dewey_flat,
+            dewey_off,
+            extended_flat,
+            extended_off,
             fst,
         }
+    }
+
+    /// Reassembles a label store from previously computed parts (the
+    /// snapshot load path). `region` and both offset arrays must be
+    /// indexed by [`NodeId`] (offsets have one extra trailing entry) and
+    /// cover every node of the document, like [`compute`](Self::compute)
+    /// produces; callers are responsible for validating lengths against
+    /// the document and offsets against the arenas.
+    pub fn from_parts(
+        region: Vec<RegionLabel>,
+        dewey: (Vec<u32>, Vec<u32>),
+        extended: (Vec<u32>, Vec<u32>),
+        fst: TagFst,
+    ) -> Self {
+        DocumentLabels {
+            region,
+            dewey_flat: dewey.0,
+            dewey_off: dewey.1,
+            extended_flat: extended.0,
+            extended_off: extended.1,
+            fst,
+        }
+    }
+
+    /// All region labels, indexed by [`NodeId`].
+    pub fn region_labels(&self) -> &[RegionLabel] {
+        &self.region
     }
 
     /// The region label of `id`.
@@ -93,13 +145,17 @@ impl DocumentLabels {
     }
 
     /// The Dewey label of `id` (empty for non-elements and the root).
-    pub fn dewey(&self, id: NodeId) -> &DeweyLabel {
-        &self.dewey[id.index()]
+    pub fn dewey(&self, id: NodeId) -> DeweyRef<'_> {
+        let i = id.index();
+        DeweyRef::new(&self.dewey_flat[self.dewey_off[i] as usize..self.dewey_off[i + 1] as usize])
     }
 
     /// The extended Dewey label of `id`.
-    pub fn extended(&self, id: NodeId) -> &ExtendedDeweyLabel {
-        &self.extended[id.index()]
+    pub fn extended(&self, id: NodeId) -> ExtendedDeweyRef<'_> {
+        let i = id.index();
+        ExtendedDeweyRef::new(
+            &self.extended_flat[self.extended_off[i] as usize..self.extended_off[i + 1] as usize],
+        )
     }
 
     /// The tag transducer used for extended Dewey decoding.
@@ -125,16 +181,8 @@ impl DocumentLabels {
     /// Approximate heap size of the label store in bytes (for Table 1).
     pub fn size_bytes(&self) -> usize {
         let region = self.region.len() * std::mem::size_of::<RegionLabel>();
-        let dewey: usize = self
-            .dewey
-            .iter()
-            .map(|d| d.components().len() * 4 + std::mem::size_of::<DeweyLabel>())
-            .sum();
-        let extended: usize = self
-            .extended
-            .iter()
-            .map(|d| d.components().len() * 4 + std::mem::size_of::<ExtendedDeweyLabel>())
-            .sum();
+        let dewey = (self.dewey_flat.len() + self.dewey_off.len()) * 4;
+        let extended = (self.extended_flat.len() + self.extended_off.len()) * 4;
         region + dewey + extended
     }
 }

@@ -25,6 +25,11 @@ impl DeweyLabel {
         &self.components
     }
 
+    /// Consumes the label, returning its component vector.
+    pub fn into_components(self) -> Vec<u32> {
+        self.components
+    }
+
     /// Number of components (== depth of the node; root element is 1).
     pub fn depth(&self) -> usize {
         self.components.len()
@@ -95,6 +100,82 @@ impl DeweyLabel {
 }
 
 impl fmt::Display for DeweyLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        DeweyRef::new(&self.components).fmt(f)
+    }
+}
+
+/// A borrowed Dewey label: a view into the flat component arena of a
+/// [`DocumentLabels`](crate::DocumentLabels) store. Same predicates as
+/// [`DeweyLabel`], no per-label allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeweyRef<'a> {
+    components: &'a [u32],
+}
+
+impl<'a> DeweyRef<'a> {
+    /// Wraps a component slice (empty = the virtual document root).
+    pub fn new(components: &'a [u32]) -> Self {
+        DeweyRef { components }
+    }
+
+    /// The components of the label.
+    pub fn components(self) -> &'a [u32] {
+        self.components
+    }
+
+    /// Number of components (== depth of the node; root element is 1).
+    pub fn depth(self) -> usize {
+        self.components.len()
+    }
+
+    /// True for the virtual document root's (empty) label.
+    pub fn is_empty(self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// True if `self` is a proper ancestor of `other` (proper prefix).
+    pub fn is_ancestor_of(self, other: DeweyRef<'_>) -> bool {
+        self.components.len() < other.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// True if `self` is the parent of `other`.
+    pub fn is_parent_of(self, other: DeweyRef<'_>) -> bool {
+        self.components.len() + 1 == other.components.len() && self.is_ancestor_of(other)
+    }
+
+    /// True if the two labels denote siblings (same parent, different node).
+    pub fn is_sibling_of(self, other: DeweyRef<'_>) -> bool {
+        self != other
+            && !self.components.is_empty()
+            && self.components.len() == other.components.len()
+            && self.components[..self.components.len() - 1]
+                == other.components[..other.components.len() - 1]
+    }
+
+    /// Document-order comparison (lexicographic on components).
+    pub fn doc_cmp(self, other: DeweyRef<'_>) -> std::cmp::Ordering {
+        self.components.cmp(other.components)
+    }
+
+    /// Length of the longest common prefix with `other` — the depth of the
+    /// lowest common ancestor.
+    pub fn common_prefix_len(self, other: DeweyRef<'_>) -> usize {
+        self.components
+            .iter()
+            .zip(other.components.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Copies the view into an owned [`DeweyLabel`].
+    pub fn to_owned(self) -> DeweyLabel {
+        DeweyLabel::new(self.components.to_vec())
+    }
+}
+
+impl fmt::Display for DeweyRef<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.components.is_empty() {
             return write!(f, "ε");

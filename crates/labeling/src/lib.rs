@@ -24,6 +24,6 @@ pub mod extended_dewey;
 pub mod region;
 
 pub use assign::DocumentLabels;
-pub use dewey::DeweyLabel;
-pub use extended_dewey::{ExtendedDeweyLabel, TagFst};
+pub use dewey::{DeweyLabel, DeweyRef};
+pub use extended_dewey::{ExtendedDeweyLabel, ExtendedDeweyRef, TagFst};
 pub use region::RegionLabel;

@@ -9,7 +9,7 @@
 //! observability surface (`profile`, `explain`, `stats`), and `serve
 //! <port>` to expose the loaded document over HTTP.
 
-use lotusx::{Algorithm, Axis, Budget, CanvasNodeId, LotusX, QueryRequest, Session};
+use lotusx::{Algorithm, Axis, Budget, CanvasNodeId, CorpusSource, LotusX, QueryRequest, Session};
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
@@ -26,35 +26,31 @@ fn main() {
 
     let arg = std::env::args().nth(1);
     let system = match &arg {
-        // `@dataset[:scale[:seed]]` loads a seeded synthetic corpus, e.g.
-        // `@treebank:2:7` — handy for robustness demos without files.
-        Some(spec) if spec.starts_with('@') => match lotusx_datagen::parse_spec(spec) {
-            Some((dataset, scale, seed)) => {
-                let system = LotusX::load_document(lotusx_datagen::generate(dataset, scale, seed));
-                println!(
-                    "generated {dataset} corpus (scale {scale}, seed {seed}, {} elements)",
-                    system.index().stats().element_count
-                );
-                system
+        // Any corpus source works: `@dataset[:scale[:seed]]` for a seeded
+        // synthetic corpus (e.g. `@treebank:2:7`), a `.ltsx` snapshot for
+        // a millisecond cold boot, or an XML file.
+        Some(text) => {
+            let source = match text.parse::<CorpusSource>() {
+                Ok(source) => source,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+            match LotusX::open(&source) {
+                Ok(s) => {
+                    println!(
+                        "opened {source} ({} elements)",
+                        s.index().stats().element_count
+                    );
+                    s
+                }
+                Err(e) => {
+                    eprintln!("failed to open {source}: {e}");
+                    std::process::exit(1);
+                }
             }
-            None => {
-                eprintln!("bad corpus spec {spec}: expected @dblp|@xmark|@treebank[:scale[:seed]]");
-                std::process::exit(1);
-            }
-        },
-        Some(path) => match LotusX::load_file(path) {
-            Ok(s) => {
-                println!(
-                    "loaded {path} ({} elements)",
-                    s.index().stats().element_count
-                );
-                s
-            }
-            Err(e) => {
-                eprintln!("failed to load {path}: {e}");
-                std::process::exit(1);
-            }
-        },
+        }
         None => {
             println!("no file given; loaded the built-in sample bibliography");
             LotusX::load_str(SAMPLE).expect("sample is well-formed")
@@ -169,8 +165,11 @@ fn main() {
                 }
             }
             "serve" => serve_command(&system, rest),
-            "save" => match system.save_snapshot(rest) {
-                Ok(()) => println!("snapshot written to {rest}"),
+            "save" | "snapshot" => match system.save_snapshot(rest) {
+                Ok(()) => {
+                    let size = std::fs::metadata(rest).map(|m| m.len()).unwrap_or(0);
+                    println!("full-index snapshot written to {rest} ({size} bytes)");
+                }
                 Err(e) => println!("error: {e}"),
             },
             "keyword" => {
@@ -641,7 +640,9 @@ fn print_help() {
 one-shot queries:
   query <xpath>      run a query, e.g.  query //book[@year >= 2000]/title
   keyword <terms>    keyword search (ranked smallest covering subtrees)
-  save <path.ltsx>   write a binary snapshot (reopen with lotusx-cli <path.ltsx>)
+  snapshot <p.ltsx>  write a full-index snapshot; reopening it (lotusx-cli
+                     <p.ltsx>) cold-boots in milliseconds without a rebuild
+                     ('save' is an alias)
 observability:
   profile on|off     toggle metrics recording + per-query profiles
   explain <xpath>    run one query and print its stage-timing tree

@@ -2,42 +2,56 @@
 //!
 //! ```text
 //! lotusx-serve [--addr HOST:PORT] [--threads N] [--max-inflight N]
-//!              [--corpus @dataset[:scale[:seed]]] [--read-timeout-ms MS]
+//!              [--corpus SOURCE] [--read-timeout-ms MS]
+//! lotusx-serve --corpus SOURCE --snapshot save:PATH   # build, save, exit
+//! lotusx-serve --snapshot load:PATH                   # serve from snapshot
 //! lotusx-serve --probe HOST:PORT   # healthz + one query, exit 0/1
 //! lotusx-serve --stop HOST:PORT    # graceful remote shutdown
 //! ```
+//!
+//! `SOURCE` is any corpus source: `@dataset[:scale[:seed]]`, an XML
+//! file, or a `.ltsx` snapshot.
 //!
 //! The server prints `listening on <ADDR>` once bound (scripts wait for
 //! that line), then serves until it reads `quit` on stdin, receives
 //! `POST /shutdown`, or the process is killed. EOF on stdin parks the
 //! reader — backgrounding with `</dev/null` does not stop the server.
 
-use lotusx::LotusX;
+use lotusx::{CorpusSource, LotusX};
 use lotusx_serve::{client, ServeConfig, Server};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
-        Ok(Mode::Serve(config, corpus)) => serve(config, &corpus),
+        Ok(Mode::Serve(config, corpus, snapshot)) => serve(config, &corpus, snapshot),
         Ok(Mode::Probe(addr)) => probe(addr),
         Ok(Mode::Stop(addr)) => stop(addr),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: lotusx-serve [--addr HOST:PORT] [--threads N] [--max-inflight N] \
-                 [--corpus @dataset[:scale[:seed]]] [--read-timeout-ms MS]\n\
-                 \x20      lotusx-serve --probe HOST:PORT | --stop HOST:PORT"
+                 [--corpus SOURCE] [--snapshot save:PATH|load:PATH] [--read-timeout-ms MS]\n\
+                 \x20      lotusx-serve --probe HOST:PORT | --stop HOST:PORT\n\
+                 SOURCE: @dataset[:scale[:seed]] | file.xml | file.ltsx"
             );
             ExitCode::FAILURE
         }
     }
 }
 
+enum SnapshotAction {
+    /// Build the corpus, write the snapshot, exit without serving.
+    Save(PathBuf),
+    /// Serve from a snapshot instead of the `--corpus` source.
+    Load(PathBuf),
+}
+
 enum Mode {
-    Serve(ServeConfig, String),
+    Serve(ServeConfig, String, Option<SnapshotAction>),
     Probe(SocketAddr),
     Stop(SocketAddr),
 }
@@ -48,6 +62,7 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
         ..ServeConfig::default()
     };
     let mut corpus = "@dblp:1".to_string();
+    let mut snapshot = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -74,28 +89,63 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
                 config.read_timeout = Duration::from_millis(ms);
             }
             "--corpus" => corpus = value("--corpus")?,
+            "--snapshot" => {
+                let action = value("--snapshot")?;
+                snapshot = Some(match action.split_once(':') {
+                    Some(("save", path)) if !path.is_empty() => {
+                        SnapshotAction::Save(PathBuf::from(path))
+                    }
+                    Some(("load", path)) if !path.is_empty() => {
+                        SnapshotAction::Load(PathBuf::from(path))
+                    }
+                    _ => {
+                        return Err(format!(
+                            "--snapshot takes save:PATH or load:PATH, got {action:?}"
+                        ))
+                    }
+                });
+            }
             "--probe" => return Ok(Mode::Probe(parse_addr(&value("--probe")?)?)),
             "--stop" => return Ok(Mode::Stop(parse_addr(&value("--stop")?)?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Mode::Serve(config, corpus))
+    Ok(Mode::Serve(config, corpus, snapshot))
 }
 
 fn parse_addr(s: &str) -> Result<SocketAddr, String> {
     s.parse().map_err(|_| format!("bad address {s:?}"))
 }
 
-fn serve(config: ServeConfig, corpus: &str) -> ExitCode {
-    let Some((dataset, scale, seed)) = lotusx_datagen::parse_spec(corpus) else {
-        eprintln!(
-            "error: bad corpus spec {corpus:?} (expected @dblp|@xmark|@treebank[:scale[:seed]])"
-        );
-        return ExitCode::FAILURE;
+fn serve(config: ServeConfig, corpus: &str, snapshot: Option<SnapshotAction>) -> ExitCode {
+    let source = if let Some(SnapshotAction::Load(path)) = &snapshot {
+        CorpusSource::Snapshot(path.clone())
+    } else {
+        match corpus.parse::<CorpusSource>() {
+            Ok(source) => source,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     };
     lotusx_obs::set_enabled(true);
-    eprintln!("generating corpus {}:{scale}:{seed} ...", dataset.name());
-    let engine = LotusX::load_document(lotusx_datagen::generate(dataset, scale, seed));
+    eprintln!("opening corpus {source} ...");
+    let engine = match LotusX::open(&source) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("error: opening corpus {source} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(SnapshotAction::Save(path)) = &snapshot {
+        if let Err(e) = engine.save_snapshot(path) {
+            eprintln!("error: saving snapshot failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("snapshot saved to {}", path.display());
+        return ExitCode::SUCCESS;
+    }
     let server = match Server::bind(config) {
         Ok(server) => server,
         Err(e) => {

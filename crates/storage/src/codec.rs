@@ -61,6 +61,25 @@ pub fn fnv1a(data: &[u8]) -> u64 {
     hash
 }
 
+/// FNV-1a folded over little-endian 8-byte words, with the tail hashed
+/// byte-wise. One multiply per word instead of per byte makes this ~8x
+/// faster on megabyte payloads — it is the checksum of v2 snapshot
+/// sections, where verification sits on the cold-boot critical path.
+/// v1 files keep the byte-wise [`fnv1a`] for compatibility.
+pub fn fnv1a_words(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        hash ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    for &b in chunks.remainder() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +142,21 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
         assert_eq!(fnv1a(b"lotusx"), fnv1a(b"lotusx"));
+    }
+
+    #[test]
+    fn word_fnv_detects_flips_in_words_and_tail() {
+        assert_eq!(fnv1a_words(b""), 0xcbf2_9ce4_8422_2325);
+        let base: Vec<u8> = (0u16..1003).map(|b| (b % 251) as u8).collect();
+        let hash = fnv1a_words(&base);
+        assert_eq!(fnv1a_words(&base), hash);
+        // Flip one bit inside full words, at word boundaries, and in the
+        // 3-byte tail — every flip must change the hash.
+        for i in [0usize, 7, 8, 500, 999, 1000, 1002] {
+            let mut copy = base.clone();
+            copy[i] ^= 0x10;
+            assert_ne!(fnv1a_words(&copy), hash, "flip at {i} undetected");
+        }
+        assert_ne!(fnv1a_words(&base[..1002]), hash);
     }
 }

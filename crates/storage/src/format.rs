@@ -1,12 +1,11 @@
 //! The `LTSX` container format and document (de)serialization.
 
 use crate::codec::{fnv1a, get_string, get_varint, put_string, put_varint};
-use lotusx_index::IndexedDocument;
 use lotusx_xml::{Document, NodeId, NodeKind};
 use std::fmt;
 use std::io::{Read, Write};
 
-const MAGIC: &[u8; 4] = b"LTSX";
+pub(crate) const MAGIC: &[u8; 4] = b"LTSX";
 const VERSION: u8 = 1;
 
 /// Node-kind tags in the payload.
@@ -26,6 +25,8 @@ pub enum StorageError {
     UnsupportedVersion(u8),
     /// The payload checksum does not match the header.
     ChecksumMismatch,
+    /// A v2 snapshot contains a section id this build does not know.
+    UnknownSection(u64),
     /// Structurally invalid payload.
     Corrupt(&'static str),
 }
@@ -38,10 +39,12 @@ impl fmt::Display for StorageError {
             StorageError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported storage version {v} (this build reads ≤ {VERSION})"
+                    "unsupported storage version {v} (this build reads ≤ {})",
+                    crate::snapshot::SNAPSHOT_VERSION
                 )
             }
             StorageError::ChecksumMismatch => write!(f, "payload checksum mismatch (corrupt file)"),
+            StorageError::UnknownSection(id) => write!(f, "unknown snapshot section id {id}"),
             StorageError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
         }
     }
@@ -111,15 +114,20 @@ pub fn load_document_file(path: impl AsRef<std::path::Path>) -> Result<Document,
     load_document(std::io::BufReader::new(file))
 }
 
-/// Saves the document underlying an [`IndexedDocument`]. Indexes are
-/// derived data and are rebuilt on load.
-pub fn save_indexed(idx: &IndexedDocument, writer: impl Write) -> Result<(), StorageError> {
-    save_document(idx.document(), writer)
+/// Encodes a document into the v1 payload form: symbol table first, then
+/// the tree in preorder with explicit child counts. This is also the
+/// `DOCUMENT` section payload of a v2 snapshot.
+pub fn encode_document_payload(doc: &Document) -> Vec<u8> {
+    encode_payload(doc)
 }
 
-/// Loads a document and rebuilds all indexes.
-pub fn load_indexed(reader: impl Read) -> Result<IndexedDocument, StorageError> {
-    Ok(IndexedDocument::build(load_document(reader)?))
+/// Decodes a document payload (the inverse of [`encode_document_payload`]).
+///
+/// Node ids are assigned in strict preorder: the virtual document root is
+/// `NodeId::DOCUMENT` (index 0) and every other node gets the next index
+/// in document order. Serializers that embed node ids rely on this.
+pub fn decode_document_payload(payload: &[u8]) -> Result<Document, StorageError> {
+    decode_payload(payload)
 }
 
 fn encode_payload(doc: &Document) -> Vec<u8> {
@@ -350,14 +358,12 @@ mod tests {
     }
 
     #[test]
-    fn indexed_roundtrip_rebuilds_indexes() {
-        let idx = IndexedDocument::from_str("<bib><book><title>xml</title></book></bib>").unwrap();
-        let mut buf = Vec::new();
-        save_indexed(&idx, &mut buf).unwrap();
-        let back = load_indexed(&buf[..]).unwrap();
-        assert_eq!(back.stats().element_count, idx.stats().element_count);
-        assert_eq!(back.values().df("xml"), 1);
-        let title = back.document().symbols().get("title").unwrap();
-        assert_eq!(back.tags().frequency(title), 1);
+    fn document_payload_assigns_preorder_node_ids() {
+        let doc = Document::parse_str("<a><b>t</b><c x=\"1\"/></a>").unwrap();
+        let payload = encode_document_payload(&doc);
+        let back = decode_document_payload(&payload).unwrap();
+        assert_eq!(back.to_xml(), doc.to_xml());
+        // Preorder contract: re-encoding the decoded document is a fixpoint.
+        assert_eq!(encode_document_payload(&back), payload);
     }
 }

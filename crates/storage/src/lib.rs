@@ -3,12 +3,18 @@
 //! Compact binary persistence for LotusX documents, so a corpus parsed and
 //! cleaned once can be reopened without re-tokenizing XML.
 //!
-//! Format (`LTSX`, version 1): a fixed header (magic, version, payload
-//! length, FNV-1a-64 checksum) followed by a varint-encoded payload — the
-//! symbol table, then the tree in preorder with explicit child counts.
-//! Indexes are *derived* data and are deliberately not stored: rebuilding
-//! them on load ([`load_indexed`]) costs milliseconds (experiment E1) and
-//! keeps the format independent of index-layout evolution.
+//! Two container versions share the `LTSX` magic:
+//!
+//! - **v1** (document-only): a fixed header (magic, version, payload
+//!   length, FNV-1a-64 checksum) followed by a varint-encoded payload —
+//!   the symbol table, then the tree in preorder with explicit child
+//!   counts. Indexes are rebuilt on load.
+//! - **v2** (full-index snapshot, [`snapshot`]): a sectioned container
+//!   where each section (document, labels, columns, values, tries,
+//!   dataguide, stats) carries its own FNV-1a checksum, so the entire
+//!   index set loads via bulk reads with no re-parsing, re-labeling, or
+//!   stats re-walks. Section payload codecs live in `lotusx-index`; this
+//!   crate owns framing, version negotiation, and atomic file writes.
 //!
 //! ```
 //! use lotusx_storage::{load_document, save_document};
@@ -25,8 +31,13 @@
 
 pub mod codec;
 pub mod format;
+pub mod snapshot;
 
 pub use format::{
-    load_document, load_document_file, load_indexed, save_document, save_document_file,
-    save_indexed, StorageError,
+    decode_document_payload, encode_document_payload, load_document, load_document_file,
+    save_document, save_document_file, StorageError,
+};
+pub use snapshot::{
+    read_snapshot, read_snapshot_file, write_snapshot, write_snapshot_file, Section, Snapshot,
+    SNAPSHOT_VERSION,
 };

@@ -1,0 +1,415 @@
+//! Sectioned, versioned `LTSX` v2 snapshot container.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "LTSX" | version (1 byte, = 2) | varint section count
+//! then per section:
+//!   varint section id | varint payload length | u64 LE checksum | payload
+//!
+//! The v2 section checksum is [`fnv1a_words`] (FNV-1a folded over 8-byte
+//! words — one multiply per word keeps verification off the cold-boot
+//! critical path); v1 files keep the byte-wise [`fnv1a`].
+//! ```
+//!
+//! Each section payload carries its own checksum, so corruption is pinned
+//! to a section and detected before any payload decoding starts. Section
+//! *contents* are opaque at this layer — `lotusx-index` owns the codecs
+//! for every index structure; this module owns framing, checksums,
+//! version negotiation, and atomic file replacement.
+//!
+//! Version negotiation: v1 files (document-only, written by
+//! [`save_document`](crate::save_document)) are read as a single
+//! [`section::DOCUMENT`] section, so callers can fall back to rebuilding
+//! indexes from the tree. Versions above [`SNAPSHOT_VERSION`] are
+//! rejected with [`StorageError::UnsupportedVersion`]; section ids this
+//! build does not know are rejected with [`StorageError::UnknownSection`]
+//! rather than skipped — a snapshot is a coherent unit, and silently
+//! dropping a section would desynchronize the index set.
+
+use crate::codec::{fnv1a, fnv1a_words, put_varint};
+use crate::format::{StorageError, MAGIC};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The current snapshot container version.
+pub const SNAPSHOT_VERSION: u8 = 2;
+
+/// Section ids of the full-index snapshot.
+pub mod section {
+    /// The document tree (same payload encoding as the v1 format).
+    pub const DOCUMENT: u64 = 1;
+    /// Region / Dewey / extended-Dewey labels plus the tag transducer.
+    pub const LABELS: u64 = 2;
+    /// Struct-of-arrays region columns (per-tag arenas + max trees).
+    pub const COLUMNS: u64 = 3;
+    /// The value index: term postings, exact strings, numeric values.
+    pub const VALUES: u64 = 4;
+    /// Completion tries (tag + term) and the term table.
+    pub const TRIES: u64 = 5;
+    /// The DataGuide and the node → guide-node map.
+    pub const GUIDE: u64 = 6;
+    /// Document statistics and the `JoinStats` pair tables.
+    pub const STATS: u64 = 7;
+    /// Precomputed per-tag value-completion tries (the hot-tag cache).
+    /// Optional: older v2 files without it fall back to recomputing the
+    /// hot set on load.
+    pub const VALUE_TRIES: u64 = 8;
+
+    /// Every id this build understands.
+    pub const KNOWN: &[u64] = &[
+        DOCUMENT,
+        LABELS,
+        COLUMNS,
+        VALUES,
+        TRIES,
+        GUIDE,
+        STATS,
+        VALUE_TRIES,
+    ];
+}
+
+/// One framed snapshot section: an id plus its raw payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Section id (one of [`section::KNOWN`]).
+    pub id: u64,
+    /// Opaque payload bytes, checksummed by the container framing.
+    pub bytes: Vec<u8>,
+}
+
+/// A decoded snapshot container: the format version that was read plus
+/// its sections in file order. `version == 1` means a legacy
+/// document-only file, surfaced as a single [`section::DOCUMENT`]
+/// section whose payload still needs an index rebuild.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The container version the file was written with (1 or 2).
+    pub version: u8,
+    /// Sections in file order, checksums already verified.
+    pub sections: Vec<Section>,
+}
+
+impl Snapshot {
+    /// Returns the payload of the section with `id`, if present.
+    pub fn section(&self, id: u64) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.bytes.as_slice())
+    }
+}
+
+/// Writes a v2 snapshot container to `writer`.
+pub fn write_snapshot(mut writer: impl Write, sections: &[Section]) -> Result<(), StorageError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&[SNAPSHOT_VERSION])?;
+    let mut head = Vec::new();
+    put_varint(&mut head, sections.len() as u64);
+    writer.write_all(&head)?;
+    for s in sections {
+        head.clear();
+        put_varint(&mut head, s.id);
+        put_varint(&mut head, s.bytes.len() as u64);
+        writer.write_all(&head)?;
+        writer.write_all(&fnv1a_words(&s.bytes).to_le_bytes())?;
+        writer.write_all(&s.bytes)?;
+    }
+    Ok(())
+}
+
+/// Reads a snapshot container (v1 or v2) from `reader`, verifying every
+/// section checksum. See the module docs for the negotiation rules.
+pub fn read_snapshot(mut reader: impl Read) -> Result<Snapshot, StorageError> {
+    let mut head = [0u8; 5];
+    reader.read_exact(&mut head)?;
+    if &head[..4] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    match head[4] {
+        1 => {
+            let mut fixed = [0u8; 16];
+            reader.read_exact(&mut fixed)?;
+            let len = u64::from_le_bytes(fixed[..8].try_into().expect("8 bytes"));
+            let checksum = u64::from_le_bytes(fixed[8..].try_into().expect("8 bytes"));
+            let bytes = read_payload(&mut reader, len)?;
+            if fnv1a(&bytes) != checksum {
+                return Err(StorageError::ChecksumMismatch);
+            }
+            reject_trailing(&mut reader)?;
+            Ok(Snapshot {
+                version: 1,
+                sections: vec![Section {
+                    id: section::DOCUMENT,
+                    bytes,
+                }],
+            })
+        }
+        SNAPSHOT_VERSION => {
+            let count = read_varint(&mut reader)?;
+            // A snapshot holds a handful of sections; an absurd count is
+            // header corruption, not a big file.
+            if count > 1024 {
+                return Err(StorageError::Corrupt("implausible section count"));
+            }
+            let mut sections = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let id = read_varint(&mut reader)?;
+                if !section::KNOWN.contains(&id) {
+                    return Err(StorageError::UnknownSection(id));
+                }
+                let len = read_varint(&mut reader)?;
+                let mut sum = [0u8; 8];
+                reader.read_exact(&mut sum)?;
+                let bytes = read_payload(&mut reader, len)?;
+                if fnv1a_words(&bytes) != u64::from_le_bytes(sum) {
+                    return Err(StorageError::ChecksumMismatch);
+                }
+                sections.push(Section { id, bytes });
+            }
+            reject_trailing(&mut reader)?;
+            Ok(Snapshot {
+                version: SNAPSHOT_VERSION,
+                sections,
+            })
+        }
+        v => Err(StorageError::UnsupportedVersion(v)),
+    }
+}
+
+/// Reads a snapshot container from a file. The file is slurped in one
+/// read and parsed from memory — section payloads then land in
+/// exact-size buffers with no incremental growth, which matters on the
+/// cold-boot path.
+pub fn read_snapshot_file(path: impl AsRef<Path>) -> Result<Snapshot, StorageError> {
+    let data = std::fs::read(path)?;
+    read_snapshot(&data[..])
+}
+
+/// Atomically writes a v2 snapshot to `path`: the container is written
+/// to a temporary file in the same directory, fsynced, then renamed over
+/// the target. A crash mid-save can never leave a truncated snapshot at
+/// `path` — readers see either the old file or the complete new one.
+pub fn write_snapshot_file(
+    path: impl AsRef<Path>,
+    sections: &[Section],
+) -> Result<(), StorageError> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot.ltsx".to_string());
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut writer = std::io::BufWriter::new(file);
+        write_snapshot(&mut writer, sections)?;
+        writer.flush()?;
+        writer.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Reads exactly `len` payload bytes. `len` is untrusted (a corrupt
+/// header could demand terabytes), so the pre-allocation is capped —
+/// sections below the cap still get one exact-size buffer.
+fn read_payload(reader: &mut impl Read, len: u64) -> Result<Vec<u8>, StorageError> {
+    const PREALLOC_CAP: u64 = 1 << 26; // 64 MiB
+    let mut bytes = Vec::with_capacity(len.min(PREALLOC_CAP) as usize);
+    reader.take(len).read_to_end(&mut bytes)?;
+    if bytes.len() as u64 != len {
+        return Err(StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "section shorter than its header claims",
+        )));
+    }
+    Ok(bytes)
+}
+
+/// Reads one varint byte-by-byte from a stream (the framing layer reads
+/// incrementally; payload decoding uses the slice-based codec).
+fn read_varint(reader: &mut impl Read) -> Result<u64, StorageError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(StorageError::Corrupt("over-long varint"));
+        }
+        value |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn reject_trailing(reader: &mut impl Read) -> Result<(), StorageError> {
+    let mut probe = [0u8; 1];
+    match reader.read(&mut probe)? {
+        0 => Ok(()),
+        _ => Err(StorageError::Corrupt("trailing bytes after snapshot")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sections() -> Vec<Section> {
+        vec![
+            Section {
+                id: section::DOCUMENT,
+                bytes: vec![1, 2, 3, 4, 5],
+            },
+            Section {
+                id: section::STATS,
+                bytes: vec![],
+            },
+            Section {
+                id: section::COLUMNS,
+                bytes: (0..=255).collect(),
+            },
+        ]
+    }
+
+    fn encode(sections: &[Section]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, sections).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrips_sections_in_order() {
+        let sections = sample_sections();
+        let snap = read_snapshot(&encode(&sections)[..]).unwrap();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(snap.sections, sections);
+        assert_eq!(snap.section(section::STATS), Some(&[][..]));
+        assert_eq!(snap.section(section::GUIDE), None);
+    }
+
+    #[test]
+    fn reads_v1_files_as_a_document_section() {
+        let doc = lotusx_xml::Document::parse_str("<a><b>t</b></a>").unwrap();
+        let mut buf = Vec::new();
+        crate::save_document(&doc, &mut buf).unwrap();
+        let snap = read_snapshot(&buf[..]).unwrap();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.sections.len(), 1);
+        let payload = snap.section(section::DOCUMENT).unwrap();
+        let back = crate::decode_document_payload(payload).unwrap();
+        assert_eq!(back.to_xml(), doc.to_xml());
+    }
+
+    /// Table-driven corruption sweep: every tampering mode must produce
+    /// the right *typed* error, never a panic or a silent success.
+    #[test]
+    fn corruption_table() {
+        let good = encode(&sample_sections());
+        // Offsets: magic 0..4, version 4, count 5, then section 1:
+        // id 6, len 7, checksum 8..16, payload 16..21.
+        type Tamper = fn(&mut Vec<u8>);
+        type Expect = fn(&StorageError) -> bool;
+        let cases: &[(&str, Tamper, Expect)] = &[
+            (
+                "bad magic",
+                |b| b[0] = b'X',
+                |e| matches!(e, StorageError::BadMagic),
+            ),
+            (
+                "future version",
+                |b| b[4] = 9,
+                |e| matches!(e, StorageError::UnsupportedVersion(9)),
+            ),
+            (
+                "unknown section id",
+                |b| b[6] = 42,
+                |e| matches!(e, StorageError::UnknownSection(42)),
+            ),
+            (
+                "bit-flipped checksum",
+                |b| b[8] ^= 0x01,
+                |e| matches!(e, StorageError::ChecksumMismatch),
+            ),
+            (
+                "bit-flipped payload",
+                |b| b[17] ^= 0x80,
+                |e| matches!(e, StorageError::ChecksumMismatch),
+            ),
+            (
+                "truncated mid-section",
+                |b| b.truncate(b.len() - 7),
+                |e| matches!(e, StorageError::Io(_)),
+            ),
+            (
+                "truncated mid-header",
+                |b| b.truncate(10),
+                |e| matches!(e, StorageError::Io(_)),
+            ),
+            (
+                "empty file",
+                |b| b.clear(),
+                |e| matches!(e, StorageError::Io(_)),
+            ),
+            (
+                "trailing garbage",
+                |b| b.push(0xaa),
+                |e| matches!(e, StorageError::Corrupt(_)),
+            ),
+        ];
+        for (name, tamper, check) in cases {
+            let mut bytes = good.clone();
+            tamper(&mut bytes);
+            match read_snapshot(&bytes[..]) {
+                Ok(_) => panic!("{name}: corrupt snapshot read back successfully"),
+                Err(e) => assert!(check(&e), "{name}: wrong error kind: {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn implausible_section_count_is_corrupt() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"LTSX");
+        buf.push(SNAPSHOT_VERSION);
+        put_varint(&mut buf, 1_000_000);
+        assert!(matches!(
+            read_snapshot(&buf[..]),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_file_write_roundtrips_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("lotusx-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("full.ltsx");
+        let sections = sample_sections();
+        write_snapshot_file(&path, &sections).unwrap();
+        // Overwrite in place: the rename must replace the old file whole.
+        write_snapshot_file(&path, &sections).unwrap();
+        let snap = read_snapshot_file(&path).unwrap();
+        assert_eq!(snap.sections, sections);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -304,6 +304,15 @@ impl Document {
         })
     }
 
+    /// Creates a detached element from an already-interned tag symbol
+    /// with pre-resolved attributes. Bulk loaders (the snapshot decoder)
+    /// use this to skip the per-node hash lookup of [`Self::new_element`];
+    /// the caller must guarantee every symbol came from this document's
+    /// table.
+    pub fn new_element_with(&mut self, name: Symbol, attributes: Vec<(Symbol, String)>) -> NodeId {
+        self.push_node(NodeKind::Element { name, attributes })
+    }
+
     /// Creates a detached text node.
     pub fn new_text(&mut self, text: impl Into<String>) -> NodeId {
         self.push_node(NodeKind::Text(text.into()))
