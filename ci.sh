@@ -1,21 +1,63 @@
 #!/usr/bin/env bash
 # Offline CI: staged, self-timing. No network access required.
 #
-#   ./ci.sh          run every stage (fmt, clippy, build, test, smoke,
-#                    robust-smoke, telemetry-smoke, serve-smoke,
-#                    join-bench-smoke) and print a per-stage timing table
-#   ./ci.sh --fast   skip the release build and the smoke stages
+#   ./ci.sh                run every stage and print a per-stage timing table
+#   ./ci.sh --fast         skip the release build and the smoke stages
+#   ./ci.sh --stage NAME   run a single stage (repeatable, runs in order given)
+#   ./ci.sh --list         list stage names and exit
+#
+# Every run (also failed ones) writes target/ci_timing.json, a
+# machine-readable per-stage timing artifact, so the perf trajectory of
+# CI itself is trackable across PRs.
 #
 # Fails fast: the first failing stage aborts the run, names itself, and
 # still prints the timing table for the stages that ran.
 set -u
 
+# Stage registry, in default run order. --fast keeps only fmt, clippy
+# and test. A stage named X is implemented by the function stage_X
+# (dashes become underscores).
+ALL_STAGES=(fmt clippy build test smoke robust-smoke telemetry-smoke
+            serve-smoke soak-smoke join-bench-smoke snapshot-smoke)
+FAST_SKIP=(build smoke robust-smoke telemetry-smoke serve-smoke soak-smoke
+           join-bench-smoke snapshot-smoke)
+
 FAST=0
-for arg in "$@"; do
-    case "$arg" in
+ONLY_STAGES=()
+while [ $# -gt 0 ]; do
+    case "$1" in
         --fast) FAST=1 ;;
-        *) echo "unknown option: $arg (supported: --fast)" >&2; exit 2 ;;
+        --list)
+            printf '%s\n' "${ALL_STAGES[@]}"
+            exit 0
+            ;;
+        --stage)
+            if [ $# -lt 2 ]; then
+                echo "--stage requires a name (see --list)" >&2
+                exit 2
+            fi
+            shift
+            ONLY_STAGES+=("$1")
+            ;;
+        *) echo "unknown option: $1 (supported: --fast, --stage NAME, --list)" >&2; exit 2 ;;
     esac
+    shift
+done
+
+known_stage() {
+    local name s
+    name=$1
+    for s in "${ALL_STAGES[@]}"; do
+        [ "$s" = "$name" ] && return 0
+    done
+    return 1
+}
+
+for s in ${ONLY_STAGES[@]+"${ONLY_STAGES[@]}"}; do
+    if ! known_stage "$s"; then
+        echo "unknown stage: $s (see --list)" >&2
+        exit 2
+    fi
 done
 
 STAGE_NAMES=()
@@ -30,15 +72,44 @@ fmt_duration() {
     printf '%d.%03ds' $((ns / 1000000000)) $(((ns / 1000000) % 1000))
 }
 
+write_timing_json() {
+    # Machine-readable mirror of the summary table.
+    local out=target/ci_timing.json
+    mkdir -p target
+    {
+        echo '{'
+        echo '  "stages": ['
+        local i total=0 sep=""
+        for i in "${!STAGE_NAMES[@]}"; do
+            local ns=${STAGE_TIMES[$i]}
+            total=$((total + ns))
+            printf '%s    {"name": "%s", "ns": %d, "seconds": %d.%03d}' \
+                "$sep" "${STAGE_NAMES[$i]}" "$ns" $((ns / 1000000000)) $(((ns / 1000000) % 1000))
+            sep=$',\n'
+        done
+        [ ${#STAGE_NAMES[@]} -gt 0 ] && echo
+        echo '  ],'
+        printf '  "total_ns": %d,\n' "$total"
+        if [ -n "$FAILED_STAGE" ]; then
+            printf '  "failed_stage": "%s"\n' "$FAILED_STAGE"
+        else
+            printf '  "failed_stage": null\n'
+        fi
+        echo '}'
+    } > "$out"
+}
+
 print_summary() {
     echo
     echo "=== ci summary ==="
     local i total=0
     for i in "${!STAGE_NAMES[@]}"; do
-        printf '  %-14s %10s\n' "${STAGE_NAMES[$i]}" "$(fmt_duration "${STAGE_TIMES[$i]}")"
+        printf '  %-16s %10s\n' "${STAGE_NAMES[$i]}" "$(fmt_duration "${STAGE_TIMES[$i]}")"
         total=$((total + STAGE_TIMES[i]))
     done
-    printf '  %-14s %10s\n' "total" "$(fmt_duration "$total")"
+    printf '  %-16s %10s\n' "total" "$(fmt_duration "$total")"
+    write_timing_json
+    echo "timing artifact: target/ci_timing.json"
     if [ -n "$FAILED_STAGE" ]; then
         echo "FAILED at stage: $FAILED_STAGE"
     else
@@ -81,7 +152,7 @@ stage_build() {
 }
 
 stage_test() {
-    cargo test -q &&
+    # One workspace invocation covers the root package too.
     cargo test --workspace -q
 }
 
@@ -132,10 +203,11 @@ stage_telemetry_smoke() {
 }
 
 # Serving smoke: boot the lotusx-serve binary on an ephemeral loopback
-# port, wait for its "listening on" line, hit /healthz and run one query
-# through the raw-socket test client (--probe), then stop it gracefully
-# over HTTP (--stop) and check it exits cleanly. Offline, loopback-only,
-# no curl.
+# port, wait for its "listening on" line (CI_WAIT_SECS overrides the
+# default 10s bind wait on slow machines), hit /healthz and run one
+# query through the raw-socket test client (--probe), then stop it
+# gracefully over HTTP (--stop) and check it exits cleanly. Offline,
+# loopback-only, no curl.
 stage_serve_smoke() {
     # The root `cargo build --release` does not build dependency crates'
     # binaries; make sure the server binary exists (no-op when cached).
@@ -144,26 +216,29 @@ stage_serve_smoke() {
     rm -f "$log"
     ./target/release/lotusx-serve --addr 127.0.0.1:0 --corpus @dblp:1 </dev/null >"$log" 2>&1 &
     local pid=$!
+    local wait_secs="${CI_WAIT_SECS:-10}"
+    local tries=$((wait_secs * 10))
+    [ "$tries" -lt 1 ] && tries=1
     local addr="" i
-    for i in $(seq 1 100); do
+    for i in $(seq 1 "$tries"); do
         addr=$(sed -n 's/^listening on //p' "$log")
         [ -n "$addr" ] && break
         if ! kill -0 "$pid" 2>/dev/null; then
-            echo "serve-smoke: server exited before binding" >&2
-            cat "$log" >&2
+            echo "serve-smoke: server exited before binding; log tail:" >&2
+            tail -n 40 "$log" >&2
             return 1
         fi
         sleep 0.1
     done
     if [ -z "$addr" ]; then
-        echo "serve-smoke: server never printed its address" >&2
-        cat "$log" >&2
+        echo "serve-smoke: server never printed its address within ${wait_secs}s; log tail:" >&2
+        tail -n 40 "$log" >&2
         kill "$pid" 2>/dev/null
         return 1
     fi
     if ! ./target/release/lotusx-serve --probe "$addr"; then
-        echo "serve-smoke: probe failed" >&2
-        cat "$log" >&2
+        echo "serve-smoke: probe failed; log tail:" >&2
+        tail -n 40 "$log" >&2
         kill "$pid" 2>/dev/null
         return 1
     fi
@@ -171,11 +246,24 @@ stage_serve_smoke() {
     local status=0
     wait "$pid" || status=$?
     if [ $status -ne 0 ]; then
-        echo "serve-smoke: server exited with status $status" >&2
-        cat "$log" >&2
+        echo "serve-smoke: server exited with status $status; log tail:" >&2
+        tail -n 40 "$log" >&2
         return 1
     fi
     grep -q '^stopped:' "$log"
+}
+
+# Connection soak: the quick-mode lotusx-soak run holds 1000 concurrent
+# connections (mixed keep-alive / one-shot / slow-reader / slow-loris
+# clients) against the event-loop server on loopback and exits nonzero
+# unless accounting is exact: zero panics, accepted == client connects,
+# rejected == the loris count, bounded memory. The full soak is
+# `lotusx-soak --soak` for local runs.
+stage_soak_smoke() {
+    cargo build --release -p lotusx-serve --bin lotusx-soak || return 1
+    # ~2k fds live in this process during the soak; raise the soft
+    # limit if the environment allows it (best-effort).
+    ( ulimit -n 8192 2>/dev/null; exec ./target/release/lotusx-soak )
 }
 
 # Join-engine smoke: the head-to-head benchmark in --quick mode (scale 1,
@@ -196,19 +284,26 @@ stage_snapshot_smoke() {
     cargo run --release -p lotusx-bench --bin snapshot-bench -- --quick
 }
 
-run_stage fmt    stage_fmt
-run_stage clippy stage_clippy
-if [ "$FAST" -eq 0 ]; then
-    run_stage build stage_build
-fi
-run_stage test   stage_test
-if [ "$FAST" -eq 0 ]; then
-    run_stage smoke           stage_smoke
-    run_stage robust-smoke    stage_robust_smoke
-    run_stage telemetry-smoke stage_telemetry_smoke
-    run_stage serve-smoke     stage_serve_smoke
-    run_stage join-bench-smoke stage_join_bench_smoke
-    run_stage snapshot-smoke  stage_snapshot_smoke
+fast_skips() {
+    local name s
+    name=$1
+    for s in "${FAST_SKIP[@]}"; do
+        [ "$s" = "$name" ] && return 0
+    done
+    return 1
+}
+
+if [ ${#ONLY_STAGES[@]} -gt 0 ]; then
+    for s in "${ONLY_STAGES[@]}"; do
+        run_stage "$s" "stage_${s//-/_}"
+    done
+else
+    for s in "${ALL_STAGES[@]}"; do
+        if [ "$FAST" -eq 1 ] && fast_skips "$s"; then
+            continue
+        fi
+        run_stage "$s" "stage_${s//-/_}"
+    done
 fi
 
 print_summary

@@ -3,6 +3,8 @@
 //! ```text
 //! lotusx-serve [--addr HOST:PORT] [--threads N] [--max-inflight N]
 //!              [--corpus SOURCE] [--read-timeout-ms MS]
+//!              [--write-timeout-ms MS] [--idle-timeout-ms MS]
+//!              [--backend auto|poll|epoll]
 //! lotusx-serve --corpus SOURCE --snapshot save:PATH   # build, save, exit
 //! lotusx-serve --snapshot load:PATH                   # serve from snapshot
 //! lotusx-serve --probe HOST:PORT   # healthz + one query, exit 0/1
@@ -34,7 +36,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: lotusx-serve [--addr HOST:PORT] [--threads N] [--max-inflight N] \
-                 [--corpus SOURCE] [--snapshot save:PATH|load:PATH] [--read-timeout-ms MS]\n\
+                 [--corpus SOURCE] [--snapshot save:PATH|load:PATH] [--read-timeout-ms MS] \
+                 [--write-timeout-ms MS] [--idle-timeout-ms MS] [--backend auto|poll|epoll]\n\
                  \x20      lotusx-serve --probe HOST:PORT | --stop HOST:PORT\n\
                  SOURCE: @dataset[:scale[:seed]] | file.xml | file.ltsx"
             );
@@ -88,6 +91,19 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
                     .map_err(|_| "--read-timeout-ms must be an integer".to_string())?;
                 config.read_timeout = Duration::from_millis(ms);
             }
+            "--write-timeout-ms" => {
+                let ms: u64 = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--write-timeout-ms must be an integer".to_string())?;
+                config.write_timeout = Duration::from_millis(ms);
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout-ms must be an integer".to_string())?;
+                config.idle_timeout = Duration::from_millis(ms);
+            }
+            "--backend" => config.backend = lotusx_serve::Backend::parse(&value("--backend")?)?,
             "--corpus" => corpus = value("--corpus")?,
             "--snapshot" => {
                 let action = value("--snapshot")?;

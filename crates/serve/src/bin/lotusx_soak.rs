@@ -1,0 +1,548 @@
+//! The `lotusx-soak` binary: a connection soak against the event-loop
+//! server on loopback.
+//!
+//! ```text
+//! lotusx-soak [--soak] [--conns N] [--backend auto|poll|epoll]
+//! ```
+//!
+//! Starts an in-process server on an ephemeral port and drives a mixed
+//! fleet of client state machines from a single thread (reusing the
+//! crate's own readiness poller, so the harness itself scales to the
+//! connection counts it tests):
+//!
+//! * **keep-alive** clients: several requests on one socket, the last
+//!   with `Connection: close`;
+//! * **one-shot** clients: `Connection: close` requests with reconnect
+//!   churn;
+//! * **slow readers**: send a query, then leave the response unread for
+//!   a while before draining it;
+//! * **slow-loris** clients: a partial request head and then silence —
+//!   each must be answered `408` exactly once.
+//!
+//! The default quick mode (the `soak-smoke` CI stage) holds 1000
+//! concurrent connections; `--soak` is the longer local run. Exit code
+//! 0 means every assertion held: zero panics, *exact* accept/request/
+//! reject accounting against the server's counters, every response the
+//! expected status, and bounded memory growth.
+
+use lotusx::LotusX;
+use lotusx_serve::client::{self, parse_response, Response};
+use lotusx_serve::poller::{Backend, Interest, PollEvent, Poller};
+use lotusx_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const CORPUS: &str = "<bib><book><author>knuth</author><title>taocp</title></book>\
+                      <book><author>lamport</author><title>latex</title></book></bib>";
+const QUERY: &str = "{\"text\":\"knuth\",\"kind\":\"keyword\",\"top_k\":1}";
+
+/// Soak dimensions; `quick()` is the CI stage, `full()` is `--soak`.
+struct Profile {
+    conns: usize,
+    keepalive_rounds: u64,
+    oneshot_reconnects: u64,
+    traffic_deadline: Duration,
+}
+
+impl Profile {
+    fn quick() -> Profile {
+        Profile {
+            conns: 1000,
+            keepalive_rounds: 3,
+            oneshot_reconnects: 2,
+            traffic_deadline: Duration::from_secs(60),
+        }
+    }
+
+    fn full() -> Profile {
+        Profile {
+            conns: 2000,
+            keepalive_rounds: 25,
+            oneshot_reconnects: 10,
+            traffic_deadline: Duration::from_secs(300),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut profile = Profile::quick();
+    let mut backend = Backend::Auto;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--soak" => profile = Profile::full(),
+            "--conns" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => profile.conns = n,
+                _ => return usage("--conns requires a positive integer"),
+            },
+            "--backend" => match iter.next().map(|v| Backend::parse(v)) {
+                Some(Ok(b)) => backend = b,
+                _ => return usage("--backend requires auto|poll|epoll"),
+            },
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    match soak(&profile, backend) {
+        Ok(()) => {
+            println!("soak ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("soak FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: lotusx-soak [--soak] [--conns N] [--backend auto|poll|epoll]");
+    ExitCode::FAILURE
+}
+
+/// What one simulated client is doing.
+enum Kind {
+    KeepAlive { rounds_left: u64 },
+    OneShot { reconnects_left: u64 },
+    SlowReader,
+    SlowLoris,
+}
+
+/// One client state machine, driven by readiness events.
+struct Client {
+    stream: TcpStream,
+    kind: Kind,
+    out: Vec<u8>,
+    outpos: usize,
+    inbuf: Vec<u8>,
+    /// Keep the response unread until this instant (slow readers).
+    resume_at: Option<Instant>,
+    /// The response was read; now expect a server-side close.
+    await_eof: bool,
+    done: bool,
+    /// Interest currently registered (skip no-op `modify` syscalls).
+    interest: Interest,
+}
+
+/// Client-side ground truth, compared exactly against the server's own
+/// counters at the end.
+#[derive(Default)]
+struct Ledger {
+    connects: u64,
+    requests_sent: u64,
+    ok_responses: u64,
+    loris_408s: u64,
+    errors: u64,
+}
+
+fn soak(profile: &Profile, backend: Backend) -> Result<(), String> {
+    let engine = LotusX::load_str(CORPUS).map_err(|e| format!("corpus: {e}"))?;
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        max_inflight: profile.conns * 2,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        idle_timeout: Duration::from_secs(120),
+        backend,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let handle = server.handle();
+    let addr = server.local_addr();
+    let rss_before = vm_rss_kb();
+
+    let result = std::thread::scope(|scope| {
+        scope.spawn(|| server.run(&engine));
+        let out = drive(profile, addr, &handle);
+        handle.shutdown();
+        out
+    });
+    let ledger = result?;
+
+    // --- exact accounting against the server's own counters ---
+    let stats = handle.stats();
+    // One loris per block of ten clients (i % 10 == 9 in the mix).
+    let loris = (profile.conns / 10) as u64;
+    let mut failures = Vec::new();
+    let mut check = |name: &str, got: u64, want: u64| {
+        if got != want {
+            failures.push(format!("{name}: got {got}, want {want}"));
+        }
+    };
+    check("panics", stats.panics, 0);
+    check("client-side errors", ledger.errors, 0);
+    check(
+        "connections_accepted",
+        stats.connections_accepted,
+        ledger.connects,
+    );
+    check("requests", stats.requests, ledger.requests_sent);
+    check("rejected (loris 408s)", stats.rejected, loris);
+    check("client 408s", ledger.loris_408s, loris);
+    check(
+        "200 responses",
+        ledger.ok_responses,
+        ledger.requests_sent - 1, // the /stats probe checks its own body
+    );
+    check("read_timeouts", stats.read_timeouts, loris);
+    check("open connections after drain", stats.connections_open, 0);
+    if let (Some(before), Some(after)) = (rss_before, vm_rss_kb()) {
+        let grown = after.saturating_sub(before);
+        if grown > 256 * 1024 {
+            failures.push(format!("VmRSS grew {grown} KiB (cap 256 MiB)"));
+        }
+        println!("rss: {before} KiB -> {after} KiB (+{grown} KiB)");
+    }
+    println!(
+        "accepted={} requests={} rejected={} keepalive_reuses={} max_ready_batch={}",
+        stats.connections_accepted,
+        stats.requests,
+        stats.rejected,
+        stats.keepalive_reuses,
+        stats.max_ready_batch
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+/// Runs the client fleet; returns the client-side ledger.
+fn drive(
+    profile: &Profile,
+    addr: SocketAddr,
+    handle: &lotusx_serve::ServerHandle,
+) -> Result<Ledger, String> {
+    let mut ledger = Ledger::default();
+    let mut poller = Poller::new(Backend::Auto).map_err(|e| format!("client poller: {e}"))?;
+    let mut clients: Vec<Option<Client>> = Vec::with_capacity(profile.conns);
+
+    // Phase 1: connect the whole fleet before any traffic, in batches
+    // so the accept backlog never overflows.
+    for i in 0..profile.conns {
+        let kind = match i % 10 {
+            0..=3 => Kind::KeepAlive {
+                rounds_left: profile.keepalive_rounds,
+            },
+            4..=6 => Kind::OneShot {
+                reconnects_left: profile.oneshot_reconnects,
+            },
+            7..=8 => Kind::SlowReader,
+            _ => Kind::SlowLoris,
+        };
+        let client = connect(addr, kind, &mut ledger)?;
+        poller
+            .register(fd(&client.stream), i, Interest::READ)
+            .map_err(|e| format!("register: {e}"))?;
+        clients.push(Some(client));
+        if i % 100 == 99 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // Phase 2: with every socket connected and silent, the server must
+    // be holding the whole fleet open concurrently.
+    let stats_probe = client::get(addr, "/stats").map_err(|e| format!("stats probe: {e}"))?;
+    ledger.connects += 1;
+    ledger.requests_sent += 1;
+    if stats_probe.status != 200 {
+        return Err(format!("stats probe answered {}", stats_probe.status));
+    }
+    let open = extract_counter(&stats_probe.body_text(), "connections_open")
+        .ok_or("stats probe: no connections_open counter")?;
+    if (open as usize) < profile.conns {
+        return Err(format!(
+            "only {open} connections open concurrently, want >= {}",
+            profile.conns
+        ));
+    }
+    println!("holding {open} concurrent connections");
+
+    // Phase 3: traffic. Load initial requests, then drive to done.
+    for (i, slot) in clients.iter_mut().enumerate() {
+        let c = slot.as_mut().expect("fleet fully connected");
+        load_request(c, &mut ledger);
+        flush_client(c);
+        sync_interest(&mut poller, i, c);
+    }
+    let deadline = Instant::now() + profile.traffic_deadline;
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut live = clients.len();
+    while live > 0 {
+        if Instant::now() > deadline {
+            return Err(format!("traffic phase timed out with {live} clients live"));
+        }
+        poller
+            .wait(&mut events, Some(Duration::from_millis(25)))
+            .map_err(|e| format!("client wait: {e}"))?;
+        for ev in &events {
+            let Some(c) = clients[ev.token].as_mut() else {
+                continue;
+            };
+            if ev.writable {
+                flush_client(c);
+            }
+            if ev.readable || ev.hangup {
+                pump_read(c, &mut ledger);
+            }
+            step(c, &mut ledger);
+        }
+        // Time-based transitions: slow readers resuming.
+        let now = Instant::now();
+        for (i, slot) in clients.iter_mut().enumerate() {
+            let mut finished = false;
+            let mut reconnect = false;
+            if let Some(c) = slot.as_mut() {
+                if c.resume_at.is_some_and(|t| now >= t) {
+                    c.resume_at = None;
+                    pump_read(c, &mut ledger);
+                    step(c, &mut ledger);
+                }
+                if c.done {
+                    finished = true;
+                    reconnect = matches!(
+                        c.kind,
+                        Kind::OneShot { reconnects_left } if reconnects_left > 0
+                    );
+                }
+            }
+            if finished {
+                let old = slot.take().expect("checked");
+                poller.deregister(fd(&old.stream)).ok();
+                if reconnect {
+                    let Kind::OneShot { reconnects_left } = old.kind else {
+                        unreachable!()
+                    };
+                    drop(old);
+                    let mut fresh = connect(
+                        addr,
+                        Kind::OneShot {
+                            reconnects_left: reconnects_left - 1,
+                        },
+                        &mut ledger,
+                    )?;
+                    load_request(&mut fresh, &mut ledger);
+                    flush_client(&mut fresh);
+                    poller
+                        .register(fd(&fresh.stream), i, Interest::READ)
+                        .map_err(|e| format!("re-register: {e}"))?;
+                    sync_interest(&mut poller, i, &mut fresh);
+                    *slot = Some(fresh);
+                } else {
+                    live -= 1;
+                }
+            } else if let Some(c) = slot.as_mut() {
+                sync_interest(&mut poller, i, c);
+            }
+        }
+        if handle.stats().panics > 0 {
+            return Err("server panicked mid-soak".to_string());
+        }
+    }
+    Ok(ledger)
+}
+
+fn connect(addr: SocketAddr, kind: Kind, ledger: &mut Ledger) -> Result<Client, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking: {e}"))?;
+    ledger.connects += 1;
+    Ok(Client {
+        stream,
+        kind,
+        out: Vec::new(),
+        outpos: 0,
+        inbuf: Vec::new(),
+        resume_at: None,
+        await_eof: false,
+        done: false,
+        interest: Interest::READ,
+    })
+}
+
+/// Queues this client's next request per its kind.
+fn load_request(c: &mut Client, ledger: &mut Ledger) {
+    match &mut c.kind {
+        Kind::KeepAlive { rounds_left } => {
+            let last = *rounds_left <= 1;
+            let conn_header = if last { "Connection: close\r\n" } else { "" };
+            c.out =
+                format!("GET /healthz HTTP/1.1\r\nHost: soak\r\n{conn_header}\r\n").into_bytes();
+            ledger.requests_sent += 1;
+        }
+        Kind::OneShot { .. } => {
+            c.out = b"GET /healthz HTTP/1.1\r\nHost: soak\r\nConnection: close\r\n\r\n".to_vec();
+            ledger.requests_sent += 1;
+        }
+        Kind::SlowReader => {
+            c.out = format!(
+                "POST /query HTTP/1.1\r\nHost: soak\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{QUERY}",
+                QUERY.len()
+            )
+            .into_bytes();
+            // Leave the response unread for a while once it lands.
+            c.resume_at = Some(Instant::now() + Duration::from_millis(300));
+            ledger.requests_sent += 1;
+        }
+        Kind::SlowLoris => {
+            // A partial head and then silence: the read deadline must
+            // answer 408. Not counted as a request — it never parses.
+            c.out = b"GET /healthz HT".to_vec();
+        }
+    }
+    c.outpos = 0;
+}
+
+/// Writes as much of the queued request as the socket accepts.
+fn flush_client(c: &mut Client) {
+    while c.outpos < c.out.len() {
+        match (&c.stream).write(&c.out[c.outpos..]) {
+            Ok(0) => {
+                c.done = true;
+                return;
+            }
+            Ok(n) => c.outpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // The server may close mid-write (loris 408); the
+                // response, if any, is already readable.
+                return;
+            }
+        }
+    }
+}
+
+/// Reads whatever the socket has (unless the client is deliberately
+/// sitting on it).
+fn pump_read(c: &mut Client, ledger: &mut Ledger) {
+    if c.resume_at.is_some() {
+        return;
+    }
+    let mut chunk = [0u8; 4096];
+    loop {
+        match (&c.stream).read(&mut chunk) {
+            Ok(0) => {
+                finish_on_eof(c, ledger);
+                return;
+            }
+            Ok(n) => c.inbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                finish_on_eof(c, ledger);
+                return;
+            }
+        }
+    }
+}
+
+fn finish_on_eof(c: &mut Client, ledger: &mut Ledger) {
+    if !c.await_eof {
+        // Try to salvage a buffered response (loris replies arrive
+        // together with the close).
+        step(c, ledger);
+    }
+    if !c.done && !c.await_eof {
+        ledger.errors += 1;
+    }
+    c.done = true;
+}
+
+/// Advances the state machine over any complete buffered response.
+fn step(c: &mut Client, ledger: &mut Ledger) {
+    if c.done || c.resume_at.is_some() {
+        return;
+    }
+    loop {
+        let parsed = match parse_response(&c.inbuf) {
+            Ok(Some((response, used))) => {
+                c.inbuf.drain(..used);
+                Some(response)
+            }
+            Ok(None) => None,
+            Err(_) => {
+                ledger.errors += 1;
+                c.done = true;
+                return;
+            }
+        };
+        let Some(response) = parsed else { return };
+        on_response(c, response, ledger);
+        if c.done || c.await_eof {
+            return;
+        }
+    }
+}
+
+fn on_response(c: &mut Client, response: Response, ledger: &mut Ledger) {
+    match &mut c.kind {
+        Kind::KeepAlive { rounds_left } => {
+            if response.status == 200 {
+                ledger.ok_responses += 1;
+            } else {
+                ledger.errors += 1;
+            }
+            *rounds_left -= 1;
+            if *rounds_left == 0 {
+                c.await_eof = true;
+            } else {
+                load_request(c, ledger);
+                flush_client(c);
+            }
+        }
+        Kind::OneShot { .. } | Kind::SlowReader => {
+            if response.status == 200 {
+                ledger.ok_responses += 1;
+            } else {
+                ledger.errors += 1;
+            }
+            c.await_eof = true;
+        }
+        Kind::SlowLoris => {
+            if response.status == 408 {
+                ledger.loris_408s += 1;
+            } else {
+                ledger.errors += 1;
+            }
+            c.await_eof = true;
+        }
+    }
+}
+
+fn sync_interest(poller: &mut Poller, token: usize, c: &mut Client) {
+    let interest = Interest {
+        readable: c.resume_at.is_none(),
+        writable: c.outpos < c.out.len(),
+    };
+    if interest != c.interest {
+        c.interest = interest;
+        poller.modify(fd(&c.stream), token, interest).ok();
+    }
+}
+
+fn fd(stream: &TcpStream) -> std::os::fd::RawFd {
+    use std::os::fd::AsRawFd;
+    stream.as_raw_fd()
+}
+
+/// Pulls one numeric counter out of the /stats JSON body.
+fn extract_counter(body: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let rest = &body[body.find(&key)? + key.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Resident set size in KiB (Linux); `None` elsewhere.
+fn vm_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}

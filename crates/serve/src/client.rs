@@ -1,8 +1,10 @@
 //! A minimal blocking HTTP/1.1 client for tests, smoke checks, and the
 //! `--probe`/`--stop` modes of the `lotusx-serve` binary.
 //!
-//! Like the server, it speaks a one-request-per-connection subset of
-//! HTTP/1.1 and depends on nothing outside `std::net`. It is *not* a
+//! Like the server, it speaks a small subset of HTTP/1.1 and depends on
+//! nothing outside `std::net`. [`get`]/[`post`] send `Connection:
+//! close` one-shots; [`Conn`] holds a keep-alive connection open for
+//! multiple (optionally pipelined) requests. It is *not* a
 //! general-purpose client — it exists so the end-to-end test suite and
 //! the CI smoke stage can exercise the real wire protocol without curl.
 
@@ -189,4 +191,147 @@ pub fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Attempts to parse one complete response out of `buf`.
+///
+/// Returns the response and how many bytes it occupied (the remainder
+/// belongs to the next pipelined response), or `None` when more bytes
+/// are needed. Responses from this server always carry
+/// `Content-Length`, so framing never needs EOF.
+pub fn parse_response(buf: &[u8]) -> io::Result<Option<(Response, usize)>> {
+    let Some(header_end) = find_header_end(buf) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response without content-length",
+            )
+        })?;
+    let body_start = header_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    Ok(Some((
+        Response {
+            status,
+            headers,
+            body,
+        },
+        body_start + content_length,
+    )))
+}
+
+/// A keep-alive connection: multiple requests over one socket, with
+/// support for pipelining (send several, then read the responses in
+/// order). Requests are sent *without* `Connection: close`, so an
+/// HTTP/1.1 server keeps the socket open between them.
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    /// Connects with the default client timeout.
+    pub fn connect(addr: SocketAddr) -> io::Result<Conn> {
+        Conn::connect_timeout(addr, CLIENT_TIMEOUT)
+    }
+
+    /// Connects with an explicit socket read/write timeout.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Conn {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one keep-alive request without waiting for the response
+    /// (pipelining = several `send`s before the first `read_one`).
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<()> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: lotusx\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        if let Some(body) = body {
+            out.extend_from_slice(body);
+        }
+        self.send_raw(&out)
+    }
+
+    /// Writes raw bytes as-is (for protocol tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads the next in-order response, leaving any pipelined
+    /// follow-up bytes buffered for the next call.
+    pub fn read_one(&mut self) -> io::Result<Response> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some((response, used)) = parse_response(&self.buf)? {
+                self.buf.drain(..used);
+                return Ok(response);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Half-closes the write side (tells the server "no more
+    /// requests"); buffered responses can still be read.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Was the connection closed by the server? Reads one byte
+    /// (blocking up to the socket timeout): `Ok(true)` on clean EOF.
+    pub fn at_eof(&mut self) -> io::Result<bool> {
+        let mut byte = [0u8; 1];
+        match self.stream.read(&mut byte) {
+            Ok(0) => Ok(true),
+            Ok(n) => {
+                self.buf.extend_from_slice(&byte[..n]);
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The underlying stream (for timeout tweaks in tests).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
 }

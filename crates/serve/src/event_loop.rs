@@ -1,0 +1,927 @@
+//! The single-threaded connection event loop: accept, read, parse,
+//! dispatch, write — all nonblocking.
+//!
+//! # State machine
+//!
+//! Every connection is in exactly one of these states, tracked by plain
+//! fields on [`Conn`] rather than an enum so transitions stay cheap:
+//!
+//! ```text
+//!           accept (admitted)                accept (gate full)
+//!                 │                                 │
+//!                 ▼                                 ▼
+//!             ┌───────┐   parse complete       ┌─────────┐
+//!      ┌─────▶│READING│──────────────────────▶ │REJECTING│ (429/4xx/408:
+//!      │      └───────┘   (job → workers)      └────┬────┘  flush, close)
+//!      │          │ ▲                               │
+//!  new bytes      │ └────────────┐                  ▼
+//! (re-admit)      ▼              │               closed
+//!      │      ┌───────┐  done  ┌─┴─────┐
+//!      │      │PENDING│───────▶│FLUSH  │──▶ close (Connection: close,
+//!      │      └───────┘        └─┬─────┘           EOF, error, stop)
+//!      │   (compute on worker)   │ drained, keep-alive
+//!      │                         ▼
+//!      │                      ┌──────┐
+//!      └──────────────────────│ IDLE │──▶ idle deadline → close
+//!                             └──────┘
+//! ```
+//!
+//! * **READING** — accumulating bytes until [`crate::http::parse_request`]
+//!   frames a request. The read deadline re-arms on every received byte;
+//!   firing answers `408` (a slow-loris costs a buffer, not a thread).
+//! * **PENDING** — exactly one request is on the worker pool. Pipelined
+//!   bytes keep accumulating (up to the input-buffer cap) but are not
+//!   parsed until the response is enqueued, which keeps responses in
+//!   request order with no reorder machinery.
+//! * **FLUSH** — response bytes draining to the socket. On `WouldBlock`
+//!   the loop registers write interest and arms the write-stall
+//!   deadline; a peer that stops reading for too long is dropped.
+//! * **IDLE** — a keep-alive connection between requests. It gives up
+//!   its admission slot (so parked connections never starve new ones)
+//!   and is closed when the idle deadline fires.
+//!
+//! # Admission
+//!
+//! The `429` gate counts connections *actively being served* (admitted
+//! and not idle). It is checked only here, on the loop thread, at
+//! accept and at idle→reading re-entry — single-threaded, so the gate
+//! is exact and never over-admits. Re-entry from idle is always
+//! admitted (the connection already proved it holds a well-behaved
+//! client; refusing mid-stream would break pipelining), so `active` can
+//! transiently exceed `max_inflight` only via re-admissions, never via
+//! new connections.
+//!
+//! # Backpressure
+//!
+//! Read side: once a connection buffers more than
+//! [`crate::http::Limits::input_buffer_cap`] unparsed bytes, the loop
+//! drops read interest until the buffer drains below the cap. Write
+//! side: `WouldBlock` suspends the flush until the socket signals
+//! writable, bounded by the write-stall deadline. Both are per
+//! connection; one stalled peer never affects another.
+
+use crate::http::{self, ParseStatus, Reject};
+use crate::poller::{Interest, PollEvent, Poller};
+use crate::server::Server;
+use crate::timer::{Fired, TimerWheel};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Token for the listening socket.
+const TOKEN_LISTENER: usize = usize::MAX;
+/// Token for the loop-wakeup pipe.
+const TOKEN_WAKER: usize = usize::MAX - 1;
+/// The loop never sleeps longer than this, so a lost wakeup can delay
+/// (never lose) a stop request or completion by at most one lap.
+const MAX_WAIT: Duration = Duration::from_millis(500);
+
+/// A parsed request handed to the worker pool.
+pub(crate) struct Job {
+    /// Connection slot index.
+    pub token: usize,
+    /// Slot epoch at dispatch; a completion for a replaced connection
+    /// fails this check and is dropped.
+    pub epoch: u64,
+    /// The request to route.
+    pub request: http::Request,
+    /// Encode the response with `Connection: keep-alive`.
+    pub keep_alive: bool,
+}
+
+/// A finished response traveling back to the loop.
+pub(crate) struct Done {
+    pub token: usize,
+    pub epoch: u64,
+    /// Fully encoded response bytes (may be empty for dead peers).
+    pub bytes: Vec<u8>,
+    /// Close the connection once the bytes are flushed.
+    pub close: bool,
+}
+
+/// Wakes the event loop out of its poll wait (worker completions,
+/// shutdown requests). Cheap to clone; writes are nonblocking and a
+/// full pipe is fine — a wakeup is already pending.
+#[derive(Clone)]
+pub(crate) struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    pub(crate) fn new(tx: UnixStream) -> Waker {
+        Waker { tx: Arc::new(tx) }
+    }
+
+    pub(crate) fn wake(&self) {
+        let _ = (&*self.tx).write(&[1]);
+    }
+}
+
+/// The completion queue from workers back to the loop.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<Done>>,
+    waker: Waker,
+}
+
+impl Completions {
+    pub(crate) fn new(waker: Waker) -> Completions {
+        Completions {
+            queue: Mutex::new(Vec::new()),
+            waker,
+        }
+    }
+
+    pub(crate) fn push(&self, done: Done) {
+        self.queue.lock().expect("completions poisoned").push(done);
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<Done> {
+        std::mem::take(&mut *self.queue.lock().expect("completions poisoned"))
+    }
+}
+
+/// Which deadline a connection currently has armed (at most one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DeadlineKind {
+    /// Deliver a complete request or be answered 408.
+    Read,
+    /// Keep-alive gap cap: close silently when it fires.
+    Idle,
+    /// Accept response bytes or be dropped (write-side backpressure).
+    Write,
+}
+
+/// Per-connection state. See the module docs for the state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed.
+    inbuf: Vec<u8>,
+    /// Encoded response bytes not yet written; `outpos` is the flush
+    /// cursor (drained lazily to avoid repeated copies).
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// A request is on the worker pool (PENDING state).
+    pending: bool,
+    /// Close once `outbuf` drains.
+    close_after_flush: bool,
+    /// The peer half-closed its write side (EOF seen). Requests already
+    /// buffered are still served — half-close is a legitimate way to
+    /// say "no more requests".
+    peer_eof: bool,
+    /// Holds an admission slot (counts toward `max_inflight`).
+    counted: bool,
+    /// Responses fully handed to the kernel on this connection.
+    served: u64,
+    /// Requests dispatched to workers (for keep-alive accounting).
+    dispatched: u64,
+    /// Current poller interest (cached to skip no-op syscalls).
+    interest: Interest,
+    /// Bumped on every (re-)arm or cancel; stale wheel entries fail it.
+    timer_epoch: u64,
+    deadline: Option<(Instant, DeadlineKind)>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            pending: false,
+            close_after_flush: false,
+            peer_eof: false,
+            counted: false,
+            served: 0,
+            dispatched: 0,
+            interest: Interest::default(),
+            timer_epoch: 0,
+            deadline: None,
+        }
+    }
+}
+
+/// A connection slot: the epoch invalidates stale jobs/completions when
+/// the slot is reused for a later connection.
+struct Slot {
+    epoch: u64,
+    conn: Option<Conn>,
+}
+
+struct EventLoop<'a> {
+    server: &'a Server,
+    poller: Poller,
+    waker_rx: UnixStream,
+    wheel: TimerWheel,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Freed this iteration; merged into `free` at iteration end so a
+    /// stale readiness event in the same batch can never hit a new
+    /// connection that reused the slot.
+    free_pending: Vec<usize>,
+    /// Connections currently open (gauge; loop exit condition).
+    open: usize,
+    /// Connections holding an admission slot.
+    active: usize,
+    jobs: &'a std::sync::mpsc::Sender<Job>,
+    completions: &'a Completions,
+    drain_started: bool,
+}
+
+/// Runs the event loop until shutdown completes: the stop flag is set
+/// and every connection owed a response has been answered and closed.
+pub(crate) fn run(
+    server: &Server,
+    poller: Poller,
+    waker_rx: UnixStream,
+    jobs: &std::sync::mpsc::Sender<Job>,
+    completions: &Completions,
+) {
+    let mut el = EventLoop {
+        server,
+        poller,
+        waker_rx,
+        // 128 x 16ms ≈ 2s horizon; longer deadlines lap (see timer.rs).
+        wheel: TimerWheel::new(Duration::from_millis(16), 128),
+        slots: Vec::new(),
+        free: Vec::new(),
+        free_pending: Vec::new(),
+        open: 0,
+        active: 0,
+        jobs,
+        completions,
+        drain_started: false,
+    };
+    if let Err(e) = el.register_endpoints() {
+        eprintln!("serve: event loop failed to start: {e}");
+        return;
+    }
+    el.run_loop();
+}
+
+impl EventLoop<'_> {
+    fn register_endpoints(&mut self) -> io::Result<()> {
+        self.poller.register(
+            self.server.listener.as_raw_fd(),
+            TOKEN_LISTENER,
+            Interest::READ,
+        )?;
+        self.poller
+            .register(self.waker_rx.as_raw_fd(), TOKEN_WAKER, Interest::READ)
+    }
+
+    fn stopping(&self) -> bool {
+        self.server.stop.load(Ordering::SeqCst)
+    }
+
+    fn run_loop(&mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        let mut fired: Vec<Fired> = Vec::new();
+        loop {
+            if self.stopping() && !self.drain_started {
+                self.drain_started = true;
+                self.begin_drain();
+            }
+            if self.drain_started && self.open == 0 {
+                return;
+            }
+            let now = Instant::now();
+            let timeout = self
+                .wheel
+                .next_timeout(now)
+                .map_or(MAX_WAIT, |t| t.min(MAX_WAIT));
+            if let Err(e) = self.poller.wait(&mut events, Some(timeout)) {
+                eprintln!("serve: poll wait failed: {e}");
+                return;
+            }
+            let stats = &self.server.stats;
+            if !events.is_empty() {
+                stats.loop_wakeups.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .ready_events
+                    .fetch_add(events.len() as u64, Ordering::Relaxed);
+                stats
+                    .max_ready_batch
+                    .fetch_max(events.len() as u64, Ordering::Relaxed);
+                if lotusx_obs::enabled() {
+                    lotusx_obs::metrics().incr("http_loop_ready_events", events.len() as u64);
+                }
+            }
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.drain_waker(),
+                    token => {
+                        if ev.writable {
+                            self.flush(token);
+                        }
+                        if ev.readable || ev.hangup {
+                            self.on_readable(token);
+                        }
+                    }
+                }
+            }
+            for done in self.completions.drain() {
+                self.apply_done(done);
+            }
+            fired.clear();
+            self.wheel.expire(Instant::now(), &mut fired);
+            for f in &fired {
+                self.fire_deadline(f);
+            }
+            // Safe to reuse closed slots now: no stale event from this
+            // batch can still reference them.
+            self.free.append(&mut self.free_pending);
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 256];
+        while matches!((&self.waker_rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    // ---- slot bookkeeping -------------------------------------------
+
+    fn conn(&mut self, token: usize) -> Option<&mut Conn> {
+        self.slots.get_mut(token).and_then(|s| s.conn.as_mut())
+    }
+
+    fn alloc(&mut self, conn: Conn) -> usize {
+        self.open += 1;
+        self.server
+            .stats
+            .connections_open
+            .store(self.open as u64, Ordering::Relaxed);
+        if let Some(token) = self.free.pop() {
+            self.slots[token].conn = Some(conn);
+            token
+        } else {
+            self.slots.push(Slot {
+                epoch: 0,
+                conn: Some(conn),
+            });
+            self.slots.len() - 1
+        }
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        let Some(slot) = self.slots.get_mut(token) else {
+            return;
+        };
+        let Some(conn) = slot.conn.take() else {
+            return;
+        };
+        slot.epoch += 1;
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        drop(conn.stream);
+        if conn.counted {
+            self.set_active(self.active - 1);
+        }
+        self.open -= 1;
+        self.server
+            .stats
+            .connections_open
+            .store(self.open as u64, Ordering::Relaxed);
+        self.free_pending.push(token);
+    }
+
+    fn set_active(&mut self, active: usize) {
+        self.active = active;
+        self.server
+            .stats
+            .connections_active
+            .store(active as u64, Ordering::Relaxed);
+    }
+
+    fn set_interest(&mut self, token: usize, interest: Interest) {
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        if conn.interest == interest {
+            return;
+        }
+        conn.interest = interest;
+        let fd = conn.stream.as_raw_fd();
+        if self.poller.modify(fd, token, interest).is_err() {
+            self.close_conn(token);
+        }
+    }
+
+    // ---- deadlines ---------------------------------------------------
+
+    fn arm(&mut self, token: usize, kind: DeadlineKind, after: Duration) {
+        let at = Instant::now() + after;
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        conn.timer_epoch += 1;
+        conn.deadline = Some((at, kind));
+        let epoch = conn.timer_epoch;
+        self.wheel.insert(at, token, epoch);
+    }
+
+    fn disarm(&mut self, token: usize) {
+        if let Some(conn) = self.conn(token) {
+            conn.timer_epoch += 1;
+            conn.deadline = None;
+        }
+    }
+
+    fn fire_deadline(&mut self, f: &Fired) {
+        let token = f.token;
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        if conn.timer_epoch != f.epoch {
+            return;
+        }
+        let Some((at, kind)) = conn.deadline else {
+            return;
+        };
+        let now = Instant::now();
+        if now < at {
+            // A lapped wheel entry came up early: re-lodge it.
+            let epoch = conn.timer_epoch;
+            self.wheel.insert(at, token, epoch);
+            return;
+        }
+        conn.deadline = None;
+        let stats = &self.server.stats;
+        match kind {
+            DeadlineKind::Read => {
+                stats.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                self.reject_conn(token, Reject::new(408, "read timed out"));
+                self.flush(token);
+            }
+            DeadlineKind::Idle => {
+                stats.idle_closes.fetch_add(1, Ordering::Relaxed);
+                self.close_conn(token);
+            }
+            DeadlineKind::Write => {
+                stats.write_stalls.fetch_add(1, Ordering::Relaxed);
+                self.close_conn(token);
+            }
+        }
+    }
+
+    // ---- accept ------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.server.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.drain_started {
+                        // Raced the deregister: refuse politely by
+                        // dropping; the peer sees a clean close.
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let stats = &self.server.stats;
+                    stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                    if self.active >= self.server.config.max_inflight {
+                        // Admission gate: answer 429 without entering
+                        // service. Checked only on this thread — exact.
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        if lotusx_obs::enabled() {
+                            lotusx_obs::metrics().incr("http_rejected", 1);
+                        }
+                        let mut conn = Conn::new(stream);
+                        conn.outbuf = http::encode_error(429, "server at capacity");
+                        conn.close_after_flush = true;
+                        let fd = conn.stream.as_raw_fd();
+                        let token = self.alloc(conn);
+                        if self
+                            .poller
+                            .register(fd, token, Interest::default())
+                            .is_err()
+                        {
+                            self.close_conn(token);
+                            continue;
+                        }
+                        self.flush(token);
+                    } else {
+                        let mut conn = Conn::new(stream);
+                        conn.counted = true;
+                        conn.interest = Interest::READ;
+                        let fd = conn.stream.as_raw_fd();
+                        let token = self.alloc(conn);
+                        self.set_active(self.active + 1);
+                        if self.poller.register(fd, token, Interest::READ).is_err() {
+                            self.close_conn(token);
+                            continue;
+                        }
+                        self.arm(token, DeadlineKind::Read, self.server.config.read_timeout);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient (EMFILE, aborted handshake): back off until
+                // the next readiness event.
+                Err(_) => return,
+            }
+        }
+    }
+
+    // ---- read path ---------------------------------------------------
+
+    fn on_readable(&mut self, token: usize) {
+        let cap = self.server.config.limits.input_buffer_cap();
+        let mut got_bytes = false;
+        {
+            let Some(conn) = self.conn(token) else {
+                return;
+            };
+            if conn.close_after_flush {
+                return;
+            }
+            let mut chunk = [0u8; 8192];
+            loop {
+                if conn.inbuf.len() >= cap {
+                    break;
+                }
+                match (&conn.stream).read(&mut chunk) {
+                    Ok(0) => {
+                        conn.peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&chunk[..n]);
+                        got_bytes = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // Peer reset. If it still owed us a request (and
+                        // was not just parked idle), account the loss the
+                        // way a read error always has been.
+                        let owed = !conn.pending && (conn.served == 0 || !conn.inbuf.is_empty());
+                        if owed {
+                            self.server.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            if lotusx_obs::enabled() {
+                                lotusx_obs::metrics().incr("http_rejected", 1);
+                            }
+                        }
+                        self.close_conn(token);
+                        return;
+                    }
+                }
+            }
+        }
+        if got_bytes {
+            self.on_bytes_arrived(token);
+        }
+        self.process_inbuf(token);
+        self.flush(token);
+        self.update_read_interest(token);
+    }
+
+    /// New bytes landed: re-admit an idle connection and re-arm the
+    /// read deadline (unless a request is already computing).
+    fn on_bytes_arrived(&mut self, token: usize) {
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        let pending = conn.pending;
+        if !conn.counted {
+            conn.counted = true;
+            self.set_active(self.active + 1);
+        }
+        if !pending {
+            self.arm(token, DeadlineKind::Read, self.server.config.read_timeout);
+        }
+    }
+
+    /// Parses as much of the input buffer as the pipelining rules allow
+    /// (at most one request on the workers at a time).
+    fn process_inbuf(&mut self, token: usize) {
+        // What one look at the buffer decided; acted on after the
+        // connection borrow is released.
+        enum Act {
+            Done,
+            EofTruncated,
+            EofClose,
+            GoIdle,
+            Dispatch {
+                request: http::Request,
+                keep_alive: bool,
+                reused: bool,
+            },
+            Reject(Reject),
+        }
+        let limits = self.server.config.limits;
+        loop {
+            let stopping = self.stopping();
+            let act = {
+                let Some(conn) = self.conn(token) else {
+                    return;
+                };
+                if conn.pending || conn.close_after_flush {
+                    return;
+                }
+                if conn.inbuf.is_empty() {
+                    if conn.peer_eof {
+                        if conn.served == 0 && conn.dispatched == 0 {
+                            // The peer connected and said nothing: the
+                            // documented "truncated request" 400.
+                            Act::EofTruncated
+                        } else {
+                            // Clean end of a keep-alive conversation.
+                            conn.close_after_flush = true;
+                            Act::EofClose
+                        }
+                    } else if conn.served > 0 && conn.outbuf.len() == conn.outpos {
+                        Act::GoIdle
+                    } else {
+                        Act::Done
+                    }
+                } else {
+                    match http::parse_request(&conn.inbuf, &limits) {
+                        ParseStatus::Complete(parsed) => {
+                            conn.inbuf.drain(..parsed.consumed);
+                            conn.pending = true;
+                            conn.dispatched += 1;
+                            // Keep-alive is honored unless the request
+                            // opted out, the peer already half-closed
+                            // with nothing further buffered, or the
+                            // server is stopping (drain closes as it
+                            // answers).
+                            let keep_alive = !(parsed.close
+                                || stopping
+                                || (conn.peer_eof && conn.inbuf.is_empty()));
+                            Act::Dispatch {
+                                request: parsed.request,
+                                keep_alive,
+                                reused: conn.dispatched > 1,
+                            }
+                        }
+                        ParseStatus::Partial { on_eof } => {
+                            if conn.peer_eof {
+                                Act::Reject(on_eof)
+                            } else {
+                                Act::Done
+                            }
+                        }
+                        ParseStatus::Failed(reject) => Act::Reject(reject),
+                    }
+                }
+            };
+            match act {
+                Act::Done => return,
+                Act::EofTruncated => {
+                    self.reject_conn(token, Reject::new(400, "truncated request"));
+                    self.flush(token);
+                    return;
+                }
+                Act::EofClose => {
+                    self.disarm(token);
+                    self.flush(token);
+                    return;
+                }
+                Act::GoIdle => {
+                    self.park_idle(token);
+                    return;
+                }
+                Act::Reject(reject) => {
+                    self.reject_conn(token, reject);
+                    self.flush(token);
+                    return;
+                }
+                Act::Dispatch {
+                    request,
+                    keep_alive,
+                    reused,
+                } => {
+                    let stats = &self.server.stats;
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    if reused {
+                        stats.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if lotusx_obs::enabled() {
+                        lotusx_obs::metrics().incr("http_requests", 1);
+                        if reused {
+                            lotusx_obs::metrics().incr("http_keepalive_reuses", 1);
+                        }
+                    }
+                    self.disarm(token);
+                    let epoch = self.slots[token].epoch;
+                    let sent = self.jobs.send(Job {
+                        token,
+                        epoch,
+                        request,
+                        keep_alive,
+                    });
+                    if sent.is_err() {
+                        // Workers are gone (shutdown tail): close.
+                        self.close_conn(token);
+                        return;
+                    }
+                    // Loop: the next iteration sees `pending` and
+                    // returns (or, after a completion, parses the next
+                    // pipelined request).
+                }
+            }
+        }
+    }
+
+    /// READING/FLUSH → IDLE: give up the admission slot, arm the idle
+    /// deadline. During drain there is no idle — close instead.
+    fn park_idle(&mut self, token: usize) {
+        if self.stopping() {
+            self.close_conn(token);
+            return;
+        }
+        let idle_timeout = self.server.config.idle_timeout;
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        if conn.counted {
+            conn.counted = false;
+            self.set_active(self.active - 1);
+        }
+        self.arm(token, DeadlineKind::Idle, idle_timeout);
+    }
+
+    /// Queues an error response and marks the connection REJECTING: no
+    /// more reads, close once the response drains.
+    fn reject_conn(&mut self, token: usize, reject: Reject) {
+        if self.conn(token).is_none() {
+            return;
+        }
+        self.server.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        if lotusx_obs::enabled() {
+            lotusx_obs::metrics().incr("http_rejected", 1);
+        }
+        let bytes =
+            (!reject.connection_dead()).then(|| http::encode_error(reject.status, &reject.reason));
+        if let Some(conn) = self.conn(token) {
+            if let Some(b) = bytes {
+                conn.outbuf.extend_from_slice(&b);
+            }
+            conn.close_after_flush = true;
+            conn.inbuf.clear();
+        }
+        self.disarm(token);
+        self.update_read_interest(token);
+    }
+
+    // ---- completions -------------------------------------------------
+
+    fn apply_done(&mut self, done: Done) {
+        let token = done.token;
+        let stopping = self.stopping();
+        match self.slots.get(token) {
+            Some(slot) if slot.epoch == done.epoch && slot.conn.is_some() => {}
+            // The connection died (reset, write stall) while computing.
+            _ => return,
+        }
+        let closing = {
+            let conn = self.slots[token].conn.as_mut().expect("checked above");
+            conn.pending = false;
+            conn.outbuf.extend_from_slice(&done.bytes);
+            if done.close || stopping {
+                conn.close_after_flush = true;
+            }
+            conn.close_after_flush
+        };
+        if !closing {
+            // Parse the next pipelined request (or go idle) before
+            // flushing so a back-to-back pair coalesces into one write.
+            self.process_inbuf(token);
+        }
+        self.flush(token);
+        self.update_read_interest(token);
+    }
+
+    // ---- write path --------------------------------------------------
+
+    fn flush(&mut self, token: usize) {
+        let write_timeout = self.server.config.write_timeout;
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        while conn.outpos < conn.outbuf.len() {
+            match (&conn.stream).write(&conn.outbuf[conn.outpos..]) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => conn.outpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // FLUSH stalled: wait for writability, bounded by
+                    // the write-stall deadline.
+                    let interest = Interest {
+                        readable: conn.interest.readable,
+                        writable: true,
+                    };
+                    let stalled = !matches!(conn.deadline, Some((_, DeadlineKind::Write)));
+                    self.set_interest(token, interest);
+                    if stalled {
+                        self.arm(token, DeadlineKind::Write, write_timeout);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        let flushed = !conn.outbuf.is_empty();
+        conn.outbuf.clear();
+        conn.outpos = 0;
+        if flushed {
+            conn.served += 1;
+        }
+        let close = conn.close_after_flush;
+        let writable_armed = conn.interest.writable;
+        let write_deadline = matches!(conn.deadline, Some((_, DeadlineKind::Write)));
+        if close {
+            self.close_conn(token);
+            return;
+        }
+        if writable_armed {
+            let interest = Interest {
+                readable: self
+                    .conn(token)
+                    .map(|c| c.interest.readable)
+                    .unwrap_or(false),
+                writable: false,
+            };
+            self.set_interest(token, interest);
+        }
+        if write_deadline {
+            // The stall resolved; restore the deadline the state wants.
+            self.disarm(token);
+            self.restore_deadline(token);
+        }
+        // A response just finished and nothing is queued: idle?
+        self.process_inbuf(token);
+    }
+
+    /// Recomputes the deadline for a connection's current state (used
+    /// after a write stall resolves).
+    fn restore_deadline(&mut self, token: usize) {
+        let read_timeout = self.server.config.read_timeout;
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        if conn.pending {
+            return;
+        }
+        if conn.inbuf.is_empty() && conn.served > 0 {
+            self.park_idle(token);
+        } else {
+            self.arm(token, DeadlineKind::Read, read_timeout);
+        }
+    }
+
+    /// Read interest is wanted unless the connection is closing, saw
+    /// EOF, or has hit the input-buffer cap (read-side backpressure).
+    fn update_read_interest(&mut self, token: usize) {
+        let cap = self.server.config.limits.input_buffer_cap();
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        let want = !conn.close_after_flush && !conn.peer_eof && conn.inbuf.len() < cap;
+        let interest = Interest {
+            readable: want,
+            writable: conn.interest.writable,
+        };
+        self.set_interest(token, interest);
+    }
+
+    // ---- shutdown ----------------------------------------------------
+
+    /// Stop accepting and close every connection not owed a response;
+    /// the rest drain through their normal state machine (cancelled
+    /// query budgets make the computes finish fast).
+    fn begin_drain(&mut self) {
+        let _ = self.poller.deregister(self.server.listener.as_raw_fd());
+        for token in 0..self.slots.len() {
+            let Some(conn) = self.conn(token) else {
+                continue;
+            };
+            let idle = !conn.pending
+                && conn.outpos == conn.outbuf.len()
+                && conn.inbuf.is_empty()
+                && conn.served > 0;
+            if idle {
+                self.close_conn(token);
+            } else if let Some(conn) = self.conn(token) {
+                // Anything mid-conversation finishes its current
+                // request and closes with the response.
+                conn.close_after_flush = conn.close_after_flush
+                    || (!conn.pending && conn.inbuf.is_empty() && conn.outpos < conn.outbuf.len());
+            }
+        }
+    }
+}

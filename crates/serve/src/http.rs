@@ -1,20 +1,26 @@
-//! A hand-rolled HTTP/1.1 request parser and response writer.
+//! A hand-rolled, incremental HTTP/1.1 request parser and response
+//! encoder.
 //!
 //! This is deliberately a *server-side subset* of HTTP/1.1: enough for
 //! JSON request/response bodies over loopback or a trusted LAN, with
 //! strict size limits so a malformed or hostile peer can never make the
 //! server allocate unboundedly or hang forever. Unsupported protocol
-//! features (chunked transfer encoding, continuation lines, pipelining)
-//! are rejected with the documented 4xx status rather than misparsed.
+//! features (chunked transfer encoding, continuation lines) are
+//! rejected with the documented 4xx status rather than misparsed.
 //!
-//! Every connection serves exactly one request and is closed afterwards
-//! (`Connection: close` on every response); keep-alive buys little on
-//! loopback and one-request-per-connection keeps the admission gate and
-//! the failure handling trivially per-request.
-
-use std::io::{Read, Write};
-use std::net::TcpStream;
-use std::time::Duration;
+//! The parser is a pure function over a byte buffer: the event loop
+//! accumulates whatever the socket had and calls [`parse_request`],
+//! which either yields a complete request (with how many bytes it
+//! consumed — the remainder is the next pipelined request), asks for
+//! more bytes, or rejects. No I/O happens here, which is what lets the
+//! nonblocking event loop and the tests share the exact same
+//! protocol semantics.
+//!
+//! Keep-alive: HTTP/1.1 requests persist by default and `Connection:
+//! close` (or HTTP/1.0 without `keep-alive`) closes after the response.
+//! Every *error* response closes the connection — after a protocol
+//! violation the byte stream can no longer be trusted to frame a next
+//! request.
 
 /// Size limits the parser enforces while reading a request.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +44,16 @@ impl Default for Limits {
             max_header_line: 8192,
             max_body_bytes: 256 * 1024,
         }
+    }
+}
+
+impl Limits {
+    /// How many buffered-but-unparsed bytes a connection may hold
+    /// before the event loop stops reading from it (read-side
+    /// backpressure for pipelining): one maximal request head + body,
+    /// plus a little slack for the next pipelined head.
+    pub fn input_buffer_cap(&self) -> usize {
+        self.max_request_line + self.max_headers * self.max_header_line + self.max_body_bytes + 4096
     }
 }
 
@@ -78,7 +94,8 @@ pub struct Reject {
 }
 
 impl Reject {
-    fn new(status: u16, reason: impl Into<String>) -> Self {
+    /// A rejection with `status` and `reason`.
+    pub fn new(status: u16, reason: impl Into<String>) -> Self {
         Reject {
             status,
             reason: reason.into(),
@@ -90,6 +107,177 @@ impl Reject {
     pub fn connection_dead(&self) -> bool {
         self.status == 0
     }
+}
+
+/// A successfully parsed request plus its framing metadata.
+#[derive(Clone, Debug)]
+pub struct ParsedRequest {
+    /// The request itself.
+    pub request: Request,
+    /// Bytes of the input buffer this request occupied; everything
+    /// after `consumed` belongs to the next pipelined request.
+    pub consumed: usize,
+    /// The connection must close after the response (explicit
+    /// `Connection: close`, or an HTTP/1.0 peer without `keep-alive`).
+    pub close: bool,
+}
+
+/// The outcome of one [`parse_request`] attempt.
+#[derive(Clone, Debug)]
+pub enum ParseStatus {
+    /// A complete request was framed.
+    Complete(Box<ParsedRequest>),
+    /// More bytes are needed. If the peer instead closes the
+    /// connection here, answer with `on_eof` (unless nothing at all
+    /// was received on an already-used keep-alive connection).
+    Partial {
+        /// The rejection to send if EOF arrives in this state.
+        on_eof: Reject,
+    },
+    /// The bytes can never become a valid request.
+    Failed(Reject),
+}
+
+/// Finds one `\n`-terminated line starting at `pos`, enforcing `cap`.
+///
+/// Returns `Ok(Some((line, next_pos)))` with `\r` stripped, `Ok(None)`
+/// when the line is still incomplete (and within cap), or the
+/// documented rejection when the line over-runs `cap` or holds invalid
+/// UTF-8.
+fn take_line(
+    buf: &[u8],
+    pos: usize,
+    cap: usize,
+    over_cap_status: u16,
+) -> Result<Option<(String, usize)>, Reject> {
+    match buf[pos..].iter().position(|&b| b == b'\n') {
+        Some(nl) => {
+            let mut line = &buf[pos..pos + nl];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            if line.len() > cap {
+                return Err(Reject::new(over_cap_status, "line too long"));
+            }
+            let text = std::str::from_utf8(line)
+                .map_err(|_| Reject::new(400, "non-UTF-8 bytes in request head"))?
+                .to_string();
+            Ok(Some((text, pos + nl + 1)))
+        }
+        None => {
+            if buf.len() - pos > cap {
+                return Err(Reject::new(over_cap_status, "line too long"));
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Does a `Connection` header value name `token` (comma-separated,
+/// case-insensitive)?
+fn connection_has(value: &str, token: &str) -> bool {
+    value
+        .split(',')
+        .any(|part| part.trim().eq_ignore_ascii_case(token))
+}
+
+/// Attempts to frame one request out of `buf` under `limits`.
+///
+/// Pure and restartable: call it again with more bytes appended after a
+/// [`ParseStatus::Partial`]. Rejection statuses and reasons are part of
+/// the wire contract (the protocol test suite pins them byte-for-byte).
+pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseStatus {
+    let partial = |on_eof: Reject| ParseStatus::Partial { on_eof };
+    let truncated = || Reject::new(400, "truncated request");
+
+    let (request_line, mut pos) = match take_line(buf, 0, limits.max_request_line, 400) {
+        Ok(Some(line)) => line,
+        Ok(None) => return partial(truncated()),
+        Err(reject) => return ParseStatus::Failed(reject),
+    };
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return ParseStatus::Failed(Reject::new(400, "malformed request line")),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return ParseStatus::Failed(Reject::new(400, "malformed method"));
+    }
+    if !path.starts_with('/') {
+        return ParseStatus::Failed(Reject::new(400, "path must start with '/'"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return ParseStatus::Failed(Reject::new(400, "unsupported protocol version"));
+    }
+    // HTTP/1.1 (and later 1.x) defaults to keep-alive; 1.0 to close.
+    let keep_alive_default = version != "HTTP/1.0";
+
+    let mut headers = Vec::new();
+    loop {
+        let (line, next) = match take_line(buf, pos, limits.max_header_line, 431) {
+            Ok(Some(line)) => line,
+            Ok(None) => return partial(truncated()),
+            Err(reject) => return ParseStatus::Failed(reject),
+        };
+        pos = next;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return ParseStatus::Failed(Reject::new(431, "too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseStatus::Failed(Reject::new(400, "malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return ParseStatus::Failed(Reject::new(400, "transfer-encoding is not supported"));
+    }
+
+    let close = match request.header("connection") {
+        Some(v) if connection_has(v, "close") => true,
+        Some(v) if connection_has(v, "keep-alive") => false,
+        _ => !keep_alive_default,
+    };
+
+    let body_len = match request.header("content-length") {
+        Some(v) => {
+            let n: usize = match v.parse() {
+                Ok(n) => n,
+                Err(_) => return ParseStatus::Failed(Reject::new(400, "bad content-length")),
+            };
+            if n > limits.max_body_bytes {
+                return ParseStatus::Failed(Reject::new(413, "body exceeds the size cap"));
+            }
+            n
+        }
+        None if request.method == "POST" => {
+            return ParseStatus::Failed(Reject::new(411, "POST requires content-length"));
+        }
+        None => 0,
+    };
+
+    if buf.len() - pos < body_len {
+        return partial(Reject::new(400, "body shorter than content-length"));
+    }
+    let body = buf[pos..pos + body_len].to_vec();
+    ParseStatus::Complete(Box::new(ParsedRequest {
+        request: Request { body, ..request },
+        consumed: pos + body_len,
+        close,
+    }))
 }
 
 /// The canonical reason phrase for the status codes this server emits.
@@ -110,185 +298,107 @@ pub fn status_reason(status: u16) -> &'static str {
     }
 }
 
-/// Classifies a read error: timeouts become 408, everything else marks
-/// the connection dead.
-fn read_error(e: std::io::Error) -> Reject {
-    match e.kind() {
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
-            Reject::new(408, "read timed out")
-        }
-        _ => Reject::new(0, format!("connection error: {e}")),
-    }
-}
-
-/// A small buffered reader over the stream; `BufReader` would work too,
-/// but an explicit buffer keeps the per-line caps and timeout handling
-/// in one obvious place.
-struct ByteReader<'a> {
-    stream: &'a mut TcpStream,
-    buf: Vec<u8>,
-    pos: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    fn new(stream: &'a mut TcpStream) -> Self {
-        ByteReader {
-            stream,
-            buf: Vec::new(),
-            pos: 0,
-        }
-    }
-
-    fn fill(&mut self) -> Result<usize, Reject> {
-        let mut chunk = [0u8; 4096];
-        let n = self.stream.read(&mut chunk).map_err(read_error)?;
-        self.buf.extend_from_slice(&chunk[..n]);
-        Ok(n)
-    }
-
-    /// Reads one `\r\n`- (or `\n`-) terminated line of at most `cap`
-    /// bytes, excluding the terminator. Over-long lines reject with
-    /// `over_cap_status`; EOF mid-line rejects with 400.
-    fn read_line(&mut self, cap: usize, over_cap_status: u16) -> Result<String, Reject> {
-        loop {
-            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
-                let end = self.pos + nl;
-                let mut line = &self.buf[self.pos..end];
-                if line.last() == Some(&b'\r') {
-                    line = &line[..line.len() - 1];
-                }
-                if line.len() > cap {
-                    return Err(Reject::new(over_cap_status, "line too long"));
-                }
-                let text = std::str::from_utf8(line)
-                    .map_err(|_| Reject::new(400, "non-UTF-8 bytes in request head"))?
-                    .to_string();
-                self.pos = end + 1;
-                return Ok(text);
-            }
-            if self.buf.len() - self.pos > cap {
-                return Err(Reject::new(over_cap_status, "line too long"));
-            }
-            if self.fill()? == 0 {
-                return Err(Reject::new(400, "truncated request"));
-            }
-        }
-    }
-
-    /// Reads exactly `n` body bytes (the head may have over-read some).
-    fn read_exact_body(&mut self, n: usize) -> Result<Vec<u8>, Reject> {
-        while self.buf.len() - self.pos < n {
-            if self.fill()? == 0 {
-                return Err(Reject::new(400, "body shorter than content-length"));
-            }
-        }
-        let body = self.buf[self.pos..self.pos + n].to_vec();
-        self.pos += n;
-        Ok(body)
-    }
-}
-
-/// Reads and parses one request from `stream` under `limits`.
-///
-/// The stream's read timeout must already be set by the caller; a
-/// timeout anywhere while reading yields a 408 [`Reject`].
-pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, Reject> {
-    let mut reader = ByteReader::new(stream);
-
-    let request_line = reader.read_line(limits.max_request_line, 400)?;
-    let mut parts = request_line.split(' ');
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
-        _ => return Err(Reject::new(400, "malformed request line")),
-    };
-    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
-        return Err(Reject::new(400, "malformed method"));
-    }
-    if !path.starts_with('/') {
-        return Err(Reject::new(400, "path must start with '/'"));
-    }
-    if !version.starts_with("HTTP/1.") {
-        return Err(Reject::new(400, "unsupported protocol version"));
-    }
-
-    let mut headers = Vec::new();
-    loop {
-        let line = reader.read_line(limits.max_header_line, 431)?;
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= limits.max_headers {
-            return Err(Reject::new(431, "too many headers"));
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| Reject::new(400, "malformed header line"))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let request = Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        headers,
-        body: Vec::new(),
-    };
-
-    if request
-        .header("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
-    {
-        return Err(Reject::new(400, "transfer-encoding is not supported"));
-    }
-
-    let body = match request.header("content-length") {
-        Some(v) => {
-            let n: usize = v
-                .parse()
-                .map_err(|_| Reject::new(400, "bad content-length"))?;
-            if n > limits.max_body_bytes {
-                return Err(Reject::new(413, "body exceeds the size cap"));
-            }
-            reader.read_exact_body(n)?
-        }
-        None if request.method == "POST" => {
-            return Err(Reject::new(411, "POST requires content-length"));
-        }
-        None => Vec::new(),
-    };
-
-    Ok(Request { body, ..request })
-}
-
-/// Writes one complete response (`Connection: close`) and flushes it.
-pub fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &[u8],
-) -> std::io::Result<()> {
+/// Encodes one complete response. `keep_alive` controls the
+/// `Connection` header — the writer must actually close the connection
+/// when it says `close`.
+pub fn encode_response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status,
         status_reason(status),
         content_type,
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     let mut out = Vec::with_capacity(head.len() + body.len());
     out.extend_from_slice(head.as_bytes());
     out.extend_from_slice(body);
-    stream.write_all(&out)?;
-    stream.flush()
+    out
 }
 
-/// Writes a JSON error body for a rejected request (best-effort: the
-/// peer may already be gone).
-pub fn write_error(stream: &mut TcpStream, status: u16, reason: &str) -> std::io::Result<()> {
+/// Encodes the JSON error body for a rejected request. Error responses
+/// always close the connection.
+pub fn encode_error(status: u16, reason: &str) -> Vec<u8> {
     let body = format!("{{\"error\":{}}}\n", lotusx_obs::json_string(reason));
-    write_response(stream, status, "application/json", body.as_bytes())
+    encode_response(status, "application/json", body.as_bytes(), false)
 }
 
-/// Applies per-connection socket timeouts (`None` disables them).
-pub fn set_timeouts(stream: &TcpStream, read: Duration, write: Duration) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(read))?;
-    stream.set_write_timeout(Some(write))
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits::default()
+    }
+
+    #[test]
+    fn incremental_parse_completes_byte_by_byte() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}extra";
+        for cut in 0..raw.len() - 5 {
+            match parse_request(&raw[..cut], &limits()) {
+                ParseStatus::Partial { .. } => {}
+                other => panic!("prefix of {cut} bytes must be partial, got {other:?}"),
+            }
+        }
+        match parse_request(raw, &limits()) {
+            ParseStatus::Complete(parsed) => {
+                assert_eq!(parsed.request.method, "POST");
+                assert_eq!(parsed.request.body, b"{}");
+                assert_eq!(parsed.consumed, raw.len() - 5);
+                assert!(!parsed.close, "HTTP/1.1 defaults to keep-alive");
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_close_and_http10_default() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        match parse_request(raw, &limits()) {
+            ParseStatus::Complete(p) => assert!(p.close),
+            other => panic!("{other:?}"),
+        }
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        match parse_request(raw, &limits()) {
+            ParseStatus::Complete(p) => assert!(p.close),
+            other => panic!("{other:?}"),
+        }
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        match parse_request(raw, &limits()) {
+            ParseStatus::Complete(p) => assert!(!p.close),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_rejects_distinguish_head_from_body() {
+        match parse_request(b"GET /health", &limits()) {
+            ParseStatus::Partial { on_eof } => assert_eq!(on_eof.reason, "truncated request"),
+            other => panic!("{other:?}"),
+        }
+        match parse_request(
+            b"POST /q HTTP/1.1\r\nContent-Length: 50\r\n\r\n{}",
+            &limits(),
+        ) {
+            ParseStatus::Partial { on_eof } => {
+                assert_eq!(on_eof.reason, "body shorter than content-length");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_lines_reject_before_eof() {
+        let tight = Limits {
+            max_request_line: 16,
+            ..limits()
+        };
+        // No newline yet, but already over the cap: reject immediately.
+        match parse_request(b"GET /aaaaaaaaaaaaaaaaaaaaaaaa", &tight) {
+            ParseStatus::Failed(r) => {
+                assert_eq!((r.status, r.reason.as_str()), (400, "line too long"))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
 }

@@ -1,8 +1,9 @@
 //! # lotusx-serve
 //!
-//! The network serving layer for LotusX: a dependency-free threaded
-//! HTTP/1.1 server over `std::net::TcpListener` that exposes the
-//! engine's [`QueryRequest`](lotusx::QueryRequest) /
+//! The network serving layer for LotusX: a dependency-free,
+//! event-driven HTTP/1.1 server (epoll on Linux, portable `poll(2)`
+//! fallback — see [`poller`]) that exposes the engine's
+//! [`QueryRequest`](lotusx::QueryRequest) /
 //! [`QueryResponse`](lotusx::QueryResponse) API as JSON endpoints:
 //!
 //! | Endpoint          | Meaning                                        |
@@ -13,13 +14,19 @@
 //! | `GET /healthz`    | Liveness probe (`ok`)                          |
 //! | `POST /shutdown`  | Graceful remote stop                           |
 //!
-//! Robustness is first-class: per-connection read/write timeouts, a
+//! The I/O layer is a single-threaded nonblocking event loop driving
+//! per-connection state machines — incremental parsing, HTTP/1.1
+//! keep-alive and pipelining, read/idle/write-stall deadline wheels —
+//! while compute runs on a fixed worker pool, so a slow or hostile
+//! client costs a buffer, never a query thread. Robustness is
+//! first-class: per-connection read/write/idle deadlines, a
 //! max-in-flight admission gate (`429`), a request-size cap (`413`),
 //! malformed input answered with `400` (never a panic — worker panics
 //! are isolated per connection and counted), and graceful shutdown that
 //! drains in-flight queries via a [`CancelToken`](lotusx::CancelToken).
-//! See [`server`] for the threading model and [`wire`] for the exact
-//! JSON wire format.
+//! See [`server`] for the threading model, `event_loop` (crate
+//! internal) for the state machines, and [`wire`] for the exact JSON
+//! wire format.
 //!
 //! ```no_run
 //! use lotusx::LotusX;
@@ -38,10 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod event_loop;
 pub mod http;
+pub mod poller;
 pub mod server;
+pub mod timer;
 pub mod wire;
 
-pub use client::{get, post, raw_request, request, Response};
+pub use client::{get, post, raw_request, request, Conn, Response};
 pub use http::{Limits, Reject, Request};
+pub use poller::Backend;
 pub use server::{ServeConfig, Server, ServerHandle, ServerStats, StatsSnapshot};

@@ -1,0 +1,409 @@
+//! Readiness polling without dependencies: raw `epoll` on Linux and a
+//! portable `poll(2)` fallback on other Unixes.
+//!
+//! Both backends are compiled on Linux so the fallback path stays
+//! tested; [`Backend::Auto`] picks `epoll` there. The syscalls are
+//! declared directly against the platform libc that `std` already
+//! links — no external crates.
+//!
+//! The interface is deliberately tiny and level-triggered: register a
+//! file descriptor with a `token` and an [`Interest`], wait, and get
+//! back `(token, readable, writable, hangup)` events. Level-triggered
+//! readiness keeps the connection state machines simple — interest is
+//! toggled off instead of being carefully re-armed.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::c_int;
+use std::time::Duration;
+
+/// Which readiness a registration wants to be woken for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct PollEvent {
+    /// The token the fd was registered with.
+    pub token: usize,
+    /// The fd is readable (data or EOF pending).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// Error or hangup: the owner should read to observe it.
+    pub hangup: bool,
+}
+
+/// Which multiplexer implementation to use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// `epoll` on Linux, `poll(2)` elsewhere.
+    #[default]
+    Auto,
+    /// Force the portable `poll(2)` backend.
+    Poll,
+    /// Force `epoll` (Linux only; an error elsewhere).
+    Epoll,
+}
+
+impl Backend {
+    /// Parses `auto` | `poll` | `epoll`.
+    pub fn parse(s: &str) -> Result<Backend, String> {
+        match s {
+            "auto" => Ok(Backend::Auto),
+            "poll" => Ok(Backend::Poll),
+            "epoll" => Ok(Backend::Epoll),
+            other => Err(format!("unknown backend {other:?} (auto|poll|epoll)")),
+        }
+    }
+}
+
+/// A readiness multiplexer over one of the [`Backend`]s.
+pub struct Poller {
+    imp: Impl,
+}
+
+enum Impl {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Poll(pollfall::PollSet),
+}
+
+impl Poller {
+    /// Opens a poller with the requested backend.
+    pub fn new(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Auto | Backend::Epoll => Ok(Poller {
+                imp: Impl::Epoll(epoll::Epoll::new()?),
+            }),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll backend is only available on Linux",
+            )),
+            _ => Ok(Poller {
+                imp: Impl::Poll(pollfall::PollSet::new()),
+            }),
+        }
+    }
+
+    /// The name of the backend actually in use.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(_) => "epoll",
+            Impl::Poll(_) => "poll",
+        }
+    }
+
+    /// Starts watching `fd` under `token`.
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(e) => e.ctl(epoll::EPOLL_CTL_ADD, fd, token, interest),
+            Impl::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Updates the interest set for an already-registered `fd`.
+    pub fn modify(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(e) => e.ctl(epoll::EPOLL_CTL_MOD, fd, token, interest),
+            Impl::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Stops watching `fd`. Must be called before the fd is closed on
+    /// the `poll` backend (epoll drops closed fds by itself, but the
+    /// fallback keeps an explicit set).
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(e) => e.ctl(epoll::EPOLL_CTL_DEL, fd, 0, Interest::default()),
+            Impl::Poll(p) => {
+                p.deregister(fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one event is ready or `timeout` elapses,
+    /// appending events to `events` (which is cleared first). `EINTR`
+    /// is retried internally.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<PollEvent>,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            // Round up so a 0.4ms timeout does not spin at 0ms.
+            Some(t) => t
+                .as_millis()
+                .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                .min(c_int::MAX as u128) as c_int,
+            None => -1,
+        };
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(e) => e.wait(events, timeout_ms),
+            Impl::Poll(p) => p.wait(events, timeout_ms),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Interest, PollEvent};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+
+    pub(super) const EPOLL_CTL_ADD: c_int = 1;
+    pub(super) const EPOLL_CTL_DEL: c_int = 2;
+    pub(super) const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+
+    /// Mirrors the kernel's `struct epoll_event`; packed on x86 where
+    /// the kernel ABI packs it.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    pub(super) struct Epoll {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Epoll {
+        pub(super) fn new() -> io::Result<Epoll> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        pub(super) fn ctl(
+            &mut self,
+            op: c_int,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let mut events = EPOLLRDHUP;
+            if interest.readable {
+                events |= EPOLLIN;
+            }
+            if interest.writable {
+                events |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent {
+                events,
+                data: token as u64,
+            };
+            // SAFETY: `ev` is a valid epoll_event for the duration of
+            // the call; DEL ignores the pointer on modern kernels but a
+            // valid one is passed anyway.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            out: &mut Vec<PollEvent>,
+            timeout_ms: c_int,
+        ) -> io::Result<()> {
+            loop {
+                // SAFETY: `buf` outlives the call and maxevents matches
+                // its length.
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as c_int,
+                        timeout_ms,
+                    )
+                };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+                for ev in &self.buf[..n as usize] {
+                    let bits = ev.events;
+                    out.push(PollEvent {
+                        token: ev.data as usize,
+                        readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                        writable: bits & EPOLLOUT != 0,
+                        hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
+                    });
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: closing the fd this struct owns.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+mod pollfall {
+    use super::{Interest, PollEvent};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_short};
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    #[cfg(target_os = "linux")]
+    type NfdsT = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NfdsT = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+    }
+
+    /// The portable backend: an explicit `(fd, token, interest)` set
+    /// rebuilt into a `pollfd` array per wait. O(n) per call — fine for
+    /// the fallback, and exercised in tests to keep it honest.
+    pub(super) struct PollSet {
+        entries: Vec<(RawFd, usize, Interest)>,
+        fds: Vec<PollFd>,
+    }
+
+    impl PollSet {
+        pub(super) fn new() -> PollSet {
+            PollSet {
+                entries: Vec::new(),
+                fds: Vec::new(),
+            }
+        }
+
+        pub(super) fn register(
+            &mut self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            if let Some(entry) = self.entries.iter_mut().find(|(f, _, _)| *f == fd) {
+                *entry = (fd, token, interest);
+            } else {
+                self.entries.push((fd, token, interest));
+            }
+            Ok(())
+        }
+
+        pub(super) fn deregister(&mut self, fd: RawFd) {
+            self.entries.retain(|(f, _, _)| *f != fd);
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            out: &mut Vec<PollEvent>,
+            timeout_ms: c_int,
+        ) -> io::Result<()> {
+            self.fds.clear();
+            for (fd, _, interest) in &self.entries {
+                let mut events = 0;
+                if interest.readable {
+                    events |= POLLIN;
+                }
+                if interest.writable {
+                    events |= POLLOUT;
+                }
+                self.fds.push(PollFd {
+                    fd: *fd,
+                    events,
+                    revents: 0,
+                });
+            }
+            loop {
+                // SAFETY: `fds` is a valid array of nfds entries.
+                let n = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as NfdsT, timeout_ms) };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+                break;
+            }
+            for (slot, (_, token, _)) in self.fds.iter().zip(&self.entries) {
+                let bits = slot.revents;
+                if bits == 0 {
+                    continue;
+                }
+                out.push(PollEvent {
+                    token: *token,
+                    readable: bits & (POLLIN | POLLHUP) != 0,
+                    writable: bits & POLLOUT != 0,
+                    hangup: bits & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}

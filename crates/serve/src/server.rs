@@ -1,30 +1,43 @@
-//! The threaded HTTP server: accept loop, fixed worker pool, admission
-//! control, panic isolation, and graceful shutdown.
+//! The event-driven HTTP server: a nonblocking accept/read/write loop
+//! with per-connection state machines, backed by a fixed compute pool.
 //!
-//! Threading model: one accept thread (the caller of [`Server::run`])
-//! polls the listener and dispatches accepted connections to a fixed
-//! pool of worker threads over a channel. Admission is gated *before*
-//! dispatch — when `max_inflight` connections are queued or being
-//! served, new connections are answered `429` straight from the accept
-//! thread and closed. Only the accept thread increments the in-flight
-//! count, so the gate never over-admits.
+//! Threading model: **one event-loop thread** (the caller of
+//! [`Server::run`]) owns the listener and every connection. It accepts,
+//! reads, parses incrementally, and writes — all nonblocking, driven by
+//! an epoll/poll readiness [`Poller`](crate::poller::Poller) and a
+//! deadline [`TimerWheel`](crate::timer::TimerWheel). Parsed requests
+//! are handed to a fixed pool of **worker threads** over a channel;
+//! finished responses come back over a completion queue that wakes the
+//! loop. A slow (or stalled, or hostile) client therefore costs one
+//! connection slot and a few kilobytes of buffer — never a query
+//! thread.
 //!
-//! Graceful shutdown ([`ServerHandle::shutdown`]) does three things, in
-//! order: it cancels the server-wide [`CancelToken`] attached to every
-//! in-flight query's budget (so long-running queries truncate at their
-//! next cooperative checkpoint and still produce a valid, marked
-//! response), stops the accept loop, and lets the workers drain every
-//! already-accepted connection before joining. No in-flight request is
-//! ever answered with a torn or missing response.
+//! Admission is gated on the event-loop thread *before* a connection
+//! enters service: when `max_inflight` connections are actively being
+//! served, new ones are answered `429` and closed. Only the event-loop
+//! thread admits, so the gate never over-admits. Idle keep-alive
+//! connections release their admission slot between requests and
+//! re-acquire it when the next request arrives (see `event_loop` for
+//! the exact rules).
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`]) cancels the
+//! server-wide [`CancelToken`] attached to every in-flight query's
+//! budget (long-running queries truncate at their next cooperative
+//! checkpoint and still produce a valid, marked response), stops
+//! accepting, closes idle connections, and drains every connection that
+//! is owed a response before [`Server::run`] returns. No in-flight
+//! request is ever answered with a torn or missing response.
 
+use crate::event_loop::{self, Completions, Done, Job, Waker};
 use crate::http::{self, Limits, Reject, Request};
+use crate::poller::{Backend, Poller};
 use crate::wire;
 use lotusx::{CancelToken, LotusX, QueryRequest};
 use lotusx_obs::{EventKind, QueryId, Stage};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -36,15 +49,23 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads serving requests (at least 1).
     pub threads: usize,
-    /// Maximum connections queued or being served before new ones are
-    /// answered `429`.
+    /// Maximum connections actively being served before new ones are
+    /// answered `429`. Idle keep-alive connections do not count.
     pub max_inflight: usize,
-    /// Per-connection read timeout (slow or stalled peers get `408`).
+    /// How long an admitted connection may take to deliver one complete
+    /// request; the deadline re-arms on every received byte, and firing
+    /// answers `408`.
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// How long a response write may sit blocked on a full socket
+    /// before the connection is dropped (write-side backpressure cap).
     pub write_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
     /// Request parsing limits (body cap, header caps).
     pub limits: Limits,
+    /// Readiness backend: `Auto` picks epoll on Linux, `poll` elsewhere.
+    pub backend: Backend,
 }
 
 impl Default for ServeConfig {
@@ -55,7 +76,9 @@ impl Default for ServeConfig {
             max_inflight: 64,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
             limits: Limits::default(),
+            backend: Backend::Auto,
         }
     }
 }
@@ -82,6 +105,29 @@ pub struct ServerStats {
     pub health_checks: AtomicU64,
     /// Query responses that went out marked truncated.
     pub truncated_responses: AtomicU64,
+    /// Connections accepted (including ones answered `429`).
+    pub connections_accepted: AtomicU64,
+    /// Gauge: connections currently open.
+    pub connections_open: AtomicU64,
+    /// Gauge: connections currently holding an admission slot.
+    pub connections_active: AtomicU64,
+    /// Requests served on a reused keep-alive connection (second and
+    /// later requests on one socket).
+    pub keepalive_reuses: AtomicU64,
+    /// Keep-alive connections closed by the idle deadline.
+    pub idle_closes: AtomicU64,
+    /// Connections that failed to deliver a request in time (`408`).
+    pub read_timeouts: AtomicU64,
+    /// Connections dropped because a response write stalled past the
+    /// write timeout.
+    pub write_stalls: AtomicU64,
+    /// Event-loop iterations that found at least one ready event.
+    pub loop_wakeups: AtomicU64,
+    /// Total readiness events dispatched by the loop.
+    pub ready_events: AtomicU64,
+    /// High-water mark of events returned by one poll wait (ready-queue
+    /// depth).
+    pub max_ready_batch: AtomicU64,
 }
 
 /// A plain-value copy of [`ServerStats`].
@@ -103,6 +149,26 @@ pub struct StatsSnapshot {
     pub health_checks: u64,
     /// See [`ServerStats::truncated_responses`].
     pub truncated_responses: u64,
+    /// See [`ServerStats::connections_accepted`].
+    pub connections_accepted: u64,
+    /// See [`ServerStats::connections_open`].
+    pub connections_open: u64,
+    /// See [`ServerStats::connections_active`].
+    pub connections_active: u64,
+    /// See [`ServerStats::keepalive_reuses`].
+    pub keepalive_reuses: u64,
+    /// See [`ServerStats::idle_closes`].
+    pub idle_closes: u64,
+    /// See [`ServerStats::read_timeouts`].
+    pub read_timeouts: u64,
+    /// See [`ServerStats::write_stalls`].
+    pub write_stalls: u64,
+    /// See [`ServerStats::loop_wakeups`].
+    pub loop_wakeups: u64,
+    /// See [`ServerStats::ready_events`].
+    pub ready_events: u64,
+    /// See [`ServerStats::max_ready_batch`].
+    pub max_ready_batch: u64,
 }
 
 impl ServerStats {
@@ -117,6 +183,16 @@ impl ServerStats {
             stats_requests: self.stats_requests.load(Ordering::Relaxed),
             health_checks: self.health_checks.load(Ordering::Relaxed),
             truncated_responses: self.truncated_responses.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
+            idle_closes: self.idle_closes.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            write_stalls: self.write_stalls.load(Ordering::Relaxed),
+            loop_wakeups: self.loop_wakeups.load(Ordering::Relaxed),
+            ready_events: self.ready_events.load(Ordering::Relaxed),
+            max_ready_batch: self.max_ready_batch.load(Ordering::Relaxed),
         }
     }
 }
@@ -127,7 +203,11 @@ impl StatsSnapshot {
         format!(
             "{{\"requests\":{},\"rejected\":{},\"panics\":{},\"queries\":{},\
              \"completions\":{},\"stats_requests\":{},\"health_checks\":{},\
-             \"truncated_responses\":{}}}",
+             \"truncated_responses\":{},\"connections_accepted\":{},\
+             \"connections_open\":{},\"connections_active\":{},\
+             \"keepalive_reuses\":{},\"idle_closes\":{},\"read_timeouts\":{},\
+             \"write_stalls\":{},\"loop_wakeups\":{},\"ready_events\":{},\
+             \"max_ready_batch\":{}}}",
             self.requests,
             self.rejected,
             self.panics,
@@ -135,7 +215,17 @@ impl StatsSnapshot {
             self.completions,
             self.stats_requests,
             self.health_checks,
-            self.truncated_responses
+            self.truncated_responses,
+            self.connections_accepted,
+            self.connections_open,
+            self.connections_active,
+            self.keepalive_reuses,
+            self.idle_closes,
+            self.read_timeouts,
+            self.write_stalls,
+            self.loop_wakeups,
+            self.ready_events,
+            self.max_ready_batch
         )
     }
 }
@@ -147,16 +237,18 @@ pub struct ServerHandle {
     query_cancel: CancelToken,
     stats: Arc<ServerStats>,
     addr: SocketAddr,
+    waker: Waker,
 }
 
 impl ServerHandle {
     /// Begins graceful shutdown: cancels every in-flight query's budget
-    /// token, stops accepting, and lets workers drain what was already
-    /// accepted. Idempotent; returns immediately (join the thread
-    /// running [`Server::run`] to wait for the drain).
+    /// token, stops accepting, and lets the loop drain every connection
+    /// that is owed a response. Idempotent; returns immediately (join
+    /// the thread running [`Server::run`] to wait for the drain).
     pub fn shutdown(&self) {
         self.query_cancel.cancel();
         self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
     }
 
     /// Has shutdown been requested?
@@ -177,22 +269,24 @@ impl ServerHandle {
 
 /// A bound (but not yet running) LotusX HTTP server.
 pub struct Server {
-    listener: TcpListener,
-    config: ServeConfig,
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    query_cancel: CancelToken,
-    stats: Arc<ServerStats>,
-    inflight: Arc<AtomicUsize>,
+    pub(crate) listener: TcpListener,
+    pub(crate) config: ServeConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) query_cancel: CancelToken,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) waker: Waker,
+    /// The loop-side waker receiver and the readiness poller, built at
+    /// bind time so configuration errors surface early; taken by the
+    /// one permitted [`Server::run`] call.
+    pub(crate) loop_parts: Mutex<Option<(Poller, std::os::unix::net::UnixStream)>>,
 }
 
-/// How often the accept loop re-checks the stop flag while idle.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
-
 impl Server {
-    /// Binds the configured address. The engine is supplied at
-    /// [`Server::run`] time so the server can borrow it (no `'static`
-    /// requirement — run it under `std::thread::scope` if needed).
+    /// Binds the configured address and opens the readiness poller. The
+    /// engine is supplied at [`Server::run`] time so the server can
+    /// borrow it (no `'static` requirement — run it under
+    /// `std::thread::scope` if needed).
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         if config.threads == 0 {
             return Err(io::Error::new(
@@ -209,6 +303,10 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = Poller::new(config.backend)?;
+        let (waker_tx, waker_rx) = std::os::unix::net::UnixStream::pair()?;
+        waker_tx.set_nonblocking(true)?;
+        waker_rx.set_nonblocking(true)?;
         Ok(Server {
             listener,
             config,
@@ -216,7 +314,8 @@ impl Server {
             stop: Arc::new(AtomicBool::new(false)),
             query_cancel: CancelToken::new(),
             stats: Arc::new(ServerStats::default()),
-            inflight: Arc::new(AtomicUsize::new(0)),
+            waker: Waker::new(waker_tx),
+            loop_parts: Mutex::new(Some((poller, waker_rx))),
         })
     }
 
@@ -232,127 +331,103 @@ impl Server {
             query_cancel: self.query_cancel.clone(),
             stats: Arc::clone(&self.stats),
             addr: self.addr,
+            waker: self.waker.clone(),
         }
     }
 
     /// Serves `engine` until [`ServerHandle::shutdown`] is called,
-    /// blocking the calling thread. Worker threads are scoped to this
-    /// call: when it returns, every accepted connection has been
-    /// answered and every thread joined.
+    /// blocking the calling thread (it becomes the event loop). Worker
+    /// threads are scoped to this call: when it returns, every
+    /// connection owed a response has been answered and every thread
+    /// joined. May be called at most once per server.
     pub fn run(&self, engine: &LotusX) {
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Mutex::new(rx);
+        let (poller, waker_rx) = self
+            .loop_parts
+            .lock()
+            .expect("loop parts mutex poisoned")
+            .take()
+            .expect("Server::run may only be called once");
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let jobs_rx = Mutex::new(jobs_rx);
+        let completions = Completions::new(self.waker.clone());
         std::thread::scope(|scope| {
             for _ in 0..self.config.threads {
-                scope.spawn(|| self.worker_loop(engine, &rx));
+                scope.spawn(|| self.worker_loop(engine, &jobs_rx, &completions));
             }
-            self.accept_loop(&tx);
+            event_loop::run(self, poller, waker_rx, &jobs_tx, &completions);
             // Dropping the sender lets idle workers observe the
             // disconnect once the queue is drained.
-            drop(tx);
+            drop(jobs_tx);
         });
     }
 
-    fn accept_loop(&self, tx: &mpsc::Sender<TcpStream>) {
-        while !self.stop.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((mut stream, _peer)) => {
-                    // Admission gate: only this thread increments the
-                    // in-flight count, so the check cannot over-admit.
-                    if self.inflight.load(Ordering::SeqCst) >= self.config.max_inflight {
-                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                        if lotusx_obs::enabled() {
-                            lotusx_obs::metrics().incr("http_rejected", 1);
-                        }
-                        let _ = http::set_timeouts(
-                            &stream,
-                            self.config.read_timeout,
-                            self.config.write_timeout,
-                        );
-                        let _ = http::write_error(&mut stream, 429, "server at capacity");
-                        continue;
-                    }
-                    self.inflight.fetch_add(1, Ordering::SeqCst);
-                    if tx.send(stream).is_err() {
-                        // Workers are gone; nothing to do but stop.
-                        self.inflight.fetch_sub(1, Ordering::SeqCst);
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
-                }
-                Err(_) => std::thread::sleep(ACCEPT_POLL),
-            }
-        }
-    }
-
-    fn worker_loop(&self, engine: &LotusX, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+    /// One compute worker: pulls parsed requests, routes them on the
+    /// engine, encodes the full response bytes, and pushes them back to
+    /// the event loop. Panics are isolated per request: the peer gets a
+    /// best-effort `500` and the server keeps serving.
+    fn worker_loop(&self, engine: &LotusX, rx: &Mutex<mpsc::Receiver<Job>>, done: &Completions) {
         loop {
-            // Take the lock only long enough to pull one connection.
+            // Take the lock only long enough to pull one job.
             let received = {
                 let guard = rx.lock().expect("receiver mutex poisoned");
                 guard.recv_timeout(Duration::from_millis(50))
             };
             match received {
-                Ok(mut stream) => {
+                Ok(job) => {
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        self.handle_connection(engine, &mut stream)
+                        self.route(engine, &job.request)
                     }));
-                    if outcome.is_err() {
-                        // The panic is isolated to this connection; the
-                        // peer gets a best-effort 500 and the server
-                        // keeps serving.
-                        self.stats.panics.fetch_add(1, Ordering::Relaxed);
-                        if lotusx_obs::enabled() {
-                            lotusx_obs::metrics().incr("http_worker_panics", 1);
+                    let reply = match outcome {
+                        Ok(Ok((content_type, body))) => Done {
+                            token: job.token,
+                            epoch: job.epoch,
+                            bytes: http::encode_response(
+                                200,
+                                content_type,
+                                body.as_bytes(),
+                                job.keep_alive,
+                            ),
+                            close: !job.keep_alive,
+                        },
+                        Ok(Err(reject)) => {
+                            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            if lotusx_obs::enabled() {
+                                lotusx_obs::metrics().incr("http_rejected", 1);
+                            }
+                            Done {
+                                token: job.token,
+                                epoch: job.epoch,
+                                bytes: if reject.connection_dead() {
+                                    Vec::new()
+                                } else {
+                                    http::encode_error(reject.status, &reject.reason)
+                                },
+                                close: true,
+                            }
                         }
-                        let _ = http::write_error(&mut stream, 500, "internal error");
-                    }
-                    self.inflight.fetch_sub(1, Ordering::SeqCst);
+                        Err(_) => {
+                            self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                            if lotusx_obs::enabled() {
+                                lotusx_obs::metrics().incr("http_worker_panics", 1);
+                            }
+                            Done {
+                                token: job.token,
+                                epoch: job.epoch,
+                                bytes: http::encode_error(500, "internal error"),
+                                close: true,
+                            }
+                        }
+                    };
+                    done.push(reply);
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // Keep draining until the accept loop hangs up, even
-                    // after a stop request: accepted connections must be
+                    // Keep draining until the event loop hangs up, even
+                    // after a stop request: dispatched requests must be
                     // answered.
                     continue;
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
-        }
-    }
-
-    fn handle_connection(&self, engine: &LotusX, stream: &mut TcpStream) {
-        if http::set_timeouts(stream, self.config.read_timeout, self.config.write_timeout).is_err()
-        {
-            return;
-        }
-        let request = match http::read_request(stream, &self.config.limits) {
-            Ok(request) => request,
-            Err(reject) => {
-                self.reject(stream, &reject);
-                return;
-            }
-        };
-        self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        if lotusx_obs::enabled() {
-            lotusx_obs::metrics().incr("http_requests", 1);
-        }
-        match self.route(engine, &request) {
-            Ok((content_type, body)) => {
-                let _ = http::write_response(stream, 200, content_type, body.as_bytes());
-            }
-            Err(reject) => self.reject(stream, &reject),
-        }
-    }
-
-    fn reject(&self, stream: &mut TcpStream, reject: &Reject) {
-        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
-        if lotusx_obs::enabled() {
-            lotusx_obs::metrics().incr("http_rejected", 1);
-        }
-        if !reject.connection_dead() {
-            let _ = http::write_error(stream, reject.status, &reject.reason);
         }
     }
 
@@ -412,7 +487,7 @@ impl Server {
             }),
             ("POST", "/shutdown") => {
                 // Graceful remote stop: the response goes out first, the
-                // accept loop notices the flag within its poll interval.
+                // event loop notices the flag when the completion lands.
                 self.query_cancel.cancel();
                 self.stop.store(true, Ordering::SeqCst);
                 Ok(("application/json", "{\"stopping\":true}\n".to_string()))

@@ -1,0 +1,170 @@
+//! A coarse hashed timer wheel for connection deadlines.
+//!
+//! The event loop arms at most one deadline per connection (read,
+//! write-stall, or idle) and re-arms it often — on every byte received,
+//! every response flushed. Cancellation therefore has to be O(1):
+//! instead of removing entries, each connection carries a monotonically
+//! increasing *timer epoch*, bumped on every re-arm or cancel; stale
+//! wheel entries simply fail the epoch check when their slot comes up.
+//!
+//! Deadlines beyond the wheel horizon are parked in the slot they hash
+//! to and re-inserted when it fires early — the wheel trades a few
+//! spurious wakeups for O(1) insert and a tiny footprint.
+
+use std::time::{Duration, Instant};
+
+/// An armed deadline: which connection, and which arming it belongs to.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    token: usize,
+    epoch: u64,
+    /// Absolute tick the deadline really falls on (for horizon laps).
+    at_tick: u64,
+}
+
+/// A fired deadline handed back to the caller for validation.
+#[derive(Clone, Copy, Debug)]
+pub struct Fired {
+    /// The connection token the deadline was armed for.
+    pub token: usize,
+    /// The timer epoch at arming time; stale if the connection has
+    /// re-armed since.
+    pub epoch: u64,
+}
+
+/// The wheel itself. Granularity (`slot`) bounds how late a deadline
+/// can fire; `slots * slot` is the horizon before laps occur.
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    slot_ns: u64,
+    start: Instant,
+    /// The next absolute tick to be processed.
+    cursor: u64,
+    live: usize,
+}
+
+impl TimerWheel {
+    /// A wheel with `slots` buckets of `slot` width each.
+    pub fn new(slot: Duration, slots: usize) -> TimerWheel {
+        assert!(slots > 0 && !slot.is_zero());
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            slot_ns: slot.as_nanos() as u64,
+            start: Instant::now(),
+            cursor: 0,
+            live: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let ns = at.saturating_duration_since(self.start).as_nanos() as u64;
+        // Round up: a deadline never fires early because of bucketing.
+        ns.div_ceil(self.slot_ns)
+    }
+
+    /// Arms a deadline for `(token, epoch)`. Entries are never removed
+    /// directly — bump the connection's epoch to cancel.
+    pub fn insert(&mut self, deadline: Instant, token: usize, epoch: u64) {
+        let at_tick = self.tick_of(deadline).max(self.cursor);
+        let slot = (at_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry {
+            token,
+            epoch,
+            at_tick,
+        });
+        self.live += 1;
+    }
+
+    /// How long [`TimerWheel::expire`] can be delayed without firing
+    /// anything late: the distance to the next non-empty slot. `None`
+    /// when nothing is armed.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.live == 0 {
+            return None;
+        }
+        let now_ns = now.saturating_duration_since(self.start).as_nanos() as u64;
+        let n = self.slots.len() as u64;
+        for offset in 0..n {
+            let tick = self.cursor + offset;
+            if !self.slots[(tick % n) as usize].is_empty() {
+                let due_ns = tick * self.slot_ns;
+                return Some(Duration::from_nanos(due_ns.saturating_sub(now_ns)));
+            }
+        }
+        // Only lapped (far-future) entries remain somewhere: one lap.
+        Some(Duration::from_nanos(n * self.slot_ns))
+    }
+
+    /// Drains every entry whose slot has come due, appending real
+    /// expiries to `fired`. Entries parked beyond the horizon are
+    /// re-inserted for their next lap.
+    pub fn expire(&mut self, now: Instant, fired: &mut Vec<Fired>) {
+        let now_tick = {
+            let ns = now.saturating_duration_since(self.start).as_nanos() as u64;
+            ns / self.slot_ns
+        };
+        let n = self.slots.len() as u64;
+        let mut relodge: Vec<Entry> = Vec::new();
+        while self.cursor <= now_tick {
+            let slot = (self.cursor % n) as usize;
+            for entry in self.slots[slot].drain(..) {
+                self.live -= 1;
+                if entry.at_tick <= now_tick {
+                    fired.push(Fired {
+                        token: entry.token,
+                        epoch: entry.epoch,
+                    });
+                } else {
+                    relodge.push(entry);
+                }
+            }
+            self.cursor += 1;
+        }
+        for entry in relodge {
+            let slot = (entry.at_tick.max(self.cursor) % n) as usize;
+            self.slots[slot].push(entry);
+            self.live += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_time_and_respects_epochs() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 8);
+        let t0 = Instant::now();
+        wheel.insert(t0 + Duration::from_millis(3), 7, 1);
+        let mut fired = Vec::new();
+        wheel.expire(t0 + Duration::from_millis(1), &mut fired);
+        assert!(fired.is_empty(), "must not fire early");
+        wheel.expire(t0 + Duration::from_millis(20), &mut fired);
+        assert_eq!(fired.len(), 1);
+        assert_eq!((fired[0].token, fired[0].epoch), (7, 1));
+    }
+
+    #[test]
+    fn lapped_entries_survive_the_horizon() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 4);
+        let t0 = Instant::now();
+        // 10ms deadline on a 4ms-horizon wheel: must lap, not fire early.
+        wheel.insert(t0 + Duration::from_millis(10), 1, 1);
+        let mut fired = Vec::new();
+        wheel.expire(t0 + Duration::from_millis(5), &mut fired);
+        assert!(fired.is_empty());
+        wheel.expire(t0 + Duration::from_millis(12), &mut fired);
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn next_timeout_tracks_the_earliest_slot() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 64);
+        let t0 = Instant::now();
+        assert!(wheel.next_timeout(t0).is_none());
+        wheel.insert(t0 + Duration::from_millis(30), 1, 1);
+        let timeout = wheel.next_timeout(t0).unwrap();
+        assert!(timeout <= Duration::from_millis(31), "{timeout:?}");
+    }
+}

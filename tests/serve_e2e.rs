@@ -5,7 +5,7 @@
 use lotusx::{Algorithm, LotusX};
 use lotusx_datagen::{generate, Dataset};
 use lotusx_obs::parse_json;
-use lotusx_serve::{client, wire, ServeConfig, Server};
+use lotusx_serve::{client, wire, Backend, ServeConfig, Server};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -186,6 +186,45 @@ fn healthz_and_stats_reconcile() {
         for key in ["stages", "counters", "windows"] {
             assert!(metrics.get(key).is_some(), "metrics.{key} missing");
         }
+    });
+}
+
+#[test]
+fn poll_backend_serves_byte_identical_responses() {
+    // The portable poll(2) backend is the fallback on non-Linux hosts
+    // and behind `--backend poll`; it must be indistinguishable on the
+    // wire from the default (epoll on Linux) backend, keep-alive
+    // included.
+    let engine = xmark_engine();
+    let config = ServeConfig {
+        backend: Backend::Poll,
+        ..ServeConfig::default()
+    };
+    let bodies = [
+        "{\"text\":\"//item/name\",\"algorithm\":\"tjfast\",\"top_k\":7}".to_string(),
+        "{\"text\":\"gold keyword\",\"kind\":\"keyword\",\"top_k\":5}".to_string(),
+    ];
+    let expected: Vec<String> = bodies.iter().map(|b| expected_bytes(&engine, b)).collect();
+    with_server(&engine, config, |addr, handle| {
+        // One-shot clients (Connection: close per request).
+        for (body, want) in bodies.iter().zip(&expected) {
+            let response = client::post(addr, "/query", body).expect("poll-backend query");
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body_text(), *want);
+        }
+        // A reused keep-alive connection through the same backend.
+        let mut conn = client::Conn::connect(addr).expect("keep-alive connect");
+        for (body, want) in bodies.iter().zip(&expected) {
+            conn.send("POST", "/query", Some(body.as_bytes()))
+                .expect("send");
+            let response = conn.read_one().expect("keep-alive response");
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body_text(), *want);
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.keepalive_reuses, 1);
     });
 }
 

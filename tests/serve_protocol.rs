@@ -233,6 +233,105 @@ fn malformed_inputs_get_documented_rejections_and_exact_counters() {
     });
 }
 
+/// Keep-alive, pipelining, half-close, and the idle deadline: the
+/// event-loop connection state machine end to end, with exact counter
+/// accounting across all four conversations.
+#[test]
+fn keep_alive_pipelining_half_close_and_idle_timeout() {
+    let engine = LotusX::load_str(DOC).unwrap();
+    let config = ServeConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run(&engine));
+
+        // 1. A second request on a reused connection.
+        let mut conn = client::Conn::connect(addr).expect("keep-alive connect");
+        conn.send("GET", "/healthz", None).expect("first send");
+        let first = conn.read_one().expect("first response");
+        assert_eq!(first.status, 200);
+        assert_eq!(
+            first.header("connection"),
+            Some("keep-alive"),
+            "an HTTP/1.1 request without Connection: close keeps the socket open"
+        );
+        assert_eq!(first.body_text(), "ok\n");
+        conn.send("GET", "/healthz", None).expect("reused send");
+        let second = conn.read_one().expect("second response on the same socket");
+        assert_eq!(second.status, 200);
+        assert_eq!(second.body_text(), "ok\n");
+        drop(conn); // client-side close: the server reaps it silently
+
+        // 2. A pipelined pair is answered in order: both requests are
+        // written before either response is read, and the responses
+        // come back in request order (healthz first, query second).
+        let query = "{\"text\":\"Abiteboul\",\"kind\":\"keyword\",\"top_k\":1}";
+        let mut pipe = client::Conn::connect(addr).expect("pipelining connect");
+        pipe.send("GET", "/healthz", None).expect("pipelined #1");
+        pipe.send("POST", "/query", Some(query.as_bytes()))
+            .expect("pipelined #2");
+        let a = pipe.read_one().expect("pipelined response #1");
+        let b = pipe.read_one().expect("pipelined response #2");
+        assert_eq!((a.status, b.status), (200, 200));
+        assert_eq!(
+            a.body_text(),
+            "ok\n",
+            "responses must arrive in request order"
+        );
+        assert!(
+            b.body_text().contains("\"total_matches\":"),
+            "second response is the query's: {:?}",
+            b.body_text()
+        );
+        drop(pipe);
+
+        // 3. Half-closed write side: pipeline two requests, shut down
+        // the write half, and both buffered requests are still served
+        // (half-close means "no more requests", not "hang up").
+        let mut half = client::Conn::connect(addr).expect("half-close connect");
+        half.send("GET", "/healthz", None).expect("half-close #1");
+        half.send("GET", "/healthz", None).expect("half-close #2");
+        half.shutdown_write().expect("half-close the write side");
+        let h1 = half.read_one().expect("response #1 after half-close");
+        let h2 = half.read_one().expect("response #2 after half-close");
+        assert_eq!((h1.status, h2.status), (200, 200));
+        assert!(
+            half.at_eof().expect("clean close after half-close drain"),
+            "the server closes once the half-closed connection is drained"
+        );
+
+        // 4. Idle timeout: a keep-alive connection parked between
+        // requests is closed by the idle deadline, not left forever.
+        let mut idle = client::Conn::connect(addr).expect("idle connect");
+        idle.send("GET", "/healthz", None).expect("idle send");
+        assert_eq!(idle.read_one().expect("idle response").status, 200);
+        std::thread::sleep(Duration::from_millis(900));
+        assert!(
+            idle.at_eof().expect("idle close is a clean FIN"),
+            "the idle deadline must close a parked keep-alive connection"
+        );
+
+        let stats = handle.stats();
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.rejected, 0, "every conversation here is well-formed");
+        assert_eq!(stats.requests, 7, "2 + 2 + 2 + 1 requests were routed");
+        assert_eq!(
+            stats.keepalive_reuses, 3,
+            "one reuse each on the keep-alive, pipelined, and half-closed sockets"
+        );
+        assert_eq!(stats.health_checks, 6);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.idle_closes, 1, "only the parked connection idles out");
+
+        handle.shutdown();
+    });
+}
+
 #[test]
 fn admission_gate_answers_429_exactly_at_capacity() {
     let engine = LotusX::load_str(DOC).unwrap();

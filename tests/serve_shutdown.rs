@@ -42,8 +42,15 @@ fn shutdown_drains_in_flight_queries_cleanly() {
     let (results_tx, results_rx) = mpsc::channel::<Result<(u16, String), String>>();
     let started = AtomicUsize::new(0);
 
-    let join_elapsed = std::thread::scope(|scope| {
+    let (join_elapsed, mut idle_conn) = std::thread::scope(|scope| {
         let run = scope.spawn(|| server.run(&engine));
+
+        // A parked keep-alive connection, established before the storm:
+        // the event loop must reap it on shutdown instead of letting it
+        // hold the drain open until the idle deadline.
+        let mut idle_conn = client::Conn::connect(addr).expect("idle keep-alive connect");
+        idle_conn.send("GET", "/healthz", None).expect("idle send");
+        assert_eq!(idle_conn.read_one().expect("idle response").status, 200);
 
         for id in 0..CLIENTS {
             let results_tx = results_tx.clone();
@@ -74,12 +81,21 @@ fn shutdown_drains_in_flight_queries_cleanly() {
         // checkpoint instead of running to completion.
         let t0 = Instant::now();
         run.join().expect("server thread joins");
-        t0.elapsed()
+        (t0.elapsed(), idle_conn)
     });
 
     assert!(
         join_elapsed < Duration::from_secs(10),
         "shutdown drain took {join_elapsed:?}"
+    );
+
+    // The parked keep-alive connection was closed by the drain, not
+    // abandoned: the client sees a clean FIN.
+    assert!(
+        idle_conn
+            .at_eof()
+            .expect("drain closes idle connections cleanly"),
+        "shutdown must close parked keep-alive connections"
     );
 
     // Every client got a response: queued-but-unstarted connections are
