@@ -323,6 +323,9 @@ impl EventLoop<'_> {
                         if ev.readable || ev.hangup {
                             self.on_readable(token);
                         }
+                        if ev.hangup {
+                            self.on_hangup(token);
+                        }
                     }
                 }
             }
@@ -583,6 +586,30 @@ impl EventLoop<'_> {
         self.update_read_interest(token);
     }
 
+    /// ERR/HUP readiness cannot be masked out of a level-triggered
+    /// poller, so a connection the read path can no longer make
+    /// progress on (rejecting, backpressured at the input cap, already
+    /// at EOF) would otherwise wake the loop on every wait, forever.
+    /// HUP means the peer is gone in both directions — nothing more
+    /// can arrive or be delivered — so account an owed request the way
+    /// a read error is accounted and close.
+    fn on_hangup(&mut self, token: usize) {
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        // `reject_conn` already counted connections it marked closing.
+        let owed = !conn.pending
+            && !conn.close_after_flush
+            && (conn.served == 0 || !conn.inbuf.is_empty());
+        if owed {
+            self.server.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            if lotusx_obs::enabled() {
+                lotusx_obs::metrics().incr("http_rejected", 1);
+            }
+        }
+        self.close_conn(token);
+    }
+
     /// New bytes landed: re-admit an idle connection and re-arm the
     /// read deadline (unless a request is already computing).
     fn on_bytes_arrived(&mut self, token: usize) {
@@ -798,6 +825,25 @@ impl EventLoop<'_> {
         }
         self.flush(token);
         self.update_read_interest(token);
+        // The read deadline was disarmed at dispatch. If the leftover
+        // pipelined bytes only make a partial request, the paths above
+        // arm nothing — and a deadline-free connection holding its
+        // admission slot would outlive a peer that never speaks again.
+        self.ensure_deadline(token);
+    }
+
+    /// Arms whatever deadline the connection's state calls for, if
+    /// none is armed. PENDING and closing connections are bounded by
+    /// their completion and the write path respectively; every other
+    /// state must carry a read or idle deadline.
+    fn ensure_deadline(&mut self, token: usize) {
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        if conn.pending || conn.close_after_flush || conn.deadline.is_some() {
+            return;
+        }
+        self.restore_deadline(token);
     }
 
     // ---- write path --------------------------------------------------
@@ -910,17 +956,22 @@ impl EventLoop<'_> {
             let Some(conn) = self.conn(token) else {
                 continue;
             };
-            let idle = !conn.pending
+            // Nothing computing and nothing left to flush: the
+            // connection is either parked idle or holds a partial
+            // request that will never complete before shutdown. Close
+            // it now, or the drain waits on a peer that may never
+            // speak again.
+            let reap = !conn.pending
                 && conn.outpos == conn.outbuf.len()
-                && conn.inbuf.is_empty()
-                && conn.served > 0;
-            if idle {
+                && (conn.served > 0 || !conn.inbuf.is_empty());
+            if reap {
                 self.close_conn(token);
             } else if let Some(conn) = self.conn(token) {
-                // Anything mid-conversation finishes its current
-                // request and closes with the response.
-                conn.close_after_flush = conn.close_after_flush
-                    || (!conn.pending && conn.inbuf.is_empty() && conn.outpos < conn.outbuf.len());
+                // Anything mid-flush finishes its current write and
+                // closes with it (a partial request buffered behind
+                // the flush will never be parsed during drain).
+                conn.close_after_flush =
+                    conn.close_after_flush || (!conn.pending && conn.outpos < conn.outbuf.len());
             }
         }
     }

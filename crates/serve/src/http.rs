@@ -165,7 +165,12 @@ fn take_line(
             Ok(Some((text, pos + nl + 1)))
         }
         None => {
-            if buf.len() - pos > cap {
+            // Count line bytes, not buffered bytes: a trailing `\r`
+            // still awaiting its `\n` is framing, so a line of exactly
+            // `cap` bytes is accepted no matter how the CRLF split
+            // across reads.
+            let line_so_far = (buf.len() - pos) - usize::from(buf.last() == Some(&b'\r'));
+            if line_so_far > cap {
                 return Err(Reject::new(over_cap_status, "line too long"));
             }
             Ok(None)
@@ -382,6 +387,33 @@ mod tests {
         ) {
             ParseStatus::Partial { on_eof } => {
                 assert_eq!(on_eof.reason, "body shorter than content-length");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_cap_does_not_depend_on_read_split() {
+        let line = "GET /a HTTP/1.1";
+        let tight = Limits {
+            max_request_line: line.len(),
+            ..limits()
+        };
+        // A read split right after the `\r` buffers cap + 1 bytes, but
+        // the line itself is exactly at cap: still partial, not 400.
+        match parse_request(b"GET /a HTTP/1.1\r", &tight) {
+            ParseStatus::Partial { .. } => {}
+            other => panic!("cap-length line split after \\r must stay partial, got {other:?}"),
+        }
+        match parse_request(b"GET /a HTTP/1.1\r\n\r\n", &tight) {
+            ParseStatus::Complete(p) => assert_eq!(p.request.path, "/a"),
+            other => panic!("{other:?}"),
+        }
+        // One byte of real line content over the cap still rejects
+        // without waiting for the newline.
+        match parse_request(b"GET /ab HTTP/1.1", &tight) {
+            ParseStatus::Failed(r) => {
+                assert_eq!((r.status, r.reason.as_str()), (400, "line too long"))
             }
             other => panic!("{other:?}"),
         }

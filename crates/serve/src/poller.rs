@@ -231,9 +231,12 @@ mod epoll {
             token: usize,
             interest: Interest,
         ) -> io::Result<()> {
-            let mut events = EPOLLRDHUP;
+            // RDHUP rides along only with read interest: a half-closed
+            // peer whose reads are parked (backpressure, rejecting)
+            // must not level-trigger the loop on every wait.
+            let mut events = 0;
             if interest.readable {
-                events |= EPOLLIN;
+                events |= EPOLLIN | EPOLLRDHUP;
             }
             if interest.writable {
                 events |= EPOLLOUT;
@@ -391,14 +394,18 @@ mod pollfall {
                 }
                 break;
             }
-            for (slot, (_, token, _)) in self.fds.iter().zip(&self.entries) {
+            for (slot, (_, token, interest)) in self.fds.iter().zip(&self.entries) {
                 let bits = slot.revents;
                 if bits == 0 {
                     continue;
                 }
                 out.push(PollEvent {
                     token: *token,
-                    readable: bits & (POLLIN | POLLHUP) != 0,
+                    // POLLHUP is reported regardless of the requested
+                    // events; surface it as readable (so EOF gets
+                    // observed by a read) only when reads are wanted,
+                    // and always as a hangup so the owner can close.
+                    readable: interest.readable && bits & (POLLIN | POLLHUP) != 0,
                     writable: bits & POLLOUT != 0,
                     hangup: bits & (POLLERR | POLLHUP) != 0,
                 });

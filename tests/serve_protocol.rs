@@ -3,6 +3,7 @@
 //! counters account for every one of them exactly.
 
 use lotusx::LotusX;
+use lotusx_datagen::{generate, Dataset};
 use lotusx_serve::{client, Limits, ServeConfig, Server};
 use std::io::Write;
 use std::time::Duration;
@@ -329,6 +330,122 @@ fn keep_alive_pipelining_half_close_and_idle_timeout() {
         assert_eq!(stats.idle_closes, 1, "only the parked connection idles out");
 
         handle.shutdown();
+    });
+}
+
+/// Leftover partial pipelined bytes after a completed response must not
+/// park the connection deadline-free: the read deadline answers `408`
+/// so a client that goes silent mid-pipeline cannot hold its admission
+/// slot forever.
+#[test]
+fn partial_pipelined_request_hits_the_read_timeout() {
+    let engine = LotusX::load_str(DOC).unwrap();
+    let server = Server::bind(hardened_config()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run(&engine));
+
+        // One complete request plus the head of a second, in one write.
+        let mut conn = client::Conn::connect(addr).expect("connect");
+        conn.send_raw(b"GET /healthz HTTP/1.1\r\n\r\nGET /heal")
+            .expect("pipelined partial");
+        let first = conn.read_one().expect("first response");
+        assert_eq!(first.status, 200);
+        // The client now goes silent: the partial must be answered 408
+        // by the read deadline, not parked without any deadline.
+        let second = conn.read_one().expect("read-timeout response");
+        assert_eq!(second.status, 408);
+        assert!(conn.at_eof().expect("close after the 408"));
+
+        let stats = handle.stats();
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.read_timeouts, 1, "the leftover partial timed out");
+        assert_eq!(stats.rejected, 1, "the 408 is the only rejection");
+        assert_eq!(stats.requests, 1, "only the complete request routed");
+
+        handle.shutdown();
+    });
+}
+
+/// A drain that begins while a connection holds unparsed partial input
+/// must close it (the request can never complete before shutdown)
+/// instead of leaving `Server::run` waiting on a silent peer.
+#[test]
+fn drain_closes_connections_with_partial_input() {
+    let engine = LotusX::load_str(DOC).unwrap();
+    // Deliberately long read timeout: the drain itself — not a
+    // deadline — has to reap the partial connection.
+    let server = Server::bind(ServeConfig {
+        read_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run(&engine));
+
+        let mut conn = client::Conn::connect(addr).expect("connect");
+        conn.send_raw(b"GET /healthz HTTP/1.1\r\n\r\nGET /heal")
+            .expect("pipelined partial");
+        assert_eq!(conn.read_one().expect("response").status, 200);
+
+        handle.shutdown();
+        assert!(
+            conn.at_eof()
+                .expect("drain must FIN the partial connection"),
+            "a connection holding a partial request is closed by drain"
+        );
+        // The scope join below hangs (and fails the test harness) if
+        // the event loop never finishes draining.
+    });
+}
+
+/// A peer that half-closes while its query is still computing leaves
+/// the connection with read interest off; hangup-style readiness must
+/// not level-trigger the loop into a 100% CPU spin while the worker
+/// finishes. `loop_wakeups` is the spin detector: a busy loop racks up
+/// tens of thousands of wakeups in the measurement window.
+#[test]
+fn half_close_during_compute_does_not_spin_the_loop() {
+    let engine = LotusX::load_document(generate(Dataset::TreebankLike, 2, 7));
+    let server = Server::bind(ServeConfig {
+        threads: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run(&engine));
+
+        // A deliberately expensive query (budget-bounded), then FIN the
+        // write side so the loop records peer EOF and parks the read.
+        let query = "{\"text\":\"//s//np//np//nn\",\"algorithm\":\"naive\",\
+                     \"top_k\":9000,\"budget\":{\"nodes\":500000000}}";
+        let mut conn = client::Conn::connect(addr).expect("connect");
+        conn.send("POST", "/query", Some(query.as_bytes()))
+            .expect("send query");
+        conn.shutdown_write().expect("half-close the write side");
+        std::thread::sleep(Duration::from_millis(400));
+        let wakeups = handle.stats().loop_wakeups;
+
+        // Cancelling via shutdown bounds the query regardless of corpus
+        // speed (and lets the scope join even if an assert below
+        // fails); the half-closed peer still gets its (possibly
+        // truncated) response before the connection closes.
+        handle.shutdown();
+        let response = conn.read_one().expect("response after half-close");
+        assert_eq!(response.status, 200);
+        assert!(conn.at_eof().expect("clean close after the response"));
+        assert!(
+            wakeups < 5_000,
+            "event loop spun on the half-closed connection: {wakeups} wakeups in 400ms"
+        );
     });
 }
 
