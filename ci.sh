@@ -18,9 +18,9 @@ set -u
 # and test. A stage named X is implemented by the function stage_X
 # (dashes become underscores).
 ALL_STAGES=(fmt clippy build test smoke robust-smoke telemetry-smoke
-            serve-smoke soak-smoke join-bench-smoke snapshot-smoke)
-FAST_SKIP=(build smoke robust-smoke telemetry-smoke serve-smoke soak-smoke
-           join-bench-smoke snapshot-smoke)
+            serve-smoke metrics-smoke soak-smoke join-bench-smoke snapshot-smoke)
+FAST_SKIP=(build smoke robust-smoke telemetry-smoke serve-smoke metrics-smoke
+           soak-smoke join-bench-smoke snapshot-smoke)
 
 FAST=0
 ONLY_STAGES=()
@@ -253,12 +253,78 @@ stage_serve_smoke() {
     grep -q '^stopped:' "$log"
 }
 
+# Metrics smoke: boot the server with a structured access log and
+# connection tracing on, scrape /metrics twice through the raw-socket
+# probe client (exposition-format conformance + counter monotonicity,
+# no curl), stop it gracefully, then validate the exported trace with
+# trace-check --require-conns (per-connection lanes, phase slice
+# balance, exact ring accounting) and check the access log carries
+# exactly one JSONL line per request the stage made.
+stage_metrics_smoke() {
+    cargo build --release -p lotusx-serve --bin lotusx-serve || return 1
+    cargo build --release -p lotusx-bench --bin trace-check || return 1
+    local log=/tmp/lotusx_ci_metrics.log
+    local access=/tmp/lotusx_ci_access.jsonl
+    local trace=/tmp/lotusx_ci_conn_trace.json
+    rm -f "$log" "$access" "$trace"
+    LOTUSX_TRACE="$trace" ./target/release/lotusx-serve --addr 127.0.0.1:0 \
+        --corpus @dblp:1 --access-log "$access" </dev/null >"$log" 2>&1 &
+    local pid=$!
+    local wait_secs="${CI_WAIT_SECS:-10}"
+    local tries=$((wait_secs * 10))
+    [ "$tries" -lt 1 ] && tries=1
+    local addr="" i
+    for i in $(seq 1 "$tries"); do
+        addr=$(sed -n 's/^listening on //p' "$log")
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "metrics-smoke: server exited before binding; log tail:" >&2
+            tail -n 40 "$log" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "metrics-smoke: server never printed its address within ${wait_secs}s" >&2
+        tail -n 40 "$log" >&2
+        kill "$pid" 2>/dev/null
+        return 1
+    fi
+    if ! ./target/release/lotusx-serve --metrics-probe "$addr"; then
+        echo "metrics-smoke: probe failed; log tail:" >&2
+        tail -n 40 "$log" >&2
+        kill "$pid" 2>/dev/null
+        return 1
+    fi
+    ./target/release/lotusx-serve --stop "$addr" || { kill "$pid" 2>/dev/null; return 1; }
+    local status=0
+    wait "$pid" || status=$?
+    if [ $status -ne 0 ]; then
+        echo "metrics-smoke: server exited with status $status; log tail:" >&2
+        tail -n 40 "$log" >&2
+        return 1
+    fi
+    ./target/release/trace-check "$trace" --require-conns || return 1
+    # The stage's request ledger: 3 pipelined queries + 2 scrapes from
+    # the probe, plus the POST /shutdown from --stop.
+    local lines
+    lines=$(wc -l < "$access")
+    if [ "$lines" -ne 6 ]; then
+        echo "metrics-smoke: access log has $lines lines, want 6:" >&2
+        cat "$access" >&2
+        return 1
+    fi
+    grep -q '"path":"/metrics"' "$access" &&
+    grep -q '"close":"drain"' "$access"
+}
+
 # Connection soak: the quick-mode lotusx-soak run holds 1000 concurrent
 # connections (mixed keep-alive / one-shot / slow-reader / slow-loris
 # clients) against the event-loop server on loopback and exits nonzero
 # unless accounting is exact: zero panics, accepted == client connects,
-# rejected == the loris count, bounded memory. The full soak is
-# `lotusx-soak --soak` for local runs.
+# rejected == the loris count, one access-log line per answered request
+# with zero drops, bounded memory. The full soak is `lotusx-soak --soak`
+# for local runs.
 stage_soak_smoke() {
     cargo build --release -p lotusx-serve --bin lotusx-soak || return 1
     # ~2k fds live in this process during the soak; raise the soft

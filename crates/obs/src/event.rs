@@ -26,6 +26,95 @@ impl QueryId {
     pub const NONE: QueryId = QueryId(0);
 }
 
+/// A served connection's state-machine phase (the serving layer's
+/// READING→PENDING→FLUSH→IDLE cycle; see `lotusx-serve`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnPhase {
+    /// Accumulating bytes until a request frames.
+    Reading,
+    /// Exactly one request is on the worker pool.
+    Pending,
+    /// Response bytes draining to the socket.
+    Flush,
+    /// Parked keep-alive connection between requests.
+    Idle,
+}
+
+impl ConnPhase {
+    /// Stable snake-case name (trace slice / JSONL field value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConnPhase::Reading => "reading",
+            ConnPhase::Pending => "pending",
+            ConnPhase::Flush => "flush",
+            ConnPhase::Idle => "idle",
+        }
+    }
+}
+
+/// Why a connection was closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The request opted out of keep-alive, or the peer half-closed
+    /// cleanly after its last request.
+    ClientClose,
+    /// The peer vanished (hangup readiness / reset).
+    Hangup,
+    /// The keep-alive idle deadline fired.
+    IdleTimeout,
+    /// The read deadline fired before a complete request arrived (408).
+    ReadTimeout,
+    /// A response write stalled past the write deadline.
+    WriteStall,
+    /// A socket operation failed.
+    IoError,
+    /// A protocol or routing reject (4xx/5xx) closed the connection.
+    Rejected,
+    /// The admission gate answered 429.
+    Admission,
+    /// Graceful shutdown drained or reaped the connection.
+    Drain,
+}
+
+impl CloseReason {
+    /// Stable snake-case name (trace args / access-log `close` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CloseReason::ClientClose => "client_close",
+            CloseReason::Hangup => "hangup",
+            CloseReason::IdleTimeout => "idle_timeout",
+            CloseReason::ReadTimeout => "read_timeout",
+            CloseReason::WriteStall => "write_stall",
+            CloseReason::IoError => "io_error",
+            CloseReason::Rejected => "rejected",
+            CloseReason::Admission => "admission",
+            CloseReason::Drain => "drain",
+        }
+    }
+}
+
+/// Which per-connection deadline fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlineKind {
+    /// Deliver a complete request or be answered 408.
+    Read,
+    /// Keep-alive gap cap.
+    Idle,
+    /// Accept response bytes or be dropped.
+    Write,
+}
+
+impl DeadlineKind {
+    /// Stable snake-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeadlineKind::Read => "read",
+            DeadlineKind::Idle => "idle",
+            DeadlineKind::Write => "write",
+        }
+    }
+}
+
 /// What happened (the payload half of a [`TraceEvent`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventKind {
@@ -85,6 +174,46 @@ pub enum EventKind {
         /// The chosen algorithm's stable name (e.g. `twigstack`).
         algorithm: &'static str,
     },
+    /// The serving layer accepted a connection.
+    ConnAccept {
+        /// Per-server connection id (wrapping; lanes reuse after 2^20).
+        conn: u32,
+        /// Whether the admission gate let it into service (false = the
+        /// connection only exists to carry a 429).
+        admitted: bool,
+    },
+    /// A connection was closed.
+    ConnClose {
+        /// Per-server connection id.
+        conn: u32,
+        /// Why it closed.
+        reason: CloseReason,
+    },
+    /// A connection moved to a new serving phase
+    /// (READING→PENDING→FLUSH→IDLE).
+    ConnPhase {
+        /// Per-server connection id.
+        conn: u32,
+        /// The phase entered.
+        phase: ConnPhase,
+    },
+    /// A per-connection deadline fired.
+    ConnDeadline {
+        /// Per-server connection id.
+        conn: u32,
+        /// Which deadline.
+        kind: DeadlineKind,
+    },
+    /// A parked keep-alive connection began another request.
+    ConnReuse {
+        /// Per-server connection id.
+        conn: u32,
+    },
+    /// The admission gate turned a new connection away (429).
+    AdmissionReject {
+        /// Per-server connection id.
+        conn: u32,
+    },
 }
 
 impl EventKind {
@@ -102,6 +231,12 @@ impl EventKind {
             EventKind::WorkerPanicked => "worker_panic",
             EventKind::Rewrite { .. } => "rewrite",
             EventKind::AlgoChosen { .. } => "algo_chosen",
+            EventKind::ConnAccept { .. } => "conn_accept",
+            EventKind::ConnClose { .. } => "conn_close",
+            EventKind::ConnPhase { .. } => "conn_phase",
+            EventKind::ConnDeadline { .. } => "conn_deadline",
+            EventKind::ConnReuse { .. } => "conn_reuse",
+            EventKind::AdmissionReject { .. } => "admission_reject",
         }
     }
 }
@@ -122,6 +257,18 @@ pub struct TraceEvent {
 
 /// Default trace-ring capacity in events (~1 MiB of 32-byte events).
 pub const DEFAULT_RING_CAPACITY: usize = 32_768;
+
+/// First lane id of the per-connection lane namespace. Worker lanes
+/// (from `lotusx-par`) are small integers; connection-attributed events
+/// live on `CONN_LANE_BASE + conn` so the two never collide and the
+/// exporter can label them `conn-N`.
+pub const CONN_LANE_BASE: u32 = 1 << 20;
+
+/// The trace lane of connection `conn` (wraps inside the connection
+/// namespace after 2^20 connections — fine for any one trace).
+pub fn conn_lane(conn: u32) -> u32 {
+    CONN_LANE_BASE | (conn & (CONN_LANE_BASE - 1))
+}
 
 static TRACING: AtomicBool = AtomicBool::new(false);
 static QUERY_SEQ: AtomicU64 = AtomicU64::new(1);
@@ -184,6 +331,24 @@ pub fn emit(query: QueryId, kind: EventKind) {
     });
 }
 
+/// Like [`emit`], but placing the event on an explicit lane instead of
+/// the calling thread's worker lane. The serving layer uses this to put
+/// connection-lifecycle events — and the HTTP stage slices computed on
+/// its worker threads — on the owning connection's lane
+/// ([`conn_lane`]), so Perfetto renders one lane per connection.
+#[inline]
+pub fn emit_on_lane(lane: u32, query: QueryId, kind: EventKind) {
+    if !tracing() {
+        return;
+    }
+    trace_ring().push(TraceEvent {
+        ts_ns: trace_now_ns(),
+        lane,
+        query,
+        kind,
+    });
+}
+
 /// Drains every event currently buffered, in queue order.
 pub fn drain_events() -> Vec<TraceEvent> {
     trace_ring().drain()
@@ -234,6 +399,34 @@ mod tests {
             "cache_access"
         );
         assert_eq!(EventKind::WorkerPanicked.name(), "worker_panic");
+        assert_eq!(
+            EventKind::ConnClose {
+                conn: 1,
+                reason: CloseReason::IdleTimeout
+            }
+            .name(),
+            "conn_close"
+        );
+        assert_eq!(
+            EventKind::ConnPhase {
+                conn: 1,
+                phase: ConnPhase::Pending
+            }
+            .name(),
+            "conn_phase"
+        );
+        assert_eq!(CloseReason::WriteStall.name(), "write_stall");
+        assert_eq!(ConnPhase::Reading.name(), "reading");
+        assert_eq!(DeadlineKind::Write.name(), "write");
+    }
+
+    #[test]
+    fn conn_lanes_never_collide_with_worker_lanes() {
+        assert_eq!(conn_lane(0), CONN_LANE_BASE);
+        assert_eq!(conn_lane(7), CONN_LANE_BASE + 7);
+        // Wraps inside the namespace rather than spilling out of it.
+        assert_eq!(conn_lane(CONN_LANE_BASE + 3), CONN_LANE_BASE + 3);
+        assert!(conn_lane(u32::MAX) >= CONN_LANE_BASE);
     }
 
     #[test]

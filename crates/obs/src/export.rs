@@ -8,9 +8,21 @@
 //! accesses, budget trips, rewrites, panics) render as instants.
 //! Timestamps are microseconds since the trace epoch, with sub-µs
 //! precision kept as fractions.
+//!
+//! Connection-lifecycle events from the serving layer live on their own
+//! lane namespace ([`crate::event::CONN_LANE_BASE`], labeled `conn-N`):
+//! accept/close bracket one `conn#N` slice per connection, and the
+//! READING→PENDING→FLUSH→IDLE phase events are converted into
+//! back-to-back nested slices (entering a phase ends the previous one),
+//! so HTTP stage slices attributed to the connection nest inside the
+//! phase that produced them. [`chrome_trace_json_with`] can additionally
+//! embed the trace ring's produced/dropped/exported counters as a
+//! metadata record so validators can re-check the exact accounting.
 
-use crate::event::{EventKind, TraceEvent};
+use crate::event::{EventKind, TraceEvent, CONN_LANE_BASE};
 use crate::json::json_string;
+use crate::ring::RingCounters;
+use std::collections::HashMap;
 
 /// Timestamp in fractional microseconds, as Chrome expects.
 fn ts_us(ts_ns: u64) -> String {
@@ -51,6 +63,25 @@ fn chrome_event(e: &TraceEvent) -> String {
             format!("algo_chosen:{algorithm}"),
             format!("\"algorithm\":{}", json_string(algorithm)),
         ),
+        EventKind::ConnAccept { conn, admitted } => (
+            "B",
+            format!("conn#{conn}"),
+            format!("\"admitted\":{admitted}"),
+        ),
+        EventKind::ConnClose { conn, reason } => (
+            "E",
+            format!("conn#{conn}"),
+            format!("\"reason\":{}", json_string(reason.name())),
+        ),
+        // Phase begin/end pairs are synthesized by `chrome_trace_json`
+        // (ending a phase needs the previous event's name); a bare
+        // phase event renders as an instant.
+        EventKind::ConnPhase { phase, .. } => ("i", phase.name().to_string(), String::new()),
+        EventKind::ConnDeadline { kind, .. } => {
+            ("i", format!("deadline:{}", kind.name()), String::new())
+        }
+        EventKind::ConnReuse { .. } => ("i", "keepalive_reuse".to_string(), String::new()),
+        EventKind::AdmissionReject { .. } => ("i", "admission_reject".to_string(), String::new()),
     };
     let mut out = format!(
         "{{\"name\":{},\"cat\":{},\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
@@ -78,9 +109,27 @@ fn chrome_event(e: &TraceEvent) -> String {
     out
 }
 
+/// One synthesized phase begin/end slice on a connection lane.
+fn phase_event(ph: &str, name: &str, lane: u32, ts_ns: u64) -> String {
+    format!(
+        "{{\"name\":{},\"cat\":\"conn_phase\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}}}",
+        json_string(name),
+        ph,
+        ts_us(ts_ns),
+        lane
+    )
+}
+
 /// Renders events as a complete Chrome trace-event JSON document
 /// (`{"traceEvents":[...]}`) with one named lane per worker thread.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    chrome_trace_json_with(events, None)
+}
+
+/// [`chrome_trace_json`], optionally embedding the trace ring's
+/// counters as a `trace_accounting` metadata record (`trace-check`
+/// re-verifies `produced == exported + dropped` from it).
+pub fn chrome_trace_json_with(events: &[TraceEvent], counters: Option<RingCounters>) -> String {
     let mut lanes: Vec<u32> = events.iter().map(|e| e.lane).collect();
     lanes.sort_unstable();
     lanes.dedup();
@@ -99,8 +148,19 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             .to_string(),
         &mut out,
     );
+    if let Some(c) = counters {
+        push(
+            format!(
+                "{{\"name\":\"trace_accounting\",\"ph\":\"M\",\"pid\":1,\"args\":{{\"produced\":{},\"dropped\":{},\"exported\":{}}}}}",
+                c.produced, c.dropped, c.exported
+            ),
+            &mut out,
+        );
+    }
     for lane in &lanes {
-        let label = if *lane == 0 {
+        let label = if *lane >= CONN_LANE_BASE {
+            format!("conn-{}", lane - CONN_LANE_BASE)
+        } else if *lane == 0 {
             "main".to_string()
         } else {
             format!("worker-{lane}")
@@ -114,7 +174,33 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             &mut out,
         );
     }
-    for e in events {
+    // Drain order is per-producer FIFO, not globally time-ordered: a
+    // worker's stage slice on a connection lane can drain before the
+    // loop-thread phase event that precedes it. Stable-sort by
+    // timestamp so per-lane slices are monotone and phase synthesis
+    // sees events in wall-clock order.
+    let mut ordered: Vec<TraceEvent> = events.to_vec();
+    ordered.sort_by_key(|e| e.ts_ns);
+    // Phase events become back-to-back slices: entering a phase closes
+    // the previous one on the same lane, and close ends any open phase
+    // before the `conn#N` slice itself ends.
+    let mut open_phase: HashMap<u32, &'static str> = HashMap::new();
+    for e in &ordered {
+        match e.kind {
+            EventKind::ConnPhase { phase, .. } => {
+                if let Some(prev) = open_phase.insert(e.lane, phase.name()) {
+                    push(phase_event("E", prev, e.lane, e.ts_ns), &mut out);
+                }
+                push(phase_event("B", phase.name(), e.lane, e.ts_ns), &mut out);
+                continue;
+            }
+            EventKind::ConnClose { .. } => {
+                if let Some(prev) = open_phase.remove(&e.lane) {
+                    push(phase_event("E", prev, e.lane, e.ts_ns), &mut out);
+                }
+            }
+            _ => {}
+        }
         push(chrome_event(e), &mut out);
     }
     out.push_str("\n]}\n");
@@ -155,6 +241,30 @@ pub fn jsonl_log(events: &[TraceEvent]) -> String {
             }
             EventKind::AlgoChosen { algorithm } => {
                 line.push_str(&format!(",\"algorithm\":{}", json_string(algorithm)));
+            }
+            EventKind::ConnAccept { conn, admitted } => {
+                line.push_str(&format!(",\"conn\":{conn},\"admitted\":{admitted}"));
+            }
+            EventKind::ConnClose { conn, reason } => {
+                line.push_str(&format!(
+                    ",\"conn\":{conn},\"reason\":{}",
+                    json_string(reason.name())
+                ));
+            }
+            EventKind::ConnPhase { conn, phase } => {
+                line.push_str(&format!(
+                    ",\"conn\":{conn},\"phase\":{}",
+                    json_string(phase.name())
+                ));
+            }
+            EventKind::ConnDeadline { conn, kind } => {
+                line.push_str(&format!(
+                    ",\"conn\":{conn},\"deadline\":{}",
+                    json_string(kind.name())
+                ));
+            }
+            EventKind::ConnReuse { conn } | EventKind::AdmissionReject { conn } => {
+                line.push_str(&format!(",\"conn\":{conn}"));
             }
             EventKind::QueryBegin | EventKind::WorkerPanicked | EventKind::Rewrite { .. } => {}
         }
@@ -260,6 +370,107 @@ mod tests {
             assert!(line.starts_with('{') && line.ends_with('}'));
             assert_eq!(line.matches('{').count(), line.matches('}').count());
         }
+    }
+
+    #[test]
+    fn conn_events_render_as_their_own_lane_with_phase_slices() {
+        use crate::event::{conn_lane, CloseReason, ConnPhase};
+        let lane = conn_lane(3);
+        let conn = 3u32;
+        let events = vec![
+            TraceEvent {
+                ts_ns: 1_000,
+                lane,
+                query: QueryId::NONE,
+                kind: EventKind::ConnAccept {
+                    conn,
+                    admitted: true,
+                },
+            },
+            TraceEvent {
+                ts_ns: 1_100,
+                lane,
+                query: QueryId::NONE,
+                kind: EventKind::ConnPhase {
+                    conn,
+                    phase: ConnPhase::Reading,
+                },
+            },
+            TraceEvent {
+                ts_ns: 2_000,
+                lane,
+                query: QueryId::NONE,
+                kind: EventKind::ConnPhase {
+                    conn,
+                    phase: ConnPhase::Pending,
+                },
+            },
+            TraceEvent {
+                ts_ns: 2_500,
+                lane,
+                query: QueryId::NONE,
+                kind: EventKind::StageBegin {
+                    stage: "http_query",
+                },
+            },
+            TraceEvent {
+                ts_ns: 3_000,
+                lane,
+                query: QueryId::NONE,
+                kind: EventKind::StageEnd {
+                    stage: "http_query",
+                },
+            },
+            TraceEvent {
+                ts_ns: 3_500,
+                lane,
+                query: QueryId::NONE,
+                kind: EventKind::ConnPhase {
+                    conn,
+                    phase: ConnPhase::Flush,
+                },
+            },
+            TraceEvent {
+                ts_ns: 4_000,
+                lane,
+                query: QueryId::NONE,
+                kind: EventKind::ConnClose {
+                    conn,
+                    reason: CloseReason::ClientClose,
+                },
+            },
+        ];
+        let json = chrome_trace_json_with(
+            &events,
+            Some(crate::ring::RingCounters {
+                produced: 7,
+                dropped: 0,
+                exported: 7,
+            }),
+        );
+        assert!(json.contains("{\"name\":\"conn-3\"}"), "lane is labeled");
+        assert!(json.contains("\"name\":\"conn#3\",\"cat\":\"conn_accept\",\"ph\":\"B\""));
+        assert!(json.contains("\"name\":\"conn#3\",\"cat\":\"conn_close\",\"ph\":\"E\""));
+        assert!(json.contains("\"reason\":\"client_close\""));
+        assert!(json.contains("\"name\":\"trace_accounting\""));
+        assert!(json.contains("\"produced\":7"));
+        // Every phase B has a matching E (entering the next phase or
+        // closing ends the previous slice), so the document balances.
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count(),
+            "every B has an E"
+        );
+        // The stage slice is inside the pending phase slice.
+        let pending_b = json.find("\"name\":\"pending\",\"cat\":\"conn_phase\",\"ph\":\"B\"");
+        let stage_b = json.find("\"name\":\"http_query\"");
+        let pending_e = json.find("\"name\":\"pending\",\"cat\":\"conn_phase\",\"ph\":\"E\"");
+        assert!(pending_b.unwrap() < stage_b.unwrap());
+        assert!(stage_b.unwrap() < pending_e.unwrap());
+        let log = jsonl_log(&events);
+        assert!(log.contains("\"kind\":\"conn_accept\",\"conn\":3,\"admitted\":true"));
+        assert!(log.contains("\"kind\":\"conn_phase\",\"conn\":3,\"phase\":\"pending\""));
+        assert!(log.contains("\"kind\":\"conn_close\",\"conn\":3,\"reason\":\"client_close\""));
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod export;
 pub mod histogram;
 pub mod json;
 pub mod profile;
+pub mod prom;
 pub mod registry;
 pub mod ring;
 pub mod sampler;
@@ -55,13 +56,14 @@ pub mod span;
 pub mod window;
 
 pub use event::{
-    drain_events, emit, next_query_id, set_tracing, trace_counters, tracing, EventKind, QueryId,
-    TraceEvent,
+    conn_lane, drain_events, emit, emit_on_lane, next_query_id, set_tracing, trace_counters,
+    tracing, CloseReason, ConnPhase, DeadlineKind, EventKind, QueryId, TraceEvent, CONN_LANE_BASE,
 };
-pub use export::{chrome_trace_json, jsonl_log};
+pub use export::{chrome_trace_json, chrome_trace_json_with, jsonl_log};
 pub use histogram::{fmt_ns, HistogramAccumulator, HistogramSnapshot, LatencyHistogram};
 pub use json::{json_string, parse_json, JsonValue};
 pub use profile::QueryProfile;
+pub use prom::{escape_label_value, sanitize_metric_name, PromWriter};
 pub use registry::{
     enabled, metrics, set_enabled, time_stage, Metrics, MetricsSnapshot, SlowQuery, SlowQueryLog,
     Stage,

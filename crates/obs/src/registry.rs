@@ -43,11 +43,24 @@ pub enum Stage {
     HttpComplete,
     /// End-to-end handling of one served `GET /stats` request.
     HttpStats,
+    /// Rendering one `GET /metrics` exposition (on the event-loop
+    /// thread).
+    HttpMetrics,
+    /// Parse-done → worker-pickup wait of one served request.
+    HttpQueueWait,
+    /// Worker compute (route + encode) of one served request.
+    HttpCompute,
+    /// Response enqueue → fully flushed to the kernel (includes any
+    /// write-stall time).
+    HttpFlush,
+    /// Worker completion push → event-loop pickup (loop wakeup→dispatch
+    /// lag).
+    HttpLoopLag,
 }
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 17] = [
         Stage::Parse,
         Stage::Rewrite,
         Stage::Match,
@@ -60,6 +73,11 @@ impl Stage {
         Stage::HttpQuery,
         Stage::HttpComplete,
         Stage::HttpStats,
+        Stage::HttpMetrics,
+        Stage::HttpQueueWait,
+        Stage::HttpCompute,
+        Stage::HttpFlush,
+        Stage::HttpLoopLag,
     ];
 
     /// Stable snake-case name (used as the JSON key).
@@ -77,6 +95,11 @@ impl Stage {
             Stage::HttpQuery => "http_query",
             Stage::HttpComplete => "http_complete",
             Stage::HttpStats => "http_stats",
+            Stage::HttpMetrics => "http_metrics",
+            Stage::HttpQueueWait => "http_queue_wait",
+            Stage::HttpCompute => "http_compute",
+            Stage::HttpFlush => "http_flush",
+            Stage::HttpLoopLag => "http_loop_lag",
         }
     }
 }

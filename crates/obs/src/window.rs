@@ -69,8 +69,8 @@ impl WindowSlot {
 
 /// A rolling ring of per-second telemetry slots (see the module docs).
 pub struct WindowedStats {
-    // Boxed: 64 slots of 9 histograms are a few hundred KB — far too
-    // big to construct by value on a 2 MiB test-thread stack.
+    // Boxed: 64 slots of one histogram per stage are a few hundred KB —
+    // far too big to construct by value on a 2 MiB test-thread stack.
     slots: Box<[WindowSlot]>,
 }
 

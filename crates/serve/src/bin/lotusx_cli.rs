@@ -24,7 +24,15 @@ fn main() {
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
 
-    let arg = std::env::args().nth(1);
+    // `lotusx-cli top --remote HOST:PORT [frames]` works straight from
+    // argv — watching a running server needs no corpus and no REPL.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("top") {
+        let rest = argv[1..].join(" ");
+        std::process::exit(if run_top(&rest) { 0 } else { 1 });
+    }
+
+    let arg = argv.first().cloned();
     let system = match &arg {
         // Any corpus source works: `@dataset[:scale[:seed]]` for a seeded
         // synthetic corpus (e.g. `@treebank:2:7`), a `.ltsx` snapshot for
@@ -115,13 +123,7 @@ fn main() {
                 }
             }
             "top" => {
-                let frames: u64 = rest.parse().unwrap_or(1);
-                for frame in 0..frames.max(1) {
-                    if frame > 0 {
-                        std::thread::sleep(Duration::from_secs(1));
-                    }
-                    print_top();
-                }
+                run_top(rest);
             }
             "trace" => {
                 let (sub, arg) = rest.split_once(' ').unwrap_or((rest, ""));
@@ -543,6 +545,119 @@ fn print_stats(system: &LotusX) {
     }
 }
 
+/// The `top` command: `top [frames]` for the in-process windows,
+/// `top --remote HOST:PORT [frames]` to poll a running server's
+/// `GET /stats` once per frame. Returns false on a usage or poll error.
+fn run_top(rest: &str) -> bool {
+    let mut remote: Option<std::net::SocketAddr> = None;
+    let mut frames: u64 = 1;
+    let mut words = rest.split_whitespace();
+    while let Some(word) = words.next() {
+        match word {
+            "--remote" => {
+                let Some(addr) = words.next().and_then(|a| a.parse().ok()) else {
+                    println!("usage: top [--remote HOST:PORT] [frames]");
+                    return false;
+                };
+                remote = Some(addr);
+            }
+            n => {
+                let Ok(parsed) = n.parse() else {
+                    println!("usage: top [--remote HOST:PORT] [frames]");
+                    return false;
+                };
+                frames = parsed;
+            }
+        }
+    }
+    for frame in 0..frames.max(1) {
+        if frame > 0 {
+            std::thread::sleep(Duration::from_secs(1));
+        }
+        match remote {
+            Some(addr) => {
+                if !print_top_remote(addr) {
+                    return false;
+                }
+            }
+            None => print_top(),
+        }
+    }
+    true
+}
+
+/// One frame of a remote server's health, from one `GET /stats` poll:
+/// the server-side connection/loop counters plus the same windowed
+/// QPS / tail-latency table `print_top` shows locally.
+fn print_top_remote(addr: std::net::SocketAddr) -> bool {
+    let body = match lotusx_serve::client::get(addr, "/stats") {
+        Ok(r) if r.status == 200 => r.body_text(),
+        Ok(r) => {
+            println!("top: {addr} answered {}", r.status);
+            return false;
+        }
+        Err(e) => {
+            println!("top: polling {addr} failed: {e}");
+            return false;
+        }
+    };
+    let parsed = match lotusx_obs::parse_json(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            println!("top: /stats body is not valid JSON: {e}");
+            return false;
+        }
+    };
+    let int = |v: Option<&lotusx_obs::JsonValue>| v.and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+    if let Some(server) = parsed.get("server") {
+        println!(
+            "server {addr}: {} reqs ({} rejected)  conns {} open / {} active  \
+             keepalive reuses {}  queue {} (max {})",
+            int(server.get("requests")),
+            int(server.get("rejected")),
+            int(server.get("connections_open")),
+            int(server.get("connections_active")),
+            int(server.get("keepalive_reuses")),
+            int(server.get("queue_depth")),
+            int(server.get("max_queue_depth")),
+        );
+        let dropped = int(server.get("access_log_dropped"));
+        if dropped > 0 {
+            println!("  access log: {dropped} lines dropped");
+        }
+    }
+    let Some(windows) = parsed.get("metrics").and_then(|m| m.get("windows")) else {
+        println!("top: /stats body has no metrics.windows section");
+        return false;
+    };
+    println!("window   queries      qps   hit%  trunc%   p50(total)   p95(total)   p99(total)");
+    for label in ["1s", "10s", "60s"] {
+        let Some(w) = windows.get(label) else {
+            continue;
+        };
+        let f = |key: &str| w.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let total = w.get("stages").and_then(|s| s.get("total"));
+        let t = |key: &str| {
+            total
+                .and_then(|t| t.get(key))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0) as u64
+        };
+        println!(
+            "{:>5}s  {:>8}  {:>7.1}  {:>5.1}  {:>6.1}  {:>11}  {:>11}  {:>11}",
+            label.trim_end_matches('s'),
+            f("queries") as u64,
+            f("qps"),
+            100.0 * f("hit_ratio"),
+            100.0 * f("truncation_rate"),
+            lotusx_obs::fmt_ns(t("p50_ns")),
+            lotusx_obs::fmt_ns(t("p95_ns")),
+            lotusx_obs::fmt_ns(t("p99_ns")),
+        );
+    }
+    true
+}
+
 /// One frame of live telemetry: windowed QPS / tail latency / cache and
 /// truncation rates, plus the retained worst-case exemplars.
 fn print_top() {
@@ -649,6 +764,9 @@ observability:
   stats              document, cache, executor and latency statistics
   stats json         the metrics snapshot as JSON (metrics.json format)
   top [frames]       live windowed telemetry (QPS, tail latency, exemplars)
+  top --remote HOST:PORT [frames]
+                     poll a running server's GET /stats once per frame
+                     (also works from argv: lotusx-cli top --remote ...)
   trace on|off       toggle structured event tracing into the ring buffer
   trace export <f>   drain the ring to a Chrome/Perfetto trace JSON file
   trace log <f>      drain the ring to a JSONL event log

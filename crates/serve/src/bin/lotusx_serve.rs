@@ -4,15 +4,24 @@
 //! lotusx-serve [--addr HOST:PORT] [--threads N] [--max-inflight N]
 //!              [--corpus SOURCE] [--read-timeout-ms MS]
 //!              [--write-timeout-ms MS] [--idle-timeout-ms MS]
-//!              [--backend auto|poll|epoll]
+//!              [--backend auto|poll|epoll] [--access-log PATH]
 //! lotusx-serve --corpus SOURCE --snapshot save:PATH   # build, save, exit
 //! lotusx-serve --snapshot load:PATH                   # serve from snapshot
-//! lotusx-serve --probe HOST:PORT   # healthz + one query, exit 0/1
-//! lotusx-serve --stop HOST:PORT    # graceful remote shutdown
+//! lotusx-serve --probe HOST:PORT         # healthz + one query, exit 0/1
+//! lotusx-serve --metrics-probe HOST:PORT # keep-alive traffic + two
+//!                                        # /metrics scrapes, exit 0/1
+//! lotusx-serve --stop HOST:PORT          # graceful remote shutdown
 //! ```
 //!
 //! `SOURCE` is any corpus source: `@dataset[:scale[:seed]]`, an XML
 //! file, or a `.ltsx` snapshot.
+//!
+//! `--access-log PATH` writes one JSONL line per response (method,
+//! path, status, bytes, connection id, close disposition, and the
+//! parse/queue/compute/flush timing breakdown). Setting the
+//! `LOTUSX_TRACE=PATH` environment variable turns structured event
+//! tracing on for the server's lifetime and writes a Chrome/Perfetto
+//! trace (with per-connection lifecycle lanes) to `PATH` on shutdown.
 //!
 //! The server prints `listening on <ADDR>` once bound (scripts wait for
 //! that line), then serves until it reads `quit` on stdin, receives
@@ -31,14 +40,17 @@ fn main() -> ExitCode {
     match parse_args(&args) {
         Ok(Mode::Serve(config, corpus, snapshot)) => serve(config, &corpus, snapshot),
         Ok(Mode::Probe(addr)) => probe(addr),
+        Ok(Mode::MetricsProbe(addr)) => metrics_probe(addr),
         Ok(Mode::Stop(addr)) => stop(addr),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: lotusx-serve [--addr HOST:PORT] [--threads N] [--max-inflight N] \
                  [--corpus SOURCE] [--snapshot save:PATH|load:PATH] [--read-timeout-ms MS] \
-                 [--write-timeout-ms MS] [--idle-timeout-ms MS] [--backend auto|poll|epoll]\n\
-                 \x20      lotusx-serve --probe HOST:PORT | --stop HOST:PORT\n\
+                 [--write-timeout-ms MS] [--idle-timeout-ms MS] [--backend auto|poll|epoll] \
+                 [--access-log PATH]\n\
+                 \x20      lotusx-serve --probe HOST:PORT | --metrics-probe HOST:PORT \
+                 | --stop HOST:PORT\n\
                  SOURCE: @dataset[:scale[:seed]] | file.xml | file.ltsx"
             );
             ExitCode::FAILURE
@@ -56,6 +68,7 @@ enum SnapshotAction {
 enum Mode {
     Serve(ServeConfig, String, Option<SnapshotAction>),
     Probe(SocketAddr),
+    MetricsProbe(SocketAddr),
     Stop(SocketAddr),
 }
 
@@ -104,6 +117,7 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
                 config.idle_timeout = Duration::from_millis(ms);
             }
             "--backend" => config.backend = lotusx_serve::Backend::parse(&value("--backend")?)?,
+            "--access-log" => config.access_log = Some(PathBuf::from(value("--access-log")?)),
             "--corpus" => corpus = value("--corpus")?,
             "--snapshot" => {
                 let action = value("--snapshot")?;
@@ -122,6 +136,9 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
                 });
             }
             "--probe" => return Ok(Mode::Probe(parse_addr(&value("--probe")?)?)),
+            "--metrics-probe" => {
+                return Ok(Mode::MetricsProbe(parse_addr(&value("--metrics-probe")?)?))
+            }
             "--stop" => return Ok(Mode::Stop(parse_addr(&value("--stop")?)?)),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -146,6 +163,10 @@ fn serve(config: ServeConfig, corpus: &str, snapshot: Option<SnapshotAction>) ->
         }
     };
     lotusx_obs::set_enabled(true);
+    let trace_path = std::env::var_os("LOTUSX_TRACE").map(PathBuf::from);
+    if trace_path.is_some() {
+        lotusx_obs::set_tracing(true);
+    }
     eprintln!("opening corpus {source} ...");
     let engine = match LotusX::open(&source) {
         Ok(engine) => engine,
@@ -200,6 +221,18 @@ fn serve(config: ServeConfig, corpus: &str, snapshot: Option<SnapshotAction>) ->
         });
         server.run(&engine);
     });
+    if let Some(path) = trace_path {
+        let events = lotusx_obs::drain_events();
+        let json = lotusx_obs::chrome_trace_json_with(&events, Some(lotusx_obs::trace_counters()));
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!(
+                "trace: {} events written to {}",
+                events.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("trace: writing {} failed: {e}", path.display()),
+        }
+    }
     let stats = handle.stats();
     eprintln!(
         "stopped: {} requests ({} rejected, {} panics)",
@@ -242,6 +275,142 @@ fn probe(addr: SocketAddr) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The value of a single-sample Prometheus family in an exposition
+/// body (a line `name VALUE`, no labels).
+fn metric_value(body: &str, name: &str) -> Option<f64> {
+    body.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse::<f64>().ok()
+    })
+}
+
+/// Structural check of one exposition document: every non-comment line
+/// is `name[{labels}] value`, and no `# TYPE` family repeats.
+fn check_exposition(body: &str) -> Result<(), String> {
+    let mut families = std::collections::HashSet::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split(' ').next().unwrap_or("");
+            if !families.insert(family.to_string()) {
+                return Err(format!("family {family} has more than one # TYPE line"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line:?}", i + 1))?;
+        let name = name_part.split('{').next().unwrap_or("");
+        let name_ok = !name.is_empty()
+            && name.chars().enumerate().all(|(j, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (j > 0 && c.is_ascii_digit())
+            });
+        if !name_ok {
+            return Err(format!("line {}: bad metric name: {line:?}", i + 1));
+        }
+        let value_ok =
+            value_part.parse::<f64>().is_ok() || matches!(value_part, "NaN" | "+Inf" | "-Inf");
+        if !value_ok {
+            return Err(format!("line {}: bad value: {line:?}", i + 1));
+        }
+    }
+    Ok(())
+}
+
+/// Drives a keep-alive connection (pipelined queries), then scrapes
+/// `/metrics` twice on the same socket and checks exposition format and
+/// counter monotonicity. Exit 0/1.
+fn metrics_probe(addr: SocketAddr) -> ExitCode {
+    let fail = |msg: String| {
+        eprintln!("metrics-probe: {msg}");
+        ExitCode::FAILURE
+    };
+    let mut conn = match client::Conn::connect(addr) {
+        Ok(conn) => conn,
+        Err(e) => return fail(format!("connect failed: {e}")),
+    };
+    // Pipelined keep-alive traffic so the scrape has something to show.
+    let query = b"{\"text\":\"author\",\"kind\":\"keyword\",\"top_k\":1}";
+    for _ in 0..3 {
+        if let Err(e) = conn.send("POST", "/query", Some(query)) {
+            return fail(format!("pipelined send failed: {e}"));
+        }
+    }
+    for i in 0..3 {
+        match conn.read_one() {
+            Ok(r) if r.status == 200 => {}
+            Ok(r) => return fail(format!("query {i} answered {}", r.status)),
+            Err(e) => return fail(format!("query {i} read failed: {e}")),
+        }
+    }
+    let mut scrape = |label: &str| -> Result<String, String> {
+        conn.send("GET", "/metrics", None)
+            .map_err(|e| format!("{label}: send failed: {e}"))?;
+        let r = conn
+            .read_one()
+            .map_err(|e| format!("{label}: read failed: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("{label}: answered {}", r.status));
+        }
+        let content_type = r.header("content-type").unwrap_or("").to_string();
+        if !content_type.starts_with("text/plain") || !content_type.contains("version=0.0.4") {
+            return Err(format!("{label}: bad content type {content_type:?}"));
+        }
+        Ok(r.body_text())
+    };
+    let first = match scrape("first scrape") {
+        Ok(body) => body,
+        Err(e) => return fail(e),
+    };
+    let second = match scrape("second scrape") {
+        Ok(body) => body,
+        Err(e) => return fail(e),
+    };
+    for (label, body) in [("first scrape", &first), ("second scrape", &second)] {
+        if let Err(e) = check_exposition(body) {
+            return fail(format!("{label}: {e}"));
+        }
+    }
+    for required in [
+        "# TYPE lotusx_server_requests_total counter",
+        "# TYPE lotusx_server_connections_open gauge",
+        "# TYPE lotusx_stage_seconds summary",
+        "lotusx_trace_events_total{outcome=\"produced\"}",
+    ] {
+        if !first.contains(required) {
+            return fail(format!("first scrape is missing {required:?}"));
+        }
+    }
+    // Counters are monotonic between scrapes, and each scrape counts
+    // itself: the second sees strictly more requests than the first.
+    for counter in [
+        "lotusx_server_requests_total",
+        "lotusx_server_metrics_requests_total",
+    ] {
+        let (Some(a), Some(b)) = (
+            metric_value(&first, counter),
+            metric_value(&second, counter),
+        ) else {
+            return fail(format!("{counter} missing from a scrape"));
+        };
+        if b <= a {
+            return fail(format!("{counter} did not advance: {a} → {b}"));
+        }
+    }
+    println!(
+        "metrics-probe ok: requests {} → {}",
+        metric_value(&first, "lotusx_server_requests_total").unwrap_or(0.0),
+        metric_value(&second, "lotusx_server_requests_total").unwrap_or(0.0),
+    );
+    ExitCode::SUCCESS
 }
 
 fn stop(addr: SocketAddr) -> ExitCode {

@@ -140,6 +140,10 @@ struct Ledger {
 
 fn soak(profile: &Profile, backend: Backend) -> Result<(), String> {
     let engine = LotusX::load_str(CORPUS).map_err(|e| format!("corpus: {e}"))?;
+    // Route the soak through the structured access log so the run also
+    // proves the log's exactly-once accounting under real churn.
+    let access_path =
+        std::env::temp_dir().join(format!("lotusx-soak-access-{}.jsonl", std::process::id()));
     let server = Server::bind(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
@@ -148,6 +152,7 @@ fn soak(profile: &Profile, backend: Backend) -> Result<(), String> {
         write_timeout: Duration::from_secs(5),
         idle_timeout: Duration::from_secs(120),
         backend,
+        access_log: Some(access_path.clone()),
         ..ServeConfig::default()
     })
     .map_err(|e| format!("bind: {e}"))?;
@@ -190,6 +195,24 @@ fn soak(profile: &Profile, backend: Backend) -> Result<(), String> {
     );
     check("read_timeouts", stats.read_timeouts, loris);
     check("open connections after drain", stats.connections_open, 0);
+    // Access-log accounting: every answered request — including the
+    // loris 408s, which never parse into requests — lands exactly one
+    // JSONL line, and the bounded queue never dropped.
+    let want_lines = ledger.requests_sent + ledger.loris_408s;
+    check(
+        "access_log_lines counter",
+        stats.access_log_lines,
+        want_lines,
+    );
+    check("access_log_dropped", stats.access_log_dropped, 0);
+    match std::fs::read_to_string(&access_path) {
+        Ok(body) => {
+            let on_disk = body.lines().filter(|l| !l.is_empty()).count() as u64;
+            check("access log lines on disk", on_disk, want_lines);
+        }
+        Err(e) => failures.push(format!("access log unreadable: {e}")),
+    }
+    std::fs::remove_file(&access_path).ok();
     if let (Some(before), Some(after)) = (rss_before, vm_rss_kb()) {
         let grown = after.saturating_sub(before);
         if grown > 256 * 1024 {

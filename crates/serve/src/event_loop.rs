@@ -64,6 +64,9 @@ use crate::http::{self, ParseStatus, Reject};
 use crate::poller::{Interest, PollEvent, Poller};
 use crate::server::Server;
 use crate::timer::{Fired, TimerWheel};
+use lotusx_obs::{
+    conn_lane, emit_on_lane, CloseReason, ConnPhase, DeadlineKind, EventKind, QueryId, Stage,
+};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::fd::AsRawFd;
@@ -87,10 +90,16 @@ pub(crate) struct Job {
     /// Slot epoch at dispatch; a completion for a replaced connection
     /// fails this check and is dropped.
     pub epoch: u64,
+    /// Lifetime id of the owning connection (trace lane, access log).
+    pub conn_id: u64,
     /// The request to route.
     pub request: http::Request,
     /// Encode the response with `Connection: keep-alive`.
     pub keep_alive: bool,
+    /// First byte of this request → parse complete, on the loop thread.
+    pub parse_ns: u64,
+    /// When the job entered the worker queue (queue-wait measurement).
+    pub queued_at: Instant,
 }
 
 /// A finished response traveling back to the loop.
@@ -101,6 +110,48 @@ pub(crate) struct Done {
     pub bytes: Vec<u8>,
     /// Close the connection once the bytes are flushed.
     pub close: bool,
+    /// Response status, for the access log.
+    pub status: u16,
+    /// Request method/path, moved out of the request for the access log.
+    pub method: String,
+    pub path: String,
+    /// Timing breakdown carried through to the access-log line.
+    pub parse_ns: u64,
+    pub queue_ns: u64,
+    pub compute_ns: u64,
+    /// When the worker pushed this completion (loop-lag measurement).
+    pub finished: Instant,
+}
+
+/// A response whose access-log line is waiting on its flush time
+/// (queued per connection, written when the outbuf drains or the
+/// connection closes — whichever reveals the response's fate first).
+struct PendingLog {
+    method: String,
+    path: String,
+    status: u16,
+    bytes: u64,
+    parse_ns: u64,
+    queue_ns: u64,
+    compute_ns: u64,
+    enqueued: Instant,
+}
+
+impl PendingLog {
+    /// A line for a response synthesized on the loop thread without a
+    /// parsed request behind it (429/408/400 rejects).
+    fn loop_reject(status: u16, bytes: u64) -> PendingLog {
+        PendingLog {
+            method: "-".to_string(),
+            path: "-".to_string(),
+            status,
+            bytes,
+            parse_ns: 0,
+            queue_ns: 0,
+            compute_ns: 0,
+            enqueued: Instant::now(),
+        }
+    }
 }
 
 /// Wakes the event loop out of its poll wait (worker completions,
@@ -145,20 +196,14 @@ impl Completions {
     }
 }
 
-/// Which deadline a connection currently has armed (at most one).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum DeadlineKind {
-    /// Deliver a complete request or be answered 408.
-    Read,
-    /// Keep-alive gap cap: close silently when it fires.
-    Idle,
-    /// Accept response bytes or be dropped (write-side backpressure).
-    Write,
-}
-
 /// Per-connection state. See the module docs for the state machine.
+/// The armed deadline (at most one) is tagged with the shared
+/// [`DeadlineKind`] so the deadline-fired trace event needs no mapping.
 struct Conn {
     stream: TcpStream,
+    /// Lifetime connection id (`connections_accepted` at accept time):
+    /// the trace-lane number and the `conn` field of access-log lines.
+    id: u64,
     /// Bytes received but not yet parsed.
     inbuf: Vec<u8>,
     /// Encoded response bytes not yet written; `outpos` is the flush
@@ -169,6 +214,10 @@ struct Conn {
     pending: bool,
     /// Close once `outbuf` drains.
     close_after_flush: bool,
+    /// Why the close-after-flush was decided (reject status, drain,
+    /// clean keep-alive end); reported by the close trace event and the
+    /// access log when the close finally happens.
+    close_reason: Option<CloseReason>,
     /// The peer half-closed its write side (EOF seen). Requests already
     /// buffered are still served — half-close is a legitimate way to
     /// say "no more requests".
@@ -179,6 +228,13 @@ struct Conn {
     served: u64,
     /// Requests dispatched to workers (for keep-alive accounting).
     dispatched: u64,
+    /// When the first byte of the not-yet-framed request arrived
+    /// (consumed at dispatch into that request's `parse_ns`).
+    read_started: Option<Instant>,
+    /// Responses awaiting their flush time before logging.
+    log: Vec<PendingLog>,
+    /// Last lifecycle phase published on the trace lane (dedup).
+    phase: Option<ConnPhase>,
     /// Current poller interest (cached to skip no-op syscalls).
     interest: Interest,
     /// Bumped on every (re-)arm or cancel; stale wheel entries fail it.
@@ -187,18 +243,23 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, id: u64) -> Conn {
         Conn {
             stream,
+            id,
             inbuf: Vec::new(),
             outbuf: Vec::new(),
             outpos: 0,
             pending: false,
             close_after_flush: false,
+            close_reason: None,
             peer_eof: false,
             counted: false,
             served: 0,
             dispatched: 0,
+            read_started: None,
+            log: Vec::new(),
+            phase: None,
             interest: Interest::default(),
             timer_epoch: 0,
             deadline: None,
@@ -372,11 +433,11 @@ impl EventLoop<'_> {
         }
     }
 
-    fn close_conn(&mut self, token: usize) {
+    fn close_conn(&mut self, token: usize, reason: CloseReason) {
         let Some(slot) = self.slots.get_mut(token) else {
             return;
         };
-        let Some(conn) = slot.conn.take() else {
+        let Some(mut conn) = slot.conn.take() else {
             return;
         };
         slot.epoch += 1;
@@ -391,6 +452,81 @@ impl EventLoop<'_> {
             .connections_open
             .store(self.open as u64, Ordering::Relaxed);
         self.free_pending.push(token);
+        if lotusx_obs::tracing() {
+            emit_on_lane(
+                conn_lane(conn.id as u32),
+                QueryId::NONE,
+                EventKind::ConnClose {
+                    conn: conn.id as u32,
+                    reason,
+                },
+            );
+        }
+        // Responses that never fully drained still get their line, with
+        // the close reason as the disposition.
+        let entries = std::mem::take(&mut conn.log);
+        self.write_access_lines(conn.id, entries, reason.name());
+    }
+
+    /// Publishes a lifecycle phase change on the connection's trace
+    /// lane (deduplicated: re-entering the current phase is silent).
+    fn set_phase(&mut self, token: usize, phase: ConnPhase) {
+        let Some(conn) = self.conn(token) else {
+            return;
+        };
+        if conn.phase == Some(phase) {
+            return;
+        }
+        conn.phase = Some(phase);
+        if lotusx_obs::tracing() {
+            let id = conn.id as u32;
+            emit_on_lane(
+                conn_lane(id),
+                QueryId::NONE,
+                EventKind::ConnPhase { conn: id, phase },
+            );
+        }
+    }
+
+    /// Writes one access-log line per entry (flush time measured here)
+    /// and records each flush latency into the obs registry.
+    fn write_access_lines(&self, conn_id: u64, entries: Vec<PendingLog>, disposition: &str) {
+        if entries.is_empty() {
+            return;
+        }
+        let recording = lotusx_obs::enabled();
+        let stats = &self.server.stats;
+        for entry in entries {
+            let flush_ns = entry.enqueued.elapsed().as_nanos() as u64;
+            if recording {
+                lotusx_obs::metrics().record_stage(Stage::HttpFlush, flush_ns);
+            }
+            let Some(access) = &self.server.access else {
+                continue;
+            };
+            let ts_ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            let line = format!(
+                "{{\"ts_ms\":{ts_ms},\"conn\":{conn_id},\"method\":{},\"path\":{},\
+                 \"status\":{},\"bytes\":{},\"close\":{},\"parse_ns\":{},\"queue_ns\":{},\
+                 \"compute_ns\":{},\"flush_ns\":{flush_ns}}}",
+                lotusx_obs::json_string(&entry.method),
+                lotusx_obs::json_string(&entry.path),
+                entry.status,
+                entry.bytes,
+                lotusx_obs::json_string(disposition),
+                entry.parse_ns,
+                entry.queue_ns,
+                entry.compute_ns,
+            );
+            if access.log(line) {
+                stats.access_log_lines.fetch_add(1, Ordering::Relaxed);
+            } else {
+                stats.access_log_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     fn set_active(&mut self, active: usize) {
@@ -411,7 +547,7 @@ impl EventLoop<'_> {
         conn.interest = interest;
         let fd = conn.stream.as_raw_fd();
         if self.poller.modify(fd, token, interest).is_err() {
-            self.close_conn(token);
+            self.close_conn(token, CloseReason::IoError);
         }
     }
 
@@ -454,6 +590,14 @@ impl EventLoop<'_> {
             return;
         }
         conn.deadline = None;
+        if lotusx_obs::tracing() {
+            let id = conn.id as u32;
+            emit_on_lane(
+                conn_lane(id),
+                QueryId::NONE,
+                EventKind::ConnDeadline { conn: id, kind },
+            );
+        }
         let stats = &self.server.stats;
         match kind {
             DeadlineKind::Read => {
@@ -463,11 +607,11 @@ impl EventLoop<'_> {
             }
             DeadlineKind::Idle => {
                 stats.idle_closes.fetch_add(1, Ordering::Relaxed);
-                self.close_conn(token);
+                self.close_conn(token, CloseReason::IdleTimeout);
             }
             DeadlineKind::Write => {
                 stats.write_stalls.fetch_add(1, Ordering::Relaxed);
-                self.close_conn(token);
+                self.close_conn(token, CloseReason::WriteStall);
             }
         }
     }
@@ -488,7 +632,7 @@ impl EventLoop<'_> {
                     }
                     let _ = stream.set_nodelay(true);
                     let stats = &self.server.stats;
-                    stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                    let id = stats.connections_accepted.fetch_add(1, Ordering::Relaxed) + 1;
                     if self.active >= self.server.config.max_inflight {
                         // Admission gate: answer 429 without entering
                         // service. Checked only on this thread — exact.
@@ -496,9 +640,28 @@ impl EventLoop<'_> {
                         if lotusx_obs::enabled() {
                             lotusx_obs::metrics().incr("http_rejected", 1);
                         }
-                        let mut conn = Conn::new(stream);
+                        if lotusx_obs::tracing() {
+                            let lane = conn_lane(id as u32);
+                            emit_on_lane(
+                                lane,
+                                QueryId::NONE,
+                                EventKind::ConnAccept {
+                                    conn: id as u32,
+                                    admitted: false,
+                                },
+                            );
+                            emit_on_lane(
+                                lane,
+                                QueryId::NONE,
+                                EventKind::AdmissionReject { conn: id as u32 },
+                            );
+                        }
+                        let mut conn = Conn::new(stream, id);
                         conn.outbuf = http::encode_error(429, "server at capacity");
                         conn.close_after_flush = true;
+                        conn.close_reason = Some(CloseReason::Admission);
+                        conn.log
+                            .push(PendingLog::loop_reject(429, conn.outbuf.len() as u64));
                         let fd = conn.stream.as_raw_fd();
                         let token = self.alloc(conn);
                         if self
@@ -506,21 +669,32 @@ impl EventLoop<'_> {
                             .register(fd, token, Interest::default())
                             .is_err()
                         {
-                            self.close_conn(token);
+                            self.close_conn(token, CloseReason::IoError);
                             continue;
                         }
                         self.flush(token);
                     } else {
-                        let mut conn = Conn::new(stream);
+                        if lotusx_obs::tracing() {
+                            emit_on_lane(
+                                conn_lane(id as u32),
+                                QueryId::NONE,
+                                EventKind::ConnAccept {
+                                    conn: id as u32,
+                                    admitted: true,
+                                },
+                            );
+                        }
+                        let mut conn = Conn::new(stream, id);
                         conn.counted = true;
                         conn.interest = Interest::READ;
                         let fd = conn.stream.as_raw_fd();
                         let token = self.alloc(conn);
                         self.set_active(self.active + 1);
                         if self.poller.register(fd, token, Interest::READ).is_err() {
-                            self.close_conn(token);
+                            self.close_conn(token, CloseReason::IoError);
                             continue;
                         }
+                        self.set_phase(token, ConnPhase::Reading);
                         self.arm(token, DeadlineKind::Read, self.server.config.read_timeout);
                     }
                 }
@@ -572,10 +746,15 @@ impl EventLoop<'_> {
                                 lotusx_obs::metrics().incr("http_rejected", 1);
                             }
                         }
-                        self.close_conn(token);
+                        self.close_conn(token, CloseReason::IoError);
                         return;
                     }
                 }
+            }
+            if got_bytes && conn.read_started.is_none() {
+                // Clock for the current request's parse_ns starts at
+                // its first byte.
+                conn.read_started = Some(Instant::now());
             }
         }
         if got_bytes {
@@ -607,7 +786,7 @@ impl EventLoop<'_> {
                 lotusx_obs::metrics().incr("http_rejected", 1);
             }
         }
-        self.close_conn(token);
+        self.close_conn(token, CloseReason::Hangup);
     }
 
     /// New bytes landed: re-admit an idle connection and re-arm the
@@ -622,6 +801,7 @@ impl EventLoop<'_> {
             self.set_active(self.active + 1);
         }
         if !pending {
+            self.set_phase(token, ConnPhase::Reading);
             self.arm(token, DeadlineKind::Read, self.server.config.read_timeout);
         }
     }
@@ -640,6 +820,16 @@ impl EventLoop<'_> {
                 request: http::Request,
                 keep_alive: bool,
                 reused: bool,
+                parse_ns: u64,
+                conn_id: u64,
+            },
+            /// `GET /metrics` answered inline on the loop thread — no
+            /// worker round-trip, so a wedged pool can't hide from the
+            /// scraper.
+            Metrics {
+                keep_alive: bool,
+                reused: bool,
+                parse_ns: u64,
             },
             Reject(Reject),
         }
@@ -673,8 +863,11 @@ impl EventLoop<'_> {
                     match http::parse_request(&conn.inbuf, &limits) {
                         ParseStatus::Complete(parsed) => {
                             conn.inbuf.drain(..parsed.consumed);
-                            conn.pending = true;
                             conn.dispatched += 1;
+                            let parse_ns = conn
+                                .read_started
+                                .take()
+                                .map_or(0, |t| t.elapsed().as_nanos() as u64);
                             // Keep-alive is honored unless the request
                             // opted out, the peer already half-closed
                             // with nothing further buffered, or the
@@ -683,10 +876,22 @@ impl EventLoop<'_> {
                             let keep_alive = !(parsed.close
                                 || stopping
                                 || (conn.peer_eof && conn.inbuf.is_empty()));
-                            Act::Dispatch {
-                                request: parsed.request,
-                                keep_alive,
-                                reused: conn.dispatched > 1,
+                            let reused = conn.dispatched > 1;
+                            if parsed.request.method == "GET" && parsed.request.path == "/metrics" {
+                                Act::Metrics {
+                                    keep_alive,
+                                    reused,
+                                    parse_ns,
+                                }
+                            } else {
+                                conn.pending = true;
+                                Act::Dispatch {
+                                    request: parsed.request,
+                                    keep_alive,
+                                    reused,
+                                    parse_ns,
+                                    conn_id: conn.id,
+                                }
                             }
                         }
                         ParseStatus::Partial { on_eof } => {
@@ -725,6 +930,8 @@ impl EventLoop<'_> {
                     request,
                     keep_alive,
                     reused,
+                    parse_ns,
+                    conn_id,
                 } => {
                     let stats = &self.server.stats;
                     stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -737,22 +944,127 @@ impl EventLoop<'_> {
                             lotusx_obs::metrics().incr("http_keepalive_reuses", 1);
                         }
                     }
+                    if reused && lotusx_obs::tracing() {
+                        emit_on_lane(
+                            conn_lane(conn_id as u32),
+                            QueryId::NONE,
+                            EventKind::ConnReuse {
+                                conn: conn_id as u32,
+                            },
+                        );
+                    }
+                    self.set_phase(token, ConnPhase::Pending);
                     self.disarm(token);
+                    let depth = stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                    stats.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
                     let epoch = self.slots[token].epoch;
                     let sent = self.jobs.send(Job {
                         token,
                         epoch,
+                        conn_id,
                         request,
                         keep_alive,
+                        parse_ns,
+                        queued_at: Instant::now(),
                     });
                     if sent.is_err() {
                         // Workers are gone (shutdown tail): close.
-                        self.close_conn(token);
+                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        self.close_conn(token, CloseReason::Drain);
                         return;
                     }
                     // Loop: the next iteration sees `pending` and
                     // returns (or, after a completion, parses the next
                     // pipelined request).
+                }
+                Act::Metrics {
+                    keep_alive,
+                    reused,
+                    parse_ns,
+                } => {
+                    let Some(conn_id) = self.conn(token).map(|c| c.id) else {
+                        return;
+                    };
+                    let stats = &self.server.stats;
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    // Counted *before* rendering so the scrape sees
+                    // itself — `/metrics` and `/stats` then reconcile
+                    // exactly, with no in-flight gap.
+                    stats.metrics_requests.fetch_add(1, Ordering::Relaxed);
+                    if reused {
+                        stats.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if lotusx_obs::enabled() {
+                        lotusx_obs::metrics().incr("http_requests", 1);
+                        if reused {
+                            lotusx_obs::metrics().incr("http_keepalive_reuses", 1);
+                        }
+                    }
+                    let lane = conn_lane(conn_id as u32);
+                    if lotusx_obs::tracing() {
+                        if reused {
+                            emit_on_lane(
+                                lane,
+                                QueryId::NONE,
+                                EventKind::ConnReuse {
+                                    conn: conn_id as u32,
+                                },
+                            );
+                        }
+                        emit_on_lane(
+                            lane,
+                            QueryId::NONE,
+                            EventKind::StageBegin {
+                                stage: Stage::HttpMetrics.name(),
+                            },
+                        );
+                    }
+                    let started = Instant::now();
+                    let body = format!(
+                        "{}{}",
+                        self.server.stats.snapshot().to_prometheus(),
+                        lotusx_obs::metrics().snapshot().to_prometheus()
+                    );
+                    let bytes = http::encode_response(
+                        200,
+                        "text/plain; version=0.0.4",
+                        body.as_bytes(),
+                        keep_alive,
+                    );
+                    let compute_ns = started.elapsed().as_nanos() as u64;
+                    if lotusx_obs::enabled() {
+                        lotusx_obs::metrics().record_stage(Stage::HttpMetrics, compute_ns);
+                    }
+                    if lotusx_obs::tracing() {
+                        emit_on_lane(
+                            lane,
+                            QueryId::NONE,
+                            EventKind::StageEnd {
+                                stage: Stage::HttpMetrics.name(),
+                            },
+                        );
+                    }
+                    let len = bytes.len() as u64;
+                    if let Some(conn) = self.conn(token) {
+                        conn.outbuf.extend_from_slice(&bytes);
+                        conn.log.push(PendingLog {
+                            method: "GET".to_string(),
+                            path: "/metrics".to_string(),
+                            status: 200,
+                            bytes: len,
+                            parse_ns,
+                            queue_ns: 0,
+                            compute_ns,
+                            enqueued: Instant::now(),
+                        });
+                        if !keep_alive {
+                            conn.close_after_flush = true;
+                            conn.close_reason.get_or_insert(CloseReason::ClientClose);
+                        }
+                    }
+                    self.set_phase(token, ConnPhase::Flush);
+                    // Loop: pipelined requests behind the scrape parse
+                    // (and coalesce) before the flush.
                 }
             }
         }
@@ -762,7 +1074,7 @@ impl EventLoop<'_> {
     /// deadline. During drain there is no idle — close instead.
     fn park_idle(&mut self, token: usize) {
         if self.stopping() {
-            self.close_conn(token);
+            self.close_conn(token, CloseReason::Drain);
             return;
         }
         let idle_timeout = self.server.config.idle_timeout;
@@ -773,6 +1085,7 @@ impl EventLoop<'_> {
             conn.counted = false;
             self.set_active(self.active - 1);
         }
+        self.set_phase(token, ConnPhase::Idle);
         self.arm(token, DeadlineKind::Idle, idle_timeout);
     }
 
@@ -788,13 +1101,22 @@ impl EventLoop<'_> {
         }
         let bytes =
             (!reject.connection_dead()).then(|| http::encode_error(reject.status, &reject.reason));
+        let reason = if reject.status == 408 {
+            CloseReason::ReadTimeout
+        } else {
+            CloseReason::Rejected
+        };
         if let Some(conn) = self.conn(token) {
+            let len = bytes.as_ref().map_or(0, |b| b.len() as u64);
             if let Some(b) = bytes {
                 conn.outbuf.extend_from_slice(&b);
             }
             conn.close_after_flush = true;
+            conn.close_reason.get_or_insert(reason);
             conn.inbuf.clear();
+            conn.log.push(PendingLog::loop_reject(reject.status, len));
         }
+        self.set_phase(token, ConnPhase::Flush);
         self.disarm(token);
         self.update_read_interest(token);
     }
@@ -804,6 +1126,14 @@ impl EventLoop<'_> {
     fn apply_done(&mut self, done: Done) {
         let token = done.token;
         let stopping = self.stopping();
+        // Completion-to-pickup latency: how far behind the loop thread
+        // is running (its health signal under load).
+        if lotusx_obs::enabled() {
+            lotusx_obs::metrics().record_stage(
+                Stage::HttpLoopLag,
+                done.finished.elapsed().as_nanos() as u64,
+            );
+        }
         match self.slots.get(token) {
             Some(slot) if slot.epoch == done.epoch && slot.conn.is_some() => {}
             // The connection died (reset, write stall) while computing.
@@ -815,9 +1145,27 @@ impl EventLoop<'_> {
             conn.outbuf.extend_from_slice(&done.bytes);
             if done.close || stopping {
                 conn.close_after_flush = true;
+                conn.close_reason.get_or_insert(if stopping {
+                    CloseReason::Drain
+                } else if done.status >= 400 || done.status == 0 {
+                    CloseReason::Rejected
+                } else {
+                    CloseReason::ClientClose
+                });
             }
+            conn.log.push(PendingLog {
+                method: done.method,
+                path: done.path,
+                status: done.status,
+                bytes: done.bytes.len() as u64,
+                parse_ns: done.parse_ns,
+                queue_ns: done.queue_ns,
+                compute_ns: done.compute_ns,
+                enqueued: Instant::now(),
+            });
             conn.close_after_flush
         };
+        self.set_phase(token, ConnPhase::Flush);
         if !closing {
             // Parse the next pipelined request (or go idle) before
             // flushing so a back-to-back pair coalesces into one write.
@@ -856,7 +1204,7 @@ impl EventLoop<'_> {
         while conn.outpos < conn.outbuf.len() {
             match (&conn.stream).write(&conn.outbuf[conn.outpos..]) {
                 Ok(0) => {
-                    self.close_conn(token);
+                    self.close_conn(token, CloseReason::IoError);
                     return;
                 }
                 Ok(n) => conn.outpos += n,
@@ -876,7 +1224,7 @@ impl EventLoop<'_> {
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    self.close_conn(token);
+                    self.close_conn(token, CloseReason::IoError);
                     return;
                 }
             }
@@ -888,10 +1236,21 @@ impl EventLoop<'_> {
             conn.served += 1;
         }
         let close = conn.close_after_flush;
+        let close_reason = conn.close_reason.unwrap_or(CloseReason::ClientClose);
         let writable_armed = conn.interest.writable;
         let write_deadline = matches!(conn.deadline, Some((_, DeadlineKind::Write)));
+        // Keep-alive responses that just drained get their access-log
+        // lines now, with the flush time known; a closing connection
+        // logs from `close_conn` so the line carries the close reason.
+        let drained = if flushed && !close {
+            std::mem::take(&mut conn.log)
+        } else {
+            Vec::new()
+        };
+        let conn_id = conn.id;
+        self.write_access_lines(conn_id, drained, "keep_alive");
         if close {
-            self.close_conn(token);
+            self.close_conn(token, close_reason);
             return;
         }
         if writable_armed {
@@ -965,13 +1324,15 @@ impl EventLoop<'_> {
                 && conn.outpos == conn.outbuf.len()
                 && (conn.served > 0 || !conn.inbuf.is_empty());
             if reap {
-                self.close_conn(token);
+                self.close_conn(token, CloseReason::Drain);
             } else if let Some(conn) = self.conn(token) {
                 // Anything mid-flush finishes its current write and
                 // closes with it (a partial request buffered behind
                 // the flush will never be parsed during drain).
-                conn.close_after_flush =
-                    conn.close_after_flush || (!conn.pending && conn.outpos < conn.outbuf.len());
+                if !conn.close_after_flush && !conn.pending && conn.outpos < conn.outbuf.len() {
+                    conn.close_after_flush = true;
+                    conn.close_reason.get_or_insert(CloseReason::Drain);
+                }
             }
         }
     }

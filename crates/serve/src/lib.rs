@@ -11,6 +11,7 @@
 //! | `POST /query`     | Twig/keyword search (per-request `top_k`, `algorithm`, `deadline_ms`, `budget`) |
 //! | `POST /complete`  | Position-aware tag/value auto-completion       |
 //! | `GET /stats`      | Per-server counters + the full obs snapshot    |
+//! | `GET /metrics`    | Prometheus text exposition (v0.0.4), served inline on the loop thread |
 //! | `GET /healthz`    | Liveness probe (`ok`)                          |
 //! | `POST /shutdown`  | Graceful remote stop                           |
 //!
@@ -44,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+mod access_log;
 pub mod client;
 mod event_loop;
 pub mod http;

@@ -28,15 +28,17 @@
 //! is owed a response before [`Server::run`] returns. No in-flight
 //! request is ever answered with a torn or missing response.
 
+use crate::access_log::AccessLog;
 use crate::event_loop::{self, Completions, Done, Job, Waker};
 use crate::http::{self, Limits, Reject, Request};
 use crate::poller::{Backend, Poller};
 use crate::wire;
 use lotusx::{CancelToken, LotusX, QueryRequest};
-use lotusx_obs::{EventKind, QueryId, Stage};
+use lotusx_obs::{conn_lane, EventKind, PromWriter, QueryId, Stage};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -66,6 +68,11 @@ pub struct ServeConfig {
     pub limits: Limits,
     /// Readiness backend: `Auto` picks epoll on Linux, `poll` elsewhere.
     pub backend: Backend,
+    /// Write a structured JSONL access log to this path (one line per
+    /// response, with the parse/queue/compute/flush timing breakdown).
+    /// The log is bounded and drop-counting: a slow disk never blocks
+    /// the event loop (see `access_log_dropped` in [`ServerStats`]).
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +86,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             limits: Limits::default(),
             backend: Backend::Auto,
+            access_log: None,
         }
     }
 }
@@ -101,6 +109,8 @@ pub struct ServerStats {
     pub completions: AtomicU64,
     /// `GET /stats` requests answered 200.
     pub stats_requests: AtomicU64,
+    /// `GET /metrics` scrapes answered 200 (on the loop thread).
+    pub metrics_requests: AtomicU64,
     /// `GET /healthz` requests answered 200.
     pub health_checks: AtomicU64,
     /// Query responses that went out marked truncated.
@@ -128,6 +138,16 @@ pub struct ServerStats {
     /// High-water mark of events returned by one poll wait (ready-queue
     /// depth).
     pub max_ready_batch: AtomicU64,
+    /// Gauge: requests dispatched to the worker pool and not yet picked
+    /// up (worker queue depth).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: AtomicU64,
+    /// Access-log lines accepted by the bounded writer queue.
+    pub access_log_lines: AtomicU64,
+    /// Access-log lines dropped (writer queue full or log disabled —
+    /// only counted while a log is configured).
+    pub access_log_dropped: AtomicU64,
 }
 
 /// A plain-value copy of [`ServerStats`].
@@ -145,6 +165,8 @@ pub struct StatsSnapshot {
     pub completions: u64,
     /// See [`ServerStats::stats_requests`].
     pub stats_requests: u64,
+    /// See [`ServerStats::metrics_requests`].
+    pub metrics_requests: u64,
     /// See [`ServerStats::health_checks`].
     pub health_checks: u64,
     /// See [`ServerStats::truncated_responses`].
@@ -169,6 +191,14 @@ pub struct StatsSnapshot {
     pub ready_events: u64,
     /// See [`ServerStats::max_ready_batch`].
     pub max_ready_batch: u64,
+    /// See [`ServerStats::queue_depth`].
+    pub queue_depth: u64,
+    /// See [`ServerStats::max_queue_depth`].
+    pub max_queue_depth: u64,
+    /// See [`ServerStats::access_log_lines`].
+    pub access_log_lines: u64,
+    /// See [`ServerStats::access_log_dropped`].
+    pub access_log_dropped: u64,
 }
 
 impl ServerStats {
@@ -181,6 +211,7 @@ impl ServerStats {
             queries: self.queries.load(Ordering::Relaxed),
             completions: self.completions.load(Ordering::Relaxed),
             stats_requests: self.stats_requests.load(Ordering::Relaxed),
+            metrics_requests: self.metrics_requests.load(Ordering::Relaxed),
             health_checks: self.health_checks.load(Ordering::Relaxed),
             truncated_responses: self.truncated_responses.load(Ordering::Relaxed),
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
@@ -193,40 +224,76 @@ impl ServerStats {
             loop_wakeups: self.loop_wakeups.load(Ordering::Relaxed),
             ready_events: self.ready_events.load(Ordering::Relaxed),
             max_ready_batch: self.max_ready_batch.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            access_log_lines: self.access_log_lines.load(Ordering::Relaxed),
+            access_log_dropped: self.access_log_dropped.load(Ordering::Relaxed),
         }
     }
 }
 
 impl StatsSnapshot {
+    /// Every field as a `(name, value, is_gauge)` triple, in display
+    /// order — the one list `/stats` JSON and `/metrics` exposition are
+    /// both rendered from, so the two can never drift apart.
+    fn fields(&self) -> [(&'static str, u64, bool); 23] {
+        [
+            ("requests", self.requests, false),
+            ("rejected", self.rejected, false),
+            ("panics", self.panics, false),
+            ("queries", self.queries, false),
+            ("completions", self.completions, false),
+            ("stats_requests", self.stats_requests, false),
+            ("metrics_requests", self.metrics_requests, false),
+            ("health_checks", self.health_checks, false),
+            ("truncated_responses", self.truncated_responses, false),
+            ("connections_accepted", self.connections_accepted, false),
+            ("connections_open", self.connections_open, true),
+            ("connections_active", self.connections_active, true),
+            ("keepalive_reuses", self.keepalive_reuses, false),
+            ("idle_closes", self.idle_closes, false),
+            ("read_timeouts", self.read_timeouts, false),
+            ("write_stalls", self.write_stalls, false),
+            ("loop_wakeups", self.loop_wakeups, false),
+            ("ready_events", self.ready_events, false),
+            ("max_ready_batch", self.max_ready_batch, true),
+            ("queue_depth", self.queue_depth, true),
+            ("max_queue_depth", self.max_queue_depth, true),
+            ("access_log_lines", self.access_log_lines, false),
+            ("access_log_dropped", self.access_log_dropped, false),
+        ]
+    }
+
     /// The `server` section of the `/stats` response body.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"requests\":{},\"rejected\":{},\"panics\":{},\"queries\":{},\
-             \"completions\":{},\"stats_requests\":{},\"health_checks\":{},\
-             \"truncated_responses\":{},\"connections_accepted\":{},\
-             \"connections_open\":{},\"connections_active\":{},\
-             \"keepalive_reuses\":{},\"idle_closes\":{},\"read_timeouts\":{},\
-             \"write_stalls\":{},\"loop_wakeups\":{},\"ready_events\":{},\
-             \"max_ready_batch\":{}}}",
-            self.requests,
-            self.rejected,
-            self.panics,
-            self.queries,
-            self.completions,
-            self.stats_requests,
-            self.health_checks,
-            self.truncated_responses,
-            self.connections_accepted,
-            self.connections_open,
-            self.connections_active,
-            self.keepalive_reuses,
-            self.idle_closes,
-            self.read_timeouts,
-            self.write_stalls,
-            self.loop_wakeups,
-            self.ready_events,
-            self.max_ready_batch
-        )
+        let mut out = String::from("{");
+        for (i, (name, value, _)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The `lotusx_server_*` section of the `GET /metrics` Prometheus
+    /// text exposition: monotonic fields as `_total` counters, gauges
+    /// (and high-water marks) as gauges.
+    pub fn to_prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        for (name, value, is_gauge) in self.fields() {
+            if is_gauge {
+                let family = format!("lotusx_server_{name}");
+                w.header(&family, &format!("Server gauge `{name}`."), "gauge");
+                w.sample_u64(&family, &[], value);
+            } else {
+                let family = format!("lotusx_server_{name}_total");
+                w.header(&family, &format!("Server counter `{name}`."), "counter");
+                w.sample_u64(&family, &[], value);
+            }
+        }
+        w.finish()
     }
 }
 
@@ -276,6 +343,9 @@ pub struct Server {
     pub(crate) query_cancel: CancelToken,
     pub(crate) stats: Arc<ServerStats>,
     pub(crate) waker: Waker,
+    /// The structured access log, when configured (opened at bind time
+    /// so a bad path surfaces early).
+    pub(crate) access: Option<AccessLog>,
     /// The loop-side waker receiver and the readiness poller, built at
     /// bind time so configuration errors surface early; taken by the
     /// one permitted [`Server::run`] call.
@@ -307,6 +377,10 @@ impl Server {
         let (waker_tx, waker_rx) = std::os::unix::net::UnixStream::pair()?;
         waker_tx.set_nonblocking(true)?;
         waker_rx.set_nonblocking(true)?;
+        let access = match &config.access_log {
+            Some(path) => Some(AccessLog::open(path)?),
+            None => None,
+        };
         Ok(Server {
             listener,
             config,
@@ -315,6 +389,7 @@ impl Server {
             query_cancel: CancelToken::new(),
             stats: Arc::new(ServerStats::default()),
             waker: Waker::new(waker_tx),
+            access,
             loop_parts: Mutex::new(Some((poller, waker_rx))),
         })
     }
@@ -359,6 +434,10 @@ impl Server {
             // disconnect once the queue is drained.
             drop(jobs_tx);
         });
+        // Every connection has closed and logged; put its lines on disk.
+        if let Some(access) = &self.access {
+            access.shutdown();
+        }
     }
 
     /// One compute worker: pulls parsed requests, routes them on the
@@ -374,51 +453,66 @@ impl Server {
             };
             match received {
                 Ok(job) => {
+                    let picked_up = Instant::now();
+                    let queue_ns = picked_up.duration_since(job.queued_at).as_nanos() as u64;
+                    self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    // Stage slices land on the owning connection's trace
+                    // lane so they nest inside its PENDING phase slice.
+                    let lane = conn_lane(job.conn_id as u32);
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        self.route(engine, &job.request)
+                        self.route(engine, &job.request, lane)
                     }));
-                    let reply = match outcome {
-                        Ok(Ok((content_type, body))) => Done {
-                            token: job.token,
-                            epoch: job.epoch,
-                            bytes: http::encode_response(
+                    let (status, bytes, close) = match outcome {
+                        Ok(Ok((content_type, body))) => (
+                            200u16,
+                            http::encode_response(
                                 200,
                                 content_type,
                                 body.as_bytes(),
                                 job.keep_alive,
                             ),
-                            close: !job.keep_alive,
-                        },
+                            !job.keep_alive,
+                        ),
                         Ok(Err(reject)) => {
                             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
                             if lotusx_obs::enabled() {
                                 lotusx_obs::metrics().incr("http_rejected", 1);
                             }
-                            Done {
-                                token: job.token,
-                                epoch: job.epoch,
-                                bytes: if reject.connection_dead() {
-                                    Vec::new()
-                                } else {
-                                    http::encode_error(reject.status, &reject.reason)
-                                },
-                                close: true,
-                            }
+                            let bytes = if reject.connection_dead() {
+                                Vec::new()
+                            } else {
+                                http::encode_error(reject.status, &reject.reason)
+                            };
+                            (reject.status, bytes, true)
                         }
                         Err(_) => {
                             self.stats.panics.fetch_add(1, Ordering::Relaxed);
                             if lotusx_obs::enabled() {
                                 lotusx_obs::metrics().incr("http_worker_panics", 1);
                             }
-                            Done {
-                                token: job.token,
-                                epoch: job.epoch,
-                                bytes: http::encode_error(500, "internal error"),
-                                close: true,
-                            }
+                            (500u16, http::encode_error(500, "internal error"), true)
                         }
                     };
-                    done.push(reply);
+                    let compute_ns = picked_up.elapsed().as_nanos() as u64;
+                    if lotusx_obs::enabled() {
+                        let m = lotusx_obs::metrics();
+                        m.record_stage(Stage::HttpQueueWait, queue_ns);
+                        m.record_stage(Stage::HttpCompute, compute_ns);
+                    }
+                    let http::Request { method, path, .. } = job.request;
+                    done.push(Done {
+                        token: job.token,
+                        epoch: job.epoch,
+                        bytes,
+                        close,
+                        status,
+                        method,
+                        path,
+                        parse_ns: job.parse_ns,
+                        queue_ns,
+                        compute_ns,
+                        finished: Instant::now(),
+                    });
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     // Keep draining until the event loop hangs up, even
@@ -432,14 +526,20 @@ impl Server {
     }
 
     /// Routes one parsed request. `Ok` carries the response content type
-    /// and body (the status is always 200).
-    fn route(&self, engine: &LotusX, request: &Request) -> Result<(&'static str, String), Reject> {
+    /// and body (the status is always 200). `lane` is the owning
+    /// connection's trace lane.
+    fn route(
+        &self,
+        engine: &LotusX,
+        request: &Request,
+        lane: u32,
+    ) -> Result<(&'static str, String), Reject> {
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => {
                 self.stats.health_checks.fetch_add(1, Ordering::Relaxed);
                 Ok(("text/plain", "ok\n".to_string()))
             }
-            ("GET", "/stats") => self.timed(Stage::HttpStats, || {
+            ("GET", "/stats") => self.timed(Stage::HttpStats, lane, || {
                 self.stats.stats_requests.fetch_add(1, Ordering::Relaxed);
                 let body = format!(
                     "{{\n\"server\": {},\n\"metrics\": {}}}\n",
@@ -448,7 +548,7 @@ impl Server {
                 );
                 Ok(("application/json", body))
             }),
-            ("POST", "/query") => self.timed(Stage::HttpQuery, || {
+            ("POST", "/query") => self.timed(Stage::HttpQuery, lane, || {
                 let query = self.decode_body(&request.body, wire::decode_query)?;
                 let query = self.with_server_cancel(query);
                 match engine.query(&query) {
@@ -471,7 +571,7 @@ impl Server {
                     }),
                 }
             }),
-            ("POST", "/complete") => self.timed(Stage::HttpComplete, || {
+            ("POST", "/complete") => self.timed(Stage::HttpComplete, lane, || {
                 let complete = self.decode_body(&request.body, wire::decode_complete)?;
                 let completion = engine.completion_engine();
                 let body = match complete {
@@ -492,7 +592,9 @@ impl Server {
                 self.stop.store(true, Ordering::SeqCst);
                 Ok(("application/json", "{\"stopping\":true}\n".to_string()))
             }
-            (_, "/healthz" | "/stats") => Err(Reject {
+            // `GET /metrics` is answered inline on the event-loop
+            // thread; only other methods ever reach the workers.
+            (_, "/healthz" | "/stats" | "/metrics") => Err(Reject {
                 status: 405,
                 reason: format!("{} requires GET", request.path),
             }),
@@ -541,10 +643,16 @@ impl Server {
     }
 
     /// Runs `f`, recording its wall time into `stage` (lifetime + live
-    /// windows) and emitting stage begin/end trace events when tracing
-    /// is on.
-    fn timed<T>(&self, stage: Stage, f: impl FnOnce() -> Result<T, Reject>) -> Result<T, Reject> {
-        lotusx_obs::emit(
+    /// windows) and emitting stage begin/end trace events on the owning
+    /// connection's lane when tracing is on.
+    fn timed<T>(
+        &self,
+        stage: Stage,
+        lane: u32,
+        f: impl FnOnce() -> Result<T, Reject>,
+    ) -> Result<T, Reject> {
+        lotusx_obs::emit_on_lane(
+            lane,
             QueryId::NONE,
             EventKind::StageBegin {
                 stage: stage.name(),
@@ -556,7 +664,8 @@ impl Server {
         if let Some(t0) = started {
             lotusx_obs::metrics().record_stage(stage, t0.elapsed().as_nanos() as u64);
         }
-        lotusx_obs::emit(
+        lotusx_obs::emit_on_lane(
+            lane,
             QueryId::NONE,
             EventKind::StageEnd {
                 stage: stage.name(),

@@ -190,6 +190,111 @@ fn healthz_and_stats_reconcile() {
 }
 
 #[test]
+fn metrics_reconcile_exactly_with_stats() {
+    // One keep-alive connection: queries, a /metrics scrape, /stats,
+    // and a second scrape. The Prometheus counters must reconcile
+    // EXACTLY against the JSON counters — both endpoints render the
+    // same `ServerStats`, and each scrape counts itself before it
+    // renders, so every step below has one provable right answer.
+    let engine = xmark_engine();
+    with_server(&engine, ServeConfig::default(), |addr, _handle| {
+        // A sample's first token is the full metric name; match it
+        // exactly so e.g. `..._requests_total` never shadows
+        // `..._metrics_requests_total`.
+        fn metric(body: &str, name: &str) -> f64 {
+            body.lines()
+                .filter(|l| !l.starts_with('#'))
+                .find_map(|l| {
+                    let mut it = l.split_whitespace();
+                    (it.next() == Some(name)).then(|| {
+                        it.next()
+                            .unwrap_or_else(|| panic!("metric {name} has no value"))
+                            .parse::<f64>()
+                            .unwrap_or_else(|e| panic!("metric {name}: {e}"))
+                    })
+                })
+                .unwrap_or_else(|| panic!("metric {name} missing from exposition"))
+        }
+
+        let mut conn = client::Conn::connect(addr).expect("keep-alive connect");
+        let body = "{\"text\":\"//person/name\",\"top_k\":2}";
+        for _ in 0..3 {
+            conn.send("POST", "/query", Some(body.as_bytes()))
+                .expect("send query");
+            assert_eq!(conn.read_one().expect("query response").status, 200);
+        }
+
+        conn.send("GET", "/metrics", None).expect("send scrape");
+        let scrape1 = conn.read_one().expect("first scrape");
+        assert_eq!(scrape1.status, 200);
+        let ct = scrape1.header("content-type").expect("scrape content-type");
+        assert!(
+            ct.contains("text/plain") && ct.contains("version=0.0.4"),
+            "exposition content-type: {ct}"
+        );
+        let scrape1 = scrape1.body_text();
+
+        conn.send("GET", "/stats", None).expect("send stats");
+        let stats = conn.read_one().expect("stats response");
+        assert_eq!(stats.status, 200);
+        let doc = parse_json(&stats.body_text()).expect("stats JSON");
+        let server = doc.get("server").expect("server section");
+        let count = |k: &str| server.get(k).and_then(|v| v.as_f64()).unwrap() as u64;
+
+        conn.send("GET", "/metrics", None)
+            .expect("send second scrape");
+        let scrape2 = conn.read_one().expect("second scrape");
+        assert_eq!(scrape2.status, 200);
+        let scrape2 = scrape2.body_text();
+
+        // Request ledger on this one connection: 3 queries, scrape 1,
+        // /stats, scrape 2 — each snapshot sees itself.
+        assert_eq!(metric(&scrape1, "lotusx_server_requests_total"), 4.0);
+        assert_eq!(count("requests"), 5);
+        assert_eq!(metric(&scrape2, "lotusx_server_requests_total"), 6.0);
+
+        assert_eq!(metric(&scrape1, "lotusx_server_queries_total"), 3.0);
+        assert_eq!(count("queries"), 3);
+        assert_eq!(metric(&scrape2, "lotusx_server_queries_total"), 3.0);
+
+        assert_eq!(
+            metric(&scrape1, "lotusx_server_metrics_requests_total"),
+            1.0
+        );
+        assert_eq!(count("metrics_requests"), 1);
+        assert_eq!(
+            metric(&scrape2, "lotusx_server_metrics_requests_total"),
+            2.0
+        );
+
+        assert_eq!(metric(&scrape1, "lotusx_server_stats_requests_total"), 0.0);
+        assert_eq!(count("stats_requests"), 1);
+        assert_eq!(metric(&scrape2, "lotusx_server_stats_requests_total"), 1.0);
+
+        // Connection-level: one socket, reused for every request after
+        // the first; both views agree on the same ledger.
+        assert_eq!(
+            metric(&scrape1, "lotusx_server_connections_accepted_total"),
+            1.0
+        );
+        assert_eq!(count("connections_accepted"), 1);
+        assert_eq!(metric(&scrape1, "lotusx_server_connections_open"), 1.0);
+        assert_eq!(
+            metric(&scrape1, "lotusx_server_keepalive_reuses_total"),
+            3.0
+        );
+        assert_eq!(count("keepalive_reuses"), 4);
+        assert_eq!(
+            metric(&scrape2, "lotusx_server_keepalive_reuses_total"),
+            5.0
+        );
+
+        assert_eq!(metric(&scrape2, "lotusx_server_rejected_total"), 0.0);
+        assert_eq!(metric(&scrape2, "lotusx_server_panics_total"), 0.0);
+    });
+}
+
+#[test]
 fn poll_backend_serves_byte_identical_responses() {
     // The portable poll(2) backend is the fallback on non-Linux hosts
     // and behind `--backend poll`; it must be indistinguishable on the

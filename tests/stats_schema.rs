@@ -3,13 +3,21 @@
 //! counters, stage histograms, 1s/10s/60s windows with percentiles,
 //! exemplars, and trace-ring accounting — with every number finite.
 //!
-//! One test function: the obs registry and flags are process-wide, and
-//! this file runs as its own process, isolated from the other
-//! integration tests.
+//! Also home to the Prometheus exposition conformance tests for
+//! `/metrics`: every rendered line must satisfy the text-format v0.0.4
+//! grammar, label values must escape correctly, and counters must be
+//! monotonic across scrapes.
+//!
+//! Only `stats_json_has_the_documented_schema` touches the process-wide
+//! obs registry and flags (this file runs as its own process, isolated
+//! from the other integration tests); the exposition tests run against
+//! local `Metrics`/`ServerStats` instances so they can share the
+//! process safely.
 
 use lotusx::{LotusX, QueryRequest};
 use lotusx_datagen::{generate, Dataset};
-use lotusx_obs::{parse_json, JsonValue};
+use lotusx_obs::{parse_json, JsonValue, Stage};
+use std::sync::atomic::Ordering;
 
 fn num(v: &JsonValue, key: &str) -> f64 {
     let n = v
@@ -104,4 +112,179 @@ fn stats_json_has_the_documented_schema() {
     let dropped = num(trace, "dropped");
     let exported = num(trace, "exported");
     assert!(produced >= exported + dropped - 0.5, "accounting holds");
+}
+
+// --- Prometheus text exposition (v0.0.4) conformance ------------------
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_set(labels: &str) -> Result<(), String> {
+    // name="value",... — values may contain anything except a raw `"`,
+    // `\` or newline, which must appear as \", \\ and \n.
+    let mut rest = labels;
+    loop {
+        let eq = rest
+            .find("=\"")
+            .ok_or_else(|| format!("label without =\" in {labels:?}"))?;
+        let name = &rest[..eq];
+        if !valid_metric_name(name) {
+            return Err(format!("bad label name {name:?}"));
+        }
+        let mut value_end = None;
+        let bytes = &rest.as_bytes()[eq + 2..];
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\' | b'"' | b'n') => {}
+                        other => return Err(format!("bad escape \\{other:?} in {labels:?}")),
+                    }
+                    i += 2;
+                }
+                b'"' => {
+                    value_end = Some(eq + 2 + i);
+                    break;
+                }
+                b'\n' => return Err(format!("raw newline in label value of {labels:?}")),
+                _ => i += 1,
+            }
+        }
+        let end = value_end.ok_or_else(|| format!("unterminated label value in {labels:?}"))?;
+        rest = &rest[end + 1..];
+        match rest.strip_prefix(',') {
+            Some(after) => rest = after,
+            None if rest.is_empty() => return Ok(()),
+            None => return Err(format!("junk after label value: {rest:?}")),
+        }
+    }
+}
+
+/// Asserts `body` satisfies the exposition grammar: every line is a
+/// comment or `name[{labels}] value`, names use the legal alphabet,
+/// label sets parse with only legal escapes, values are floats (or
+/// NaN/+Inf/-Inf), and no metric family declares its TYPE twice.
+fn assert_conformant(body: &str) {
+    let mut seen_types = std::collections::HashSet::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let family = parts.next().expect("TYPE without family");
+                assert!(valid_metric_name(family), "bad family name {family:?}");
+                assert!(
+                    matches!(
+                        parts.next(),
+                        Some("counter" | "gauge" | "summary" | "histogram" | "untyped")
+                    ),
+                    "bad TYPE kind in {line:?}"
+                );
+                assert!(
+                    seen_types.insert(family.to_string()),
+                    "family {family} declared TYPE twice"
+                );
+            }
+            continue;
+        }
+        assert!(!line.starts_with('#'), "malformed comment {line:?}");
+        // Sample line. Labels may contain spaces, so split on the label
+        // braces first, then on whitespace.
+        let (name, value) = if let Some(open) = line.find('{') {
+            let close = line
+                .rfind('}')
+                .unwrap_or_else(|| panic!("unclosed {{ in {line:?}"));
+            valid_label_set(&line[open + 1..close]).unwrap_or_else(|e| panic!("{line:?}: {e}"));
+            (&line[..open], line[close + 1..].trim())
+        } else {
+            let mut it = line.split_whitespace();
+            let name = it.next().expect("empty sample line");
+            let value = it.next().unwrap_or_else(|| panic!("no value in {line:?}"));
+            assert!(it.next().is_none(), "trailing tokens in {line:?}");
+            (name, value)
+        };
+        assert!(
+            valid_metric_name(name),
+            "bad metric name {name:?} in {line:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf"),
+            "bad value {value:?} in {line:?}"
+        );
+    }
+}
+
+#[test]
+fn prometheus_exposition_conforms_and_escapes_labels() {
+    // A local registry — deliberately not the global one, so this test
+    // never races the schema test over the process-wide flags.
+    let metrics = lotusx_obs::Metrics::new();
+    metrics.record_stage(Stage::Parse, 1_500);
+    metrics.record_stage(Stage::HttpQueueWait, 900);
+    metrics.record_stage(Stage::HttpFlush, 12_000);
+    metrics.incr("queries", 3);
+    metrics.incr("cache_hit", 1);
+    // A named series whose label value needs all three escapes.
+    metrics.record_named("evil\"name\\with\nnewline", 777);
+
+    let body = metrics.snapshot().to_prometheus();
+    assert_conformant(&body);
+    assert!(
+        body.contains("series=\"evil\\\"name\\\\with\\nnewline\""),
+        "label value must escape quote, backslash and newline:\n{body}"
+    );
+    // Stage histograms render as summaries in seconds.
+    assert!(body.contains("# TYPE lotusx_stage_seconds summary"));
+    assert!(body.contains("lotusx_stage_seconds_count{stage=\"http_queue_wait\"} 1"));
+
+    // The server-side counters conform too, gauges and counters alike.
+    let stats = lotusx_serve::ServerStats::default();
+    stats.requests.fetch_add(7, Ordering::Relaxed);
+    stats.connections_open.fetch_add(2, Ordering::Relaxed);
+    let body = stats.snapshot().to_prometheus();
+    assert_conformant(&body);
+    assert!(body.contains("# TYPE lotusx_server_requests_total counter"));
+    assert!(body.contains("# TYPE lotusx_server_connections_open gauge"));
+}
+
+#[test]
+fn prometheus_counters_are_monotonic_across_scrapes() {
+    let stats = lotusx_serve::ServerStats::default();
+    let value = |body: &str, name: &str| -> f64 {
+        body.lines()
+            .filter(|l| !l.starts_with('#'))
+            .find_map(|l| {
+                let mut it = l.split_whitespace();
+                (it.next() == Some(name)).then(|| it.next().unwrap().parse().unwrap())
+            })
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+    };
+
+    stats.requests.fetch_add(3, Ordering::Relaxed);
+    stats.queries.fetch_add(2, Ordering::Relaxed);
+    let first = stats.snapshot().to_prometheus();
+    stats.requests.fetch_add(4, Ordering::Relaxed);
+    stats.queries.fetch_add(1, Ordering::Relaxed);
+    let second = stats.snapshot().to_prometheus();
+
+    for (name, a, b) in [
+        ("lotusx_server_requests_total", 3.0, 7.0),
+        ("lotusx_server_queries_total", 2.0, 3.0),
+    ] {
+        assert_eq!(value(&first, name), a);
+        assert_eq!(value(&second, name), b);
+        assert!(
+            value(&second, name) > value(&first, name),
+            "{name} regressed"
+        );
+    }
 }
