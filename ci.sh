@@ -18,9 +18,10 @@ set -u
 # and test. A stage named X is implemented by the function stage_X
 # (dashes become underscores).
 ALL_STAGES=(fmt clippy build test smoke robust-smoke telemetry-smoke
-            serve-smoke metrics-smoke soak-smoke join-bench-smoke snapshot-smoke)
+            serve-smoke metrics-smoke soak-smoke tenant-soak
+            join-bench-smoke snapshot-smoke)
 FAST_SKIP=(build smoke robust-smoke telemetry-smoke serve-smoke metrics-smoke
-           soak-smoke join-bench-smoke snapshot-smoke)
+           soak-smoke tenant-soak join-bench-smoke snapshot-smoke)
 
 FAST=0
 ONLY_STAGES=()
@@ -330,6 +331,17 @@ stage_soak_smoke() {
     # ~2k fds live in this process during the soak; raise the soft
     # limit if the environment allows it (best-effort).
     ( ulimit -n 8192 2>/dev/null; exec ./target/release/lotusx-soak )
+}
+
+# Mixed-tenant chaos: a two-tenant registry where tenant A is hammered
+# far past its max_inflight=2 quota by 16 concurrent clients while
+# tenant B trickles sequential queries. The run exits nonzero unless
+# isolation is exact: B sees zero 429s and a bounded p99, A's quota
+# rejects reconcile to the byte against /stats and the per-tenant
+# counters, inflight drains to zero, and no panic escapes.
+stage_tenant_soak() {
+    cargo build --release -p lotusx-serve --bin lotusx-soak || return 1
+    ./target/release/lotusx-soak --tenants
 }
 
 # Join-engine smoke: the head-to-head benchmark in --quick mode (scale 1,

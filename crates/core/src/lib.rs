@@ -32,6 +32,8 @@
 pub mod canvas;
 pub mod corpus;
 pub mod engine;
+pub mod registry;
+pub mod routing;
 pub mod session;
 pub mod source;
 
@@ -41,6 +43,11 @@ pub use engine::{
     EngineConfig, LotusError, LotusX, QueryKind, QueryRequest, QueryResponse, SearchOutcome,
     SearchResult,
 };
+pub use registry::{EngineRegistry, Tenant};
+pub use routing::{
+    parse_rules, valid_tenant_name, RegistryConfig, RouteError, RouteErrorKind, RouteMatch,
+    RoutePredicate, RouteRule, RouteTable, TenantSelector, TenantSpec,
+};
 pub use session::Session;
 pub use source::CorpusSource;
 
@@ -48,7 +55,9 @@ pub use source::CorpusSource;
 pub use lotusx_autocomplete::{
     CompletionEngine, CompletionState, ContextStep, PositionContext, TagCandidate, ValueCandidate,
 };
-pub use lotusx_guard::{Budget, CancelToken, Completeness, QueryGuard, TruncationReason};
+pub use lotusx_guard::{
+    Budget, CancelToken, Completeness, QueryGuard, TenantLimits, TruncationReason,
+};
 pub use lotusx_index::IndexedDocument;
 pub use lotusx_obs::QueryProfile;
 pub use lotusx_par::WorkerPanic;

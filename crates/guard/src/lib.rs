@@ -165,6 +165,63 @@ impl Budget {
     }
 }
 
+/// Per-tenant guard policy for a multi-tenant server.
+///
+/// Two independent knobs live here:
+///
+/// * `max_inflight` — an admission quota: how many requests the tenant
+///   may have in flight at once. The serving layer enforces it on the
+///   event-loop thread (exactly, no races) and answers 429 beyond it.
+/// * `default_*` budgets — per-request [`Budget`] fields applied when
+///   the request itself did not set them. A request's own explicit
+///   budget always wins; defaults only fill the gaps, so a tenant
+///   configured with `default_deadline` still lets a caller ask for a
+///   tighter (or looser) deadline per query.
+///
+/// `TenantLimits::default()` is fully unlimited and is what a
+/// single-tenant server uses for its implicit `default` tenant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantLimits {
+    /// Admission quota: maximum concurrently in-flight requests.
+    pub max_inflight: Option<u32>,
+    /// Deadline applied to requests that did not set one.
+    pub default_deadline: Option<Duration>,
+    /// Node-visit quota applied to requests that did not set one.
+    pub default_node_quota: Option<u64>,
+    /// Candidate quota applied to requests that did not set one.
+    pub default_candidate_quota: Option<u64>,
+}
+
+impl TenantLimits {
+    /// The unlimited policy (same as `TenantLimits::default()`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Is every knob absent?
+    pub fn is_unlimited(&self) -> bool {
+        self.max_inflight.is_none()
+            && self.default_deadline.is_none()
+            && self.default_node_quota.is_none()
+            && self.default_candidate_quota.is_none()
+    }
+
+    /// Fills the unset fields of `budget` from this tenant's defaults.
+    /// Fields the request set explicitly are left untouched.
+    pub fn apply_defaults(&self, mut budget: Budget) -> Budget {
+        if budget.deadline.is_none() {
+            budget.deadline = self.default_deadline;
+        }
+        if budget.node_quota.is_none() {
+            budget.node_quota = self.default_node_quota;
+        }
+        if budget.candidate_quota.is_none() {
+            budget.candidate_quota = self.default_candidate_quota;
+        }
+        budget
+    }
+}
+
 /// Encoded `TruncationReason` for the tripped-state atomic: 0 = not
 /// tripped, 1.. = reason discriminant + 1.
 fn encode(reason: TruncationReason) -> u8 {
@@ -669,6 +726,36 @@ mod tests {
         let u = QueryGuard::unlimited();
         u.set_trace_id(7);
         assert_eq!(u.inner.trace_id.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn tenant_limits_fill_only_unset_budget_fields() {
+        let limits = TenantLimits {
+            max_inflight: Some(2),
+            default_deadline: Some(Duration::from_millis(50)),
+            default_node_quota: Some(1_000),
+            default_candidate_quota: None,
+        };
+        assert!(!limits.is_unlimited());
+
+        // An empty budget picks up every configured default.
+        let filled = limits.apply_defaults(Budget::unlimited());
+        assert_eq!(filled.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(filled.node_quota, Some(1_000));
+        assert_eq!(filled.candidate_quota, None, "no default, stays unset");
+
+        // Explicit request fields always win over tenant defaults.
+        let explicit = Budget::unlimited()
+            .with_deadline(Duration::from_secs(5))
+            .with_node_quota(7);
+        let kept = limits.apply_defaults(explicit);
+        assert_eq!(kept.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(kept.node_quota, Some(7));
+
+        // The unlimited policy is a no-op.
+        let untouched = TenantLimits::unlimited().apply_defaults(Budget::unlimited());
+        assert!(untouched.is_unlimited());
+        assert!(TenantLimits::default().is_unlimited());
     }
 
     #[test]

@@ -260,6 +260,42 @@ mod tests {
     }
 
     #[test]
+    fn tenant_label_values_escape_conformance() {
+        // Tenant names flow into `tenant` label values on every
+        // per-tenant family. Route loading refuses names outside
+        // [A-Za-z0-9_-] (see the routing tests), but the renderer must
+        // stay correct on its own: each exposition-significant
+        // character escapes exactly as text format v0.0.4 requires, and
+        // no raw newline or quote ever reaches the label value.
+        let cases: &[(&str, &str)] = &[
+            ("evil\ntenant", "evil\\ntenant"),
+            ("evil\"tenant", "evil\\\"tenant"),
+            ("evil\\tenant", "evil\\\\tenant"),
+            ("\n\"\\", "\\n\\\"\\\\"),
+            ("a\\nb", "a\\\\nb"), // a literal backslash-n is NOT a newline
+        ];
+        for (raw, escaped) in cases {
+            let mut w = PromWriter::new();
+            w.sample_u64("lotusx_tenant_requests_total", &[("tenant", raw)], 1);
+            let out = w.finish();
+            assert_eq!(
+                out,
+                format!("lotusx_tenant_requests_total{{tenant=\"{escaped}\"}} 1\n"),
+                "raw value {raw:?}"
+            );
+            // One sample line, terminated by the only newline.
+            assert_eq!(out.matches('\n').count(), 1, "raw value {raw:?}");
+            // The value between the quotes contains no unescaped quote:
+            // stripping the escape pairs must leave none behind.
+            let inner = &out[out.find('"').unwrap() + 1..out.rfind('"').unwrap()];
+            assert!(
+                !inner.replace("\\\\", "").replace("\\\"", "").contains('"'),
+                "unescaped quote leaked for {raw:?}: {out}"
+            );
+        }
+    }
+
+    #[test]
     fn summary_renders_quantiles_sum_and_count() {
         let mut w = PromWriter::new();
         let h = HistogramSnapshot {

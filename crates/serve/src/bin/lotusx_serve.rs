@@ -5,6 +5,7 @@
 //!              [--corpus SOURCE] [--read-timeout-ms MS]
 //!              [--write-timeout-ms MS] [--idle-timeout-ms MS]
 //!              [--backend auto|poll|epoll] [--access-log PATH]
+//! lotusx-serve --routes FILE             # multi-tenant registry server
 //! lotusx-serve --corpus SOURCE --snapshot save:PATH   # build, save, exit
 //! lotusx-serve --snapshot load:PATH                   # serve from snapshot
 //! lotusx-serve --probe HOST:PORT         # healthz + one query, exit 0/1
@@ -15,6 +16,14 @@
 //!
 //! `SOURCE` is any corpus source: `@dataset[:scale[:seed]]`, an XML
 //! file, or a `.ltsx` snapshot.
+//!
+//! `--routes FILE` starts a multi-tenant server: the JSON config names
+//! each tenant (with its own corpus source, admission quota, and
+//! default budgets) and the routing rules that map requests onto them
+//! (`/t/<name>` prefixes, headers, predicate trees). The rule list can
+//! be hot-reloaded at runtime with `POST /admin/routes`. `--corpus` and
+//! `--snapshot` do not combine with `--routes` — corpora come from the
+//! config file.
 //!
 //! `--access-log PATH` writes one JSONL line per response (method,
 //! path, status, bytes, connection id, close disposition, and the
@@ -28,8 +37,8 @@
 //! `POST /shutdown`, or the process is killed. EOF on stdin parks the
 //! reader — backgrounding with `</dev/null` does not stop the server.
 
-use lotusx::{CorpusSource, LotusX};
-use lotusx_serve::{client, ServeConfig, Server};
+use lotusx::{CorpusSource, EngineRegistry, LotusX, RegistryConfig};
+use lotusx_serve::{client, ServeConfig, Server, ServerHandle};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,6 +48,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
         Ok(Mode::Serve(config, corpus, snapshot)) => serve(config, &corpus, snapshot),
+        Ok(Mode::ServeRoutes(config, routes)) => serve_routes(config, &routes),
         Ok(Mode::Probe(addr)) => probe(addr),
         Ok(Mode::MetricsProbe(addr)) => metrics_probe(addr),
         Ok(Mode::Stop(addr)) => stop(addr),
@@ -46,9 +56,9 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: lotusx-serve [--addr HOST:PORT] [--threads N] [--max-inflight N] \
-                 [--corpus SOURCE] [--snapshot save:PATH|load:PATH] [--read-timeout-ms MS] \
-                 [--write-timeout-ms MS] [--idle-timeout-ms MS] [--backend auto|poll|epoll] \
-                 [--access-log PATH]\n\
+                 [--corpus SOURCE] [--snapshot save:PATH|load:PATH] [--routes FILE] \
+                 [--read-timeout-ms MS] [--write-timeout-ms MS] [--idle-timeout-ms MS] \
+                 [--backend auto|poll|epoll] [--access-log PATH]\n\
                  \x20      lotusx-serve --probe HOST:PORT | --metrics-probe HOST:PORT \
                  | --stop HOST:PORT\n\
                  SOURCE: @dataset[:scale[:seed]] | file.xml | file.ltsx"
@@ -67,6 +77,8 @@ enum SnapshotAction {
 
 enum Mode {
     Serve(ServeConfig, String, Option<SnapshotAction>),
+    /// Multi-tenant registry server from a `--routes` config file.
+    ServeRoutes(ServeConfig, PathBuf),
     Probe(SocketAddr),
     MetricsProbe(SocketAddr),
     Stop(SocketAddr),
@@ -78,7 +90,9 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
         ..ServeConfig::default()
     };
     let mut corpus = "@dblp:1".to_string();
+    let mut corpus_set = false;
     let mut snapshot = None;
+    let mut routes: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -118,7 +132,11 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
             }
             "--backend" => config.backend = lotusx_serve::Backend::parse(&value("--backend")?)?,
             "--access-log" => config.access_log = Some(PathBuf::from(value("--access-log")?)),
-            "--corpus" => corpus = value("--corpus")?,
+            "--corpus" => {
+                corpus = value("--corpus")?;
+                corpus_set = true;
+            }
+            "--routes" => routes = Some(PathBuf::from(value("--routes")?)),
             "--snapshot" => {
                 let action = value("--snapshot")?;
                 snapshot = Some(match action.split_once(':') {
@@ -142,6 +160,14 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
             "--stop" => return Ok(Mode::Stop(parse_addr(&value("--stop")?)?)),
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if let Some(routes) = routes {
+        if corpus_set || snapshot.is_some() {
+            return Err("--routes does not combine with --corpus/--snapshot \
+                        (tenant corpora come from the config file)"
+                .to_string());
+        }
+        return Ok(Mode::ServeRoutes(config, routes));
     }
     Ok(Mode::Serve(config, corpus, snapshot))
 }
@@ -195,32 +221,99 @@ fn serve(config: ServeConfig, corpus: &str, snapshot: Option<SnapshotAction>) ->
     println!("listening on {}", server.local_addr());
 
     std::thread::scope(|scope| {
-        // stdin control: a `quit` line triggers graceful shutdown; EOF
-        // just parks so `</dev/null &` backgrounding works.
         let stdin_handle = handle.clone();
-        scope.spawn(move || {
-            let mut line = String::new();
-            loop {
-                line.clear();
-                match std::io::stdin().read_line(&mut line) {
-                    Ok(0) => loop {
-                        if stdin_handle.is_stopping() {
-                            return;
-                        }
-                        std::thread::sleep(Duration::from_millis(200));
-                    },
-                    Ok(_) => {
-                        if line.trim() == "quit" {
-                            stdin_handle.shutdown();
-                            return;
-                        }
-                    }
-                    Err(_) => return,
-                }
-            }
-        });
+        scope.spawn(move || stdin_control(stdin_handle));
         server.run(&engine);
     });
+    finish(trace_path, &handle)
+}
+
+/// Serves a multi-tenant registry from a `--routes` config file.
+fn serve_routes(config: ServeConfig, routes: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(routes) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: reading {} failed: {e}", routes.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry_config = match RegistryConfig::parse(&text) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {}: {e}", routes.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    lotusx_obs::set_enabled(true);
+    let trace_path = std::env::var_os("LOTUSX_TRACE").map(PathBuf::from);
+    if trace_path.is_some() {
+        lotusx_obs::set_tracing(true);
+    }
+    for tenant in &registry_config.tenants {
+        eprintln!("opening tenant {} ({}) ...", tenant.name, tenant.source);
+    }
+    let registry = match EngineRegistry::open(&registry_config) {
+        Ok(registry) => registry,
+        Err(e) => {
+            eprintln!("error: opening registry failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = server.handle();
+    eprintln!(
+        "serving {} tenants, {} routing rules",
+        registry.tenants().len(),
+        registry.routes().rules().len()
+    );
+    // The wait-for line: scripts poll for this exact prefix.
+    println!("listening on {}", server.local_addr());
+    std::thread::scope(|scope| {
+        let stdin_handle = handle.clone();
+        scope.spawn(move || stdin_control(stdin_handle));
+        server.run_registry(&registry);
+    });
+    for tenant in handle.tenant_stats() {
+        eprintln!(
+            "tenant {}: {} requests ({} queries, {} rejected, {} quota rejects)",
+            tenant.name, tenant.requests, tenant.queries, tenant.rejected, tenant.quota_rejects
+        );
+    }
+    finish(trace_path, &handle)
+}
+
+/// stdin control: a `quit` line triggers graceful shutdown; EOF just
+/// parks so `</dev/null &` backgrounding works.
+fn stdin_control(handle: ServerHandle) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::stdin().read_line(&mut line) {
+            Ok(0) => loop {
+                if handle.is_stopping() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            },
+            Ok(_) => {
+                if line.trim() == "quit" {
+                    handle.shutdown();
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Post-run trace dump and final stats line, shared by both modes.
+fn finish(trace_path: Option<PathBuf>, handle: &ServerHandle) -> ExitCode {
     if let Some(path) = trace_path {
         let events = lotusx_obs::drain_events();
         let json = lotusx_obs::chrome_trace_json_with(&events, Some(lotusx_obs::trace_counters()));

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! lotusx-soak [--soak] [--conns N] [--backend auto|poll|epoll]
+//! lotusx-soak --tenants     # two-tenant isolation chaos (tenant-soak CI stage)
 //! ```
 //!
 //! Starts an in-process server on an ephemeral port and drives a mixed
@@ -24,8 +25,18 @@
 //! 0 means every assertion held: zero panics, *exact* accept/request/
 //! reject accounting against the server's counters, every response the
 //! expected status, and bounded memory growth.
+//!
+//! `--tenants` (the `tenant-soak` CI stage) runs the mixed-tenant chaos
+//! scenario instead: a registry hosting tenant `alpha` (admission quota
+//! 2) and tenant `beta` (unlimited), with a client fleet saturating
+//! alpha far past its quota while beta trickles sequential traffic.
+//! Asserts tenant isolation under load: beta never sees a 429 or an
+//! error and its p99 stays bounded, alpha's client-observed 429s equal
+//! the server's `quota_rejects` counter *exactly*, alpha actually
+//! tripped its quota, beta's counters equal beta's own traffic alone,
+//! and nothing panicked.
 
-use lotusx::LotusX;
+use lotusx::{EngineRegistry, LotusX, RoutePredicate, RouteRule, TenantLimits, TenantSelector};
 use lotusx_serve::client::{self, parse_response, Response};
 use lotusx_serve::poller::{Backend, Interest, PollEvent, Poller};
 use lotusx_serve::{ServeConfig, Server};
@@ -74,6 +85,18 @@ fn main() -> ExitCode {
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--soak" => profile = Profile::full(),
+            "--tenants" => {
+                return match tenant_soak() {
+                    Ok(()) => {
+                        println!("tenant soak ok");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("tenant soak FAILED: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
             "--conns" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => profile.conns = n,
                 _ => return usage("--conns requires a positive integer"),
@@ -99,7 +122,7 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
-    eprintln!("usage: lotusx-soak [--soak] [--conns N] [--backend auto|poll|epoll]");
+    eprintln!("usage: lotusx-soak [--soak] [--conns N] [--backend auto|poll|epoll] | --tenants");
     ExitCode::FAILURE
 }
 
@@ -227,6 +250,184 @@ fn soak(profile: &Profile, backend: Backend) -> Result<(), String> {
         stats.rejected,
         stats.keepalive_reuses,
         stats.max_ready_batch
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+/// The mixed-tenant chaos scenario (`--tenants`): saturate tenant
+/// `alpha` far past its two-slot admission quota while tenant `beta`
+/// trickles sequential traffic, then reconcile every counter exactly.
+/// See the module docs for the assertion list.
+fn tenant_soak() -> Result<(), String> {
+    // alpha gets a corpus big enough that its queries spend real time
+    // in compute (keeping the two quota slots occupied); beta stays on
+    // the tiny corpus so its requests are cheap and latency-sensitive.
+    let mut alpha_xml = String::from("<bib>");
+    for i in 0..2000 {
+        alpha_xml.push_str(&format!(
+            "<book><author>knuth</author><title>taocp vol {i}</title></book>"
+        ));
+    }
+    alpha_xml.push_str("</bib>");
+    let alpha = LotusX::load_str(&alpha_xml).map_err(|e| format!("alpha corpus: {e}"))?;
+    let beta = LotusX::load_str(CORPUS).map_err(|e| format!("beta corpus: {e}"))?;
+    let registry = EngineRegistry::from_parts(
+        vec![
+            (
+                "alpha".to_string(),
+                alpha,
+                TenantLimits {
+                    max_inflight: Some(2),
+                    ..TenantLimits::unlimited()
+                },
+            ),
+            ("beta".to_string(), beta, TenantLimits::unlimited()),
+        ],
+        vec![RouteRule {
+            when: RoutePredicate::PathPrefix("/t/".to_string()),
+            tenant: TenantSelector::FromPath,
+        }],
+    )
+    .map_err(|e| format!("registry: {e}"))?;
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        max_inflight: 256,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let handle = server.handle();
+    let addr = server.local_addr();
+
+    const A_THREADS: u64 = 16;
+    const A_REQUESTS: u64 = 40;
+    const B_REQUESTS: u64 = 60;
+    let alpha_query = "{\"text\":\"knuth\",\"kind\":\"keyword\",\"top_k\":25}";
+
+    let ((a_ok, a_429, a_other), (b_latencies, b_429, b_other)) = std::thread::scope(|scope| {
+        scope.spawn(|| server.run_registry(&registry));
+        let a_handles: Vec<_> = (0..A_THREADS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (mut ok, mut rejected, mut other) = (0u64, 0u64, 0u64);
+                    for _ in 0..A_REQUESTS {
+                        match client::post(addr, "/t/alpha/query", alpha_query) {
+                            Ok(r) if r.status == 200 => ok += 1,
+                            Ok(r) if r.status == 429 => rejected += 1,
+                            _ => other += 1,
+                        }
+                    }
+                    (ok, rejected, other)
+                })
+            })
+            .collect();
+        let b_handle = scope.spawn(move || {
+            let mut latencies = Vec::with_capacity(B_REQUESTS as usize);
+            let (mut rejected, mut other) = (0u64, 0u64);
+            for _ in 0..B_REQUESTS {
+                let started = Instant::now();
+                match client::post(addr, "/t/beta/query", QUERY) {
+                    Ok(r) if r.status == 200 => latencies.push(started.elapsed()),
+                    Ok(r) if r.status == 429 => rejected += 1,
+                    _ => other += 1,
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            (latencies, rejected, other)
+        });
+        let mut a = (0u64, 0u64, 0u64);
+        for h in a_handles {
+            let (ok, rejected, other) = h.join().expect("alpha client panicked");
+            a.0 += ok;
+            a.1 += rejected;
+            a.2 += other;
+        }
+        let b = b_handle.join().expect("beta client panicked");
+        handle.shutdown();
+        (a, b)
+    });
+
+    let stats = handle.stats();
+    let tenants = handle.tenant_stats();
+    let find = |name: &str| {
+        tenants
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| format!("no {name} snapshot"))
+    };
+    let alpha_snap = find("alpha")?;
+    let beta_snap = find("beta")?;
+    let mut failures = Vec::new();
+    let mut check = |name: &str, got: u64, want: u64| {
+        if got != want {
+            failures.push(format!("{name}: got {got}, want {want}"));
+        }
+    };
+    check("panics", stats.panics, 0);
+    check("alpha client errors", a_other, 0);
+    check(
+        "alpha responses accounted",
+        a_ok + a_429,
+        A_THREADS * A_REQUESTS,
+    );
+    // --- isolation: beta never feels alpha's saturation ---
+    check("beta 429s", b_429, 0);
+    check("beta client errors", b_other, 0);
+    check("beta 200s", b_latencies.len() as u64, B_REQUESTS);
+    // --- exact per-tenant accounting ---
+    check(
+        "alpha quota_rejects == client-observed 429s",
+        alpha_snap.quota_rejects,
+        a_429,
+    );
+    check(
+        "server tenant_quota_rejects",
+        stats.tenant_quota_rejects,
+        a_429,
+    );
+    check(
+        "alpha requests (dispatched only)",
+        alpha_snap.requests,
+        a_ok,
+    );
+    check("alpha queries", alpha_snap.queries, a_ok);
+    check("alpha worker rejects", alpha_snap.rejected, 0);
+    check("beta requests", beta_snap.requests, B_REQUESTS);
+    check("beta queries", beta_snap.queries, B_REQUESTS);
+    check("beta quota_rejects", beta_snap.quota_rejects, 0);
+    check("beta worker rejects", beta_snap.rejected, 0);
+    check("alpha inflight after drain", alpha_snap.inflight, 0);
+    check("beta inflight after drain", beta_snap.inflight, 0);
+    check("unknown_tenant rejects", stats.unknown_tenant_rejects, 0);
+    if a_429 == 0 {
+        failures.push("alpha never tripped its quota — saturation did not happen".to_string());
+    }
+    if alpha_snap.max_inflight_seen > 2 {
+        failures.push(format!(
+            "alpha max_inflight_seen {} exceeds its quota of 2",
+            alpha_snap.max_inflight_seen
+        ));
+    }
+    let p99 = {
+        let mut sorted = b_latencies.clone();
+        sorted.sort();
+        sorted
+            .get(((sorted.len() * 99) / 100).min(sorted.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or_default()
+    };
+    if p99 > Duration::from_secs(2) {
+        failures.push(format!("beta p99 {p99:?} exceeds the 2s bound"));
+    }
+    println!(
+        "alpha: ok={a_ok} quota_rejects={a_429} max_inflight_seen={}; \
+         beta: ok={} p99={p99:?}",
+        alpha_snap.max_inflight_seen,
+        b_latencies.len(),
     );
     if failures.is_empty() {
         Ok(())

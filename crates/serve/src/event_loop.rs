@@ -63,6 +63,7 @@
 use crate::http::{self, ParseStatus, Reject};
 use crate::poller::{Interest, PollEvent, Poller};
 use crate::server::Server;
+use crate::tenants::Tenancy;
 use crate::timer::{Fired, TimerWheel};
 use lotusx_obs::{
     conn_lane, emit_on_lane, CloseReason, ConnPhase, DeadlineKind, EventKind, QueryId, Stage,
@@ -94,6 +95,10 @@ pub(crate) struct Job {
     pub conn_id: u64,
     /// The request to route.
     pub request: http::Request,
+    /// The routed tenant index (`None` for server-scoped endpoints).
+    /// The loop thread already charged this tenant's `inflight` gauge;
+    /// the matching decrement happens when the completion lands.
+    pub tenant: Option<u32>,
     /// Encode the response with `Connection: keep-alive`.
     pub keep_alive: bool,
     /// First byte of this request → parse complete, on the loop thread.
@@ -115,6 +120,8 @@ pub(crate) struct Done {
     /// Request method/path, moved out of the request for the access log.
     pub method: String,
     pub path: String,
+    /// The tenant the request was routed to (inflight release, log).
+    pub tenant: Option<u32>,
     /// Timing breakdown carried through to the access-log line.
     pub parse_ns: u64,
     pub queue_ns: u64,
@@ -131,6 +138,7 @@ struct PendingLog {
     path: String,
     status: u16,
     bytes: u64,
+    tenant: Option<u32>,
     parse_ns: u64,
     queue_ns: u64,
     compute_ns: u64,
@@ -139,13 +147,15 @@ struct PendingLog {
 
 impl PendingLog {
     /// A line for a response synthesized on the loop thread without a
-    /// parsed request behind it (429/408/400 rejects).
-    fn loop_reject(status: u16, bytes: u64) -> PendingLog {
+    /// parsed request behind it (429/408/400/404 rejects). `tenant` is
+    /// known only for per-tenant quota rejects.
+    fn loop_reject(status: u16, bytes: u64, tenant: Option<u32>) -> PendingLog {
         PendingLog {
             method: "-".to_string(),
             path: "-".to_string(),
             status,
             bytes,
+            tenant,
             parse_ns: 0,
             queue_ns: 0,
             compute_ns: 0,
@@ -276,6 +286,10 @@ struct Slot {
 
 struct EventLoop<'a> {
     server: &'a Server,
+    /// The engine view and per-tenant runtimes (routing, quotas,
+    /// counters). A plain reference copy of it is taken wherever a
+    /// connection borrow is simultaneously live.
+    tenancy: &'a Tenancy<'a>,
     poller: Poller,
     waker_rx: UnixStream,
     wheel: TimerWheel,
@@ -298,6 +312,7 @@ struct EventLoop<'a> {
 /// and every connection owed a response has been answered and closed.
 pub(crate) fn run(
     server: &Server,
+    tenancy: &Tenancy<'_>,
     poller: Poller,
     waker_rx: UnixStream,
     jobs: &std::sync::mpsc::Sender<Job>,
@@ -305,6 +320,7 @@ pub(crate) fn run(
 ) {
     let mut el = EventLoop {
         server,
+        tenancy,
         poller,
         waker_rx,
         // 128 x 16ms ≈ 2s horizon; longer deadlines lap (see timer.rs).
@@ -508,10 +524,14 @@ impl EventLoop<'_> {
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.as_millis() as u64)
                 .unwrap_or(0);
+            let tenant = entry
+                .tenant
+                .map_or("-", |idx| self.tenancy.set.runtime(idx).name());
             let line = format!(
-                "{{\"ts_ms\":{ts_ms},\"conn\":{conn_id},\"method\":{},\"path\":{},\
+                "{{\"ts_ms\":{ts_ms},\"conn\":{conn_id},\"tenant\":{},\"method\":{},\"path\":{},\
                  \"status\":{},\"bytes\":{},\"close\":{},\"parse_ns\":{},\"queue_ns\":{},\
                  \"compute_ns\":{},\"flush_ns\":{flush_ns}}}",
+                lotusx_obs::json_string(tenant),
                 lotusx_obs::json_string(&entry.method),
                 lotusx_obs::json_string(&entry.path),
                 entry.status,
@@ -602,7 +622,7 @@ impl EventLoop<'_> {
         match kind {
             DeadlineKind::Read => {
                 stats.read_timeouts.fetch_add(1, Ordering::Relaxed);
-                self.reject_conn(token, Reject::new(408, "read timed out"));
+                self.reject_conn(token, Reject::new(408, "read timed out"), None);
                 self.flush(token);
             }
             DeadlineKind::Idle => {
@@ -661,7 +681,7 @@ impl EventLoop<'_> {
                         conn.close_after_flush = true;
                         conn.close_reason = Some(CloseReason::Admission);
                         conn.log
-                            .push(PendingLog::loop_reject(429, conn.outbuf.len() as u64));
+                            .push(PendingLog::loop_reject(429, conn.outbuf.len() as u64, None));
                         let fd = conn.stream.as_raw_fd();
                         let token = self.alloc(conn);
                         if self
@@ -822,6 +842,7 @@ impl EventLoop<'_> {
                 reused: bool,
                 parse_ns: u64,
                 conn_id: u64,
+                tenant: Option<u32>,
             },
             /// `GET /metrics` answered inline on the loop thread — no
             /// worker round-trip, so a wedged pool can't hide from the
@@ -832,8 +853,19 @@ impl EventLoop<'_> {
                 parse_ns: u64,
             },
             Reject(Reject),
+            /// A routing miss (404 `unknown_tenant`) or a per-tenant
+            /// admission quota trip (429); counted separately from
+            /// generic rejects.
+            RejectTenant {
+                reject: Reject,
+                tenant: Option<u32>,
+                quota: bool,
+            },
         }
         let limits = self.server.config.limits;
+        // A plain copy of the reference so routing can run while the
+        // connection borrow is live.
+        let tenancy = self.tenancy;
         loop {
             let stopping = self.stopping();
             let act = {
@@ -877,20 +909,74 @@ impl EventLoop<'_> {
                                 || stopping
                                 || (conn.peer_eof && conn.inbuf.is_empty()));
                             let reused = conn.dispatched > 1;
-                            if parsed.request.method == "GET" && parsed.request.path == "/metrics" {
-                                Act::Metrics {
-                                    keep_alive,
-                                    reused,
-                                    parse_ns,
-                                }
+                            let mut request = parsed.request;
+                            // Server-scoped endpoints bypass tenant
+                            // routing entirely: health, stats, metrics,
+                            // shutdown and route administration answer
+                            // for the whole process, whatever the rules
+                            // say, and are never charged to a tenant.
+                            let server_scoped = matches!(
+                                request.path.as_str(),
+                                "/healthz" | "/stats" | "/metrics" | "/shutdown" | "/admin/routes"
+                            );
+                            let routed = if server_scoped {
+                                Ok(None)
                             } else {
-                                conn.pending = true;
-                                Act::Dispatch {
-                                    request: parsed.request,
-                                    keep_alive,
-                                    reused,
-                                    parse_ns,
-                                    conn_id: conn.id,
+                                match tenancy.resolve(&request.path, &request.headers) {
+                                    None => Err(()),
+                                    Some((idx, rewritten)) => {
+                                        if let Some(path) = rewritten {
+                                            request.path = path;
+                                        }
+                                        Ok(Some(idx))
+                                    }
+                                }
+                            };
+                            match routed {
+                                Err(()) => Act::RejectTenant {
+                                    reject: Reject::new(404, "unknown_tenant"),
+                                    tenant: None,
+                                    quota: false,
+                                },
+                                Ok(tenant) => {
+                                    // `/t/<name>` stripping may have just
+                                    // exposed a metrics path.
+                                    if request.method == "GET" && request.path == "/metrics" {
+                                        Act::Metrics {
+                                            keep_alive,
+                                            reused,
+                                            parse_ns,
+                                        }
+                                    } else {
+                                        // Per-tenant admission quota,
+                                        // checked only here on the loop
+                                        // thread — exact, like the
+                                        // server-wide gate.
+                                        let over = tenant.is_some_and(|idx| {
+                                            let rt = tenancy.set.runtime(idx);
+                                            rt.limits().max_inflight.is_some_and(|quota| {
+                                                rt.stats.inflight.load(Ordering::Relaxed)
+                                                    >= quota as u64
+                                            })
+                                        });
+                                        if over {
+                                            Act::RejectTenant {
+                                                reject: Reject::new(429, "tenant at capacity"),
+                                                tenant,
+                                                quota: true,
+                                            }
+                                        } else {
+                                            conn.pending = true;
+                                            Act::Dispatch {
+                                                request,
+                                                keep_alive,
+                                                reused,
+                                                parse_ns,
+                                                conn_id: conn.id,
+                                                tenant,
+                                            }
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -908,7 +994,7 @@ impl EventLoop<'_> {
             match act {
                 Act::Done => return,
                 Act::EofTruncated => {
-                    self.reject_conn(token, Reject::new(400, "truncated request"));
+                    self.reject_conn(token, Reject::new(400, "truncated request"), None);
                     self.flush(token);
                     return;
                 }
@@ -922,7 +1008,38 @@ impl EventLoop<'_> {
                     return;
                 }
                 Act::Reject(reject) => {
-                    self.reject_conn(token, reject);
+                    self.reject_conn(token, reject, None);
+                    self.flush(token);
+                    return;
+                }
+                Act::RejectTenant {
+                    reject,
+                    tenant,
+                    quota,
+                } => {
+                    // `reject_conn` does the generic reject accounting;
+                    // these are the tenant-specific counters on top.
+                    let stats = &self.server.stats;
+                    if quota {
+                        stats.tenant_quota_rejects.fetch_add(1, Ordering::Relaxed);
+                        if let Some(idx) = tenant {
+                            self.tenancy
+                                .set
+                                .runtime(idx)
+                                .stats
+                                .quota_rejects
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        if lotusx_obs::enabled() {
+                            lotusx_obs::metrics().incr("http_tenant_quota_rejects", 1);
+                        }
+                    } else {
+                        stats.unknown_tenant_rejects.fetch_add(1, Ordering::Relaxed);
+                        if lotusx_obs::enabled() {
+                            lotusx_obs::metrics().incr("http_unknown_tenant_rejects", 1);
+                        }
+                    }
+                    self.reject_conn(token, reject, tenant);
                     self.flush(token);
                     return;
                 }
@@ -932,11 +1049,22 @@ impl EventLoop<'_> {
                     reused,
                     parse_ns,
                     conn_id,
+                    tenant,
                 } => {
                     let stats = &self.server.stats;
                     stats.requests.fetch_add(1, Ordering::Relaxed);
                     if reused {
                         stats.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(idx) = tenant {
+                        // Admitted under the tenant's quota: charge the
+                        // inflight gauge here on the loop thread; the
+                        // matching release is in `apply_done` (or the
+                        // failed-send path below).
+                        let rt = self.tenancy.set.runtime(idx);
+                        rt.stats.requests.fetch_add(1, Ordering::Relaxed);
+                        let now = rt.stats.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+                        rt.stats.max_inflight_seen.fetch_max(now, Ordering::Relaxed);
                     }
                     if lotusx_obs::enabled() {
                         lotusx_obs::metrics().incr("http_requests", 1);
@@ -963,6 +1091,7 @@ impl EventLoop<'_> {
                         epoch,
                         conn_id,
                         request,
+                        tenant,
                         keep_alive,
                         parse_ns,
                         queued_at: Instant::now(),
@@ -970,6 +1099,14 @@ impl EventLoop<'_> {
                     if sent.is_err() {
                         // Workers are gone (shutdown tail): close.
                         stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        if let Some(idx) = tenant {
+                            self.tenancy
+                                .set
+                                .runtime(idx)
+                                .stats
+                                .inflight
+                                .fetch_sub(1, Ordering::Relaxed);
+                        }
                         self.close_conn(token, CloseReason::Drain);
                         return;
                     }
@@ -1021,8 +1158,9 @@ impl EventLoop<'_> {
                     }
                     let started = Instant::now();
                     let body = format!(
-                        "{}{}",
+                        "{}{}{}",
                         self.server.stats.snapshot().to_prometheus(),
+                        self.tenancy.set.to_prometheus(),
                         lotusx_obs::metrics().snapshot().to_prometheus()
                     );
                     let bytes = http::encode_response(
@@ -1052,6 +1190,7 @@ impl EventLoop<'_> {
                             path: "/metrics".to_string(),
                             status: 200,
                             bytes: len,
+                            tenant: None,
                             parse_ns,
                             queue_ns: 0,
                             compute_ns,
@@ -1090,8 +1229,10 @@ impl EventLoop<'_> {
     }
 
     /// Queues an error response and marks the connection REJECTING: no
-    /// more reads, close once the response drains.
-    fn reject_conn(&mut self, token: usize, reject: Reject) {
+    /// more reads, close once the response drains. `tenant` is the
+    /// routed tenant when known (quota rejects) so the access-log line
+    /// can carry it.
+    fn reject_conn(&mut self, token: usize, reject: Reject, tenant: Option<u32>) {
         if self.conn(token).is_none() {
             return;
         }
@@ -1114,7 +1255,8 @@ impl EventLoop<'_> {
             conn.close_after_flush = true;
             conn.close_reason.get_or_insert(reason);
             conn.inbuf.clear();
-            conn.log.push(PendingLog::loop_reject(reject.status, len));
+            conn.log
+                .push(PendingLog::loop_reject(reject.status, len, tenant));
         }
         self.set_phase(token, ConnPhase::Flush);
         self.disarm(token);
@@ -1126,6 +1268,18 @@ impl EventLoop<'_> {
     fn apply_done(&mut self, done: Done) {
         let token = done.token;
         let stopping = self.stopping();
+        // Release the tenant's inflight slot unconditionally, *before*
+        // the epoch check: the gauge was charged at dispatch, and a
+        // connection that died mid-compute must still release it or the
+        // tenant's quota leaks shut.
+        if let Some(idx) = done.tenant {
+            self.tenancy
+                .set
+                .runtime(idx)
+                .stats
+                .inflight
+                .fetch_sub(1, Ordering::Relaxed);
+        }
         // Completion-to-pickup latency: how far behind the loop thread
         // is running (its health signal under load).
         if lotusx_obs::enabled() {
@@ -1158,6 +1312,7 @@ impl EventLoop<'_> {
                 path: done.path,
                 status: done.status,
                 bytes: done.bytes.len() as u64,
+                tenant: done.tenant,
                 parse_ns: done.parse_ns,
                 queue_ns: done.queue_ns,
                 compute_ns: done.compute_ns,

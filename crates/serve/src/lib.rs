@@ -10,10 +10,20 @@
 //! |-------------------|------------------------------------------------|
 //! | `POST /query`     | Twig/keyword search (per-request `top_k`, `algorithm`, `deadline_ms`, `budget`) |
 //! | `POST /complete`  | Position-aware tag/value auto-completion       |
-//! | `GET /stats`      | Per-server counters + the full obs snapshot    |
+//! | `GET /stats`      | Per-server counters, per-tenant counters (registry mode) + the full obs snapshot |
 //! | `GET /metrics`    | Prometheus text exposition (v0.0.4), served inline on the loop thread |
 //! | `GET /healthz`    | Liveness probe (`ok`)                          |
 //! | `POST /shutdown`  | Graceful remote stop                           |
+//! | `POST /admin/routes` | Hot-swap the routing rules (registry mode only) |
+//!
+//! A server runs either single-tenant ([`Server::run`]) or hosts a
+//! whole [`EngineRegistry`](lotusx::EngineRegistry) of named corpora
+//! ([`Server::run_registry`]) with requests routed by a declarative
+//! rule table (`/t/<tenant>/…` prefixes, headers), per-tenant
+//! `max_inflight` quotas (`429 tenant at capacity`) and default
+//! budgets, and per-tenant observability across `/stats`, `/metrics`
+//! (`tenant` label) and the access log — see [`tenants`] and the
+//! "Multi-tenant routing" section of DESIGN.md.
 //!
 //! The I/O layer is a single-threaded nonblocking event loop driving
 //! per-connection state machines — incremental parsing, HTTP/1.1
@@ -51,6 +61,7 @@ mod event_loop;
 pub mod http;
 pub mod poller;
 pub mod server;
+pub mod tenants;
 pub mod timer;
 pub mod wire;
 
@@ -58,3 +69,4 @@ pub use client::{get, post, raw_request, request, Conn, Response};
 pub use http::{Limits, Reject, Request};
 pub use poller::Backend;
 pub use server::{ServeConfig, Server, ServerHandle, ServerStats, StatsSnapshot};
+pub use tenants::{TenantRuntime, TenantSet, TenantSnapshot, TenantStats};

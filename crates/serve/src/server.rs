@@ -32,15 +32,16 @@ use crate::access_log::AccessLog;
 use crate::event_loop::{self, Completions, Done, Job, Waker};
 use crate::http::{self, Limits, Reject, Request};
 use crate::poller::{Backend, Poller};
+use crate::tenants::{Tenancy, TenantSet, TenantSnapshot};
 use crate::wire;
-use lotusx::{CancelToken, LotusX, QueryRequest};
+use lotusx::{CancelToken, EngineRegistry, LotusX, QueryRequest};
 use lotusx_obs::{conn_lane, EventKind, PromWriter, QueryId, Stage};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Server configuration. The default binds an ephemeral loopback port
@@ -148,6 +149,14 @@ pub struct ServerStats {
     /// Access-log lines dropped (writer queue full or log disabled —
     /// only counted while a log is configured).
     pub access_log_dropped: AtomicU64,
+    /// Requests answered `404 unknown_tenant` because no routing rule
+    /// matched (or the extracted tenant is not hosted). Always zero on a
+    /// single-engine server.
+    pub unknown_tenant_rejects: AtomicU64,
+    /// Requests answered `429` by a *per-tenant* admission quota (the
+    /// server-wide `max_inflight` gate counts under `rejected` via the
+    /// accept path instead).
+    pub tenant_quota_rejects: AtomicU64,
 }
 
 /// A plain-value copy of [`ServerStats`].
@@ -199,6 +208,10 @@ pub struct StatsSnapshot {
     pub access_log_lines: u64,
     /// See [`ServerStats::access_log_dropped`].
     pub access_log_dropped: u64,
+    /// See [`ServerStats::unknown_tenant_rejects`].
+    pub unknown_tenant_rejects: u64,
+    /// See [`ServerStats::tenant_quota_rejects`].
+    pub tenant_quota_rejects: u64,
 }
 
 impl ServerStats {
@@ -228,6 +241,8 @@ impl ServerStats {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             access_log_lines: self.access_log_lines.load(Ordering::Relaxed),
             access_log_dropped: self.access_log_dropped.load(Ordering::Relaxed),
+            unknown_tenant_rejects: self.unknown_tenant_rejects.load(Ordering::Relaxed),
+            tenant_quota_rejects: self.tenant_quota_rejects.load(Ordering::Relaxed),
         }
     }
 }
@@ -236,7 +251,7 @@ impl StatsSnapshot {
     /// Every field as a `(name, value, is_gauge)` triple, in display
     /// order — the one list `/stats` JSON and `/metrics` exposition are
     /// both rendered from, so the two can never drift apart.
-    fn fields(&self) -> [(&'static str, u64, bool); 23] {
+    fn fields(&self) -> [(&'static str, u64, bool); 25] {
         [
             ("requests", self.requests, false),
             ("rejected", self.rejected, false),
@@ -261,6 +276,8 @@ impl StatsSnapshot {
             ("max_queue_depth", self.max_queue_depth, true),
             ("access_log_lines", self.access_log_lines, false),
             ("access_log_dropped", self.access_log_dropped, false),
+            ("unknown_tenant_rejects", self.unknown_tenant_rejects, false),
+            ("tenant_quota_rejects", self.tenant_quota_rejects, false),
         ]
     }
 
@@ -303,6 +320,7 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     query_cancel: CancelToken,
     stats: Arc<ServerStats>,
+    tenants: Arc<OnceLock<Arc<TenantSet>>>,
     addr: SocketAddr,
     waker: Waker,
 }
@@ -328,6 +346,13 @@ impl ServerHandle {
         self.stats.snapshot()
     }
 
+    /// Per-tenant counter snapshots, in registry order (a single
+    /// `default` entry for `Server::run`). Empty until `run`/
+    /// `run_registry` has started.
+    pub fn tenant_stats(&self) -> Vec<TenantSnapshot> {
+        self.tenants.get().map(|s| s.snapshot()).unwrap_or_default()
+    }
+
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -346,6 +371,9 @@ pub struct Server {
     /// The structured access log, when configured (opened at bind time
     /// so a bad path surfaces early).
     pub(crate) access: Option<AccessLog>,
+    /// The per-tenant runtime table, installed when `run`/`run_registry`
+    /// starts so handles can read per-tenant counters.
+    pub(crate) tenants: Arc<OnceLock<Arc<TenantSet>>>,
     /// The loop-side waker receiver and the readiness poller, built at
     /// bind time so configuration errors surface early; taken by the
     /// one permitted [`Server::run`] call.
@@ -390,6 +418,7 @@ impl Server {
             stats: Arc::new(ServerStats::default()),
             waker: Waker::new(waker_tx),
             access,
+            tenants: Arc::new(OnceLock::new()),
             loop_parts: Mutex::new(Some((poller, waker_rx))),
         })
     }
@@ -405,6 +434,7 @@ impl Server {
             stop: Arc::clone(&self.stop),
             query_cancel: self.query_cancel.clone(),
             stats: Arc::clone(&self.stats),
+            tenants: Arc::clone(&self.tenants),
             addr: self.addr,
             waker: self.waker.clone(),
         }
@@ -416,20 +446,35 @@ impl Server {
     /// connection owed a response has been answered and every thread
     /// joined. May be called at most once per server.
     pub fn run(&self, engine: &LotusX) {
+        self.run_with(Tenancy::single(engine));
+    }
+
+    /// Serves a multi-tenant [`EngineRegistry`]: requests are routed to
+    /// a hosted engine by the registry's rule table (`404
+    /// unknown_tenant` on a miss), per-tenant admission quotas and
+    /// default budgets apply, and `POST /admin/routes` hot-reloads the
+    /// rule list. Same threading and shutdown contract as
+    /// [`Server::run`]; at most one `run*` call per server.
+    pub fn run_registry(&self, registry: &EngineRegistry) {
+        self.run_with(Tenancy::registry(registry));
+    }
+
+    fn run_with(&self, tenancy: Tenancy<'_>) {
         let (poller, waker_rx) = self
             .loop_parts
             .lock()
             .expect("loop parts mutex poisoned")
             .take()
             .expect("Server::run may only be called once");
+        let _ = self.tenants.set(Arc::clone(&tenancy.set));
         let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
         let jobs_rx = Mutex::new(jobs_rx);
         let completions = Completions::new(self.waker.clone());
         std::thread::scope(|scope| {
             for _ in 0..self.config.threads {
-                scope.spawn(|| self.worker_loop(engine, &jobs_rx, &completions));
+                scope.spawn(|| self.worker_loop(&tenancy, &jobs_rx, &completions));
             }
-            event_loop::run(self, poller, waker_rx, &jobs_tx, &completions);
+            event_loop::run(self, &tenancy, poller, waker_rx, &jobs_tx, &completions);
             // Dropping the sender lets idle workers observe the
             // disconnect once the queue is drained.
             drop(jobs_tx);
@@ -444,7 +489,12 @@ impl Server {
     /// engine, encodes the full response bytes, and pushes them back to
     /// the event loop. Panics are isolated per request: the peer gets a
     /// best-effort `500` and the server keeps serving.
-    fn worker_loop(&self, engine: &LotusX, rx: &Mutex<mpsc::Receiver<Job>>, done: &Completions) {
+    fn worker_loop(
+        &self,
+        tenancy: &Tenancy<'_>,
+        rx: &Mutex<mpsc::Receiver<Job>>,
+        done: &Completions,
+    ) {
         loop {
             // Take the lock only long enough to pull one job.
             let received = {
@@ -460,7 +510,7 @@ impl Server {
                     // lane so they nest inside its PENDING phase slice.
                     let lane = conn_lane(job.conn_id as u32);
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        self.route(engine, &job.request, lane)
+                        self.route(tenancy, job.tenant, &job.request, lane)
                     }));
                     let (status, bytes, close) = match outcome {
                         Ok(Ok((content_type, body))) => (
@@ -475,6 +525,10 @@ impl Server {
                         ),
                         Ok(Err(reject)) => {
                             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            if let Some(idx) = job.tenant {
+                                let rt = tenancy.set.runtime(idx);
+                                rt.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            }
                             if lotusx_obs::enabled() {
                                 lotusx_obs::metrics().incr("http_rejected", 1);
                             }
@@ -487,6 +541,10 @@ impl Server {
                         }
                         Err(_) => {
                             self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                            if let Some(idx) = job.tenant {
+                                let rt = tenancy.set.runtime(idx);
+                                rt.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            }
                             if lotusx_obs::enabled() {
                                 lotusx_obs::metrics().incr("http_worker_panics", 1);
                             }
@@ -508,6 +566,7 @@ impl Server {
                         status,
                         method,
                         path,
+                        tenant: job.tenant,
                         parse_ns: job.parse_ns,
                         queue_ns,
                         compute_ns,
@@ -526,11 +585,13 @@ impl Server {
     }
 
     /// Routes one parsed request. `Ok` carries the response content type
-    /// and body (the status is always 200). `lane` is the owning
-    /// connection's trace lane.
+    /// and body (the status is always 200). `tenant` is the routed
+    /// tenant index (`None` for server-scoped endpoints); `lane` is the
+    /// owning connection's trace lane.
     fn route(
         &self,
-        engine: &LotusX,
+        tenancy: &Tenancy<'_>,
+        tenant: Option<u32>,
         request: &Request,
         lane: u32,
     ) -> Result<(&'static str, String), Reject> {
@@ -542,22 +603,34 @@ impl Server {
             ("GET", "/stats") => self.timed(Stage::HttpStats, lane, || {
                 self.stats.stats_requests.fetch_add(1, Ordering::Relaxed);
                 let body = format!(
-                    "{{\n\"server\": {},\n\"metrics\": {}}}\n",
+                    "{{\n\"server\": {},\n\"tenants\": {},\n\"metrics\": {}}}\n",
                     self.stats.snapshot().to_json(),
+                    tenancy.set.to_json(),
                     lotusx_obs::metrics().snapshot().to_json()
                 );
                 Ok(("application/json", body))
             }),
             ("POST", "/query") => self.timed(Stage::HttpQuery, lane, || {
                 let query = self.decode_body(&request.body, wire::decode_query)?;
-                let query = self.with_server_cancel(query);
-                match engine.query(&query) {
+                let mut query = self.with_server_cancel(query);
+                let runtime = tenant.map(|idx| tenancy.set.runtime(idx));
+                if let Some(rt) = runtime {
+                    // Tenant defaults fill only budget fields the request
+                    // left unset — an explicit wire budget always wins.
+                    query.budget = rt.limits().apply_defaults(query.budget);
+                }
+                let started = Instant::now();
+                match tenancy.engine(tenant).query(&query) {
                     Ok(response) => {
                         self.stats.queries.fetch_add(1, Ordering::Relaxed);
-                        if !response.completeness.is_complete() {
+                        let truncated = !response.completeness.is_complete();
+                        if truncated {
                             self.stats
                                 .truncated_responses
                                 .fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Some(rt) = runtime {
+                            rt.record_query(started.elapsed().as_nanos() as u64, truncated);
                         }
                         Ok(("application/json", wire::encode_response(&response)))
                     }
@@ -573,7 +646,8 @@ impl Server {
             }),
             ("POST", "/complete") => self.timed(Stage::HttpComplete, lane, || {
                 let complete = self.decode_body(&request.body, wire::decode_complete)?;
-                let completion = engine.completion_engine();
+                let completion = tenancy.engine(tenant).completion_engine();
+                let started = Instant::now();
                 let body = match complete {
                     wire::CompleteRequest::Tag { context, prefix, k } => {
                         wire::encode_tag_candidates(&completion.complete_tag(&context, &prefix, k))
@@ -583,6 +657,9 @@ impl Server {
                     }
                 };
                 self.stats.completions.fetch_add(1, Ordering::Relaxed);
+                if let Some(rt) = tenant.map(|idx| tenancy.set.runtime(idx)) {
+                    rt.record_completion(started.elapsed().as_nanos() as u64);
+                }
                 Ok(("application/json", body))
             }),
             ("POST", "/shutdown") => {
@@ -592,13 +669,34 @@ impl Server {
                 self.stop.store(true, Ordering::SeqCst);
                 Ok(("application/json", "{\"stopping\":true}\n".to_string()))
             }
+            ("POST", "/admin/routes") => match tenancy.registry_ref() {
+                Some(registry) => {
+                    let text = std::str::from_utf8(&request.body).map_err(|_| Reject {
+                        status: 400,
+                        reason: "body is not valid UTF-8".to_string(),
+                    })?;
+                    match registry.reload_rules(text) {
+                        Ok(count) => Ok(("application/json", format!("{{\"rules\":{count}}}\n"))),
+                        // The typed error carries kind + byte offset;
+                        // the previous table stays installed.
+                        Err(e) => Err(Reject {
+                            status: 400,
+                            reason: e.to_string(),
+                        }),
+                    }
+                }
+                None => Err(Reject {
+                    status: 404,
+                    reason: "unknown endpoint /admin/routes (not a registry server)".to_string(),
+                }),
+            },
             // `GET /metrics` is answered inline on the event-loop
             // thread; only other methods ever reach the workers.
             (_, "/healthz" | "/stats" | "/metrics") => Err(Reject {
                 status: 405,
                 reason: format!("{} requires GET", request.path),
             }),
-            (_, "/query" | "/complete" | "/shutdown") => Err(Reject {
+            (_, "/query" | "/complete" | "/shutdown" | "/admin/routes") => Err(Reject {
                 status: 405,
                 reason: format!("{} requires POST", request.path),
             }),

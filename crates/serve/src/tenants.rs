@@ -1,0 +1,390 @@
+//! Per-tenant serving state: counters, admission gauge, rolling
+//! windows, and the engine view the workers route against.
+//!
+//! A running server owns one [`TenantSet`] — index-aligned with the
+//! registry's tenant list (or a single implicit `default` tenant for
+//! `Server::run`). The event loop charges admission (the `inflight`
+//! gauge and `quota_rejects`) on its own thread, so those are exact;
+//! workers charge the outcome counters (queries, completions, rejects,
+//! truncations) with relaxed atomics, mirroring `ServerStats`.
+//!
+//! Tenant counters surface in three places, all rendered from this one
+//! struct so they cannot drift: the `tenants` section of `/stats`, the
+//! `lotusx_tenant_*` families of `/metrics` (with a `tenant` label —
+//! names are validated to the Prometheus-safe `[A-Za-z0-9_-]` alphabet
+//! at route-load time), and the `tenant` field of access-log lines.
+
+use lotusx::{EngineRegistry, LotusX, TenantLimits};
+use lotusx_obs::{PromWriter, Stage, WindowCounter, WindowedStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The engine view a running server serves from: one engine, or a
+/// registry of them.
+pub(crate) enum Engines<'a> {
+    /// `Server::run`: a single borrowed engine.
+    Single(&'a LotusX),
+    /// `Server::run_registry`: N engines behind the routing table.
+    Registry(&'a EngineRegistry),
+}
+
+/// The complete tenancy view threaded through the event loop and the
+/// worker pool: the engines plus the per-tenant runtime table
+/// (index-aligned). Built once per `run*` call.
+pub(crate) struct Tenancy<'a> {
+    engines: Engines<'a>,
+    /// Shared with [`crate::server::ServerHandle`] so harnesses can read
+    /// exact per-tenant counters without a `/stats` round-trip.
+    pub(crate) set: Arc<TenantSet>,
+}
+
+impl<'a> Tenancy<'a> {
+    pub(crate) fn single(engine: &'a LotusX) -> Tenancy<'a> {
+        Tenancy {
+            engines: Engines::Single(engine),
+            set: Arc::new(TenantSet::single()),
+        }
+    }
+
+    pub(crate) fn registry(registry: &'a EngineRegistry) -> Tenancy<'a> {
+        Tenancy {
+            engines: Engines::Registry(registry),
+            set: Arc::new(TenantSet::from_registry(registry)),
+        }
+    }
+
+    /// The registry, when serving one (`/admin/routes` support).
+    pub(crate) fn registry_ref(&self) -> Option<&'a EngineRegistry> {
+        match self.engines {
+            Engines::Registry(r) => Some(r),
+            Engines::Single(_) => None,
+        }
+    }
+
+    /// The engine a request routed to `tenant` computes against.
+    /// Tenant-less (server-scoped) requests never reach an engine; the
+    /// first tenant stands in defensively.
+    pub(crate) fn engine(&self, tenant: Option<u32>) -> &'a LotusX {
+        match (&self.engines, tenant) {
+            (Engines::Single(e), _) => e,
+            (Engines::Registry(r), Some(i)) => r.tenants()[i as usize].engine(),
+            (Engines::Registry(r), None) => r.tenants()[0].engine(),
+        }
+    }
+
+    /// Resolves a request to `(tenant index, rewritten path)`. The path
+    /// is `Some` only when routing changed it (`/t/<name>` stripping).
+    /// `None` overall means no tenant owns the request → the documented
+    /// 404 `unknown_tenant` reject. Single-engine servers route
+    /// everything to their one tenant unchanged.
+    pub(crate) fn resolve(
+        &self,
+        path: &str,
+        headers: &[(String, String)],
+    ) -> Option<(u32, Option<String>)> {
+        match &self.engines {
+            Engines::Single(_) => Some((0, None)),
+            Engines::Registry(reg) => {
+                let table = reg.routes();
+                let m = table.resolve(path, headers)?;
+                let idx = reg.lookup(&m.tenant)?;
+                let rewritten = (m.path != path).then_some(m.path);
+                Some((idx as u32, rewritten))
+            }
+        }
+    }
+}
+
+/// Lifetime counters for one tenant (names mirror [`crate::server::ServerStats`]).
+#[derive(Debug, Default)]
+pub struct TenantStats {
+    /// Requests routed to this tenant and dispatched into service.
+    pub requests: AtomicU64,
+    /// `POST /query` requests answered 200.
+    pub queries: AtomicU64,
+    /// `POST /complete` requests answered 200.
+    pub completions: AtomicU64,
+    /// Requests rejected with a 4xx/5xx after dispatch (bad bodies,
+    /// unknown endpoints, engine errors, panics).
+    pub rejected: AtomicU64,
+    /// Requests answered 429 by the per-tenant admission quota on the
+    /// loop thread (never dispatched; not counted in `requests`).
+    pub quota_rejects: AtomicU64,
+    /// Query responses that went out marked truncated.
+    pub truncated_responses: AtomicU64,
+    /// Gauge: requests currently in flight (loop-thread exact).
+    pub inflight: AtomicU64,
+    /// High-water mark of `inflight`.
+    pub max_inflight_seen: AtomicU64,
+}
+
+/// A plain-value copy of one tenant's counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// The tenant's name.
+    pub name: String,
+    /// See [`TenantStats::requests`].
+    pub requests: u64,
+    /// See [`TenantStats::queries`].
+    pub queries: u64,
+    /// See [`TenantStats::completions`].
+    pub completions: u64,
+    /// See [`TenantStats::rejected`].
+    pub rejected: u64,
+    /// See [`TenantStats::quota_rejects`].
+    pub quota_rejects: u64,
+    /// See [`TenantStats::truncated_responses`].
+    pub truncated_responses: u64,
+    /// See [`TenantStats::inflight`].
+    pub inflight: u64,
+    /// See [`TenantStats::max_inflight_seen`].
+    pub max_inflight_seen: u64,
+}
+
+impl TenantSnapshot {
+    /// The counter fields as `(name, value, is_gauge)` triples — the one
+    /// list the `/stats` JSON and `/metrics` exposition are rendered
+    /// from (same pattern as `StatsSnapshot::fields`).
+    fn fields(&self) -> [(&'static str, u64, bool); 8] {
+        [
+            ("requests", self.requests, false),
+            ("queries", self.queries, false),
+            ("completions", self.completions, false),
+            ("rejected", self.rejected, false),
+            ("quota_rejects", self.quota_rejects, false),
+            ("truncated_responses", self.truncated_responses, false),
+            ("inflight", self.inflight, true),
+            ("max_inflight_seen", self.max_inflight_seen, true),
+        ]
+    }
+}
+
+/// One tenant's runtime state: guard limits, counters, live windows.
+pub struct TenantRuntime {
+    name: String,
+    limits: TenantLimits,
+    /// Lifetime counters (see [`TenantStats`]).
+    pub stats: TenantStats,
+    /// Rolling 1s/10s/60s windows for this tenant alone.
+    pub windows: WindowedStats,
+}
+
+impl TenantRuntime {
+    fn new(name: &str, limits: TenantLimits) -> TenantRuntime {
+        TenantRuntime {
+            name: name.to_string(),
+            limits,
+            stats: TenantStats::default(),
+            windows: WindowedStats::new(),
+        }
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's admission quota and default budgets.
+    pub fn limits(&self) -> &TenantLimits {
+        &self.limits
+    }
+
+    /// Charges a served query: outcome counters plus the live windows.
+    pub fn record_query(&self, compute_ns: u64, truncated: bool) {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.windows.record_stage(Stage::HttpQuery, compute_ns);
+        self.windows.incr(WindowCounter::Queries, 1);
+        if truncated {
+            self.stats
+                .truncated_responses
+                .fetch_add(1, Ordering::Relaxed);
+            self.windows.incr(WindowCounter::Truncated, 1);
+        }
+    }
+
+    /// Charges a served completion request.
+    pub fn record_completion(&self, compute_ns: u64) {
+        self.stats.completions.fetch_add(1, Ordering::Relaxed);
+        self.windows.record_stage(Stage::HttpComplete, compute_ns);
+    }
+
+    fn snapshot(&self) -> TenantSnapshot {
+        let s = &self.stats;
+        TenantSnapshot {
+            name: self.name.clone(),
+            requests: s.requests.load(Ordering::Relaxed),
+            queries: s.queries.load(Ordering::Relaxed),
+            completions: s.completions.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            quota_rejects: s.quota_rejects.load(Ordering::Relaxed),
+            truncated_responses: s.truncated_responses.load(Ordering::Relaxed),
+            inflight: s.inflight.load(Ordering::Relaxed),
+            max_inflight_seen: s.max_inflight_seen.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The per-tenant runtime table, index-aligned with the engine view.
+pub struct TenantSet {
+    tenants: Vec<TenantRuntime>,
+}
+
+impl TenantSet {
+    /// The single-tenant set `Server::run` uses: one unlimited tenant
+    /// named `default`.
+    pub(crate) fn single() -> TenantSet {
+        TenantSet {
+            tenants: vec![TenantRuntime::new("default", TenantLimits::unlimited())],
+        }
+    }
+
+    /// A runtime slot per registry tenant, in registry order.
+    pub(crate) fn from_registry(registry: &EngineRegistry) -> TenantSet {
+        TenantSet {
+            tenants: registry
+                .tenants()
+                .iter()
+                .map(|t| TenantRuntime::new(t.name(), t.limits().clone()))
+                .collect(),
+        }
+    }
+
+    /// The tenant runtimes, in registry order.
+    pub fn tenants(&self) -> &[TenantRuntime] {
+        &self.tenants
+    }
+
+    /// The runtime at `idx` (panics on a bad index — indexes only come
+    /// from resolution against the same registry).
+    pub fn runtime(&self, idx: u32) -> &TenantRuntime {
+        &self.tenants[idx as usize]
+    }
+
+    /// Plain-value snapshots of every tenant, in registry order.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        self.tenants.iter().map(|t| t.snapshot()).collect()
+    }
+
+    /// The `tenants` section of the `/stats` response body: an object
+    /// keyed by tenant name, each with its counters and rolling-window
+    /// qps/truncation aggregates.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, rt) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let snap = rt.snapshot();
+            out.push_str(&format!("\"{}\":{{", rt.name));
+            for (j, (name, value, _)) in snap.fields().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{name}\":{value}"));
+            }
+            out.push_str(",\"windows\":{");
+            for (j, w) in rt.windows.aggregate_all().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\"{}s\":{{\"queries\":{},\"qps\":{:.6},\"truncation_rate\":{:.6}}}",
+                    w.window_secs, w.queries, w.qps, w.truncation_rate
+                ));
+            }
+            out.push_str("}}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// The `lotusx_tenant_*` section of the `/metrics` exposition: every
+    /// family written once (one `# HELP`/`# TYPE` pair), with one
+    /// `tenant`-labelled sample per tenant.
+    pub fn to_prometheus(&self) -> String {
+        let snaps: Vec<TenantSnapshot> = self.snapshot();
+        let mut w = PromWriter::new();
+        if let Some(first) = snaps.first() {
+            for (i, (name, _, is_gauge)) in first.fields().iter().enumerate() {
+                let (family, kind) = if *is_gauge {
+                    (format!("lotusx_tenant_{name}"), "gauge")
+                } else {
+                    (format!("lotusx_tenant_{name}_total"), "counter")
+                };
+                w.header(&family, &format!("Per-tenant counter `{name}`."), kind);
+                for snap in &snaps {
+                    let value = snap.fields()[i].1;
+                    w.sample_u64(&family, &[("tenant", &snap.name)], value);
+                }
+            }
+        }
+        w.header(
+            "lotusx_tenant_window_qps",
+            "Per-tenant queries per second over the rolling window.",
+            "gauge",
+        );
+        for rt in &self.tenants {
+            for win in rt.windows.aggregate_all() {
+                let label = format!("{}s", win.window_secs);
+                w.sample(
+                    "lotusx_tenant_window_qps",
+                    &[("tenant", &rt.name), ("window", &label)],
+                    win.qps,
+                );
+            }
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_of(names: &[&str]) -> TenantSet {
+        TenantSet {
+            tenants: names
+                .iter()
+                .map(|n| TenantRuntime::new(n, TenantLimits::unlimited()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_and_prometheus_render_every_tenant_once() {
+        let set = set_of(&["alpha", "beta"]);
+        set.runtime(0).record_query(1_000_000, true);
+        set.runtime(1).record_completion(500);
+        set.runtime(1)
+            .stats
+            .requests
+            .fetch_add(3, Ordering::Relaxed);
+
+        let json = set.to_json();
+        assert!(json.contains("\"alpha\":{\"requests\":0"), "{json}");
+        assert!(json.contains("\"queries\":1"), "{json}");
+        assert!(json.contains("\"beta\":{\"requests\":3"), "{json}");
+        assert!(json.contains("\"windows\":{\"1s\":"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let prom = set.to_prometheus();
+        assert!(prom.contains("lotusx_tenant_queries_total{tenant=\"alpha\"} 1"));
+        assert!(prom.contains("lotusx_tenant_truncated_responses_total{tenant=\"alpha\"} 1"));
+        assert!(prom.contains("lotusx_tenant_requests_total{tenant=\"beta\"} 3"));
+        assert!(prom.contains("lotusx_tenant_window_qps{tenant=\"beta\",window=\"60s\"}"));
+        // Exactly one HELP/TYPE pair per family despite two tenants.
+        assert_eq!(
+            prom.matches("# TYPE lotusx_tenant_requests_total").count(),
+            1
+        );
+        assert_eq!(prom.matches("# TYPE lotusx_tenant_inflight").count(), 1);
+    }
+
+    #[test]
+    fn single_set_is_one_unlimited_default_tenant() {
+        let set = TenantSet::single();
+        assert_eq!(set.tenants().len(), 1);
+        assert_eq!(set.runtime(0).name(), "default");
+        assert!(set.runtime(0).limits().is_unlimited());
+    }
+}
